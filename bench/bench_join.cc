@@ -1,0 +1,146 @@
+// Experiment F11 (paper Figs 10-12): the join query mode - correlating
+// EMBL feature qualifiers with ENZYME EC numbers. Measured through
+// XomatiQ (relational evaluation over the shredded store), on the native
+// DOM store (nested-loop value join over trees), and at the SQL level
+// comparing the engine's join algorithms on the same generic-schema
+// tables.
+//
+// Paper expectation: the relational engine wins on joins - that is the
+// heart of the "use an RDBMS underneath" argument (§2.2, §3.2). The DOM
+// nested loop grows quadratically; hash / index-nested-loop joins stay
+// near-linear.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sql/engine.h"
+
+namespace xomatiq {
+namespace {
+
+using benchutil::GetNativeStore;
+using benchutil::GetWarehouse;
+using benchutil::Unwrap;
+
+void BM_Fig11_XomatiQ(benchmark::State& state) {
+  auto* fixture = GetWarehouse(static_cast<size_t>(state.range(0)));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = Unwrap(fixture->xomatiq->Execute(benchutil::Fig11Query()),
+                         "fig11");
+    rows = result.rows.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Fig11_XomatiQ)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig11_NativeDom(benchmark::State& state) {
+  auto* store = GetNativeStore(static_cast<size_t>(state.range(0)));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = Unwrap(
+        store->JoinQuery("hlx_embl.inv", "//qualifier",
+                         "hlx_enzyme.DEFAULT", "//enzyme_id",
+                         {"//embl_accession_number", "//description"}),
+        "native join");
+    rows = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Fig11_NativeDom)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+// SQL-level join-algorithm ablation on the shredded tables: the same
+// value join evaluated with (a) the hash join the planner picks when the
+// btree on xml_text(value) is hidden, (b) the index-nested-loop plan, and
+// (c) a forced nested loop via an inequality-shaped predicate. We emulate
+// plan forcing by running against warehouses with different index sets.
+// Resolves actual path ids for the qualifier / enzyme_id paths, then
+// counts join matches; keeps the comparison apples-to-apples.
+std::string ResolvedJoinSql(benchutil::LoadedWarehouse* fixture) {
+  sql::SqlEngine engine(fixture->db.get());
+  auto paths = Unwrap(
+      engine.Execute("SELECT path_id, path FROM xml_path"), "paths");
+  int64_t qualifier_id = -1, enzyme_id = -1;
+  for (const auto& row : paths.rows) {
+    const std::string& path = row[1].AsText();
+    if (path ==
+        "/hlx_n_sequence/db_entry/feature_table/feature/qualifier") {
+      qualifier_id = row[0].AsInt();
+    }
+    if (path == "/hlx_enzyme/db_entry/enzyme_id") enzyme_id = row[0].AsInt();
+  }
+  return "SELECT COUNT(*) FROM xml_node nq, xml_text q, xml_node ne, "
+         "xml_text e WHERE nq.path_id = " +
+         std::to_string(qualifier_id) +
+         " AND q.node_id = nq.node_id AND ne.path_id = " +
+         std::to_string(enzyme_id) +
+         " AND e.node_id = ne.node_id AND q.value = e.value";
+}
+
+void BM_SqlValueJoin_WithIndexes(benchmark::State& state) {
+  auto* fixture = GetWarehouse(static_cast<size_t>(state.range(0)));
+  sql::SqlEngine engine(fixture->db.get());
+  std::string sql = ResolvedJoinSql(fixture);
+  for (auto _ : state) {
+    auto result = Unwrap(engine.Execute(sql), "join");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SqlValueJoin_WithIndexes)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SqlValueJoin_HashJoinOnly(benchmark::State& state) {
+  // Hide the node_id hash indexes so the planner cannot use
+  // index-nested-loop; the equi-join becomes a hash join.
+  static auto* cache = new std::map<size_t, benchutil::LoadedWarehouse*>();
+  size_t n = static_cast<size_t>(state.range(0));
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    auto* fixture = new benchutil::LoadedWarehouse();
+    fixture->corpus =
+        datagen::GenerateCorpus(benchutil::ScaledOptions(n));
+    fixture->db = rel::Database::OpenInMemory();
+    fixture->warehouse =
+        Unwrap(hounds::Warehouse::Open(fixture->db.get()), "open");
+    hounds::EnzymeXmlTransformer enzyme_tf;
+    hounds::EmblXmlTransformer embl_tf;
+    Unwrap(fixture->warehouse->LoadSource(
+               "hlx_enzyme.DEFAULT", enzyme_tf,
+               datagen::ToEnzymeFlatFile(fixture->corpus)),
+           "load");
+    Unwrap(fixture->warehouse->LoadSource(
+               "hlx_embl.inv", embl_tf,
+               datagen::ToEmblFlatFile(fixture->corpus)),
+           "load");
+    benchutil::Check(fixture->db->DropIndex("idx_text_node"), "drop");
+    benchutil::Check(fixture->db->DropIndex("idx_text_value"), "drop");
+    benchutil::Check(fixture->db->DropIndex("idx_node_id"), "drop");
+    it = cache->emplace(n, fixture).first;
+  }
+  sql::SqlEngine engine(it->second->db.get());
+  std::string sql = ResolvedJoinSql(it->second);
+  for (auto _ : state) {
+    auto result = Unwrap(engine.Execute(sql), "hash join");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SqlValueJoin_HashJoinOnly)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xomatiq
+
+int main(int argc, char** argv) {
+  std::printf(
+      "bench_join - experiment F11 (paper Figs 10-12): cross-database "
+      "join.\nExpectation: relational evaluation (index-nested-loop / "
+      "hash) scales near-linearly; the native DOM nested loop blows up "
+      "quadratically.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

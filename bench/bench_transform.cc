@@ -1,0 +1,135 @@
+// Experiment F6 (paper Figs 2 -> 6): the XML-Transformer stage of Data
+// Hounds. Measures flat-file parsing, flat -> XML transformation, DTD
+// validation, and serialization throughput per source.
+//
+// Paper expectation: transformation is a cheap streaming pass ("the
+// algorithm looks for ID, DE, AN, ... in the lines"); validation costs
+// more than transformation but both are far below shredding cost
+// (bench_shred).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "xml/dtd.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xomatiq {
+namespace {
+
+using benchutil::ScaledOptions;
+using benchutil::Unwrap;
+
+const std::string& EnzymeRaw(size_t n) {
+  static auto* cache = new std::map<size_t, std::string>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    datagen::Corpus corpus = datagen::GenerateCorpus(ScaledOptions(n));
+    it = cache->emplace(n, datagen::ToEnzymeFlatFile(corpus)).first;
+  }
+  return it->second;
+}
+
+const std::string& EmblRaw(size_t n) {
+  static auto* cache = new std::map<size_t, std::string>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    datagen::Corpus corpus = datagen::GenerateCorpus(ScaledOptions(n));
+    it = cache->emplace(n, datagen::ToEmblFlatFile(corpus)).first;
+  }
+  return it->second;
+}
+
+void BM_ParseEnzymeFlatFile(benchmark::State& state) {
+  const std::string& raw = EnzymeRaw(static_cast<size_t>(state.range(0)));
+  size_t entries = 0;
+  for (auto _ : state) {
+    auto parsed = flatfile::ParseEnzymeFile(raw);
+    entries = parsed->size();
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(entries) * state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(raw.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParseEnzymeFlatFile)->Arg(300)->Arg(1200);
+
+void BM_TransformEnzymeToXml(benchmark::State& state) {
+  const std::string& raw = EnzymeRaw(static_cast<size_t>(state.range(0)));
+  hounds::EnzymeXmlTransformer transformer;
+  size_t docs = 0;
+  for (auto _ : state) {
+    auto transformed = transformer.Transform(raw);
+    docs = transformed->size();
+    benchmark::DoNotOptimize(transformed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(docs) * state.iterations());
+}
+BENCHMARK(BM_TransformEnzymeToXml)->Arg(300)->Arg(1200);
+
+void BM_TransformEmblToXml(benchmark::State& state) {
+  const std::string& raw = EmblRaw(static_cast<size_t>(state.range(0)));
+  hounds::EmblXmlTransformer transformer;
+  size_t docs = 0;
+  for (auto _ : state) {
+    auto transformed = transformer.Transform(raw);
+    docs = transformed->size();
+    benchmark::DoNotOptimize(transformed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(docs) * state.iterations());
+}
+BENCHMARK(BM_TransformEmblToXml)->Arg(300)->Arg(1200);
+
+void BM_ValidateAgainstDtd(benchmark::State& state) {
+  hounds::EnzymeXmlTransformer transformer;
+  auto dtd = Unwrap(xml::ParseDtd(transformer.dtd_text()), "dtd");
+  auto docs = Unwrap(
+      transformer.Transform(EnzymeRaw(static_cast<size_t>(state.range(0)))),
+      "transform");
+  for (auto _ : state) {
+    size_t valid = 0;
+    for (const auto& doc : docs) {
+      std::vector<std::string> errors;
+      if (dtd.Validate(doc.document, &errors)) ++valid;
+    }
+    benchmark::DoNotOptimize(valid);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(docs.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ValidateAgainstDtd)->Arg(300)->Arg(1200);
+
+void BM_SerializeFigure6Xml(benchmark::State& state) {
+  xml::XmlDocument doc =
+      hounds::EnzymeXmlTransformer::EntryToXml(datagen::Figure2Entry());
+  for (auto _ : state) {
+    std::string text = xml::WriteXml(doc);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_SerializeFigure6Xml);
+
+void BM_ParseFigure6Xml(benchmark::State& state) {
+  std::string text = xml::WriteXml(
+      hounds::EnzymeXmlTransformer::EntryToXml(datagen::Figure2Entry()));
+  for (auto _ : state) {
+    auto doc = xml::ParseXml(text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(text.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParseFigure6Xml);
+
+}  // namespace
+}  // namespace xomatiq
+
+int main(int argc, char** argv) {
+  std::printf(
+      "bench_transform - experiment F6 (paper Figs 2->6): Data Hounds "
+      "XML-Transformer stage.\nArg = EMBL-scale corpus size (enzymes = "
+      "n/3).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Regenerates the paper's Data Hounds artifacts for the ENZYME database:
+//   Fig 2 - the sample flat-file entry (EC 1.14.17.3),
+//   Fig 5 - the ENZYME DTD,
+//   Fig 6 - the per-entry XML document,
+// then pushes the document through the full pipeline (validate -> shred ->
+// reconstruct) and verifies the reconstruction is lossless.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/corpus.h"
+#include "datahounds/warehouse.h"
+#include "xml/dtd.h"
+#include "xml/writer.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(xomatiq::common::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace xomatiq;
+
+  flatfile::EnzymeEntry entry = datagen::Figure2Entry();
+
+  std::printf("=== Figure 2: ENZYME flat-file entry ===\n%s\n",
+              flatfile::FormatEnzymeEntry(entry).c_str());
+
+  hounds::EnzymeXmlTransformer transformer;
+  std::printf("=== Figure 5: DTD of the ENZYME database ===\n%s\n",
+              transformer.dtd_text().c_str());
+
+  xml::XmlDocument doc = hounds::EnzymeXmlTransformer::EntryToXml(entry);
+  std::printf("=== Figure 6: XML data of Figure 2 ===\n%s\n",
+              xml::WriteXml(doc).c_str());
+
+  // Validate the Fig 6 document against the Fig 5 DTD.
+  auto dtd = Unwrap(xml::ParseDtd(transformer.dtd_text()), "parse DTD");
+  std::vector<std::string> errors;
+  if (!dtd.Validate(doc, &errors)) {
+    std::fprintf(stderr, "DTD validation failed: %s\n", errors[0].c_str());
+    return 1;
+  }
+  std::printf("Figure 6 document validates against the Figure 5 DTD.\n\n");
+
+  // Shred into the warehouse and inspect the generic schema's row counts.
+  auto db = rel::Database::OpenInMemory();
+  auto warehouse = Unwrap(hounds::Warehouse::Open(db.get()), "open");
+  auto stats = Unwrap(
+      warehouse->LoadSource("hlx_enzyme.DEFAULT", transformer,
+                            flatfile::FormatEnzymeEntry(entry)),
+      "load");
+  std::printf("=== XML2Relational shredding (generic schema) ===\n");
+  std::printf("documents: %zu  element/attribute nodes: %zu\n",
+              stats.documents, stats.nodes);
+  std::printf("text values: %zu  numeric values: %zu  sequences: %zu\n",
+              stats.text_values, stats.numeric_values,
+              stats.sequence_values);
+  for (const char* table :
+       {"xml_document", "xml_name", "xml_path", "xml_node", "xml_text",
+        "xml_number", "xml_sequence"}) {
+    auto t = Unwrap(db->GetTable(table), table);
+    std::printf("  %-13s %4zu rows\n", table, t->num_live_rows());
+  }
+
+  // Reconstruct from tuples (Relation2XML) and verify losslessness.
+  auto doc_id = Unwrap(warehouse->FindDocument("enzyme:1.14.17.3"), "find");
+  auto rebuilt = Unwrap(warehouse->ReconstructDocument(doc_id),
+                        "reconstruct");
+  auto back = Unwrap(
+      hounds::EnzymeXmlTransformer::XmlToEntry(*rebuilt.root()), "convert");
+  std::printf("\nreconstruction lossless: %s\n",
+              back == entry ? "yes" : "NO - MISMATCH");
+  return back == entry ? 0 : 1;
+}

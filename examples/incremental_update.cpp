@@ -1,0 +1,128 @@
+// Incremental warehouse maintenance (paper §2 requirement 2: "download
+// and integrate the latest updates ... without any information being left
+// out or added twice"): a durable warehouse is synced against a mutated
+// remote copy; subscribed applications receive change triggers; the
+// warehouse then survives a process restart via WAL recovery.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <filesystem>
+
+#include "datagen/corpus.h"
+#include "datahounds/warehouse.h"
+#include "xomatiq/xomatiq.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(xomatiq::common::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+const char* KindName(xomatiq::hounds::ChangeEvent::Kind kind) {
+  using Kind = xomatiq::hounds::ChangeEvent::Kind;
+  switch (kind) {
+    case Kind::kAdded:
+      return "ADDED";
+    case Kind::kUpdated:
+      return "UPDATED";
+    case Kind::kRemoved:
+      return "REMOVED";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace xomatiq;
+
+  std::string dir = "/tmp/xomatiq_incremental_demo";
+  std::filesystem::remove_all(dir);
+
+  datagen::CorpusOptions options;
+  options.num_enzymes = 30;
+  options.num_proteins = 10;
+  options.num_nucleotides = 0;
+  datagen::Corpus corpus = datagen::GenerateCorpus(options);
+  hounds::EnzymeXmlTransformer transformer;
+
+  {
+    auto db = Unwrap(rel::Database::Open(dir), "open db");
+    auto warehouse = Unwrap(hounds::Warehouse::Open(db.get()), "open wh");
+    auto stats = Unwrap(
+        warehouse->LoadSource("hlx_enzyme.DEFAULT", transformer,
+                              datagen::ToEnzymeFlatFile(corpus)),
+        "initial load");
+    std::printf("Initial harvest: %zu documents\n", stats.documents);
+
+    // A downstream application subscribes to warehouse triggers.
+    warehouse->Subscribe([](const hounds::ChangeEvent& event) {
+      std::printf("  trigger -> %-7s %s (doc %lld)\n", KindName(event.kind),
+                  event.uri.c_str(), static_cast<long long>(event.doc_id));
+    });
+
+    // The "remote database" changes: one entry revised, one withdrawn,
+    // one brand new.
+    datagen::Corpus remote = corpus;
+    remote.enzymes[0].comments.push_back(
+        "Revised annotation from the curators.");
+    remote.enzymes.erase(remote.enzymes.begin() + 5);
+    remote.enzymes.push_back(datagen::Figure2Entry());
+
+    std::printf("\nSyncing against the updated remote copy:\n");
+    auto sync = Unwrap(
+        warehouse->SyncSource("hlx_enzyme.DEFAULT", transformer,
+                              datagen::ToEnzymeFlatFile(remote)),
+        "sync");
+    std::printf(
+        "sync stats: %zu added, %zu updated, %zu removed, %zu unchanged\n",
+        sync.added, sync.updated, sync.removed, sync.unchanged);
+
+    // Re-running the same sync is a no-op: nothing added twice.
+    auto again = Unwrap(
+        warehouse->SyncSource("hlx_enzyme.DEFAULT", transformer,
+                              datagen::ToEnzymeFlatFile(remote)),
+        "idempotent sync");
+    std::printf("repeat sync: %zu added, %zu updated, %zu removed "
+                "(idempotent)\n",
+                again.added, again.updated, again.removed);
+    std::printf("\nWAL bytes before restart: %llu\n",
+                static_cast<unsigned long long>(db->wal_bytes()));
+  }  // process "crashes" here - no checkpoint was taken
+
+  std::printf("\n--- restart: recovering from the write-ahead log ---\n");
+  {
+    auto db = Unwrap(rel::Database::Open(dir), "reopen db");
+    std::printf("recovered %zu WAL records\n", db->records_recovered());
+    auto warehouse = Unwrap(hounds::Warehouse::Open(db.get()), "reopen wh");
+    auto ids = Unwrap(warehouse->DocumentsIn("hlx_enzyme.DEFAULT"), "list");
+    std::printf("documents after recovery: %zu\n", ids.size());
+
+    // The new entry from the sync is queryable after recovery.
+    xq::XomatiQ xomatiq(warehouse.get());
+    auto result = Unwrap(xomatiq.Execute(R"(
+FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a/enzyme_id = "1.14.17.3"
+RETURN $a/enzyme_id, $a//enzyme_description)"),
+                         "query");
+    std::printf("%s", result.ToTable().c_str());
+
+    // Checkpoint compacts the log for the next start.
+    auto status = db->Checkpoint();
+    if (!status.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint taken; WAL truncated to %llu bytes\n",
+                static_cast<unsigned long long>(db->wal_bytes()));
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}

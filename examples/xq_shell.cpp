@@ -1,0 +1,260 @@
+// Interactive XomatiQ shell: the text-mode counterpart of the paper's
+// GUI. Load flat files into collections, inspect DTD trees, run XomatiQ
+// queries (multi-line; finish with a blank line or ';'), and view
+// documents reconstructed from tuples.
+//
+//   ./xq_shell [warehouse_dir]      (omit the dir for an in-memory store)
+//
+// Commands:
+//   \demo                       load a synthetic three-database corpus
+//   \load <collection> <source> <file>   source: enzyme | embl | sprot
+//   \collections                list collections
+//   \dtd <collection>           show the DTD structure tree (Fig 7a)
+//   \doc <uri>                  reconstruct + print a document by uri
+//   \sql on|off                 echo translated SQL before results
+//   \explain <query...>         show relational plans for a query
+//   \checkpoint                 snapshot + truncate the WAL (durable mode)
+//   \help   \quit
+// Anything else is executed as a XomatiQ query.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "datagen/corpus.h"
+#include "datahounds/warehouse.h"
+#include "xml/writer.h"
+#include "xomatiq/xomatiq.h"
+
+namespace {
+
+using namespace xomatiq;
+
+struct Shell {
+  std::unique_ptr<rel::Database> db;
+  std::unique_ptr<hounds::Warehouse> warehouse;
+  std::unique_ptr<xq::XomatiQ> xomatiq;
+  bool echo_sql = false;
+
+  const hounds::XmlTransformer* TransformerFor(const std::string& source) {
+    static hounds::EnzymeXmlTransformer enzyme;
+    static hounds::EmblXmlTransformer embl;
+    static hounds::SwissProtXmlTransformer sprot;
+    if (source == "enzyme") return &enzyme;
+    if (source == "embl") return &embl;
+    if (source == "sprot") return &sprot;
+    return nullptr;
+  }
+
+  void Demo() {
+    datagen::CorpusOptions options;
+    options.num_enzymes = 60;
+    options.num_proteins = 90;
+    options.num_nucleotides = 120;
+    options.ketone_fraction = 0.15;
+    datagen::Corpus corpus = datagen::GenerateCorpus(options);
+    struct Source {
+      const char* collection;
+      const char* source;
+      std::string raw;
+    };
+    const Source sources[] = {
+        {"hlx_enzyme.DEFAULT", "enzyme", datagen::ToEnzymeFlatFile(corpus)},
+        {"hlx_embl.inv", "embl", datagen::ToEmblFlatFile(corpus)},
+        {"hlx_sprot.all", "sprot", datagen::ToSwissProtFlatFile(corpus)},
+    };
+    for (const Source& s : sources) {
+      auto stats = warehouse->LoadSource(s.collection,
+                                         *TransformerFor(s.source), s.raw);
+      if (!stats.ok()) {
+        std::printf("load %s failed: %s\n", s.collection,
+                    stats.status().ToString().c_str());
+        return;
+      }
+      std::printf("loaded %-20s %4zu documents, %6zu nodes\n", s.collection,
+                  stats->documents, stats->nodes);
+    }
+    std::printf("\ntry:\n%s\n", R"(FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description
+;)");
+  }
+
+  void Load(const std::string& collection, const std::string& source,
+            const std::string& path) {
+    const hounds::XmlTransformer* transformer = TransformerFor(source);
+    if (transformer == nullptr) {
+      std::printf("unknown source '%s' (enzyme | embl | sprot)\n",
+                  source.c_str());
+      return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::printf("cannot read %s\n", path.c_str());
+      return;
+    }
+    std::string raw((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    auto stats = warehouse->LoadSource(collection, *transformer, raw);
+    if (!stats.ok()) {
+      std::printf("load failed: %s\n", stats.status().ToString().c_str());
+      return;
+    }
+    std::printf("loaded %zu documents (%zu nodes, %zu values)\n",
+                stats->documents, stats->nodes,
+                stats->text_values + stats->sequence_values);
+  }
+
+  void RunQuery(const std::string& text) {
+    if (echo_sql) {
+      auto translation = xomatiq->Translate(text);
+      if (!translation.ok()) {
+        std::printf("error: %s\n", translation.status().ToString().c_str());
+        return;
+      }
+      for (const std::string& sql : translation->sql) {
+        std::printf("-- %s\n", sql.c_str());
+      }
+    }
+    auto result = xomatiq->Execute(text);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", result->ToTable().c_str());
+  }
+
+  void Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command == "\\demo") {
+      Demo();
+    } else if (command == "\\load") {
+      std::string collection, source, path;
+      in >> collection >> source >> path;
+      if (path.empty()) {
+        std::printf("usage: \\load <collection> <enzyme|embl|sprot> <file>\n");
+        return;
+      }
+      Load(collection, source, path);
+    } else if (command == "\\collections") {
+      for (const std::string& name : warehouse->CollectionNames()) {
+        auto ids = warehouse->DocumentsIn(name);
+        std::printf("%-24s %zu documents\n", name.c_str(),
+                    ids.ok() ? ids->size() : 0);
+      }
+    } else if (command == "\\dtd") {
+      std::string collection;
+      in >> collection;
+      auto tree = xomatiq->FormatDtdTree(collection);
+      std::printf("%s", tree.ok() ? tree->c_str()
+                                  : (tree.status().ToString() + "\n").c_str());
+    } else if (command == "\\doc") {
+      std::string uri;
+      in >> uri;
+      auto doc_id = warehouse->FindDocument(uri);
+      if (!doc_id.ok()) {
+        std::printf("%s\n", doc_id.status().ToString().c_str());
+        return;
+      }
+      auto doc = warehouse->ReconstructDocument(*doc_id);
+      if (!doc.ok()) {
+        std::printf("%s\n", doc.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s", xml::WriteXml(*doc).c_str());
+    } else if (command == "\\sql") {
+      std::string mode;
+      in >> mode;
+      echo_sql = mode == "on";
+      std::printf("sql echo %s\n", echo_sql ? "on" : "off");
+    } else if (command == "\\explain") {
+      std::string rest;
+      std::getline(in, rest);
+      auto plans = xomatiq->Explain(rest);
+      std::printf("%s", plans.ok()
+                            ? plans->c_str()
+                            : (plans.status().ToString() + "\n").c_str());
+    } else if (command == "\\checkpoint") {
+      auto status = db->Checkpoint();
+      std::printf("%s\n", status.ok() ? "checkpoint taken"
+                                      : status.ToString().c_str());
+    } else if (command == "\\help") {
+      std::printf(
+          "\\demo | \\load <col> <src> <file> | \\collections | \\dtd <col> "
+          "| \\doc <uri> | \\sql on|off | \\explain <query> | \\checkpoint "
+          "| \\quit\nqueries: FOR ... RETURN ... terminated by ';' or a "
+          "blank line\n");
+    } else {
+      std::printf("unknown command %s (try \\help)\n", command.c_str());
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1) {
+    auto db = rel::Database::Open(argv[1]);
+    if (!db.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", argv[1],
+                   db.status().ToString().c_str());
+      return 1;
+    }
+    shell.db = std::move(*db);
+    std::printf("warehouse at %s (recovered %zu WAL records)\n", argv[1],
+                shell.db->records_recovered());
+  } else {
+    shell.db = rel::Database::OpenInMemory();
+    std::printf("in-memory warehouse (pass a directory for durability)\n");
+  }
+  auto warehouse = xomatiq::hounds::Warehouse::Open(shell.db.get());
+  if (!warehouse.ok()) {
+    std::fprintf(stderr, "%s\n", warehouse.status().ToString().c_str());
+    return 1;
+  }
+  shell.warehouse = std::move(*warehouse);
+  shell.xomatiq =
+      std::make_unique<xomatiq::xq::XomatiQ>(shell.warehouse.get());
+  std::printf("XomatiQ shell - \\help for commands, \\demo for data\n");
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "xq> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = xomatiq::common::StripWhitespace(line);
+    if (buffer.empty()) {
+      if (trimmed.empty()) continue;
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      if (trimmed[0] == '\\') {
+        shell.Dispatch(std::string(trimmed));
+        continue;
+      }
+    }
+    // Accumulate a query; execute on ';' or a blank line.
+    if (trimmed.empty() ||
+        (!trimmed.empty() && trimmed.back() == ';')) {
+      buffer += line;
+      if (!buffer.empty() && !trimmed.empty()) {
+        // Strip the trailing ';'.
+        size_t semi = buffer.rfind(';');
+        if (semi != std::string::npos) buffer.erase(semi);
+      }
+      if (!xomatiq::common::StripWhitespace(buffer).empty()) {
+        shell.RunQuery(buffer);
+      }
+      buffer.clear();
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+  }
+  return 0;
+}

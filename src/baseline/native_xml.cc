@@ -1,0 +1,222 @@
+#include "baseline/native_xml.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/expr_eval.h"
+
+namespace xomatiq::baseline {
+
+using common::Result;
+using common::Status;
+using xml::NodeKind;
+using xml::XmlDocument;
+using xml::XmlNode;
+
+Result<std::vector<NativeStep>> ParseNativePath(std::string_view path) {
+  std::vector<NativeStep> steps;
+  size_t i = 0;
+  while (i < path.size()) {
+    NativeStep step;
+    if (path.substr(i, 2) == "//") {
+      step.descendant = true;
+      i += 2;
+    } else if (path[i] == '/') {
+      ++i;
+    } else if (i == 0) {
+      // Bare leading name defaults to a descendant step, matching the
+      // builders' NormalizePath convention.
+      step.descendant = true;
+    } else {
+      return Status::ParseError("bad path syntax: " + std::string(path));
+    }
+    if (i < path.size() && path[i] == '@') {
+      step.is_attribute = true;
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    step.name = std::string(path.substr(start, i - start));
+    if (step.name.empty()) {
+      return Status::ParseError("empty step in path: " + std::string(path));
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+std::string NodeValue(const XmlNode& node) { return node.Text(); }
+
+namespace {
+
+void EvalStep(const XmlNode& base, const std::vector<NativeStep>& steps,
+              size_t index, std::vector<std::string>* out) {
+  if (index == steps.size()) {
+    out->push_back(NodeValue(base));
+    return;
+  }
+  const NativeStep& step = steps[index];
+  if (step.is_attribute) {
+    // Attribute steps terminate a path.
+    auto visit = [&](const XmlNode& node) {
+      const std::string* value = node.FindAttribute(step.name);
+      if (value != nullptr && index + 1 == steps.size()) {
+        out->push_back(*value);
+      }
+      return true;
+    };
+    if (step.descendant) {
+      base.Visit(visit);
+    } else {
+      visit(base);
+    }
+    return;
+  }
+  if (step.descendant) {
+    for (const XmlNode* node : base.Descendants(step.name)) {
+      if (node == &base) continue;
+      EvalStep(*node, steps, index + 1, out);
+    }
+    return;
+  }
+  for (const XmlNode* child : base.ChildElements(step.name)) {
+    EvalStep(*child, steps, index + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> EvalPathValues(const XmlNode& base,
+                                        const std::vector<NativeStep>& steps) {
+  std::vector<std::string> out;
+  EvalStep(base, steps, 0, &out);
+  return out;
+}
+
+bool SubtreeContains(const XmlNode& node, std::string_view keywords) {
+  bool found = false;
+  node.Visit([&](const XmlNode& n) {
+    if (n.kind() == NodeKind::kText &&
+        sql::MatchContains(n.value(), keywords)) {
+      found = true;
+      return false;
+    }
+    for (const xml::XmlAttribute& attr : n.attributes()) {
+      if (sql::MatchContains(attr.value, keywords)) {
+        found = true;
+        return false;
+      }
+    }
+    return true;
+  });
+  return found;
+}
+
+void NativeXmlStore::Load(const std::string& collection, XmlDocument doc) {
+  collections_[collection].push_back(std::move(doc));
+}
+
+const std::vector<XmlDocument>& NativeXmlStore::Docs(
+    const std::string& collection) const {
+  static const std::vector<XmlDocument>* kEmpty =
+      new std::vector<XmlDocument>();
+  auto it = collections_.find(collection);
+  return it == collections_.end() ? *kEmpty : it->second;
+}
+
+std::vector<const XmlDocument*> NativeXmlStore::KeywordSearch(
+    const std::string& collection, std::string_view keyword) const {
+  std::vector<const XmlDocument*> out;
+  for (const XmlDocument& doc : Docs(collection)) {
+    const XmlNode* root = doc.root();
+    if (root != nullptr && SubtreeContains(*root, keyword)) {
+      out.push_back(&doc);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> NativeXmlStore::SubtreeQuery(
+    const std::string& collection, const std::string& cond_path,
+    const std::string& keyword,
+    const std::vector<std::string>& return_paths) const {
+  XQ_ASSIGN_OR_RETURN(std::vector<NativeStep> cond_steps,
+                      ParseNativePath(cond_path));
+  std::vector<std::vector<NativeStep>> ret_steps;
+  for (const std::string& path : return_paths) {
+    XQ_ASSIGN_OR_RETURN(std::vector<NativeStep> steps, ParseNativePath(path));
+    ret_steps.push_back(std::move(steps));
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const XmlDocument& doc : Docs(collection)) {
+    const XmlNode* root = doc.root();
+    if (root == nullptr) continue;
+    bool match = false;
+    for (const std::string& value : EvalPathValues(*root, cond_steps)) {
+      if (sql::MatchContains(value, keyword)) {
+        match = true;
+        break;
+      }
+    }
+    if (!match) continue;
+    std::vector<std::string> row;
+    for (const auto& steps : ret_steps) {
+      std::vector<std::string> values = EvalPathValues(*root, steps);
+      row.push_back(values.empty() ? "" : values.front());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> NativeXmlStore::JoinQuery(
+    const std::string& left_collection, const std::string& left_path,
+    const std::string& right_collection, const std::string& right_path,
+    const std::vector<std::string>& left_return_paths) const {
+  XQ_ASSIGN_OR_RETURN(std::vector<NativeStep> left_steps,
+                      ParseNativePath(left_path));
+  XQ_ASSIGN_OR_RETURN(std::vector<NativeStep> right_steps,
+                      ParseNativePath(right_path));
+  std::vector<std::vector<NativeStep>> ret_steps;
+  for (const std::string& path : left_return_paths) {
+    XQ_ASSIGN_OR_RETURN(std::vector<NativeStep> steps, ParseNativePath(path));
+    ret_steps.push_back(std::move(steps));
+  }
+  std::vector<std::vector<std::string>> rows;
+  // Nested-loop value join over DOM trees: the no-RDBMS alternative.
+  for (const XmlDocument& left : Docs(left_collection)) {
+    const XmlNode* lroot = left.root();
+    if (lroot == nullptr) continue;
+    std::vector<std::string> lvalues = EvalPathValues(*lroot, left_steps);
+    if (lvalues.empty()) continue;
+    std::set<std::string> lset(lvalues.begin(), lvalues.end());
+    bool joined = false;
+    for (const XmlDocument& right : Docs(right_collection)) {
+      const XmlNode* rroot = right.root();
+      if (rroot == nullptr) continue;
+      for (const std::string& rv : EvalPathValues(*rroot, right_steps)) {
+        if (lset.count(rv) > 0) {
+          joined = true;
+          break;
+        }
+      }
+      if (joined) break;
+    }
+    if (!joined) continue;
+    std::vector<std::string> row;
+    for (const auto& steps : ret_steps) {
+      std::vector<std::string> values = EvalPathValues(*lroot, steps);
+      row.push_back(values.empty() ? "" : values.front());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+size_t NativeXmlStore::TotalDocs() const {
+  size_t n = 0;
+  for (const auto& [name, docs] : collections_) n += docs.size();
+  return n;
+}
+
+}  // namespace xomatiq::baseline

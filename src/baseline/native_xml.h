@@ -1,0 +1,73 @@
+#ifndef XOMATIQ_BASELINE_NATIVE_XML_H_
+#define XOMATIQ_BASELINE_NATIVE_XML_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace xomatiq::baseline {
+
+// Parses a path fragment of the form "a/b//c/@d" (leading '/' or '//'
+// optional; '//' segments match descendants) and evaluates it against a
+// DOM subtree. Attribute steps yield the owning element with the
+// attribute value as the node string value.
+struct NativeStep {
+  bool descendant = false;
+  bool is_attribute = false;
+  std::string name;
+};
+
+common::Result<std::vector<NativeStep>> ParseNativePath(
+    std::string_view path);
+
+// Element-node string value (concatenated direct text).
+std::string NodeValue(const xml::XmlNode& node);
+
+// Evaluates `steps` starting below `base`; for attribute final steps the
+// returned strings are the attribute values, else element text values.
+std::vector<std::string> EvalPathValues(const xml::XmlNode& base,
+                                        const std::vector<NativeStep>& steps);
+
+// True when any text or attribute value in the subtree contains every
+// token of `keywords` (same semantics as the warehouse CONTAINS).
+bool SubtreeContains(const xml::XmlNode& node, std::string_view keywords);
+
+// In-memory "semistructured database" alternative the paper's §2.2
+// discussion weighs against the relational route: documents stay as DOM
+// trees and every query walks them directly (no shredding, no indexes).
+// Used by benches as the native-XML comparison point.
+class NativeXmlStore {
+ public:
+  void Load(const std::string& collection, xml::XmlDocument doc);
+  const std::vector<xml::XmlDocument>& Docs(
+      const std::string& collection) const;
+
+  // Documents whose subtree contains the keyword (Fig 8 per-database leg).
+  std::vector<const xml::XmlDocument*> KeywordSearch(
+      const std::string& collection, std::string_view keyword) const;
+
+  // Fig 9 shape: value of `return_path` for documents where `cond_path`'s
+  // value contains `keyword`.
+  common::Result<std::vector<std::vector<std::string>>> SubtreeQuery(
+      const std::string& collection, const std::string& cond_path,
+      const std::string& keyword,
+      const std::vector<std::string>& return_paths) const;
+
+  // Fig 11 shape: nested-loop value join between two collections.
+  common::Result<std::vector<std::vector<std::string>>> JoinQuery(
+      const std::string& left_collection, const std::string& left_path,
+      const std::string& right_collection, const std::string& right_path,
+      const std::vector<std::string>& left_return_paths) const;
+
+  size_t TotalDocs() const;
+
+ private:
+  std::map<std::string, std::vector<xml::XmlDocument>> collections_;
+};
+
+}  // namespace xomatiq::baseline
+
+#endif  // XOMATIQ_BASELINE_NATIVE_XML_H_

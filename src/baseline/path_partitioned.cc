@@ -1,0 +1,136 @@
+#include "baseline/path_partitioned.h"
+
+#include "common/string_util.h"
+
+namespace xomatiq::baseline {
+
+using common::Result;
+using common::Status;
+using rel::Value;
+
+namespace {
+constexpr char kCatalogTable[] = "pp_paths";
+}  // namespace
+
+PathPartitionedStore::PathPartitionedStore(rel::Database* db) : db_(db) {}
+
+Status PathPartitionedStore::Init() {
+  if (!db_->HasTable(kCatalogTable)) {
+    XQ_RETURN_IF_ERROR(db_->CreateTable(
+        kCatalogTable,
+        rel::Schema({{"collection", rel::ValueType::kText, true},
+                     {"path", rel::ValueType::kText, true},
+                     {"table_name", rel::ValueType::kText, true}})));
+  }
+  // Reload the path map (and counters) from the catalog.
+  tables_.clear();
+  next_table_id_ = 0;
+  XQ_ASSIGN_OR_RETURN(const rel::Table* catalog,
+                      db_->GetTable(kCatalogTable));
+  catalog->Scan([&](rel::RowId, const rel::Tuple& t) {
+    tables_[{t[0].AsText(), t[1].AsText()}] = t[2].AsText();
+    ++next_table_id_;
+    return true;
+  });
+  return Status::OK();
+}
+
+Result<std::string> PathPartitionedStore::TableFor(
+    const std::string& collection, const std::string& path) {
+  auto it = tables_.find({collection, path});
+  if (it != tables_.end()) return it->second;
+  std::string name = "pp_" + std::to_string(next_table_id_++);
+  XQ_RETURN_IF_ERROR(db_->CreateTable(
+      name, rel::Schema({{"doc_id", rel::ValueType::kInt, true},
+                         {"ordinal", rel::ValueType::kInt, true},
+                         {"value", rel::ValueType::kText, true}})));
+  XQ_RETURN_IF_ERROR(db_->CreateIndex(
+      {name + "_value", name, {"value"}, rel::IndexKind::kBTree, false}));
+  XQ_RETURN_IF_ERROR(db_->CreateIndex(
+      {name + "_kw", name, {"value"}, rel::IndexKind::kInverted, false}));
+  XQ_RETURN_IF_ERROR(db_->CreateIndex(
+      {name + "_doc", name, {"doc_id"}, rel::IndexKind::kHash, false}));
+  XQ_RETURN_IF_ERROR(
+      db_->Insert(kCatalogTable, {Value::Text(collection), Value::Text(path),
+                                  Value::Text(name)})
+          .status());
+  tables_[{collection, path}] = name;
+  return name;
+}
+
+Result<PathPartitionedStore::LoadStats> PathPartitionedStore::LoadDocuments(
+    const std::string& collection,
+    const std::vector<hounds::TransformedDocument>& docs) {
+  LoadStats stats;
+  for (const hounds::TransformedDocument& doc : docs) {
+    int64_t doc_id = next_doc_id_++;
+    int64_t ordinal = 0;
+    Status status;
+    doc.document.root()->Visit([&](const xml::XmlNode& node) {
+      if (node.kind() != xml::NodeKind::kElement) return true;
+      ++ordinal;
+      std::string path = node.LabelPath();
+      for (const xml::XmlAttribute& attr : node.attributes()) {
+        auto table = TableFor(collection, path + "/@" + attr.name);
+        if (!table.ok()) {
+          status = table.status();
+          return false;
+        }
+        Status s = db_->Insert(*table, {Value::Int(doc_id),
+                                        Value::Int(ordinal),
+                                        Value::Text(attr.value)})
+                       .status();
+        if (!s.ok()) {
+          status = s;
+          return false;
+        }
+        ++stats.values;
+      }
+      std::string text = node.Text();
+      if (!text.empty() && node.ChildElements().empty()) {
+        auto table = TableFor(collection, path);
+        if (!table.ok()) {
+          status = table.status();
+          return false;
+        }
+        Status s = db_->Insert(*table, {Value::Int(doc_id),
+                                        Value::Int(ordinal),
+                                        Value::Text(std::move(text))})
+                       .status();
+        if (!s.ok()) {
+          status = s;
+          return false;
+        }
+        ++stats.values;
+      }
+      return true;
+    });
+    XQ_RETURN_IF_ERROR(status);
+    ++stats.documents;
+  }
+  stats.tables = tables_.size();
+  return stats;
+}
+
+Result<std::string> PathPartitionedStore::TableForPathSuffix(
+    const std::string& collection, const std::string& suffix) const {
+  std::string found;
+  for (const auto& [key, table] : tables_) {
+    if (key.first != collection) continue;
+    const std::string& path = key.second;
+    if (path == suffix ||
+        common::EndsWith(path, "/" + suffix)) {
+      if (!found.empty()) {
+        return Status::InvalidArgument("ambiguous path suffix: " + suffix);
+      }
+      found = table;
+    }
+  }
+  if (found.empty()) {
+    return Status::NotFound("no path ends with " + suffix + " in " +
+                            collection);
+  }
+  return found;
+}
+
+}  // namespace xomatiq::baseline

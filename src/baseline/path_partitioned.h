@@ -1,0 +1,71 @@
+#ifndef XOMATIQ_BASELINE_PATH_PARTITIONED_H_
+#define XOMATIQ_BASELINE_PATH_PARTITIONED_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datahounds/xml_transformer.h"
+#include "relational/database.h"
+#include "xml/dom.h"
+
+namespace xomatiq::baseline {
+
+// The path-partitioned ("binary" / inlined) shredding alternative from
+// the literature the paper builds on (STORED, Shanmugasundaram et al.):
+// instead of one generic node/text schema, every distinct rooted label
+// path gets its own value table
+//
+//   pp_<n>(doc_id INT, ordinal INT, value TEXT)
+//
+// with a btree on value, an inverted keyword index, and a hash index on
+// doc_id. Leaf text and attribute values are stored; structure beyond the
+// path is not (no parent chain), so full-document reconstruction is NOT
+// possible — the classic trade-off against the paper's generic schema:
+// fewer, smaller tables and fewer joins per query, but schema churn on
+// every new path and loss of order/structure generality. bench_schema
+// measures both sides of that trade on identical workloads.
+class PathPartitionedStore {
+ public:
+  // Tables are created lazily in `db` under the "pp_" prefix; a catalog
+  // table pp_paths(collection, path, table_name) maps paths to tables.
+  explicit PathPartitionedStore(rel::Database* db);
+
+  // Creates the catalog table if absent.
+  common::Status Init();
+
+  struct LoadStats {
+    size_t documents = 0;
+    size_t values = 0;
+    size_t tables = 0;  // total path tables after the load
+  };
+
+  // Shreds transformed documents into per-path tables.
+  common::Result<LoadStats> LoadDocuments(
+      const std::string& collection,
+      const std::vector<hounds::TransformedDocument>& docs);
+
+  // Table name holding values whose rooted path ends with `suffix`
+  // (e.g. "catalytic_activity" or "sequence/@length") within
+  // `collection`. NotFound / InvalidArgument (ambiguous) otherwise.
+  common::Result<std::string> TableForPathSuffix(
+      const std::string& collection, const std::string& suffix) const;
+
+  size_t num_tables() const { return tables_.size(); }
+  rel::Database* db() { return db_; }
+
+ private:
+  common::Result<std::string> TableFor(const std::string& collection,
+                                       const std::string& path);
+
+  rel::Database* db_;
+  int64_t next_doc_id_ = 1;
+  int64_t next_table_id_ = 0;
+  // (collection, path) -> table name.
+  std::map<std::pair<std::string, std::string>, std::string> tables_;
+};
+
+}  // namespace xomatiq::baseline
+
+#endif  // XOMATIQ_BASELINE_PATH_PARTITIONED_H_

@@ -1,0 +1,145 @@
+#include "baseline/srs.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xomatiq::baseline {
+
+using common::Result;
+using common::Status;
+
+Status SrsEngine::CreateLibrary(const std::string& library,
+                                std::vector<std::string> indexed_fields) {
+  if (libraries_.count(library) > 0) {
+    return Status::AlreadyExists("library exists: " + library);
+  }
+  Library lib;
+  lib.indexed_fields = std::move(indexed_fields);
+  libraries_.emplace(library, std::move(lib));
+  return Status::OK();
+}
+
+const SrsEngine::Library* SrsEngine::FindLibrary(
+    const std::string& name) const {
+  auto it = libraries_.find(name);
+  return it == libraries_.end() ? nullptr : &it->second;
+}
+
+Status SrsEngine::AddEntry(const std::string& library, Entry entry) {
+  auto it = libraries_.find(library);
+  if (it == libraries_.end()) {
+    return Status::NotFound("no such library: " + library);
+  }
+  Library& lib = it->second;
+  if (lib.by_id.count(entry.id) > 0) {
+    return Status::AlreadyExists("duplicate entry " + entry.id + " in " +
+                                 library);
+  }
+  size_t index = lib.entries.size();
+  lib.by_id[entry.id] = index;
+  for (const std::string& field : lib.indexed_fields) {
+    auto fit = entry.fields.find(field);
+    if (fit == entry.fields.end()) continue;
+    auto& token_map = lib.index[field];
+    for (const std::string& value : fit->second) {
+      for (const std::string& token : common::TokenizeKeywords(value)) {
+        std::vector<size_t>& postings = token_map[token];
+        if (postings.empty() || postings.back() != index) {
+          postings.push_back(index);
+        }
+      }
+    }
+  }
+  lib.entries.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status SrsEngine::AddLink(const std::string& from_library,
+                          const std::string& from_entry,
+                          const std::string& to_library,
+                          const std::string& to_entry) {
+  auto it = libraries_.find(from_library);
+  if (it == libraries_.end()) {
+    return Status::NotFound("no such library: " + from_library);
+  }
+  auto eit = it->second.by_id.find(from_entry);
+  if (eit == it->second.by_id.end()) {
+    return Status::NotFound("no entry " + from_entry + " in " + from_library);
+  }
+  it->second.links[{eit->second, to_library}].push_back(to_entry);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> SrsEngine::Lookup(
+    const std::string& library, const std::string& field,
+    const std::string& token) const {
+  const Library* lib = FindLibrary(library);
+  if (lib == nullptr) return Status::NotFound("no such library: " + library);
+  if (std::find(lib->indexed_fields.begin(), lib->indexed_fields.end(),
+                field) == lib->indexed_fields.end()) {
+    return Status::Unsupported("field '" + field + "' of library " + library +
+                               " is not indexed (SRS searches require a "
+                               "pre-defined index)");
+  }
+  std::vector<std::string> ids;
+  auto fit = lib->index.find(field);
+  if (fit == lib->index.end()) return ids;
+  auto tit = fit->second.find(common::AsciiToLower(token));
+  if (tit == fit->second.end()) return ids;
+  for (size_t i : tit->second) ids.push_back(lib->entries[i].id);
+  return ids;
+}
+
+Result<std::vector<std::string>> SrsEngine::LookupAnyField(
+    const std::string& library, const std::string& token) const {
+  const Library* lib = FindLibrary(library);
+  if (lib == nullptr) return Status::NotFound("no such library: " + library);
+  std::vector<size_t> hits;
+  std::string lower = common::AsciiToLower(token);
+  for (const auto& [field, token_map] : lib->index) {
+    auto tit = token_map.find(lower);
+    if (tit == token_map.end()) continue;
+    hits.insert(hits.end(), tit->second.begin(), tit->second.end());
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  std::vector<std::string> ids;
+  ids.reserve(hits.size());
+  for (size_t i : hits) ids.push_back(lib->entries[i].id);
+  return ids;
+}
+
+Result<std::vector<std::string>> SrsEngine::FollowLinks(
+    const std::string& from_library, const std::string& from_entry,
+    const std::string& to_library) const {
+  const Library* lib = FindLibrary(from_library);
+  if (lib == nullptr) {
+    return Status::NotFound("no such library: " + from_library);
+  }
+  auto eit = lib->by_id.find(from_entry);
+  if (eit == lib->by_id.end()) {
+    return Status::NotFound("no entry " + from_entry + " in " + from_library);
+  }
+  auto lit = lib->links.find({eit->second, to_library});
+  if (lit == lib->links.end()) return std::vector<std::string>{};
+  return lit->second;
+}
+
+Result<const SrsEngine::Entry*> SrsEngine::GetEntry(
+    const std::string& library, const std::string& id) const {
+  const Library* lib = FindLibrary(library);
+  if (lib == nullptr) return Status::NotFound("no such library: " + library);
+  auto eit = lib->by_id.find(id);
+  if (eit == lib->by_id.end()) {
+    return Status::NotFound("no entry " + id + " in " + library);
+  }
+  return &lib->entries[eit->second];
+}
+
+size_t SrsEngine::NumEntries(const std::string& library) const {
+  const Library* lib = FindLibrary(library);
+  return lib == nullptr ? 0 : lib->entries.size();
+}
+
+}  // namespace xomatiq::baseline

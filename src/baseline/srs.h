@@ -1,0 +1,83 @@
+#ifndef XOMATIQ_BASELINE_SRS_H_
+#define XOMATIQ_BASELINE_SRS_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xomatiq::baseline {
+
+// SRS-style indexed flat-file retrieval engine (paper §4 related work):
+// libraries of entries with *pre-declared* indexed fields and predefined
+// cross-library links. Searches are "only permitted on pre-defined
+// indexed attributes"; ad-hoc joins, value comparisons or queries on
+// unindexed structure are out of scope by design — exactly the
+// expressiveness gap XomatiQ claims to close. Used as the comparison
+// baseline in bench_keyword.
+class SrsEngine {
+ public:
+  struct Entry {
+    std::string id;  // entry identifier within its library
+    // Field values by field name; only fields declared for the library
+    // are indexed.
+    std::map<std::string, std::vector<std::string>> fields;
+  };
+
+  // Declares a library with its indexed fields.
+  common::Status CreateLibrary(const std::string& library,
+                               std::vector<std::string> indexed_fields);
+
+  // Adds an entry, tokenizing and indexing its declared fields.
+  common::Status AddEntry(const std::string& library, Entry entry);
+
+  // Declares a link set: entries of `from` reference entries of `to`
+  // (resolved by target entry id).
+  common::Status AddLink(const std::string& from_library,
+                         const std::string& from_entry,
+                         const std::string& to_library,
+                         const std::string& to_entry);
+
+  // Index lookup: entry ids of `library` whose `field` contains `token`
+  // (case-insensitive token match). Error when the field is not indexed
+  // — the SRS expressiveness restriction.
+  common::Result<std::vector<std::string>> Lookup(
+      const std::string& library, const std::string& field,
+      const std::string& token) const;
+
+  // Lookup across all indexed fields of a library.
+  common::Result<std::vector<std::string>> LookupAnyField(
+      const std::string& library, const std::string& token) const;
+
+  // Follows predefined links from `entry` into `to_library`.
+  common::Result<std::vector<std::string>> FollowLinks(
+      const std::string& from_library, const std::string& from_entry,
+      const std::string& to_library) const;
+
+  common::Result<const Entry*> GetEntry(const std::string& library,
+                                        const std::string& id) const;
+
+  size_t NumEntries(const std::string& library) const;
+
+ private:
+  struct Library {
+    std::vector<std::string> indexed_fields;
+    std::vector<Entry> entries;
+    std::unordered_map<std::string, size_t> by_id;
+    // field -> token -> entry indexes (sorted, unique)
+    std::map<std::string, std::unordered_map<std::string, std::vector<size_t>>>
+        index;
+    // (entry index, to_library) -> target entry ids
+    std::map<std::pair<size_t, std::string>, std::vector<std::string>> links;
+  };
+
+  const Library* FindLibrary(const std::string& name) const;
+
+  std::map<std::string, Library> libraries_;
+};
+
+}  // namespace xomatiq::baseline
+
+#endif  // XOMATIQ_BASELINE_SRS_H_

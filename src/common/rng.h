@@ -1,0 +1,63 @@
+#ifndef XOMATIQ_COMMON_RNG_H_
+#define XOMATIQ_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xomatiq::common {
+
+// Deterministic pseudo-random generator (SplitMix64 core). All synthetic
+// corpora are generated from explicit seeds so experiments are replayable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Random element of `items` (must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Uniform(items.size())];
+  }
+
+  // Zipf-like skewed index in [0, n): rank r drawn with weight 1/(r+1).
+  // Cheap approximation adequate for workload skew knobs.
+  uint64_t Zipf(uint64_t n) {
+    double u = NextDouble();
+    // Inverse CDF of a 1/x density over [1, n+1).
+    double v = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+    uint64_t r = static_cast<uint64_t>(v) - 1;
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xomatiq::common
+
+#endif  // XOMATIQ_COMMON_RNG_H_

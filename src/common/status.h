@@ -1,0 +1,117 @@
+#ifndef XOMATIQ_COMMON_STATUS_H_
+#define XOMATIQ_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xomatiq::common {
+
+// Error category for a failed operation. Mirrors the coarse error surface
+// of an embedded database engine: callers typically branch on whether the
+// failure is a user error (parse/plan/constraint) or an environment error
+// (I/O, corruption).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kConstraintViolation,
+  kIoError,
+  kCorruption,
+  kUnsupported,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "ParseError").
+std::string_view StatusCodeName(StatusCode code);
+
+// Value type carrying success or an error code plus message. Library code
+// never throws; every fallible function returns Status or Result<T>.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace xomatiq::common
+
+// Propagates a non-OK Status from the evaluated expression.
+#define XQ_RETURN_IF_ERROR(expr)                         \
+  do {                                                   \
+    ::xomatiq::common::Status _xq_status = (expr);       \
+    if (!_xq_status.ok()) return _xq_status;             \
+  } while (false)
+
+// Evaluates an expression yielding Result<T>; on success binds the value to
+// `lhs`, otherwise returns the error Status. `lhs` may include a
+// declaration, e.g. XQ_ASSIGN_OR_RETURN(auto v, Foo()).
+#define XQ_ASSIGN_OR_RETURN(lhs, expr)                      \
+  XQ_ASSIGN_OR_RETURN_IMPL_(                                \
+      XQ_STATUS_CONCAT_(_xq_result, __LINE__), lhs, expr)
+
+#define XQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define XQ_STATUS_CONCAT_(a, b) XQ_STATUS_CONCAT_IMPL_(a, b)
+#define XQ_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // XOMATIQ_COMMON_STATUS_H_

@@ -1,0 +1,61 @@
+#ifndef XOMATIQ_COMMON_STRING_UTIL_H_
+#define XOMATIQ_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xomatiq::common {
+
+// Returns `s` with ASCII whitespace removed from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+// Returns `s` with ASCII whitespace removed from the right end only.
+std::string_view StripTrailingWhitespace(std::string_view s);
+
+// Splits `s` on `delim`; empty pieces are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Splits `s` on runs of ASCII whitespace; empty pieces are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+// ASCII lowercase copy of `s`.
+std::string AsciiToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Case-insensitive ASCII substring search.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+// Parses an integer / double; rejects trailing garbage.
+std::optional<int64_t> ParseInt64(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+// True when the entire string parses as a number (int or real). Used by the
+// shredder to route leaf values to the numeric table (paper §2.2: "string
+// and numeric data").
+bool LooksNumeric(std::string_view s);
+
+// Tokenizes text into lowercase alphanumeric words for keyword indexing.
+// Characters outside [A-Za-z0-9] are treated as separators, except that
+// '.' and '-' are kept inside tokens when flanked by alphanumerics so that
+// EC numbers ("1.14.17.3") and accessions ("AMD-BOVIN") index as units.
+std::vector<std::string> TokenizeKeywords(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace xomatiq::common
+
+#endif  // XOMATIQ_COMMON_STRING_UTIL_H_

@@ -1,0 +1,293 @@
+#include "datagen/corpus.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace xomatiq::datagen {
+
+using common::Rng;
+using flatfile::EmblEntry;
+using flatfile::EmblFeature;
+using flatfile::EmblQualifier;
+using flatfile::EnzymeEntry;
+using flatfile::SwissProtEntry;
+
+namespace {
+
+const std::vector<std::string>& EnzymeActions() {
+  static const auto* kWords = new std::vector<std::string>{
+      "dehydrogenase", "kinase",      "oxidase",    "monooxygenase",
+      "transferase",   "hydrolase",   "ligase",     "isomerase",
+      "reductase",     "synthase",    "peptidase",  "phosphatase",
+      "carboxylase",   "decarboxylase",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& Substrates() {
+  static const auto* kWords = new std::vector<std::string>{
+      "alcohol",   "peptidylglycine", "glucose",  "pyruvate",
+      "alanine",   "glycerol",        "lactate",  "citrate",
+      "malate",    "glutamate",       "fructose", "succinate",
+      "histidine", "aspartate",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& Cofactors() {
+  static const auto* kWords = new std::vector<std::string>{
+      "Copper", "Zinc",     "Iron", "Magnesium",
+      "FAD",    "NAD",      "Heme", "Manganese",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& Species() {
+  static const auto* kWords = new std::vector<std::string>{
+      "BOVIN", "HUMAN", "RAT", "MOUSE", "XENLA", "YEAST", "ECOLI", "DROME",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& Organisms() {
+  static const auto* kWords = new std::vector<std::string>{
+      "Bos taurus (Bovine)",
+      "Homo sapiens (Human)",
+      "Rattus norvegicus (Rat)",
+      "Mus musculus (Mouse)",
+      "Xenopus laevis (African clawed frog)",
+      "Saccharomyces cerevisiae (Baker's yeast)",
+      "Escherichia coli",
+      "Drosophila melanogaster (Fruit fly)",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& GeneralKeywords() {
+  static const auto* kWords = new std::vector<std::string>{
+      "Oxidoreductase",   "Hydrolase",     "Metal-binding",
+      "Glycoprotein",     "Membrane",      "Signal",
+      "Zinc-finger",      "Transcription", "DNA-binding",
+      "Cell cycle",       "Repeat",        "Phosphorylation",
+  };
+  return *kWords;
+}
+
+std::string RandomSequence(Rng* rng, std::string_view alphabet, size_t n) {
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(alphabet[rng->Uniform(alphabet.size())]);
+  }
+  return out;
+}
+
+// Unique per index (the full index is embedded), random-looking prefix.
+std::string ProteinName(Rng* rng, size_t index) {
+  static constexpr char kLetters[] = "ABCDEFGHIKLMNPQRSTVWY";
+  std::string stem;
+  for (int i = 0; i < 3; ++i) {
+    stem.push_back(kLetters[rng->Uniform(sizeof(kLetters) - 1)]);
+  }
+  stem += std::to_string(index);
+  return stem;
+}
+
+}  // namespace
+
+Corpus GenerateCorpus(const CorpusOptions& options) {
+  Rng rng(options.seed);
+  Corpus corpus;
+
+  // --- enzymes ---------------------------------------------------------
+  corpus.enzymes.reserve(options.num_enzymes);
+  for (size_t i = 0; i < options.num_enzymes; ++i) {
+    EnzymeEntry e;
+    // Unique EC number: serial in the last position.
+    e.id = std::to_string(1 + rng.Uniform(6)) + "." +
+           std::to_string(1 + rng.Uniform(20)) + "." +
+           std::to_string(1 + rng.Uniform(30)) + "." + std::to_string(i + 1);
+    const std::string& action = rng.Pick(EnzymeActions());
+    const std::string& substrate = rng.Pick(Substrates());
+    e.descriptions.push_back(substrate + " " + action);
+    if (rng.Bernoulli(0.4)) {
+      e.alternate_names.push_back(rng.Pick(Substrates()) + " " +
+                                  rng.Pick(EnzymeActions()));
+    }
+    bool ketone = rng.Bernoulli(options.ketone_fraction);
+    std::string activity = substrate + " + NAD(+) = " +
+                           (ketone ? std::string("ketone body + NADH")
+                                   : rng.Pick(Substrates()) + " + NADH");
+    e.catalytic_activities.push_back(activity);
+    if (ketone) ++corpus.enzymes_with_ketone;
+    if (rng.Bernoulli(0.6)) e.cofactors.push_back(rng.Pick(Cofactors()));
+    if (rng.Bernoulli(0.5)) {
+      e.comments.push_back("Acts preferentially on " + rng.Pick(Substrates()) +
+                           " in the penultimate position.");
+    }
+    if (rng.Bernoulli(0.3)) {
+      e.prosite_refs.push_back(
+          common::StrFormat("PDOC%05d", static_cast<int>(rng.Uniform(99999))));
+    }
+    if (rng.Bernoulli(0.15)) {
+      EnzymeEntry::DiseaseRef disease;
+      disease.description =
+          rng.Pick(Substrates()) + " metabolism disorder";
+      disease.mim_id = std::to_string(100000 + rng.Uniform(900000));
+      e.diseases.push_back(std::move(disease));
+    }
+    corpus.enzymes.push_back(std::move(e));
+  }
+
+  // --- Swiss-Prot proteins ---------------------------------------------
+  corpus.proteins.reserve(options.num_proteins);
+  for (size_t i = 0; i < options.num_proteins; ++i) {
+    SwissProtEntry p;
+    size_t species_idx = rng.Uniform(Species().size());
+    p.id = ProteinName(&rng, i) + "_" + Species()[species_idx];
+    p.status = "STANDARD";
+    p.accessions.push_back(
+        common::StrFormat("P%05d", static_cast<int>(10000 + i)));
+    p.organism = Organisms()[species_idx];
+    p.sequence = RandomSequence(&rng, "ACDEFGHIKLMNPQRSTVWY",
+                                options.protein_length);
+    p.length = p.sequence.size();
+
+    bool keyword = rng.Bernoulli(options.keyword_fraction);
+    if (keyword) ++corpus.proteins_with_keyword;
+    // Link ~60% of proteins to an enzyme; the enzyme links back so the
+    // ENZYME DR lines form a consistent bipartite graph.
+    if (!corpus.enzymes.empty() && rng.Bernoulli(0.6)) {
+      EnzymeEntry& enzyme = corpus.enzymes[rng.Uniform(corpus.enzymes.size())];
+      p.description = enzyme.descriptions.front() + " (EC " + enzyme.id + ")";
+      p.xrefs.push_back({"ENZYME", enzyme.id, ""});
+      enzyme.swissprot_refs.push_back({p.accessions.front(), p.id});
+    } else {
+      p.description = rng.Pick(Substrates()) + " binding protein";
+    }
+    if (keyword) {
+      p.description += " involved in " + options.planted_keyword +
+                       " dependent replication licensing";
+      p.keywords.push_back(options.planted_keyword);
+      p.gene_names.push_back(common::AsciiToLower(options.planted_keyword));
+    } else if (rng.Bernoulli(0.7)) {
+      p.gene_names.push_back(common::AsciiToLower(ProteinName(&rng, i)));
+    }
+    p.keywords.push_back(rng.Pick(GeneralKeywords()));
+    if (rng.Bernoulli(0.4)) p.keywords.push_back(rng.Pick(GeneralKeywords()));
+    if (rng.Bernoulli(0.5)) {
+      p.comments.push_back("FUNCTION: catalyzes the conversion of " +
+                           rng.Pick(Substrates()) + ".");
+    }
+    corpus.proteins.push_back(std::move(p));
+  }
+
+  // --- EMBL nucleotide entries ------------------------------------------
+  corpus.nucleotides.reserve(options.num_nucleotides);
+  for (size_t i = 0; i < options.num_nucleotides; ++i) {
+    EmblEntry n;
+    n.id = common::StrFormat("AB%06d", static_cast<int>(i + 1));
+    n.division = options.embl_division;
+    n.molecule = "DNA";
+    n.accessions.push_back(n.id);
+    size_t organism_idx = rng.Uniform(Organisms().size());
+    n.organism = Organisms()[organism_idx];
+    n.sequence = RandomSequence(&rng, "acgt", options.nucleotide_length);
+
+    bool keyword = rng.Bernoulli(options.keyword_fraction);
+    if (keyword) ++corpus.nucleotides_with_keyword;
+    bool ec_link =
+        !corpus.enzymes.empty() && rng.Bernoulli(options.ec_link_fraction);
+
+    EmblFeature source;
+    source.key = "source";
+    source.location = "1.." + std::to_string(n.sequence.size());
+    source.qualifiers.push_back({"organism", n.organism});
+    n.features.push_back(std::move(source));
+
+    EmblFeature cds;
+    cds.key = "CDS";
+    size_t start = 1 + rng.Uniform(20);
+    cds.location = std::to_string(start) + ".." +
+                   std::to_string(start + 3 * (n.sequence.size() / 4));
+    if (ec_link) {
+      const EnzymeEntry& enzyme =
+          corpus.enzymes[rng.Uniform(corpus.enzymes.size())];
+      cds.qualifiers.push_back({"EC_number", enzyme.id});
+      n.description = "gene for " + enzyme.descriptions.front();
+      ++corpus.nucleotides_with_ec_link;
+    } else {
+      n.description = rng.Pick(Substrates()) + " gene, partial cds";
+    }
+    if (!corpus.proteins.empty() && rng.Bernoulli(0.5)) {
+      const SwissProtEntry& protein =
+          corpus.proteins[rng.Uniform(corpus.proteins.size())];
+      cds.qualifiers.push_back(
+          {"db_xref", "SWISS-PROT:" + protein.accessions.front()});
+      n.xrefs.push_back({"SWISS-PROT", protein.accessions.front(),
+                         protein.id});
+    }
+    if (keyword) {
+      cds.qualifiers.push_back(
+          {"gene", common::AsciiToLower(options.planted_keyword)});
+      n.keywords.push_back(options.planted_keyword);
+      n.description += "; cell division cycle protein " +
+                       options.planted_keyword;
+    }
+    n.features.push_back(std::move(cds));
+    if (rng.Bernoulli(0.5)) n.keywords.push_back(rng.Pick(GeneralKeywords()));
+    corpus.nucleotides.push_back(std::move(n));
+  }
+
+  return corpus;
+}
+
+std::string ToEnzymeFlatFile(const Corpus& corpus) {
+  std::string out;
+  for (const EnzymeEntry& e : corpus.enzymes) {
+    out += flatfile::FormatEnzymeEntry(e);
+  }
+  return out;
+}
+
+std::string ToSwissProtFlatFile(const Corpus& corpus) {
+  std::string out;
+  for (const SwissProtEntry& p : corpus.proteins) {
+    out += flatfile::FormatSwissProtEntry(p);
+  }
+  return out;
+}
+
+std::string ToEmblFlatFile(const Corpus& corpus) {
+  std::string out;
+  for (const EmblEntry& n : corpus.nucleotides) {
+    out += flatfile::FormatEmblEntry(n);
+  }
+  return out;
+}
+
+flatfile::EnzymeEntry Figure2Entry() {
+  flatfile::EnzymeEntry e;
+  e.id = "1.14.17.3";
+  e.descriptions = {"Peptidylglycine monooxygenase"};
+  e.alternate_names = {"Peptidyl alpha-amidating enzyme",
+                       "Peptidylglycine 2-hydroxylase"};
+  e.catalytic_activities = {
+      "Peptidylglycine + ascorbate + O(2) = peptidyl(2-hydroxyglycine) +",
+      "dehydroascorbate + H(2)O"};
+  e.cofactors = {"Copper"};
+  e.comments = {
+      "Peptidylglycines with a neutral amino acid residue in the "
+      "penultimate position are the best substrates for the enzyme.",
+      "The enzyme also catalyzes the dismutatation of the product to "
+      "glyoxylate and the corresponding desglycine peptide amide."};
+  e.prosite_refs = {"PDOC00080"};
+  e.swissprot_refs = {{"P10731", "AMD_BOVIN"},
+                      {"P19021", "AMD_HUMAN"},
+                      {"P14925", "AMD_RAT"},
+                      {"P08478", "AMD1_XENLA"},
+                      {"P12890", "AMD2_XENLA"}};
+  return e;
+}
+
+}  // namespace xomatiq::datagen

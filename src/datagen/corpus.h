@@ -1,0 +1,75 @@
+#ifndef XOMATIQ_DATAGEN_CORPUS_H_
+#define XOMATIQ_DATAGEN_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flatfile/embl.h"
+#include "flatfile/enzyme.h"
+#include "flatfile/swissprot.h"
+
+namespace xomatiq::datagen {
+
+// Knobs for the synthetic ENZYME / Swiss-Prot / EMBL corpus. The corpus
+// substitutes for the paper's live database downloads (DESIGN.md): sizes,
+// keyword selectivities and cross-database link density are controlled so
+// every reproduced query has verifiable expected results and benchmarks
+// can sweep scale.
+struct CorpusOptions {
+  uint64_t seed = 42;
+
+  size_t num_enzymes = 100;
+  size_t num_proteins = 200;     // Swiss-Prot
+  size_t num_nucleotides = 300;  // EMBL
+
+  // Fraction of Swiss-Prot / EMBL entries that mention the planted
+  // keyword (paper Fig 8 searches "cdc6" across both databases).
+  double keyword_fraction = 0.05;
+  std::string planted_keyword = "cdc6";
+
+  // Fraction of enzymes whose catalytic activity mentions "ketone"
+  // (paper Fig 7a / Fig 9 sub-tree query).
+  double ketone_fraction = 0.10;
+
+  // Fraction of EMBL entries carrying an /EC_number qualifier that joins
+  // to a generated enzyme (paper Fig 10/11 join query).
+  double ec_link_fraction = 0.50;
+
+  // Residue counts for generated sequences.
+  size_t nucleotide_length = 240;
+  size_t protein_length = 180;
+
+  // EMBL division tag for generated entries ("INV" in the paper's
+  // hlx_embl.inv collection).
+  std::string embl_division = "INV";
+};
+
+struct Corpus {
+  std::vector<flatfile::EnzymeEntry> enzymes;
+  std::vector<flatfile::SwissProtEntry> proteins;
+  std::vector<flatfile::EmblEntry> nucleotides;
+
+  // Ground truth for verifying reproduced queries.
+  size_t proteins_with_keyword = 0;
+  size_t nucleotides_with_keyword = 0;
+  size_t enzymes_with_ketone = 0;
+  size_t nucleotides_with_ec_link = 0;
+};
+
+// Generates a deterministic, cross-linked corpus.
+Corpus GenerateCorpus(const CorpusOptions& options);
+
+// Flat-file renderings (concatenated entries), as fetched by the paper's
+// Data Hounds transport stage.
+std::string ToEnzymeFlatFile(const Corpus& corpus);
+std::string ToSwissProtFlatFile(const Corpus& corpus);
+std::string ToEmblFlatFile(const Corpus& corpus);
+
+// The exact ENZYME entry of the paper's Fig 2 (EC 1.14.17.3,
+// peptidylglycine monooxygenase) for artifact regeneration.
+flatfile::EnzymeEntry Figure2Entry();
+
+}  // namespace xomatiq::datagen
+
+#endif  // XOMATIQ_DATAGEN_CORPUS_H_

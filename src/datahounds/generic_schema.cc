@@ -1,0 +1,146 @@
+#include "datahounds/generic_schema.h"
+
+namespace xomatiq::hounds {
+
+using common::Status;
+using rel::Column;
+using rel::Database;
+using rel::IndexDef;
+using rel::IndexKind;
+using rel::Schema;
+using rel::ValueType;
+
+namespace {
+
+Status EnsureTable(Database* db, const std::string& name,
+                   std::vector<Column> columns) {
+  if (db->HasTable(name)) return Status::OK();
+  return db->CreateTable(name, Schema(std::move(columns)));
+}
+
+Status EnsureIndex(Database* db, IndexDef def) {
+  if (db->FindIndexByName(def.name) != nullptr) return Status::OK();
+  return db->CreateIndex(def);
+}
+
+struct IndexSpec {
+  const char* name;
+  const char* table;
+  std::vector<std::string> columns;
+  IndexKind kind;
+  bool unique;
+};
+
+const std::vector<IndexSpec>& IndexSpecs() {
+  static const auto* kSpecs = new std::vector<IndexSpec>{
+      {"idx_doc_id", kDocumentTable, {"doc_id"}, IndexKind::kHash, true},
+      {"idx_doc_collection", kDocumentTable, {"collection"},
+       IndexKind::kBTree, false},
+      {"idx_doc_uri", kDocumentTable, {"uri"}, IndexKind::kHash, true},
+      {"idx_name_text", kNameTable, {"name"}, IndexKind::kHash, true},
+      {"idx_name_id", kNameTable, {"name_id"}, IndexKind::kHash, true},
+      {"idx_path_text", kPathTable, {"path"}, IndexKind::kHash, true},
+      {"idx_path_id", kPathTable, {"path_id"}, IndexKind::kHash, true},
+      {"idx_node_id", kNodeTable, {"node_id"}, IndexKind::kHash, true},
+      {"idx_node_path", kNodeTable, {"path_id"}, IndexKind::kBTree, false},
+      {"idx_node_parent", kNodeTable, {"parent_id"}, IndexKind::kBTree,
+       false},
+      {"idx_node_doc_ord", kNodeTable, {"doc_id", "ordinal"},
+       IndexKind::kBTree, false},
+      {"idx_text_node", kTextTable, {"node_id"}, IndexKind::kHash, false},
+      {"idx_text_value", kTextTable, {"value"}, IndexKind::kBTree, false},
+      {"idx_text_keyword", kTextTable, {"value"}, IndexKind::kInverted,
+       false},
+      {"idx_number_node", kNumberTable, {"node_id"}, IndexKind::kHash,
+       false},
+      {"idx_number_value", kNumberTable, {"value"}, IndexKind::kBTree,
+       false},
+      {"idx_sequence_node", kSequenceTable, {"node_id"}, IndexKind::kHash,
+       false},
+      {"idx_collection_name", kCollectionTable, {"collection"},
+       IndexKind::kHash, true},
+  };
+  return *kSpecs;
+}
+
+}  // namespace
+
+Status EnsureGenericTables(Database* db) {
+  XQ_RETURN_IF_ERROR(EnsureTable(
+      db, kDocumentTable,
+      {{"doc_id", ValueType::kInt, true},
+       {"collection", ValueType::kText, true},
+       {"uri", ValueType::kText, true},
+       {"root_node", ValueType::kInt, false},
+       {"content_hash", ValueType::kInt, false}}));
+  XQ_RETURN_IF_ERROR(EnsureTable(db, kNameTable,
+                                 {{"name_id", ValueType::kInt, true},
+                                  {"name", ValueType::kText, true}}));
+  XQ_RETURN_IF_ERROR(EnsureTable(db, kPathTable,
+                                 {{"path_id", ValueType::kInt, true},
+                                  {"path", ValueType::kText, true}}));
+  XQ_RETURN_IF_ERROR(EnsureTable(
+      db, kNodeTable,
+      {{"doc_id", ValueType::kInt, true},
+       {"node_id", ValueType::kInt, true},
+       {"parent_id", ValueType::kInt, true},
+       {"kind", ValueType::kInt, true},
+       {"name_id", ValueType::kInt, true},
+       {"path_id", ValueType::kInt, true},
+       {"ordinal", ValueType::kInt, true},
+       {"end_ordinal", ValueType::kInt, true},
+       {"sibling_pos", ValueType::kInt, true},
+       {"depth", ValueType::kInt, true},
+       // 1-based rank among same-name siblings; backs positional
+       // predicates like reference[2] (order as data, §2.2).
+       {"name_pos", ValueType::kInt, true}}));
+  XQ_RETURN_IF_ERROR(EnsureTable(db, kTextTable,
+                                 {{"node_id", ValueType::kInt, true},
+                                  {"doc_id", ValueType::kInt, true},
+                                  {"value", ValueType::kText, true}}));
+  XQ_RETURN_IF_ERROR(EnsureTable(db, kNumberTable,
+                                 {{"node_id", ValueType::kInt, true},
+                                  {"doc_id", ValueType::kInt, true},
+                                  {"value", ValueType::kDouble, true}}));
+  XQ_RETURN_IF_ERROR(EnsureTable(db, kSequenceTable,
+                                 {{"node_id", ValueType::kInt, true},
+                                  {"doc_id", ValueType::kInt, true},
+                                  {"residues", ValueType::kText, true},
+                                  {"length", ValueType::kInt, true}}));
+  XQ_RETURN_IF_ERROR(EnsureTable(db, kCollectionTable,
+                                 {{"collection", ValueType::kText, true},
+                                  {"root_element", ValueType::kText, true},
+                                  {"dtd", ValueType::kText, false},
+                                  {"source", ValueType::kText, false}}));
+  return Status::OK();
+}
+
+Status EnsureGenericIndexes(Database* db) {
+  for (const IndexSpec& spec : IndexSpecs()) {
+    IndexDef def;
+    def.name = spec.name;
+    def.table = spec.table;
+    def.columns = spec.columns;
+    def.kind = spec.kind;
+    def.unique = spec.unique;
+    XQ_RETURN_IF_ERROR(EnsureIndex(db, def));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> GenericIndexNames() {
+  std::vector<std::string> names;
+  for (const IndexSpec& spec : IndexSpecs()) names.push_back(spec.name);
+  return names;
+}
+
+Status DropGenericIndexes(Database* db) {
+  for (const IndexSpec& spec : IndexSpecs()) {
+    if (db->FindIndexByName(spec.name) != nullptr) {
+      XQ_RETURN_IF_ERROR(db->DropIndex(spec.name));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xomatiq::hounds

@@ -1,0 +1,50 @@
+#ifndef XOMATIQ_DATAHOUNDS_GENERIC_SCHEMA_H_
+#define XOMATIQ_DATAHOUNDS_GENERIC_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace xomatiq::hounds {
+
+// Table names of the generic XML-shredding schema (paper §2.2: "the XML
+// documents are modeled by a generic relational schema, independent of any
+// particular instance of XML data"). See DESIGN.md for the full layout.
+inline constexpr char kDocumentTable[] = "xml_document";
+inline constexpr char kNameTable[] = "xml_name";
+inline constexpr char kPathTable[] = "xml_path";
+inline constexpr char kNodeTable[] = "xml_node";
+inline constexpr char kTextTable[] = "xml_text";
+inline constexpr char kNumberTable[] = "xml_number";
+inline constexpr char kSequenceTable[] = "xml_sequence";
+inline constexpr char kCollectionTable[] = "xq_collections";
+
+// Node kinds stored in xml_node.kind. Document order is captured by
+// (ordinal, end_ordinal) interval encoding: descendant(b, a) iff
+// a.ordinal < b.ordinal <= a.end_ordinal (Zhang et al. containment join,
+// which the paper cites as its implementation basis).
+inline constexpr int64_t kKindElement = 1;
+inline constexpr int64_t kKindAttribute = 2;
+
+// Sentinel parent_id of each document's root element.
+inline constexpr int64_t kNoParent = -1;
+
+// Creates the generic schema tables when absent. Idempotent.
+common::Status EnsureGenericTables(rel::Database* db);
+
+// Creates the production index set (the §3.2 "set of indexes created by
+// meticulous analysis of the query plans"). Idempotent.
+common::Status EnsureGenericIndexes(rel::Database* db);
+
+// Names of all generic-schema indexes (used by the index-ablation bench
+// to drop/recreate individual indexes).
+std::vector<std::string> GenericIndexNames();
+
+// Drops every generic-schema index that exists.
+common::Status DropGenericIndexes(rel::Database* db);
+
+}  // namespace xomatiq::hounds
+
+#endif  // XOMATIQ_DATAHOUNDS_GENERIC_SCHEMA_H_

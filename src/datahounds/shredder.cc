@@ -1,0 +1,404 @@
+#include "datahounds/shredder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "datahounds/generic_schema.h"
+
+namespace xomatiq::hounds {
+
+using common::Result;
+using common::Status;
+using rel::RowId;
+using rel::Tuple;
+using rel::Value;
+using xml::NodeKind;
+using xml::XmlDocument;
+using xml::XmlNode;
+
+// Column positions follow the table definitions in generic_schema.cc.
+namespace {
+constexpr size_t kNodeDocId = 0;
+constexpr size_t kNodeNodeId = 1;
+constexpr size_t kNodeParentId = 2;
+constexpr size_t kNodeKind = 3;
+constexpr size_t kNodeNameId = 4;
+constexpr size_t kNodeOrdinal = 6;
+constexpr size_t kValueNodeId = 0;
+constexpr size_t kValueValue = 2;
+constexpr size_t kSeqResidues = 2;
+}  // namespace
+
+Status Shredder::Init() {
+  name_ids_.clear();
+  path_ids_.clear();
+  next_doc_id_ = 1;
+  next_node_id_ = 1;
+  XQ_ASSIGN_OR_RETURN(const rel::Table* names, db_->GetTable(kNameTable));
+  names->Scan([&](RowId, const Tuple& t) {
+    name_ids_[t[1].AsText()] = t[0].AsInt();
+    return true;
+  });
+  XQ_ASSIGN_OR_RETURN(const rel::Table* paths, db_->GetTable(kPathTable));
+  paths->Scan([&](RowId, const Tuple& t) {
+    path_ids_[t[1].AsText()] = t[0].AsInt();
+    return true;
+  });
+  XQ_ASSIGN_OR_RETURN(const rel::Table* docs, db_->GetTable(kDocumentTable));
+  docs->Scan([&](RowId, const Tuple& t) {
+    next_doc_id_ = std::max(next_doc_id_, t[0].AsInt() + 1);
+    return true;
+  });
+  XQ_ASSIGN_OR_RETURN(const rel::Table* nodes, db_->GetTable(kNodeTable));
+  nodes->Scan([&](RowId, const Tuple& t) {
+    next_node_id_ = std::max(next_node_id_, t[kNodeNodeId].AsInt() + 1);
+    return true;
+  });
+  return Status::OK();
+}
+
+Result<int64_t> Shredder::InternName(const std::string& name) {
+  auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  int64_t id = static_cast<int64_t>(name_ids_.size()) + 1;
+  XQ_RETURN_IF_ERROR(
+      db_->Insert(kNameTable, {Value::Int(id), Value::Text(name)}).status());
+  name_ids_[name] = id;
+  return id;
+}
+
+Result<int64_t> Shredder::InternPath(const std::string& path) {
+  auto it = path_ids_.find(path);
+  if (it != path_ids_.end()) return it->second;
+  int64_t id = static_cast<int64_t>(path_ids_.size()) + 1;
+  XQ_RETURN_IF_ERROR(
+      db_->Insert(kPathTable, {Value::Int(id), Value::Text(path)}).status());
+  path_ids_[path] = id;
+  return id;
+}
+
+Status Shredder::ShredElement(const XmlNode& element,
+                              const std::string& parent_path, int64_t doc_id,
+                              int64_t parent_id, int64_t sibling_pos,
+                              int64_t name_pos, int64_t depth,
+                              const std::set<std::string>& sequence_elements,
+                              int64_t* ordinal, ShredStats* stats) {
+  const std::string path = parent_path + "/" + element.name();
+  XQ_ASSIGN_OR_RETURN(int64_t name_id, InternName(element.name()));
+  XQ_ASSIGN_OR_RETURN(int64_t path_id, InternPath(path));
+  const int64_t my_ordinal = (*ordinal)++;
+  const int64_t node_id = next_node_id_++;
+  ++stats->nodes;
+
+  // Store a leaf value. Every value keeps its exact text (lossless
+  // reconstruction); numeric-looking values get a typed projection.
+  auto store_value = [&](int64_t value_node, const std::string& text,
+                         bool as_sequence) -> Status {
+    if (as_sequence) {
+      XQ_RETURN_IF_ERROR(db_->Insert(kSequenceTable,
+                                     {Value::Int(value_node),
+                                      Value::Int(doc_id), Value::Text(text),
+                                      Value::Int(static_cast<int64_t>(
+                                          text.size()))})
+                             .status());
+      ++stats->sequence_values;
+      return Status::OK();
+    }
+    XQ_RETURN_IF_ERROR(db_->Insert(kTextTable,
+                                   {Value::Int(value_node), Value::Int(doc_id),
+                                    Value::Text(text)})
+                           .status());
+    ++stats->text_values;
+    if (auto number = common::ParseDouble(text)) {
+      XQ_RETURN_IF_ERROR(db_->Insert(kNumberTable,
+                                     {Value::Int(value_node),
+                                      Value::Int(doc_id),
+                                      Value::Double(*number)})
+                             .status());
+      ++stats->numeric_values;
+    }
+    return Status::OK();
+  };
+
+  // Attributes come right after their element in document order.
+  int64_t attr_pos = 0;
+  for (const xml::XmlAttribute& attr : element.attributes()) {
+    XQ_ASSIGN_OR_RETURN(int64_t attr_name_id, InternName(attr.name));
+    XQ_ASSIGN_OR_RETURN(int64_t attr_path_id,
+                        InternPath(path + "/@" + attr.name));
+    int64_t attr_ordinal = (*ordinal)++;
+    int64_t attr_node_id = next_node_id_++;
+    XQ_RETURN_IF_ERROR(
+        db_->Insert(kNodeTable,
+                    {Value::Int(doc_id), Value::Int(attr_node_id),
+                     Value::Int(node_id), Value::Int(kKindAttribute),
+                     Value::Int(attr_name_id), Value::Int(attr_path_id),
+                     Value::Int(attr_ordinal), Value::Int(attr_ordinal),
+                     Value::Int(attr_pos), Value::Int(depth + 1),
+                     Value::Int(attr_pos + 1)})
+            .status());
+    ++attr_pos;
+    ++stats->attributes;
+    XQ_RETURN_IF_ERROR(store_value(attr_node_id, attr.value, false));
+  }
+
+  // Classify content.
+  std::string text;
+  bool has_element_children = false;
+  for (const auto& child : element.children()) {
+    if (child->kind() == NodeKind::kElement) {
+      has_element_children = true;
+    } else if (child->kind() == NodeKind::kText) {
+      text += child->value();
+    }
+  }
+  if (has_element_children &&
+      !common::StripWhitespace(text).empty()) {
+    return Status::Unsupported(
+        "mixed content in <" + element.name() +
+        "> is not supported by the shredder (data-centric XML only)");
+  }
+
+  if (has_element_children) {
+    int64_t child_pos = 0;
+    std::unordered_map<std::string, int64_t> name_counts;
+    for (const auto& child : element.children()) {
+      if (child->kind() != NodeKind::kElement) continue;
+      int64_t child_name_pos = ++name_counts[child->name()];
+      XQ_RETURN_IF_ERROR(ShredElement(*child, path, doc_id, node_id,
+                                      child_pos++, child_name_pos, depth + 1,
+                                      sequence_elements, ordinal, stats));
+    }
+  } else if (!text.empty()) {
+    XQ_RETURN_IF_ERROR(store_value(
+        node_id, text, sequence_elements.count(element.name()) > 0));
+  }
+
+  const int64_t end_ordinal = *ordinal - 1;
+  return db_
+      ->Insert(kNodeTable,
+               {Value::Int(doc_id), Value::Int(node_id),
+                Value::Int(parent_id), Value::Int(kKindElement),
+                Value::Int(name_id), Value::Int(path_id),
+                Value::Int(my_ordinal), Value::Int(end_ordinal),
+                Value::Int(sibling_pos), Value::Int(depth),
+                Value::Int(name_pos)})
+      .status();
+}
+
+Result<Shredder::ShredStats> Shredder::ShredDocument(
+    const XmlDocument& doc, const std::string& collection,
+    const std::string& uri, const std::set<std::string>& sequence_elements,
+    int64_t content_hash) {
+  const XmlNode* root = doc.root();
+  if (root == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  ShredStats stats;
+  stats.doc_id = next_doc_id_++;
+  int64_t ordinal = 1;
+  int64_t root_node_id = next_node_id_;  // root is created first
+  // The document row goes in first: a duplicate uri then fails on the
+  // unique index before any node/value rows exist (no orphans).
+  XQ_RETURN_IF_ERROR(
+      db_->Insert(kDocumentTable,
+                  {Value::Int(stats.doc_id), Value::Text(collection),
+                   Value::Text(uri), Value::Int(root_node_id),
+                   Value::Int(content_hash)})
+          .status());
+  XQ_RETURN_IF_ERROR(ShredElement(*root, "", stats.doc_id, kNoParent,
+                                  /*sibling_pos=*/0, /*name_pos=*/1,
+                                  /*depth=*/0, sequence_elements, &ordinal,
+                                  &stats));
+  return stats;
+}
+
+namespace {
+
+// Rows of `table` whose `node_id` column equals `node_id`; uses the hash
+// index when present, else scans (keeps working mid index ablation).
+Result<std::vector<Tuple>> RowsForNode(rel::Database* db,
+                                       const std::string& table,
+                                       const std::string& index_name,
+                                       int64_t node_id) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* t, db->GetTable(table));
+  std::vector<Tuple> rows;
+  const rel::IndexEntry* idx = db->FindIndexByName(index_name);
+  if (idx != nullptr) {
+    const std::vector<RowId>* found =
+        idx->hash->Lookup({Value::Int(node_id)});
+    if (found != nullptr) {
+      for (RowId row : *found) {
+        XQ_ASSIGN_OR_RETURN(const Tuple* tuple, t->Get(row));
+        rows.push_back(*tuple);
+      }
+    }
+    return rows;
+  }
+  t->Scan([&](RowId, const Tuple& tuple) {
+    if (tuple[kValueNodeId].AsInt() == node_id) rows.push_back(tuple);
+    return true;
+  });
+  return rows;
+}
+
+// RowIds of `table` rows whose `node_id` matches (for deletes).
+Result<std::vector<RowId>> RowIdsForNode(rel::Database* db,
+                                         const std::string& table,
+                                         const std::string& index_name,
+                                         int64_t node_id) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* t, db->GetTable(table));
+  std::vector<RowId> rows;
+  const rel::IndexEntry* idx = db->FindIndexByName(index_name);
+  if (idx != nullptr) {
+    const std::vector<RowId>* found =
+        idx->hash->Lookup({Value::Int(node_id)});
+    if (found != nullptr) rows = *found;
+    return rows;
+  }
+  t->Scan([&](RowId row, const Tuple& tuple) {
+    if (tuple[kValueNodeId].AsInt() == node_id) rows.push_back(row);
+    return true;
+  });
+  return rows;
+}
+
+// (RowId, tuple) of all xml_node rows of `doc_id`, ordered by ordinal.
+Result<std::vector<std::pair<RowId, Tuple>>> DocNodes(rel::Database* db,
+                                                      int64_t doc_id) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* nodes, db->GetTable(kNodeTable));
+  std::vector<std::pair<RowId, Tuple>> out;
+  const rel::IndexEntry* idx = db->FindIndexByName("idx_node_doc_ord");
+  common::Status status;
+  if (idx != nullptr) {
+    idx->btree->ScanPrefix(
+        {Value::Int(doc_id)},
+        [&](const rel::CompositeKey&, const std::vector<RowId>& rows) {
+          for (RowId row : rows) {
+            auto tuple = nodes->Get(row);
+            if (!tuple.ok()) {
+              status = tuple.status();
+              return false;
+            }
+            out.emplace_back(row, **tuple);
+          }
+          return true;
+        });
+    XQ_RETURN_IF_ERROR(status);
+    return out;
+  }
+  nodes->Scan([&](RowId row, const Tuple& tuple) {
+    if (tuple[kNodeDocId].AsInt() == doc_id) out.emplace_back(row, tuple);
+    return true;
+  });
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second[kNodeOrdinal].AsInt() < b.second[kNodeOrdinal].AsInt();
+  });
+  return out;
+}
+
+}  // namespace
+
+Status Shredder::DeleteDocument(int64_t doc_id) {
+  XQ_ASSIGN_OR_RETURN(auto nodes, DocNodes(db_, doc_id));
+  for (const auto& [row, tuple] : nodes) {
+    int64_t node_id = tuple[kNodeNodeId].AsInt();
+    for (const auto& [table, index] :
+         std::initializer_list<std::pair<const char*, const char*>>{
+             {kTextTable, "idx_text_node"},
+             {kNumberTable, "idx_number_node"},
+             {kSequenceTable, "idx_sequence_node"}}) {
+      XQ_ASSIGN_OR_RETURN(std::vector<RowId> value_rows,
+                          RowIdsForNode(db_, table, index, node_id));
+      for (RowId value_row : value_rows) {
+        XQ_RETURN_IF_ERROR(db_->Delete(table, value_row));
+      }
+    }
+    XQ_RETURN_IF_ERROR(db_->Delete(kNodeTable, row));
+  }
+  // Document row.
+  XQ_ASSIGN_OR_RETURN(const rel::Table* docs, db_->GetTable(kDocumentTable));
+  std::vector<RowId> doc_rows;
+  docs->Scan([&](RowId row, const Tuple& tuple) {
+    if (tuple[0].AsInt() == doc_id) doc_rows.push_back(row);
+    return true;
+  });
+  if (doc_rows.empty()) {
+    return Status::NotFound("no document with id " + std::to_string(doc_id));
+  }
+  for (RowId row : doc_rows) {
+    XQ_RETURN_IF_ERROR(db_->Delete(kDocumentTable, row));
+  }
+  return Status::OK();
+}
+
+Result<XmlDocument> Shredder::ReconstructDocument(int64_t doc_id) {
+  // Reverse name dictionary.
+  std::unordered_map<int64_t, std::string> names;
+  XQ_ASSIGN_OR_RETURN(const rel::Table* name_table, db_->GetTable(kNameTable));
+  name_table->Scan([&](RowId, const Tuple& t) {
+    names[t[0].AsInt()] = t[1].AsText();
+    return true;
+  });
+
+  XQ_ASSIGN_OR_RETURN(auto rows, DocNodes(db_, doc_id));
+  if (rows.empty()) {
+    return Status::NotFound("no document with id " + std::to_string(doc_id));
+  }
+
+  XmlDocument doc;
+  std::unordered_map<int64_t, XmlNode*> by_id;
+  for (const auto& [row, tuple] : rows) {
+    int64_t node_id = tuple[kNodeNodeId].AsInt();
+    int64_t parent_id = tuple[kNodeParentId].AsInt();
+    int64_t kind = tuple[kNodeKind].AsInt();
+    auto name_it = names.find(tuple[kNodeNameId].AsInt());
+    if (name_it == names.end()) {
+      return Status::Corruption("dangling name_id in xml_node");
+    }
+    const std::string& name = name_it->second;
+
+    if (kind == kKindAttribute) {
+      auto parent_it = by_id.find(parent_id);
+      if (parent_it == by_id.end()) {
+        return Status::Corruption("attribute before its element");
+      }
+      XQ_ASSIGN_OR_RETURN(
+          std::vector<Tuple> values,
+          RowsForNode(db_, kTextTable, "idx_text_node", node_id));
+      std::string value;
+      if (!values.empty()) value = values.front()[kValueValue].AsText();
+      parent_it->second->AddAttribute(name, std::move(value));
+      continue;
+    }
+    XmlNode* element;
+    if (parent_id == kNoParent) {
+      element = doc.CreateRoot(name);
+      doc.set_doctype_name(name);
+    } else {
+      auto parent_it = by_id.find(parent_id);
+      if (parent_it == by_id.end()) {
+        return Status::Corruption("child before its parent in ordinal order");
+      }
+      element = parent_it->second->AddElement(name);
+    }
+    by_id[node_id] = element;
+    // Leaf value, if any: exact text from xml_text, or sequence residues.
+    XQ_ASSIGN_OR_RETURN(
+        std::vector<Tuple> text_rows,
+        RowsForNode(db_, kTextTable, "idx_text_node", node_id));
+    if (!text_rows.empty()) {
+      element->AddText(text_rows.front()[kValueValue].AsText());
+      continue;
+    }
+    XQ_ASSIGN_OR_RETURN(
+        std::vector<Tuple> seq_rows,
+        RowsForNode(db_, kSequenceTable, "idx_sequence_node", node_id));
+    if (!seq_rows.empty()) {
+      element->AddText(seq_rows.front()[kSeqResidues].AsText());
+    }
+  }
+  return doc;
+}
+
+}  // namespace xomatiq::hounds

@@ -1,0 +1,82 @@
+#ifndef XOMATIQ_DATAHOUNDS_SHREDDER_H_
+#define XOMATIQ_DATAHOUNDS_SHREDDER_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "xml/dom.h"
+
+namespace xomatiq::hounds {
+
+// XML2Relational-Transformer (paper §2.2): loads XML documents into the
+// generic relational schema and reconstructs them back.
+//
+// Design decisions mirrored from the paper:
+//   - document order as data: pre-order `ordinal` plus subtree
+//     `end_ordinal` per node (interval containment);
+//   - string vs numeric data: every leaf value lands in xml_text (lossless
+//     reconstruction); values that parse as numbers are additionally
+//     projected into xml_number for typed comparisons;
+//   - sequence vs non-sequence data: elements named in
+//     `sequence_elements` are stored in xml_sequence and excluded from the
+//     keyword index (no tokenizing DNA);
+//   - keyword search: xml_text carries an inverted index.
+//
+// Restriction: mixed content (text interleaved with child elements) is
+// rejected — the Data Hounds transformers only emit data-centric XML.
+class Shredder {
+ public:
+  explicit Shredder(rel::Database* db) : db_(db) {}
+
+  // Loads dictionaries and id counters from existing tables. Must be
+  // called once after the generic tables exist (re-callable after reopen).
+  common::Status Init();
+
+  struct ShredStats {
+    int64_t doc_id = 0;
+    size_t nodes = 0;
+    size_t attributes = 0;
+    size_t text_values = 0;
+    size_t numeric_values = 0;
+    size_t sequence_values = 0;
+  };
+
+  // Shreds one document into the store under `collection`/`uri`.
+  common::Result<ShredStats> ShredDocument(
+      const xml::XmlDocument& doc, const std::string& collection,
+      const std::string& uri, const std::set<std::string>& sequence_elements,
+      int64_t content_hash);
+
+  // Removes every row belonging to `doc_id`.
+  common::Status DeleteDocument(int64_t doc_id);
+
+  // Rebuilds the full document from tuples, order preserved
+  // (Relation2XML's "expensive reconstruction" path, §3.3).
+  common::Result<xml::XmlDocument> ReconstructDocument(int64_t doc_id);
+
+  int64_t next_doc_id() const { return next_doc_id_; }
+
+ private:
+  common::Result<int64_t> InternName(const std::string& name);
+  common::Result<int64_t> InternPath(const std::string& path);
+  common::Status ShredElement(const xml::XmlNode& element,
+                              const std::string& parent_path,
+                              int64_t doc_id, int64_t parent_id,
+                              int64_t sibling_pos, int64_t name_pos,
+                              int64_t depth,
+                              const std::set<std::string>& sequence_elements,
+                              int64_t* ordinal, ShredStats* stats);
+
+  rel::Database* db_;
+  int64_t next_doc_id_ = 1;
+  int64_t next_node_id_ = 1;
+  std::unordered_map<std::string, int64_t> name_ids_;
+  std::unordered_map<std::string, int64_t> path_ids_;
+};
+
+}  // namespace xomatiq::hounds
+
+#endif  // XOMATIQ_DATAHOUNDS_SHREDDER_H_

@@ -1,0 +1,240 @@
+#include "datahounds/warehouse.h"
+
+#include <unordered_map>
+
+#include "datahounds/generic_schema.h"
+#include "relational/serde.h"
+#include "xml/writer.h"
+
+namespace xomatiq::hounds {
+
+using common::Result;
+using common::Status;
+using rel::RowId;
+using rel::Tuple;
+using rel::Value;
+
+int64_t ContentHash(const xml::XmlDocument& doc) {
+  xml::WriteOptions options;
+  options.pretty = false;
+  options.declaration = false;
+  return static_cast<int64_t>(rel::Crc32(xml::WriteXml(doc, options)));
+}
+
+Result<std::unique_ptr<Warehouse>> Warehouse::Open(rel::Database* db) {
+  std::unique_ptr<Warehouse> warehouse(new Warehouse(db));
+  XQ_RETURN_IF_ERROR(EnsureGenericTables(db));
+  XQ_RETURN_IF_ERROR(EnsureGenericIndexes(db));
+  warehouse->shredder_ = std::make_unique<Shredder>(db);
+  XQ_RETURN_IF_ERROR(warehouse->shredder_->Init());
+  XQ_RETURN_IF_ERROR(warehouse->LoadCollectionsFromCatalog());
+  return warehouse;
+}
+
+Status Warehouse::LoadCollectionsFromCatalog() {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table,
+                      db_->GetTable(kCollectionTable));
+  Status status;
+  table->Scan([&](RowId, const Tuple& t) {
+    Collection c;
+    c.name = t[0].AsText();
+    c.root_element = t[1].AsText();
+    c.dtd_text = t[2].is_null() ? "" : t[2].AsText();
+    c.source = t[3].is_null() ? "" : t[3].AsText();
+    if (!c.dtd_text.empty()) {
+      auto dtd = xml::ParseDtd(c.dtd_text);
+      if (!dtd.ok()) {
+        status = dtd.status();
+        return false;
+      }
+      c.dtd = std::move(*dtd);
+    }
+    // Sequence-element sets are derived from the registered transformer at
+    // registration time; persist the convention (element named
+    // "sequence") for catalog-loaded collections.
+    c.sequence_elements = {"sequence"};
+    collections_[c.name] = std::move(c);
+    return true;
+  });
+  return status;
+}
+
+Status Warehouse::RegisterCollection(const std::string& collection,
+                                     const XmlTransformer& transformer) {
+  if (collections_.count(collection) > 0) return Status::OK();
+  Collection c;
+  c.name = collection;
+  c.root_element = transformer.root_element();
+  c.source = transformer.source_name();
+  c.dtd_text = transformer.dtd_text();
+  XQ_ASSIGN_OR_RETURN(c.dtd, xml::ParseDtd(c.dtd_text));
+  for (const std::string& name : transformer.sequence_elements()) {
+    c.sequence_elements.insert(name);
+  }
+  XQ_RETURN_IF_ERROR(
+      db_->Insert(kCollectionTable,
+                  {Value::Text(collection), Value::Text(c.root_element),
+                   Value::Text(c.dtd_text), Value::Text(c.source)})
+          .status());
+  collections_[collection] = std::move(c);
+  return Status::OK();
+}
+
+const Warehouse::Collection* Warehouse::FindCollection(
+    const std::string& name) const {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Warehouse::CollectionNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, c] : collections_) names.push_back(name);
+  return names;
+}
+
+Result<int64_t> Warehouse::LoadDocument(const std::string& collection,
+                                        const xml::XmlDocument& doc,
+                                        const std::string& uri) {
+  const Collection* c = FindCollection(collection);
+  if (c == nullptr) {
+    return Status::NotFound("collection not registered: " + collection);
+  }
+  std::vector<std::string> errors;
+  if (!c->dtd.elements().empty() && !c->dtd.Validate(doc, &errors)) {
+    return Status::InvalidArgument("document " + uri +
+                                   " violates the collection DTD: " +
+                                   errors.front());
+  }
+  XQ_ASSIGN_OR_RETURN(
+      Shredder::ShredStats stats,
+      shredder_->ShredDocument(doc, collection, uri, c->sequence_elements,
+                               ContentHash(doc)));
+  return stats.doc_id;
+}
+
+Status Warehouse::RemoveDocument(int64_t doc_id) {
+  return shredder_->DeleteDocument(doc_id);
+}
+
+Result<Warehouse::LoadStats> Warehouse::LoadSource(
+    const std::string& collection, const XmlTransformer& transformer,
+    std::string_view raw) {
+  XQ_RETURN_IF_ERROR(RegisterCollection(collection, transformer));
+  const Collection* c = FindCollection(collection);
+  XQ_ASSIGN_OR_RETURN(std::vector<TransformedDocument> docs,
+                      transformer.Transform(raw));
+  LoadStats stats;
+  for (const TransformedDocument& doc : docs) {
+    std::vector<std::string> errors;
+    if (!c->dtd.Validate(doc.document, &errors)) {
+      return Status::InvalidArgument("transformed document " + doc.uri +
+                                     " violates its DTD: " + errors.front());
+    }
+    XQ_ASSIGN_OR_RETURN(Shredder::ShredStats s,
+                        shredder_->ShredDocument(doc.document, collection,
+                                                 doc.uri,
+                                                 c->sequence_elements,
+                                                 ContentHash(doc.document)));
+    ++stats.documents;
+    stats.nodes += s.nodes;
+    stats.text_values += s.text_values;
+    stats.numeric_values += s.numeric_values;
+    stats.sequence_values += s.sequence_values;
+    Fire({ChangeEvent::Kind::kAdded, collection, doc.uri, s.doc_id});
+  }
+  return stats;
+}
+
+Result<UpdateStats> Warehouse::SyncSource(const std::string& collection,
+                                          const XmlTransformer& transformer,
+                                          std::string_view raw) {
+  XQ_RETURN_IF_ERROR(RegisterCollection(collection, transformer));
+  const Collection* c = FindCollection(collection);
+  XQ_ASSIGN_OR_RETURN(std::vector<TransformedDocument> docs,
+                      transformer.Transform(raw));
+
+  // Current warehouse state for the collection: uri -> (doc_id, hash).
+  XQ_ASSIGN_OR_RETURN(const rel::Table* doc_table,
+                      db_->GetTable(kDocumentTable));
+  std::unordered_map<std::string, std::pair<int64_t, int64_t>> existing;
+  doc_table->Scan([&](RowId, const Tuple& t) {
+    if (t[1].AsText() == collection) {
+      existing[t[2].AsText()] = {t[0].AsInt(),
+                                 t[4].is_null() ? 0 : t[4].AsInt()};
+    }
+    return true;
+  });
+
+  UpdateStats stats;
+  for (const TransformedDocument& doc : docs) {
+    int64_t hash = ContentHash(doc.document);
+    auto it = existing.find(doc.uri);
+    if (it == existing.end()) {
+      XQ_ASSIGN_OR_RETURN(
+          Shredder::ShredStats s,
+          shredder_->ShredDocument(doc.document, collection, doc.uri,
+                                   c->sequence_elements, hash));
+      ++stats.added;
+      Fire({ChangeEvent::Kind::kAdded, collection, doc.uri, s.doc_id});
+      continue;
+    }
+    auto [doc_id, old_hash] = it->second;
+    existing.erase(it);
+    if (old_hash == hash) {
+      ++stats.unchanged;
+      continue;
+    }
+    XQ_RETURN_IF_ERROR(shredder_->DeleteDocument(doc_id));
+    XQ_ASSIGN_OR_RETURN(
+        Shredder::ShredStats s,
+        shredder_->ShredDocument(doc.document, collection, doc.uri,
+                                 c->sequence_elements, hash));
+    ++stats.updated;
+    Fire({ChangeEvent::Kind::kUpdated, collection, doc.uri, s.doc_id});
+  }
+  // Entries no longer present remotely ("without any information being
+  // left out or added twice", §2).
+  for (const auto& [uri, info] : existing) {
+    XQ_RETURN_IF_ERROR(shredder_->DeleteDocument(info.first));
+    ++stats.removed;
+    Fire({ChangeEvent::Kind::kRemoved, collection, uri, info.first});
+  }
+  return stats;
+}
+
+Result<std::vector<int64_t>> Warehouse::DocumentsIn(
+    const std::string& collection) const {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(kDocumentTable));
+  std::vector<int64_t> ids;
+  table->Scan([&](RowId, const Tuple& t) {
+    if (t[1].AsText() == collection) ids.push_back(t[0].AsInt());
+    return true;
+  });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Result<int64_t> Warehouse::FindDocument(const std::string& uri) const {
+  const rel::IndexEntry* idx = db_->FindIndexByName("idx_doc_uri");
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(kDocumentTable));
+  if (idx != nullptr) {
+    const std::vector<RowId>* rows = idx->hash->Lookup({Value::Text(uri)});
+    if (rows == nullptr || rows->empty()) {
+      return Status::NotFound("no document with uri " + uri);
+    }
+    XQ_ASSIGN_OR_RETURN(const Tuple* tuple, table->Get(rows->front()));
+    return (*tuple)[0].AsInt();
+  }
+  int64_t found = -1;
+  table->Scan([&](RowId, const Tuple& t) {
+    if (t[2].AsText() == uri) {
+      found = t[0].AsInt();
+      return false;
+    }
+    return true;
+  });
+  if (found < 0) return Status::NotFound("no document with uri " + uri);
+  return found;
+}
+
+}  // namespace xomatiq::hounds

@@ -1,0 +1,454 @@
+#include "datahounds/xml_transformer.h"
+
+#include "common/string_util.h"
+
+namespace xomatiq::hounds {
+
+using common::Result;
+using common::Status;
+using flatfile::EmblEntry;
+using flatfile::EnzymeEntry;
+using flatfile::SwissProtEntry;
+using xml::XmlDocument;
+using xml::XmlNode;
+
+// --- ENZYME --------------------------------------------------------------
+
+// The paper's Fig 5 DTD (element names use '_' where the camera-ready
+// renders spaces).
+std::string EnzymeXmlTransformer::dtd_text() const {
+  return R"(<!ELEMENT hlx_enzyme (db_entry)>
+<!ELEMENT db_entry (enzyme_id, enzyme_description+, alternate_name_list,
+  catalytic_activity*, cofactor_list, comment_list, prosite_reference*,
+  swissprot_reference_list, disease_list)>
+<!ELEMENT enzyme_id (#PCDATA)>
+<!ELEMENT enzyme_description (#PCDATA)>
+<!ELEMENT alternate_name_list (alternate_name*)>
+<!ELEMENT alternate_name (#PCDATA)>
+<!ELEMENT catalytic_activity (#PCDATA)>
+<!ELEMENT cofactor_list (cofactor*)>
+<!ELEMENT cofactor (#PCDATA)>
+<!ELEMENT comment_list (comment*)>
+<!ELEMENT comment (#PCDATA)>
+<!ELEMENT prosite_reference (#PCDATA)>
+<!ATTLIST prosite_reference
+  prosite_accession_number NMTOKEN #REQUIRED>
+<!ELEMENT swissprot_reference_list (reference*)>
+<!ELEMENT reference (#PCDATA)>
+<!ATTLIST reference
+  name CDATA #REQUIRED
+  swissprot_accession_number NMTOKEN #REQUIRED>
+<!ELEMENT disease_list (disease*)>
+<!ELEMENT disease (#PCDATA)>
+<!ATTLIST disease
+  mim_id CDATA #REQUIRED>
+)";
+}
+
+XmlDocument EnzymeXmlTransformer::EntryToXml(const EnzymeEntry& entry) {
+  XmlDocument doc;
+  doc.set_doctype_name("hlx_enzyme");
+  XmlNode* root = doc.CreateRoot("hlx_enzyme");
+  XmlNode* db = root->AddElement("db_entry");
+  db->AddTextElement("enzyme_id", entry.id);
+  for (const std::string& de : entry.descriptions) {
+    db->AddTextElement("enzyme_description", de);
+  }
+  XmlNode* an_list = db->AddElement("alternate_name_list");
+  for (const std::string& an : entry.alternate_names) {
+    an_list->AddTextElement("alternate_name", an);
+  }
+  for (const std::string& ca : entry.catalytic_activities) {
+    db->AddTextElement("catalytic_activity", ca);
+  }
+  XmlNode* cf_list = db->AddElement("cofactor_list");
+  for (const std::string& cf : entry.cofactors) {
+    cf_list->AddTextElement("cofactor", cf);
+  }
+  XmlNode* cc_list = db->AddElement("comment_list");
+  for (const std::string& cc : entry.comments) {
+    cc_list->AddTextElement("comment", cc);
+  }
+  for (const std::string& pr : entry.prosite_refs) {
+    XmlNode* ref = db->AddElement("prosite_reference");
+    ref->AddAttribute("prosite_accession_number", pr);
+  }
+  XmlNode* sp_list = db->AddElement("swissprot_reference_list");
+  for (const EnzymeEntry::SwissProtRef& ref : entry.swissprot_refs) {
+    XmlNode* r = sp_list->AddElement("reference");
+    r->AddAttribute("name", ref.name);
+    r->AddAttribute("swissprot_accession_number", ref.accession);
+  }
+  XmlNode* di_list = db->AddElement("disease_list");
+  for (const EnzymeEntry::DiseaseRef& di : entry.diseases) {
+    XmlNode* d = di_list->AddTextElement("disease", di.description);
+    d->AddAttribute("mim_id", di.mim_id);
+  }
+  return doc;
+}
+
+Result<EnzymeEntry> EnzymeXmlTransformer::XmlToEntry(const XmlNode& root) {
+  if (root.name() != "hlx_enzyme") {
+    return Status::InvalidArgument("expected <hlx_enzyme>, got <" +
+                                   root.name() + ">");
+  }
+  const XmlNode* db = root.FirstChildElement("db_entry");
+  if (db == nullptr) return Status::InvalidArgument("missing <db_entry>");
+  EnzymeEntry entry;
+  entry.id = db->ChildText("enzyme_id");
+  for (const XmlNode* de : db->ChildElements("enzyme_description")) {
+    entry.descriptions.push_back(de->Text());
+  }
+  if (const XmlNode* list = db->FirstChildElement("alternate_name_list")) {
+    for (const XmlNode* an : list->ChildElements("alternate_name")) {
+      entry.alternate_names.push_back(an->Text());
+    }
+  }
+  for (const XmlNode* ca : db->ChildElements("catalytic_activity")) {
+    entry.catalytic_activities.push_back(ca->Text());
+  }
+  if (const XmlNode* list = db->FirstChildElement("cofactor_list")) {
+    for (const XmlNode* cf : list->ChildElements("cofactor")) {
+      entry.cofactors.push_back(cf->Text());
+    }
+  }
+  if (const XmlNode* list = db->FirstChildElement("comment_list")) {
+    for (const XmlNode* cc : list->ChildElements("comment")) {
+      entry.comments.push_back(cc->Text());
+    }
+  }
+  for (const XmlNode* pr : db->ChildElements("prosite_reference")) {
+    const std::string* acc = pr->FindAttribute("prosite_accession_number");
+    if (acc == nullptr) {
+      return Status::InvalidArgument("prosite_reference without accession");
+    }
+    entry.prosite_refs.push_back(*acc);
+  }
+  if (const XmlNode* list =
+          db->FirstChildElement("swissprot_reference_list")) {
+    for (const XmlNode* ref : list->ChildElements("reference")) {
+      const std::string* name = ref->FindAttribute("name");
+      const std::string* acc =
+          ref->FindAttribute("swissprot_accession_number");
+      if (name == nullptr || acc == nullptr) {
+        return Status::InvalidArgument("reference missing attributes");
+      }
+      entry.swissprot_refs.push_back({*acc, *name});
+    }
+  }
+  if (const XmlNode* list = db->FirstChildElement("disease_list")) {
+    for (const XmlNode* di : list->ChildElements("disease")) {
+      const std::string* mim = di->FindAttribute("mim_id");
+      if (mim == nullptr) {
+        return Status::InvalidArgument("disease without mim_id");
+      }
+      entry.diseases.push_back({*mim, di->Text()});
+    }
+  }
+  return entry;
+}
+
+Result<std::vector<TransformedDocument>> EnzymeXmlTransformer::Transform(
+    std::string_view raw) const {
+  XQ_ASSIGN_OR_RETURN(std::vector<EnzymeEntry> entries,
+                      flatfile::ParseEnzymeFile(raw));
+  std::vector<TransformedDocument> docs;
+  docs.reserve(entries.size());
+  for (const EnzymeEntry& entry : entries) {
+    TransformedDocument doc;
+    doc.uri = "enzyme:" + entry.id;
+    doc.document = EntryToXml(entry);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+// --- EMBL ------------------------------------------------------------------
+
+std::string EmblXmlTransformer::dtd_text() const {
+  return R"(<!ELEMENT hlx_n_sequence (db_entry)>
+<!ELEMENT db_entry (entry_name, molecule, division, embl_accession_number+,
+  description?, keyword*, organism?, database_reference*, feature_table,
+  sequence)>
+<!ELEMENT entry_name (#PCDATA)>
+<!ELEMENT molecule (#PCDATA)>
+<!ELEMENT division (#PCDATA)>
+<!ELEMENT embl_accession_number (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT organism (#PCDATA)>
+<!ELEMENT database_reference EMPTY>
+<!ATTLIST database_reference
+  database CDATA #REQUIRED
+  primary_id CDATA #REQUIRED
+  secondary_id CDATA #IMPLIED>
+<!ELEMENT feature_table (feature*)>
+<!ELEMENT feature (location, qualifier*)>
+<!ATTLIST feature
+  key CDATA #REQUIRED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT qualifier (#PCDATA)>
+<!ATTLIST qualifier
+  qualifier_type CDATA #REQUIRED>
+<!ELEMENT sequence (#PCDATA)>
+<!ATTLIST sequence
+  length CDATA #REQUIRED>
+)";
+}
+
+namespace {
+
+// The paper's Fig 11 matches qualifier[@qualifier_type = "EC number"];
+// flat-file qualifier names map to display names.
+std::string QualifierDisplayName(const std::string& name) {
+  if (name == "EC_number") return "EC number";
+  return name;
+}
+
+std::string QualifierFlatName(const std::string& display) {
+  if (display == "EC number") return "EC_number";
+  return display;
+}
+
+}  // namespace
+
+XmlDocument EmblXmlTransformer::EntryToXml(const EmblEntry& entry) {
+  XmlDocument doc;
+  doc.set_doctype_name("hlx_n_sequence");
+  XmlNode* root = doc.CreateRoot("hlx_n_sequence");
+  XmlNode* db = root->AddElement("db_entry");
+  db->AddTextElement("entry_name", entry.id);
+  db->AddTextElement("molecule", entry.molecule);
+  db->AddTextElement("division", entry.division);
+  for (const std::string& acc : entry.accessions) {
+    db->AddTextElement("embl_accession_number", acc);
+  }
+  if (!entry.description.empty()) {
+    db->AddTextElement("description", entry.description);
+  }
+  for (const std::string& kw : entry.keywords) {
+    db->AddTextElement("keyword", kw);
+  }
+  if (!entry.organism.empty()) {
+    db->AddTextElement("organism", entry.organism);
+  }
+  for (const flatfile::EmblDbXref& xref : entry.xrefs) {
+    XmlNode* ref = db->AddElement("database_reference");
+    ref->AddAttribute("database", xref.database);
+    ref->AddAttribute("primary_id", xref.primary);
+    if (!xref.secondary.empty()) {
+      ref->AddAttribute("secondary_id", xref.secondary);
+    }
+  }
+  XmlNode* ft = db->AddElement("feature_table");
+  for (const flatfile::EmblFeature& feature : entry.features) {
+    XmlNode* f = ft->AddElement("feature");
+    f->AddAttribute("key", feature.key);
+    f->AddTextElement("location", feature.location);
+    for (const flatfile::EmblQualifier& q : feature.qualifiers) {
+      XmlNode* qe = f->AddTextElement("qualifier", q.value);
+      qe->AddAttribute("qualifier_type", QualifierDisplayName(q.name));
+    }
+  }
+  XmlNode* seq = db->AddTextElement("sequence", entry.sequence);
+  seq->AddAttribute("length", std::to_string(entry.sequence.size()));
+  return doc;
+}
+
+Result<EmblEntry> EmblXmlTransformer::XmlToEntry(const XmlNode& root) {
+  if (root.name() != "hlx_n_sequence") {
+    return Status::InvalidArgument("expected <hlx_n_sequence>, got <" +
+                                   root.name() + ">");
+  }
+  const XmlNode* db = root.FirstChildElement("db_entry");
+  if (db == nullptr) return Status::InvalidArgument("missing <db_entry>");
+  EmblEntry entry;
+  entry.id = db->ChildText("entry_name");
+  entry.molecule = db->ChildText("molecule");
+  entry.division = db->ChildText("division");
+  for (const XmlNode* acc : db->ChildElements("embl_accession_number")) {
+    entry.accessions.push_back(acc->Text());
+  }
+  entry.description = db->ChildText("description");
+  for (const XmlNode* kw : db->ChildElements("keyword")) {
+    entry.keywords.push_back(kw->Text());
+  }
+  entry.organism = db->ChildText("organism");
+  for (const XmlNode* ref : db->ChildElements("database_reference")) {
+    flatfile::EmblDbXref xref;
+    const std::string* dbname = ref->FindAttribute("database");
+    const std::string* primary = ref->FindAttribute("primary_id");
+    if (dbname == nullptr || primary == nullptr) {
+      return Status::InvalidArgument("database_reference missing attributes");
+    }
+    xref.database = *dbname;
+    xref.primary = *primary;
+    if (const std::string* secondary = ref->FindAttribute("secondary_id")) {
+      xref.secondary = *secondary;
+    }
+    entry.xrefs.push_back(std::move(xref));
+  }
+  if (const XmlNode* ft = db->FirstChildElement("feature_table")) {
+    for (const XmlNode* f : ft->ChildElements("feature")) {
+      flatfile::EmblFeature feature;
+      const std::string* key = f->FindAttribute("key");
+      if (key == nullptr) {
+        return Status::InvalidArgument("feature missing key");
+      }
+      feature.key = *key;
+      feature.location = f->ChildText("location");
+      for (const XmlNode* q : f->ChildElements("qualifier")) {
+        const std::string* type = q->FindAttribute("qualifier_type");
+        if (type == nullptr) {
+          return Status::InvalidArgument("qualifier missing qualifier_type");
+        }
+        feature.qualifiers.push_back({QualifierFlatName(*type), q->Text()});
+      }
+      entry.features.push_back(std::move(feature));
+    }
+  }
+  entry.sequence = db->ChildText("sequence");
+  return entry;
+}
+
+Result<std::vector<TransformedDocument>> EmblXmlTransformer::Transform(
+    std::string_view raw) const {
+  XQ_ASSIGN_OR_RETURN(std::vector<EmblEntry> entries,
+                      flatfile::ParseEmblFile(raw));
+  std::vector<TransformedDocument> docs;
+  docs.reserve(entries.size());
+  for (const EmblEntry& entry : entries) {
+    TransformedDocument doc;
+    doc.uri = "embl:" + entry.id;
+    doc.document = EntryToXml(entry);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+// --- Swiss-Prot -------------------------------------------------------------
+
+std::string SwissProtXmlTransformer::dtd_text() const {
+  return R"(<!ELEMENT hlx_n_sequence (db_entry)>
+<!ELEMENT db_entry (entry_name, sprot_accession_number+, description?,
+  gene_name*, organism?, keyword*, comment_list, database_reference*,
+  sequence)>
+<!ELEMENT entry_name (#PCDATA)>
+<!ELEMENT sprot_accession_number (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT gene_name (#PCDATA)>
+<!ELEMENT organism (#PCDATA)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT comment_list (comment*)>
+<!ELEMENT comment (#PCDATA)>
+<!ELEMENT database_reference EMPTY>
+<!ATTLIST database_reference
+  database CDATA #REQUIRED
+  primary_id CDATA #REQUIRED
+  secondary_id CDATA #IMPLIED>
+<!ELEMENT sequence (#PCDATA)>
+<!ATTLIST sequence
+  length CDATA #REQUIRED>
+)";
+}
+
+XmlDocument SwissProtXmlTransformer::EntryToXml(const SwissProtEntry& entry) {
+  XmlDocument doc;
+  doc.set_doctype_name("hlx_n_sequence");
+  XmlNode* root = doc.CreateRoot("hlx_n_sequence");
+  XmlNode* db = root->AddElement("db_entry");
+  db->AddTextElement("entry_name", entry.id);
+  for (const std::string& acc : entry.accessions) {
+    db->AddTextElement("sprot_accession_number", acc);
+  }
+  if (!entry.description.empty()) {
+    db->AddTextElement("description", entry.description);
+  }
+  for (const std::string& gene : entry.gene_names) {
+    db->AddTextElement("gene_name", gene);
+  }
+  if (!entry.organism.empty()) {
+    db->AddTextElement("organism", entry.organism);
+  }
+  for (const std::string& kw : entry.keywords) {
+    db->AddTextElement("keyword", kw);
+  }
+  XmlNode* cc_list = db->AddElement("comment_list");
+  for (const std::string& cc : entry.comments) {
+    cc_list->AddTextElement("comment", cc);
+  }
+  for (const flatfile::SwissProtDbXref& xref : entry.xrefs) {
+    XmlNode* ref = db->AddElement("database_reference");
+    ref->AddAttribute("database", xref.database);
+    ref->AddAttribute("primary_id", xref.primary);
+    if (!xref.secondary.empty()) {
+      ref->AddAttribute("secondary_id", xref.secondary);
+    }
+  }
+  XmlNode* seq = db->AddTextElement("sequence", entry.sequence);
+  seq->AddAttribute("length", std::to_string(entry.sequence.size()));
+  return doc;
+}
+
+Result<SwissProtEntry> SwissProtXmlTransformer::XmlToEntry(
+    const XmlNode& root) {
+  if (root.name() != "hlx_n_sequence") {
+    return Status::InvalidArgument("expected <hlx_n_sequence>, got <" +
+                                   root.name() + ">");
+  }
+  const XmlNode* db = root.FirstChildElement("db_entry");
+  if (db == nullptr) return Status::InvalidArgument("missing <db_entry>");
+  SwissProtEntry entry;
+  entry.id = db->ChildText("entry_name");
+  entry.status = "STANDARD";
+  for (const XmlNode* acc : db->ChildElements("sprot_accession_number")) {
+    entry.accessions.push_back(acc->Text());
+  }
+  entry.description = db->ChildText("description");
+  for (const XmlNode* gene : db->ChildElements("gene_name")) {
+    entry.gene_names.push_back(gene->Text());
+  }
+  entry.organism = db->ChildText("organism");
+  for (const XmlNode* kw : db->ChildElements("keyword")) {
+    entry.keywords.push_back(kw->Text());
+  }
+  if (const XmlNode* list = db->FirstChildElement("comment_list")) {
+    for (const XmlNode* cc : list->ChildElements("comment")) {
+      entry.comments.push_back(cc->Text());
+    }
+  }
+  for (const XmlNode* ref : db->ChildElements("database_reference")) {
+    flatfile::SwissProtDbXref xref;
+    const std::string* dbname = ref->FindAttribute("database");
+    const std::string* primary = ref->FindAttribute("primary_id");
+    if (dbname == nullptr || primary == nullptr) {
+      return Status::InvalidArgument("database_reference missing attributes");
+    }
+    xref.database = *dbname;
+    xref.primary = *primary;
+    if (const std::string* secondary = ref->FindAttribute("secondary_id")) {
+      xref.secondary = *secondary;
+    }
+    entry.xrefs.push_back(std::move(xref));
+  }
+  entry.sequence = db->ChildText("sequence");
+  entry.length = entry.sequence.size();
+  return entry;
+}
+
+Result<std::vector<TransformedDocument>> SwissProtXmlTransformer::Transform(
+    std::string_view raw) const {
+  XQ_ASSIGN_OR_RETURN(std::vector<SwissProtEntry> entries,
+                      flatfile::ParseSwissProtFile(raw));
+  std::vector<TransformedDocument> docs;
+  docs.reserve(entries.size());
+  for (const SwissProtEntry& entry : entries) {
+    TransformedDocument doc;
+    doc.uri = "sprot:" + entry.id;
+    doc.document = EntryToXml(entry);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace xomatiq::hounds

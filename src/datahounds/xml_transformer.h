@@ -1,0 +1,103 @@
+#ifndef XOMATIQ_DATAHOUNDS_XML_TRANSFORMER_H_
+#define XOMATIQ_DATAHOUNDS_XML_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "flatfile/embl.h"
+#include "flatfile/enzyme.h"
+#include "flatfile/swissprot.h"
+#include "xml/dom.h"
+#include "xml/dtd.h"
+
+namespace xomatiq::hounds {
+
+// One transformed document plus its stable entry key (used by incremental
+// updates to correlate warehouse documents with remote entries).
+struct TransformedDocument {
+  std::string uri;  // e.g. "enzyme:1.14.17.3"
+  xml::XmlDocument document;
+};
+
+// XML-Transformer module (paper §2.1): converts one biological source's
+// flat-file data into per-entry XML documents governed by a DTD. One
+// subclass per source, mirroring the paper's "each database requires a
+// special transformer".
+class XmlTransformer {
+ public:
+  virtual ~XmlTransformer() = default;
+
+  // Source tag, e.g. "enzyme".
+  virtual std::string source_name() const = 0;
+  // DTD text for the produced documents (the paper's Fig 5 artifact for
+  // ENZYME).
+  virtual std::string dtd_text() const = 0;
+  // Name of the root element of every produced document.
+  virtual std::string root_element() const = 0;
+  // Element names whose character content is biological sequence data
+  // (routed to the dedicated sequence table by the shredder, per §2.2).
+  virtual std::vector<std::string> sequence_elements() const { return {}; }
+
+  // Transforms raw flat-file content into one XML document per entry.
+  virtual common::Result<std::vector<TransformedDocument>> Transform(
+      std::string_view raw) const = 0;
+};
+
+// --- ENZYME ------------------------------------------------------------
+
+class EnzymeXmlTransformer : public XmlTransformer {
+ public:
+  std::string source_name() const override { return "enzyme"; }
+  std::string dtd_text() const override;
+  std::string root_element() const override { return "hlx_enzyme"; }
+  common::Result<std::vector<TransformedDocument>> Transform(
+      std::string_view raw) const override;
+
+  // Converts one parsed entry (regenerates the paper's Fig 6 document).
+  static xml::XmlDocument EntryToXml(const flatfile::EnzymeEntry& entry);
+  // Inverse mapping, used by round-trip property tests.
+  static common::Result<flatfile::EnzymeEntry> XmlToEntry(
+      const xml::XmlNode& root);
+};
+
+// --- EMBL ----------------------------------------------------------------
+
+class EmblXmlTransformer : public XmlTransformer {
+ public:
+  std::string source_name() const override { return "embl"; }
+  std::string dtd_text() const override;
+  std::string root_element() const override { return "hlx_n_sequence"; }
+  std::vector<std::string> sequence_elements() const override {
+    return {"sequence"};
+  }
+  common::Result<std::vector<TransformedDocument>> Transform(
+      std::string_view raw) const override;
+
+  static xml::XmlDocument EntryToXml(const flatfile::EmblEntry& entry);
+  static common::Result<flatfile::EmblEntry> XmlToEntry(
+      const xml::XmlNode& root);
+};
+
+// --- Swiss-Prot -----------------------------------------------------------
+
+class SwissProtXmlTransformer : public XmlTransformer {
+ public:
+  std::string source_name() const override { return "sprot"; }
+  std::string dtd_text() const override;
+  std::string root_element() const override { return "hlx_n_sequence"; }
+  std::vector<std::string> sequence_elements() const override {
+    return {"sequence"};
+  }
+  common::Result<std::vector<TransformedDocument>> Transform(
+      std::string_view raw) const override;
+
+  static xml::XmlDocument EntryToXml(const flatfile::SwissProtEntry& entry);
+  static common::Result<flatfile::SwissProtEntry> XmlToEntry(
+      const xml::XmlNode& root);
+};
+
+}  // namespace xomatiq::hounds
+
+#endif  // XOMATIQ_DATAHOUNDS_XML_TRANSFORMER_H_

@@ -1,0 +1,220 @@
+#include "flatfile/embl.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace xomatiq::flatfile {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// "ID   AB000263 standard; RNA; INV; 368 BP."
+Status ParseIdLine(const std::string& data, EmblEntry* entry) {
+  std::vector<std::string> semis = common::Split(data, ';');
+  if (semis.size() < 3) {
+    return Status::ParseError("malformed EMBL ID line: " + data);
+  }
+  std::vector<std::string> head = common::SplitWhitespace(semis[0]);
+  if (head.empty()) {
+    return Status::ParseError("missing entry name in ID line: " + data);
+  }
+  entry->id = head[0];
+  entry->molecule = std::string(common::StripWhitespace(semis[1]));
+  std::string division(common::StripWhitespace(semis[2]));
+  if (!division.empty() && division.back() == '.') division.pop_back();
+  entry->division = division;
+  return Status::OK();
+}
+
+// FT feature lines:
+//   "CDS             1..368"                  (new feature: key + location)
+//   "                /EC_number=\"1.1.1.1\""  (qualifier continuation)
+Status ParseFtLine(const std::string& data, EmblEntry* entry) {
+  std::string_view text = data;
+  std::string_view stripped = common::StripWhitespace(text);
+  if (stripped.empty()) return Status::OK();
+  if (stripped[0] == '/') {
+    if (entry->features.empty()) {
+      return Status::ParseError("FT qualifier before any feature: " + data);
+    }
+    std::string_view body = stripped.substr(1);
+    size_t eq = body.find('=');
+    EmblQualifier q;
+    if (eq == std::string_view::npos) {
+      q.name = std::string(body);  // flag-style qualifier, e.g. /pseudo
+    } else {
+      q.name = std::string(body.substr(0, eq));
+      std::string_view value = body.substr(eq + 1);
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+      q.value = std::string(value);
+    }
+    entry->features.back().qualifiers.push_back(std::move(q));
+    return Status::OK();
+  }
+  // New feature: the key starts in the first data column (no leading
+  // whitespace before it in the raw line's data payload).
+  if (text[0] == ' ') {
+    // Location continuation for the current feature.
+    if (entry->features.empty()) {
+      return Status::ParseError("FT continuation before any feature: " + data);
+    }
+    entry->features.back().location += std::string(stripped);
+    return Status::OK();
+  }
+  std::vector<std::string> parts = common::SplitWhitespace(stripped);
+  EmblFeature feature;
+  feature.key = parts[0];
+  if (parts.size() > 1) {
+    feature.location = parts[1];
+    for (size_t i = 2; i < parts.size(); ++i) {
+      feature.location += parts[i];
+    }
+  }
+  entry->features.push_back(std::move(feature));
+  return Status::OK();
+}
+
+// "DR   SWISS-PROT; P10731; AMD_BOVIN."
+Status ParseDrLine(const std::string& data, EmblEntry* entry) {
+  std::string text = data;
+  if (!text.empty() && text.back() == '.') text.pop_back();
+  std::vector<std::string> parts = common::Split(text, ';');
+  if (parts.size() < 2) {
+    return Status::ParseError("malformed EMBL DR line: " + data);
+  }
+  EmblDbXref xref;
+  xref.database = std::string(common::StripWhitespace(parts[0]));
+  xref.primary = std::string(common::StripWhitespace(parts[1]));
+  if (parts.size() > 2) {
+    xref.secondary = std::string(common::StripWhitespace(parts[2]));
+  }
+  entry->xrefs.push_back(std::move(xref));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EmblEntry> ParseEmblEntry(const std::vector<LineRecord>& records) {
+  if (records.empty() || records.front().code != "ID") {
+    return Status::ParseError("EMBL entry must begin with an ID line");
+  }
+  EmblEntry entry;
+  bool in_sequence = false;
+  for (const LineRecord& record : records) {
+    const std::string& data = record.data;
+    if (record.code == "ID") {
+      XQ_RETURN_IF_ERROR(ParseIdLine(data, &entry));
+    } else if (record.code == "AC") {
+      for (const std::string& acc : common::Split(data, ';')) {
+        std::string trimmed(common::StripWhitespace(acc));
+        if (!trimmed.empty()) entry.accessions.push_back(std::move(trimmed));
+      }
+    } else if (record.code == "DE") {
+      if (!entry.description.empty()) entry.description += " ";
+      entry.description += std::string(common::StripWhitespace(data));
+    } else if (record.code == "KW") {
+      std::string text = data;
+      if (!text.empty() && text.back() == '.') text.pop_back();
+      for (const std::string& kw : common::Split(text, ';')) {
+        std::string trimmed(common::StripWhitespace(kw));
+        if (!trimmed.empty()) entry.keywords.push_back(std::move(trimmed));
+      }
+    } else if (record.code == "OS") {
+      if (!entry.organism.empty()) entry.organism += " ";
+      entry.organism += std::string(common::StripWhitespace(data));
+    } else if (record.code == "DR") {
+      XQ_RETURN_IF_ERROR(ParseDrLine(data, &entry));
+    } else if (record.code == "FT") {
+      XQ_RETURN_IF_ERROR(ParseFtLine(data, &entry));
+    } else if (record.code == "SQ") {
+      in_sequence = true;  // header line; residues follow with blank codes
+    } else if (record.code == "  ") {
+      if (!in_sequence) {
+        return Status::ParseError("sequence data before SQ header");
+      }
+      for (char c : data) {
+        if (std::isalpha(static_cast<unsigned char>(c))) {
+          entry.sequence.push_back(
+              static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+        }
+      }
+    } else if (record.code == "XX") {
+      // Separator line; ignore.
+    } else {
+      return Status::ParseError("unknown EMBL line code '" + record.code +
+                                "'");
+    }
+  }
+  if (entry.accessions.empty()) {
+    return Status::ParseError("EMBL entry " + entry.id +
+                              " has no accession (AC) line");
+  }
+  return entry;
+}
+
+Result<std::vector<EmblEntry>> ParseEmblFile(std::string_view content) {
+  std::vector<EmblEntry> entries;
+  EntryReader reader(content);
+  while (true) {
+    XQ_ASSIGN_OR_RETURN(auto records, reader.NextEntry());
+    if (!records.has_value()) break;
+    XQ_ASSIGN_OR_RETURN(EmblEntry entry, ParseEmblEntry(*records));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string FormatEmblEntry(const EmblEntry& entry) {
+  std::string out;
+  auto line = [&out](std::string_view code, std::string_view data) {
+    out += FormatLine(code, data);
+    out += "\n";
+  };
+  line("ID", entry.id + " standard; " + entry.molecule + "; " +
+                 entry.division + "; " +
+                 std::to_string(entry.sequence.size()) + " BP.");
+  line("XX", "");
+  std::string ac;
+  for (const std::string& a : entry.accessions) ac += a + ";";
+  line("AC", ac);
+  if (!entry.description.empty()) line("DE", entry.description);
+  if (!entry.keywords.empty()) {
+    line("KW", common::Join(entry.keywords, "; ") + ".");
+  }
+  if (!entry.organism.empty()) line("OS", entry.organism);
+  for (const EmblDbXref& xref : entry.xrefs) {
+    std::string dr = xref.database + "; " + xref.primary;
+    if (!xref.secondary.empty()) dr += "; " + xref.secondary;
+    line("DR", dr + ".");
+  }
+  for (const EmblFeature& feature : entry.features) {
+    std::string head = feature.key;
+    if (head.size() < 16) head += std::string(16 - head.size(), ' ');
+    line("FT", head + feature.location);
+    for (const EmblQualifier& q : feature.qualifiers) {
+      std::string qline(16, ' ');
+      qline += "/" + q.name;
+      if (!q.value.empty()) qline += "=\"" + q.value + "\"";
+      line("FT", qline);
+    }
+  }
+  line("SQ", "Sequence " + std::to_string(entry.sequence.size()) + " BP;");
+  for (size_t i = 0; i < entry.sequence.size(); i += 60) {
+    std::string chunk = entry.sequence.substr(i, 60);
+    std::string grouped;
+    for (size_t j = 0; j < chunk.size(); j += 10) {
+      if (j > 0) grouped += " ";
+      grouped += chunk.substr(j, 10);
+    }
+    out += "     " + grouped + "\n";
+  }
+  out += "//\n";
+  return out;
+}
+
+}  // namespace xomatiq::flatfile

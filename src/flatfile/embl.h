@@ -1,0 +1,63 @@
+#ifndef XOMATIQ_FLATFILE_EMBL_H_
+#define XOMATIQ_FLATFILE_EMBL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "flatfile/line_record.h"
+
+namespace xomatiq::flatfile {
+
+// A qualifier on an EMBL feature-table line, e.g. /EC_number="1.14.17.3".
+struct EmblQualifier {
+  std::string name;   // without the leading '/'
+  std::string value;  // unquoted
+  bool operator==(const EmblQualifier&) const = default;
+};
+
+// One feature-table feature (FT lines).
+struct EmblFeature {
+  std::string key;       // "CDS", "gene", ...
+  std::string location;  // "1..368", "complement(12..90)", ...
+  std::vector<EmblQualifier> qualifiers;
+  bool operator==(const EmblFeature&) const = default;
+};
+
+// A database cross-reference (DR line).
+struct EmblDbXref {
+  std::string database;   // "SWISS-PROT", "ENZYME", ...
+  std::string primary;    // primary identifier
+  std::string secondary;  // optional secondary identifier
+  bool operator==(const EmblDbXref&) const = default;
+};
+
+// One EMBL nucleotide entry (subset of the published format sufficient for
+// the paper's workloads: identification, description, keywords, organism,
+// cross-references, feature table with qualifiers, and the sequence).
+struct EmblEntry {
+  std::string id;        // entry name, e.g. "AB000263"
+  std::string division;  // three-letter division, e.g. "INV"
+  std::string molecule;  // "DNA" / "RNA" / "mRNA"
+  std::vector<std::string> accessions;  // AC
+  std::string description;              // DE (joined)
+  std::vector<std::string> keywords;    // KW
+  std::string organism;                 // OS
+  std::vector<EmblDbXref> xrefs;        // DR
+  std::vector<EmblFeature> features;    // FT
+  std::string sequence;                 // SQ block, lowercase acgt...
+
+  bool operator==(const EmblEntry&) const = default;
+};
+
+common::Result<EmblEntry> ParseEmblEntry(
+    const std::vector<LineRecord>& records);
+common::Result<std::vector<EmblEntry>> ParseEmblFile(
+    std::string_view content);
+
+// Emits the entry in EMBL flat-file format; round-trips via ParseEmblEntry.
+std::string FormatEmblEntry(const EmblEntry& entry);
+
+}  // namespace xomatiq::flatfile
+
+#endif  // XOMATIQ_FLATFILE_EMBL_H_

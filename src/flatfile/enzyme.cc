@@ -1,0 +1,161 @@
+#include "flatfile/enzyme.h"
+
+#include "common/string_util.h"
+
+namespace xomatiq::flatfile {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::string StripDot(std::string_view s) {
+  s = common::StripWhitespace(s);
+  if (!s.empty() && s.back() == '.') s.remove_suffix(1);
+  return std::string(s);
+}
+
+}  // namespace
+
+Result<EnzymeEntry> ParseEnzymeEntry(const std::vector<LineRecord>& records) {
+  if (records.empty() || records.front().code != "ID") {
+    return Status::ParseError("ENZYME entry must begin with an ID line");
+  }
+  EnzymeEntry entry;
+  for (const LineRecord& record : records) {
+    const std::string& data = record.data;
+    if (record.code == "ID") {
+      if (!entry.id.empty()) {
+        return Status::ParseError("duplicate ID line in ENZYME entry");
+      }
+      entry.id = std::string(common::StripWhitespace(data));
+      if (entry.id.empty()) {
+        return Status::ParseError("empty EC number in ID line");
+      }
+    } else if (record.code == "DE") {
+      entry.descriptions.push_back(StripDot(data));
+    } else if (record.code == "AN") {
+      entry.alternate_names.push_back(StripDot(data));
+    } else if (record.code == "CA") {
+      entry.catalytic_activities.push_back(
+          std::string(common::StripWhitespace(data)));
+    } else if (record.code == "CF") {
+      for (const std::string& piece : common::Split(data, ';')) {
+        std::string cofactor = StripDot(piece);
+        if (!cofactor.empty()) entry.cofactors.push_back(std::move(cofactor));
+      }
+    } else if (record.code == "CC") {
+      std::string_view text = common::StripWhitespace(data);
+      if (common::StartsWith(text, "-!-")) {
+        entry.comments.push_back(
+            std::string(common::StripWhitespace(text.substr(3))));
+      } else if (!entry.comments.empty()) {
+        // Continuation of the current "-!-" block.
+        entry.comments.back() += " ";
+        entry.comments.back() += std::string(text);
+      } else {
+        return Status::ParseError("CC continuation before any '-!-' block");
+      }
+    } else if (record.code == "PR") {
+      // "PROSITE; PDOC00080;"
+      std::vector<std::string> parts = common::Split(data, ';');
+      if (parts.size() < 2 ||
+          common::StripWhitespace(parts[0]) != "PROSITE") {
+        return Status::ParseError("malformed PR line: " + data);
+      }
+      std::string accession(common::StripWhitespace(parts[1]));
+      if (accession.empty()) {
+        return Status::ParseError("empty PROSITE accession: " + data);
+      }
+      entry.prosite_refs.push_back(std::move(accession));
+    } else if (record.code == "DR") {
+      // "P10731, AMD_BOVIN ;  P19021, AMD_HUMAN ;"
+      for (const std::string& pair : common::Split(data, ';')) {
+        std::string_view trimmed = common::StripWhitespace(pair);
+        if (trimmed.empty()) continue;
+        std::vector<std::string> fields = common::Split(trimmed, ',');
+        if (fields.size() != 2) {
+          return Status::ParseError("malformed DR pair: " + pair);
+        }
+        EnzymeEntry::SwissProtRef ref;
+        ref.accession = std::string(common::StripWhitespace(fields[0]));
+        ref.name = std::string(common::StripWhitespace(fields[1]));
+        if (ref.accession.empty() || ref.name.empty()) {
+          return Status::ParseError("incomplete DR pair: " + pair);
+        }
+        entry.swissprot_refs.push_back(std::move(ref));
+      }
+    } else if (record.code == "DI") {
+      // "Hypophosphatasia; MIM:241500."
+      std::string text = StripDot(data);
+      size_t mim = text.rfind("MIM:");
+      if (mim == std::string::npos) {
+        return Status::ParseError("DI line without MIM reference: " + data);
+      }
+      EnzymeEntry::DiseaseRef ref;
+      ref.mim_id = std::string(common::StripWhitespace(text.substr(mim + 4)));
+      std::string desc(common::StripWhitespace(text.substr(0, mim)));
+      if (!desc.empty() && desc.back() == ';') desc.pop_back();
+      ref.description = std::string(common::StripWhitespace(desc));
+      if (ref.mim_id.empty()) {
+        return Status::ParseError("empty MIM id: " + data);
+      }
+      entry.diseases.push_back(std::move(ref));
+    } else {
+      return Status::ParseError("unknown ENZYME line code '" + record.code +
+                                "'");
+    }
+  }
+  if (entry.descriptions.empty()) {
+    return Status::ParseError("ENZYME entry " + entry.id +
+                              " has no DE line (>=1 required)");
+  }
+  return entry;
+}
+
+Result<std::vector<EnzymeEntry>> ParseEnzymeFile(std::string_view content) {
+  std::vector<EnzymeEntry> entries;
+  EntryReader reader(content);
+  while (true) {
+    XQ_ASSIGN_OR_RETURN(auto records, reader.NextEntry());
+    if (!records.has_value()) break;
+    XQ_ASSIGN_OR_RETURN(EnzymeEntry entry, ParseEnzymeEntry(*records));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string FormatEnzymeEntry(const EnzymeEntry& entry) {
+  std::string out;
+  auto line = [&out](std::string_view code, std::string_view data) {
+    out += FormatLine(code, data);
+    out += "\n";
+  };
+  line("ID", entry.id);
+  for (const std::string& de : entry.descriptions) line("DE", de + ".");
+  for (const std::string& an : entry.alternate_names) line("AN", an + ".");
+  for (const std::string& ca : entry.catalytic_activities) line("CA", ca);
+  if (!entry.cofactors.empty()) {
+    line("CF", common::Join(entry.cofactors, "; ") + ".");
+  }
+  for (const std::string& cc : entry.comments) line("CC", "-!- " + cc);
+  for (const EnzymeEntry::DiseaseRef& di : entry.diseases) {
+    line("DI", di.description + "; MIM:" + di.mim_id + ".");
+  }
+  for (const std::string& pr : entry.prosite_refs) {
+    line("PR", "PROSITE; " + pr + ";");
+  }
+  if (!entry.swissprot_refs.empty()) {
+    std::string dr;
+    for (const EnzymeEntry::SwissProtRef& ref : entry.swissprot_refs) {
+      dr += ref.accession + ", " + ref.name + " ;  ";
+    }
+    // Trim the trailing spacing.
+    while (!dr.empty() && dr.back() == ' ') dr.pop_back();
+    line("DR", dr);
+  }
+  out += "//\n";
+  return out;
+}
+
+}  // namespace xomatiq::flatfile

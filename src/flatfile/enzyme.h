@@ -1,0 +1,54 @@
+#ifndef XOMATIQ_FLATFILE_ENZYME_H_
+#define XOMATIQ_FLATFILE_ENZYME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "flatfile/line_record.h"
+
+namespace xomatiq::flatfile {
+
+// One ENZYME database entry (paper Fig 2 / Fig 4 line codes).
+struct EnzymeEntry {
+  std::string id;  // EC number, e.g. "1.14.17.3"
+
+  std::vector<std::string> descriptions;          // DE (>= 1)
+  std::vector<std::string> alternate_names;       // AN
+  std::vector<std::string> catalytic_activities;  // CA (one per line)
+  std::vector<std::string> cofactors;             // CF (';'-separated)
+  std::vector<std::string> comments;              // CC ("-!-" blocks)
+  std::vector<std::string> prosite_refs;          // PR accession numbers
+
+  struct SwissProtRef {
+    std::string accession;  // "P10731"
+    std::string name;       // "AMD_BOVIN"
+    bool operator==(const SwissProtRef&) const = default;
+  };
+  std::vector<SwissProtRef> swissprot_refs;  // DR
+
+  struct DiseaseRef {
+    std::string mim_id;       // OMIM catalogue number
+    std::string description;  // disease name
+    bool operator==(const DiseaseRef&) const = default;
+  };
+  std::vector<DiseaseRef> diseases;  // DI
+
+  bool operator==(const EnzymeEntry&) const = default;
+};
+
+// Parses one entry from its line records (ID ... before the terminator).
+common::Result<EnzymeEntry> ParseEnzymeEntry(
+    const std::vector<LineRecord>& records);
+
+// Parses a whole ENZYME flat file.
+common::Result<std::vector<EnzymeEntry>> ParseEnzymeFile(
+    std::string_view content);
+
+// Emits the entry in ENZYME flat-file format (terminated with "//").
+// Round-trips through ParseEnzymeEntry.
+std::string FormatEnzymeEntry(const EnzymeEntry& entry);
+
+}  // namespace xomatiq::flatfile
+
+#endif  // XOMATIQ_FLATFILE_ENZYME_H_

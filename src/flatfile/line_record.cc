@@ -1,0 +1,96 @@
+#include "flatfile/line_record.h"
+
+#include "common/string_util.h"
+
+namespace xomatiq::flatfile {
+
+using common::Result;
+using common::Status;
+
+Result<LineRecord> ParseLine(std::string_view line) {
+  line = common::StripTrailingWhitespace(line);
+  if (line.empty()) {
+    return Status::ParseError("empty line in flat file");
+  }
+  if (line == "//") {
+    return LineRecord{"//", ""};
+  }
+  if (line.size() < 2) {
+    return Status::ParseError("line too short for a line code: '" +
+                              std::string(line) + "'");
+  }
+  LineRecord record;
+  record.code = std::string(line.substr(0, 2));
+  if (record.code == "  ") {
+    // Sequence data lines in SQ blocks carry a blank code.
+    record.data = std::string(common::StripWhitespace(line));
+    record.code = "  ";
+    return record;
+  }
+  if (line.size() > 5) {
+    record.data = std::string(line.substr(5));
+  } else if (line.size() > 2) {
+    record.data = std::string(common::StripWhitespace(line.substr(2)));
+  }
+  return record;
+}
+
+std::string FormatLine(std::string_view code, std::string_view data) {
+  std::string out(code);
+  if (!data.empty()) {
+    out += "   ";
+    out += data;
+  }
+  return out;
+}
+
+std::string FormatLine(const LineRecord& record) {
+  if (record.code == "//") return "//";
+  return FormatLine(record.code, record.data);
+}
+
+Result<std::optional<std::vector<LineRecord>>> EntryReader::NextEntry() {
+  std::vector<LineRecord> records;
+  bool saw_any = false;
+  while (pos_ < content_.size()) {
+    size_t eol = content_.find('\n', pos_);
+    std::string_view line = eol == std::string_view::npos
+                                ? content_.substr(pos_)
+                                : content_.substr(pos_, eol - pos_);
+    pos_ = eol == std::string_view::npos ? content_.size() : eol + 1;
+    if (common::StripWhitespace(line).empty()) continue;
+    XQ_ASSIGN_OR_RETURN(LineRecord record, ParseLine(line));
+    if (record.code == "//") {
+      return std::optional<std::vector<LineRecord>>(std::move(records));
+    }
+    saw_any = true;
+    records.push_back(std::move(record));
+  }
+  if (saw_any) {
+    return Status::ParseError(
+        "flat file ends inside an entry (missing '//' terminator)");
+  }
+  return std::optional<std::vector<LineRecord>>(std::nullopt);
+}
+
+std::string JoinLines(const std::vector<LineRecord>& records,
+                      std::string_view code) {
+  std::string out;
+  for (const LineRecord& r : records) {
+    if (r.code != code) continue;
+    if (!out.empty()) out += " ";
+    out += r.data;
+  }
+  return out;
+}
+
+std::vector<std::string> LinesFor(const std::vector<LineRecord>& records,
+                                  std::string_view code) {
+  std::vector<std::string> out;
+  for (const LineRecord& r : records) {
+    if (r.code == code) out.push_back(r.data);
+  }
+  return out;
+}
+
+}  // namespace xomatiq::flatfile

@@ -1,0 +1,57 @@
+#ifndef XOMATIQ_FLATFILE_LINE_RECORD_H_
+#define XOMATIQ_FLATFILE_LINE_RECORD_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xomatiq::flatfile {
+
+// One line of an EMBL-style flat file (paper Fig 3): a two-character line
+// code in columns 1-2, blank columns 3-5, data from column 6 onward.
+struct LineRecord {
+  std::string code;  // "ID", "DE", ..., "//"
+  std::string data;  // trailing-whitespace-stripped payload
+};
+
+// Parses one raw line into code + data. The terminator line "//" yields
+// code "//" with empty data. Empty lines are rejected.
+common::Result<LineRecord> ParseLine(std::string_view line);
+
+// Formats a record back into the fixed layout ("CC   data").
+std::string FormatLine(const LineRecord& record);
+std::string FormatLine(std::string_view code, std::string_view data);
+
+// Splits flat-file content into entries. Each entry is the sequence of
+// lines up to (excluding) its "//" terminator. A final unterminated entry
+// is a parse error (paper §2.1: every entry must end with "//").
+class EntryReader {
+ public:
+  explicit EntryReader(std::string_view content) : content_(content) {}
+
+  // Next entry's records, or nullopt at end of input.
+  common::Result<std::optional<std::vector<LineRecord>>> NextEntry();
+
+  // Byte offset of the reader (for error reporting / progress).
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view content_;
+  size_t pos_ = 0;
+};
+
+// Joins data from consecutive records sharing `code` with single spaces
+// (standard flat-file continuation-line semantics).
+std::string JoinLines(const std::vector<LineRecord>& records,
+                      std::string_view code);
+
+// All data payloads for `code`, one per line.
+std::vector<std::string> LinesFor(const std::vector<LineRecord>& records,
+                                  std::string_view code);
+
+}  // namespace xomatiq::flatfile
+
+#endif  // XOMATIQ_FLATFILE_LINE_RECORD_H_

@@ -1,0 +1,173 @@
+#include "flatfile/swissprot.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace xomatiq::flatfile {
+
+using common::Result;
+using common::Status;
+
+Result<SwissProtEntry> ParseSwissProtEntry(
+    const std::vector<LineRecord>& records) {
+  if (records.empty() || records.front().code != "ID") {
+    return Status::ParseError("Swiss-Prot entry must begin with an ID line");
+  }
+  SwissProtEntry entry;
+  bool in_sequence = false;
+  for (const LineRecord& record : records) {
+    const std::string& data = record.data;
+    if (record.code == "ID") {
+      // "AMD_BOVIN  STANDARD;  PRT;  972 AA."
+      std::vector<std::string> parts = common::SplitWhitespace(data);
+      if (parts.size() < 2) {
+        return Status::ParseError("malformed Swiss-Prot ID line: " + data);
+      }
+      entry.id = parts[0];
+      entry.status = parts[1];
+      while (!entry.status.empty() &&
+             (entry.status.back() == ';' || entry.status.back() == '.')) {
+        entry.status.pop_back();
+      }
+      for (size_t i = 2; i + 1 < parts.size(); ++i) {
+        if (common::StartsWith(parts[i + 1], "AA")) {
+          if (auto n = common::ParseInt64(parts[i])) {
+            entry.length = static_cast<size_t>(*n);
+          }
+        }
+      }
+    } else if (record.code == "AC") {
+      for (const std::string& acc : common::Split(data, ';')) {
+        std::string trimmed(common::StripWhitespace(acc));
+        if (!trimmed.empty()) entry.accessions.push_back(std::move(trimmed));
+      }
+    } else if (record.code == "DE") {
+      if (!entry.description.empty()) entry.description += " ";
+      entry.description += std::string(common::StripWhitespace(data));
+    } else if (record.code == "GN") {
+      std::string text = data;
+      if (!text.empty() && text.back() == '.') text.pop_back();
+      for (const std::string& gene : common::Split(text, ';')) {
+        std::string trimmed(common::StripWhitespace(gene));
+        if (!trimmed.empty()) entry.gene_names.push_back(std::move(trimmed));
+      }
+    } else if (record.code == "OS") {
+      if (!entry.organism.empty()) entry.organism += " ";
+      entry.organism += std::string(common::StripWhitespace(data));
+    } else if (record.code == "CC") {
+      std::string_view text = common::StripWhitespace(data);
+      if (common::StartsWith(text, "-!-")) {
+        entry.comments.push_back(
+            std::string(common::StripWhitespace(text.substr(3))));
+      } else if (!entry.comments.empty()) {
+        entry.comments.back() += " ";
+        entry.comments.back() += std::string(text);
+      }
+      // Header CC banner lines before any "-!-" are ignored.
+    } else if (record.code == "DR") {
+      std::string text = data;
+      if (!text.empty() && text.back() == '.') text.pop_back();
+      std::vector<std::string> parts = common::Split(text, ';');
+      if (parts.size() < 2) {
+        return Status::ParseError("malformed Swiss-Prot DR line: " + data);
+      }
+      SwissProtDbXref xref;
+      xref.database = std::string(common::StripWhitespace(parts[0]));
+      xref.primary = std::string(common::StripWhitespace(parts[1]));
+      if (parts.size() > 2) {
+        xref.secondary = std::string(common::StripWhitespace(parts[2]));
+      }
+      entry.xrefs.push_back(std::move(xref));
+    } else if (record.code == "KW") {
+      std::string text = data;
+      if (!text.empty() && text.back() == '.') text.pop_back();
+      for (const std::string& kw : common::Split(text, ';')) {
+        std::string trimmed(common::StripWhitespace(kw));
+        if (!trimmed.empty()) entry.keywords.push_back(std::move(trimmed));
+      }
+    } else if (record.code == "SQ") {
+      in_sequence = true;
+    } else if (record.code == "  ") {
+      if (!in_sequence) {
+        return Status::ParseError("sequence data before SQ header");
+      }
+      for (char c : data) {
+        if (std::isalpha(static_cast<unsigned char>(c))) {
+          entry.sequence.push_back(
+              static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+        }
+      }
+    } else if (record.code == "XX" || record.code == "OC" ||
+               record.code == "OX" || record.code == "RN" ||
+               record.code == "RP" || record.code == "RA" ||
+               record.code == "RT" || record.code == "RL" ||
+               record.code == "FT") {
+      // Recognized but not modeled; skipped without error so real files
+      // from ExPASy parse.
+    } else {
+      return Status::ParseError("unknown Swiss-Prot line code '" +
+                                record.code + "'");
+    }
+  }
+  if (entry.accessions.empty()) {
+    return Status::ParseError("Swiss-Prot entry " + entry.id +
+                              " has no accession (AC) line");
+  }
+  if (entry.length == 0) entry.length = entry.sequence.size();
+  return entry;
+}
+
+Result<std::vector<SwissProtEntry>> ParseSwissProtFile(
+    std::string_view content) {
+  std::vector<SwissProtEntry> entries;
+  EntryReader reader(content);
+  while (true) {
+    XQ_ASSIGN_OR_RETURN(auto records, reader.NextEntry());
+    if (!records.has_value()) break;
+    XQ_ASSIGN_OR_RETURN(SwissProtEntry entry, ParseSwissProtEntry(*records));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string FormatSwissProtEntry(const SwissProtEntry& entry) {
+  std::string out;
+  auto line = [&out](std::string_view code, std::string_view data) {
+    out += FormatLine(code, data);
+    out += "\n";
+  };
+  line("ID", entry.id + "  " + entry.status + ";  PRT;  " +
+                 std::to_string(entry.length) + " AA.");
+  std::string ac;
+  for (const std::string& a : entry.accessions) ac += a + ";";
+  line("AC", ac);
+  if (!entry.description.empty()) line("DE", entry.description);
+  if (!entry.gene_names.empty()) {
+    line("GN", common::Join(entry.gene_names, "; ") + ".");
+  }
+  if (!entry.organism.empty()) line("OS", entry.organism);
+  for (const std::string& cc : entry.comments) line("CC", "-!- " + cc);
+  for (const SwissProtDbXref& xref : entry.xrefs) {
+    std::string dr = xref.database + "; " + xref.primary;
+    if (!xref.secondary.empty()) dr += "; " + xref.secondary;
+    line("DR", dr + ".");
+  }
+  if (!entry.keywords.empty()) {
+    line("KW", common::Join(entry.keywords, "; ") + ".");
+  }
+  line("SQ", "SEQUENCE   " + std::to_string(entry.sequence.size()) + " AA;");
+  for (size_t i = 0; i < entry.sequence.size(); i += 60) {
+    std::string chunk = entry.sequence.substr(i, 60);
+    std::string grouped;
+    for (size_t j = 0; j < chunk.size(); j += 10) {
+      if (j > 0) grouped += " ";
+      grouped += chunk.substr(j, 10);
+    }
+    out += "     " + grouped + "\n";
+  }
+  out += "//\n";
+  return out;
+}
+
+}  // namespace xomatiq::flatfile

@@ -1,0 +1,48 @@
+#ifndef XOMATIQ_FLATFILE_SWISSPROT_H_
+#define XOMATIQ_FLATFILE_SWISSPROT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "flatfile/line_record.h"
+
+namespace xomatiq::flatfile {
+
+// A database cross-reference (DR line) of a Swiss-Prot entry.
+struct SwissProtDbXref {
+  std::string database;   // "EMBL", "ENZYME", "PROSITE", ...
+  std::string primary;
+  std::string secondary;
+  bool operator==(const SwissProtDbXref&) const = default;
+};
+
+// One Swiss-Prot protein entry (subset of the published format).
+struct SwissProtEntry {
+  std::string id;        // entry name, e.g. "AMD_BOVIN"
+  std::string status;    // "STANDARD" / "PRELIMINARY"
+  size_t length = 0;     // amino-acid count (from the ID line)
+  std::vector<std::string> accessions;  // AC, e.g. "P10731"
+  std::string description;              // DE (joined)
+  std::vector<std::string> gene_names;  // GN
+  std::string organism;                 // OS
+  std::vector<std::string> comments;    // CC "-!-" blocks
+  std::vector<SwissProtDbXref> xrefs;   // DR
+  std::vector<std::string> keywords;    // KW
+  std::string sequence;                 // SQ block, uppercase residues
+
+  bool operator==(const SwissProtEntry&) const = default;
+};
+
+common::Result<SwissProtEntry> ParseSwissProtEntry(
+    const std::vector<LineRecord>& records);
+common::Result<std::vector<SwissProtEntry>> ParseSwissProtFile(
+    std::string_view content);
+
+// Emits the entry in Swiss-Prot flat-file format; round-trips via
+// ParseSwissProtEntry.
+std::string FormatSwissProtEntry(const SwissProtEntry& entry);
+
+}  // namespace xomatiq::flatfile
+
+#endif  // XOMATIQ_FLATFILE_SWISSPROT_H_

@@ -1,0 +1,271 @@
+#include "relational/btree_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xomatiq::rel {
+
+namespace {
+
+bool KeyLess(const CompositeKey& a, const CompositeKey& b) {
+  return CompareCompositeKeys(a, b) < 0;
+}
+
+}  // namespace
+
+struct BTreeIndex::LeafEntry {
+  CompositeKey key;
+  std::vector<RowId> rows;
+};
+
+struct BTreeIndex::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+
+  bool is_leaf;
+  Node* parent = nullptr;
+
+  // Leaf payload.
+  std::vector<LeafEntry> entries;
+  Node* next = nullptr;
+
+  // Internal payload: children.size() == keys.size() + 1. Keys in
+  // children[i] satisfy keys[i-1] <= k < keys[i].
+  std::vector<CompositeKey> keys;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+BTreeIndex::BTreeIndex(size_t fanout) : fanout_(std::max<size_t>(4, fanout)) {
+  root_owner_ = std::make_unique<Node>(/*leaf=*/true);
+  root_ = root_owner_.get();
+}
+
+BTreeIndex::~BTreeIndex() = default;
+
+BTreeIndex::Node* BTreeIndex::FindLeaf(const CompositeKey& key) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    size_t i = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key, KeyLess) -
+        node->keys.begin());
+    node = node->children[i].get();
+  }
+  return node;
+}
+
+void BTreeIndex::Insert(const CompositeKey& key, RowId row) {
+  Node* leaf = FindLeaf(key);
+  InsertIntoLeaf(leaf, key, row);
+}
+
+void BTreeIndex::InsertIntoLeaf(Node* leaf, const CompositeKey& key,
+                                RowId row) {
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafEntry& e, const CompositeKey& k) { return KeyLess(e.key, k); });
+  if (it != leaf->entries.end() && CompareCompositeKeys(it->key, key) == 0) {
+    it->rows.push_back(row);
+    ++num_entries_;
+    return;
+  }
+  LeafEntry entry;
+  entry.key = key;
+  entry.rows.push_back(row);
+  leaf->entries.insert(it, std::move(entry));
+  ++num_keys_;
+  ++num_entries_;
+  if (leaf->entries.size() > fanout_) SplitLeaf(leaf);
+}
+
+void BTreeIndex::SplitLeaf(Node* leaf) {
+  auto right = std::make_unique<Node>(/*leaf=*/true);
+  size_t mid = leaf->entries.size() / 2;
+  right->entries.assign(std::make_move_iterator(leaf->entries.begin() + mid),
+                        std::make_move_iterator(leaf->entries.end()));
+  leaf->entries.resize(mid);
+  right->next = leaf->next;
+  Node* right_raw = right.get();
+  CompositeKey sep = right->entries.front().key;
+  // InsertIntoParent takes ownership of `right`.
+  leaf->next = right_raw;
+  right.release();
+  InsertIntoParent(leaf, std::move(sep), right_raw);
+}
+
+void BTreeIndex::InsertIntoParent(Node* left, CompositeKey sep, Node* right) {
+  std::unique_ptr<Node> right_owned(right);
+  if (left == root_) {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    new_root->keys.push_back(std::move(sep));
+    left->parent = new_root.get();
+    right->parent = new_root.get();
+    new_root->children.push_back(std::move(root_owner_));
+    new_root->children.push_back(std::move(right_owned));
+    root_owner_ = std::move(new_root);
+    root_ = root_owner_.get();
+    return;
+  }
+  Node* parent = left->parent;
+  // Locate left among parent's children.
+  size_t i = 0;
+  while (i < parent->children.size() && parent->children[i].get() != left) ++i;
+  assert(i < parent->children.size());
+  parent->keys.insert(parent->keys.begin() + i, std::move(sep));
+  right->parent = parent;
+  parent->children.insert(parent->children.begin() + i + 1,
+                          std::move(right_owned));
+  if (parent->keys.size() > fanout_) SplitInternal(parent);
+}
+
+void BTreeIndex::SplitInternal(Node* node) {
+  size_t mid = node->keys.size() / 2;
+  CompositeKey sep = std::move(node->keys[mid]);
+  auto right = std::make_unique<Node>(/*leaf=*/false);
+  right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                     std::make_move_iterator(node->keys.end()));
+  right->children.assign(
+      std::make_move_iterator(node->children.begin() + mid + 1),
+      std::make_move_iterator(node->children.end()));
+  for (auto& child : right->children) child->parent = right.get();
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  Node* right_raw = right.release();
+  InsertIntoParent(node, std::move(sep), right_raw);
+}
+
+bool BTreeIndex::Erase(const CompositeKey& key, RowId row) {
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafEntry& e, const CompositeKey& k) { return KeyLess(e.key, k); });
+  if (it == leaf->entries.end() || CompareCompositeKeys(it->key, key) != 0) {
+    return false;
+  }
+  auto rit = std::find(it->rows.begin(), it->rows.end(), row);
+  if (rit == it->rows.end()) return false;
+  it->rows.erase(rit);
+  --num_entries_;
+  if (it->rows.empty()) {
+    leaf->entries.erase(it);
+    --num_keys_;
+  }
+  return true;
+}
+
+std::vector<RowId> BTreeIndex::Lookup(const CompositeKey& key) const {
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafEntry& e, const CompositeKey& k) { return KeyLess(e.key, k); });
+  if (it == leaf->entries.end() || CompareCompositeKeys(it->key, key) != 0) {
+    return {};
+  }
+  return it->rows;
+}
+
+void BTreeIndex::Scan(
+    const std::optional<Bound>& lo, const std::optional<Bound>& hi,
+    const std::function<bool(const CompositeKey&, const std::vector<RowId>&)>&
+        visit) const {
+  Node* leaf;
+  size_t pos = 0;
+  if (lo.has_value()) {
+    leaf = FindLeaf(lo->key);
+    pos = static_cast<size_t>(
+        std::lower_bound(leaf->entries.begin(), leaf->entries.end(), lo->key,
+                         [](const LeafEntry& e, const CompositeKey& k) {
+                           return KeyLess(e.key, k);
+                         }) -
+        leaf->entries.begin());
+    if (!lo->inclusive && pos < leaf->entries.size() &&
+        CompareCompositeKeys(leaf->entries[pos].key, lo->key) == 0) {
+      ++pos;
+    }
+  } else {
+    leaf = root_;
+    while (!leaf->is_leaf) leaf = leaf->children.front().get();
+  }
+  while (leaf != nullptr) {
+    for (; pos < leaf->entries.size(); ++pos) {
+      const LeafEntry& e = leaf->entries[pos];
+      if (hi.has_value()) {
+        int c = CompareCompositeKeys(e.key, hi->key);
+        if (c > 0 || (c == 0 && !hi->inclusive)) return;
+      }
+      if (!visit(e.key, e.rows)) return;
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+}
+
+void BTreeIndex::ScanPrefix(
+    const CompositeKey& prefix,
+    const std::function<bool(const CompositeKey&, const std::vector<RowId>&)>&
+        visit) const {
+  Bound lo{prefix, /*inclusive=*/true};
+  Scan(lo, std::nullopt,
+       [&](const CompositeKey& key, const std::vector<RowId>& rows) {
+         if (key.size() < prefix.size()) return false;
+         for (size_t i = 0; i < prefix.size(); ++i) {
+           if (Value::Compare(key[i], prefix[i]) != 0) return false;
+         }
+         return visit(key, rows);
+       });
+}
+
+size_t BTreeIndex::Height() const {
+  size_t h = 1;
+  Node* node = root_;
+  while (!node->is_leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+bool BTreeIndex::CheckInvariants() const {
+  if (!CheckNodeInvariants(root_, nullptr, nullptr)) return false;
+  // Leaf chain must be globally sorted.
+  Node* leaf = root_;
+  while (!leaf->is_leaf) leaf = leaf->children.front().get();
+  const CompositeKey* prev = nullptr;
+  while (leaf != nullptr) {
+    for (const LeafEntry& e : leaf->entries) {
+      if (prev != nullptr && CompareCompositeKeys(*prev, e.key) >= 0) {
+        return false;
+      }
+      prev = &e.key;
+    }
+    leaf = leaf->next;
+  }
+  return true;
+}
+
+// Recursively checks subtree key bounds; lo/hi may be null (unbounded).
+bool BTreeIndex::CheckNodeInvariants(const Node* node, const CompositeKey* lo,
+                                     const CompositeKey* hi) const {
+  if (node->is_leaf) {
+    for (const auto& e : node->entries) {
+      if (lo != nullptr && CompareCompositeKeys(e.key, *lo) < 0) return false;
+      if (hi != nullptr && CompareCompositeKeys(e.key, *hi) >= 0) return false;
+    }
+    return true;
+  }
+  if (node->children.size() != node->keys.size() + 1) return false;
+  for (size_t i = 1; i < node->keys.size(); ++i) {
+    if (CompareCompositeKeys(node->keys[i - 1], node->keys[i]) >= 0) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const CompositeKey* child_lo = i == 0 ? lo : &node->keys[i - 1];
+    const CompositeKey* child_hi = i == node->keys.size() ? hi : &node->keys[i];
+    if (node->children[i]->parent != node) return false;
+    if (!CheckNodeInvariants(node->children[i].get(), child_lo, child_hi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xomatiq::rel

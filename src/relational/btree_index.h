@@ -1,0 +1,88 @@
+#ifndef XOMATIQ_RELATIONAL_BTREE_INDEX_H_
+#define XOMATIQ_RELATIONAL_BTREE_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace xomatiq::rel {
+
+using RowId = uint64_t;
+
+// In-memory B+tree mapping CompositeKey -> posting list of RowIds.
+// Duplicate keys share one leaf entry. Leaves are linked for range scans.
+// Deletion removes rows from posting lists and drops empty entries but does
+// not rebalance (underfull nodes are tolerated; bulk reloads rebuild the
+// tree), which matches the warehouse's append-mostly usage.
+class BTreeIndex {
+ public:
+  // `fanout` is the max entries per node; minimum 4.
+  explicit BTreeIndex(size_t fanout = 64);
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  void Insert(const CompositeKey& key, RowId row);
+
+  // Removes (key,row); returns true when the pair was present.
+  bool Erase(const CompositeKey& key, RowId row);
+
+  // Rows whose key equals `key` (empty when absent).
+  std::vector<RowId> Lookup(const CompositeKey& key) const;
+
+  // Bound for a range scan endpoint.
+  struct Bound {
+    CompositeKey key;
+    bool inclusive = true;
+  };
+
+  // Visits entries with lo <= key <= hi (per bound inclusivity) in key
+  // order. Null bounds are unbounded. Visitor returns false to stop early.
+  void Scan(const std::optional<Bound>& lo, const std::optional<Bound>& hi,
+            const std::function<bool(const CompositeKey&,
+                                     const std::vector<RowId>&)>& visit) const;
+
+  // Prefix scan: entries whose first prefix.size() key parts equal
+  // `prefix`, in key order.
+  void ScanPrefix(const CompositeKey& prefix,
+                  const std::function<bool(const CompositeKey&,
+                                           const std::vector<RowId>&)>& visit)
+      const;
+
+  size_t num_keys() const { return num_keys_; }
+  size_t num_entries() const { return num_entries_; }
+
+  // Tree height (1 = just a leaf). Exposed for tests/benchmarks.
+  size_t Height() const;
+
+  // Validates B+tree invariants (key order, child separation, linked-leaf
+  // chain). Returns false on violation; used by property tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafEntry;
+
+  Node* FindLeaf(const CompositeKey& key) const;
+  bool CheckNodeInvariants(const Node* node, const CompositeKey* lo,
+                           const CompositeKey* hi) const;
+  void InsertIntoLeaf(Node* leaf, const CompositeKey& key, RowId row);
+  void SplitLeaf(Node* leaf);
+  void SplitInternal(Node* node);
+  void InsertIntoParent(Node* left, CompositeKey sep, Node* right);
+
+  std::unique_ptr<Node> root_owner_;
+  Node* root_ = nullptr;
+  size_t fanout_;
+  size_t num_keys_ = 0;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_BTREE_INDEX_H_

@@ -1,0 +1,605 @@
+#include "relational/database.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "relational/serde.h"
+
+namespace xomatiq::rel {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// WAL / snapshot record tags.
+enum class Op : uint8_t {
+  kCreateTable = 1,
+  kDropTable = 2,
+  kCreateIndex = 3,
+  kDropIndex = 4,
+  kInsert = 5,
+  kDelete = 6,
+  kUpdate = 7,
+};
+
+constexpr char kSnapshotMagic[] = "XQSNAP1";
+constexpr char kSnapshotFile[] = "snapshot.db";
+constexpr char kWalFile[] = "wal.log";
+
+void EncodeIndexDef(const IndexDef& def, BinaryWriter* w) {
+  w->PutString(def.name);
+  w->PutString(def.table);
+  w->PutU32(static_cast<uint32_t>(def.columns.size()));
+  for (const std::string& c : def.columns) w->PutString(c);
+  w->PutU8(static_cast<uint8_t>(def.kind));
+  w->PutU8(def.unique ? 1 : 0);
+}
+
+Result<IndexDef> DecodeIndexDef(BinaryReader* r) {
+  IndexDef def;
+  XQ_ASSIGN_OR_RETURN(def.name, r->GetString());
+  XQ_ASSIGN_OR_RETURN(def.table, r->GetString());
+  XQ_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    XQ_ASSIGN_OR_RETURN(std::string c, r->GetString());
+    def.columns.push_back(std::move(c));
+  }
+  XQ_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  if (kind > static_cast<uint8_t>(IndexKind::kInverted)) {
+    return Status::Corruption("bad index kind");
+  }
+  def.kind = static_cast<IndexKind>(kind);
+  XQ_ASSIGN_OR_RETURN(uint8_t unique, r->GetU8());
+  def.unique = unique != 0;
+  return def;
+}
+
+// Extracts the index key for `entry` from `tuple`. Returns false when any
+// key part is NULL (NULL keys are not indexed, as in Oracle).
+bool ExtractKey(const IndexEntry& entry, const Tuple& tuple,
+                CompositeKey* key) {
+  key->clear();
+  for (size_t idx : entry.column_indexes) {
+    if (tuple[idx].is_null()) return false;
+    key->push_back(tuple[idx]);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kBTree:
+      return "BTREE";
+    case IndexKind::kHash:
+      return "HASH";
+    case IndexKind::kInverted:
+      return "INVERTED";
+  }
+  return "?";
+}
+
+Database::~Database() = default;
+
+std::unique_ptr<Database> Database::OpenInMemory() {
+  return std::unique_ptr<Database>(new Database());
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create database directory " + dir + ": " +
+                           ec.message());
+  }
+  std::unique_ptr<Database> db(new Database());
+  db->dir_ = dir;
+  std::string snapshot_path = dir + "/" + kSnapshotFile;
+  if (std::filesystem::exists(snapshot_path)) {
+    XQ_RETURN_IF_ERROR(db->LoadSnapshot(snapshot_path));
+  }
+  db->replaying_ = true;
+  auto replayed = WriteAheadLog::Replay(
+      dir + "/" + kWalFile,
+      [&](std::string_view payload) { return db->ReplayRecord(payload); });
+  db->replaying_ = false;
+  if (!replayed.ok()) return replayed.status();
+  db->records_recovered_ = *replayed;
+  XQ_ASSIGN_OR_RETURN(db->wal_, WriteAheadLog::Open(dir + "/" + kWalFile));
+  return db;
+}
+
+Status Database::Log(std::string_view payload) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  return wal_->Append(payload);
+}
+
+// --- DDL -------------------------------------------------------------
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  XQ_RETURN_IF_ERROR(CreateTableInternal(name, schema));
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(Op::kCreateTable));
+  w.PutString(name);
+  EncodeSchema(schema, &w);
+  return Log(w.buffer());
+}
+
+Status Database::CreateTableInternal(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  if (schema.size() == 0) {
+    return Status::InvalidArgument("table needs at least one column: " + name);
+  }
+  TableInfo info;
+  info.table = std::make_unique<Table>(name, std::move(schema));
+  tables_.emplace(name, std::move(info));
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& name) {
+  XQ_RETURN_IF_ERROR(DropTableInternal(name));
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(Op::kDropTable));
+  w.PutString(name);
+  return Log(w.buffer());
+}
+
+Status Database::DropTableInternal(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Status::OK();
+}
+
+Status Database::CreateIndex(const IndexDef& def) {
+  XQ_RETURN_IF_ERROR(CreateIndexInternal(def));
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(Op::kCreateIndex));
+  EncodeIndexDef(def, &w);
+  return Log(w.buffer());
+}
+
+Status Database::CreateIndexInternal(const IndexDef& def) {
+  auto it = tables_.find(def.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + def.table);
+  }
+  if (FindIndexByName(def.name) != nullptr) {
+    return Status::AlreadyExists("index exists: " + def.name);
+  }
+  if (def.columns.empty()) {
+    return Status::InvalidArgument("index needs columns: " + def.name);
+  }
+  if (def.kind == IndexKind::kInverted && def.columns.size() != 1) {
+    return Status::InvalidArgument(
+        "inverted index takes exactly one column: " + def.name);
+  }
+  auto entry = std::make_unique<IndexEntry>();
+  entry->def = def;
+  const Schema& schema = it->second.table->schema();
+  for (const std::string& col : def.columns) {
+    XQ_ASSIGN_OR_RETURN(size_t idx, schema.ResolveColumn(col));
+    if (def.kind == IndexKind::kInverted &&
+        schema.column(idx).type != ValueType::kText) {
+      return Status::InvalidArgument("inverted index column must be TEXT: " +
+                                     col);
+    }
+    entry->column_indexes.push_back(idx);
+  }
+  switch (def.kind) {
+    case IndexKind::kBTree:
+      entry->btree = std::make_unique<BTreeIndex>();
+      break;
+    case IndexKind::kHash:
+      entry->hash = std::make_unique<HashIndex>();
+      break;
+    case IndexKind::kInverted:
+      entry->inverted = std::make_unique<InvertedIndex>();
+      break;
+  }
+  XQ_RETURN_IF_ERROR(BuildIndex(*it->second.table, entry.get()));
+  it->second.indexes.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status Database::BuildIndex(const Table& table, IndexEntry* entry) {
+  Status status;
+  CompositeKey key;
+  table.Scan([&](RowId row, const Tuple& tuple) {
+    switch (entry->def.kind) {
+      case IndexKind::kBTree:
+      case IndexKind::kHash: {
+        if (!ExtractKey(*entry, tuple, &key)) return true;
+        if (entry->def.unique) {
+          bool dup = entry->btree ? !entry->btree->Lookup(key).empty()
+                                  : entry->hash->Lookup(key) != nullptr;
+          if (dup) {
+            status = Status::ConstraintViolation(
+                "duplicate key building unique index " + entry->def.name);
+            return false;
+          }
+        }
+        if (entry->btree) {
+          entry->btree->Insert(key, row);
+        } else {
+          entry->hash->Insert(key, row);
+        }
+        return true;
+      }
+      case IndexKind::kInverted: {
+        const Value& v = tuple[entry->column_indexes[0]];
+        if (!v.is_null()) entry->inverted->Add(row, v.AsText());
+        return true;
+      }
+    }
+    return true;
+  });
+  return status;
+}
+
+Status Database::DropIndex(const std::string& index_name) {
+  XQ_RETURN_IF_ERROR(DropIndexInternal(index_name));
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(Op::kDropIndex));
+  w.PutString(index_name);
+  return Log(w.buffer());
+}
+
+Status Database::DropIndexInternal(const std::string& index_name) {
+  for (auto& [name, info] : tables_) {
+    for (size_t i = 0; i < info.indexes.size(); ++i) {
+      if (info.indexes[i]->def.name == index_name) {
+        info.indexes.erase(info.indexes.begin() + i);
+        return Status::OK();
+      }
+    }
+  }
+  return Status::NotFound("no such index: " + index_name);
+}
+
+// --- DML -------------------------------------------------------------
+// Apply-then-log: a record reaches the WAL only after the in-memory apply
+// succeeded, so replay never hits validation errors; the flush in
+// WriteAheadLog::Append is the commit point.
+
+Result<RowId> Database::Insert(const std::string& table, Tuple tuple) {
+  XQ_ASSIGN_OR_RETURN(RowId row, InsertInternal(table, std::move(tuple)));
+  auto info = tables_.find(table);
+  XQ_ASSIGN_OR_RETURN(const Tuple* stored, info->second.table->Get(row));
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(Op::kInsert));
+  w.PutString(table);
+  EncodeTuple(*stored, &w);
+  XQ_RETURN_IF_ERROR(Log(w.buffer()));
+  return row;
+}
+
+Result<RowId> Database::InsertInternal(const std::string& table, Tuple tuple) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  TableInfo& info = it->second;
+  XQ_ASSIGN_OR_RETURN(RowId row, info.table->Insert(std::move(tuple)));
+  XQ_ASSIGN_OR_RETURN(const Tuple* stored, info.table->Get(row));
+  Status s = IndexInsert(&info, row, *stored);
+  if (!s.ok()) {
+    // Unique violation: undo the heap insert; IndexInsert checks
+    // constraints before touching any index so nothing else to undo.
+    (void)info.table->Delete(row);
+    return s;
+  }
+  return row;
+}
+
+Status Database::IndexInsert(TableInfo* info, RowId row, const Tuple& tuple) {
+  CompositeKey key;
+  // Pass 1: unique pre-checks, no mutation.
+  for (const auto& entry : info->indexes) {
+    if (!entry->def.unique) continue;
+    if (!ExtractKey(*entry, tuple, &key)) continue;
+    bool dup = false;
+    if (entry->btree) {
+      dup = !entry->btree->Lookup(key).empty();
+    } else if (entry->hash) {
+      dup = entry->hash->Lookup(key) != nullptr;
+    }
+    if (dup) {
+      return Status::ConstraintViolation(
+          "unique index " + entry->def.name + " violated by key (" +
+          TupleToString(key) + ")");
+    }
+  }
+  // Pass 2: insert everywhere.
+  for (const auto& entry : info->indexes) {
+    switch (entry->def.kind) {
+      case IndexKind::kBTree:
+        if (ExtractKey(*entry, tuple, &key)) entry->btree->Insert(key, row);
+        break;
+      case IndexKind::kHash:
+        if (ExtractKey(*entry, tuple, &key)) entry->hash->Insert(key, row);
+        break;
+      case IndexKind::kInverted: {
+        const Value& v = tuple[entry->column_indexes[0]];
+        if (!v.is_null()) entry->inverted->Add(row, v.AsText());
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Database::IndexErase(TableInfo* info, RowId row, const Tuple& tuple) {
+  CompositeKey key;
+  for (const auto& entry : info->indexes) {
+    switch (entry->def.kind) {
+      case IndexKind::kBTree:
+        if (ExtractKey(*entry, tuple, &key)) entry->btree->Erase(key, row);
+        break;
+      case IndexKind::kHash:
+        if (ExtractKey(*entry, tuple, &key)) entry->hash->Erase(key, row);
+        break;
+      case IndexKind::kInverted: {
+        const Value& v = tuple[entry->column_indexes[0]];
+        if (!v.is_null()) entry->inverted->Remove(row, v.AsText());
+        break;
+      }
+    }
+  }
+}
+
+Status Database::Delete(const std::string& table, RowId row) {
+  XQ_RETURN_IF_ERROR(DeleteInternal(table, row));
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(Op::kDelete));
+  w.PutString(table);
+  w.PutU64(row);
+  return Log(w.buffer());
+}
+
+Status Database::DeleteInternal(const std::string& table, RowId row) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  TableInfo& info = it->second;
+  XQ_ASSIGN_OR_RETURN(const Tuple* tuple, info.table->Get(row));
+  IndexErase(&info, row, *tuple);
+  return info.table->Delete(row);
+}
+
+Status Database::Update(const std::string& table, RowId row, Tuple tuple) {
+  XQ_RETURN_IF_ERROR(UpdateInternal(table, row, tuple));
+  auto info = tables_.find(table);
+  XQ_ASSIGN_OR_RETURN(const Tuple* stored, info->second.table->Get(row));
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(Op::kUpdate));
+  w.PutString(table);
+  w.PutU64(row);
+  EncodeTuple(*stored, &w);
+  return Log(w.buffer());
+}
+
+Status Database::UpdateInternal(const std::string& table, RowId row,
+                                Tuple tuple) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  TableInfo& info = it->second;
+  XQ_ASSIGN_OR_RETURN(const Tuple* old_tuple, info.table->Get(row));
+  Tuple saved = *old_tuple;
+  IndexErase(&info, row, saved);
+  Status s = info.table->Update(row, std::move(tuple));
+  if (!s.ok()) {
+    XQ_RETURN_IF_ERROR(IndexInsert(&info, row, saved));
+    return s;
+  }
+  XQ_ASSIGN_OR_RETURN(const Tuple* stored, info.table->Get(row));
+  s = IndexInsert(&info, row, *stored);
+  if (!s.ok()) {
+    // Unique violation against the new value: restore the old row.
+    XQ_RETURN_IF_ERROR(info.table->Update(row, saved));
+    XQ_RETURN_IF_ERROR(IndexInsert(&info, row, saved));
+    return s;
+  }
+  return Status::OK();
+}
+
+// --- lookup ----------------------------------------------------------
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.table.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return static_cast<const Table*>(it->second.table.get());
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, info] : tables_) names.push_back(name);
+  return names;
+}
+
+const std::vector<std::unique_ptr<IndexEntry>>* Database::IndexesOn(
+    const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : &it->second.indexes;
+}
+
+const IndexEntry* Database::FindIndex(const std::string& table,
+                                      const std::vector<std::string>& columns,
+                                      IndexKind kind) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return nullptr;
+  for (const auto& entry : it->second.indexes) {
+    if (entry->def.kind != kind) continue;
+    if (entry->def.columns.size() < columns.size()) continue;
+    bool match = true;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (entry->def.columns[i] != columns[i]) {
+        match = false;
+        break;
+      }
+    }
+    // For equality use the prefix; exact-length match preferred but any
+    // prefix match works for lookups on the leading columns.
+    if (match && (kind == IndexKind::kBTree ||
+                  entry->def.columns.size() == columns.size())) {
+      return entry.get();
+    }
+  }
+  return nullptr;
+}
+
+const IndexEntry* Database::FindIndexByName(
+    const std::string& index_name) const {
+  for (const auto& [name, info] : tables_) {
+    for (const auto& entry : info.indexes) {
+      if (entry->def.name == index_name) return entry.get();
+    }
+  }
+  return nullptr;
+}
+
+// --- WAL replay --------------------------------------------------------
+
+Status Database::ReplayRecord(std::string_view payload) {
+  BinaryReader r(payload);
+  XQ_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  switch (static_cast<Op>(tag)) {
+    case Op::kCreateTable: {
+      XQ_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      XQ_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(&r));
+      return CreateTableInternal(name, std::move(schema));
+    }
+    case Op::kDropTable: {
+      XQ_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      return DropTableInternal(name);
+    }
+    case Op::kCreateIndex: {
+      XQ_ASSIGN_OR_RETURN(IndexDef def, DecodeIndexDef(&r));
+      return CreateIndexInternal(def);
+    }
+    case Op::kDropIndex: {
+      XQ_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      return DropIndexInternal(name);
+    }
+    case Op::kInsert: {
+      XQ_ASSIGN_OR_RETURN(std::string table, r.GetString());
+      XQ_ASSIGN_OR_RETURN(Tuple tuple, DecodeTuple(&r));
+      return InsertInternal(table, std::move(tuple)).ok()
+                 ? Status::OK()
+                 : Status::Corruption("replay insert failed for " + table);
+    }
+    case Op::kDelete: {
+      XQ_ASSIGN_OR_RETURN(std::string table, r.GetString());
+      XQ_ASSIGN_OR_RETURN(uint64_t row, r.GetU64());
+      return DeleteInternal(table, row);
+    }
+    case Op::kUpdate: {
+      XQ_ASSIGN_OR_RETURN(std::string table, r.GetString());
+      XQ_ASSIGN_OR_RETURN(uint64_t row, r.GetU64());
+      XQ_ASSIGN_OR_RETURN(Tuple tuple, DecodeTuple(&r));
+      return UpdateInternal(table, row, std::move(tuple));
+    }
+  }
+  return Status::Corruption("bad WAL op tag " + std::to_string(tag));
+}
+
+// --- snapshots ---------------------------------------------------------
+
+Status Database::WriteSnapshot(const std::string& path) const {
+  BinaryWriter body;
+  body.PutU32(static_cast<uint32_t>(tables_.size()));
+  for (const auto& [name, info] : tables_) {
+    body.PutString(name);
+    EncodeSchema(info.table->schema(), &body);
+    // Persist every slot (including tombstones) so RowIds survive.
+    size_t slots = info.table->num_slots();
+    body.PutU64(slots);
+    for (RowId row = 0; row < slots; ++row) {
+      bool live = info.table->IsLive(row);
+      body.PutU8(live ? 1 : 0);
+      if (live) {
+        auto tuple = info.table->Get(row);
+        EncodeTuple(**tuple, &body);
+      }
+    }
+    body.PutU32(static_cast<uint32_t>(info.indexes.size()));
+    for (const auto& entry : info.indexes) {
+      EncodeIndexDef(entry->def, &body);
+    }
+  }
+  BinaryWriter file;
+  file.PutString(kSnapshotMagic);
+  file.PutU32(Crc32(body.buffer()));
+  file.PutString(body.buffer());
+
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot write snapshot " + tmp);
+    out.write(file.buffer().data(),
+              static_cast<std::streamsize>(file.buffer().size()));
+    if (!out) return Status::IoError("snapshot write failed " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::IoError("snapshot rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Status Database::LoadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot read snapshot " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  BinaryReader file(data);
+  XQ_ASSIGN_OR_RETURN(std::string magic, file.GetString());
+  if (magic != kSnapshotMagic) {
+    return Status::Corruption("bad snapshot magic in " + path);
+  }
+  XQ_ASSIGN_OR_RETURN(uint32_t crc, file.GetU32());
+  XQ_ASSIGN_OR_RETURN(std::string body, file.GetString());
+  if (Crc32(body) != crc) {
+    return Status::Corruption("snapshot checksum mismatch in " + path);
+  }
+  BinaryReader r(body);
+  XQ_ASSIGN_OR_RETURN(uint32_t ntables, r.GetU32());
+  for (uint32_t t = 0; t < ntables; ++t) {
+    XQ_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    XQ_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(&r));
+    XQ_RETURN_IF_ERROR(CreateTableInternal(name, std::move(schema)));
+    Table* table = tables_.find(name)->second.table.get();
+    XQ_ASSIGN_OR_RETURN(uint64_t slots, r.GetU64());
+    for (uint64_t row = 0; row < slots; ++row) {
+      XQ_ASSIGN_OR_RETURN(uint8_t live, r.GetU8());
+      if (live != 0) {
+        XQ_ASSIGN_OR_RETURN(Tuple tuple, DecodeTuple(&r));
+        table->RestoreSlot(std::move(tuple), /*live=*/true);
+      } else {
+        table->RestoreSlot(Tuple{}, /*live=*/false);
+      }
+    }
+    XQ_ASSIGN_OR_RETURN(uint32_t nindexes, r.GetU32());
+    for (uint32_t i = 0; i < nindexes; ++i) {
+      XQ_ASSIGN_OR_RETURN(IndexDef def, DecodeIndexDef(&r));
+      XQ_RETURN_IF_ERROR(CreateIndexInternal(def));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) return Status::OK();
+  XQ_RETURN_IF_ERROR(WriteSnapshot(dir_ + "/" + kSnapshotFile));
+  return wal_->Reset();
+}
+
+}  // namespace xomatiq::rel

@@ -1,0 +1,137 @@
+#ifndef XOMATIQ_RELATIONAL_DATABASE_H_
+#define XOMATIQ_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/btree_index.h"
+#include "relational/hash_index.h"
+#include "relational/inverted_index.h"
+#include "relational/table.h"
+#include "relational/wal.h"
+
+namespace xomatiq::rel {
+
+enum class IndexKind : uint8_t {
+  kBTree = 0,    // ordered; equality, range and prefix scans
+  kHash = 1,     // equality only
+  kInverted = 2, // keyword postings over one TEXT column
+};
+
+std::string_view IndexKindName(IndexKind kind);
+
+// Declarative index description (persisted in snapshots / WAL).
+struct IndexDef {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;  // exactly one for kInverted
+  IndexKind kind = IndexKind::kBTree;
+  bool unique = false;  // enforced for kBTree / kHash
+};
+
+// A built index attached to a table.
+struct IndexEntry {
+  IndexDef def;
+  std::vector<size_t> column_indexes;
+  std::unique_ptr<BTreeIndex> btree;
+  std::unique_ptr<HashIndex> hash;
+  std::unique_ptr<InvertedIndex> inverted;
+};
+
+// Embedded relational database: catalog of heap tables plus secondary
+// indexes, with write-ahead logging and snapshot checkpointing when opened
+// against a directory. Single-threaded by design (the warehouse loads and
+// queries from one thread); durability, not concurrency, is what the paper
+// leans on Oracle for.
+class Database {
+ public:
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Volatile database (no WAL, no snapshots).
+  static std::unique_ptr<Database> OpenInMemory();
+
+  // Durable database rooted at directory `dir` (created if missing).
+  // Recovers state from `dir`/snapshot.db plus `dir`/wal.log.
+  static common::Result<std::unique_ptr<Database>> Open(
+      const std::string& dir);
+
+  // --- DDL ---
+  common::Status CreateTable(const std::string& name, Schema schema);
+  common::Status DropTable(const std::string& name);
+  common::Status CreateIndex(const IndexDef& def);
+  common::Status DropIndex(const std::string& index_name);
+
+  // --- DML (index-maintaining, logged) ---
+  common::Result<RowId> Insert(const std::string& table, Tuple tuple);
+  common::Status Delete(const std::string& table, RowId row);
+  common::Status Update(const std::string& table, RowId row, Tuple tuple);
+
+  // --- lookup ---
+  common::Result<Table*> GetTable(const std::string& name);
+  common::Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  std::vector<std::string> TableNames() const;
+
+  // Indexes attached to `table` (empty when table unknown).
+  const std::vector<std::unique_ptr<IndexEntry>>* IndexesOn(
+      const std::string& table) const;
+
+  // Finds an index on `table` whose column list starts with `columns`
+  // (exact order) and matches `kind`; nullptr when absent.
+  const IndexEntry* FindIndex(const std::string& table,
+                              const std::vector<std::string>& columns,
+                              IndexKind kind) const;
+  const IndexEntry* FindIndexByName(const std::string& index_name) const;
+
+  // --- durability ---
+  // Writes a full snapshot and truncates the WAL. No-op for in-memory DBs.
+  common::Status Checkpoint();
+
+  bool durable() const { return wal_ != nullptr; }
+  uint64_t wal_bytes() const { return wal_ ? wal_->bytes_written() : 0; }
+  size_t records_recovered() const { return records_recovered_; }
+
+ private:
+  struct TableInfo {
+    std::unique_ptr<Table> table;
+    std::vector<std::unique_ptr<IndexEntry>> indexes;
+  };
+
+  Database() = default;
+
+  common::Status CreateTableInternal(const std::string& name, Schema schema);
+  common::Status DropTableInternal(const std::string& name);
+  common::Status CreateIndexInternal(const IndexDef& def);
+  common::Status DropIndexInternal(const std::string& index_name);
+  common::Result<RowId> InsertInternal(const std::string& table, Tuple tuple);
+  common::Status DeleteInternal(const std::string& table, RowId row);
+  common::Status UpdateInternal(const std::string& table, RowId row,
+                                Tuple tuple);
+
+  common::Status Log(std::string_view payload);
+  common::Status ReplayRecord(std::string_view payload);
+  common::Status LoadSnapshot(const std::string& path);
+  common::Status WriteSnapshot(const std::string& path) const;
+
+  static common::Status BuildIndex(const Table& table, IndexEntry* entry);
+  common::Status IndexInsert(TableInfo* info, RowId row, const Tuple& tuple);
+  void IndexErase(TableInfo* info, RowId row, const Tuple& tuple);
+
+  std::map<std::string, TableInfo> tables_;
+  std::string dir_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  size_t records_recovered_ = 0;
+  bool replaying_ = false;
+};
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_DATABASE_H_

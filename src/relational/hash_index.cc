@@ -1,0 +1,18 @@
+#include "relational/hash_index.h"
+
+#include <algorithm>
+
+namespace xomatiq::rel {
+
+bool HashIndex::Erase(const CompositeKey& key, RowId row) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  auto rit = std::find(it->second.begin(), it->second.end(), row);
+  if (rit == it->second.end()) return false;
+  it->second.erase(rit);
+  --num_entries_;
+  if (it->second.empty()) map_.erase(it);
+  return true;
+}
+
+}  // namespace xomatiq::rel

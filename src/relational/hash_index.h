@@ -1,0 +1,48 @@
+#ifndef XOMATIQ_RELATIONAL_HASH_INDEX_H_
+#define XOMATIQ_RELATIONAL_HASH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "relational/btree_index.h"
+#include "relational/value.h"
+
+namespace xomatiq::rel {
+
+// Unordered equality index: CompositeKey -> posting list. Point lookups
+// only; the planner picks it for equality predicates when no ordered scan
+// is needed.
+class HashIndex {
+ public:
+  HashIndex() = default;
+
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  void Insert(const CompositeKey& key, RowId row) {
+    map_[key].push_back(row);
+    ++num_entries_;
+  }
+
+  // Removes (key,row); returns true when present.
+  bool Erase(const CompositeKey& key, RowId row);
+
+  // Rows whose key equals `key` (empty when absent).
+  const std::vector<RowId>* Lookup(const CompositeKey& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t num_keys() const { return map_.size(); }
+  size_t num_entries() const { return num_entries_; }
+
+ private:
+  std::unordered_map<CompositeKey, std::vector<RowId>, CompositeKeyHasher,
+                     CompositeKeyEq>
+      map_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_HASH_INDEX_H_

@@ -1,0 +1,65 @@
+#include "relational/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xomatiq::rel {
+
+void InvertedIndex::Add(RowId row, std::string_view text) {
+  for (const std::string& token : common::TokenizeKeywords(text)) {
+    std::vector<RowId>& rows = postings_[token];
+    // Keep the posting list sorted; appends are usually at the tail since
+    // row-ids grow monotonically during a load.
+    auto it = std::lower_bound(rows.begin(), rows.end(), row);
+    if (it != rows.end() && *it == row) continue;  // token repeats in text
+    rows.insert(it, row);
+    ++num_postings_;
+  }
+}
+
+void InvertedIndex::Remove(RowId row, std::string_view text) {
+  for (const std::string& token : common::TokenizeKeywords(text)) {
+    auto pit = postings_.find(token);
+    if (pit == postings_.end()) continue;
+    auto it = std::lower_bound(pit->second.begin(), pit->second.end(), row);
+    if (it != pit->second.end() && *it == row) {
+      pit->second.erase(it);
+      --num_postings_;
+      if (pit->second.empty()) postings_.erase(pit);
+    }
+  }
+}
+
+std::vector<RowId> InvertedIndex::Lookup(std::string_view token) const {
+  std::vector<std::string> tokens = common::TokenizeKeywords(token);
+  if (tokens.size() == 1) {
+    auto it = postings_.find(tokens[0]);
+    return it == postings_.end() ? std::vector<RowId>{} : it->second;
+  }
+  return LookupAll(token);
+}
+
+std::vector<RowId> InvertedIndex::LookupAll(std::string_view phrase) const {
+  std::vector<std::string> tokens = common::TokenizeKeywords(phrase);
+  if (tokens.empty()) return {};
+  std::vector<RowId> acc;
+  bool first = true;
+  for (const std::string& token : tokens) {
+    auto it = postings_.find(token);
+    if (it == postings_.end()) return {};
+    if (first) {
+      acc = it->second;
+      first = false;
+      continue;
+    }
+    std::vector<RowId> merged;
+    std::set_intersection(acc.begin(), acc.end(), it->second.begin(),
+                          it->second.end(), std::back_inserter(merged));
+    acc = std::move(merged);
+    if (acc.empty()) return {};
+  }
+  return acc;
+}
+
+}  // namespace xomatiq::rel

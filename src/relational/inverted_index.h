@@ -1,0 +1,48 @@
+#ifndef XOMATIQ_RELATIONAL_INVERTED_INDEX_H_
+#define XOMATIQ_RELATIONAL_INVERTED_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/btree_index.h"
+
+namespace xomatiq::rel {
+
+// Keyword inverted index over one TEXT column. Text is tokenized with
+// common::TokenizeKeywords; postings are row-id lists kept sorted for
+// cheap intersection. Backs the paper's "efficient keyword-based searches"
+// design bullet (§2.2) and the contains(...) XQuery extension (§3).
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  // Indexes every token of `text` under `row`.
+  void Add(RowId row, std::string_view text);
+
+  // Removes `row`'s postings for every token of `text` (the same text that
+  // was passed to Add).
+  void Remove(RowId row, std::string_view text);
+
+  // Rows containing `token` (case-insensitive). Sorted ascending.
+  std::vector<RowId> Lookup(std::string_view token) const;
+
+  // Rows containing every token of `phrase` (AND semantics over its
+  // tokenization). Sorted ascending.
+  std::vector<RowId> LookupAll(std::string_view phrase) const;
+
+  size_t num_tokens() const { return postings_.size(); }
+  size_t num_postings() const { return num_postings_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<RowId>> postings_;
+  size_t num_postings_ = 0;
+};
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_INVERTED_INDEX_H_

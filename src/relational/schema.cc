@@ -1,0 +1,75 @@
+#include "relational/schema.h"
+
+#include "common/string_util.h"
+
+namespace xomatiq::rel {
+
+using common::Result;
+using common::Status;
+
+std::optional<size_t> Schema::FindColumn(std::string_view name) const {
+  std::optional<size_t> found;
+  // Exact match first (covers already-qualified lookups).
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  // Bare-name match against qualified stored names ("t.col" matches "col").
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const std::string& stored = columns_[i].name;
+    size_t dot = stored.rfind('.');
+    if (dot != std::string::npos && stored.compare(dot + 1, std::string::npos,
+                                                   name.data(), name.size()) == 0) {
+      if (found.has_value()) return std::nullopt;  // ambiguous
+      found = i;
+    }
+  }
+  return found;
+}
+
+Result<size_t> Schema::ResolveColumn(std::string_view name) const {
+  auto idx = FindColumn(name);
+  if (!idx.has_value()) {
+    return Status::NotFound("column not found or ambiguous: " +
+                            std::string(name) + " in " + ToString());
+  }
+  return *idx;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Qualified(const std::string& alias) const {
+  std::vector<Column> cols = columns_;
+  for (Column& c : cols) {
+    if (c.name.find('.') == std::string::npos) {
+      c.name = alias + "." + c.name;
+    }
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace xomatiq::rel

@@ -1,0 +1,64 @@
+#ifndef XOMATIQ_RELATIONAL_SCHEMA_H_
+#define XOMATIQ_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace xomatiq::rel {
+
+// One column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kText;
+  bool not_null = false;
+};
+
+// Ordered column list of a table or of an intermediate executor result.
+// Column lookup is by (optionally qualified) name.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  // Index of column `name`. Accepts either the bare column name or a
+  // "qualifier.column" form when the stored name carries that qualifier.
+  // Returns nullopt when absent or ambiguous.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  // Like FindColumn but error-reporting.
+  common::Result<size_t> ResolveColumn(std::string_view name) const;
+
+  // Schema for the concatenation [left, right], prefixing nothing; callers
+  // qualify names beforehand when needed.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  // Returns a copy whose column names are prefixed "alias.name" (bare
+  // names without an existing qualifier only).
+  Schema Qualified(const std::string& alias) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+// A row of values, positionally matching some Schema.
+using Tuple = std::vector<Value>;
+
+// Renders a tuple as comma-separated values (debug/display).
+std::string TupleToString(const Tuple& tuple);
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,190 @@
+#include "relational/serde.h"
+
+#include <cstring>
+
+namespace xomatiq::rel {
+
+using common::Result;
+using common::Status;
+
+void BinaryWriter::PutU32(uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  buffer_.append(buf, 4);
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  buffer_.append(buf, 8);
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buffer_.append(s.data(), s.size());
+}
+
+Result<uint8_t> BinaryReader::GetU8() {
+  if (pos_ + 1 > data_.size()) return Status::Corruption("truncated u8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> BinaryReader::GetU32() {
+  if (pos_ + 4 > data_.size()) return Status::Corruption("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::GetU64() {
+  if (pos_ + 8 > data_.size()) return Status::Corruption("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> BinaryReader::GetI64() {
+  XQ_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BinaryReader::GetDouble() {
+  XQ_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::GetString() {
+  XQ_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (pos_ + len > data_.size()) return Status::Corruption("truncated string");
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+void EncodeValue(const Value& v, BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      w->PutI64(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      w->PutDouble(v.AsDouble());
+      break;
+    case ValueType::kText:
+      w->PutString(v.AsText());
+      break;
+  }
+}
+
+Result<Value> DecodeValue(BinaryReader* r) {
+  XQ_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      XQ_ASSIGN_OR_RETURN(int64_t v, r->GetI64());
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      XQ_ASSIGN_OR_RETURN(double v, r->GetDouble());
+      return Value::Double(v);
+    }
+    case ValueType::kText: {
+      XQ_ASSIGN_OR_RETURN(std::string v, r->GetString());
+      return Value::Text(std::move(v));
+    }
+  }
+  return Status::Corruption("bad value tag " + std::to_string(tag));
+}
+
+void EncodeTuple(const Tuple& t, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(t.size()));
+  for (const Value& v : t) EncodeValue(v, w);
+}
+
+Result<Tuple> DecodeTuple(BinaryReader* r) {
+  XQ_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  Tuple t;
+  t.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    XQ_ASSIGN_OR_RETURN(Value v, DecodeValue(r));
+    t.push_back(std::move(v));
+  }
+  return t;
+}
+
+void EncodeSchema(const Schema& s, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(s.size()));
+  for (const Column& c : s.columns()) {
+    w->PutString(c.name);
+    w->PutU8(static_cast<uint8_t>(c.type));
+    w->PutU8(c.not_null ? 1 : 0);
+  }
+}
+
+Result<Schema> DecodeSchema(BinaryReader* r) {
+  XQ_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Column c;
+    XQ_ASSIGN_OR_RETURN(c.name, r->GetString());
+    XQ_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+    if (type > static_cast<uint8_t>(ValueType::kText)) {
+      return Status::Corruption("bad column type");
+    }
+    c.type = static_cast<ValueType>(type);
+    XQ_ASSIGN_OR_RETURN(uint8_t nn, r->GetU8());
+    c.not_null = nn != 0;
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+namespace {
+
+// Lazily built CRC32 lookup table (IEEE polynomial, reflected).
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFU;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+}  // namespace xomatiq::rel

@@ -1,0 +1,66 @@
+#ifndef XOMATIQ_RELATIONAL_SERDE_H_
+#define XOMATIQ_RELATIONAL_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace xomatiq::rel {
+
+// Append-only binary encoder for WAL records and snapshots. Integers are
+// little-endian fixed width; strings are u32-length-prefixed.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+// Bounds-checked decoder; every getter returns Corruption on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  common::Result<uint8_t> GetU8();
+  common::Result<uint32_t> GetU32();
+  common::Result<uint64_t> GetU64();
+  common::Result<int64_t> GetI64();
+  common::Result<double> GetDouble();
+  common::Result<std::string> GetString();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+void EncodeValue(const Value& v, BinaryWriter* w);
+common::Result<Value> DecodeValue(BinaryReader* r);
+
+void EncodeTuple(const Tuple& t, BinaryWriter* w);
+common::Result<Tuple> DecodeTuple(BinaryReader* r);
+
+void EncodeSchema(const Schema& s, BinaryWriter* w);
+common::Result<Schema> DecodeSchema(BinaryReader* r);
+
+// CRC32 (IEEE polynomial) used to frame WAL records and snapshots.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_SERDE_H_

@@ -1,0 +1,87 @@
+#include "relational/table.h"
+
+namespace xomatiq::rel {
+
+using common::Result;
+using common::Status;
+
+Status Table::ValidateAndCoerce(Tuple* tuple) const {
+  if (tuple->size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple->size()) + " != schema arity " +
+        std::to_string(schema_.size()) + " for table " + name_);
+  }
+  for (size_t i = 0; i < tuple->size(); ++i) {
+    const Column& col = schema_.column(i);
+    Value& v = (*tuple)[i];
+    if (v.is_null()) {
+      if (col.not_null) {
+        return Status::ConstraintViolation("NULL in NOT NULL column " +
+                                           col.name + " of " + name_);
+      }
+      continue;
+    }
+    if (v.type() != col.type) {
+      auto cast = v.CastTo(col.type);
+      if (!cast.ok()) return cast.status();
+      v = std::move(cast).value();
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(Tuple tuple) {
+  XQ_RETURN_IF_ERROR(ValidateAndCoerce(&tuple));
+  RowId row = rows_.size();
+  rows_.push_back(std::move(tuple));
+  deleted_.push_back(false);
+  ++live_count_;
+  return row;
+}
+
+Result<const Tuple*> Table::Get(RowId row) const {
+  if (!IsLive(row)) {
+    return Status::NotFound("row " + std::to_string(row) + " not live in " +
+                            name_);
+  }
+  return &rows_[row];
+}
+
+Status Table::Delete(RowId row) {
+  if (!IsLive(row)) {
+    return Status::NotFound("row " + std::to_string(row) + " not live in " +
+                            name_);
+  }
+  deleted_[row] = true;
+  rows_[row].clear();
+  rows_[row].shrink_to_fit();
+  --live_count_;
+  return Status::OK();
+}
+
+Status Table::Update(RowId row, Tuple tuple) {
+  if (!IsLive(row)) {
+    return Status::NotFound("row " + std::to_string(row) + " not live in " +
+                            name_);
+  }
+  XQ_RETURN_IF_ERROR(ValidateAndCoerce(&tuple));
+  rows_[row] = std::move(tuple);
+  return Status::OK();
+}
+
+RowId Table::RestoreSlot(Tuple tuple, bool live) {
+  RowId row = rows_.size();
+  rows_.push_back(std::move(tuple));
+  deleted_.push_back(!live);
+  if (live) ++live_count_;
+  return row;
+}
+
+void Table::Scan(const std::function<bool(RowId, const Tuple&)>& visit) const {
+  for (RowId row = 0; row < rows_.size(); ++row) {
+    if (deleted_[row]) continue;
+    if (!visit(row, rows_[row])) return;
+  }
+}
+
+}  // namespace xomatiq::rel

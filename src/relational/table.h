@@ -1,0 +1,66 @@
+#ifndef XOMATIQ_RELATIONAL_TABLE_H_
+#define XOMATIQ_RELATIONAL_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/btree_index.h"
+#include "relational/schema.h"
+
+namespace xomatiq::rel {
+
+// Heap table: rows addressed by RowId (slot number). Deleted slots are
+// tombstoned, not compacted, so RowIds stay stable for indexes. Type and
+// NOT NULL checks happen on insert (with implicit numeric/text coercion,
+// like a permissive commercial engine).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  // Validates/coerces `tuple` against the schema and appends it.
+  common::Result<RowId> Insert(Tuple tuple);
+
+  // Fetches a live row; NotFound for deleted/out-of-range slots.
+  common::Result<const Tuple*> Get(RowId row) const;
+  bool IsLive(RowId row) const {
+    return row < rows_.size() && !deleted_[row];
+  }
+
+  // Tombstones a live row.
+  common::Status Delete(RowId row);
+
+  // Replaces a live row in place (re-validated).
+  common::Status Update(RowId row, Tuple tuple);
+
+  // Visits live rows in RowId order; visitor returns false to stop.
+  void Scan(const std::function<bool(RowId, const Tuple&)>& visit) const;
+
+  // Appends a slot verbatim during snapshot restore; skips validation so
+  // tombstoned slots keep their positions and RowIds stay stable.
+  RowId RestoreSlot(Tuple tuple, bool live);
+
+  size_t num_live_rows() const { return live_count_; }
+  size_t num_slots() const { return rows_.size(); }
+
+ private:
+  common::Status ValidateAndCoerce(Tuple* tuple) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<bool> deleted_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_TABLE_H_

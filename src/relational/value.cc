@@ -1,0 +1,153 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace xomatiq::rel {
+
+using common::Result;
+using common::Status;
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kText:
+      return "TEXT";
+  }
+  return "?";
+}
+
+Result<double> Value::ToNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      return Status::TypeError("value is not numeric: " + ToString());
+  }
+}
+
+Result<Value> Value::CastTo(ValueType target) const {
+  if (is_null() || type() == target) return *this;
+  switch (target) {
+    case ValueType::kInt: {
+      if (type() == ValueType::kDouble) {
+        return Value::Int(static_cast<int64_t>(AsDouble()));
+      }
+      if (auto v = common::ParseInt64(AsText())) return Value::Int(*v);
+      if (auto d = common::ParseDouble(AsText())) {
+        return Value::Int(static_cast<int64_t>(*d));
+      }
+      return Status::TypeError("cannot cast '" + AsText() + "' to INT");
+    }
+    case ValueType::kDouble: {
+      if (type() == ValueType::kInt) {
+        return Value::Double(static_cast<double>(AsInt()));
+      }
+      if (auto v = common::ParseDouble(AsText())) return Value::Double(*v);
+      return Status::TypeError("cannot cast '" + AsText() + "' to DOUBLE");
+    }
+    case ValueType::kText:
+      return Value::Text(ToString());
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Status::Internal("bad cast target");
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  bool a_num = a.type() == ValueType::kInt || a.type() == ValueType::kDouble;
+  bool b_num = b.type() == ValueType::kInt || b.type() == ValueType::kDouble;
+  // Class order: NULL < numeric < TEXT.
+  auto klass = [](const Value& v, bool num) {
+    if (v.is_null()) return 0;
+    return num ? 1 : 2;
+  };
+  int ka = klass(a, a_num);
+  int kb = klass(b, b_num);
+  if (ka != kb) return ka < kb ? -1 : 1;
+  if (ka == 0) return 0;  // both NULL
+  if (ka == 1) {
+    if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+      int64_t x = a.AsInt(), y = b.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = a.type() == ValueType::kInt ? static_cast<double>(a.AsInt())
+                                           : a.AsDouble();
+    double y = b.type() == ValueType::kInt ? static_cast<double>(b.AsInt())
+                                           : b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  int c = a.AsText().compare(b.AsText());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B97F4A7C15ULL;
+    case ValueType::kInt: {
+      // Hash via the double representation so INT 3 == DOUBLE 3.0 hash the
+      // same, matching Compare equality.
+      double d = static_cast<double>(AsInt());
+      if (static_cast<int64_t>(d) == AsInt()) {
+        return std::hash<double>()(d);
+      }
+      return std::hash<int64_t>()(AsInt());
+    }
+    case ValueType::kDouble:
+      return std::hash<double>()(AsDouble());
+    case ValueType::kText:
+      return std::hash<std::string_view>()(AsText());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      if (std::floor(d) == d && std::abs(d) < 1e15) {
+        // Render integral doubles without a trailing fraction.
+        return common::StrFormat("%.1f", d);
+      }
+      return common::StrFormat("%.17g", d);
+    }
+    case ValueType::kText:
+      return AsText();
+  }
+  return "?";
+}
+
+int CompareCompositeKeys(const CompositeKey& a, const CompositeKey& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = Value::Compare(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+size_t CompositeKeyHasher::operator()(const CompositeKey& k) const {
+  size_t h = 0x345678;
+  for (const Value& v : k) {
+    h = h * 1000003 ^ v.Hash();
+  }
+  return h;
+}
+
+}  // namespace xomatiq::rel

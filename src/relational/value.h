@@ -1,0 +1,120 @@
+#ifndef XOMATIQ_RELATIONAL_VALUE_H_
+#define XOMATIQ_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xomatiq::rel {
+
+// Column / value type. TEXT covers both annotation strings and biological
+// sequence payloads; the shredder routes them to distinct tables (paper
+// §2.2), the engine itself is agnostic.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kText = 3,
+};
+
+std::string_view ValueTypeName(ValueType type);
+
+// A single SQL value. Small, copyable; NULL compares ordered-first (like
+// Oracle's NULLS FIRST) under Compare but never equal under SQL equality
+// (callers handle three-valued logic above this layer). Text payloads are
+// immutable and shared, so copying a Value is O(1) — join operators
+// concatenate wide tuples freely without copying strings.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value Text(std::string v) {
+    return Value(Data(std::make_shared<const std::string>(std::move(v))));
+  }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  // Accessors assume the matching type; assert in debug builds.
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsText() const {
+    return *std::get<std::shared_ptr<const std::string>>(data_);
+  }
+
+  // Numeric view: INT widens to double. Returns TypeError for TEXT/NULL.
+  common::Result<double> ToNumeric() const;
+
+  // Best-effort coercion of this value to `target`; TEXT->numeric parses,
+  // numeric->TEXT formats. NULL stays NULL.
+  common::Result<Value> CastTo(ValueType target) const;
+
+  // Total order used by indexes and ORDER BY:
+  // NULL < numerics (INT and DOUBLE compared as numbers) < TEXT.
+  // Returns <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+
+  bool operator==(const Value& other) const {
+    return Compare(*this, other) == 0;
+  }
+  bool operator<(const Value& other) const {
+    return Compare(*this, other) < 0;
+  }
+
+  // Stable hash consistent with Compare equality (INT 3 and DOUBLE 3.0
+  // hash identically).
+  size_t Hash() const;
+
+  // Display form: NULL, integer, shortest round-trip double, raw text.
+  std::string ToString() const;
+
+ private:
+  using Data = std::variant<std::monostate, int64_t, double,
+                            std::shared_ptr<const std::string>>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+// Composite key for multi-column indexes; lexicographic Value order.
+using CompositeKey = std::vector<Value>;
+
+int CompareCompositeKeys(const CompositeKey& a, const CompositeKey& b);
+
+struct CompositeKeyLess {
+  bool operator()(const CompositeKey& a, const CompositeKey& b) const {
+    return CompareCompositeKeys(a, b) < 0;
+  }
+};
+
+struct CompositeKeyHasher {
+  size_t operator()(const CompositeKey& k) const;
+};
+
+struct CompositeKeyEq {
+  bool operator()(const CompositeKey& a, const CompositeKey& b) const {
+    return CompareCompositeKeys(a, b) == 0;
+  }
+};
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_VALUE_H_

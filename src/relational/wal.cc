@@ -1,0 +1,94 @@
+#include "relational/wal.h"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "relational/serde.h"
+
+namespace xomatiq::rel {
+
+using common::Result;
+using common::Status;
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IoError("cannot open WAL at " + path);
+  }
+  return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, f));
+}
+
+Status WriteAheadLog::Append(std::string_view payload) {
+  BinaryWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  const std::string& header = frame.buffer();
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::IoError("WAL write failed at " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("WAL flush failed at " + path_);
+  }
+  bytes_written_ += header.size() + payload.size();
+  return Status::OK();
+}
+
+Result<size_t> WriteAheadLog::Replay(
+    const std::string& path,
+    const std::function<Status(std::string_view)>& replay,
+    bool* truncated_tail) {
+  if (truncated_tail != nullptr) *truncated_tail = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return size_t{0};  // no log yet
+  size_t count = 0;
+  std::vector<char> buf;
+  while (true) {
+    unsigned char header[8];
+    size_t got = std::fread(header, 1, 8, f);
+    if (got < 8) {
+      if (got != 0 && truncated_tail != nullptr) *truncated_tail = true;
+      break;
+    }
+    uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) crc |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+    buf.resize(len);
+    if (len > 0 && std::fread(buf.data(), 1, len, f) != len) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      break;
+    }
+    std::string_view payload(buf.data(), len);
+    if (Crc32(payload) != crc) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      break;
+    }
+    Status s = replay(payload);
+    if (!s.ok()) {
+      std::fclose(f);
+      return s;
+    }
+    ++count;
+  }
+  std::fclose(f);
+  return count;
+}
+
+Status WriteAheadLog::Reset() {
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot truncate WAL at " + path_);
+  }
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+}  // namespace xomatiq::rel

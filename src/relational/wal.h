@@ -1,0 +1,56 @@
+#ifndef XOMATIQ_RELATIONAL_WAL_H_
+#define XOMATIQ_RELATIONAL_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace xomatiq::rel {
+
+// Append-only write-ahead log. Each record is framed as
+// [u32 payload_len][u32 crc32(payload)][payload]; recovery replays records
+// in order and stops cleanly at the first truncated or corrupt frame
+// (torn-write tolerance).
+class WriteAheadLog {
+ public:
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Opens (creating if needed) the log at `path` for appending.
+  static common::Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path);
+
+  // Appends one framed record and flushes it to the OS.
+  common::Status Append(std::string_view payload);
+
+  // Reads records from `path`, invoking `replay` per intact payload.
+  // Returns the number of records replayed. A missing file counts as an
+  // empty log. Corrupt tails are ignored (logged into *truncated_tail).
+  static common::Result<size_t> Replay(
+      const std::string& path,
+      const std::function<common::Status(std::string_view)>& replay,
+      bool* truncated_tail = nullptr);
+
+  // Truncates the log to empty (after a checkpoint).
+  common::Status Reset();
+
+  const std::string& path() const { return path_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_WAL_H_

@@ -1,0 +1,153 @@
+#include "sql/ast.h"
+
+namespace xomatiq::sql {
+
+namespace {
+
+std::string_view BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+std::string_view AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+std::string_view ScalarFuncName(ScalarFunc f) {
+  switch (f) {
+    case ScalarFunc::kLower: return "LOWER";
+    case ScalarFunc::kUpper: return "UPPER";
+    case ScalarFunc::kLength: return "LENGTH";
+  }
+  return "?";
+}
+
+std::string QuoteLiteral(const rel::Value& v) {
+  if (v.type() == rel::ValueType::kText) {
+    std::string out = "'";
+    for (char c : v.AsText()) {
+      if (c == '\'') out += "''";
+      else out.push_back(c);
+    }
+    out += "'";
+    return out;
+  }
+  return v.ToString();
+}
+
+}  // namespace
+
+ExprPtr Expr::Clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->value = value;
+  copy->column_name = column_name;
+  copy->bound_index = bound_index;
+  copy->bin_op = bin_op;
+  copy->un_op = un_op;
+  copy->func = func;
+  copy->agg = agg;
+  copy->negated = negated;
+  if (left) copy->left = left->Clone();
+  if (right) copy->right = right->Clone();
+  if (extra) copy->extra = extra->Clone();
+  for (const ExprPtr& e : list) copy->list.push_back(e->Clone());
+  return copy;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return QuoteLiteral(value);
+    case ExprKind::kColumnRef:
+      return column_name;
+    case ExprKind::kBinary:
+      return "(" + left->ToString() + " " +
+             std::string(BinaryOpName(bin_op)) + " " + right->ToString() + ")";
+    case ExprKind::kUnary:
+      return un_op == UnaryOp::kNot ? "NOT " + left->ToString()
+                                    : "-" + left->ToString();
+    case ExprKind::kIsNull:
+      return left->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kLike:
+      return left->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             right->ToString();
+    case ExprKind::kContains:
+      return "CONTAINS(" + left->ToString() + ", " + right->ToString() + ")";
+    case ExprKind::kBetween:
+      return left->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             right->ToString() + " AND " + extra->ToString();
+    case ExprKind::kInList: {
+      std::string out =
+          left->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += list[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kFunc:
+      return std::string(ScalarFuncName(func)) + "(" + left->ToString() + ")";
+    case ExprKind::kAggregate:
+      return std::string(AggFuncName(agg)) + "(" +
+             (left ? left->ToString() : "*") + ")";
+    case ExprKind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+ExprPtr MakeLiteral(rel::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->value = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->column_name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+}  // namespace xomatiq::sql

@@ -1,0 +1,186 @@
+#ifndef XOMATIQ_SQL_AST_H_
+#define XOMATIQ_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/value.h"
+
+namespace xomatiq::sql {
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+enum class BinaryOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kConcat,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+enum class ScalarFunc { kLower, kUpper, kLength };
+
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,    // value
+  kColumnRef,  // name (optionally qualified); bound_index set by the binder
+  kBinary,     // op, left, right
+  kUnary,      // uop, left
+  kIsNull,     // left; negated => IS NOT NULL
+  kLike,       // left LIKE pattern (literal in right)
+  kContains,   // CONTAINS(left, 'keywords'): token-AND keyword match
+  kBetween,    // left BETWEEN low AND high
+  kInList,     // left IN (list)
+  kFunc,       // scalar func(left)
+  kAggregate,  // agg(left); left null for COUNT(*)
+  kStar,       // bare * inside COUNT(*)
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  rel::Value value;
+
+  // kColumnRef
+  std::string column_name;
+  int bound_index = -1;  // set by Bind(); -1 = unresolved
+
+  // Operators / functions.
+  BinaryOp bin_op = BinaryOp::kEq;
+  UnaryOp un_op = UnaryOp::kNot;
+  ScalarFunc func = ScalarFunc::kLower;
+  AggFunc agg = AggFunc::kCount;
+  bool negated = false;  // IS NOT NULL / NOT LIKE / NOT IN / NOT BETWEEN
+
+  ExprPtr left;
+  ExprPtr right;
+  ExprPtr extra;              // BETWEEN high bound
+  std::vector<ExprPtr> list;  // IN list
+
+  // Deep copy (plans keep private copies of parsed expressions).
+  ExprPtr Clone() const;
+
+  // Rendering for EXPLAIN and error messages.
+  std::string ToString() const;
+};
+
+ExprPtr MakeLiteral(rel::Value v);
+ExprPtr MakeColumnRef(std::string name);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+struct ColumnDefAst {
+  std::string name;
+  rel::ValueType type = rel::ValueType::kText;
+  bool not_null = false;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnDefAst> columns;
+};
+
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+  rel::IndexKind kind = rel::IndexKind::kBTree;
+  bool unique = false;
+};
+
+struct DropStmt {
+  bool is_table = true;  // else index
+  std::string name;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;        // empty = positional
+  std::vector<std::vector<ExprPtr>> rows;  // literal expressions
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+};
+
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;  // may be null (cross join)
+};
+
+struct SelectItem {
+  ExprPtr expr;       // null when is_star
+  std::string alias;  // empty = derived
+  bool is_star = false;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;     // comma-separated relations
+  std::vector<JoinClause> joins;  // explicit JOIN ... ON ...
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> sets;
+  ExprPtr where;
+};
+
+enum class StatementKind {
+  kCreateTable,
+  kCreateIndex,
+  kDrop,
+  kInsert,
+  kSelect,
+  kDelete,
+  kUpdate,
+  kExplain,  // EXPLAIN <select>
+};
+
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  CreateTableStmt create_table;
+  CreateIndexStmt create_index;
+  DropStmt drop;
+  InsertStmt insert;
+  SelectStmt select;  // also the target of kExplain
+  DeleteStmt del;
+  UpdateStmt update;
+};
+
+}  // namespace xomatiq::sql
+
+#endif  // XOMATIQ_SQL_AST_H_

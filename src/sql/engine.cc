@@ -1,0 +1,221 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+
+#include "sql/executor.h"
+#include "sql/expr_eval.h"
+#include "sql/parser.h"
+
+namespace xomatiq::sql {
+
+using common::Result;
+using common::Status;
+using rel::RowId;
+using rel::Tuple;
+using rel::Value;
+
+std::string QueryResult::ToTable() const {
+  std::vector<size_t> widths(schema.size());
+  for (size_t c = 0; c < schema.size(); ++c) {
+    widths[c] = schema.column(c).name.size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const Tuple& row : rows) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line.push_back(row[c].ToString());
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  auto rule = [&] {
+    std::string out = "+";
+    for (size_t w : widths) out += std::string(w + 2, '-') + "+";
+    return out + "\n";
+  };
+  std::string out = rule();
+  out += "|";
+  for (size_t c = 0; c < schema.size(); ++c) {
+    const std::string& name = schema.column(c).name;
+    out += " " + name + std::string(widths[c] - name.size(), ' ') + " |";
+  }
+  out += "\n" + rule();
+  for (const auto& line : cells) {
+    out += "|";
+    for (size_t c = 0; c < line.size(); ++c) {
+      out += " " + line[c] + std::string(widths[c] - line[c].size(), ' ') +
+             " |";
+    }
+    out += "\n";
+  }
+  out += rule();
+  out += std::to_string(rows.size()) + " row(s)\n";
+  return out;
+}
+
+Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
+  XQ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  switch (stmt.kind) {
+    case StatementKind::kCreateTable: {
+      std::vector<rel::Column> cols;
+      for (const ColumnDefAst& c : stmt.create_table.columns) {
+        cols.push_back({c.name, c.type, c.not_null});
+      }
+      XQ_RETURN_IF_ERROR(db_->CreateTable(stmt.create_table.table,
+                                          rel::Schema(std::move(cols))));
+      return QueryResult{};
+    }
+    case StatementKind::kCreateIndex: {
+      rel::IndexDef def;
+      def.name = stmt.create_index.index;
+      def.table = stmt.create_index.table;
+      def.columns = stmt.create_index.columns;
+      def.kind = stmt.create_index.kind;
+      def.unique = stmt.create_index.unique;
+      XQ_RETURN_IF_ERROR(db_->CreateIndex(def));
+      return QueryResult{};
+    }
+    case StatementKind::kDrop: {
+      if (stmt.drop.is_table) {
+        XQ_RETURN_IF_ERROR(db_->DropTable(stmt.drop.name));
+      } else {
+        XQ_RETURN_IF_ERROR(db_->DropIndex(stmt.drop.name));
+      }
+      return QueryResult{};
+    }
+    case StatementKind::kInsert:
+      return ExecuteInsert(stmt.insert);
+    case StatementKind::kSelect:
+      return ExecuteSelect(stmt.select, /*explain_only=*/false);
+    case StatementKind::kExplain:
+      return ExecuteSelect(stmt.select, /*explain_only=*/true);
+    case StatementKind::kDelete:
+      return ExecuteDelete(stmt.del);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(stmt.update);
+  }
+  return Status::Internal("bad statement kind");
+}
+
+Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
+                                             bool explain_only) {
+  XQ_ASSIGN_OR_RETURN(PlanPtr plan, planner_.PlanSelect(stmt));
+  QueryResult result;
+  result.schema = plan->schema;
+  if (explain_only) {
+    result.explain_text = plan->ToString();
+    return result;
+  }
+  Executor executor(db_);
+  XQ_ASSIGN_OR_RETURN(result.rows, executor.ExecuteToVector(*plan));
+  return result;
+}
+
+Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(stmt.table));
+  const rel::Schema& schema = table->schema();
+  // Map column-name list to positions (empty list = positional).
+  std::vector<size_t> positions;
+  if (!stmt.columns.empty()) {
+    for (const std::string& col : stmt.columns) {
+      XQ_ASSIGN_OR_RETURN(size_t idx, schema.ResolveColumn(col));
+      positions.push_back(idx);
+    }
+  }
+  QueryResult result;
+  for (const std::vector<ExprPtr>& row_exprs : stmt.rows) {
+    Tuple tuple(schema.size(), Value::Null());
+    if (positions.empty()) {
+      if (row_exprs.size() != schema.size()) {
+        return Status::InvalidArgument(
+            "INSERT arity mismatch for table " + stmt.table);
+      }
+      for (size_t i = 0; i < row_exprs.size(); ++i) {
+        XQ_ASSIGN_OR_RETURN(tuple[i], Eval(*row_exprs[i], {}));
+      }
+    } else {
+      if (row_exprs.size() != positions.size()) {
+        return Status::InvalidArgument(
+            "INSERT arity mismatch for table " + stmt.table);
+      }
+      for (size_t i = 0; i < row_exprs.size(); ++i) {
+        XQ_ASSIGN_OR_RETURN(tuple[positions[i]], Eval(*row_exprs[i], {}));
+      }
+    }
+    XQ_ASSIGN_OR_RETURN(RowId row, db_->Insert(stmt.table, std::move(tuple)));
+    (void)row;
+    ++result.affected;
+  }
+  return result;
+}
+
+namespace {
+
+// Collects RowIds of live rows matching `where` (null = all).
+Result<std::vector<RowId>> MatchRows(rel::Database* db,
+                                     const std::string& table_name,
+                                     const ExprPtr& where) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db->GetTable(table_name));
+  ExprPtr bound;
+  if (where) {
+    bound = where->Clone();
+    XQ_RETURN_IF_ERROR(Bind(bound.get(), table->schema()));
+  }
+  std::vector<RowId> rows;
+  Status inner;
+  table->Scan([&](RowId row, const Tuple& tuple) {
+    if (bound) {
+      auto pass = EvalPredicate(*bound, tuple);
+      if (!pass.ok()) {
+        inner = pass.status();
+        return false;
+      }
+      if (!pass->has_value() || !**pass) return true;
+    }
+    rows.push_back(row);
+    return true;
+  });
+  XQ_RETURN_IF_ERROR(inner);
+  return rows;
+}
+
+}  // namespace
+
+Result<QueryResult> SqlEngine::ExecuteDelete(const DeleteStmt& stmt) {
+  XQ_ASSIGN_OR_RETURN(std::vector<RowId> rows,
+                      MatchRows(db_, stmt.table, stmt.where));
+  for (RowId row : rows) {
+    XQ_RETURN_IF_ERROR(db_->Delete(stmt.table, row));
+  }
+  QueryResult result;
+  result.affected = rows.size();
+  return result;
+}
+
+Result<QueryResult> SqlEngine::ExecuteUpdate(const UpdateStmt& stmt) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(stmt.table));
+  const rel::Schema& schema = table->schema();
+  std::vector<std::pair<size_t, ExprPtr>> sets;
+  for (const auto& [col, expr] : stmt.sets) {
+    XQ_ASSIGN_OR_RETURN(size_t idx, schema.ResolveColumn(col));
+    ExprPtr bound = expr->Clone();
+    XQ_RETURN_IF_ERROR(Bind(bound.get(), schema));
+    sets.emplace_back(idx, std::move(bound));
+  }
+  XQ_ASSIGN_OR_RETURN(std::vector<RowId> rows,
+                      MatchRows(db_, stmt.table, stmt.where));
+  for (RowId row : rows) {
+    XQ_ASSIGN_OR_RETURN(const Tuple* current, table->Get(row));
+    Tuple updated = *current;
+    for (const auto& [idx, expr] : sets) {
+      XQ_ASSIGN_OR_RETURN(updated[idx], Eval(*expr, *current));
+    }
+    XQ_RETURN_IF_ERROR(db_->Update(stmt.table, row, std::move(updated)));
+  }
+  QueryResult result;
+  result.affected = rows.size();
+  return result;
+}
+
+}  // namespace xomatiq::sql

@@ -1,0 +1,55 @@
+#ifndef XOMATIQ_SQL_ENGINE_H_
+#define XOMATIQ_SQL_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "sql/plan.h"
+#include "sql/planner.h"
+
+namespace xomatiq::sql {
+
+// Result of one statement: rows for SELECT/EXPLAIN, affected count for DML.
+struct QueryResult {
+  rel::Schema schema;
+  std::vector<rel::Tuple> rows;
+  size_t affected = 0;
+  std::string explain_text;  // set for EXPLAIN
+
+  // Renders rows as a fixed-width ASCII table (the "simple table format"
+  // result view of the paper's Figs 7(b)/12).
+  std::string ToTable() const;
+};
+
+// Statement-level facade over parse -> plan -> execute. This is the full
+// SQL surface XomatiQ's XQ2SQL translator targets.
+class SqlEngine {
+ public:
+  explicit SqlEngine(rel::Database* db) : db_(db), planner_(db) {}
+
+  // Parses and runs one statement.
+  common::Result<QueryResult> Execute(std::string_view sql);
+
+  // Plans a pre-parsed SELECT (exposed for tests and benchmarks).
+  common::Result<PlanPtr> Plan(const SelectStmt& stmt) {
+    return planner_.PlanSelect(stmt);
+  }
+
+  rel::Database* db() { return db_; }
+
+ private:
+  common::Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
+                                            bool explain_only);
+  common::Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
+  common::Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt);
+  common::Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt);
+
+  rel::Database* db_;
+  Planner planner_;
+};
+
+}  // namespace xomatiq::sql
+
+#endif  // XOMATIQ_SQL_ENGINE_H_

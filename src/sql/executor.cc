@@ -1,0 +1,467 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sql/expr_eval.h"
+
+namespace xomatiq::sql {
+
+using common::Result;
+using common::Status;
+using rel::CompositeKey;
+using rel::RowId;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+Status Executor::Execute(const PlanNode& plan, const RowSink& sink) {
+  switch (plan.kind) {
+    case PlanKind::kSeqScan:
+      return ExecScan(plan, sink);
+    case PlanKind::kIndexScan:
+      return ExecIndexScan(plan, sink);
+    case PlanKind::kKeywordScan:
+      return ExecKeywordScan(plan, sink);
+    case PlanKind::kFilter:
+      return ExecFilter(plan, sink);
+    case PlanKind::kProject:
+      return ExecProject(plan, sink);
+    case PlanKind::kNestedLoopJoin:
+      return ExecNestedLoopJoin(plan, sink);
+    case PlanKind::kHashJoin:
+      return ExecHashJoin(plan, sink);
+    case PlanKind::kIndexNLJoin:
+      return ExecIndexNLJoin(plan, sink);
+    case PlanKind::kSort:
+      return ExecSort(plan, sink);
+    case PlanKind::kLimit:
+      return ExecLimit(plan, sink);
+    case PlanKind::kAggregate:
+      return ExecAggregate(plan, sink);
+    case PlanKind::kDistinct:
+      return ExecDistinct(plan, sink);
+  }
+  return Status::Internal("bad plan kind");
+}
+
+Result<std::vector<Tuple>> Executor::ExecuteToVector(const PlanNode& plan) {
+  std::vector<Tuple> rows;
+  XQ_RETURN_IF_ERROR(Execute(plan, [&](const Tuple& t) {
+    rows.push_back(t);
+    return true;
+  }));
+  return rows;
+}
+
+Status Executor::ExecScan(const PlanNode& plan, const RowSink& sink) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
+  table->Scan([&](RowId, const Tuple& tuple) { return sink(tuple); });
+  return Status::OK();
+}
+
+namespace {
+
+// Emits the live tuples behind `rows` into `sink`; returns false on stop.
+Result<bool> EmitRows(const rel::Table& table, const std::vector<RowId>& rows,
+                      const Executor::RowSink& sink) {
+  for (RowId row : rows) {
+    auto tuple = table.Get(row);
+    if (!tuple.ok()) return tuple.status();
+    if (!sink(**tuple)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Executor::ExecIndexScan(const PlanNode& plan, const RowSink& sink) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
+  const rel::IndexEntry& entry = *plan.index;
+  if (!plan.eq_key.empty()) {
+    if (entry.def.kind == rel::IndexKind::kHash) {
+      const std::vector<RowId>* rows = entry.hash->Lookup(plan.eq_key);
+      if (rows != nullptr) {
+        XQ_ASSIGN_OR_RETURN(bool more, EmitRows(*table, *rows, sink));
+        (void)more;
+      }
+      return Status::OK();
+    }
+    // BTree: exact when the key covers all columns, else prefix scan.
+    if (plan.eq_key.size() == entry.def.columns.size()) {
+      std::vector<RowId> rows = entry.btree->Lookup(plan.eq_key);
+      XQ_ASSIGN_OR_RETURN(bool more, EmitRows(*table, rows, sink));
+      (void)more;
+      return Status::OK();
+    }
+    Status status;
+    entry.btree->ScanPrefix(
+        plan.eq_key, [&](const CompositeKey&, const std::vector<RowId>& rows) {
+          auto more = EmitRows(*table, rows, sink);
+          if (!more.ok()) {
+            status = more.status();
+            return false;
+          }
+          return *more;
+        });
+    return status;
+  }
+  // Range scan on the first column of a single-column btree.
+  std::optional<rel::BTreeIndex::Bound> lo, hi;
+  if (plan.lo.has_value()) {
+    lo = rel::BTreeIndex::Bound{{*plan.lo}, plan.lo_inclusive};
+  }
+  if (plan.hi.has_value()) {
+    hi = rel::BTreeIndex::Bound{{*plan.hi}, plan.hi_inclusive};
+  }
+  Status status;
+  entry.btree->Scan(lo, hi,
+                    [&](const CompositeKey&, const std::vector<RowId>& rows) {
+                      auto more = EmitRows(*table, rows, sink);
+                      if (!more.ok()) {
+                        status = more.status();
+                        return false;
+                      }
+                      return *more;
+                    });
+  return status;
+}
+
+Status Executor::ExecKeywordScan(const PlanNode& plan, const RowSink& sink) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
+  std::vector<RowId> rows = plan.index->inverted->LookupAll(plan.keyword);
+  XQ_ASSIGN_OR_RETURN(bool more, EmitRows(*table, rows, sink));
+  (void)more;
+  return Status::OK();
+}
+
+Status Executor::ExecFilter(const PlanNode& plan, const RowSink& sink) {
+  Status inner_status;
+  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& tuple) {
+    auto pass = EvalPredicate(*plan.predicate, tuple);
+    if (!pass.ok()) {
+      inner_status = pass.status();
+      return false;
+    }
+    if (pass->has_value() && **pass) return sink(tuple);
+    return true;
+  }));
+  return inner_status;
+}
+
+Status Executor::ExecProject(const PlanNode& plan, const RowSink& sink) {
+  Status inner_status;
+  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& tuple) {
+    Tuple out;
+    out.reserve(plan.project_exprs.size());
+    for (const ExprPtr& e : plan.project_exprs) {
+      auto v = Eval(*e, tuple);
+      if (!v.ok()) {
+        inner_status = v.status();
+        return false;
+      }
+      out.push_back(std::move(*v));
+    }
+    return sink(out);
+  }));
+  return inner_status;
+}
+
+Status Executor::ExecNestedLoopJoin(const PlanNode& plan,
+                                    const RowSink& sink) {
+  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> inner,
+                      ExecuteToVector(*plan.children[1]));
+  Status inner_status;
+  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& left) {
+    for (const Tuple& right : inner) {
+      Tuple combined = left;
+      combined.insert(combined.end(), right.begin(), right.end());
+      if (plan.predicate) {
+        auto pass = EvalPredicate(*plan.predicate, combined);
+        if (!pass.ok()) {
+          inner_status = pass.status();
+          return false;
+        }
+        if (!pass->has_value() || !**pass) continue;
+      }
+      if (!sink(combined)) return false;
+    }
+    return true;
+  }));
+  return inner_status;
+}
+
+Status Executor::ExecHashJoin(const PlanNode& plan, const RowSink& sink) {
+  // Build on the right child.
+  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> build,
+                      ExecuteToVector(*plan.children[1]));
+  std::unordered_map<CompositeKey, std::vector<size_t>,
+                     rel::CompositeKeyHasher, rel::CompositeKeyEq>
+      ht;
+  for (size_t i = 0; i < build.size(); ++i) {
+    CompositeKey key;
+    bool has_null = false;
+    for (const ExprPtr& e : plan.right_keys) {
+      XQ_ASSIGN_OR_RETURN(Value v, Eval(*e, build[i]));
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+      key.push_back(std::move(v));
+    }
+    if (!has_null) ht[std::move(key)].push_back(i);
+  }
+  Status inner_status;
+  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& left) {
+    CompositeKey key;
+    for (const ExprPtr& e : plan.left_keys) {
+      auto v = Eval(*e, left);
+      if (!v.ok()) {
+        inner_status = v.status();
+        return false;
+      }
+      if (v->is_null()) return true;  // NULL never joins
+      key.push_back(std::move(*v));
+    }
+    auto it = ht.find(key);
+    if (it == ht.end()) return true;
+    for (size_t i : it->second) {
+      Tuple combined = left;
+      combined.insert(combined.end(), build[i].begin(), build[i].end());
+      if (!sink(combined)) return false;
+    }
+    return true;
+  }));
+  return inner_status;
+}
+
+Status Executor::ExecIndexNLJoin(const PlanNode& plan, const RowSink& sink) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
+  const rel::IndexEntry& entry = *plan.index;
+  Status inner_status;
+  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& outer) {
+    CompositeKey key;
+    for (const ExprPtr& e : plan.outer_key_exprs) {
+      auto v = Eval(*e, outer);
+      if (!v.ok()) {
+        inner_status = v.status();
+        return false;
+      }
+      if (v->is_null()) return true;
+      key.push_back(std::move(*v));
+    }
+    // Coerce the probe key to the indexed column types so INT probes hit
+    // TEXT-typed keys the way the filter comparison would.
+    for (size_t i = 0; i < key.size(); ++i) {
+      ValueType want =
+          table->schema().column(entry.column_indexes[i]).type;
+      if (key[i].type() != want) {
+        auto cast = key[i].CastTo(want);
+        if (cast.ok()) key[i] = std::move(*cast);
+      }
+    }
+    std::vector<RowId> rows;
+    if (entry.def.kind == rel::IndexKind::kHash) {
+      const std::vector<RowId>* found = entry.hash->Lookup(key);
+      if (found != nullptr) rows = *found;
+    } else if (key.size() == entry.def.columns.size()) {
+      rows = entry.btree->Lookup(key);
+    } else {
+      entry.btree->ScanPrefix(
+          key, [&](const CompositeKey&, const std::vector<RowId>& r) {
+            rows.insert(rows.end(), r.begin(), r.end());
+            return true;
+          });
+    }
+    for (RowId row : rows) {
+      auto tuple = table->Get(row);
+      if (!tuple.ok()) {
+        inner_status = tuple.status();
+        return false;
+      }
+      Tuple combined = outer;
+      combined.insert(combined.end(), (*tuple)->begin(), (*tuple)->end());
+      if (!sink(combined)) return false;
+    }
+    return true;
+  }));
+  return inner_status;
+}
+
+Status Executor::ExecSort(const PlanNode& plan, const RowSink& sink) {
+  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                      ExecuteToVector(*plan.children[0]));
+  // Precompute sort keys per row.
+  std::vector<std::pair<CompositeKey, size_t>> keyed;
+  keyed.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    CompositeKey key;
+    for (const SortKey& sk : plan.sort_keys) {
+      XQ_ASSIGN_OR_RETURN(Value v, Eval(*sk.expr, rows[i]));
+      key.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(key), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [&](const auto& a, const auto& b) {
+                     for (size_t k = 0; k < plan.sort_keys.size(); ++k) {
+                       int c = Value::Compare(a.first[k], b.first[k]);
+                       if (c != 0) {
+                         return plan.sort_keys[k].desc ? c > 0 : c < 0;
+                       }
+                     }
+                     return false;
+                   });
+  for (const auto& [key, i] : keyed) {
+    if (!sink(rows[i])) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status Executor::ExecLimit(const PlanNode& plan, const RowSink& sink) {
+  int64_t skipped = 0;
+  int64_t emitted = 0;
+  return Execute(*plan.children[0], [&](const Tuple& tuple) {
+    if (skipped < plan.offset) {
+      ++skipped;
+      return true;
+    }
+    if (plan.limit >= 0 && emitted >= plan.limit) return false;
+    ++emitted;
+    if (!sink(tuple)) return false;
+    return plan.limit < 0 || emitted < plan.limit;
+  });
+}
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;
+  bool has = false;
+  bool all_int = true;
+  int64_t isum = 0;
+  double dsum = 0;
+  Value min;
+  Value max;
+};
+
+Status UpdateAgg(const AggSpec& spec, const Tuple& tuple, AggState* state) {
+  if (spec.arg == nullptr) {  // COUNT(*)
+    ++state->count;
+    return Status::OK();
+  }
+  XQ_ASSIGN_OR_RETURN(Value v, Eval(*spec.arg, tuple));
+  if (v.is_null()) return Status::OK();
+  ++state->count;
+  switch (spec.func) {
+    case AggFunc::kCount:
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      XQ_ASSIGN_OR_RETURN(double d, v.ToNumeric());
+      state->dsum += d;
+      if (v.type() == ValueType::kInt) {
+        state->isum += v.AsInt();
+      } else {
+        state->all_int = false;
+      }
+      state->has = true;
+      break;
+    }
+    case AggFunc::kMin:
+      if (!state->has || Value::Compare(v, state->min) < 0) state->min = v;
+      state->has = true;
+      break;
+    case AggFunc::kMax:
+      if (!state->has || Value::Compare(v, state->max) > 0) state->max = v;
+      state->has = true;
+      break;
+  }
+  return Status::OK();
+}
+
+Value FinalizeAgg(const AggSpec& spec, const AggState& state) {
+  switch (spec.func) {
+    case AggFunc::kCount:
+      return Value::Int(state.count);
+    case AggFunc::kSum:
+      if (!state.has) return Value::Null();
+      return state.all_int ? Value::Int(state.isum)
+                           : Value::Double(state.dsum);
+    case AggFunc::kAvg:
+      if (!state.has) return Value::Null();
+      return Value::Double(state.dsum / static_cast<double>(state.count));
+    case AggFunc::kMin:
+      return state.has ? state.min : Value::Null();
+    case AggFunc::kMax:
+      return state.has ? state.max : Value::Null();
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Status Executor::ExecAggregate(const PlanNode& plan, const RowSink& sink) {
+  std::unordered_map<CompositeKey, size_t, rel::CompositeKeyHasher,
+                     rel::CompositeKeyEq>
+      group_index;
+  std::vector<CompositeKey> group_keys;          // insertion order
+  std::vector<std::vector<AggState>> states;
+  Status inner_status;
+  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& tuple) {
+    CompositeKey key;
+    for (const ExprPtr& g : plan.group_exprs) {
+      auto v = Eval(*g, tuple);
+      if (!v.ok()) {
+        inner_status = v.status();
+        return false;
+      }
+      key.push_back(std::move(*v));
+    }
+    size_t slot;
+    auto it = group_index.find(key);
+    if (it == group_index.end()) {
+      slot = group_keys.size();
+      group_index.emplace(key, slot);
+      group_keys.push_back(std::move(key));
+      states.emplace_back(plan.aggs.size());
+    } else {
+      slot = it->second;
+    }
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      Status s = UpdateAgg(plan.aggs[a], tuple, &states[slot][a]);
+      if (!s.ok()) {
+        inner_status = s;
+        return false;
+      }
+    }
+    return true;
+  }));
+  XQ_RETURN_IF_ERROR(inner_status);
+  // Grand aggregate over an empty input still yields one row.
+  if (group_keys.empty() && plan.group_exprs.empty()) {
+    group_keys.emplace_back();
+    states.emplace_back(plan.aggs.size());
+  }
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Tuple out = group_keys[g];
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      out.push_back(FinalizeAgg(plan.aggs[a], states[g][a]));
+    }
+    if (!sink(out)) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status Executor::ExecDistinct(const PlanNode& plan, const RowSink& sink) {
+  std::unordered_set<CompositeKey, rel::CompositeKeyHasher,
+                     rel::CompositeKeyEq>
+      seen;
+  return Execute(*plan.children[0], [&](const Tuple& tuple) {
+    if (!seen.insert(tuple).second) return true;
+    return sink(tuple);
+  });
+}
+
+}  // namespace xomatiq::sql

@@ -1,0 +1,50 @@
+#ifndef XOMATIQ_SQL_EXECUTOR_H_
+#define XOMATIQ_SQL_EXECUTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "sql/plan.h"
+
+namespace xomatiq::sql {
+
+// Streaming plan executor. Rows flow bottom-up through a sink callback;
+// the sink returns false to stop early (LIMIT pushes this down, so a
+// LIMIT 10 over a million-row scan touches ~10 rows on an index path).
+// Blocking operators (sort, hash-join build, aggregate, distinct)
+// materialize internally.
+class Executor {
+ public:
+  explicit Executor(rel::Database* db) : db_(db) {}
+
+  using RowSink = std::function<bool(const rel::Tuple&)>;
+
+  // Streams the plan's output rows into `sink`.
+  common::Status Execute(const PlanNode& plan, const RowSink& sink);
+
+  // Convenience: materializes all output rows.
+  common::Result<std::vector<rel::Tuple>> ExecuteToVector(
+      const PlanNode& plan);
+
+ private:
+  common::Status ExecScan(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecIndexScan(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecKeywordScan(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecFilter(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecProject(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecNestedLoopJoin(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecHashJoin(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecIndexNLJoin(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecSort(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecLimit(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecAggregate(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecDistinct(const PlanNode& plan, const RowSink& sink);
+
+  rel::Database* db_;
+};
+
+}  // namespace xomatiq::sql
+
+#endif  // XOMATIQ_SQL_EXECUTOR_H_

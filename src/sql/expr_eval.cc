@@ -1,0 +1,361 @@
+#include "sql/expr_eval.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace xomatiq::sql {
+
+using common::Result;
+using common::Status;
+using rel::Value;
+using rel::ValueType;
+
+Status Bind(Expr* e, const rel::Schema& schema, bool allow_aggregates) {
+  switch (e->kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kStar:
+      return Status::OK();
+    case ExprKind::kColumnRef: {
+      XQ_ASSIGN_OR_RETURN(size_t idx, schema.ResolveColumn(e->column_name));
+      e->bound_index = static_cast<int>(idx);
+      return Status::OK();
+    }
+    case ExprKind::kAggregate:
+      if (!allow_aggregates) {
+        return Status::InvalidArgument(
+            "aggregate not allowed here: " + e->ToString());
+      }
+      if (e->left) XQ_RETURN_IF_ERROR(Bind(e->left.get(), schema, false));
+      return Status::OK();
+    default:
+      break;
+  }
+  if (e->left) {
+    XQ_RETURN_IF_ERROR(Bind(e->left.get(), schema, allow_aggregates));
+  }
+  if (e->right) {
+    XQ_RETURN_IF_ERROR(Bind(e->right.get(), schema, allow_aggregates));
+  }
+  if (e->extra) {
+    XQ_RETURN_IF_ERROR(Bind(e->extra.get(), schema, allow_aggregates));
+  }
+  for (ExprPtr& item : e->list) {
+    XQ_RETURN_IF_ERROR(Bind(item.get(), schema, allow_aggregates));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Value BoolValue(bool b) { return Value::Int(b ? 1 : 0); }
+
+// NULL-aware truthiness; NULL -> nullopt.
+std::optional<bool> Truthiness(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return std::nullopt;
+    case ValueType::kInt:
+      return v.AsInt() != 0;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0;
+    case ValueType::kText:
+      return !v.AsText().empty();
+  }
+  return std::nullopt;
+}
+
+Result<Value> EvalComparison(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  int c = Value::Compare(l, r);
+  switch (op) {
+    case BinaryOp::kEq: return BoolValue(c == 0);
+    case BinaryOp::kNe: return BoolValue(c != 0);
+    case BinaryOp::kLt: return BoolValue(c < 0);
+    case BinaryOp::kLe: return BoolValue(c <= 0);
+    case BinaryOp::kGt: return BoolValue(c > 0);
+    case BinaryOp::kGe: return BoolValue(c >= 0);
+    default:
+      return Status::Internal("not a comparison op");
+  }
+}
+
+Result<Value> EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (op == BinaryOp::kConcat) {
+    return Value::Text(l.ToString() + r.ToString());
+  }
+  if (l.type() == ValueType::kInt && r.type() == ValueType::kInt) {
+    int64_t a = l.AsInt(), b = r.AsInt();
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Int(a + b);
+      case BinaryOp::kSub: return Value::Int(a - b);
+      case BinaryOp::kMul: return Value::Int(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value::Int(a / b);
+      case BinaryOp::kMod:
+        if (b == 0) return Status::InvalidArgument("modulo by zero");
+        return Value::Int(a % b);
+      default:
+        return Status::Internal("not arithmetic");
+    }
+  }
+  XQ_ASSIGN_OR_RETURN(double a, l.ToNumeric());
+  XQ_ASSIGN_OR_RETURN(double b, r.ToNumeric());
+  switch (op) {
+    case BinaryOp::kAdd: return Value::Double(a + b);
+    case BinaryOp::kSub: return Value::Double(a - b);
+    case BinaryOp::kMul: return Value::Double(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0) return Status::InvalidArgument("division by zero");
+      return Value::Double(a / b);
+    case BinaryOp::kMod:
+      if (b == 0) return Status::InvalidArgument("modulo by zero");
+      return Value::Double(std::fmod(a, b));
+    default:
+      return Status::Internal("not arithmetic");
+  }
+}
+
+}  // namespace
+
+bool MatchLike(std::string_view text, std::string_view pattern) {
+  // Iterative two-pointer matcher with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+bool MatchContains(std::string_view text, std::string_view keywords) {
+  std::vector<std::string> needles = common::TokenizeKeywords(keywords);
+  if (needles.empty()) return false;
+  std::vector<std::string> words = common::TokenizeKeywords(text);
+  for (const std::string& needle : needles) {
+    bool found = false;
+    for (const std::string& w : words) {
+      if (w == needle) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Result<Value> Eval(const Expr& e, const rel::Tuple& tuple) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.value;
+    case ExprKind::kColumnRef: {
+      if (e.bound_index < 0 ||
+          static_cast<size_t>(e.bound_index) >= tuple.size()) {
+        return Status::Internal("unbound column " + e.column_name);
+      }
+      return tuple[static_cast<size_t>(e.bound_index)];
+    }
+    case ExprKind::kBinary: {
+      if (e.bin_op == BinaryOp::kAnd || e.bin_op == BinaryOp::kOr) {
+        XQ_ASSIGN_OR_RETURN(Value lv, Eval(*e.left, tuple));
+        std::optional<bool> l = Truthiness(lv);
+        // Short-circuit per three-valued logic.
+        if (e.bin_op == BinaryOp::kAnd && l.has_value() && !*l) {
+          return BoolValue(false);
+        }
+        if (e.bin_op == BinaryOp::kOr && l.has_value() && *l) {
+          return BoolValue(true);
+        }
+        XQ_ASSIGN_OR_RETURN(Value rv, Eval(*e.right, tuple));
+        std::optional<bool> r = Truthiness(rv);
+        if (e.bin_op == BinaryOp::kAnd) {
+          if (r.has_value() && !*r) return BoolValue(false);
+          if (l.has_value() && r.has_value()) return BoolValue(*l && *r);
+          return Value::Null();
+        }
+        if (r.has_value() && *r) return BoolValue(true);
+        if (l.has_value() && r.has_value()) return BoolValue(*l || *r);
+        return Value::Null();
+      }
+      XQ_ASSIGN_OR_RETURN(Value l, Eval(*e.left, tuple));
+      XQ_ASSIGN_OR_RETURN(Value r, Eval(*e.right, tuple));
+      switch (e.bin_op) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return EvalComparison(e.bin_op, l, r);
+        default:
+          return EvalArithmetic(e.bin_op, l, r);
+      }
+    }
+    case ExprKind::kUnary: {
+      XQ_ASSIGN_OR_RETURN(Value v, Eval(*e.left, tuple));
+      if (e.un_op == UnaryOp::kNot) {
+        std::optional<bool> b = Truthiness(v);
+        if (!b.has_value()) return Value::Null();
+        return BoolValue(!*b);
+      }
+      if (v.is_null()) return Value::Null();
+      if (v.type() == ValueType::kInt) return Value::Int(-v.AsInt());
+      XQ_ASSIGN_OR_RETURN(double d, v.ToNumeric());
+      return Value::Double(-d);
+    }
+    case ExprKind::kIsNull: {
+      XQ_ASSIGN_OR_RETURN(Value v, Eval(*e.left, tuple));
+      return BoolValue(v.is_null() != e.negated);
+    }
+    case ExprKind::kLike: {
+      XQ_ASSIGN_OR_RETURN(Value text, Eval(*e.left, tuple));
+      XQ_ASSIGN_OR_RETURN(Value pattern, Eval(*e.right, tuple));
+      if (text.is_null() || pattern.is_null()) return Value::Null();
+      bool m = MatchLike(text.ToString(), pattern.ToString());
+      return BoolValue(m != e.negated);
+    }
+    case ExprKind::kContains: {
+      XQ_ASSIGN_OR_RETURN(Value text, Eval(*e.left, tuple));
+      XQ_ASSIGN_OR_RETURN(Value kw, Eval(*e.right, tuple));
+      if (text.is_null() || kw.is_null()) return Value::Null();
+      return BoolValue(MatchContains(text.ToString(), kw.ToString()));
+    }
+    case ExprKind::kBetween: {
+      XQ_ASSIGN_OR_RETURN(Value v, Eval(*e.left, tuple));
+      XQ_ASSIGN_OR_RETURN(Value lo, Eval(*e.right, tuple));
+      XQ_ASSIGN_OR_RETURN(Value hi, Eval(*e.extra, tuple));
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      bool in = Value::Compare(v, lo) >= 0 && Value::Compare(v, hi) <= 0;
+      return BoolValue(in != e.negated);
+    }
+    case ExprKind::kInList: {
+      XQ_ASSIGN_OR_RETURN(Value v, Eval(*e.left, tuple));
+      if (v.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (const ExprPtr& item : e.list) {
+        XQ_ASSIGN_OR_RETURN(Value iv, Eval(*item, tuple));
+        if (iv.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (Value::Compare(v, iv) == 0) return BoolValue(!e.negated);
+      }
+      if (saw_null) return Value::Null();
+      return BoolValue(e.negated);
+    }
+    case ExprKind::kFunc: {
+      XQ_ASSIGN_OR_RETURN(Value v, Eval(*e.left, tuple));
+      if (v.is_null()) return Value::Null();
+      switch (e.func) {
+        case ScalarFunc::kLower:
+          return Value::Text(common::AsciiToLower(v.ToString()));
+        case ScalarFunc::kUpper: {
+          std::string s = v.ToString();
+          for (char& c : s) {
+            c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+          }
+          return Value::Text(std::move(s));
+        }
+        case ScalarFunc::kLength:
+          return Value::Int(static_cast<int64_t>(v.ToString().size()));
+      }
+      return Status::Internal("bad scalar func");
+    }
+    case ExprKind::kAggregate:
+      return Status::Internal(
+          "aggregate evaluated outside Aggregate operator: " + e.ToString());
+    case ExprKind::kStar:
+      return Status::Internal("bare * evaluated");
+  }
+  return Status::Internal("bad expr kind");
+}
+
+Result<std::optional<bool>> EvalPredicate(const Expr& e,
+                                          const rel::Tuple& tuple) {
+  XQ_ASSIGN_OR_RETURN(Value v, Eval(e, tuple));
+  return Truthiness(v);
+}
+
+rel::ValueType InferType(const Expr& e, const rel::Schema& schema) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.value.type() == ValueType::kNull ? ValueType::kText
+                                                : e.value.type();
+    case ExprKind::kColumnRef: {
+      auto idx = schema.FindColumn(e.column_name);
+      return idx.has_value() ? schema.column(*idx).type : ValueType::kText;
+    }
+    case ExprKind::kBinary:
+      switch (e.bin_op) {
+        case BinaryOp::kConcat:
+          return ValueType::kText;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: {
+          ValueType l = InferType(*e.left, schema);
+          ValueType r = InferType(*e.right, schema);
+          return (l == ValueType::kInt && r == ValueType::kInt)
+                     ? ValueType::kInt
+                     : ValueType::kDouble;
+        }
+        default:
+          return ValueType::kInt;  // boolean
+      }
+    case ExprKind::kUnary:
+      return e.un_op == UnaryOp::kNot ? ValueType::kInt
+                                      : InferType(*e.left, schema);
+    case ExprKind::kIsNull:
+    case ExprKind::kLike:
+    case ExprKind::kContains:
+    case ExprKind::kBetween:
+    case ExprKind::kInList:
+      return ValueType::kInt;
+    case ExprKind::kFunc:
+      return e.func == ScalarFunc::kLength ? ValueType::kInt
+                                           : ValueType::kText;
+    case ExprKind::kAggregate:
+      switch (e.agg) {
+        case AggFunc::kCount:
+          return ValueType::kInt;
+        case AggFunc::kAvg:
+          return ValueType::kDouble;
+        default:
+          return e.left ? InferType(*e.left, schema) : ValueType::kDouble;
+      }
+    case ExprKind::kStar:
+      return ValueType::kInt;
+  }
+  return ValueType::kText;
+}
+
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kAggregate) return true;
+  if (e.left && ContainsAggregate(*e.left)) return true;
+  if (e.right && ContainsAggregate(*e.right)) return true;
+  if (e.extra && ContainsAggregate(*e.extra)) return true;
+  for (const ExprPtr& item : e.list) {
+    if (ContainsAggregate(*item)) return true;
+  }
+  return false;
+}
+
+}  // namespace xomatiq::sql

@@ -1,0 +1,185 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace xomatiq::sql {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",    "AND",    "OR",     "NOT",     "JOIN",
+      "INNER",  "LEFT",   "ON",       "INSERT", "INTO",   "VALUES",  "CREATE",
+      "TABLE",  "INDEX",  "UNIQUE",   "USING",  "DELETE", "UPDATE",  "SET",
+      "ORDER",  "BY",     "ASC",      "DESC",   "LIMIT",  "OFFSET",  "GROUP",
+      "HAVING", "AS",     "DISTINCT", "NULL",   "LIKE",   "CONTAINS","IS",
+      "IN",     "BETWEEN","INT",      "INTEGER","DOUBLE", "REAL",    "TEXT",
+      "VARCHAR","PRIMARY","KEY",      "COUNT",  "MIN",    "MAX",     "SUM",
+      "AVG",    "EXPLAIN","BTREE",    "HASH",   "INVERTED","DROP",   "TRUE",
+      "FALSE",  "CAST",   "LOWER",    "UPPER",  "LENGTH",
+  };
+  return *kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word(sql.substr(start, i - start));
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (Keywords().count(upper) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = std::move(word);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_real = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string num(sql.substr(start, i - start));
+      if (is_real) {
+        auto v = common::ParseDouble(num);
+        if (!v) return Status::ParseError("bad number literal: " + num);
+        tok.type = TokenType::kNumber;
+        tok.double_value = *v;
+      } else {
+        auto v = common::ParseInt64(num);
+        if (!v) return Status::ParseError("bad integer literal: " + num);
+        tok.type = TokenType::kInteger;
+        tok.int_value = *v;
+      }
+      tok.text = std::move(num);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char symbols first.
+    auto two = sql.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "!=" || two == "<>" ||
+        two == "||") {
+      tok.type = TokenType::kSymbol;
+      tok.text = two == "<>" ? "!=" : std::string(two);
+      tokens.push_back(std::move(tok));
+      i += 2;
+      continue;
+    }
+    static constexpr std::string_view kSingles = "()*,.;=<>+-/%";
+    if (kSingles.find(c) != std::string_view::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.offset = n;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace xomatiq::sql

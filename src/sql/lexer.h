@@ -1,0 +1,20 @@
+#ifndef XOMATIQ_SQL_LEXER_H_
+#define XOMATIQ_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace xomatiq::sql {
+
+// Tokenizes a SQL statement string. Keywords are case-insensitive and
+// normalized to upper case; identifiers keep their case. String literals
+// use single quotes with '' as the escape; identifiers may be "quoted".
+// Comments: -- to end of line.
+common::Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace xomatiq::sql
+
+#endif  // XOMATIQ_SQL_LEXER_H_

@@ -1,0 +1,676 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace xomatiq::sql {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// Recursive-descent parser over a pre-lexed token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+  Result<ExprPtr> ParseExprPublic() {
+    XQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool MatchKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(std::string_view sym) {
+    if (Peek().IsSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError("expected " + std::string(kw) + " near '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!MatchSymbol(sym)) {
+      return Status::ParseError("expected '" + std::string(sym) + "' near '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected identifier near '" + Peek().text +
+                                "' at offset " + std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+  Status ExpectEnd() {
+    MatchSymbol(";");
+    if (Peek().type != TokenType::kEof) {
+      return Status::ParseError("trailing input near '" + Peek().text +
+                                "' at offset " + std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+
+  Result<Statement> ParseCreate();
+  Result<CreateTableStmt> ParseCreateTable();
+  Result<CreateIndexStmt> ParseCreateIndex(bool unique);
+  Result<DropStmt> ParseDrop();
+  Result<InsertStmt> ParseInsert();
+  Result<SelectStmt> ParseSelect();
+  Result<DeleteStmt> ParseDelete();
+  Result<UpdateStmt> ParseUpdate();
+
+  Result<TableRef> ParseTableRef();
+  Result<rel::ValueType> ParseType();
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Statement> Parser::ParseStatement() {
+  Statement stmt;
+  if (Peek().IsKeyword("EXPLAIN")) {
+    Advance();
+    stmt.kind = StatementKind::kExplain;
+    XQ_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+  if (Peek().IsKeyword("CREATE")) return ParseCreate();
+  if (Peek().IsKeyword("DROP")) {
+    XQ_ASSIGN_OR_RETURN(stmt.drop, ParseDrop());
+    stmt.kind = StatementKind::kDrop;
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+  if (Peek().IsKeyword("INSERT")) {
+    XQ_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+    stmt.kind = StatementKind::kInsert;
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+  if (Peek().IsKeyword("SELECT")) {
+    XQ_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    stmt.kind = StatementKind::kSelect;
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+  if (Peek().IsKeyword("DELETE")) {
+    XQ_ASSIGN_OR_RETURN(stmt.del, ParseDelete());
+    stmt.kind = StatementKind::kDelete;
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+  if (Peek().IsKeyword("UPDATE")) {
+    XQ_ASSIGN_OR_RETURN(stmt.update, ParseUpdate());
+    stmt.kind = StatementKind::kUpdate;
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+  return Status::ParseError("expected a statement, got '" + Peek().text + "'");
+}
+
+Result<Statement> Parser::ParseCreate() {
+  Statement stmt;
+  XQ_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+  if (MatchKeyword("TABLE")) {
+    XQ_ASSIGN_OR_RETURN(stmt.create_table, ParseCreateTable());
+    stmt.kind = StatementKind::kCreateTable;
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+  bool unique = MatchKeyword("UNIQUE");
+  if (MatchKeyword("INDEX")) {
+    XQ_ASSIGN_OR_RETURN(stmt.create_index, ParseCreateIndex(unique));
+    stmt.kind = StatementKind::kCreateIndex;
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+  return Status::ParseError("expected TABLE or [UNIQUE] INDEX after CREATE");
+}
+
+Result<rel::ValueType> Parser::ParseType() {
+  if (MatchKeyword("INT") || MatchKeyword("INTEGER")) {
+    return rel::ValueType::kInt;
+  }
+  if (MatchKeyword("DOUBLE") || MatchKeyword("REAL")) {
+    return rel::ValueType::kDouble;
+  }
+  if (MatchKeyword("TEXT")) return rel::ValueType::kText;
+  if (MatchKeyword("VARCHAR")) {
+    if (MatchSymbol("(")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Status::ParseError("expected length after VARCHAR(");
+      }
+      Advance();
+      XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    return rel::ValueType::kText;
+  }
+  return Status::ParseError("expected a column type, got '" + Peek().text +
+                            "'");
+}
+
+Result<CreateTableStmt> Parser::ParseCreateTable() {
+  CreateTableStmt stmt;
+  XQ_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  XQ_RETURN_IF_ERROR(ExpectSymbol("("));
+  do {
+    ColumnDefAst col;
+    XQ_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+    XQ_ASSIGN_OR_RETURN(col.type, ParseType());
+    while (true) {
+      if (MatchKeyword("NOT")) {
+        XQ_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        col.not_null = true;
+        continue;
+      }
+      if (MatchKeyword("PRIMARY")) {
+        XQ_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        col.not_null = true;  // primary implies NOT NULL; uniqueness needs
+                              // an explicit CREATE UNIQUE INDEX
+        continue;
+      }
+      break;
+    }
+    stmt.columns.push_back(std::move(col));
+  } while (MatchSymbol(","));
+  XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+  return stmt;
+}
+
+Result<CreateIndexStmt> Parser::ParseCreateIndex(bool unique) {
+  CreateIndexStmt stmt;
+  stmt.unique = unique;
+  XQ_ASSIGN_OR_RETURN(stmt.index, ExpectIdentifier());
+  XQ_RETURN_IF_ERROR(ExpectKeyword("ON"));
+  XQ_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  XQ_RETURN_IF_ERROR(ExpectSymbol("("));
+  do {
+    XQ_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    stmt.columns.push_back(std::move(col));
+  } while (MatchSymbol(","));
+  XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+  if (MatchKeyword("USING")) {
+    if (MatchKeyword("BTREE")) {
+      stmt.kind = rel::IndexKind::kBTree;
+    } else if (MatchKeyword("HASH")) {
+      stmt.kind = rel::IndexKind::kHash;
+    } else if (MatchKeyword("INVERTED")) {
+      stmt.kind = rel::IndexKind::kInverted;
+    } else {
+      return Status::ParseError("expected BTREE, HASH or INVERTED");
+    }
+  }
+  return stmt;
+}
+
+Result<DropStmt> Parser::ParseDrop() {
+  DropStmt stmt;
+  XQ_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+  if (MatchKeyword("TABLE")) {
+    stmt.is_table = true;
+  } else if (MatchKeyword("INDEX")) {
+    stmt.is_table = false;
+  } else {
+    return Status::ParseError("expected TABLE or INDEX after DROP");
+  }
+  XQ_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+  return stmt;
+}
+
+Result<InsertStmt> Parser::ParseInsert() {
+  InsertStmt stmt;
+  XQ_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+  XQ_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  XQ_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  if (MatchSymbol("(")) {
+    do {
+      XQ_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt.columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  XQ_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  do {
+    XQ_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<ExprPtr> row;
+    do {
+      XQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (MatchSymbol(","));
+    XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.rows.push_back(std::move(row));
+  } while (MatchSymbol(","));
+  return stmt;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  XQ_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier());
+  if (MatchKeyword("AS")) {
+    XQ_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+  } else if (Peek().type == TokenType::kIdentifier) {
+    ref.alias = Advance().text;
+  } else {
+    ref.alias = ref.table;
+  }
+  return ref;
+}
+
+Result<SelectStmt> Parser::ParseSelect() {
+  SelectStmt stmt;
+  XQ_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  stmt.distinct = MatchKeyword("DISTINCT");
+  do {
+    SelectItem item;
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      item.is_star = true;
+    } else {
+      XQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        XQ_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      }
+    }
+    stmt.items.push_back(std::move(item));
+  } while (MatchSymbol(","));
+  XQ_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  XQ_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+  stmt.from.push_back(std::move(first));
+  while (true) {
+    if (MatchSymbol(",")) {
+      XQ_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      stmt.from.push_back(std::move(ref));
+      continue;
+    }
+    bool is_join = false;
+    if (Peek().IsKeyword("JOIN")) {
+      is_join = true;
+      Advance();
+    } else if (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN")) {
+      is_join = true;
+      Advance();
+      Advance();
+    }
+    if (!is_join) break;
+    JoinClause join;
+    XQ_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+    XQ_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    XQ_ASSIGN_OR_RETURN(join.on, ParseExpr());
+    stmt.joins.push_back(std::move(join));
+  }
+  if (MatchKeyword("WHERE")) {
+    XQ_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    XQ_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      XQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.group_by.push_back(std::move(e));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("HAVING")) {
+    XQ_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    XQ_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      XQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.desc = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt.order_by.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kInteger) {
+      return Status::ParseError("expected integer after LIMIT");
+    }
+    stmt.limit = Advance().int_value;
+    if (MatchKeyword("OFFSET")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Status::ParseError("expected integer after OFFSET");
+      }
+      stmt.offset = Advance().int_value;
+    }
+  }
+  return stmt;
+}
+
+Result<DeleteStmt> Parser::ParseDelete() {
+  DeleteStmt stmt;
+  XQ_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+  XQ_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  XQ_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  if (MatchKeyword("WHERE")) {
+    XQ_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<UpdateStmt> Parser::ParseUpdate() {
+  UpdateStmt stmt;
+  XQ_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+  XQ_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  XQ_RETURN_IF_ERROR(ExpectKeyword("SET"));
+  do {
+    XQ_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    XQ_RETURN_IF_ERROR(ExpectSymbol("="));
+    XQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    stmt.sets.emplace_back(std::move(col), std::move(e));
+  } while (MatchSymbol(","));
+  if (MatchKeyword("WHERE")) {
+    XQ_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+// --- expressions -------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseOr() {
+  XQ_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    XQ_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  XQ_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    XQ_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    XQ_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return MakeUnary(UnaryOp::kNot, std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  XQ_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  // IS [NOT] NULL
+  if (MatchKeyword("IS")) {
+    bool negated = MatchKeyword("NOT");
+    XQ_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kIsNull;
+    e->negated = negated;
+    e->left = std::move(left);
+    return ExprPtr(std::move(e));
+  }
+  bool negated = false;
+  if (Peek().IsKeyword("NOT") &&
+      (Peek(1).IsKeyword("LIKE") || Peek(1).IsKeyword("IN") ||
+       Peek(1).IsKeyword("BETWEEN"))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("LIKE")) {
+    XQ_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLike;
+    e->negated = negated;
+    e->left = std::move(left);
+    e->right = std::move(pattern);
+    return ExprPtr(std::move(e));
+  }
+  if (MatchKeyword("IN")) {
+    XQ_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kInList;
+    e->negated = negated;
+    e->left = std::move(left);
+    do {
+      XQ_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+      e->list.push_back(std::move(item));
+    } while (MatchSymbol(","));
+    XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return ExprPtr(std::move(e));
+  }
+  if (MatchKeyword("BETWEEN")) {
+    XQ_ASSIGN_OR_RETURN(ExprPtr low, ParseAdditive());
+    XQ_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    XQ_ASSIGN_OR_RETURN(ExprPtr high, ParseAdditive());
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBetween;
+    e->negated = negated;
+    e->left = std::move(left);
+    e->right = std::move(low);
+    e->extra = std::move(high);
+    return ExprPtr(std::move(e));
+  }
+  if (negated) {
+    return Status::ParseError("dangling NOT before comparison");
+  }
+  struct OpMap {
+    std::string_view sym;
+    BinaryOp op;
+  };
+  static constexpr OpMap kOps[] = {
+      {"=", BinaryOp::kEq},  {"!=", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+      {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+  };
+  for (const OpMap& m : kOps) {
+    if (Peek().IsSymbol(m.sym)) {
+      Advance();
+      XQ_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return MakeBinary(m.op, std::move(left), std::move(right));
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  XQ_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (true) {
+    BinaryOp op;
+    if (Peek().IsSymbol("+")) {
+      op = BinaryOp::kAdd;
+    } else if (Peek().IsSymbol("-")) {
+      op = BinaryOp::kSub;
+    } else if (Peek().IsSymbol("||")) {
+      op = BinaryOp::kConcat;
+    } else {
+      return left;
+    }
+    Advance();
+    XQ_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  XQ_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (true) {
+    BinaryOp op;
+    if (Peek().IsSymbol("*")) {
+      op = BinaryOp::kMul;
+    } else if (Peek().IsSymbol("/")) {
+      op = BinaryOp::kDiv;
+    } else if (Peek().IsSymbol("%")) {
+      op = BinaryOp::kMod;
+    } else {
+      return left;
+    }
+    Advance();
+    XQ_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    XQ_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return MakeUnary(UnaryOp::kNeg, std::move(operand));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kInteger: {
+      Advance();
+      return MakeLiteral(rel::Value::Int(tok.int_value));
+    }
+    case TokenType::kNumber: {
+      Advance();
+      return MakeLiteral(rel::Value::Double(tok.double_value));
+    }
+    case TokenType::kString: {
+      std::string text = tok.text;
+      Advance();
+      return MakeLiteral(rel::Value::Text(std::move(text)));
+    }
+    case TokenType::kKeyword: {
+      if (tok.text == "NULL") {
+        Advance();
+        return MakeLiteral(rel::Value::Null());
+      }
+      if (tok.text == "TRUE") {
+        Advance();
+        return MakeLiteral(rel::Value::Int(1));
+      }
+      if (tok.text == "FALSE") {
+        Advance();
+        return MakeLiteral(rel::Value::Int(0));
+      }
+      // Aggregates.
+      static constexpr std::pair<std::string_view, AggFunc> kAggs[] = {
+          {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum},
+          {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax},
+          {"AVG", AggFunc::kAvg},
+      };
+      for (const auto& [name, agg] : kAggs) {
+        if (tok.text == name) {
+          Advance();
+          XQ_RETURN_IF_ERROR(ExpectSymbol("("));
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kAggregate;
+          e->agg = agg;
+          if (Peek().IsSymbol("*")) {
+            Advance();
+          } else {
+            XQ_ASSIGN_OR_RETURN(e->left, ParseExpr());
+          }
+          XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return ExprPtr(std::move(e));
+        }
+      }
+      // Scalar functions.
+      static constexpr std::pair<std::string_view, ScalarFunc> kFuncs[] = {
+          {"LOWER", ScalarFunc::kLower},
+          {"UPPER", ScalarFunc::kUpper},
+          {"LENGTH", ScalarFunc::kLength},
+      };
+      for (const auto& [name, func] : kFuncs) {
+        if (tok.text == name) {
+          Advance();
+          XQ_RETURN_IF_ERROR(ExpectSymbol("("));
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kFunc;
+          e->func = func;
+          XQ_ASSIGN_OR_RETURN(e->left, ParseExpr());
+          XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return ExprPtr(std::move(e));
+        }
+      }
+      if (tok.text == "CONTAINS") {
+        Advance();
+        XQ_RETURN_IF_ERROR(ExpectSymbol("("));
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kContains;
+        XQ_ASSIGN_OR_RETURN(e->left, ParseExpr());
+        XQ_RETURN_IF_ERROR(ExpectSymbol(","));
+        XQ_ASSIGN_OR_RETURN(e->right, ParseExpr());
+        XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return ExprPtr(std::move(e));
+      }
+      return Status::ParseError("unexpected keyword '" + tok.text +
+                                "' in expression");
+    }
+    case TokenType::kIdentifier: {
+      std::string name = Advance().text;
+      while (Peek().IsSymbol(".")) {
+        Advance();
+        XQ_ASSIGN_OR_RETURN(std::string part, ExpectIdentifier());
+        name += ".";
+        name += part;
+      }
+      return MakeColumnRef(std::move(name));
+    }
+    case TokenType::kSymbol: {
+      if (tok.IsSymbol("(")) {
+        Advance();
+        XQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return inner;
+      }
+      break;
+    }
+    case TokenType::kEof:
+      break;
+  }
+  return Status::ParseError("unexpected token '" + tok.text +
+                            "' in expression at offset " +
+                            std::to_string(tok.offset));
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  XQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view text) {
+  XQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseExprPublic();
+}
+
+}  // namespace xomatiq::sql

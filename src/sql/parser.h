@@ -1,0 +1,20 @@
+#ifndef XOMATIQ_SQL_PARSER_H_
+#define XOMATIQ_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace xomatiq::sql {
+
+// Parses one SQL statement (trailing ';' optional).
+common::Result<Statement> ParseStatement(std::string_view sql);
+
+// Parses a standalone scalar/boolean expression (used by tests and by the
+// XQ2SQL translator when stitching predicates).
+common::Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace xomatiq::sql
+
+#endif  // XOMATIQ_SQL_PARSER_H_

@@ -1,0 +1,118 @@
+#include "sql/plan.h"
+
+namespace xomatiq::sql {
+
+namespace {
+
+std::string_view PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSeqScan: return "SeqScan";
+    case PlanKind::kIndexScan: return "IndexScan";
+    case PlanKind::kKeywordScan: return "KeywordScan";
+    case PlanKind::kFilter: return "Filter";
+    case PlanKind::kProject: return "Project";
+    case PlanKind::kNestedLoopJoin: return "NestedLoopJoin";
+    case PlanKind::kHashJoin: return "HashJoin";
+    case PlanKind::kIndexNLJoin: return "IndexNLJoin";
+    case PlanKind::kSort: return "Sort";
+    case PlanKind::kLimit: return "Limit";
+    case PlanKind::kAggregate: return "Aggregate";
+    case PlanKind::kDistinct: return "Distinct";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + std::string(PlanKindName(kind));
+  switch (kind) {
+    case PlanKind::kSeqScan:
+      out += " " + table + (alias != table ? " AS " + alias : "");
+      break;
+    case PlanKind::kIndexScan: {
+      out += " " + table + " USING " + index->def.name;
+      if (!eq_key.empty()) {
+        out += " key=(";
+        for (size_t i = 0; i < eq_key.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += eq_key[i].ToString();
+        }
+        out += ")";
+      }
+      if (lo.has_value()) {
+        out += lo_inclusive ? " >= " : " > ";
+        out += lo->ToString();
+      }
+      if (hi.has_value()) {
+        out += hi_inclusive ? " <= " : " < ";
+        out += hi->ToString();
+      }
+      break;
+    }
+    case PlanKind::kKeywordScan:
+      out += " " + table + " USING " + index->def.name + " keyword='" +
+             keyword + "'";
+      break;
+    case PlanKind::kFilter:
+      out += " " + predicate->ToString();
+      break;
+    case PlanKind::kProject: {
+      out += " [";
+      for (size_t i = 0; i < project_exprs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += schema.column(i).name;
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kNestedLoopJoin:
+      if (predicate) out += " on " + predicate->ToString();
+      break;
+    case PlanKind::kHashJoin: {
+      out += " on ";
+      for (size_t i = 0; i < left_keys.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += left_keys[i]->ToString() + " = " + right_keys[i]->ToString();
+      }
+      break;
+    }
+    case PlanKind::kIndexNLJoin: {
+      out += " inner=" + table + " USING " + index->def.name + " key=(";
+      for (size_t i = 0; i < outer_key_exprs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += outer_key_exprs[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kSort: {
+      out += " by ";
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += sort_keys[i].expr->ToString();
+        if (sort_keys[i].desc) out += " DESC";
+      }
+      break;
+    }
+    case PlanKind::kLimit:
+      out += " " + std::to_string(limit);
+      if (offset > 0) out += " OFFSET " + std::to_string(offset);
+      break;
+    case PlanKind::kAggregate: {
+      out += " groups=" + std::to_string(group_exprs.size()) +
+             " aggs=" + std::to_string(aggs.size());
+      break;
+    }
+    case PlanKind::kDistinct:
+      break;
+  }
+  out += "\n";
+  for (const auto& child : children) {
+    out += child->ToString(indent + 1);
+  }
+  return out;
+}
+
+}  // namespace xomatiq::sql

@@ -1,0 +1,94 @@
+#ifndef XOMATIQ_SQL_PLAN_H_
+#define XOMATIQ_SQL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "sql/ast.h"
+
+namespace xomatiq::sql {
+
+enum class PlanKind {
+  kSeqScan,        // full table scan
+  kIndexScan,      // btree/hash point or range access
+  kKeywordScan,    // inverted-index posting fetch for CONTAINS
+  kFilter,         // predicate
+  kProject,        // expression list
+  kNestedLoopJoin, // cross product + optional predicate
+  kHashJoin,       // equi-join, build right / probe left
+  kIndexNLJoin,    // outer stream + index lookup on inner table
+  kSort,
+  kLimit,
+  kAggregate,      // group by + aggregate functions
+  kDistinct,
+};
+
+struct SortKey {
+  ExprPtr expr;  // bound to child schema
+  bool desc = false;
+};
+
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  ExprPtr arg;  // null for COUNT(*)
+};
+
+// Physical plan node. Expressions stored on a node are bound against the
+// node's child schema (for scans: the scan's own output schema).
+struct PlanNode {
+  PlanKind kind = PlanKind::kSeqScan;
+  rel::Schema schema;  // output schema (alias-qualified column names)
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // Scans and IndexNLJoin inner side.
+  std::string table;
+  std::string alias;
+  const rel::IndexEntry* index = nullptr;
+
+  // kIndexScan equality key (literals), one per leading index column.
+  std::vector<rel::Value> eq_key;
+  // kIndexScan btree range bounds on the first index column (optional).
+  std::optional<rel::Value> lo;
+  bool lo_inclusive = true;
+  std::optional<rel::Value> hi;
+  bool hi_inclusive = true;
+
+  // kKeywordScan.
+  std::string keyword;
+
+  // kFilter / kNestedLoopJoin residual predicate.
+  ExprPtr predicate;
+
+  // kProject.
+  std::vector<ExprPtr> project_exprs;
+
+  // kHashJoin equi-key expressions (left bound to children[0] schema,
+  // right bound to children[1] schema).
+  std::vector<ExprPtr> left_keys;
+  std::vector<ExprPtr> right_keys;
+
+  // kIndexNLJoin: outer-side expressions producing the inner index key.
+  std::vector<ExprPtr> outer_key_exprs;
+
+  // kSort.
+  std::vector<SortKey> sort_keys;
+
+  // kLimit.
+  int64_t limit = -1;   // -1 = unlimited
+  int64_t offset = 0;
+
+  // kAggregate.
+  std::vector<ExprPtr> group_exprs;
+  std::vector<AggSpec> aggs;
+
+  // Human-readable operator tree (EXPLAIN).
+  std::string ToString(int indent = 0) const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+}  // namespace xomatiq::sql
+
+#endif  // XOMATIQ_SQL_PLAN_H_

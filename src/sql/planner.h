@@ -1,0 +1,40 @@
+#ifndef XOMATIQ_SQL_PLANNER_H_
+#define XOMATIQ_SQL_PLANNER_H_
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "sql/plan.h"
+
+namespace xomatiq::sql {
+
+// Rule-based planner. Produces a left-deep physical plan in FROM order:
+//   - single-table predicates choose hash/btree/inverted index access
+//     paths when a matching index exists (equality, single-column range,
+//     CONTAINS keyword), else sequential scan plus filter;
+//   - joins pick index-nested-loop when the inner join column is indexed,
+//     hash join for other equi-joins, nested-loop otherwise;
+//   - GROUP BY / aggregates, HAVING, DISTINCT, ORDER BY, LIMIT layered on
+//     top in standard SQL evaluation order.
+// This is the "meticulous analysis of query plans" surface from §3.2 of
+// the paper: EXPLAIN prints the chosen plan and bench_index_ablation
+// measures the impact of each index choice.
+class Planner {
+ public:
+  explicit Planner(rel::Database* db) : db_(db) {}
+
+  common::Result<PlanPtr> PlanSelect(const SelectStmt& stmt);
+
+ private:
+  rel::Database* db_;
+};
+
+// Splits a boolean expression into top-level AND conjuncts (consumes the
+// expression tree).
+void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out);
+
+// True when every column reference in `e` resolves in `schema`.
+bool BindableAgainst(const Expr& e, const rel::Schema& schema);
+
+}  // namespace xomatiq::sql
+
+#endif  // XOMATIQ_SQL_PLANNER_H_

@@ -1,0 +1,36 @@
+#ifndef XOMATIQ_SQL_TOKEN_H_
+#define XOMATIQ_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xomatiq::sql {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,  // table / column names (possibly "quoted")
+  kKeyword,     // normalized to upper case in `text`
+  kString,      // '...' literal, unescaped in `text`
+  kInteger,
+  kNumber,      // real literal
+  kSymbol,      // punctuation / operator, verbatim in `text`
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;      // normalized payload (keywords uppercased)
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;     // byte offset in the source, for error messages
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+}  // namespace xomatiq::sql
+
+#endif  // XOMATIQ_SQL_TOKEN_H_

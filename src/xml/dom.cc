@@ -1,0 +1,176 @@
+#include "xml/dom.h"
+
+namespace xomatiq::xml {
+
+std::string_view NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDocument:
+      return "document";
+    case NodeKind::kElement:
+      return "element";
+    case NodeKind::kText:
+      return "text";
+    case NodeKind::kComment:
+      return "comment";
+    case NodeKind::kProcessingInstruction:
+      return "pi";
+  }
+  return "?";
+}
+
+XmlNode* XmlNode::AppendChild(std::unique_ptr<XmlNode> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+XmlNode* XmlNode::AddElement(std::string name) {
+  return AppendChild(
+      std::make_unique<XmlNode>(NodeKind::kElement, std::move(name)));
+}
+
+XmlNode* XmlNode::AddText(std::string text) {
+  auto node = std::make_unique<XmlNode>(NodeKind::kText);
+  node->set_value(std::move(text));
+  return AppendChild(std::move(node));
+}
+
+XmlNode* XmlNode::AddTextElement(std::string name, std::string text) {
+  XmlNode* el = AddElement(std::move(name));
+  el->AddText(std::move(text));
+  return el;
+}
+
+void XmlNode::AddAttribute(std::string name, std::string value) {
+  attributes_.push_back({std::move(name), std::move(value)});
+}
+
+const std::string* XmlNode::FindAttribute(std::string_view name) const {
+  for (const XmlAttribute& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+const XmlNode* XmlNode::FirstChildElement(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->kind_ == NodeKind::kElement && child->name_ == name) {
+      return child.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::ChildElements(
+    std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& child : children_) {
+    if (child->kind_ == NodeKind::kElement && child->name_ == name) {
+      out.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+std::vector<const XmlNode*> XmlNode::ChildElements() const {
+  std::vector<const XmlNode*> out;
+  for (const auto& child : children_) {
+    if (child->kind_ == NodeKind::kElement) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::string XmlNode::Text() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->kind_ == NodeKind::kText) out += child->value_;
+  }
+  return out;
+}
+
+std::string XmlNode::ChildText(std::string_view name) const {
+  const XmlNode* child = FirstChildElement(name);
+  return child == nullptr ? "" : child->Text();
+}
+
+bool XmlNode::Visit(const std::function<bool(const XmlNode&)>& visitor) const {
+  if (!visitor(*this)) return false;
+  for (const auto& child : children_) {
+    if (!child->Visit(visitor)) return false;
+  }
+  return true;
+}
+
+std::vector<const XmlNode*> XmlNode::Descendants(std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  Visit([&](const XmlNode& node) {
+    if (node.kind() == NodeKind::kElement && node.name() == name) {
+      out.push_back(&node);
+    }
+    return true;
+  });
+  return out;
+}
+
+std::string XmlNode::LabelPath() const {
+  if (parent_ == nullptr || parent_->kind_ == NodeKind::kDocument) {
+    return "/" + name_;
+  }
+  return parent_->LabelPath() + "/" + name_;
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children_) n += child->SubtreeSize();
+  return n;
+}
+
+std::unique_ptr<XmlNode> XmlNode::Clone() const {
+  auto copy = std::make_unique<XmlNode>(kind_, name_);
+  copy->value_ = value_;
+  copy->attributes_ = attributes_;
+  for (const auto& child : children_) {
+    copy->AppendChild(child->Clone());
+  }
+  return copy;
+}
+
+bool XmlNode::DeepEqual(const XmlNode& a, const XmlNode& b) {
+  if (a.kind_ != b.kind_ || a.name_ != b.name_ || a.value_ != b.value_) {
+    return false;
+  }
+  if (a.attributes_.size() != b.attributes_.size()) return false;
+  for (size_t i = 0; i < a.attributes_.size(); ++i) {
+    if (a.attributes_[i].name != b.attributes_[i].name ||
+        a.attributes_[i].value != b.attributes_[i].value) {
+      return false;
+    }
+  }
+  if (a.children_.size() != b.children_.size()) return false;
+  for (size_t i = 0; i < a.children_.size(); ++i) {
+    if (!DeepEqual(*a.children_[i], *b.children_[i])) return false;
+  }
+  return true;
+}
+
+XmlNode* XmlDocument::SetRoot(std::unique_ptr<XmlNode> root) {
+  return node_->AppendChild(std::move(root));
+}
+
+XmlNode* XmlDocument::CreateRoot(std::string name) {
+  return node_->AppendChild(
+      std::make_unique<XmlNode>(NodeKind::kElement, std::move(name)));
+}
+
+const XmlNode* XmlDocument::root() const {
+  for (const auto& child : node_->children()) {
+    if (child->kind() == NodeKind::kElement) return child.get();
+  }
+  return nullptr;
+}
+
+XmlNode* XmlDocument::mutable_root() {
+  return const_cast<XmlNode*>(root());
+}
+
+}  // namespace xomatiq::xml

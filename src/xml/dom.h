@@ -1,0 +1,140 @@
+#ifndef XOMATIQ_XML_DOM_H_
+#define XOMATIQ_XML_DOM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xomatiq::xml {
+
+enum class NodeKind : uint8_t {
+  kDocument = 0,
+  kElement = 1,
+  kText = 2,
+  kComment = 3,
+  kProcessingInstruction = 4,
+};
+
+std::string_view NodeKindName(NodeKind kind);
+
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+// One DOM node. Children are owned; parent pointers are non-owning.
+// Document order is implicit in the tree (pre-order); the shredder assigns
+// explicit ordinals when loading into the relational store.
+class XmlNode {
+ public:
+  explicit XmlNode(NodeKind kind) : kind_(kind) {}
+  XmlNode(NodeKind kind, std::string name)
+      : kind_(kind), name_(std::move(name)) {}
+
+  XmlNode(const XmlNode&) = delete;
+  XmlNode& operator=(const XmlNode&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  // Element tag / PI target.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  // Text content / comment body / PI payload.
+  const std::string& value() const { return value_; }
+  void set_value(std::string value) { value_ = std::move(value); }
+
+  XmlNode* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+
+  // Appends and returns a child (ownership transferred).
+  XmlNode* AppendChild(std::unique_ptr<XmlNode> child);
+  // Convenience builders.
+  XmlNode* AddElement(std::string name);
+  XmlNode* AddText(std::string text);
+  // Adds an element with a single text child; returns the element.
+  XmlNode* AddTextElement(std::string name, std::string text);
+  void AddAttribute(std::string name, std::string value);
+
+  // First attribute value by name; nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  // First child element with tag `name`; nullptr when absent.
+  const XmlNode* FirstChildElement(std::string_view name) const;
+  // All child elements with tag `name` (direct children only).
+  std::vector<const XmlNode*> ChildElements(std::string_view name) const;
+  // All child elements regardless of tag.
+  std::vector<const XmlNode*> ChildElements() const;
+
+  // Concatenation of all direct text children.
+  std::string Text() const;
+  // Text of the first child element `name`, or "".
+  std::string ChildText(std::string_view name) const;
+
+  // Pre-order walk including this node; visitor returns false to stop.
+  bool Visit(const std::function<bool(const XmlNode&)>& visitor) const;
+
+  // Descendant-or-self elements with tag `name`.
+  std::vector<const XmlNode*> Descendants(std::string_view name) const;
+
+  // Rooted label path of this element, e.g. "/hlx_enzyme/db_entry/comment".
+  std::string LabelPath() const;
+
+  // Number of nodes in this subtree (this node included).
+  size_t SubtreeSize() const;
+
+  // Deep copy (parent of the copy is null).
+  std::unique_ptr<XmlNode> Clone() const;
+
+  // Structural equality: kind, name, value, attributes (ordered) and
+  // children all equal. Used by round-trip property tests.
+  static bool DeepEqual(const XmlNode& a, const XmlNode& b);
+
+ private:
+  NodeKind kind_;
+  std::string name_;
+  std::string value_;
+  std::vector<XmlAttribute> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+  XmlNode* parent_ = nullptr;
+};
+
+// An XML document: prolog info plus the root element.
+class XmlDocument {
+ public:
+  XmlDocument()
+      : node_(std::make_unique<XmlNode>(NodeKind::kDocument)) {}
+
+  XmlDocument(const XmlDocument&) = delete;
+  XmlDocument& operator=(const XmlDocument&) = delete;
+  XmlDocument(XmlDocument&&) = default;
+  XmlDocument& operator=(XmlDocument&&) = default;
+
+  // Sets / returns the single root element.
+  XmlNode* SetRoot(std::unique_ptr<XmlNode> root);
+  XmlNode* CreateRoot(std::string name);
+  const XmlNode* root() const;
+  XmlNode* mutable_root();
+
+  const XmlNode& document_node() const { return *node_; }
+
+  const std::string& doctype_name() const { return doctype_name_; }
+  void set_doctype_name(std::string name) {
+    doctype_name_ = std::move(name);
+  }
+
+ private:
+  // Owned via pointer so moving an XmlDocument never relocates the node
+  // (children hold parent back-pointers into it).
+  std::unique_ptr<XmlNode> node_;
+  std::string doctype_name_;
+};
+
+}  // namespace xomatiq::xml
+
+#endif  // XOMATIQ_XML_DOM_H_

@@ -1,0 +1,750 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace xomatiq::xml {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::string OccSuffix(CmOcc occ) {
+  switch (occ) {
+    case CmOcc::kOne:
+      return "";
+    case CmOcc::kOpt:
+      return "?";
+    case CmOcc::kStar:
+      return "*";
+    case CmOcc::kPlus:
+      return "+";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string ContentParticle::ToString() const {
+  if (kind == CmKind::kName) return name + OccSuffix(occ);
+  std::string sep = kind == CmKind::kSeq ? ", " : " | ";
+  std::string out = "(";
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) out += sep;
+    out += children[i].ToString();
+  }
+  out += ")";
+  return out + OccSuffix(occ);
+}
+
+Status Dtd::AddElement(DtdElement element) {
+  auto [it, inserted] = elements_.emplace(element.name, std::move(element));
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate element declaration: " +
+                                 it->first);
+  }
+  return Status::OK();
+}
+
+Status Dtd::AddAttributes(const std::string& element,
+                          std::vector<DtdAttribute> attributes) {
+  auto it = elements_.find(element);
+  if (it == elements_.end()) {
+    // XML allows ATTLIST before ELEMENT; create a placeholder.
+    DtdElement placeholder;
+    placeholder.name = element;
+    placeholder.content = ContentKind::kAny;
+    it = elements_.emplace(element, std::move(placeholder)).first;
+  }
+  for (DtdAttribute& attr : attributes) {
+    it->second.attributes.push_back(std::move(attr));
+  }
+  return Status::OK();
+}
+
+const DtdElement* Dtd::FindElement(const std::string& name) const {
+  auto it = elements_.find(name);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+std::string Dtd::InferRootElement() const {
+  std::set<std::string> referenced;
+  std::function<void(const ContentParticle&)> walk =
+      [&](const ContentParticle& p) {
+        if (p.kind == CmKind::kName) {
+          referenced.insert(p.name);
+          return;
+        }
+        for (const ContentParticle& c : p.children) walk(c);
+      };
+  for (const auto& [name, el] : elements_) {
+    if (el.content == ContentKind::kModel) walk(el.model);
+    for (const std::string& m : el.mixed_names) referenced.insert(m);
+  }
+  std::string root;
+  for (const auto& [name, el] : elements_) {
+    if (referenced.count(name) == 0) {
+      if (!root.empty()) return "";  // ambiguous
+      root = name;
+    }
+  }
+  return root;
+}
+
+// --- validation --------------------------------------------------------
+
+namespace {
+
+// Positions reachable after matching `p` exactly once starting at each
+// position in `from`.
+void MatchOnce(const ContentParticle& p,
+               const std::vector<std::string_view>& names,
+               const std::set<size_t>& from, std::set<size_t>* out);
+
+// Positions reachable after matching `p` with its occurrence modifier.
+// Results are unioned into `out` (callers may accumulate over choices).
+void MatchParticle(const ContentParticle& p,
+                   const std::vector<std::string_view>& names,
+                   const std::set<size_t>& from, std::set<size_t>* out) {
+  std::set<size_t> once;
+  MatchOnce(p, names, from, &once);
+  switch (p.occ) {
+    case CmOcc::kOne:
+      out->insert(once.begin(), once.end());
+      return;
+    case CmOcc::kOpt:
+      out->insert(once.begin(), once.end());
+      out->insert(from.begin(), from.end());
+      return;
+    case CmOcc::kStar:
+    case CmOcc::kPlus: {
+      std::set<size_t> acc = once;
+      std::set<size_t> frontier = once;
+      while (!frontier.empty()) {
+        std::set<size_t> next;
+        MatchOnce(p, names, frontier, &next);
+        std::set<size_t> fresh;
+        for (size_t pos : next) {
+          if (acc.insert(pos).second) fresh.insert(pos);
+        }
+        frontier = std::move(fresh);
+      }
+      out->insert(acc.begin(), acc.end());
+      if (p.occ == CmOcc::kStar) out->insert(from.begin(), from.end());
+      return;
+    }
+  }
+}
+
+void MatchOnce(const ContentParticle& p,
+               const std::vector<std::string_view>& names,
+               const std::set<size_t>& from, std::set<size_t>* out) {
+  switch (p.kind) {
+    case CmKind::kName:
+      for (size_t pos : from) {
+        if (pos < names.size() && names[pos] == p.name) {
+          out->insert(pos + 1);
+        }
+      }
+      return;
+    case CmKind::kSeq: {
+      std::set<size_t> current = from;
+      for (const ContentParticle& child : p.children) {
+        std::set<size_t> next;
+        MatchParticle(child, names, current, &next);
+        current = std::move(next);
+        if (current.empty()) return;
+      }
+      out->insert(current.begin(), current.end());
+      return;
+    }
+    case CmKind::kChoice:
+      for (const ContentParticle& child : p.children) {
+        MatchParticle(child, names, from, out);
+      }
+      return;
+  }
+}
+
+bool MatchesModel(const ContentParticle& model,
+                  const std::vector<std::string_view>& names) {
+  std::set<size_t> result;
+  MatchParticle(model, names, {0}, &result);
+  return result.count(names.size()) > 0;
+}
+
+bool IsNmtoken(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.' || c == ':')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Dtd::Validate(const XmlNode& element,
+                   std::vector<std::string>* errors) const {
+  size_t before = errors->size();
+  const DtdElement* decl = FindElement(element.name());
+  if (decl == nullptr) {
+    errors->push_back("undeclared element <" + element.name() + ">");
+    return false;
+  }
+  // Attribute checks.
+  for (const XmlAttribute& attr : element.attributes()) {
+    const DtdAttribute* adecl = nullptr;
+    for (const DtdAttribute& a : decl->attributes) {
+      if (a.name == attr.name) {
+        adecl = &a;
+        break;
+      }
+    }
+    if (adecl == nullptr) {
+      errors->push_back("undeclared attribute '" + attr.name + "' on <" +
+                        element.name() + ">");
+      continue;
+    }
+    switch (adecl->type) {
+      case AttrType::kNmtoken:
+      case AttrType::kId:
+      case AttrType::kIdref:
+        if (!IsNmtoken(attr.value)) {
+          errors->push_back("attribute '" + attr.name + "' on <" +
+                            element.name() + "> is not a NMTOKEN: '" +
+                            attr.value + "'");
+        }
+        break;
+      case AttrType::kNmtokens: {
+        for (const std::string& tok : common::SplitWhitespace(attr.value)) {
+          if (!IsNmtoken(tok)) {
+            errors->push_back("attribute '" + attr.name + "' on <" +
+                              element.name() + "> has a bad NMTOKEN: '" +
+                              tok + "'");
+          }
+        }
+        break;
+      }
+      case AttrType::kEnum: {
+        bool found = false;
+        for (const std::string& v : adecl->enum_values) {
+          if (v == attr.value) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          errors->push_back("attribute '" + attr.name + "' on <" +
+                            element.name() + "> has value '" + attr.value +
+                            "' outside its enumeration");
+        }
+        break;
+      }
+      case AttrType::kCdata:
+        break;
+    }
+    if (adecl->def == AttrDefault::kFixed &&
+        attr.value != adecl->default_value) {
+      errors->push_back("attribute '" + attr.name + "' on <" +
+                        element.name() + "> must be fixed to '" +
+                        adecl->default_value + "'");
+    }
+  }
+  for (const DtdAttribute& a : decl->attributes) {
+    if (a.def == AttrDefault::kRequired &&
+        element.FindAttribute(a.name) == nullptr) {
+      errors->push_back("missing required attribute '" + a.name + "' on <" +
+                        element.name() + ">");
+    }
+  }
+  // Content checks.
+  std::vector<std::string_view> child_names;
+  bool has_text = false;
+  for (const auto& child : element.children()) {
+    if (child->kind() == NodeKind::kElement) {
+      child_names.push_back(child->name());
+    } else if (child->kind() == NodeKind::kText &&
+               !common::StripWhitespace(child->value()).empty()) {
+      has_text = true;
+    }
+  }
+  switch (decl->content) {
+    case ContentKind::kEmpty:
+      if (!child_names.empty() || has_text) {
+        errors->push_back("<" + element.name() + "> declared EMPTY");
+      }
+      break;
+    case ContentKind::kAny:
+      break;
+    case ContentKind::kPcdataOnly:
+      if (!child_names.empty()) {
+        errors->push_back("<" + element.name() +
+                          "> allows only character data");
+      }
+      break;
+    case ContentKind::kMixed:
+      for (std::string_view child : child_names) {
+        bool allowed = false;
+        for (const std::string& m : decl->mixed_names) {
+          if (m == child) {
+            allowed = true;
+            break;
+          }
+        }
+        if (!allowed) {
+          errors->push_back("<" + std::string(child) +
+                            "> not allowed in mixed content of <" +
+                            element.name() + ">");
+        }
+      }
+      break;
+    case ContentKind::kModel:
+      if (has_text) {
+        errors->push_back("character data not allowed inside <" +
+                          element.name() + ">");
+      }
+      if (!MatchesModel(decl->model, child_names)) {
+        std::string seq;
+        for (size_t i = 0; i < child_names.size(); ++i) {
+          if (i > 0) seq += ", ";
+          seq += child_names[i];
+        }
+        errors->push_back("children (" + seq + ") of <" + element.name() +
+                          "> do not match model " + decl->model.ToString());
+      }
+      break;
+  }
+  // Recurse.
+  for (const auto& child : element.children()) {
+    if (child->kind() == NodeKind::kElement) {
+      Validate(*child, errors);
+    }
+  }
+  return errors->size() == before;
+}
+
+bool Dtd::Validate(const XmlDocument& doc,
+                   std::vector<std::string>* errors) const {
+  const XmlNode* root = doc.root();
+  if (root == nullptr) {
+    errors->push_back("document has no root element");
+    return false;
+  }
+  return Validate(*root, errors);
+}
+
+// --- formatting ----------------------------------------------------------
+
+std::string Dtd::ToString() const {
+  std::string out;
+  for (const auto& [name, el] : elements_) {
+    out += "<!ELEMENT " + name + " ";
+    switch (el.content) {
+      case ContentKind::kEmpty:
+        out += "EMPTY";
+        break;
+      case ContentKind::kAny:
+        out += "ANY";
+        break;
+      case ContentKind::kPcdataOnly:
+        out += "(#PCDATA)";
+        break;
+      case ContentKind::kMixed: {
+        out += "(#PCDATA";
+        for (const std::string& m : el.mixed_names) out += " | " + m;
+        out += ")*";
+        break;
+      }
+      case ContentKind::kModel:
+        out += el.model.ToString();
+        break;
+    }
+    out += ">\n";
+    if (!el.attributes.empty()) {
+      out += "<!ATTLIST " + name;
+      for (const DtdAttribute& a : el.attributes) {
+        out += "\n  " + a.name + " ";
+        switch (a.type) {
+          case AttrType::kCdata: out += "CDATA"; break;
+          case AttrType::kNmtoken: out += "NMTOKEN"; break;
+          case AttrType::kNmtokens: out += "NMTOKENS"; break;
+          case AttrType::kId: out += "ID"; break;
+          case AttrType::kIdref: out += "IDREF"; break;
+          case AttrType::kEnum: {
+            out += "(";
+            for (size_t i = 0; i < a.enum_values.size(); ++i) {
+              if (i > 0) out += " | ";
+              out += a.enum_values[i];
+            }
+            out += ")";
+            break;
+          }
+        }
+        switch (a.def) {
+          case AttrDefault::kRequired: out += " #REQUIRED"; break;
+          case AttrDefault::kImplied: out += " #IMPLIED"; break;
+          case AttrDefault::kFixed:
+            out += " #FIXED \"" + a.default_value + "\"";
+            break;
+          case AttrDefault::kDefault:
+            out += " \"" + a.default_value + "\"";
+            break;
+        }
+      }
+      out += "\n>\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void FormatParticle(const Dtd& dtd, const ContentParticle& p,
+                    const std::string& prefix, int depth,
+                    std::set<std::string>* on_path, std::string* out);
+
+void FormatElementBody(const Dtd& dtd, const DtdElement& el,
+                       const std::string& prefix, int depth,
+                       std::set<std::string>* on_path, std::string* out) {
+  switch (el.content) {
+    case ContentKind::kModel:
+      FormatParticle(dtd, el.model, prefix, depth, on_path, out);
+      break;
+    case ContentKind::kMixed:
+      for (const std::string& m : el.mixed_names) {
+        ContentParticle p;
+        p.kind = CmKind::kName;
+        p.name = m;
+        p.occ = CmOcc::kStar;
+        FormatParticle(dtd, p, prefix, depth, on_path, out);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void FormatParticle(const Dtd& dtd, const ContentParticle& p,
+                    const std::string& prefix, int depth,
+                    std::set<std::string>* on_path, std::string* out) {
+  if (depth > 24) {
+    *out += prefix + "...\n";
+    return;
+  }
+  if (p.kind != CmKind::kName) {
+    for (const ContentParticle& c : p.children) {
+      ContentParticle adjusted = c;
+      // Propagate an outer */+ so "(a | b)*" renders both as repeating.
+      if (p.occ == CmOcc::kStar || p.occ == CmOcc::kPlus) {
+        if (adjusted.occ == CmOcc::kOne) adjusted.occ = p.occ;
+      }
+      FormatParticle(dtd, adjusted, prefix, depth, on_path, out);
+    }
+    return;
+  }
+  const DtdElement* child = dtd.FindElement(p.name);
+  std::string line = prefix + "+- " + p.name + OccSuffix(p.occ);
+  if (child != nullptr) {
+    if (child->content == ContentKind::kPcdataOnly) line += " (#PCDATA)";
+    for (const DtdAttribute& a : child->attributes) {
+      line += " @" + a.name;
+    }
+  }
+  *out += line + "\n";
+  if (child != nullptr && on_path->insert(p.name).second) {
+    FormatElementBody(dtd, *child, prefix + "|  ", depth + 1, on_path, out);
+    on_path->erase(p.name);
+  }
+}
+
+}  // namespace
+
+std::string Dtd::FormatTree(const std::string& root) const {
+  const DtdElement* el = FindElement(root);
+  if (el == nullptr) return "(unknown element " + root + ")\n";
+  std::string out = root + "\n";
+  std::set<std::string> on_path{root};
+  FormatElementBody(*this, *el, "", 0, &on_path, &out);
+  return out;
+}
+
+// --- parsing -------------------------------------------------------------
+
+namespace {
+
+class DtdParser {
+ public:
+  explicit DtdParser(std::string_view text) : in_(text) {}
+
+  Result<Dtd> Parse();
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool LookingAt(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+  Result<std::string> ParseName();
+  Result<ContentParticle> ParseParticle();
+  Result<DtdElement> ParseElementDecl();
+  Result<std::pair<std::string, std::vector<DtdAttribute>>> ParseAttlist();
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+bool IsDtdNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+Result<std::string> DtdParser::ParseName() {
+  SkipWhitespace();
+  size_t start = pos_;
+  while (!AtEnd() && IsDtdNameChar(Peek())) ++pos_;
+  if (pos_ == start) return Error("expected a name");
+  return std::string(in_.substr(start, pos_ - start));
+}
+
+// Parses one content particle: name or parenthesized group, with an
+// optional occurrence suffix.
+Result<ContentParticle> DtdParser::ParseParticle() {
+  SkipWhitespace();
+  ContentParticle p;
+  if (!AtEnd() && Peek() == '(') {
+    ++pos_;
+    std::vector<ContentParticle> items;
+    char sep = 0;
+    while (true) {
+      XQ_ASSIGN_OR_RETURN(ContentParticle item, ParseParticle());
+      items.push_back(std::move(item));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated group");
+      char c = Peek();
+      if (c == ')') {
+        ++pos_;
+        break;
+      }
+      if (c != ',' && c != '|') return Error("expected ',' '|' or ')'");
+      if (sep != 0 && sep != c) {
+        return Error("mixed ',' and '|' in one group");
+      }
+      sep = c;
+      ++pos_;
+    }
+    // Single-item groups stay wrapped so "(db_entry)" re-emits with its
+    // parentheses (a bare name is not a valid element content model).
+    p.kind = sep == '|' ? CmKind::kChoice : CmKind::kSeq;
+    p.children = std::move(items);
+  } else {
+    XQ_ASSIGN_OR_RETURN(p.name, ParseName());
+    p.kind = CmKind::kName;
+  }
+  if (!AtEnd()) {
+    char c = Peek();
+    if (c == '?' || c == '*' || c == '+') {
+      CmOcc occ = c == '?' ? CmOcc::kOpt : (c == '*' ? CmOcc::kStar : CmOcc::kPlus);
+      if (p.occ == CmOcc::kOne) {
+        p.occ = occ;
+      } else if (p.occ != occ) {
+        // (a?)* and friends: wrap to preserve both modifiers.
+        ContentParticle wrapper;
+        wrapper.kind = CmKind::kSeq;
+        wrapper.occ = occ;
+        wrapper.children.push_back(std::move(p));
+        p = std::move(wrapper);
+      }
+      ++pos_;
+    }
+  }
+  return p;
+}
+
+Result<DtdElement> DtdParser::ParseElementDecl() {
+  DtdElement el;
+  XQ_ASSIGN_OR_RETURN(el.name, ParseName());
+  SkipWhitespace();
+  if (LookingAt("EMPTY")) {
+    pos_ += 5;
+    el.content = ContentKind::kEmpty;
+    return el;
+  }
+  if (LookingAt("ANY")) {
+    pos_ += 3;
+    el.content = ContentKind::kAny;
+    return el;
+  }
+  if (AtEnd() || Peek() != '(') return Error("expected a content model");
+  // Peek inside for #PCDATA.
+  size_t save = pos_;
+  ++pos_;
+  SkipWhitespace();
+  if (LookingAt("#PCDATA")) {
+    pos_ += 7;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ')') {
+      ++pos_;
+      if (!AtEnd() && Peek() == '*') ++pos_;
+      el.content = ContentKind::kPcdataOnly;
+      return el;
+    }
+    // Mixed: (#PCDATA | a | b)*
+    el.content = ContentKind::kMixed;
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated mixed model");
+      if (Peek() == ')') {
+        ++pos_;
+        if (!AtEnd() && Peek() == '*') ++pos_;
+        return el;
+      }
+      if (Peek() != '|') return Error("expected '|' in mixed model");
+      ++pos_;
+      XQ_ASSIGN_OR_RETURN(std::string name, ParseName());
+      el.mixed_names.push_back(std::move(name));
+    }
+  }
+  pos_ = save;
+  XQ_ASSIGN_OR_RETURN(el.model, ParseParticle());
+  el.content = ContentKind::kModel;
+  return el;
+}
+
+Result<std::pair<std::string, std::vector<DtdAttribute>>>
+DtdParser::ParseAttlist() {
+  XQ_ASSIGN_OR_RETURN(std::string element, ParseName());
+  std::vector<DtdAttribute> attrs;
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated ATTLIST");
+    if (Peek() == '>') break;
+    DtdAttribute attr;
+    XQ_ASSIGN_OR_RETURN(attr.name, ParseName());
+    SkipWhitespace();
+    if (LookingAt("CDATA")) {
+      pos_ += 5;
+      attr.type = AttrType::kCdata;
+    } else if (LookingAt("NMTOKENS")) {
+      pos_ += 8;
+      attr.type = AttrType::kNmtokens;
+    } else if (LookingAt("NMTOKEN")) {
+      pos_ += 7;
+      attr.type = AttrType::kNmtoken;
+    } else if (LookingAt("IDREF")) {
+      pos_ += 5;
+      attr.type = AttrType::kIdref;
+    } else if (LookingAt("ID")) {
+      pos_ += 2;
+      attr.type = AttrType::kId;
+    } else if (Peek() == '(') {
+      ++pos_;
+      attr.type = AttrType::kEnum;
+      while (true) {
+        XQ_ASSIGN_OR_RETURN(std::string v, ParseName());
+        attr.enum_values.push_back(std::move(v));
+        SkipWhitespace();
+        if (AtEnd()) return Error("unterminated enumeration");
+        if (Peek() == ')') {
+          ++pos_;
+          break;
+        }
+        if (Peek() != '|') return Error("expected '|' in enumeration");
+        ++pos_;
+      }
+    } else {
+      return Error("unknown attribute type");
+    }
+    SkipWhitespace();
+    if (LookingAt("#REQUIRED")) {
+      pos_ += 9;
+      attr.def = AttrDefault::kRequired;
+    } else if (LookingAt("#IMPLIED")) {
+      pos_ += 8;
+      attr.def = AttrDefault::kImplied;
+    } else {
+      if (LookingAt("#FIXED")) {
+        pos_ += 6;
+        attr.def = AttrDefault::kFixed;
+        SkipWhitespace();
+      } else {
+        attr.def = AttrDefault::kDefault;
+      }
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected a default value");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Error("unterminated default value");
+      attr.default_value = std::string(in_.substr(start, pos_ - start));
+      ++pos_;
+    }
+    attrs.push_back(std::move(attr));
+  }
+  return std::make_pair(std::move(element), std::move(attrs));
+}
+
+Result<Dtd> DtdParser::Parse() {
+  Dtd dtd;
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd()) break;
+    if (LookingAt("<!--")) {
+      size_t end = in_.find("-->", pos_);
+      if (end == std::string_view::npos) return Error("unterminated comment");
+      pos_ = end + 3;
+      continue;
+    }
+    if (LookingAt("<?")) {  // e.g. an <?xml?> declaration atop the file
+      size_t end = in_.find("?>", pos_);
+      if (end == std::string_view::npos) return Error("unterminated PI");
+      pos_ = end + 2;
+      continue;
+    }
+    if (LookingAt("<!ELEMENT")) {
+      pos_ += 9;
+      XQ_ASSIGN_OR_RETURN(DtdElement el, ParseElementDecl());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '>') return Error("expected '>'");
+      ++pos_;
+      XQ_RETURN_IF_ERROR(dtd.AddElement(std::move(el)));
+      continue;
+    }
+    if (LookingAt("<!ATTLIST")) {
+      pos_ += 9;
+      XQ_ASSIGN_OR_RETURN(auto attlist, ParseAttlist());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '>') return Error("expected '>'");
+      ++pos_;
+      XQ_RETURN_IF_ERROR(
+          dtd.AddAttributes(attlist.first, std::move(attlist.second)));
+      continue;
+    }
+    return Error("expected <!ELEMENT or <!ATTLIST");
+  }
+  return dtd;
+}
+
+}  // namespace
+
+Result<Dtd> ParseDtd(std::string_view text) {
+  DtdParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace xomatiq::xml

@@ -1,0 +1,108 @@
+#ifndef XOMATIQ_XML_DTD_H_
+#define XOMATIQ_XML_DTD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace xomatiq::xml {
+
+// Occurrence modifier on a content particle.
+enum class CmOcc : uint8_t { kOne, kOpt, kStar, kPlus };
+
+enum class CmKind : uint8_t { kName, kSeq, kChoice };
+
+// A node of an ELEMENT content model, e.g. (a, (b | c)*, d?).
+struct ContentParticle {
+  CmKind kind = CmKind::kName;
+  CmOcc occ = CmOcc::kOne;
+  std::string name;                        // kName
+  std::vector<ContentParticle> children;   // kSeq / kChoice
+
+  std::string ToString() const;
+};
+
+enum class ContentKind : uint8_t {
+  kEmpty,      // EMPTY
+  kAny,        // ANY
+  kPcdataOnly, // (#PCDATA)
+  kMixed,      // (#PCDATA | a | b)*
+  kModel,      // element content model
+};
+
+enum class AttrType : uint8_t {
+  kCdata,
+  kNmtoken,
+  kNmtokens,
+  kId,
+  kIdref,
+  kEnum,
+};
+
+enum class AttrDefault : uint8_t { kRequired, kImplied, kFixed, kDefault };
+
+struct DtdAttribute {
+  std::string name;
+  AttrType type = AttrType::kCdata;
+  std::vector<std::string> enum_values;  // kEnum
+  AttrDefault def = AttrDefault::kImplied;
+  std::string default_value;  // kFixed / kDefault
+};
+
+struct DtdElement {
+  std::string name;
+  ContentKind content = ContentKind::kPcdataOnly;
+  ContentParticle model;                 // kModel
+  std::vector<std::string> mixed_names;  // kMixed
+  std::vector<DtdAttribute> attributes;
+};
+
+// A parsed Document Type Definition: element declarations with content
+// models plus attribute lists. This is the structure the XomatiQ GUI's
+// left panel renders (paper Fig 7a) and the validator checks documents
+// against before shredding.
+class Dtd {
+ public:
+  Dtd() = default;
+
+  // Adds a declaration; AlreadyExists on duplicate element names.
+  common::Status AddElement(DtdElement element);
+  common::Status AddAttributes(const std::string& element,
+                               std::vector<DtdAttribute> attributes);
+
+  const DtdElement* FindElement(const std::string& name) const;
+  const std::map<std::string, DtdElement>& elements() const {
+    return elements_;
+  }
+
+  // The declared element that no other declaration references (root
+  // candidate); empty when ambiguous.
+  std::string InferRootElement() const;
+
+  // Validates `doc`, appending one message per violation. Returns true
+  // when no violations were found.
+  bool Validate(const XmlDocument& doc, std::vector<std::string>* errors) const;
+  bool Validate(const XmlNode& element, std::vector<std::string>* errors) const;
+
+  // Re-emits DTD text (<!ELEMENT ...> / <!ATTLIST ...>) — regenerates the
+  // paper's Fig 5 artifact.
+  std::string ToString() const;
+
+  // ASCII tree of the content structure rooted at `root` (the GUI's DTD
+  // panel). Recursion is cycle-guarded.
+  std::string FormatTree(const std::string& root) const;
+
+ private:
+  std::map<std::string, DtdElement> elements_;
+};
+
+// Parses DTD text containing <!ELEMENT> and <!ATTLIST> declarations
+// (parameter entities unsupported; comments allowed).
+common::Result<Dtd> ParseDtd(std::string_view text);
+
+}  // namespace xomatiq::xml
+
+#endif  // XOMATIQ_XML_DTD_H_

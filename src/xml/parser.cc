@@ -1,0 +1,395 @@
+#include "xml/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace xomatiq::xml {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+// Cursor-based recursive-descent XML parser.
+class XmlParser {
+ public:
+  XmlParser(std::string_view input, const ParseOptions& options)
+      : in_(input), options_(options) {}
+
+  Result<XmlDocument> Parse();
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool LookingAt(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  Result<std::string> ParseName();
+  Result<std::string> ParseAttrValue();
+  Status ParseAttributes(XmlNode* element);
+  Status SkipProlog(XmlDocument* doc);
+  Result<std::unique_ptr<XmlNode>> ParseElement();
+  Status ParseContent(XmlNode* element);
+  Status SkipComment();
+  Result<std::unique_ptr<XmlNode>> ParsePi();
+
+  // Bounds recursion so hostile inputs cannot exhaust the stack.
+  static constexpr size_t kMaxDepth = 512;
+
+  std::string_view in_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  size_t depth_ = 0;
+};
+
+Result<std::string> XmlParser::ParseName() {
+  if (AtEnd() || !IsNameStart(Peek())) return Error("expected a name");
+  size_t start = pos_;
+  ++pos_;
+  while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+  return std::string(in_.substr(start, pos_ - start));
+}
+
+Result<std::string> XmlParser::ParseAttrValue() {
+  if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+    return Error("expected a quoted attribute value");
+  }
+  char quote = Peek();
+  ++pos_;
+  size_t start = pos_;
+  while (!AtEnd() && Peek() != quote) {
+    if (Peek() == '<') return Error("'<' in attribute value");
+    ++pos_;
+  }
+  if (AtEnd()) return Error("unterminated attribute value");
+  std::string raw(in_.substr(start, pos_ - start));
+  ++pos_;  // closing quote
+  return DecodeEntities(raw);
+}
+
+Status XmlParser::ParseAttributes(XmlNode* element) {
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated start tag");
+    if (Peek() == '>' || LookingAt("/>")) return Status::OK();
+    XQ_ASSIGN_OR_RETURN(std::string name, ParseName());
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute");
+    ++pos_;
+    SkipWhitespace();
+    XQ_ASSIGN_OR_RETURN(std::string value, ParseAttrValue());
+    if (element->FindAttribute(name) != nullptr) {
+      return Error("duplicate attribute '" + name + "'");
+    }
+    element->AddAttribute(std::move(name), std::move(value));
+  }
+}
+
+Status XmlParser::SkipComment() {
+  // pos_ at "<!--".
+  pos_ += 4;
+  size_t end = in_.find("-->", pos_);
+  if (end == std::string_view::npos) return Error("unterminated comment");
+  pos_ = end + 3;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<XmlNode>> XmlParser::ParsePi() {
+  // pos_ at "<?".
+  pos_ += 2;
+  XQ_ASSIGN_OR_RETURN(std::string target, ParseName());
+  size_t end = in_.find("?>", pos_);
+  if (end == std::string_view::npos) {
+    return Error("unterminated processing instruction");
+  }
+  std::string payload(
+      common::StripWhitespace(in_.substr(pos_, end - pos_)));
+  pos_ = end + 2;
+  auto node =
+      std::make_unique<XmlNode>(NodeKind::kProcessingInstruction, target);
+  node->set_value(std::move(payload));
+  return node;
+}
+
+Status XmlParser::SkipProlog(XmlDocument* doc) {
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("document has no root element");
+    if (LookingAt("<?")) {
+      XQ_ASSIGN_OR_RETURN(auto pi, ParsePi());
+      (void)pi;  // declaration and prolog PIs are not retained
+      continue;
+    }
+    if (LookingAt("<!--")) {
+      XQ_RETURN_IF_ERROR(SkipComment());
+      continue;
+    }
+    if (LookingAt("<!DOCTYPE")) {
+      pos_ += 9;
+      SkipWhitespace();
+      XQ_ASSIGN_OR_RETURN(std::string name, ParseName());
+      doc->set_doctype_name(name);
+      // Skip to the matching '>' accounting for an internal subset.
+      int bracket_depth = 0;
+      while (!AtEnd()) {
+        char c = Peek();
+        if (c == '[') ++bracket_depth;
+        if (c == ']') --bracket_depth;
+        if (c == '>' && bracket_depth == 0) {
+          ++pos_;
+          break;
+        }
+        ++pos_;
+      }
+      continue;
+    }
+    return Status::OK();
+  }
+}
+
+Result<std::unique_ptr<XmlNode>> XmlParser::ParseElement() {
+  // pos_ at '<'.
+  if (depth_ >= kMaxDepth) {
+    return Error("element nesting exceeds the depth limit (" +
+                 std::to_string(kMaxDepth) + ")");
+  }
+  ++depth_;
+  ++pos_;
+  XQ_ASSIGN_OR_RETURN(std::string name, ParseName());
+  auto element = std::make_unique<XmlNode>(NodeKind::kElement, name);
+  XQ_RETURN_IF_ERROR(ParseAttributes(element.get()));
+  if (LookingAt("/>")) {
+    pos_ += 2;
+    --depth_;
+    return element;
+  }
+  if (AtEnd() || Peek() != '>') return Error("expected '>'");
+  ++pos_;
+  XQ_RETURN_IF_ERROR(ParseContent(element.get()));
+  // pos_ at "</".
+  pos_ += 2;
+  XQ_ASSIGN_OR_RETURN(std::string close, ParseName());
+  if (close != name) {
+    return Error("mismatched end tag </" + close + "> for <" + name + ">");
+  }
+  SkipWhitespace();
+  if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
+  ++pos_;
+  --depth_;
+  return element;
+}
+
+Status XmlParser::ParseContent(XmlNode* element) {
+  std::string text;
+  auto flush_text = [&] {
+    if (text.empty()) return;
+    if (options_.strip_whitespace_text &&
+        common::StripWhitespace(text).empty()) {
+      text.clear();
+      return;
+    }
+    element->AddText(std::move(text));
+    text = std::string();
+  };
+  while (true) {
+    if (AtEnd()) return Error("unterminated element <" + element->name() + ">");
+    if (LookingAt("</")) {
+      flush_text();
+      return Status::OK();
+    }
+    if (LookingAt("<![CDATA[")) {
+      pos_ += 9;
+      size_t end = in_.find("]]>", pos_);
+      if (end == std::string_view::npos) return Error("unterminated CDATA");
+      text.append(in_.substr(pos_, end - pos_));
+      pos_ = end + 3;
+      continue;
+    }
+    if (LookingAt("<!--")) {
+      flush_text();
+      if (options_.keep_comments) {
+        size_t start = pos_ + 4;
+        size_t end = in_.find("-->", start);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        auto comment = std::make_unique<XmlNode>(NodeKind::kComment);
+        comment->set_value(std::string(in_.substr(start, end - start)));
+        element->AppendChild(std::move(comment));
+        pos_ = end + 3;
+      } else {
+        XQ_RETURN_IF_ERROR(SkipComment());
+      }
+      continue;
+    }
+    if (LookingAt("<?")) {
+      flush_text();
+      XQ_ASSIGN_OR_RETURN(auto pi, ParsePi());
+      if (options_.keep_processing_instructions) {
+        element->AppendChild(std::move(pi));
+      }
+      continue;
+    }
+    if (Peek() == '<') {
+      flush_text();
+      XQ_ASSIGN_OR_RETURN(auto child, ParseElement());
+      element->AppendChild(std::move(child));
+      continue;
+    }
+    // Character data up to the next markup.
+    size_t next = in_.find_first_of("<&", pos_);
+    if (next == std::string_view::npos) {
+      return Error("unterminated element <" + element->name() + ">");
+    }
+    if (next > pos_) {
+      text.append(in_.substr(pos_, next - pos_));
+      pos_ = next;
+      continue;
+    }
+    if (Peek() == '&') {
+      size_t semi = in_.find(';', pos_);
+      if (semi == std::string_view::npos) return Error("unterminated entity");
+      XQ_ASSIGN_OR_RETURN(std::string decoded,
+                          DecodeEntities(in_.substr(pos_, semi + 1 - pos_)));
+      text += decoded;
+      pos_ = semi + 1;
+    }
+  }
+}
+
+Result<XmlDocument> XmlParser::Parse() {
+  XmlDocument doc;
+  XQ_RETURN_IF_ERROR(SkipProlog(&doc));
+  if (AtEnd() || Peek() != '<') return Error("expected root element");
+  XQ_ASSIGN_OR_RETURN(auto root, ParseElement());
+  doc.SetRoot(std::move(root));
+  // Trailing misc (comments / PIs / whitespace) only.
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd()) break;
+    if (LookingAt("<!--")) {
+      XQ_RETURN_IF_ERROR(SkipComment());
+      continue;
+    }
+    if (LookingAt("<?")) {
+      XQ_ASSIGN_OR_RETURN(auto pi, ParsePi());
+      (void)pi;
+      continue;
+    }
+    return Error("content after root element");
+  }
+  return doc;
+}
+
+}  // namespace
+
+Result<std::string> DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out.push_back(text[i++]);
+      continue;
+    }
+    size_t semi = text.find(';', i);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference in: " +
+                                std::string(text.substr(i, 20)));
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      uint32_t cp = 0;
+      bool ok = entity.size() > 1;
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        for (size_t k = 2; k < entity.size() && ok; ++k) {
+          char c = entity[k];
+          uint32_t digit;
+          if (c >= '0' && c <= '9') {
+            digit = static_cast<uint32_t>(c - '0');
+          } else if (c >= 'a' && c <= 'f') {
+            digit = static_cast<uint32_t>(c - 'a' + 10);
+          } else if (c >= 'A' && c <= 'F') {
+            digit = static_cast<uint32_t>(c - 'A' + 10);
+          } else {
+            ok = false;
+            break;
+          }
+          cp = cp * 16 + digit;
+        }
+        ok = ok && entity.size() > 2;
+      } else {
+        for (size_t k = 1; k < entity.size() && ok; ++k) {
+          if (entity[k] < '0' || entity[k] > '9') {
+            ok = false;
+            break;
+          }
+          cp = cp * 10 + static_cast<uint32_t>(entity[k] - '0');
+        }
+      }
+      if (!ok || cp > 0x10FFFF || cp == 0) {
+        return Status::ParseError("bad character reference &" +
+                                  std::string(entity) + ";");
+      }
+      AppendUtf8(cp, &out);
+    } else {
+      return Status::ParseError("unknown entity &" + std::string(entity) +
+                                ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+Result<XmlDocument> ParseXml(std::string_view input,
+                             const ParseOptions& options) {
+  XmlParser parser(input, options);
+  return parser.Parse();
+}
+
+}  // namespace xomatiq::xml

@@ -1,0 +1,34 @@
+#ifndef XOMATIQ_XML_PARSER_H_
+#define XOMATIQ_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace xomatiq::xml {
+
+struct ParseOptions {
+  // Drop text nodes that contain only whitespace (data-centric default;
+  // the serializer pretty-prints, so round-trips stay stable).
+  bool strip_whitespace_text = true;
+  // Keep comments / processing instructions in the DOM.
+  bool keep_comments = false;
+  bool keep_processing_instructions = false;
+};
+
+// Parses an XML 1.0 document (no external entities, no namespaces beyond
+// treating ':' as a name character). Supports the XML declaration, a
+// DOCTYPE declaration (internal subset skipped; the name is recorded),
+// comments, PIs, CDATA sections, and the five predefined entities plus
+// numeric character references.
+common::Result<XmlDocument> ParseXml(std::string_view input,
+                                     const ParseOptions& options = {});
+
+// Decodes entity references in `text` (&amp; &lt; &gt; &apos; &quot;,
+// &#NN; and &#xHH; for code points up to U+10FFFF, encoded as UTF-8).
+common::Result<std::string> DecodeEntities(std::string_view text);
+
+}  // namespace xomatiq::xml
+
+#endif  // XOMATIQ_XML_PARSER_H_

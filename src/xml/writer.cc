@@ -1,0 +1,123 @@
+#include "xml/writer.h"
+
+namespace xomatiq::xml {
+
+std::string EscapeText(std::string_view text, bool for_attribute) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += for_attribute ? "&quot;" : "\"";
+        break;
+      case '\'':
+        out += for_attribute ? "&apos;" : "'";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// True when the element's children are text-only (rendered inline).
+bool IsTextOnly(const XmlNode& node) {
+  for (const auto& child : node.children()) {
+    if (child->kind() != NodeKind::kText) return false;
+  }
+  return true;
+}
+
+void WriteNode(const XmlNode& node, const WriteOptions& options, int depth,
+               std::string* out) {
+  std::string pad =
+      options.pretty
+          ? std::string(static_cast<size_t>(depth * options.indent_width), ' ')
+          : std::string();
+  switch (node.kind()) {
+    case NodeKind::kDocument:
+      for (const auto& child : node.children()) {
+        WriteNode(*child, options, depth, out);
+      }
+      return;
+    case NodeKind::kText:
+      *out += EscapeText(node.value());
+      return;
+    case NodeKind::kComment:
+      *out += pad + "<!--" + node.value() + "-->";
+      if (options.pretty) *out += "\n";
+      return;
+    case NodeKind::kProcessingInstruction:
+      *out += pad + "<?" + node.name();
+      if (!node.value().empty()) *out += " " + node.value();
+      *out += "?>";
+      if (options.pretty) *out += "\n";
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+  *out += pad + "<" + node.name();
+  for (const XmlAttribute& attr : node.attributes()) {
+    *out += " " + attr.name + "=\"" + EscapeText(attr.value, true) + "\"";
+  }
+  if (node.children().empty()) {
+    *out += "/>";
+    if (options.pretty) *out += "\n";
+    return;
+  }
+  *out += ">";
+  if (IsTextOnly(node)) {
+    *out += EscapeText(node.Text());
+    *out += "</" + node.name() + ">";
+    if (options.pretty) *out += "\n";
+    return;
+  }
+  if (options.pretty) *out += "\n";
+  for (const auto& child : node.children()) {
+    if (child->kind() == NodeKind::kText) {
+      // Mixed content: keep text inline on its own padded line.
+      if (options.pretty) {
+        *out += pad + std::string(static_cast<size_t>(options.indent_width),
+                                  ' ') +
+                EscapeText(child->value()) + "\n";
+      } else {
+        *out += EscapeText(child->value());
+      }
+      continue;
+    }
+    WriteNode(*child, options, depth + 1, out);
+  }
+  *out += pad + "</" + node.name() + ">";
+  if (options.pretty) *out += "\n";
+}
+
+}  // namespace
+
+std::string WriteXml(const XmlNode& node, const WriteOptions& options) {
+  std::string out;
+  WriteNode(node, options, 0, &out);
+  return out;
+}
+
+std::string WriteXml(const XmlDocument& doc, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) out += "\n";
+  }
+  WriteNode(doc.document_node(), options, 0, &out);
+  return out;
+}
+
+}  // namespace xomatiq::xml

@@ -1,0 +1,26 @@
+#ifndef XOMATIQ_XML_WRITER_H_
+#define XOMATIQ_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace xomatiq::xml {
+
+struct WriteOptions {
+  bool pretty = true;         // newline + indent per nesting level
+  int indent_width = 2;
+  bool declaration = true;    // emit <?xml version="1.0" encoding="UTF-8"?>
+};
+
+// Serializes a document / subtree to XML text. Text content and attribute
+// values are entity-escaped, so Parse(Write(doc)) round-trips.
+std::string WriteXml(const XmlDocument& doc, const WriteOptions& options = {});
+std::string WriteXml(const XmlNode& node, const WriteOptions& options = {});
+
+// Escapes &, <, > (and quotes when `for_attribute`).
+std::string EscapeText(std::string_view text, bool for_attribute = false);
+
+}  // namespace xomatiq::xml
+
+#endif  // XOMATIQ_XML_WRITER_H_

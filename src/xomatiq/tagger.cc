@@ -1,0 +1,47 @@
+#include "xomatiq/tagger.h"
+
+#include <cctype>
+
+namespace xomatiq::xq {
+
+std::string SanitizeElementName(const std::string& name) {
+  if (name.empty()) return "column";
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == '-' || c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  if (std::isdigit(static_cast<unsigned char>(out[0])) || out[0] == '-' ||
+      out[0] == '.') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+xml::XmlDocument TagResults(const std::vector<std::string>& columns,
+                            const std::vector<rel::Tuple>& rows,
+                            const std::string& root_name,
+                            const std::string& row_name) {
+  xml::XmlDocument doc;
+  xml::XmlNode* root = doc.CreateRoot(SanitizeElementName(root_name));
+  std::vector<std::string> names;
+  names.reserve(columns.size());
+  for (const std::string& col : columns) {
+    names.push_back(SanitizeElementName(col));
+  }
+  for (const rel::Tuple& row : rows) {
+    xml::XmlNode* result = root->AddElement(SanitizeElementName(row_name));
+    for (size_t c = 0; c < row.size() && c < names.size(); ++c) {
+      if (row[c].is_null()) {
+        result->AddElement(names[c]);  // empty element for NULL
+      } else {
+        result->AddTextElement(names[c], row[c].ToString());
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace xomatiq::xq

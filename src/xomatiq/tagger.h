@@ -1,0 +1,26 @@
+#ifndef XOMATIQ_XOMATIQ_TAGGER_H_
+#define XOMATIQ_XOMATIQ_TAGGER_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "xml/dom.h"
+
+namespace xomatiq::xq {
+
+// Relation2XML tagger module (paper §3.3): structures result tuples into
+// an XML document. Each row becomes one <result> element whose children
+// are named after the output columns (sanitized into XML names).
+xml::XmlDocument TagResults(const std::vector<std::string>& columns,
+                            const std::vector<rel::Tuple>& rows,
+                            const std::string& root_name = "results",
+                            const std::string& row_name = "result");
+
+// Makes `name` a valid XML element name (non-name characters become '_';
+// a leading digit gets a '_' prefix; empty becomes "column").
+std::string SanitizeElementName(const std::string& name);
+
+}  // namespace xomatiq::xq
+
+#endif  // XOMATIQ_XOMATIQ_TAGGER_H_

@@ -1,0 +1,498 @@
+#include "xomatiq/xq2sql.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "datahounds/generic_schema.h"
+
+namespace xomatiq::xq {
+
+using common::Result;
+using common::Status;
+using rel::Value;
+using rel::ValueType;
+
+namespace {
+
+// --- path dictionary ------------------------------------------------------
+
+struct PathEntry {
+  int64_t id;
+  std::vector<std::string> segments;  // "/a/b/@c" -> {"a", "b", "@c"}
+};
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> segments;
+  for (const std::string& piece : common::Split(path, '/')) {
+    if (!piece.empty()) segments.push_back(piece);
+  }
+  return segments;
+}
+
+// Matches stored path segments against a step pattern; '//' steps may
+// skip any number of segments.
+bool MatchSegments(const std::vector<std::string>& segs, size_t si,
+                   const std::vector<XqStep>& steps, size_t pi) {
+  if (pi == steps.size()) return si == segs.size();
+  const XqStep& step = steps[pi];
+  std::string target =
+      step.is_attribute ? "@" + step.name : step.name;
+  if (!step.descendant) {
+    return si < segs.size() && segs[si] == target &&
+           MatchSegments(segs, si + 1, steps, pi + 1);
+  }
+  for (size_t k = si; k < segs.size(); ++k) {
+    if (segs[k] == target && MatchSegments(segs, k + 1, steps, pi + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<int64_t> ResolvePattern(const std::vector<PathEntry>& dict,
+                                    const std::vector<XqStep>& steps) {
+  std::vector<int64_t> ids;
+  for (const PathEntry& entry : dict) {
+    if (MatchSegments(entry.segments, 0, steps, 0)) ids.push_back(entry.id);
+  }
+  return ids;
+}
+
+std::string SqlQuote(const std::string& text) {
+  std::string out = "'";
+  for (char c : text) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+std::string LiteralSql(const Value& v) {
+  if (v.type() == ValueType::kText) return SqlQuote(v.AsText());
+  return v.ToString();
+}
+
+// --- DNF normalization ------------------------------------------------------
+
+struct Leaf {
+  const XqCond* cond;
+  bool negated;
+};
+
+Status ToDnf(const XqCond& cond, bool negated,
+             std::vector<std::vector<Leaf>>* out) {
+  switch (cond.kind) {
+    case XqCondKind::kNot:
+      return ToDnf(*cond.children[0], !negated, out);
+    case XqCondKind::kAnd:
+    case XqCondKind::kOr: {
+      bool is_or = (cond.kind == XqCondKind::kOr) != negated;
+      if (is_or) {
+        // Union of children's disjuncts.
+        for (const XqCondPtr& child : cond.children) {
+          XQ_RETURN_IF_ERROR(ToDnf(*child, negated, out));
+        }
+        return Status::OK();
+      }
+      // AND: cross product of children's disjunct sets.
+      std::vector<std::vector<Leaf>> acc{{}};
+      for (const XqCondPtr& child : cond.children) {
+        std::vector<std::vector<Leaf>> child_dnf;
+        XQ_RETURN_IF_ERROR(ToDnf(*child, negated, &child_dnf));
+        std::vector<std::vector<Leaf>> next;
+        for (const auto& a : acc) {
+          for (const auto& c : child_dnf) {
+            std::vector<Leaf> merged = a;
+            merged.insert(merged.end(), c.begin(), c.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+        if (acc.size() > 64) {
+          return Status::Unsupported(
+              "WHERE clause expands to more than 64 disjuncts");
+        }
+      }
+      out->insert(out->end(), std::make_move_iterator(acc.begin()),
+                  std::make_move_iterator(acc.end()));
+      return Status::OK();
+    }
+    default:
+      out->push_back({Leaf{&cond, negated}});
+      return Status::OK();
+  }
+}
+
+std::string InvertOp(const std::string& op) {
+  if (op == "=") return "!=";
+  if (op == "!=") return "=";
+  if (op == "<") return ">=";
+  if (op == "<=") return ">";
+  if (op == ">") return "<=";
+  if (op == ">=") return "<";
+  return op;
+}
+
+// --- per-statement builder ---------------------------------------------------
+
+struct VarInfo {
+  std::string doc_alias;
+  std::string node_alias;
+  std::vector<XqStep> binding_steps;
+};
+
+class StatementBuilder {
+ public:
+  StatementBuilder(const std::vector<PathEntry>& dict) : dict_(dict) {}
+
+  void AddFrom(const std::string& table, const std::string& alias) {
+    from_.push_back(table + " " + alias);
+  }
+  void AddWhere(std::string cond) { where_.push_back(std::move(cond)); }
+
+  std::string NewAlias(const char* prefix) {
+    return std::string(prefix) + std::to_string(counter_++);
+  }
+
+  // Declares a FOR variable: document + node alias with collection and
+  // binding-path constraints.
+  Status AddBinding(const XqBinding& binding);
+
+  // Emits the node alias for a path (the variable's own node when the
+  // path has no steps). Also translates final-step predicates.
+  Result<std::string> EmitPathNode(const XqPath& path);
+
+  // Emits a value-table alias joined to `node_alias`.
+  std::string EmitValueAlias(const std::string& node_alias, bool numeric);
+
+  const VarInfo* FindVar(const std::string& var) const {
+    auto it = vars_.find(var);
+    return it == vars_.end() ? nullptr : &it->second;
+  }
+
+  std::string Build(const std::vector<std::string>& select_items,
+                    const std::string& order_by) const;
+
+ private:
+  // Constrains `alias` to nodes matching `pattern`.
+  void AddPathConstraint(const std::string& alias,
+                         const std::vector<XqStep>& pattern);
+  // Constrains `alias` to descendants of `anchor` (attributes included).
+  void AddContainment(const std::string& alias, const std::string& anchor,
+                      bool include_self);
+  Status EmitPredicates(const std::string& node_alias,
+                        const std::vector<XqStep>& node_pattern,
+                        const std::vector<XqPredicate>& predicates);
+
+  const std::vector<PathEntry>& dict_;
+  std::vector<std::string> from_;
+  std::vector<std::string> where_;
+  std::map<std::string, VarInfo> vars_;
+  int counter_ = 0;
+};
+
+void StatementBuilder::AddPathConstraint(const std::string& alias,
+                                         const std::vector<XqStep>& pattern) {
+  std::vector<int64_t> ids = ResolvePattern(dict_, pattern);
+  if (ids.empty()) {
+    // No stored path matches: the statement returns no rows. Emit an
+    // always-false constraint so the SQL stays valid.
+    AddWhere(alias + ".path_id = -1");
+    return;
+  }
+  if (ids.size() == 1) {
+    AddWhere(alias + ".path_id = " + std::to_string(ids[0]));
+    return;
+  }
+  std::string in = alias + ".path_id IN (";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) in += ", ";
+    in += std::to_string(ids[i]);
+  }
+  AddWhere(in + ")");
+}
+
+void StatementBuilder::AddContainment(const std::string& alias,
+                                      const std::string& anchor,
+                                      bool include_self) {
+  AddWhere(alias + ".doc_id = " + anchor + ".doc_id");
+  AddWhere(alias + ".ordinal >" + (include_self ? "=" : "") + " " + anchor +
+           ".ordinal");
+  AddWhere(alias + ".ordinal <= " + anchor + ".end_ordinal");
+}
+
+Status StatementBuilder::AddBinding(const XqBinding& binding) {
+  if (vars_.count(binding.var) > 0) {
+    return Status::InvalidArgument("duplicate FOR variable $" + binding.var);
+  }
+  for (size_t i = 0; i + 1 < binding.steps.size(); ++i) {
+    if (!binding.steps[i].predicates.empty()) {
+      return Status::Unsupported(
+          "predicates on non-final FOR binding steps are not supported");
+    }
+  }
+  VarInfo info;
+  info.node_alias = "n_" + binding.var;
+  if (!binding.base_var.empty()) {
+    // Variable-relative binding: iterate the node set selected from the
+    // base variable (same document, containment-joined).
+    const VarInfo* base = FindVar(binding.base_var);
+    if (base == nullptr) {
+      return Status::InvalidArgument("unbound base variable $" +
+                                     binding.base_var);
+    }
+    info.doc_alias = base->doc_alias;
+    info.binding_steps = base->binding_steps;
+    for (const XqStep& s : binding.steps) info.binding_steps.push_back(s);
+    AddFrom(hounds::kNodeTable, info.node_alias);
+    AddContainment(info.node_alias, base->node_alias,
+                   /*include_self=*/false);
+    AddPathConstraint(info.node_alias, info.binding_steps);
+    XQ_RETURN_IF_ERROR(EmitPredicates(info.node_alias, info.binding_steps,
+                                      binding.steps.back().predicates));
+    vars_.emplace(binding.var, std::move(info));
+    return Status::OK();
+  }
+  info.doc_alias = "d_" + binding.var;
+  info.binding_steps = binding.steps;
+  AddFrom(hounds::kDocumentTable, info.doc_alias);
+  AddFrom(hounds::kNodeTable, info.node_alias);
+  AddWhere(info.doc_alias + ".collection = " + SqlQuote(binding.collection));
+  AddWhere(info.node_alias + ".doc_id = " + info.doc_alias + ".doc_id");
+  AddWhere(info.node_alias + ".kind = " +
+           std::to_string(hounds::kKindElement));
+  AddPathConstraint(info.node_alias, binding.steps);
+  XQ_RETURN_IF_ERROR(EmitPredicates(
+      info.node_alias, binding.steps,
+      binding.steps.empty() ? std::vector<XqPredicate>{}
+                            : binding.steps.back().predicates));
+  vars_.emplace(binding.var, std::move(info));
+  return Status::OK();
+}
+
+Status StatementBuilder::EmitPredicates(
+    const std::string& node_alias, const std::vector<XqStep>& node_pattern,
+    const std::vector<XqPredicate>& predicates) {
+  for (const XqPredicate& pred : predicates) {
+    if (pred.is_position) {
+      AddWhere(node_alias + ".name_pos = " + std::to_string(pred.position));
+      continue;
+    }
+    std::vector<XqStep> pattern = node_pattern;
+    for (const XqStep& s : pred.path) pattern.push_back(s);
+    std::string pred_alias = NewAlias("np");
+    AddFrom(hounds::kNodeTable, pred_alias);
+    AddContainment(pred_alias, node_alias, /*include_self=*/false);
+    AddPathConstraint(pred_alias, pattern);
+    bool numeric = pred.literal.type() != ValueType::kText &&
+                   pred.op != "=" && pred.op != "!=";
+    if (pred.literal.type() != ValueType::kText &&
+        (pred.op == "=" || pred.op == "!=")) {
+      numeric = true;  // numeric equality compares typed values
+    }
+    std::string value_alias = EmitValueAlias(pred_alias, numeric);
+    AddWhere(value_alias + ".value " + pred.op + " " +
+             LiteralSql(pred.literal));
+  }
+  return Status::OK();
+}
+
+Result<std::string> StatementBuilder::EmitPathNode(const XqPath& path) {
+  const VarInfo* var = FindVar(path.var);
+  if (var == nullptr) {
+    return Status::InvalidArgument("unbound variable $" + path.var);
+  }
+  if (path.steps.empty()) return var->node_alias;
+  // Materialize a node alias at every predicated step (and at the final
+  // step); between materialization points only the path pattern grows.
+  std::string anchor = var->node_alias;
+  std::vector<XqStep> pattern = var->binding_steps;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    pattern.push_back(path.steps[i]);
+    bool need_node =
+        !path.steps[i].predicates.empty() || i + 1 == path.steps.size();
+    if (!need_node) continue;
+    std::string alias = NewAlias("n");
+    AddFrom(hounds::kNodeTable, alias);
+    AddContainment(alias, anchor, /*include_self=*/false);
+    AddPathConstraint(alias, pattern);
+    XQ_RETURN_IF_ERROR(
+        EmitPredicates(alias, pattern, path.steps[i].predicates));
+    anchor = alias;
+  }
+  return anchor;
+}
+
+std::string StatementBuilder::EmitValueAlias(const std::string& node_alias,
+                                             bool numeric) {
+  std::string alias = NewAlias(numeric ? "num" : "txt");
+  AddFrom(numeric ? hounds::kNumberTable : hounds::kTextTable, alias);
+  AddWhere(alias + ".node_id = " + node_alias + ".node_id");
+  return alias;
+}
+
+std::string StatementBuilder::Build(
+    const std::vector<std::string>& select_items,
+    const std::string& order_by) const {
+  std::string sql = "SELECT DISTINCT ";
+  for (size_t i = 0; i < select_items.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += select_items[i];
+  }
+  sql += " FROM ";
+  for (size_t i = 0; i < from_.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += from_[i];
+  }
+  if (!where_.empty()) {
+    sql += " WHERE ";
+    for (size_t i = 0; i < where_.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += where_[i];
+    }
+  }
+  if (!order_by.empty()) sql += " ORDER BY " + order_by;
+  return sql;
+}
+
+}  // namespace
+
+Result<Translation> Xq2SqlTranslator::Translate(const XQueryAst& ast) {
+  if (ast.bindings.empty()) {
+    return Status::InvalidArgument("query has no FOR bindings");
+  }
+  for (const XqBinding& binding : ast.bindings) {
+    if (binding.base_var.empty() &&
+        warehouse_->FindCollection(binding.collection) == nullptr) {
+      return Status::NotFound("unknown collection: " + binding.collection);
+    }
+  }
+
+  // Load the path dictionary once per translation.
+  std::vector<PathEntry> dict;
+  XQ_ASSIGN_OR_RETURN(const rel::Table* path_table,
+                      warehouse_->db()->GetTable(hounds::kPathTable));
+  path_table->Scan([&](rel::RowId, const rel::Tuple& t) {
+    dict.push_back({t[0].AsInt(), SplitPath(t[1].AsText())});
+    return true;
+  });
+
+  // DNF of the WHERE clause (single empty disjunct when absent).
+  std::vector<std::vector<Leaf>> dnf;
+  if (ast.where != nullptr) {
+    XQ_RETURN_IF_ERROR(ToDnf(*ast.where, /*negated=*/false, &dnf));
+  } else {
+    dnf.push_back({});
+  }
+
+  Translation out;
+  out.constructor_name = ast.constructor_name;
+  for (const XqReturnItem& item : ast.returns) {
+    if (!item.alias.empty()) {
+      out.column_names.push_back(item.alias);
+    } else if (item.path.steps.empty()) {
+      out.column_names.push_back(item.path.var + "_doc");
+    } else {
+      out.column_names.push_back(item.path.steps.back().name);
+    }
+  }
+
+  for (const std::vector<Leaf>& disjunct : dnf) {
+    StatementBuilder builder(dict);
+    for (const XqBinding& binding : ast.bindings) {
+      XQ_RETURN_IF_ERROR(builder.AddBinding(binding));
+    }
+    for (const Leaf& leaf : disjunct) {
+      const XqCond& cond = *leaf.cond;
+      switch (cond.kind) {
+        case XqCondKind::kCompare: {
+          std::string op = leaf.negated ? InvertOp(cond.op) : cond.op;
+          XQ_ASSIGN_OR_RETURN(std::string left_node,
+                              builder.EmitPathNode(cond.left));
+          if (cond.right_is_path) {
+            XQ_ASSIGN_OR_RETURN(std::string right_node,
+                                builder.EmitPathNode(cond.right_path));
+            bool numeric = op != "=" && op != "!=";
+            std::string lv = builder.EmitValueAlias(left_node, numeric);
+            std::string rv = builder.EmitValueAlias(right_node, numeric);
+            builder.AddWhere(lv + ".value " + op + " " + rv + ".value");
+          } else {
+            bool numeric = cond.right_literal.type() != ValueType::kText;
+            std::string lv = builder.EmitValueAlias(left_node, numeric);
+            builder.AddWhere(lv + ".value " + op + " " +
+                             LiteralSql(cond.right_literal));
+          }
+          break;
+        }
+        case XqCondKind::kContains: {
+          if (leaf.negated) {
+            return Status::Unsupported(
+                "NOT contains(...) requires set difference and is not "
+                "supported");
+          }
+          XQ_ASSIGN_OR_RETURN(std::string scope_node,
+                              builder.EmitPathNode(cond.scope));
+          std::string text_alias;
+          if (cond.any || cond.scope.steps.empty()) {
+            // Subtree keyword search: any text value under the scope node.
+            std::string any_node = builder.NewAlias("na");
+            builder.AddFrom(hounds::kNodeTable, any_node);
+            builder.AddWhere(any_node + ".doc_id = " + scope_node +
+                             ".doc_id");
+            builder.AddWhere(any_node + ".ordinal >= " + scope_node +
+                             ".ordinal");
+            builder.AddWhere(any_node + ".ordinal <= " + scope_node +
+                             ".end_ordinal");
+            text_alias = builder.EmitValueAlias(any_node, /*numeric=*/false);
+          } else {
+            text_alias =
+                builder.EmitValueAlias(scope_node, /*numeric=*/false);
+          }
+          builder.AddWhere("CONTAINS(" + text_alias + ".value, " +
+                           SqlQuote(cond.keyword) + ")");
+          break;
+        }
+        case XqCondKind::kOrder: {
+          XQ_ASSIGN_OR_RETURN(std::string left_node,
+                              builder.EmitPathNode(cond.left));
+          XQ_ASSIGN_OR_RETURN(std::string right_node,
+                              builder.EmitPathNode(cond.right_path));
+          bool before = cond.op == "BEFORE";
+          if (leaf.negated) before = !before;
+          builder.AddWhere(left_node + ".doc_id = " + right_node + ".doc_id");
+          builder.AddWhere(left_node + ".ordinal " + (before ? "<" : ">") +
+                           " " + right_node + ".ordinal");
+          break;
+        }
+        default:
+          return Status::Internal("non-leaf condition in DNF");
+      }
+    }
+
+    // RETURN items.
+    std::vector<std::string> select_items;
+    for (size_t i = 0; i < ast.returns.size(); ++i) {
+      const XqReturnItem& item = ast.returns[i];
+      if (item.path.steps.empty()) {
+        const VarInfo* var = builder.FindVar(item.path.var);
+        if (var == nullptr) {
+          return Status::InvalidArgument("unbound variable $" +
+                                         item.path.var);
+        }
+        select_items.push_back(var->doc_alias + ".doc_id AS " +
+                               out.column_names[i]);
+        continue;
+      }
+      XQ_ASSIGN_OR_RETURN(std::string node, builder.EmitPathNode(item.path));
+      std::string value = builder.EmitValueAlias(node, /*numeric=*/false);
+      select_items.push_back(value + ".value AS " + out.column_names[i]);
+    }
+
+    std::string order_by = "d_" + ast.bindings.front().var + ".doc_id";
+    out.sql.push_back(builder.Build(select_items, order_by));
+  }
+  return out;
+}
+
+}  // namespace xomatiq::xq

@@ -1,0 +1,62 @@
+#ifndef XOMATIQ_XOMATIQ_XQ2SQL_H_
+#define XOMATIQ_XOMATIQ_XQ2SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datahounds/warehouse.h"
+#include "xomatiq/xq_ast.h"
+
+namespace xomatiq::xq {
+
+// Output of translating one XomatiQ query.
+struct Translation {
+  // One SQL statement per disjunct of the WHERE clause's disjunctive
+  // normal form; results are unioned (set semantics) by the caller.
+  std::vector<std::string> sql;
+  // Output column names, in RETURN order.
+  std::vector<std::string> column_names;
+  // Element name of the RETURN constructor ("" = plain item list); the
+  // tagger uses it as the per-row element name.
+  std::string constructor_name;
+};
+
+// XQ2SQL-Transformer (paper §3.2): rewrites a parsed XomatiQ query into
+// SQL over the generic shredding schema.
+//
+// Strategy (follows the relational-XML translations the paper cites —
+// Shanmugasundaram et al., Agora, Zhang et al. containment joins):
+//   - each FOR variable becomes an xml_document + xml_node alias pair,
+//     constrained by collection and by the path_ids that match the
+//     binding path (resolved against the xml_path dictionary at
+//     translation time);
+//   - each relative path becomes another xml_node alias constrained by
+//     matching path_ids plus an (ordinal, end_ordinal) interval
+//     containment join to its variable's node;
+//   - value accesses join xml_text (equality/string ops, keyword
+//     contains) or xml_number (ordered comparisons with numeric
+//     literals);
+//   - contains(x, kw) on a path tests that node's value; contains($v,
+//     kw, any) searches every text value in the subtree;
+//   - BEFORE/AFTER compare ordinals within a document;
+//   - OR is handled by DNF expansion into one SQL statement per
+//     disjunct; NOT is pushed onto comparisons (negated contains is not
+//     expressible without set difference and is rejected).
+//
+// The generated statements SELECT DISTINCT and ORDER BY the first
+// variable's doc_id, so results are set-semantic and deterministic.
+class Xq2SqlTranslator {
+ public:
+  explicit Xq2SqlTranslator(hounds::Warehouse* warehouse)
+      : warehouse_(warehouse) {}
+
+  common::Result<Translation> Translate(const XQueryAst& ast);
+
+ private:
+  hounds::Warehouse* warehouse_;
+};
+
+}  // namespace xomatiq::xq
+
+#endif  // XOMATIQ_XOMATIQ_XQ2SQL_H_

@@ -1,0 +1,126 @@
+#include "xomatiq/xq_ast.h"
+
+namespace xomatiq::xq {
+
+namespace {
+
+std::string LiteralToString(const rel::Value& v) {
+  if (v.type() == rel::ValueType::kText) {
+    return "\"" + v.AsText() + "\"";
+  }
+  return v.ToString();
+}
+
+}  // namespace
+
+std::string StepsToString(const std::vector<XqStep>& steps) {
+  std::string out;
+  for (const XqStep& step : steps) {
+    out += step.descendant ? "//" : "/";
+    if (step.is_attribute) out += "@";
+    out += step.name;
+    for (const XqPredicate& pred : step.predicates) {
+      out += "[";
+      if (pred.is_position) {
+        out += std::to_string(pred.position);
+      } else {
+        std::string rel = StepsToString(pred.path);
+        // Relative predicate paths drop the leading '/'.
+        if (!rel.empty() && rel[0] == '/') rel = rel.substr(1);
+        out += rel + " " + pred.op + " " + LiteralToString(pred.literal);
+      }
+      out += "]";
+    }
+  }
+  return out;
+}
+
+std::string PathToString(const XqPath& path) {
+  return "$" + path.var + StepsToString(path.steps);
+}
+
+XqCondPtr XqCond::Clone() const {
+  auto copy = std::make_unique<XqCond>();
+  copy->kind = kind;
+  for (const XqCondPtr& child : children) {
+    copy->children.push_back(child->Clone());
+  }
+  copy->left = left;
+  copy->op = op;
+  copy->right_is_path = right_is_path;
+  copy->right_path = right_path;
+  copy->right_literal = right_literal;
+  copy->scope = scope;
+  copy->keyword = keyword;
+  copy->any = any;
+  return copy;
+}
+
+std::string XqCond::ToString() const {
+  switch (kind) {
+    case XqCondKind::kAnd: {
+      std::string out;
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += children[i]->ToString();
+      }
+      return out;
+    }
+    case XqCondKind::kOr: {
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += " OR ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case XqCondKind::kNot:
+      return "NOT (" + children[0]->ToString() + ")";
+    case XqCondKind::kCompare:
+    case XqCondKind::kOrder: {
+      std::string rhs = right_is_path ? PathToString(right_path)
+                                      : LiteralToString(right_literal);
+      return PathToString(left) + " " + op + " " + rhs;
+    }
+    case XqCondKind::kContains: {
+      std::string out =
+          "contains(" + PathToString(scope) + ", \"" + keyword + "\"";
+      if (any) out += ", any";
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string XQueryAst::ToString() const {
+  std::string out = "FOR ";
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (i > 0) out += ",\n    ";
+    out += "$" + bindings[i].var + " IN ";
+    if (bindings[i].base_var.empty()) {
+      out += "document(\"" + bindings[i].collection + "\")";
+    } else {
+      out += "$" + bindings[i].base_var;
+    }
+    out += StepsToString(bindings[i].steps);
+  }
+  for (const XqLet& let : lets) {
+    out += "\nLET $" + let.var + " := " + PathToString(let.path);
+  }
+  if (where != nullptr) {
+    out += "\nWHERE " + where->ToString();
+  }
+  out += "\nRETURN ";
+  if (!constructor_name.empty()) out += "<" + constructor_name + ">{ ";
+  for (size_t i = 0; i < returns.size(); ++i) {
+    if (i > 0) out += ",\n       ";
+    if (!returns[i].alias.empty()) out += "$" + returns[i].alias + " = ";
+    out += PathToString(returns[i].path);
+  }
+  if (!constructor_name.empty()) {
+    out += " }</" + constructor_name + ">";
+  }
+  return out;
+}
+
+}  // namespace xomatiq::xq

@@ -1,0 +1,122 @@
+#ifndef XOMATIQ_XOMATIQ_XQ_AST_H_
+#define XOMATIQ_XOMATIQ_XQ_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace xomatiq::xq {
+
+// One step of a path expression. Steps with `descendant` correspond to
+// '//' (descendant), others to '/' (child). Attribute steps name an
+// attribute ('@name'). A step may carry predicates of the restricted form
+// [relative-path op literal]; predicates are allowed on the final step of
+// a path only (which covers the paper's query workload, e.g. Fig 11's
+// qualifier[@qualifier_type = "EC number"]).
+struct XqPredicate;
+
+struct XqStep {
+  bool descendant = false;
+  bool is_attribute = false;
+  std::string name;
+  std::vector<XqPredicate> predicates;
+};
+
+struct XqPredicate {
+  // Positional predicate [N]: selects the N-th same-name sibling
+  // (1-based), evaluated via the shredded name_pos column — one of the
+  // "order-based functionalities" document order as data enables (§2.2).
+  bool is_position = false;
+  int64_t position = 0;
+
+  // Value predicate [relative-path op literal].
+  std::vector<XqStep> path;  // relative to the step's node
+  std::string op = "=";      // = != < <= > >=
+  rel::Value literal;
+};
+
+// A path rooted at a FOR variable: $var / steps...
+struct XqPath {
+  std::string var;           // without the '$'
+  std::vector<XqStep> steps; // may be empty ($a alone)
+};
+
+// FOR $var IN document("collection")/steps...   (collection-rooted), or
+// FOR $var IN $base/steps...                     (variable-relative: $var
+// iterates over the node set selected from an earlier FOR variable, so
+// multiple values of one element — e.g. two attributes of the same
+// <reference> — stay aligned).
+struct XqBinding {
+  std::string var;
+  std::string collection;  // empty for variable-relative bindings
+  std::string base_var;    // empty for collection-rooted bindings
+  std::vector<XqStep> steps;
+};
+
+// LET $var := $base/steps (expanded by substitution after parsing).
+struct XqLet {
+  std::string var;
+  XqPath path;
+};
+
+// Condition tree of the WHERE clause.
+enum class XqCondKind {
+  kAnd,
+  kOr,
+  kNot,
+  kCompare,   // path op (path | literal)
+  kContains,  // contains(path, "keywords" [, any])
+  kOrder,     // path BEFORE/AFTER path (document order, §2.2)
+};
+
+struct XqCond;
+using XqCondPtr = std::unique_ptr<XqCond>;
+
+struct XqCond {
+  XqCondKind kind = XqCondKind::kCompare;
+
+  // kAnd / kOr / kNot children.
+  std::vector<XqCondPtr> children;
+
+  // kCompare / kOrder.
+  XqPath left;
+  std::string op;            // = != < <= > >= | BEFORE | AFTER
+  bool right_is_path = false;
+  XqPath right_path;
+  rel::Value right_literal;
+
+  // kContains.
+  XqPath scope;      // node set searched
+  std::string keyword;
+  bool any = false;  // contains(..., any): whole-subtree keyword search
+
+  XqCondPtr Clone() const;
+  std::string ToString() const;
+};
+
+// RETURN item: optional $Alias = path.
+struct XqReturnItem {
+  std::string alias;  // "" = derived from the final step name
+  XqPath path;
+};
+
+struct XQueryAst {
+  std::vector<XqBinding> bindings;
+  std::vector<XqLet> lets;
+  XqCondPtr where;  // may be null
+  std::vector<XqReturnItem> returns;
+  // RETURN <name>{ ... }</name> element constructor (§3: "the return
+  // clause can construct new XML element as output"); empty = plain list.
+  std::string constructor_name;
+
+  std::string ToString() const;  // re-renders query text
+};
+
+std::string PathToString(const XqPath& path);
+std::string StepsToString(const std::vector<XqStep>& steps);
+
+}  // namespace xomatiq::xq
+
+#endif  // XOMATIQ_XOMATIQ_XQ_AST_H_

@@ -1,0 +1,564 @@
+#include "xomatiq/xq_parser.h"
+
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace xomatiq::xq {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+enum class TokKind { kEof, kVar, kName, kString, kNumber, kSymbol };
+
+struct Tok {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  double number = 0;
+  bool is_int = false;
+  int64_t int_value = 0;
+  size_t offset = 0;
+};
+
+Result<std::vector<Tok>> Lex(std::string_view in) {
+  std::vector<Tok> toks;
+  size_t i = 0;
+  auto is_name_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  };
+  while (i < in.size()) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Tok tok;
+    tok.offset = i;
+    if (c == '$') {
+      ++i;
+      size_t start = i;
+      while (i < in.size() && is_name_char(in[i])) ++i;
+      if (i == start) {
+        return Status::ParseError("expected a variable name after '$'");
+      }
+      tok.kind = TokKind::kVar;
+      tok.text = std::string(in.substr(start, i - start));
+      toks.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string value;
+      while (i < in.size() && in[i] != quote) value.push_back(in[i++]);
+      if (i >= in.size()) {
+        return Status::ParseError("unterminated string literal");
+      }
+      ++i;
+      tok.kind = TokKind::kString;
+      tok.text = std::move(value);
+      toks.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < in.size() &&
+         std::isdigit(static_cast<unsigned char>(in[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_real = false;
+      while (i < in.size() &&
+             (std::isdigit(static_cast<unsigned char>(in[i])) ||
+              in[i] == '.')) {
+        if (in[i] == '.') {
+          // A number followed by a path '/'-like dot cannot occur here;
+          // EC-number-like tokens are quoted strings in queries.
+          is_real = true;
+        }
+        ++i;
+      }
+      std::string num(in.substr(start, i - start));
+      tok.kind = TokKind::kNumber;
+      if (!is_real) {
+        auto v = common::ParseInt64(num);
+        if (!v) return Status::ParseError("bad number: " + num);
+        tok.is_int = true;
+        tok.int_value = *v;
+        tok.number = static_cast<double>(*v);
+      } else {
+        auto v = common::ParseDouble(num);
+        if (!v) return Status::ParseError("bad number: " + num);
+        tok.number = *v;
+      }
+      tok.text = std::move(num);
+      toks.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < in.size() && is_name_char(in[i])) ++i;
+      tok.kind = TokKind::kName;
+      tok.text = std::string(in.substr(start, i - start));
+      toks.push_back(std::move(tok));
+      continue;
+    }
+    // Symbols (two-char first).
+    std::string_view two = in.substr(i, 2);
+    if (two == "//" || two == "!=" || two == "<=" || two == ">=" ||
+        two == ":=") {
+      tok.kind = TokKind::kSymbol;
+      tok.text = std::string(two);
+      toks.push_back(std::move(tok));
+      i += 2;
+      continue;
+    }
+    static constexpr std::string_view kSingles = "/@[](),=<>{}";
+    if (kSingles.find(c) != std::string_view::npos) {
+      tok.kind = TokKind::kSymbol;
+      tok.text = std::string(1, c);
+      toks.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  toks.push_back(Tok{});
+  return toks;
+}
+
+class XqParser {
+ public:
+  explicit XqParser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<XQueryAst> Parse();
+
+ private:
+  const Tok& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Tok& Advance() {
+    return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_];
+  }
+  bool PeekKeyword(std::string_view kw, size_t ahead = 0) const {
+    return Peek(ahead).kind == TokKind::kName &&
+           common::EqualsIgnoreCase(Peek(ahead).text, kw);
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(std::string_view sym) {
+    if (Peek().kind == TokKind::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!MatchSymbol(sym)) {
+      return Status::ParseError("expected '" + std::string(sym) +
+                                "' near '" + Peek().text + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError("expected " + std::string(kw) + " near '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectName() {
+    if (Peek().kind != TokKind::kName) {
+      return Status::ParseError("expected a name near '" + Peek().text +
+                                "'");
+    }
+    return Advance().text;
+  }
+  Result<std::string> ExpectVar() {
+    if (Peek().kind != TokKind::kVar) {
+      return Status::ParseError("expected a $variable near '" + Peek().text +
+                                "'");
+    }
+    return Advance().text;
+  }
+
+  Result<std::vector<XqStep>> ParseSteps(bool allow_predicates);
+  Result<XqBinding> ParseBinding();
+  Result<XqPath> ParseVarPath(bool allow_predicates);
+  Result<XqCondPtr> ParseOr();
+  Result<XqCondPtr> ParseAnd();
+  Result<XqCondPtr> ParseUnary();
+  Result<XqCondPtr> ParsePrimary();
+  Result<rel::Value> ParseLiteral();
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+Result<rel::Value> XqParser::ParseLiteral() {
+  const Tok& tok = Peek();
+  if (tok.kind == TokKind::kString) {
+    std::string text = tok.text;
+    Advance();
+    return rel::Value::Text(std::move(text));
+  }
+  if (tok.kind == TokKind::kNumber) {
+    Tok t = tok;
+    Advance();
+    return t.is_int ? rel::Value::Int(t.int_value)
+                    : rel::Value::Double(t.number);
+  }
+  return Status::ParseError("expected a literal near '" + tok.text + "'");
+}
+
+Result<std::vector<XqStep>> XqParser::ParseSteps(bool allow_predicates) {
+  std::vector<XqStep> steps;
+  while (Peek().kind == TokKind::kSymbol &&
+         (Peek().text == "/" || Peek().text == "//")) {
+    XqStep step;
+    step.descendant = Peek().text == "//";
+    Advance();
+    step.is_attribute = MatchSymbol("@");
+    XQ_ASSIGN_OR_RETURN(step.name, ExpectName());
+    while (Peek().kind == TokKind::kSymbol && Peek().text == "[") {
+      if (!allow_predicates) {
+        return Status::ParseError("predicates not allowed here");
+      }
+      Advance();
+      XqPredicate pred;
+      // Positional predicate: [N].
+      if (Peek().kind == TokKind::kNumber && Peek().is_int) {
+        pred.is_position = true;
+        pred.position = Advance().int_value;
+        if (pred.position < 1) {
+          return Status::ParseError("positional predicates are 1-based");
+        }
+        XQ_RETURN_IF_ERROR(ExpectSymbol("]"));
+        step.predicates.push_back(std::move(pred));
+        continue;
+      }
+      // Relative path: optional '@'name, or name, then further steps.
+      XqStep first;
+      first.is_attribute = MatchSymbol("@");
+      XQ_ASSIGN_OR_RETURN(first.name, ExpectName());
+      pred.path.push_back(std::move(first));
+      XQ_ASSIGN_OR_RETURN(auto rest, ParseSteps(/*allow_predicates=*/false));
+      for (XqStep& s : rest) pred.path.push_back(std::move(s));
+      // Operator.
+      static constexpr std::string_view kOps[] = {"=",  "!=", "<=",
+                                                  ">=", "<",  ">"};
+      bool matched = false;
+      for (std::string_view op : kOps) {
+        if (Peek().kind == TokKind::kSymbol && Peek().text == op) {
+          pred.op = std::string(op);
+          Advance();
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return Status::ParseError("expected a comparison in predicate");
+      }
+      XQ_ASSIGN_OR_RETURN(pred.literal, ParseLiteral());
+      XQ_RETURN_IF_ERROR(ExpectSymbol("]"));
+      step.predicates.push_back(std::move(pred));
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+Result<XqBinding> XqParser::ParseBinding() {
+  XqBinding binding;
+  XQ_ASSIGN_OR_RETURN(binding.var, ExpectVar());
+  XQ_RETURN_IF_ERROR(ExpectKeyword("IN"));
+  if (Peek().kind == TokKind::kVar) {
+    // Variable-relative binding: $r IN $a//reference.
+    binding.base_var = Advance().text;
+    XQ_ASSIGN_OR_RETURN(binding.steps, ParseSteps(/*allow_predicates=*/true));
+    if (binding.steps.empty()) {
+      return Status::ParseError("variable-relative FOR binding needs a path");
+    }
+    return binding;
+  }
+  if (!MatchKeyword("document")) {
+    return Status::ParseError(
+        "expected document(\"...\") or $variable in FOR binding");
+  }
+  XQ_RETURN_IF_ERROR(ExpectSymbol("("));
+  if (Peek().kind != TokKind::kString) {
+    return Status::ParseError("expected a collection name string");
+  }
+  binding.collection = Advance().text;
+  XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+  XQ_ASSIGN_OR_RETURN(binding.steps, ParseSteps(/*allow_predicates=*/true));
+  return binding;
+}
+
+Result<XqPath> XqParser::ParseVarPath(bool allow_predicates) {
+  XqPath path;
+  XQ_ASSIGN_OR_RETURN(path.var, ExpectVar());
+  XQ_ASSIGN_OR_RETURN(path.steps, ParseSteps(allow_predicates));
+  return path;
+}
+
+Result<XqCondPtr> XqParser::ParseOr() {
+  XQ_ASSIGN_OR_RETURN(XqCondPtr left, ParseAnd());
+  if (!PeekKeyword("OR")) return left;
+  auto node = std::make_unique<XqCond>();
+  node->kind = XqCondKind::kOr;
+  node->children.push_back(std::move(left));
+  while (MatchKeyword("OR")) {
+    XQ_ASSIGN_OR_RETURN(XqCondPtr right, ParseAnd());
+    node->children.push_back(std::move(right));
+  }
+  return XqCondPtr(std::move(node));
+}
+
+Result<XqCondPtr> XqParser::ParseAnd() {
+  XQ_ASSIGN_OR_RETURN(XqCondPtr left, ParseUnary());
+  if (!PeekKeyword("AND")) return left;
+  auto node = std::make_unique<XqCond>();
+  node->kind = XqCondKind::kAnd;
+  node->children.push_back(std::move(left));
+  while (MatchKeyword("AND")) {
+    XQ_ASSIGN_OR_RETURN(XqCondPtr right, ParseUnary());
+    node->children.push_back(std::move(right));
+  }
+  return XqCondPtr(std::move(node));
+}
+
+Result<XqCondPtr> XqParser::ParseUnary() {
+  if (MatchKeyword("NOT")) {
+    XQ_ASSIGN_OR_RETURN(XqCondPtr child, ParseUnary());
+    auto node = std::make_unique<XqCond>();
+    node->kind = XqCondKind::kNot;
+    node->children.push_back(std::move(child));
+    return XqCondPtr(std::move(node));
+  }
+  return ParsePrimary();
+}
+
+Result<XqCondPtr> XqParser::ParsePrimary() {
+  if (MatchSymbol("(")) {
+    XQ_ASSIGN_OR_RETURN(XqCondPtr inner, ParseOr());
+    XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return inner;
+  }
+  if (PeekKeyword("contains")) {
+    Advance();
+    XQ_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto node = std::make_unique<XqCond>();
+    node->kind = XqCondKind::kContains;
+    XQ_ASSIGN_OR_RETURN(node->scope, ParseVarPath(/*allow_predicates=*/true));
+    XQ_RETURN_IF_ERROR(ExpectSymbol(","));
+    if (Peek().kind != TokKind::kString) {
+      return Status::ParseError("expected a keyword string in contains()");
+    }
+    node->keyword = Advance().text;
+    if (MatchSymbol(",")) {
+      XQ_RETURN_IF_ERROR(ExpectKeyword("any"));
+      node->any = true;
+    }
+    XQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return XqCondPtr(std::move(node));
+  }
+  // Comparison / order condition rooted at a variable path.
+  auto node = std::make_unique<XqCond>();
+  XQ_ASSIGN_OR_RETURN(node->left, ParseVarPath(/*allow_predicates=*/true));
+  if (MatchKeyword("BEFORE") || PeekKeyword("AFTER")) {
+    bool after = false;
+    if (PeekKeyword("AFTER")) {
+      Advance();
+      after = true;
+    }
+    node->kind = XqCondKind::kOrder;
+    node->op = after ? "AFTER" : "BEFORE";
+    node->right_is_path = true;
+    XQ_ASSIGN_OR_RETURN(node->right_path,
+                        ParseVarPath(/*allow_predicates=*/true));
+    return XqCondPtr(std::move(node));
+  }
+  static constexpr std::string_view kOps[] = {"=", "!=", "<=", ">=", "<",
+                                              ">"};
+  bool matched = false;
+  for (std::string_view op : kOps) {
+    if (Peek().kind == TokKind::kSymbol && Peek().text == op) {
+      node->op = std::string(op);
+      Advance();
+      matched = true;
+      break;
+    }
+  }
+  if (!matched) {
+    return Status::ParseError("expected a comparison operator near '" +
+                              Peek().text + "'");
+  }
+  node->kind = XqCondKind::kCompare;
+  if (Peek().kind == TokKind::kVar) {
+    node->right_is_path = true;
+    XQ_ASSIGN_OR_RETURN(node->right_path,
+                        ParseVarPath(/*allow_predicates=*/true));
+  } else {
+    XQ_ASSIGN_OR_RETURN(node->right_literal, ParseLiteral());
+  }
+  return XqCondPtr(std::move(node));
+}
+
+// Expands LET aliases by substitution throughout paths.
+Status ExpandLets(XQueryAst* ast) {
+  if (ast->lets.empty()) return Status::OK();
+  std::map<std::string, const XqLet*> lets;
+  for (const XqLet& let : ast->lets) {
+    lets[let.var] = &let;
+  }
+  // LETs may reference earlier LETs; resolve to fixpoint with a depth cap.
+  std::function<Status(XqPath*, int)> expand = [&](XqPath* path,
+                                                   int depth) -> Status {
+    if (depth > 16) {
+      return Status::InvalidArgument("cyclic LET definitions");
+    }
+    auto it = lets.find(path->var);
+    if (it == lets.end()) return Status::OK();
+    const XqLet& let = *it->second;
+    std::vector<XqStep> steps = let.path.steps;
+    steps.insert(steps.end(), path->steps.begin(), path->steps.end());
+    path->var = let.path.var;
+    path->steps = std::move(steps);
+    return expand(path, depth + 1);
+  };
+  std::function<Status(XqCond*)> walk = [&](XqCond* cond) -> Status {
+    for (XqCondPtr& child : cond->children) {
+      XQ_RETURN_IF_ERROR(walk(child.get()));
+    }
+    XQ_RETURN_IF_ERROR(expand(&cond->left, 0));
+    if (cond->right_is_path) XQ_RETURN_IF_ERROR(expand(&cond->right_path, 0));
+    XQ_RETURN_IF_ERROR(expand(&cond->scope, 0));
+    return Status::OK();
+  };
+  if (ast->where) XQ_RETURN_IF_ERROR(walk(ast->where.get()));
+  for (XqReturnItem& item : ast->returns) {
+    XQ_RETURN_IF_ERROR(expand(&item.path, 0));
+  }
+  ast->lets.clear();
+  return Status::OK();
+}
+
+Result<XQueryAst> XqParser::Parse() {
+  XQueryAst ast;
+  XQ_RETURN_IF_ERROR(ExpectKeyword("FOR"));
+  do {
+    XQ_ASSIGN_OR_RETURN(XqBinding binding, ParseBinding());
+    ast.bindings.push_back(std::move(binding));
+  } while (MatchSymbol(","));
+  while (MatchKeyword("LET")) {
+    do {
+      XqLet let;
+      XQ_ASSIGN_OR_RETURN(let.var, ExpectVar());
+      XQ_RETURN_IF_ERROR(ExpectSymbol(":="));
+      XQ_ASSIGN_OR_RETURN(let.path, ParseVarPath(/*allow_predicates=*/true));
+      ast.lets.push_back(std::move(let));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("WHERE")) {
+    XQ_ASSIGN_OR_RETURN(ast.where, ParseOr());
+  }
+  XQ_RETURN_IF_ERROR(ExpectKeyword("RETURN"));
+  // Optional element constructor: RETURN <name>{ items }</name>.
+  bool constructed = false;
+  if (MatchSymbol("<")) {
+    constructed = true;
+    XQ_ASSIGN_OR_RETURN(ast.constructor_name, ExpectName());
+    XQ_RETURN_IF_ERROR(ExpectSymbol(">"));
+    XQ_RETURN_IF_ERROR(ExpectSymbol("{"));
+  }
+  do {
+    if (Peek().kind == TokKind::kEof) break;
+    XqReturnItem item;
+    // "$Alias = $var/path" vs "$var/path": '=' after the first variable
+    // marks an alias (comparisons cannot appear in RETURN).
+    if (Peek().kind == TokKind::kVar && Peek(1).kind == TokKind::kSymbol &&
+        Peek(1).text == "=") {
+      item.alias = Advance().text;
+      Advance();  // '='
+    }
+    XQ_ASSIGN_OR_RETURN(item.path, ParseVarPath(/*allow_predicates=*/true));
+    ast.returns.push_back(std::move(item));
+  } while (MatchSymbol(","));
+  if (constructed) {
+    XQ_RETURN_IF_ERROR(ExpectSymbol("}"));
+    XQ_RETURN_IF_ERROR(ExpectSymbol("<"));
+    XQ_RETURN_IF_ERROR(ExpectSymbol("/"));
+    XQ_ASSIGN_OR_RETURN(std::string close, ExpectName());
+    if (close != ast.constructor_name) {
+      return Status::ParseError("mismatched constructor tag </" + close +
+                                "> for <" + ast.constructor_name + ">");
+    }
+    XQ_RETURN_IF_ERROR(ExpectSymbol(">"));
+  }
+  if (Peek().kind != TokKind::kEof) {
+    return Status::ParseError("trailing input near '" + Peek().text + "'");
+  }
+  if (ast.returns.empty()) {
+    return Status::ParseError("RETURN clause requires at least one item");
+  }
+  XQ_RETURN_IF_ERROR(ExpandLets(&ast));
+  // Every used variable must be bound by FOR, bindings must be unique,
+  // and a relative binding's base must be bound earlier.
+  std::set<std::string> bound;
+  for (const XqBinding& b : ast.bindings) {
+    if (!b.base_var.empty() && bound.count(b.base_var) == 0) {
+      return Status::InvalidArgument(
+          "FOR binding $" + b.var + " references $" + b.base_var +
+          " before it is bound");
+    }
+    if (!bound.insert(b.var).second) {
+      return Status::InvalidArgument("duplicate FOR variable $" + b.var);
+    }
+  }
+  std::function<Status(const XqCond&)> check = [&](const XqCond& c) -> Status {
+    for (const XqCondPtr& child : c.children) {
+      XQ_RETURN_IF_ERROR(check(*child));
+    }
+    if ((c.kind == XqCondKind::kCompare || c.kind == XqCondKind::kOrder) &&
+        bound.count(c.left.var) == 0) {
+      return Status::InvalidArgument("unbound variable $" + c.left.var);
+    }
+    if (c.right_is_path && bound.count(c.right_path.var) == 0) {
+      return Status::InvalidArgument("unbound variable $" + c.right_path.var);
+    }
+    if (c.kind == XqCondKind::kContains && bound.count(c.scope.var) == 0) {
+      return Status::InvalidArgument("unbound variable $" + c.scope.var);
+    }
+    return Status::OK();
+  };
+  if (ast.where) XQ_RETURN_IF_ERROR(check(*ast.where));
+  for (const XqReturnItem& item : ast.returns) {
+    if (bound.count(item.path.var) == 0) {
+      return Status::InvalidArgument("unbound variable $" + item.path.var);
+    }
+  }
+  return ast;
+}
+
+}  // namespace
+
+Result<XQueryAst> ParseXQuery(std::string_view text) {
+  XQ_ASSIGN_OR_RETURN(std::vector<Tok> toks, Lex(text));
+  XqParser parser(std::move(toks));
+  return parser.Parse();
+}
+
+}  // namespace xomatiq::xq

@@ -1,0 +1,21 @@
+#ifndef XOMATIQ_XOMATIQ_XQ_PARSER_H_
+#define XOMATIQ_XOMATIQ_XQ_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xomatiq/xq_ast.h"
+
+namespace xomatiq::xq {
+
+// Parses the XomatiQ FLWR query language (paper §3.1): FOR bindings over
+// document("collection") paths, optional LET aliases, a WHERE clause with
+// AND/OR/NOT, comparisons, the contains(path, "kw" [, any]) keyword
+// extension and BEFORE/AFTER order operators, and a RETURN list with
+// optional $Alias = item names. Keywords are case-insensitive. LET
+// variables are expanded by substitution before the AST is returned.
+common::Result<XQueryAst> ParseXQuery(std::string_view text);
+
+}  // namespace xomatiq::xq
+
+#endif  // XOMATIQ_XOMATIQ_XQ_PARSER_H_

@@ -1,0 +1,93 @@
+#include "baseline/native_xml.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace xomatiq::baseline {
+namespace {
+
+xml::XmlDocument Doc(const std::string& text) {
+  auto doc = xml::ParseXml(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(*doc);
+}
+
+TEST(ParseNativePathTest, Forms) {
+  auto steps = ParseNativePath("/a/b//c/@d");
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps->size(), 4u);
+  EXPECT_FALSE((*steps)[0].descendant);
+  EXPECT_TRUE((*steps)[2].descendant);
+  EXPECT_TRUE((*steps)[3].is_attribute);
+  // Bare name defaults to a descendant step.
+  auto bare = ParseNativePath("enzyme_id");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE((*bare)[0].descendant);
+  EXPECT_FALSE(ParseNativePath("/a//").ok());
+}
+
+TEST(EvalPathValuesTest, ChildAndDescendant) {
+  xml::XmlDocument doc = Doc(
+      "<r><a><b>one</b></a><c><a><b>two</b></a></c><b>top</b></r>");
+  auto child = ParseNativePath("/a/b");
+  EXPECT_EQ(EvalPathValues(*doc.root(), *child),
+            (std::vector<std::string>{"one"}));
+  auto descendant = ParseNativePath("//b");
+  EXPECT_EQ(EvalPathValues(*doc.root(), *descendant),
+            (std::vector<std::string>{"one", "two", "top"}));
+}
+
+TEST(EvalPathValuesTest, Attributes) {
+  xml::XmlDocument doc =
+      Doc("<r><q t=\"EC\">1.1.1.1</q><q t=\"other\">x</q></r>");
+  auto attrs = ParseNativePath("//q/@t");
+  EXPECT_EQ(EvalPathValues(*doc.root(), *attrs),
+            (std::vector<std::string>{"EC", "other"}));
+}
+
+TEST(SubtreeContainsTest, TextAndAttributes) {
+  xml::XmlDocument doc =
+      Doc("<r><a note=\"special marker\">plain</a><b>cdc6 protein</b></r>");
+  EXPECT_TRUE(SubtreeContains(*doc.root(), "cdc6"));
+  EXPECT_TRUE(SubtreeContains(*doc.root(), "marker"));  // attribute value
+  EXPECT_TRUE(SubtreeContains(*doc.root(), "cdc6 protein"));
+  EXPECT_FALSE(SubtreeContains(*doc.root(), "absent"));
+  EXPECT_FALSE(SubtreeContains(*doc.root(), "cdc6 absent"));
+}
+
+TEST(NativeXmlStoreTest, KeywordSearch) {
+  NativeXmlStore store;
+  store.Load("c", Doc("<r><x>has cdc6 here</x></r>"));
+  store.Load("c", Doc("<r><x>nothing</x></r>"));
+  store.Load("d", Doc("<r><x>cdc6 too but other collection</x></r>"));
+  EXPECT_EQ(store.KeywordSearch("c", "cdc6").size(), 1u);
+  EXPECT_EQ(store.KeywordSearch("d", "cdc6").size(), 1u);
+  EXPECT_TRUE(store.KeywordSearch("ghost", "cdc6").empty());
+  EXPECT_EQ(store.TotalDocs(), 3u);
+}
+
+TEST(NativeXmlStoreTest, SubtreeQuery) {
+  NativeXmlStore store;
+  store.Load("c", Doc("<e><id>1</id><act>makes ketone body</act></e>"));
+  store.Load("c", Doc("<e><id>2</id><act>plain</act></e>"));
+  auto rows = store.SubtreeQuery("c", "//act", "ketone", {"//id", "//act"});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "1");
+}
+
+TEST(NativeXmlStoreTest, JoinQuery) {
+  NativeXmlStore store;
+  store.Load("left", Doc("<l><id>L1</id><q t=\"EC\">1.1.1.1</q></l>"));
+  store.Load("left", Doc("<l><id>L2</id><q t=\"EC\">9.9.9.9</q></l>"));
+  store.Load("right", Doc("<r><ec>1.1.1.1</ec></r>"));
+  auto rows =
+      store.JoinQuery("left", "//q", "right", "//ec", {"//id"});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "L1");
+}
+
+}  // namespace
+}  // namespace xomatiq::baseline

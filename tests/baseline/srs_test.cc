@@ -1,0 +1,96 @@
+#include "baseline/srs.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::baseline {
+namespace {
+
+class SrsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(srs_.CreateLibrary("EMBL", {"id", "des", "kw"}).ok());
+    ASSERT_TRUE(srs_.CreateLibrary("SWISSPROT", {"id", "des"}).ok());
+    SrsEngine::Entry e1;
+    e1.id = "AB000001";
+    e1.fields["id"] = {"AB000001"};
+    e1.fields["des"] = {"cell division cycle protein cdc6"};
+    e1.fields["kw"] = {"cdc6", "Cell cycle"};
+    e1.fields["org"] = {"Homo sapiens"};  // not indexed
+    ASSERT_TRUE(srs_.AddEntry("EMBL", e1).ok());
+    SrsEngine::Entry e2;
+    e2.id = "AB000002";
+    e2.fields["id"] = {"AB000002"};
+    e2.fields["des"] = {"alcohol dehydrogenase gene"};
+    ASSERT_TRUE(srs_.AddEntry("EMBL", e2).ok());
+    SrsEngine::Entry p1;
+    p1.id = "CDC6_HUMAN";
+    p1.fields["id"] = {"CDC6_HUMAN"};
+    p1.fields["des"] = {"cdc6 related protein"};
+    ASSERT_TRUE(srs_.AddEntry("SWISSPROT", p1).ok());
+    ASSERT_TRUE(
+        srs_.AddLink("EMBL", "AB000001", "SWISSPROT", "CDC6_HUMAN").ok());
+  }
+
+  SrsEngine srs_;
+};
+
+TEST_F(SrsTest, IndexedFieldLookup) {
+  auto hits = srs_.Lookup("EMBL", "kw", "cdc6");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(*hits, std::vector<std::string>{"AB000001"});
+  auto misses = srs_.Lookup("EMBL", "kw", "kinase");
+  ASSERT_TRUE(misses.ok());
+  EXPECT_TRUE(misses->empty());
+}
+
+TEST_F(SrsTest, TokenizedAndCaseInsensitive) {
+  auto hits = srs_.Lookup("EMBL", "des", "DIVISION");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST_F(SrsTest, UnindexedFieldIsUnsupported) {
+  // The SRS expressiveness restriction (§4): searches only on
+  // pre-defined indexed attributes.
+  auto r = srs_.Lookup("EMBL", "org", "sapiens");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kUnsupported);
+}
+
+TEST_F(SrsTest, LookupAnyFieldDeduplicates) {
+  // "cdc6" appears in both des and kw of AB000001.
+  auto hits = srs_.LookupAnyField("EMBL", "cdc6");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(*hits, std::vector<std::string>{"AB000001"});
+}
+
+TEST_F(SrsTest, FollowPredefinedLinks) {
+  auto linked = srs_.FollowLinks("EMBL", "AB000001", "SWISSPROT");
+  ASSERT_TRUE(linked.ok());
+  EXPECT_EQ(*linked, std::vector<std::string>{"CDC6_HUMAN"});
+  auto none = srs_.FollowLinks("EMBL", "AB000002", "SWISSPROT");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(SrsTest, ErrorsOnUnknownEntities) {
+  EXPECT_FALSE(srs_.Lookup("GHOST", "id", "x").ok());
+  EXPECT_FALSE(srs_.FollowLinks("EMBL", "NOPE", "SWISSPROT").ok());
+  EXPECT_FALSE(srs_.AddLink("EMBL", "NOPE", "SWISSPROT", "X").ok());
+  EXPECT_FALSE(srs_.GetEntry("EMBL", "NOPE").ok());
+  EXPECT_FALSE(srs_.CreateLibrary("EMBL", {}).ok());  // duplicate
+  SrsEngine::Entry dup;
+  dup.id = "AB000001";
+  EXPECT_FALSE(srs_.AddEntry("EMBL", dup).ok());
+}
+
+TEST_F(SrsTest, GetEntryReturnsFields) {
+  auto entry = srs_.GetEntry("EMBL", "AB000001");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->fields.at("org").front(), "Homo sapiens");
+  EXPECT_EQ(srs_.NumEntries("EMBL"), 2u);
+  EXPECT_EQ(srs_.NumEntries("GHOST"), 0u);
+}
+
+}  // namespace
+}  // namespace xomatiq::baseline

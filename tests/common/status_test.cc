@@ -1,0 +1,109 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace xomatiq::common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string_view name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::ParseError("d"), StatusCode::kParseError, "ParseError"},
+      {Status::TypeError("e"), StatusCode::kTypeError, "TypeError"},
+      {Status::ConstraintViolation("f"), StatusCode::kConstraintViolation,
+       "ConstraintViolation"},
+      {Status::IoError("g"), StatusCode::kIoError, "IoError"},
+      {Status::Corruption("h"), StatusCode::kCorruption, "Corruption"},
+      {Status::Unsupported("i"), StatusCode::kUnsupported, "Unsupported"},
+      {Status::Internal("j"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(StatusCodeName(c.code), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> Quarter(int v) {
+  XQ_ASSIGN_OR_RETURN(int half, Half(v));
+  XQ_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  Result<int> err = Half(3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(Half(4).value_or(-1), 2);
+  EXPECT_EQ(Half(3).value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status CheckAll(std::initializer_list<int> values) {
+  for (int v : values) {
+    XQ_RETURN_IF_ERROR(FailIfNegative(v));
+  }
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfError) {
+  EXPECT_TRUE(CheckAll({1, 2, 3}).ok());
+  EXPECT_FALSE(CheckAll({1, -2, 3}).ok());
+}
+
+}  // namespace
+}  // namespace xomatiq::common

@@ -1,0 +1,111 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::common {
+namespace {
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace(" \t\r\n "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StringUtilTest, StripTrailingWhitespace) {
+  EXPECT_EQ(StripTrailingWhitespace("  abc  "), "  abc");
+  EXPECT_EQ(StripTrailingWhitespace("abc\r\n"), "abc");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, "; "), "only");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(AsciiToLower("AbC-12"), "abc-12");
+  EXPECT_TRUE(EqualsIgnoreCase("Hello", "hELLO"));
+  EXPECT_FALSE(EqualsIgnoreCase("Hello", "Hello!"));
+  EXPECT_TRUE(ContainsIgnoreCase("Peptidylglycine Monooxygenase", "MONO"));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abcd"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("enzyme_id", "enzyme"));
+  EXPECT_FALSE(StartsWith("enzyme", "enzyme_id"));
+  EXPECT_TRUE(EndsWith("enzyme_id", "_id"));
+  EXPECT_FALSE(EndsWith("id", "_id"));
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-7"), -7);
+  EXPECT_EQ(ParseInt64(" 13 "), 13);
+  EXPECT_FALSE(ParseInt64("12x").has_value());
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2e3"), -2000.0);
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.5kg").has_value());
+  // Non-finite values are rejected: NaN has no place in a total order.
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+  EXPECT_FALSE(ParseDouble("NaN").has_value());
+  EXPECT_FALSE(ParseDouble("inf").has_value());
+  EXPECT_FALSE(ParseDouble("-inf").has_value());
+  EXPECT_FALSE(ParseDouble("infinity").has_value());
+}
+
+TEST(StringUtilTest, LooksNumeric) {
+  EXPECT_TRUE(LooksNumeric("368"));
+  EXPECT_TRUE(LooksNumeric("3.14"));
+  EXPECT_FALSE(LooksNumeric("1.14.17.3"));  // EC numbers stay textual
+  EXPECT_FALSE(LooksNumeric("P10731"));
+  EXPECT_FALSE(LooksNumeric("nan"));  // would corrupt index ordering
+}
+
+TEST(StringUtilTest, TokenizeKeywordsBasics) {
+  EXPECT_EQ(TokenizeKeywords("Hello, World!"),
+            (std::vector<std::string>{"hello", "world"}));
+  EXPECT_TRUE(TokenizeKeywords("  ...  ").empty());
+}
+
+TEST(StringUtilTest, TokenizeKeywordsKeepsAccessionShapes) {
+  // EC numbers and hyphenated accessions must index as single tokens.
+  EXPECT_EQ(TokenizeKeywords("EC 1.14.17.3"),
+            (std::vector<std::string>{"ec", "1.14.17.3"}));
+  EXPECT_EQ(TokenizeKeywords("AMD-BOVIN"),
+            (std::vector<std::string>{"amd-bovin"}));
+  // A sentence-final period does not glue tokens.
+  EXPECT_EQ(TokenizeKeywords("monooxygenase."),
+            (std::vector<std::string>{"monooxygenase"}));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("P%05d", 42), "P00042");
+  EXPECT_EQ(StrFormat("%s=%d", "x", 7), "x=7");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+}  // namespace
+}  // namespace xomatiq::common

@@ -1,0 +1,252 @@
+#include "datahounds/shredder.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "datahounds/generic_schema.h"
+#include "datahounds/xml_transformer.h"
+#include "xml/parser.h"
+
+namespace xomatiq::hounds {
+namespace {
+
+using rel::Database;
+using rel::RowId;
+using rel::Tuple;
+using rel::Value;
+
+class ShredderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = Database::OpenInMemory();
+    ASSERT_TRUE(EnsureGenericTables(db_.get()).ok());
+    ASSERT_TRUE(EnsureGenericIndexes(db_.get()).ok());
+    shredder_ = std::make_unique<Shredder>(db_.get());
+    ASSERT_TRUE(shredder_->Init().ok());
+  }
+
+  xml::XmlDocument Parse(const std::string& text) {
+    auto doc = xml::ParseXml(text);
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+    return std::move(*doc);
+  }
+
+  int64_t CountRows(const char* table) {
+    auto t = db_->GetTable(table);
+    EXPECT_TRUE(t.ok());
+    return static_cast<int64_t>((*t)->num_live_rows());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Shredder> shredder_;
+};
+
+TEST_F(ShredderTest, CountsPerKind) {
+  xml::XmlDocument doc = Parse(
+      "<root><a x=\"1\" y=\"two\">text</a><b>42</b><c/></root>");
+  auto stats = shredder_->ShredDocument(doc, "col", "uri:1", {}, 0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->nodes, 4u);       // root, a, b, c
+  EXPECT_EQ(stats->attributes, 2u);  // x, y
+  // Values: a's text, b's 42, x=1, y=two.
+  EXPECT_EQ(stats->text_values, 4u);
+  EXPECT_EQ(stats->numeric_values, 2u);  // "1" and "42"
+  EXPECT_EQ(stats->sequence_values, 0u);
+  EXPECT_EQ(CountRows(kNodeTable), 6);  // 4 elements + 2 attributes
+  EXPECT_EQ(CountRows(kDocumentTable), 1);
+}
+
+TEST_F(ShredderTest, OrdinalIntervalEncoding) {
+  xml::XmlDocument doc = Parse("<r><a><b>x</b></a><c>y</c></r>");
+  auto stats = shredder_->ShredDocument(doc, "col", "uri:1", {}, 0);
+  ASSERT_TRUE(stats.ok());
+  // Collect (name_id->name, ordinal, end_ordinal).
+  std::map<std::string, std::pair<int64_t, int64_t>> intervals;
+  std::map<int64_t, std::string> names;
+  (*db_->GetTable(kNameTable))->Scan([&](RowId, const Tuple& t) {
+    names[t[0].AsInt()] = t[1].AsText();
+    return true;
+  });
+  (*db_->GetTable(kNodeTable))->Scan([&](RowId, const Tuple& t) {
+    intervals[names[t[4].AsInt()]] = {t[6].AsInt(), t[7].AsInt()};
+    return true;
+  });
+  // r contains everything; a contains b; c is after b.
+  EXPECT_LT(intervals["r"].first, intervals["a"].first);
+  EXPECT_GE(intervals["r"].second, intervals["c"].second);
+  EXPECT_GT(intervals["b"].first, intervals["a"].first);
+  EXPECT_LE(intervals["b"].second, intervals["a"].second);
+  EXPECT_GT(intervals["c"].first, intervals["a"].second);
+}
+
+TEST_F(ShredderTest, PathDictionary) {
+  xml::XmlDocument doc = Parse("<r><a k=\"v\"><b>x</b></a></r>");
+  ASSERT_TRUE(shredder_->ShredDocument(doc, "col", "u", {}, 0).ok());
+  std::set<std::string> paths;
+  (*db_->GetTable(kPathTable))->Scan([&](RowId, const Tuple& t) {
+    paths.insert(t[1].AsText());
+    return true;
+  });
+  EXPECT_TRUE(paths.count("/r"));
+  EXPECT_TRUE(paths.count("/r/a"));
+  EXPECT_TRUE(paths.count("/r/a/@k"));
+  EXPECT_TRUE(paths.count("/r/a/b"));
+  // Shared dictionary across documents: shredding a second identical doc
+  // adds no paths.
+  size_t before = paths.size();
+  ASSERT_TRUE(shredder_->ShredDocument(doc, "col", "u2", {}, 0).ok());
+  EXPECT_EQ(CountRows(kPathTable), static_cast<int64_t>(before));
+}
+
+TEST_F(ShredderTest, SequenceRouting) {
+  xml::XmlDocument doc = Parse(
+      "<r><sequence length=\"4\">acgt</sequence><note>acgt</note></r>");
+  auto stats = shredder_->ShredDocument(doc, "col", "u", {"sequence"}, 0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->sequence_values, 1u);
+  // The note text and the length attribute go to xml_text; the residues
+  // do not (no DNA in the keyword index, §2.2).
+  EXPECT_EQ(CountRows(kSequenceTable), 1);
+  const rel::IndexEntry* kw = db_->FindIndexByName("idx_text_keyword");
+  ASSERT_NE(kw, nullptr);
+  // "acgt" appears once in xml_text (the note), not twice.
+  EXPECT_EQ(kw->inverted->Lookup("acgt").size(), 1u);
+}
+
+TEST_F(ShredderTest, NumericProjectionKeepsExactText) {
+  xml::XmlDocument doc = Parse("<r><v>1.50</v></r>");
+  ASSERT_TRUE(shredder_->ShredDocument(doc, "col", "u", {}, 0).ok());
+  auto rebuilt = shredder_->ReconstructDocument(1);
+  ASSERT_TRUE(rebuilt.ok());
+  // Reconstruction must return "1.50", not a re-formatted "1.5".
+  EXPECT_EQ(rebuilt->root()->ChildText("v"), "1.50");
+  EXPECT_EQ(CountRows(kNumberTable), 1);
+}
+
+TEST_F(ShredderTest, MixedContentRejected) {
+  xml::XmlDocument doc = Parse("<r>leading<b>x</b></r>");
+  auto stats = shredder_->ShredDocument(doc, "col", "u", {}, 0);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), common::StatusCode::kUnsupported);
+}
+
+TEST_F(ShredderTest, DeleteDocumentRemovesEverything) {
+  xml::XmlDocument doc = Parse(
+      "<r><a x=\"1\">t</a><sequence>acgt</sequence></r>");
+  auto stats = shredder_->ShredDocument(doc, "col", "u", {"sequence"}, 0);
+  ASSERT_TRUE(stats.ok());
+  int64_t doc_id = stats->doc_id;
+  ASSERT_TRUE(shredder_->DeleteDocument(doc_id).ok());
+  EXPECT_EQ(CountRows(kNodeTable), 0);
+  EXPECT_EQ(CountRows(kTextTable), 0);
+  EXPECT_EQ(CountRows(kNumberTable), 0);
+  EXPECT_EQ(CountRows(kSequenceTable), 0);
+  EXPECT_EQ(CountRows(kDocumentTable), 0);
+  // Dictionaries persist (shared across documents).
+  EXPECT_GT(CountRows(kPathTable), 0);
+  EXPECT_FALSE(shredder_->DeleteDocument(doc_id).ok());
+}
+
+TEST_F(ShredderTest, DocIdsMonotonicAndInitRestoresCounters) {
+  xml::XmlDocument doc = Parse("<r><a>1</a></r>");
+  auto s1 = shredder_->ShredDocument(doc, "col", "u1", {}, 0);
+  auto s2 = shredder_->ShredDocument(doc, "col", "u2", {}, 0);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->doc_id, s1->doc_id + 1);
+  // A fresh shredder over the same database resumes counters.
+  Shredder fresh(db_.get());
+  ASSERT_TRUE(fresh.Init().ok());
+  auto s3 = fresh.ShredDocument(doc, "col", "u3", {}, 0);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(s3->doc_id, s2->doc_id + 1);
+}
+
+TEST_F(ShredderTest, ReconstructPreservesOrderAndAttributes) {
+  const char* text =
+      "<hlx_enzyme><db_entry>"
+      "<enzyme_id>1.14.17.3</enzyme_id>"
+      "<enzyme_description>first</enzyme_description>"
+      "<enzyme_description>second</enzyme_description>"
+      "<reference name=\"AMD_BOVIN\" swissprot_accession_number=\"P10731\"/>"
+      "<empty_list/>"
+      "</db_entry></hlx_enzyme>";
+  xml::XmlDocument doc = Parse(text);
+  auto stats = shredder_->ShredDocument(doc, "col", "u", {}, 0);
+  ASSERT_TRUE(stats.ok());
+  auto rebuilt = shredder_->ReconstructDocument(stats->doc_id);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_TRUE(xml::XmlNode::DeepEqual(*doc.root(), *rebuilt->root()));
+}
+
+TEST_F(ShredderTest, ReconstructMissingDocIsNotFound) {
+  EXPECT_FALSE(shredder_->ReconstructDocument(12345).ok());
+}
+
+TEST_F(ShredderTest, WorksWithoutIndexes) {
+  // The shredder's delete/reconstruct paths must survive index ablation.
+  ASSERT_TRUE(DropGenericIndexes(db_.get()).ok());
+  xml::XmlDocument doc = Parse("<r><a x=\"1\">t</a></r>");
+  auto stats = shredder_->ShredDocument(doc, "col", "u", {}, 0);
+  ASSERT_TRUE(stats.ok());
+  auto rebuilt = shredder_->ReconstructDocument(stats->doc_id);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(xml::XmlNode::DeepEqual(*doc.root(), *rebuilt->root()));
+  EXPECT_TRUE(shredder_->DeleteDocument(stats->doc_id).ok());
+  EXPECT_EQ(CountRows(kNodeTable), 0);
+}
+
+// Property: shred + reconstruct is the identity for every document the
+// three transformers emit over a seeded corpus.
+class ShredRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShredRoundTripTest, TransformedDocumentsRoundTrip) {
+  auto db = Database::OpenInMemory();
+  ASSERT_TRUE(EnsureGenericTables(db.get()).ok());
+  ASSERT_TRUE(EnsureGenericIndexes(db.get()).ok());
+  Shredder shredder(db.get());
+  ASSERT_TRUE(shredder.Init().ok());
+
+  datagen::CorpusOptions options;
+  options.seed = GetParam();
+  options.num_enzymes = 10;
+  options.num_proteins = 10;
+  options.num_nucleotides = 10;
+  datagen::Corpus corpus = datagen::GenerateCorpus(options);
+
+  EnzymeXmlTransformer enzyme_tf;
+  EmblXmlTransformer embl_tf;
+  SwissProtXmlTransformer sprot_tf;
+  struct Source {
+    const XmlTransformer* transformer;
+    std::string raw;
+  };
+  const Source sources[] = {
+      {&enzyme_tf, datagen::ToEnzymeFlatFile(corpus)},
+      {&embl_tf, datagen::ToEmblFlatFile(corpus)},
+      {&sprot_tf, datagen::ToSwissProtFlatFile(corpus)},
+  };
+  for (const Source& source : sources) {
+    auto docs = source.transformer->Transform(source.raw);
+    ASSERT_TRUE(docs.ok());
+    std::vector<std::string> seq_names =
+        source.transformer->sequence_elements();
+    std::set<std::string> seq(seq_names.begin(), seq_names.end());
+    for (const TransformedDocument& doc : *docs) {
+      auto stats =
+          shredder.ShredDocument(doc.document, "c", doc.uri, seq, 0);
+      ASSERT_TRUE(stats.ok()) << doc.uri;
+      auto rebuilt = shredder.ReconstructDocument(stats->doc_id);
+      ASSERT_TRUE(rebuilt.ok()) << doc.uri;
+      EXPECT_TRUE(
+          xml::XmlNode::DeepEqual(*doc.document.root(), *rebuilt->root()))
+          << doc.uri;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShredRoundTripTest,
+                         ::testing::Values(7, 17, 27));
+
+}  // namespace
+}  // namespace xomatiq::hounds

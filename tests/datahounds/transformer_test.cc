@@ -1,0 +1,193 @@
+#include "datahounds/xml_transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xomatiq::hounds {
+namespace {
+
+using flatfile::EmblEntry;
+using flatfile::EnzymeEntry;
+using flatfile::SwissProtEntry;
+
+TEST(EnzymeTransformerTest, DtdParsesAndDescribesFigure5) {
+  EnzymeXmlTransformer transformer;
+  auto dtd = xml::ParseDtd(transformer.dtd_text());
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  // Fig 5 structure: root with one db_entry; db_entry's ordered model.
+  const xml::DtdElement* root = dtd->FindElement("hlx_enzyme");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->model.ToString(), "(db_entry)");
+  const xml::DtdElement* entry = dtd->FindElement("db_entry");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_NE(entry->model.ToString().find("enzyme_description+"),
+            std::string::npos);
+  const xml::DtdElement* reference = dtd->FindElement("reference");
+  ASSERT_NE(reference, nullptr);
+  ASSERT_EQ(reference->attributes.size(), 2u);
+  EXPECT_EQ(reference->attributes[1].name, "swissprot_accession_number");
+  EXPECT_EQ(reference->attributes[1].type, xml::AttrType::kNmtoken);
+  EXPECT_EQ(dtd->InferRootElement(), "hlx_enzyme");
+}
+
+TEST(EnzymeTransformerTest, Figure2ProducesFigure6Document) {
+  EnzymeEntry entry = datagen::Figure2Entry();
+  xml::XmlDocument doc = EnzymeXmlTransformer::EntryToXml(entry);
+  const xml::XmlNode* root = doc.root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name(), "hlx_enzyme");
+  const xml::XmlNode* db = root->FirstChildElement("db_entry");
+  ASSERT_NE(db, nullptr);
+  // Spot checks against the paper's Fig 6.
+  EXPECT_EQ(db->ChildText("enzyme_id"), "1.14.17.3");
+  EXPECT_EQ(db->ChildText("enzyme_description"),
+            "Peptidylglycine monooxygenase");
+  auto alternates = db->FirstChildElement("alternate_name_list")
+                        ->ChildElements("alternate_name");
+  ASSERT_EQ(alternates.size(), 2u);
+  EXPECT_EQ(alternates[0]->Text(), "Peptidyl alpha-amidating enzyme");
+  EXPECT_EQ(db->ChildElements("catalytic_activity").size(), 2u);
+  auto references = db->FirstChildElement("swissprot_reference_list")
+                        ->ChildElements("reference");
+  ASSERT_EQ(references.size(), 5u);
+  EXPECT_EQ(*references[0]->FindAttribute("name"), "AMD_BOVIN");
+  EXPECT_EQ(*references[0]->FindAttribute("swissprot_accession_number"),
+            "P10731");
+  // Fig 6 shows an empty <disease_list/>.
+  const xml::XmlNode* diseases = db->FirstChildElement("disease_list");
+  ASSERT_NE(diseases, nullptr);
+  EXPECT_TRUE(diseases->children().empty());
+}
+
+TEST(EnzymeTransformerTest, Figure6ValidatesAgainstFigure5Dtd) {
+  EnzymeXmlTransformer transformer;
+  auto dtd = xml::ParseDtd(transformer.dtd_text());
+  ASSERT_TRUE(dtd.ok());
+  xml::XmlDocument doc =
+      EnzymeXmlTransformer::EntryToXml(datagen::Figure2Entry());
+  std::vector<std::string> errors;
+  EXPECT_TRUE(dtd->Validate(doc, &errors))
+      << (errors.empty() ? "" : errors[0]);
+}
+
+TEST(EnzymeTransformerTest, TransformSplitsPerEntry) {
+  datagen::CorpusOptions options;
+  options.num_enzymes = 7;
+  options.num_proteins = 3;
+  options.num_nucleotides = 0;
+  datagen::Corpus corpus = datagen::GenerateCorpus(options);
+  EnzymeXmlTransformer transformer;
+  auto docs = transformer.Transform(datagen::ToEnzymeFlatFile(corpus));
+  ASSERT_TRUE(docs.ok());
+  // "our algorithm produces one XML file per entry" (§2.1).
+  ASSERT_EQ(docs->size(), 7u);
+  EXPECT_EQ((*docs)[0].uri, "enzyme:" + corpus.enzymes[0].id);
+}
+
+// Property: flat -> XML -> flat is the identity on every generator output,
+// for all three sources, and every produced document is DTD-valid.
+class TransformerRoundTripTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  datagen::Corpus MakeCorpus() {
+    datagen::CorpusOptions options;
+    options.seed = GetParam();
+    options.num_enzymes = 15;
+    options.num_proteins = 15;
+    options.num_nucleotides = 15;
+    return datagen::GenerateCorpus(options);
+  }
+};
+
+TEST_P(TransformerRoundTripTest, Enzyme) {
+  datagen::Corpus corpus = MakeCorpus();
+  EnzymeXmlTransformer transformer;
+  auto dtd = xml::ParseDtd(transformer.dtd_text());
+  ASSERT_TRUE(dtd.ok());
+  for (const EnzymeEntry& entry : corpus.enzymes) {
+    xml::XmlDocument doc = EnzymeXmlTransformer::EntryToXml(entry);
+    std::vector<std::string> errors;
+    ASSERT_TRUE(dtd->Validate(doc, &errors)) << errors[0];
+    auto back = EnzymeXmlTransformer::XmlToEntry(*doc.root());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, entry);
+    // And through text serialization too.
+    auto reparsed = xml::ParseXml(xml::WriteXml(doc));
+    ASSERT_TRUE(reparsed.ok());
+    auto back2 = EnzymeXmlTransformer::XmlToEntry(*reparsed->root());
+    ASSERT_TRUE(back2.ok());
+    EXPECT_EQ(*back2, entry);
+  }
+}
+
+TEST_P(TransformerRoundTripTest, Embl) {
+  datagen::Corpus corpus = MakeCorpus();
+  EmblXmlTransformer transformer;
+  auto dtd = xml::ParseDtd(transformer.dtd_text());
+  ASSERT_TRUE(dtd.ok());
+  for (const EmblEntry& entry : corpus.nucleotides) {
+    xml::XmlDocument doc = EmblXmlTransformer::EntryToXml(entry);
+    std::vector<std::string> errors;
+    ASSERT_TRUE(dtd->Validate(doc, &errors)) << errors[0];
+    auto back = EmblXmlTransformer::XmlToEntry(*doc.root());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, entry);
+  }
+}
+
+TEST_P(TransformerRoundTripTest, SwissProt) {
+  datagen::Corpus corpus = MakeCorpus();
+  SwissProtXmlTransformer transformer;
+  auto dtd = xml::ParseDtd(transformer.dtd_text());
+  ASSERT_TRUE(dtd.ok());
+  for (const SwissProtEntry& entry : corpus.proteins) {
+    xml::XmlDocument doc = SwissProtXmlTransformer::EntryToXml(entry);
+    std::vector<std::string> errors;
+    ASSERT_TRUE(dtd->Validate(doc, &errors)) << errors[0];
+    auto back = SwissProtXmlTransformer::XmlToEntry(*doc.root());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, entry);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformerRoundTripTest,
+                         ::testing::Values(2, 12, 32, 52));
+
+TEST(EmblTransformerTest, EcQualifierGetsPaperDisplayName) {
+  EmblEntry entry;
+  entry.id = "X1";
+  entry.division = "INV";
+  entry.molecule = "DNA";
+  entry.accessions = {"X1"};
+  flatfile::EmblFeature cds;
+  cds.key = "CDS";
+  cds.location = "1..9";
+  cds.qualifiers.push_back({"EC_number", "1.14.17.3"});
+  entry.features.push_back(cds);
+  entry.sequence = "acgtacgta";
+  xml::XmlDocument doc = EmblXmlTransformer::EntryToXml(entry);
+  auto qualifiers = doc.root()->Descendants("qualifier");
+  ASSERT_EQ(qualifiers.size(), 1u);
+  // Fig 11 matches @qualifier_type = "EC number" (with a space).
+  EXPECT_EQ(*qualifiers[0]->FindAttribute("qualifier_type"), "EC number");
+  EXPECT_EQ(qualifiers[0]->Text(), "1.14.17.3");
+}
+
+TEST(TransformerTest, SequenceElementsDeclared) {
+  EXPECT_TRUE(EnzymeXmlTransformer().sequence_elements().empty());
+  EXPECT_EQ(EmblXmlTransformer().sequence_elements(),
+            std::vector<std::string>{"sequence"});
+  EXPECT_EQ(SwissProtXmlTransformer().sequence_elements(),
+            std::vector<std::string>{"sequence"});
+}
+
+TEST(TransformerTest, BadInputPropagatesParseError) {
+  EnzymeXmlTransformer transformer;
+  auto docs = transformer.Transform("garbage that is not ENZYME format");
+  EXPECT_FALSE(docs.ok());
+}
+
+}  // namespace
+}  // namespace xomatiq::hounds

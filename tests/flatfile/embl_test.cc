@@ -1,0 +1,115 @@
+#include "flatfile/embl.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+
+namespace xomatiq::flatfile {
+namespace {
+
+constexpr char kSample[] =
+    "ID   AB000263 standard; mRNA; INV; 60 BP.\n"
+    "XX\n"
+    "AC   AB000263;X98765;\n"
+    "DE   Homo sapiens mRNA for prepro cortistatin like peptide,\n"
+    "DE   complete cds.\n"
+    "KW   cortistatin; neuropeptide.\n"
+    "OS   Homo sapiens (human)\n"
+    "DR   SWISS-PROT; P10731; AMD_BOVIN.\n"
+    "DR   ENZYME; 1.14.17.3.\n"
+    "FT   source          1..60\n"
+    "FT                   /organism=\"Homo sapiens\"\n"
+    "FT   CDS             1..45\n"
+    "FT                   /EC_number=\"1.14.17.3\"\n"
+    "FT                   /db_xref=\"SWISS-PROT:P10731\"\n"
+    "SQ   Sequence 60 BP;\n"
+    "     acaagatgcc attgtccccc ggcctcctgc tgctgctgct ctccggggcc acggccaccg\n"
+    "//\n";
+
+TEST(EmblParserTest, ParsesSample) {
+  auto entries = ParseEmblFile(kSample);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 1u);
+  const EmblEntry& e = entries->front();
+  EXPECT_EQ(e.id, "AB000263");
+  EXPECT_EQ(e.molecule, "mRNA");
+  EXPECT_EQ(e.division, "INV");
+  EXPECT_EQ(e.accessions, (std::vector<std::string>{"AB000263", "X98765"}));
+  EXPECT_NE(e.description.find("complete cds."), std::string::npos);
+  EXPECT_EQ(e.keywords,
+            (std::vector<std::string>{"cortistatin", "neuropeptide"}));
+  EXPECT_EQ(e.organism, "Homo sapiens (human)");
+  ASSERT_EQ(e.xrefs.size(), 2u);
+  EXPECT_EQ(e.xrefs[0].database, "SWISS-PROT");
+  EXPECT_EQ(e.xrefs[0].secondary, "AMD_BOVIN");
+  EXPECT_EQ(e.xrefs[1].primary, "1.14.17.3");
+  ASSERT_EQ(e.features.size(), 2u);
+  EXPECT_EQ(e.features[0].key, "source");
+  EXPECT_EQ(e.features[1].key, "CDS");
+  EXPECT_EQ(e.features[1].location, "1..45");
+  ASSERT_EQ(e.features[1].qualifiers.size(), 2u);
+  EXPECT_EQ(e.features[1].qualifiers[0].name, "EC_number");
+  EXPECT_EQ(e.features[1].qualifiers[0].value, "1.14.17.3");
+  EXPECT_EQ(e.sequence.size(), 60u);
+  EXPECT_EQ(e.sequence.substr(0, 10), "acaagatgcc");
+}
+
+TEST(EmblParserTest, FlagQualifierWithoutValue) {
+  auto entries = ParseEmblFile(
+      "ID   X1 standard; DNA; INV; 0 BP.\nAC   X1;\n"
+      "FT   CDS             1..10\nFT                   /pseudo\n//\n");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->front().features[0].qualifiers.size(), 1u);
+  EXPECT_EQ(entries->front().features[0].qualifiers[0].name, "pseudo");
+  EXPECT_TRUE(entries->front().features[0].qualifiers[0].value.empty());
+}
+
+TEST(EmblParserTest, Errors) {
+  EXPECT_FALSE(ParseEmblFile("AC   X;\n//\n").ok());  // no ID first
+  EXPECT_FALSE(ParseEmblFile("ID   junk\nAC   X;\n//\n").ok());  // bad ID
+  // Qualifier before any feature.
+  EXPECT_FALSE(ParseEmblFile("ID   X standard; DNA; INV; 0 BP.\nAC   X;\n"
+                             "FT                   /q=\"v\"\n//\n")
+                   .ok());
+  // Sequence data before SQ.
+  EXPECT_FALSE(ParseEmblFile("ID   X standard; DNA; INV; 0 BP.\nAC   X;\n"
+                             "     acgt\n//\n")
+                   .ok());
+  // Missing accession.
+  EXPECT_FALSE(
+      ParseEmblFile("ID   X standard; DNA; INV; 0 BP.\n//\n").ok());
+}
+
+TEST(EmblParserTest, FormatParsesBack) {
+  auto entries = ParseEmblFile(kSample);
+  ASSERT_TRUE(entries.ok());
+  std::string emitted = FormatEmblEntry(entries->front());
+  auto reparsed = ParseEmblFile(emitted);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << emitted;
+  EXPECT_EQ(reparsed->front(), entries->front());
+}
+
+class EmblRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EmblRoundTripTest, CorpusRoundTrip) {
+  datagen::CorpusOptions options;
+  options.seed = GetParam();
+  options.num_enzymes = 10;
+  options.num_proteins = 10;
+  options.num_nucleotides = 40;
+  datagen::Corpus corpus = datagen::GenerateCorpus(options);
+  for (const EmblEntry& entry : corpus.nucleotides) {
+    std::string text = FormatEmblEntry(entry);
+    auto reparsed = ParseEmblFile(text);
+    ASSERT_TRUE(reparsed.ok()) << text;
+    ASSERT_EQ(reparsed->size(), 1u);
+    EXPECT_EQ(reparsed->front(), entry) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmblRoundTripTest,
+                         ::testing::Values(5, 15, 25, 35));
+
+}  // namespace
+}  // namespace xomatiq::flatfile

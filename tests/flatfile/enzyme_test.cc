@@ -1,0 +1,134 @@
+#include "flatfile/enzyme.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+
+namespace xomatiq::flatfile {
+namespace {
+
+// The paper's Fig 2 sample entry, verbatim in structure.
+constexpr char kFigure2[] = R"(ID   1.14.17.3
+DE   Peptidylglycine monooxygenase.
+AN   Peptidyl alpha-amidating enzyme.
+AN   Peptidylglycine 2-hydroxylase.
+CA   Peptidylglycine + ascorbate + O(2) = peptidyl(2-hydroxyglycine) +
+CA   dehydroascorbate + H(2)O
+CF   Copper.
+CC   -!- Peptidylglycines with a neutral amino acid residue in the
+CC       penultimate position are the best substrates for the enzyme.
+CC   -!- The enzyme also catalyzes the dismutatation of the product to
+CC       glyoxylate and the corresponding desglycine peptide amide.
+PR   PROSITE; PDOC00080;
+DR   P10731, AMD_BOVIN ;  P19021, AMD_HUMAN ;  P14925, AMD_RAT ;
+DR   P08478, AMD1_XENLA;  P12890, AMD2_XENLA;
+//
+)";
+
+TEST(EnzymeParserTest, ParsesFigure2) {
+  auto entries = ParseEnzymeFile(kFigure2);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 1u);
+  const EnzymeEntry& e = entries->front();
+  EXPECT_EQ(e.id, "1.14.17.3");
+  ASSERT_EQ(e.descriptions.size(), 1u);
+  EXPECT_EQ(e.descriptions[0], "Peptidylglycine monooxygenase");
+  EXPECT_EQ(e.alternate_names,
+            (std::vector<std::string>{"Peptidyl alpha-amidating enzyme",
+                                      "Peptidylglycine 2-hydroxylase"}));
+  ASSERT_EQ(e.catalytic_activities.size(), 2u);
+  EXPECT_EQ(e.cofactors, std::vector<std::string>{"Copper"});
+  ASSERT_EQ(e.comments.size(), 2u);
+  EXPECT_NE(e.comments[0].find("penultimate position"), std::string::npos);
+  EXPECT_EQ(e.prosite_refs, std::vector<std::string>{"PDOC00080"});
+  ASSERT_EQ(e.swissprot_refs.size(), 5u);
+  EXPECT_EQ(e.swissprot_refs[0].accession, "P10731");
+  EXPECT_EQ(e.swissprot_refs[0].name, "AMD_BOVIN");
+  EXPECT_EQ(e.swissprot_refs[4].name, "AMD2_XENLA");
+  EXPECT_TRUE(e.diseases.empty());
+}
+
+TEST(EnzymeParserTest, MatchesFigure2Constant) {
+  auto entries = ParseEnzymeFile(kFigure2);
+  ASSERT_TRUE(entries.ok());
+  EnzymeEntry expected = datagen::Figure2Entry();
+  const EnzymeEntry& parsed = entries->front();
+  EXPECT_EQ(parsed.id, expected.id);
+  EXPECT_EQ(parsed.alternate_names, expected.alternate_names);
+  EXPECT_EQ(parsed.swissprot_refs, expected.swissprot_refs);
+  EXPECT_EQ(parsed.prosite_refs, expected.prosite_refs);
+}
+
+TEST(EnzymeParserTest, DiseaseLine) {
+  auto entries = ParseEnzymeFile(
+      "ID   3.1.3.1\nDE   Alkaline phosphatase.\n"
+      "DI   Hypophosphatasia; MIM:241500.\n//\n");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->front().diseases.size(), 1u);
+  EXPECT_EQ(entries->front().diseases[0].mim_id, "241500");
+  EXPECT_EQ(entries->front().diseases[0].description, "Hypophosphatasia");
+}
+
+TEST(EnzymeParserTest, MultipleCofactorsSplit) {
+  auto entries = ParseEnzymeFile(
+      "ID   1.1.1.1\nDE   Alcohol dehydrogenase.\nCF   Zinc; Copper.\n//\n");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->front().cofactors,
+            (std::vector<std::string>{"Zinc", "Copper"}));
+}
+
+TEST(EnzymeParserTest, Errors) {
+  // Must begin with ID.
+  EXPECT_FALSE(ParseEnzymeFile("DE   x.\n//\n").ok());
+  // Needs at least one DE.
+  EXPECT_FALSE(ParseEnzymeFile("ID   1.1.1.1\n//\n").ok());
+  // Duplicate ID.
+  EXPECT_FALSE(
+      ParseEnzymeFile("ID   1.1.1.1\nID   2.2.2.2\nDE   d.\n//\n").ok());
+  // Unknown code.
+  EXPECT_FALSE(ParseEnzymeFile("ID   1.1.1.1\nDE   d.\nZZ   ?\n//\n").ok());
+  // Malformed DR pair.
+  EXPECT_FALSE(
+      ParseEnzymeFile("ID   1.1.1.1\nDE   d.\nDR   onlyone ;\n//\n").ok());
+  // CC continuation with no open block.
+  EXPECT_FALSE(
+      ParseEnzymeFile("ID   1.1.1.1\nDE   d.\nCC   no marker\n//\n").ok());
+  // DI without MIM.
+  EXPECT_FALSE(
+      ParseEnzymeFile("ID   1.1.1.1\nDE   d.\nDI   Something.\n//\n").ok());
+}
+
+TEST(EnzymeParserTest, FormatParsesBack) {
+  auto entries = ParseEnzymeFile(kFigure2);
+  ASSERT_TRUE(entries.ok());
+  std::string emitted = FormatEnzymeEntry(entries->front());
+  auto reparsed = ParseEnzymeFile(emitted);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << emitted;
+  EXPECT_EQ(reparsed->front(), entries->front());
+}
+
+// Property: every synthetic corpus entry round-trips through format+parse.
+class EnzymeRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnzymeRoundTripTest, CorpusRoundTrip) {
+  datagen::CorpusOptions options;
+  options.seed = GetParam();
+  options.num_enzymes = 40;
+  options.num_proteins = 10;
+  options.num_nucleotides = 0;
+  datagen::Corpus corpus = datagen::GenerateCorpus(options);
+  for (const EnzymeEntry& entry : corpus.enzymes) {
+    std::string text = FormatEnzymeEntry(entry);
+    auto reparsed = ParseEnzymeFile(text);
+    ASSERT_TRUE(reparsed.ok()) << text;
+    ASSERT_EQ(reparsed->size(), 1u);
+    EXPECT_EQ(reparsed->front(), entry) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnzymeRoundTripTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace xomatiq::flatfile

@@ -1,0 +1,96 @@
+#include "flatfile/line_record.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::flatfile {
+namespace {
+
+TEST(LineRecordTest, ParseLineLayout) {
+  // Paper Fig 3: code in columns 1-2, blank 3-5, data from 6.
+  auto r = ParseLine("ID   1.14.17.3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->code, "ID");
+  EXPECT_EQ(r->data, "1.14.17.3");
+}
+
+TEST(LineRecordTest, Terminator) {
+  auto r = ParseLine("//");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->code, "//");
+  EXPECT_TRUE(r->data.empty());
+}
+
+TEST(LineRecordTest, TrailingWhitespaceStripped) {
+  auto r = ParseLine("DE   Some name.   \r");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->data, "Some name.");
+}
+
+TEST(LineRecordTest, SequenceLinesHaveBlankCode) {
+  auto r = ParseLine("     aacgtt ggccaa");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->code, "  ");
+  EXPECT_EQ(r->data, "aacgtt ggccaa");
+}
+
+TEST(LineRecordTest, EmptyLineRejected) {
+  EXPECT_FALSE(ParseLine("").ok());
+  EXPECT_FALSE(ParseLine("   ").ok());  // stripped to empty... blank code?
+}
+
+TEST(LineRecordTest, FormatRoundTrip) {
+  LineRecord r{"CC", "-!- A comment."};
+  auto reparsed = ParseLine(FormatLine(r));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->code, r.code);
+  EXPECT_EQ(reparsed->data, r.data);
+  EXPECT_EQ(FormatLine("//", ""), "//");
+}
+
+TEST(EntryReaderTest, SplitsEntries) {
+  const char* content =
+      "ID   one\nDE   first\n//\nID   two\n//\n";
+  EntryReader reader(content);
+  auto e1 = reader.NextEntry();
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e1->has_value());
+  EXPECT_EQ((**e1).size(), 2u);
+  EXPECT_EQ((**e1)[0].data, "one");
+  auto e2 = reader.NextEntry();
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ((**e2).size(), 1u);
+  auto e3 = reader.NextEntry();
+  ASSERT_TRUE(e3.ok());
+  EXPECT_FALSE(e3->has_value());
+}
+
+TEST(EntryReaderTest, BlankLinesBetweenEntriesSkipped) {
+  EntryReader reader("ID   x\n//\n\n\nID   y\n//\n");
+  ASSERT_TRUE(reader.NextEntry()->has_value());
+  ASSERT_TRUE(reader.NextEntry()->has_value());
+  EXPECT_FALSE(reader.NextEntry()->has_value());
+}
+
+TEST(EntryReaderTest, UnterminatedEntryIsError) {
+  EntryReader reader("ID   x\nDE   y\n");
+  auto e = reader.NextEntry();
+  EXPECT_FALSE(e.ok());
+}
+
+TEST(EntryReaderTest, NoFinalNewlineOk) {
+  EntryReader reader("ID   x\n//");
+  auto e = reader.NextEntry();
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->has_value());
+}
+
+TEST(JoinLinesTest, ContinuationJoin) {
+  std::vector<LineRecord> records{
+      {"DE", "part one"}, {"XX", "noise"}, {"DE", "part two"}};
+  EXPECT_EQ(JoinLines(records, "DE"), "part one part two");
+  EXPECT_EQ(JoinLines(records, "ZZ"), "");
+  EXPECT_EQ(LinesFor(records, "DE").size(), 2u);
+}
+
+}  // namespace
+}  // namespace xomatiq::flatfile

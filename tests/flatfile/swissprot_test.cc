@@ -1,0 +1,109 @@
+#include "flatfile/swissprot.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+
+namespace xomatiq::flatfile {
+namespace {
+
+constexpr char kSample[] =
+    "ID   AMD_BOVIN  STANDARD;  PRT;  60 AA.\n"
+    "AC   P10731;Q95XX1;\n"
+    "DE   Peptidylglycine monooxygenase (EC 1.14.17.3).\n"
+    "GN   pam.\n"
+    "OS   Bos taurus (Bovine)\n"
+    "CC   -!- FUNCTION: catalyzes peptide amidation.\n"
+    "CC       Continued on a second line.\n"
+    "DR   EMBL; AB000263; AB000263.\n"
+    "DR   ENZYME; 1.14.17.3.\n"
+    "KW   Oxidoreductase; Copper; Amidation.\n"
+    "SQ   SEQUENCE   60 AA;\n"
+    "     MAGRARSGLL LLLLGLLALQ SSCLAFRSPL SVFKRFKETT RSFSNECLGT TRPVTPIDSS\n"
+    "//\n";
+
+TEST(SwissProtParserTest, ParsesSample) {
+  auto entries = ParseSwissProtFile(kSample);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 1u);
+  const SwissProtEntry& e = entries->front();
+  EXPECT_EQ(e.id, "AMD_BOVIN");
+  EXPECT_EQ(e.status, "STANDARD");
+  EXPECT_EQ(e.length, 60u);
+  EXPECT_EQ(e.accessions, (std::vector<std::string>{"P10731", "Q95XX1"}));
+  EXPECT_NE(e.description.find("EC 1.14.17.3"), std::string::npos);
+  EXPECT_EQ(e.gene_names, std::vector<std::string>{"pam"});
+  EXPECT_EQ(e.organism, "Bos taurus (Bovine)");
+  ASSERT_EQ(e.comments.size(), 1u);
+  EXPECT_NE(e.comments[0].find("Continued on a second line."),
+            std::string::npos);
+  ASSERT_EQ(e.xrefs.size(), 2u);
+  EXPECT_EQ(e.xrefs[1].database, "ENZYME");
+  EXPECT_EQ(e.keywords.size(), 3u);
+  EXPECT_EQ(e.sequence.size(), 60u);
+  EXPECT_EQ(e.sequence.substr(0, 10), "MAGRARSGLL");
+}
+
+TEST(SwissProtParserTest, UnmodeledCodesSkipped) {
+  // Citations (RN/RA/RL) and feature tables are skipped, not errors.
+  auto entries = ParseSwissProtFile(
+      "ID   X_HUMAN  STANDARD;  PRT;  2 AA.\nAC   P00001;\n"
+      "RN   [1]\nRA   Someone A.;\nRL   J. Mol. Biol. 1:1(1999).\n"
+      "FT   DOMAIN      1    2       Something.\n"
+      "SQ   SEQUENCE   2 AA;\n     MA\n//\n");
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  EXPECT_EQ(entries->front().sequence, "MA");
+}
+
+TEST(SwissProtParserTest, LengthFallsBackToSequence) {
+  auto entries = ParseSwissProtFile(
+      "ID   Y_HUMAN  STANDARD\nAC   P00002;\nSQ   SEQUENCE\n     MAG\n//\n");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->front().length, 3u);
+}
+
+TEST(SwissProtParserTest, Errors) {
+  EXPECT_FALSE(ParseSwissProtFile("AC   P1;\n//\n").ok());
+  EXPECT_FALSE(ParseSwissProtFile("ID   X\n//\n").ok());  // one-token ID
+  EXPECT_FALSE(
+      ParseSwissProtFile("ID   X_HUMAN  STANDARD;\n//\n").ok());  // no AC
+  EXPECT_FALSE(ParseSwissProtFile(
+                   "ID   X_HUMAN  STANDARD;\nAC   P1;\nQQ   ?\n//\n")
+                   .ok());
+}
+
+TEST(SwissProtParserTest, FormatParsesBack) {
+  auto entries = ParseSwissProtFile(kSample);
+  ASSERT_TRUE(entries.ok());
+  std::string emitted = FormatSwissProtEntry(entries->front());
+  auto reparsed = ParseSwissProtFile(emitted);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << emitted;
+  // The formatter merges multi-line comments into one CC block, which the
+  // parser reads back identically.
+  EXPECT_EQ(reparsed->front(), entries->front());
+}
+
+class SwissProtRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SwissProtRoundTripTest, CorpusRoundTrip) {
+  datagen::CorpusOptions options;
+  options.seed = GetParam();
+  options.num_enzymes = 10;
+  options.num_proteins = 40;
+  options.num_nucleotides = 0;
+  datagen::Corpus corpus = datagen::GenerateCorpus(options);
+  for (const SwissProtEntry& entry : corpus.proteins) {
+    std::string text = FormatSwissProtEntry(entry);
+    auto reparsed = ParseSwissProtFile(text);
+    ASSERT_TRUE(reparsed.ok()) << text;
+    ASSERT_EQ(reparsed->size(), 1u);
+    EXPECT_EQ(reparsed->front(), entry) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwissProtRoundTripTest,
+                         ::testing::Values(3, 13, 23, 43));
+
+}  // namespace
+}  // namespace xomatiq::flatfile

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "baseline/native_xml.h"
+#include "datagen/corpus.h"
+#include "datahounds/warehouse.h"
+#include "xomatiq/xomatiq.h"
+
+namespace xomatiq {
+namespace {
+
+using rel::Database;
+
+// Full-pipeline tests: flat files -> Data Hounds -> warehouse -> XomatiQ,
+// with differential checks against the native-DOM baseline and durability
+// across restarts.
+class EndToEndTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void LoadAll(hounds::Warehouse* warehouse, const datagen::Corpus& corpus) {
+    hounds::EnzymeXmlTransformer enzyme_tf;
+    hounds::EmblXmlTransformer embl_tf;
+    hounds::SwissProtXmlTransformer sprot_tf;
+    ASSERT_TRUE(warehouse
+                    ->LoadSource("hlx_enzyme.DEFAULT", enzyme_tf,
+                                 datagen::ToEnzymeFlatFile(corpus))
+                    .ok());
+    ASSERT_TRUE(warehouse
+                    ->LoadSource("hlx_embl.inv", embl_tf,
+                                 datagen::ToEmblFlatFile(corpus))
+                    .ok());
+    ASSERT_TRUE(warehouse
+                    ->LoadSource("hlx_sprot.all", sprot_tf,
+                                 datagen::ToSwissProtFlatFile(corpus))
+                    .ok());
+  }
+
+  void LoadNative(baseline::NativeXmlStore* store,
+                  const datagen::Corpus& corpus) {
+    hounds::EnzymeXmlTransformer enzyme_tf;
+    hounds::EmblXmlTransformer embl_tf;
+    auto enzyme_docs = enzyme_tf.Transform(datagen::ToEnzymeFlatFile(corpus));
+    ASSERT_TRUE(enzyme_docs.ok());
+    for (auto& d : *enzyme_docs) {
+      store->Load("hlx_enzyme.DEFAULT", std::move(d.document));
+    }
+    auto embl_docs = embl_tf.Transform(datagen::ToEmblFlatFile(corpus));
+    ASSERT_TRUE(embl_docs.ok());
+    for (auto& d : *embl_docs) {
+      store->Load("hlx_embl.inv", std::move(d.document));
+    }
+  }
+
+  datagen::Corpus MakeCorpus() {
+    datagen::CorpusOptions options;
+    options.seed = GetParam();
+    options.num_enzymes = 40;
+    options.num_proteins = 50;
+    options.num_nucleotides = 60;
+    options.keyword_fraction = 0.12;
+    options.ketone_fraction = 0.2;
+    options.ec_link_fraction = 0.5;
+    return datagen::GenerateCorpus(options);
+  }
+};
+
+TEST_P(EndToEndTest, XomatiqAgreesWithNativeDomBaseline) {
+  datagen::Corpus corpus = MakeCorpus();
+  auto db = Database::OpenInMemory();
+  auto warehouse = hounds::Warehouse::Open(db.get());
+  ASSERT_TRUE(warehouse.ok());
+  LoadAll(warehouse->get(), corpus);
+  xq::XomatiQ xomatiq(warehouse->get());
+
+  baseline::NativeXmlStore native;
+  LoadNative(&native, corpus);
+
+  // Fig 9 shape: sub-tree keyword query.
+  auto xq_result = xomatiq.Execute(R"(
+FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id)");
+  ASSERT_TRUE(xq_result.ok()) << xq_result.status().ToString();
+  auto native_rows = native.SubtreeQuery(
+      "hlx_enzyme.DEFAULT", "//catalytic_activity", "ketone",
+      {"//enzyme_id"});
+  ASSERT_TRUE(native_rows.ok());
+  std::multiset<std::string> xq_ids, native_ids;
+  for (const auto& row : xq_result->rows) xq_ids.insert(row[0].AsText());
+  for (const auto& row : *native_rows) native_ids.insert(row[0]);
+  EXPECT_EQ(xq_ids, native_ids);
+
+  // Fig 11 shape: EC join.
+  auto xq_join = xomatiq.Execute(R"(
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC number"] = $b/enzyme_id
+RETURN $a//embl_accession_number)");
+  ASSERT_TRUE(xq_join.ok());
+  auto native_join = native.JoinQuery(
+      "hlx_embl.inv", "//qualifier", "hlx_enzyme.DEFAULT", "//enzyme_id",
+      {"//embl_accession_number"});
+  ASSERT_TRUE(native_join.ok());
+  // The native join matches any qualifier value (it cannot filter on the
+  // qualifier_type attribute inline), but EC qualifiers are the only ones
+  // whose values collide with enzyme ids, so the result sets agree.
+  std::multiset<std::string> xq_accs, native_accs;
+  for (const auto& row : xq_join->rows) xq_accs.insert(row[0].AsText());
+  for (const auto& row : *native_join) native_accs.insert(row[0]);
+  EXPECT_EQ(xq_accs, native_accs);
+
+  // Fig 8 shape: per-collection keyword legs.
+  auto xq_kw = xomatiq.Execute(R"(
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE contains($a, "cdc6", any)
+RETURN $a//entry_name)");
+  ASSERT_TRUE(xq_kw.ok());
+  EXPECT_EQ(xq_kw->rows.size(),
+            native.KeywordSearch("hlx_embl.inv", "cdc6").size());
+}
+
+TEST_P(EndToEndTest, DurableWarehouseAnswersAfterRestart) {
+  datagen::Corpus corpus = MakeCorpus();
+  std::string dir = testing::TempDir() + "/xq_e2e_" +
+                    std::to_string(GetParam());
+  std::filesystem::remove_all(dir);
+  size_t expected_rows = 0;
+  {
+    auto db = Database::Open(dir);
+    ASSERT_TRUE(db.ok());
+    auto warehouse = hounds::Warehouse::Open(db->get());
+    ASSERT_TRUE(warehouse.ok());
+    LoadAll(warehouse->get(), corpus);
+    xq::XomatiQ xomatiq(warehouse->get());
+    auto r = xomatiq.Execute(R"(
+FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id)");
+    ASSERT_TRUE(r.ok());
+    expected_rows = r->rows.size();
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  {
+    auto db = Database::Open(dir);
+    ASSERT_TRUE(db.ok());
+    auto warehouse = hounds::Warehouse::Open(db->get());
+    ASSERT_TRUE(warehouse.ok());
+    xq::XomatiQ xomatiq(warehouse->get());
+    auto r = xomatiq.Execute(R"(
+FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id)");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->rows.size(), expected_rows);
+    EXPECT_EQ(r->rows.size(), corpus.enzymes_with_ketone);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_P(EndToEndTest, SyncThenQueryReflectsUpdates) {
+  datagen::Corpus corpus = MakeCorpus();
+  auto db = Database::OpenInMemory();
+  auto warehouse = hounds::Warehouse::Open(db.get());
+  ASSERT_TRUE(warehouse.ok());
+  LoadAll(warehouse->get(), corpus);
+  xq::XomatiQ xomatiq(warehouse->get());
+
+  // Plant "ketone" into an enzyme that did not have it and re-sync.
+  datagen::Corpus updated = corpus;
+  flatfile::EnzymeEntry* victim = nullptr;
+  for (auto& e : updated.enzymes) {
+    bool has = false;
+    for (const auto& ca : e.catalytic_activities) {
+      if (ca.find("ketone") != std::string::npos) has = true;
+    }
+    if (!has) {
+      victim = &e;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  victim->catalytic_activities.push_back("something = ketone body");
+  hounds::EnzymeXmlTransformer transformer;
+  auto stats = (*warehouse)
+                   ->SyncSource("hlx_enzyme.DEFAULT", transformer,
+                                datagen::ToEnzymeFlatFile(updated));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->updated, 1u);
+
+  auto r = xomatiq.Execute(R"(
+FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), corpus.enzymes_with_ketone + 1);
+  bool found = false;
+  for (const auto& row : r->rows) {
+    if (row[0].AsText() == victim->id) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndTest, ::testing::Values(42, 77, 123));
+
+}  // namespace
+}  // namespace xomatiq

@@ -1,0 +1,187 @@
+// Randomized differential testing: XomatiQ (shred + XQ2SQL + relational
+// evaluation) must agree with the native DOM evaluator on generated
+// sub-tree keyword queries and value-equality queries over the same
+// corpus. Random paths come from the documents themselves; random
+// keywords are drawn from real text values (plus misses), so both hit and
+// empty results are exercised.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baseline/native_xml.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/corpus.h"
+#include "datahounds/warehouse.h"
+#include "sql/expr_eval.h"
+#include "xomatiq/xomatiq.h"
+
+namespace xomatiq {
+namespace {
+
+using rel::Database;
+
+struct CorpusFixture {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<hounds::Warehouse> warehouse;
+  std::unique_ptr<xq::XomatiQ> xomatiq;
+  baseline::NativeXmlStore native;
+  // Leaf element names with their observed text values (per collection).
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      leaf_values;
+};
+
+CorpusFixture* BuildFixture() {
+  static CorpusFixture* fixture = [] {
+    auto* f = new CorpusFixture();
+    datagen::CorpusOptions options;
+    options.seed = 99;
+    options.num_enzymes = 30;
+    options.num_proteins = 40;
+    options.num_nucleotides = 50;
+    datagen::Corpus corpus = datagen::GenerateCorpus(options);
+    f->db = Database::OpenInMemory();
+    {
+      auto wh = hounds::Warehouse::Open(f->db.get());
+      EXPECT_TRUE(wh.ok());
+      f->warehouse = std::move(*wh);
+    }
+    hounds::EnzymeXmlTransformer enzyme_tf;
+    hounds::EmblXmlTransformer embl_tf;
+    hounds::SwissProtXmlTransformer sprot_tf;
+    struct Source {
+      const char* collection;
+      const hounds::XmlTransformer* transformer;
+      std::string raw;
+    };
+    const Source sources[] = {
+        {"hlx_enzyme.DEFAULT", &enzyme_tf, datagen::ToEnzymeFlatFile(corpus)},
+        {"hlx_embl.inv", &embl_tf, datagen::ToEmblFlatFile(corpus)},
+        {"hlx_sprot.all", &sprot_tf, datagen::ToSwissProtFlatFile(corpus)},
+    };
+    for (const Source& s : sources) {
+      auto stats = f->warehouse->LoadSource(s.collection, *s.transformer,
+                                            s.raw);
+      EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+      auto docs = s.transformer->Transform(s.raw);
+      EXPECT_TRUE(docs.ok());
+      for (auto& d : *docs) {
+        // Collect leaf (element name, text value) pairs for query seeds;
+        // skip sequences (not keyword-searchable by design).
+        d.document.root()->Visit([&](const xml::XmlNode& node) {
+          if (node.kind() == xml::NodeKind::kElement &&
+              node.name() != "sequence" && !node.Text().empty() &&
+              node.ChildElements().empty()) {
+            f->leaf_values[s.collection].emplace_back(node.name(),
+                                                      node.Text());
+          }
+          return true;
+        });
+        f->native.Load(s.collection, std::move(d.document));
+      }
+    }
+    f->xomatiq = std::make_unique<xq::XomatiQ>(f->warehouse.get());
+    return f;
+  }();
+  return fixture;
+}
+
+std::multiset<std::string> Sorted(const std::vector<rel::Tuple>& rows) {
+  std::multiset<std::string> out;
+  for (const auto& row : rows) out.insert(rel::TupleToString(row));
+  return out;
+}
+
+std::multiset<std::string> Sorted(
+    const std::vector<std::vector<std::string>>& rows) {
+  std::multiset<std::string> out;
+  for (const auto& row : rows) out.insert(common::Join(row, ", "));
+  return out;
+}
+
+struct RootInfo {
+  const char* collection;
+  const char* root;
+  const char* id_path;
+};
+constexpr RootInfo kRoots[] = {
+    {"hlx_enzyme.DEFAULT", "hlx_enzyme", "enzyme_id"},
+    {"hlx_embl.inv", "hlx_n_sequence", "entry_name"},
+    {"hlx_sprot.all", "hlx_n_sequence", "entry_name"},
+};
+
+class RandomQueryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomQueryTest, SubtreeKeywordQueriesAgreeWithNativeDom) {
+  CorpusFixture* f = BuildFixture();
+  common::Rng rng(GetParam());
+  for (int round = 0; round < 25; ++round) {
+    const RootInfo& info = kRoots[rng.Uniform(3)];
+    const auto& leaves = f->leaf_values[info.collection];
+    ASSERT_FALSE(leaves.empty());
+    const auto& [element, text] = leaves[rng.Uniform(leaves.size())];
+    // Pick a token from a real value, or a guaranteed miss.
+    std::vector<std::string> tokens = common::TokenizeKeywords(text);
+    std::string keyword = tokens.empty() || rng.Bernoulli(0.2)
+                              ? "zz_definitely_absent"
+                              : tokens[rng.Uniform(tokens.size())];
+    xq::SubtreeQueryBuilder builder(info.collection, info.root);
+    builder.AddCondition(element, keyword).AddReturn(info.id_path);
+    std::string query = builder.Build();
+
+    auto xq_result = f->xomatiq->Execute(query);
+    ASSERT_TRUE(xq_result.ok()) << query << "\n"
+                                << xq_result.status().ToString();
+    auto native = f->native.SubtreeQuery(info.collection, element, keyword,
+                                         {std::string("//") + info.id_path});
+    ASSERT_TRUE(native.ok()) << query;
+    EXPECT_EQ(Sorted(xq_result->rows), Sorted(*native))
+        << query << "\nkeyword=" << keyword;
+  }
+}
+
+TEST_P(RandomQueryTest, ValueEqualityQueriesAgreeWithNativeDom) {
+  CorpusFixture* f = BuildFixture();
+  common::Rng rng(GetParam() + 5000);
+  for (int round = 0; round < 25; ++round) {
+    const RootInfo& info = kRoots[rng.Uniform(3)];
+    const auto& leaves = f->leaf_values[info.collection];
+    const auto& [element, text] = leaves[rng.Uniform(leaves.size())];
+    std::string literal =
+        rng.Bernoulli(0.2) ? "no such value anywhere" : text;
+    // Escape is unnecessary: generator values contain no quotes.
+    std::string query = std::string("FOR $a IN document(\"") +
+                        info.collection + "\")/" + info.root +
+                        " WHERE $a//" + element + " = \"" + literal +
+                        "\" RETURN $a//" + info.id_path;
+    auto xq_result = f->xomatiq->Execute(query);
+    ASSERT_TRUE(xq_result.ok()) << query << "\n"
+                                << xq_result.status().ToString();
+    // Native evaluation: docs with any matching element value.
+    std::vector<std::vector<std::string>> native_rows;
+    auto cond_steps = baseline::ParseNativePath(std::string("//") + element);
+    auto ret_steps =
+        baseline::ParseNativePath(std::string("//") + info.id_path);
+    ASSERT_TRUE(cond_steps.ok());
+    ASSERT_TRUE(ret_steps.ok());
+    for (const xml::XmlDocument& doc : f->native.Docs(info.collection)) {
+      bool match = false;
+      for (const std::string& value :
+           baseline::EvalPathValues(*doc.root(), *cond_steps)) {
+        if (value == literal) match = true;
+      }
+      if (!match) continue;
+      auto ids = baseline::EvalPathValues(*doc.root(), *ret_steps);
+      native_rows.push_back({ids.empty() ? "" : ids.front()});
+    }
+    EXPECT_EQ(Sorted(xq_result->rows), Sorted(native_rows)) << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace xomatiq

@@ -1,0 +1,219 @@
+#include "relational/btree_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace xomatiq::rel {
+namespace {
+
+CompositeKey K(int64_t v) { return {Value::Int(v)}; }
+CompositeKey K(int64_t a, int64_t b) { return {Value::Int(a), Value::Int(b)}; }
+
+TEST(BTreeIndexTest, InsertAndLookup) {
+  BTreeIndex index(8);
+  index.Insert(K(5), 50);
+  index.Insert(K(3), 30);
+  index.Insert(K(7), 70);
+  EXPECT_EQ(index.Lookup(K(5)), std::vector<RowId>{50});
+  EXPECT_EQ(index.Lookup(K(3)), std::vector<RowId>{30});
+  EXPECT_TRUE(index.Lookup(K(4)).empty());
+  EXPECT_EQ(index.num_keys(), 3u);
+  EXPECT_EQ(index.num_entries(), 3u);
+}
+
+TEST(BTreeIndexTest, DuplicateKeysSharePostingList) {
+  BTreeIndex index(8);
+  index.Insert(K(1), 10);
+  index.Insert(K(1), 11);
+  index.Insert(K(1), 12);
+  EXPECT_EQ(index.Lookup(K(1)), (std::vector<RowId>{10, 11, 12}));
+  EXPECT_EQ(index.num_keys(), 1u);
+  EXPECT_EQ(index.num_entries(), 3u);
+}
+
+TEST(BTreeIndexTest, SplitsGrowHeight) {
+  BTreeIndex index(4);
+  for (int64_t i = 0; i < 100; ++i) {
+    index.Insert(K(i), static_cast<RowId>(i));
+  }
+  EXPECT_GT(index.Height(), 1u);
+  EXPECT_TRUE(index.CheckInvariants());
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(index.Lookup(K(i)), std::vector<RowId>{static_cast<RowId>(i)});
+  }
+}
+
+TEST(BTreeIndexTest, ScanFullRangeIsSorted) {
+  BTreeIndex index(4);
+  for (int64_t i = 99; i >= 0; --i) {
+    index.Insert(K(i), static_cast<RowId>(i));
+  }
+  std::vector<int64_t> seen;
+  index.Scan(std::nullopt, std::nullopt,
+             [&](const CompositeKey& key, const std::vector<RowId>&) {
+               seen.push_back(key[0].AsInt());
+               return true;
+             });
+  ASSERT_EQ(seen.size(), 100u);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<int64_t>(i));
+  }
+}
+
+TEST(BTreeIndexTest, ScanRespectsRangeBounds) {
+  BTreeIndex index(8);
+  for (int64_t i = 0; i < 50; ++i) {
+    index.Insert(K(i), static_cast<RowId>(i));
+  }
+  std::vector<int64_t> seen;
+  index.Scan(BTreeIndex::Bound{K(10), true}, BTreeIndex::Bound{K(20), false},
+             [&](const CompositeKey& key, const std::vector<RowId>&) {
+               seen.push_back(key[0].AsInt());
+               return true;
+             });
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.front(), 10);
+  EXPECT_EQ(seen.back(), 19);
+}
+
+TEST(BTreeIndexTest, ScanExclusiveLowerBound) {
+  BTreeIndex index(8);
+  for (int64_t i = 0; i < 10; ++i) index.Insert(K(i), 0);
+  std::vector<int64_t> seen;
+  index.Scan(BTreeIndex::Bound{K(3), false}, BTreeIndex::Bound{K(5), true},
+             [&](const CompositeKey& key, const std::vector<RowId>&) {
+               seen.push_back(key[0].AsInt());
+               return true;
+             });
+  EXPECT_EQ(seen, (std::vector<int64_t>{4, 5}));
+}
+
+TEST(BTreeIndexTest, ScanEarlyStop) {
+  BTreeIndex index(8);
+  for (int64_t i = 0; i < 50; ++i) index.Insert(K(i), 0);
+  int count = 0;
+  index.Scan(std::nullopt, std::nullopt,
+             [&](const CompositeKey&, const std::vector<RowId>&) {
+               return ++count < 5;
+             });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(BTreeIndexTest, ScanPrefixCompositeKeys) {
+  BTreeIndex index(4);
+  for (int64_t doc = 1; doc <= 5; ++doc) {
+    for (int64_t ord = 1; ord <= 10; ++ord) {
+      index.Insert(K(doc, ord), static_cast<RowId>(doc * 100 + ord));
+    }
+  }
+  std::vector<int64_t> ords;
+  index.ScanPrefix(K(3),
+                   [&](const CompositeKey& key, const std::vector<RowId>&) {
+                     EXPECT_EQ(key[0].AsInt(), 3);
+                     ords.push_back(key[1].AsInt());
+                     return true;
+                   });
+  ASSERT_EQ(ords.size(), 10u);
+  EXPECT_EQ(ords.front(), 1);
+  EXPECT_EQ(ords.back(), 10);
+}
+
+TEST(BTreeIndexTest, EraseRemovesRowThenKey) {
+  BTreeIndex index(4);
+  index.Insert(K(1), 10);
+  index.Insert(K(1), 11);
+  EXPECT_TRUE(index.Erase(K(1), 10));
+  EXPECT_EQ(index.Lookup(K(1)), std::vector<RowId>{11});
+  EXPECT_TRUE(index.Erase(K(1), 11));
+  EXPECT_TRUE(index.Lookup(K(1)).empty());
+  EXPECT_EQ(index.num_keys(), 0u);
+  EXPECT_FALSE(index.Erase(K(1), 11));
+  EXPECT_FALSE(index.Erase(K(99), 0));
+}
+
+TEST(BTreeIndexTest, TextKeys) {
+  BTreeIndex index(4);
+  index.Insert({Value::Text("1.14.17.3")}, 1);
+  index.Insert({Value::Text("1.1.1.1")}, 2);
+  index.Insert({Value::Text("2.7.7.7")}, 3);
+  EXPECT_EQ(index.Lookup({Value::Text("1.14.17.3")}), std::vector<RowId>{1});
+  std::vector<std::string> order;
+  index.Scan(std::nullopt, std::nullopt,
+             [&](const CompositeKey& key, const std::vector<RowId>&) {
+               order.push_back(key[0].AsText());
+               return true;
+             });
+  EXPECT_EQ(order, (std::vector<std::string>{"1.1.1.1", "1.14.17.3",
+                                             "2.7.7.7"}));
+}
+
+// Property test: the B+tree must agree with std::multimap under a random
+// workload of inserts, erases, lookups and range scans, across fanouts.
+class BTreeModelTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BTreeModelTest, AgreesWithOrderedModel) {
+  const size_t fanout = GetParam();
+  BTreeIndex index(fanout);
+  std::multimap<int64_t, RowId> model;
+  common::Rng rng(fanout * 7919 + 1);
+
+  for (int step = 0; step < 3000; ++step) {
+    int64_t key = rng.UniformRange(0, 200);
+    double action = rng.NextDouble();
+    if (action < 0.6) {
+      RowId row = rng.Uniform(1000);
+      index.Insert(K(key), row);
+      model.emplace(key, row);
+    } else if (action < 0.85) {
+      auto it = model.find(key);
+      if (it != model.end()) {
+        EXPECT_TRUE(index.Erase(K(key), it->second));
+        model.erase(it);
+      } else {
+        // Erasing an arbitrary (key,row) pair that may not exist must not
+        // corrupt the tree; result can be true only if present.
+        index.Erase(K(key), rng.Uniform(1000));
+        // Re-sync: the erase may have removed a pair we also track.
+        // To keep the model exact, only erase pairs known to the model
+        // above; here key was absent so nothing to sync.
+      }
+    } else {
+      // Range scan equality with the model.
+      int64_t lo = rng.UniformRange(0, 200);
+      int64_t hi = lo + rng.UniformRange(0, 50);
+      size_t expected = 0;
+      for (auto it = model.lower_bound(lo);
+           it != model.end() && it->first <= hi; ++it) {
+        ++expected;
+      }
+      size_t actual = 0;
+      index.Scan(BTreeIndex::Bound{K(lo), true},
+                 BTreeIndex::Bound{K(hi), true},
+                 [&](const CompositeKey&, const std::vector<RowId>& rows) {
+                   actual += rows.size();
+                   return true;
+                 });
+      ASSERT_EQ(actual, expected) << "range [" << lo << "," << hi << "]";
+    }
+  }
+  EXPECT_TRUE(index.CheckInvariants());
+  EXPECT_EQ(index.num_entries(), model.size());
+  // Full-content check.
+  size_t total = 0;
+  index.Scan(std::nullopt, std::nullopt,
+             [&](const CompositeKey& key, const std::vector<RowId>& rows) {
+               EXPECT_EQ(rows.size(), model.count(key[0].AsInt()));
+               total += rows.size();
+               return true;
+             });
+  EXPECT_EQ(total, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreeModelTest,
+                         ::testing::Values(4, 8, 16, 64, 128));
+
+}  // namespace
+}  // namespace xomatiq::rel

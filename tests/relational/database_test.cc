@@ -1,0 +1,176 @@
+#include "relational/database.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::rel {
+namespace {
+
+std::unique_ptr<Database> Db() { return Database::OpenInMemory(); }
+
+Schema TwoCol() {
+  return Schema({{"id", ValueType::kInt, true},
+                 {"name", ValueType::kText, false}});
+}
+
+TEST(DatabaseTest, CreateAndDropTable) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", TwoCol()).ok());
+  EXPECT_TRUE(db->HasTable("t"));
+  EXPECT_FALSE(db->CreateTable("t", TwoCol()).ok());  // duplicate
+  EXPECT_TRUE(db->DropTable("t").ok());
+  EXPECT_FALSE(db->HasTable("t"));
+  EXPECT_FALSE(db->DropTable("t").ok());
+}
+
+TEST(DatabaseTest, EmptySchemaRejected) {
+  auto db = Db();
+  EXPECT_FALSE(db->CreateTable("t", Schema()).ok());
+}
+
+TEST(DatabaseTest, InsertMaintainsIndexes) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", TwoCol()).ok());
+  ASSERT_TRUE(db->CreateIndex({"t_id", "t", {"id"}, IndexKind::kBTree, false})
+                  .ok());
+  ASSERT_TRUE(
+      db->CreateIndex({"t_name", "t", {"name"}, IndexKind::kHash, false})
+          .ok());
+  RowId row = *db->Insert("t", {Value::Int(1), Value::Text("x")});
+  const IndexEntry* btree = db->FindIndexByName("t_id");
+  ASSERT_NE(btree, nullptr);
+  EXPECT_EQ(btree->btree->Lookup({Value::Int(1)}), std::vector<RowId>{row});
+  const IndexEntry* hash = db->FindIndexByName("t_name");
+  ASSERT_NE(hash->hash->Lookup({Value::Text("x")}), nullptr);
+}
+
+TEST(DatabaseTest, IndexBuiltOverExistingRows) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", TwoCol()).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db->Insert("t", {Value::Int(i), Value::Null()}).ok());
+  }
+  ASSERT_TRUE(db->CreateIndex({"t_id", "t", {"id"}, IndexKind::kBTree, false})
+                  .ok());
+  const IndexEntry* idx = db->FindIndexByName("t_id");
+  EXPECT_EQ(idx->btree->num_keys(), 10u);
+}
+
+TEST(DatabaseTest, UniqueIndexRejectsDuplicates) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", TwoCol()).ok());
+  ASSERT_TRUE(db->CreateIndex({"t_id", "t", {"id"}, IndexKind::kHash, true})
+                  .ok());
+  ASSERT_TRUE(db->Insert("t", {Value::Int(1), Value::Null()}).ok());
+  auto dup = db->Insert("t", {Value::Int(1), Value::Null()});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), common::StatusCode::kConstraintViolation);
+  // The failed insert must be rolled back from the heap.
+  EXPECT_EQ((*db->GetTable("t"))->num_live_rows(), 1u);
+  // And the key can be inserted after deleting the original.
+  ASSERT_TRUE(db->Delete("t", 0).ok());
+  EXPECT_TRUE(db->Insert("t", {Value::Int(1), Value::Null()}).ok());
+}
+
+TEST(DatabaseTest, UniqueIndexBuildOverDuplicatesFails) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", TwoCol()).ok());
+  ASSERT_TRUE(db->Insert("t", {Value::Int(1), Value::Null()}).ok());
+  ASSERT_TRUE(db->Insert("t", {Value::Int(1), Value::Null()}).ok());
+  EXPECT_FALSE(
+      db->CreateIndex({"t_id", "t", {"id"}, IndexKind::kBTree, true}).ok());
+}
+
+TEST(DatabaseTest, NullKeysNotIndexedAndNotUniqueChecked) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", Schema({{"id", ValueType::kInt, false}}))
+                  .ok());
+  ASSERT_TRUE(
+      db->CreateIndex({"t_id", "t", {"id"}, IndexKind::kBTree, true}).ok());
+  ASSERT_TRUE(db->Insert("t", {Value::Null()}).ok());
+  ASSERT_TRUE(db->Insert("t", {Value::Null()}).ok());  // two NULLs OK
+  const IndexEntry* idx = db->FindIndexByName("t_id");
+  EXPECT_EQ(idx->btree->num_entries(), 0u);
+}
+
+TEST(DatabaseTest, DeleteRemovesFromIndexes) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", TwoCol()).ok());
+  ASSERT_TRUE(db->CreateIndex({"t_id", "t", {"id"}, IndexKind::kBTree, false})
+                  .ok());
+  RowId row = *db->Insert("t", {Value::Int(5), Value::Null()});
+  ASSERT_TRUE(db->Delete("t", row).ok());
+  const IndexEntry* idx = db->FindIndexByName("t_id");
+  EXPECT_TRUE(idx->btree->Lookup({Value::Int(5)}).empty());
+}
+
+TEST(DatabaseTest, UpdateMovesIndexEntries) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", TwoCol()).ok());
+  ASSERT_TRUE(db->CreateIndex({"t_id", "t", {"id"}, IndexKind::kBTree, false})
+                  .ok());
+  RowId row = *db->Insert("t", {Value::Int(5), Value::Null()});
+  ASSERT_TRUE(db->Update("t", row, {Value::Int(6), Value::Null()}).ok());
+  const IndexEntry* idx = db->FindIndexByName("t_id");
+  EXPECT_TRUE(idx->btree->Lookup({Value::Int(5)}).empty());
+  EXPECT_EQ(idx->btree->Lookup({Value::Int(6)}), std::vector<RowId>{row});
+}
+
+TEST(DatabaseTest, UpdateUniqueViolationRestoresOldRow) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", TwoCol()).ok());
+  ASSERT_TRUE(
+      db->CreateIndex({"t_id", "t", {"id"}, IndexKind::kHash, true}).ok());
+  RowId a = *db->Insert("t", {Value::Int(1), Value::Null()});
+  ASSERT_TRUE(db->Insert("t", {Value::Int(2), Value::Null()}).ok());
+  EXPECT_FALSE(db->Update("t", a, {Value::Int(2), Value::Null()}).ok());
+  // Old value must still be present and indexed.
+  EXPECT_EQ((**(*db->GetTable("t"))->Get(a))[0].AsInt(), 1);
+  const IndexEntry* idx = db->FindIndexByName("t_id");
+  ASSERT_NE(idx->hash->Lookup({Value::Int(1)}), nullptr);
+}
+
+TEST(DatabaseTest, FindIndexMatching) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", TwoCol()).ok());
+  ASSERT_TRUE(db->CreateIndex({"t_composite", "t", {"id", "name"},
+                               IndexKind::kBTree, false})
+                  .ok());
+  // BTree prefix match on the leading column.
+  EXPECT_NE(db->FindIndex("t", {"id"}, IndexKind::kBTree), nullptr);
+  EXPECT_EQ(db->FindIndex("t", {"name"}, IndexKind::kBTree), nullptr);
+  EXPECT_EQ(db->FindIndex("t", {"id"}, IndexKind::kHash), nullptr);
+}
+
+TEST(DatabaseTest, InvertedIndexRequiresSingleTextColumn) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", TwoCol()).ok());
+  EXPECT_FALSE(db->CreateIndex({"bad1", "t", {"id"},
+                                IndexKind::kInverted, false})
+                   .ok());
+  EXPECT_FALSE(db->CreateIndex({"bad2", "t", {"id", "name"},
+                                IndexKind::kInverted, false})
+                   .ok());
+  EXPECT_TRUE(db->CreateIndex({"ok", "t", {"name"},
+                               IndexKind::kInverted, false})
+                  .ok());
+}
+
+TEST(DatabaseTest, DropIndex) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("t", TwoCol()).ok());
+  ASSERT_TRUE(db->CreateIndex({"t_id", "t", {"id"}, IndexKind::kBTree, false})
+                  .ok());
+  ASSERT_TRUE(db->DropIndex("t_id").ok());
+  EXPECT_EQ(db->FindIndexByName("t_id"), nullptr);
+  EXPECT_FALSE(db->DropIndex("t_id").ok());
+}
+
+TEST(DatabaseTest, TableNamesSorted) {
+  auto db = Db();
+  ASSERT_TRUE(db->CreateTable("b", TwoCol()).ok());
+  ASSERT_TRUE(db->CreateTable("a", TwoCol()).ok());
+  EXPECT_EQ(db->TableNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace xomatiq::rel

@@ -1,0 +1,52 @@
+#include "relational/hash_index.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::rel {
+namespace {
+
+CompositeKey K(std::string s) { return {Value::Text(std::move(s))}; }
+
+TEST(HashIndexTest, InsertLookup) {
+  HashIndex index;
+  index.Insert(K("a"), 1);
+  index.Insert(K("a"), 2);
+  index.Insert(K("b"), 3);
+  ASSERT_NE(index.Lookup(K("a")), nullptr);
+  EXPECT_EQ(*index.Lookup(K("a")), (std::vector<RowId>{1, 2}));
+  EXPECT_EQ(index.Lookup(K("missing")), nullptr);
+  EXPECT_EQ(index.num_keys(), 2u);
+  EXPECT_EQ(index.num_entries(), 3u);
+}
+
+TEST(HashIndexTest, EraseDropsEmptyKeys) {
+  HashIndex index;
+  index.Insert(K("a"), 1);
+  index.Insert(K("a"), 2);
+  EXPECT_TRUE(index.Erase(K("a"), 1));
+  EXPECT_EQ(*index.Lookup(K("a")), std::vector<RowId>{2});
+  EXPECT_TRUE(index.Erase(K("a"), 2));
+  EXPECT_EQ(index.Lookup(K("a")), nullptr);
+  EXPECT_EQ(index.num_keys(), 0u);
+  EXPECT_FALSE(index.Erase(K("a"), 2));
+  EXPECT_FALSE(index.Erase(K("zzz"), 1));
+}
+
+TEST(HashIndexTest, CompositeKeys) {
+  HashIndex index;
+  index.Insert({Value::Int(1), Value::Text("x")}, 10);
+  index.Insert({Value::Int(1), Value::Text("y")}, 11);
+  ASSERT_NE(index.Lookup({Value::Int(1), Value::Text("x")}), nullptr);
+  EXPECT_EQ(index.Lookup({Value::Int(1), Value::Text("x")})->front(), 10u);
+  EXPECT_EQ(index.Lookup({Value::Int(1)}), nullptr);  // exact arity only
+}
+
+TEST(HashIndexTest, NumericEqualityAcrossTypes) {
+  HashIndex index;
+  index.Insert({Value::Int(3)}, 1);
+  // DOUBLE 3.0 equals INT 3 under Value::Compare, so the probe must hit.
+  ASSERT_NE(index.Lookup({Value::Double(3.0)}), nullptr);
+}
+
+}  // namespace
+}  // namespace xomatiq::rel

@@ -1,0 +1,63 @@
+#include "relational/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::rel {
+namespace {
+
+TEST(InvertedIndexTest, SingleTokenLookup) {
+  InvertedIndex index;
+  index.Add(1, "Peptidylglycine monooxygenase");
+  index.Add(2, "alcohol dehydrogenase");
+  index.Add(3, "peptidylglycine 2-hydroxylase");
+  EXPECT_EQ(index.Lookup("peptidylglycine"), (std::vector<RowId>{1, 3}));
+  EXPECT_EQ(index.Lookup("MONOOXYGENASE"), std::vector<RowId>{1});
+  EXPECT_TRUE(index.Lookup("kinase").empty());
+}
+
+TEST(InvertedIndexTest, MultiTokenAndSemantics) {
+  InvertedIndex index;
+  index.Add(1, "cell division cycle protein cdc6");
+  index.Add(2, "cell membrane protein");
+  index.Add(3, "division of labour");
+  EXPECT_EQ(index.LookupAll("cell division"), std::vector<RowId>{1});
+  EXPECT_EQ(index.LookupAll("protein"), (std::vector<RowId>{1, 2}));
+  EXPECT_TRUE(index.LookupAll("cell kinase").empty());
+  EXPECT_TRUE(index.LookupAll("").empty());
+}
+
+TEST(InvertedIndexTest, RepeatedTokenInOneTextIndexedOnce) {
+  InvertedIndex index;
+  index.Add(5, "ketone ketone ketone");
+  EXPECT_EQ(index.Lookup("ketone"), std::vector<RowId>{5});
+  EXPECT_EQ(index.num_postings(), 1u);
+}
+
+TEST(InvertedIndexTest, RemoveReversesAdd) {
+  InvertedIndex index;
+  index.Add(1, "alpha beta");
+  index.Add(2, "beta gamma");
+  index.Remove(1, "alpha beta");
+  EXPECT_TRUE(index.Lookup("alpha").empty());
+  EXPECT_EQ(index.Lookup("beta"), std::vector<RowId>{2});
+  EXPECT_EQ(index.num_tokens(), 2u);  // beta, gamma
+}
+
+TEST(InvertedIndexTest, PostingsStaySortedWithOutOfOrderRows) {
+  InvertedIndex index;
+  index.Add(9, "shared");
+  index.Add(2, "shared");
+  index.Add(5, "shared");
+  EXPECT_EQ(index.Lookup("shared"), (std::vector<RowId>{2, 5, 9}));
+}
+
+TEST(InvertedIndexTest, EcNumberIsOneToken) {
+  InvertedIndex index;
+  index.Add(1, "catalyzed by EC 1.14.17.3 exclusively");
+  EXPECT_EQ(index.Lookup("1.14.17.3"), std::vector<RowId>{1});
+  // The sub-number "14" alone is not a token of this text.
+  EXPECT_TRUE(index.Lookup("14").empty());
+}
+
+}  // namespace
+}  // namespace xomatiq::rel

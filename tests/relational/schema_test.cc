@@ -1,0 +1,61 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::rel {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"id", ValueType::kInt, true},
+                 {"name", ValueType::kText, false},
+                 {"score", ValueType::kDouble, false}});
+}
+
+TEST(SchemaTest, FindColumnByBareName) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.FindColumn("id"), 0u);
+  EXPECT_EQ(s.FindColumn("score"), 2u);
+  EXPECT_FALSE(s.FindColumn("missing").has_value());
+}
+
+TEST(SchemaTest, QualifiedLookup) {
+  Schema q = MakeSchema().Qualified("t");
+  EXPECT_EQ(q.column(0).name, "t.id");
+  EXPECT_EQ(q.FindColumn("t.id"), 0u);
+  EXPECT_EQ(q.FindColumn("id"), 0u);  // bare name resolves
+  EXPECT_FALSE(q.FindColumn("u.id").has_value());
+}
+
+TEST(SchemaTest, AmbiguousBareNameRejected) {
+  Schema joined = Schema::Concat(MakeSchema().Qualified("a"),
+                                 MakeSchema().Qualified("b"));
+  EXPECT_FALSE(joined.FindColumn("id").has_value());   // ambiguous
+  EXPECT_EQ(joined.FindColumn("a.id"), 0u);
+  EXPECT_EQ(joined.FindColumn("b.id"), 3u);
+  EXPECT_FALSE(joined.ResolveColumn("id").ok());
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema joined = Schema::Concat(MakeSchema(), MakeSchema().Qualified("r"));
+  ASSERT_EQ(joined.size(), 6u);
+  EXPECT_EQ(joined.column(3).name, "r.id");
+}
+
+TEST(SchemaTest, QualifyingTwiceKeepsExistingQualifier) {
+  Schema q = MakeSchema().Qualified("a").Qualified("b");
+  EXPECT_EQ(q.column(0).name, "a.id");
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  std::string s = MakeSchema().ToString();
+  EXPECT_NE(s.find("id INT"), std::string::npos);
+  EXPECT_NE(s.find("score DOUBLE"), std::string::npos);
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t{Value::Int(1), Value::Null(), Value::Text("x")};
+  EXPECT_EQ(TupleToString(t), "1, NULL, x");
+}
+
+}  // namespace
+}  // namespace xomatiq::rel

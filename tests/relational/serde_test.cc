@@ -1,0 +1,110 @@
+#include "relational/serde.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::rel {
+namespace {
+
+TEST(SerdeTest, PrimitiveRoundTrip) {
+  BinaryWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutDouble(3.14159);
+  w.PutString("hello");
+  w.PutString("");
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.GetU8(), 0xAB);
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 3.14159);
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetString(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, TruncationIsCorruption) {
+  BinaryWriter w;
+  w.PutU64(1);
+  BinaryReader r(std::string_view(w.buffer()).substr(0, 4));
+  auto v = r.GetU64();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), common::StatusCode::kCorruption);
+}
+
+TEST(SerdeTest, TruncatedStringIsCorruption) {
+  BinaryWriter w;
+  w.PutString("abcdef");
+  BinaryReader r(std::string_view(w.buffer()).substr(0, 6));
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+TEST(SerdeTest, ValueRoundTrip) {
+  const Value values[] = {Value::Null(), Value::Int(-7),
+                          Value::Double(2.718), Value::Text("EC 1.14.17.3"),
+                          Value::Text("")};
+  for (const Value& v : values) {
+    BinaryWriter w;
+    EncodeValue(v, &w);
+    BinaryReader r(w.buffer());
+    auto decoded = DecodeValue(&r);
+    ASSERT_TRUE(decoded.ok()) << v.ToString();
+    EXPECT_EQ(decoded->type(), v.type());
+    EXPECT_EQ(Value::Compare(*decoded, v), 0);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(SerdeTest, BadValueTagIsCorruption) {
+  BinaryWriter w;
+  w.PutU8(99);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(DecodeValue(&r).ok());
+}
+
+TEST(SerdeTest, TupleRoundTrip) {
+  Tuple t{Value::Int(1), Value::Null(), Value::Text("x")};
+  BinaryWriter w;
+  EncodeTuple(t, &w);
+  BinaryReader r(w.buffer());
+  auto decoded = DecodeTuple(&r);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].AsInt(), 1);
+  EXPECT_TRUE((*decoded)[1].is_null());
+  EXPECT_EQ((*decoded)[2].AsText(), "x");
+}
+
+TEST(SerdeTest, SchemaRoundTrip) {
+  Schema s({{"id", ValueType::kInt, true},
+            {"value", ValueType::kText, false},
+            {"score", ValueType::kDouble, false}});
+  BinaryWriter w;
+  EncodeSchema(s, &w);
+  BinaryReader r(w.buffer());
+  auto decoded = DecodeSchema(&r);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ(decoded->column(0).name, "id");
+  EXPECT_TRUE(decoded->column(0).not_null);
+  EXPECT_EQ(decoded->column(2).type, ValueType::kDouble);
+}
+
+TEST(SerdeTest, Crc32KnownVector) {
+  // Standard test vector for IEEE CRC32.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(SerdeTest, Crc32DetectsBitFlips) {
+  std::string data = "warehouse payload";
+  uint32_t base = Crc32(data);
+  data[3] ^= 1;
+  EXPECT_NE(Crc32(data), base);
+}
+
+}  // namespace
+}  // namespace xomatiq::rel

@@ -1,0 +1,103 @@
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::rel {
+namespace {
+
+Table MakeTable() {
+  return Table("t", Schema({{"id", ValueType::kInt, true},
+                            {"name", ValueType::kText, false}}));
+}
+
+TEST(TableTest, InsertGetScan) {
+  Table t = MakeTable();
+  auto r1 = t.Insert({Value::Int(1), Value::Text("a")});
+  auto r2 = t.Insert({Value::Int(2), Value::Text("b")});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, 0u);
+  EXPECT_EQ(*r2, 1u);
+  EXPECT_EQ(t.num_live_rows(), 2u);
+  auto row = t.Get(*r2);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((**row)[1].AsText(), "b");
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t = MakeTable();
+  EXPECT_FALSE(t.Insert({Value::Int(1)}).ok());
+  EXPECT_FALSE(
+      t.Insert({Value::Int(1), Value::Text("a"), Value::Int(3)}).ok());
+}
+
+TEST(TableTest, NotNullEnforced) {
+  Table t = MakeTable();
+  EXPECT_FALSE(t.Insert({Value::Null(), Value::Text("a")}).ok());
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::Null()}).ok());
+}
+
+TEST(TableTest, TypeCoercionOnInsert) {
+  Table t = MakeTable();
+  // TEXT "7" coerces into the INT column; INT 5 coerces into TEXT.
+  auto r = t.Insert({Value::Text("7"), Value::Int(5)});
+  ASSERT_TRUE(r.ok());
+  auto row = t.Get(*r);
+  EXPECT_EQ((**row)[0].AsInt(), 7);
+  EXPECT_EQ((**row)[1].AsText(), "5");
+  EXPECT_FALSE(t.Insert({Value::Text("abc"), Value::Null()}).ok());
+}
+
+TEST(TableTest, DeleteTombstonesKeepRowIdsStable) {
+  Table t = MakeTable();
+  RowId a = *t.Insert({Value::Int(1), Value::Null()});
+  RowId b = *t.Insert({Value::Int(2), Value::Null()});
+  ASSERT_TRUE(t.Delete(a).ok());
+  EXPECT_FALSE(t.IsLive(a));
+  EXPECT_TRUE(t.IsLive(b));
+  EXPECT_EQ(t.num_live_rows(), 1u);
+  EXPECT_EQ(t.num_slots(), 2u);
+  EXPECT_FALSE(t.Get(a).ok());
+  EXPECT_FALSE(t.Delete(a).ok());  // double delete
+  // New inserts use fresh slots, not the tombstone.
+  RowId c = *t.Insert({Value::Int(3), Value::Null()});
+  EXPECT_EQ(c, 2u);
+}
+
+TEST(TableTest, UpdateValidates) {
+  Table t = MakeTable();
+  RowId a = *t.Insert({Value::Int(1), Value::Text("x")});
+  ASSERT_TRUE(t.Update(a, {Value::Int(9), Value::Text("y")}).ok());
+  EXPECT_EQ((**t.Get(a))[0].AsInt(), 9);
+  EXPECT_FALSE(t.Update(a, {Value::Null(), Value::Null()}).ok());
+  EXPECT_FALSE(t.Update(99, {Value::Int(1), Value::Null()}).ok());
+}
+
+TEST(TableTest, ScanSkipsDeletedAndStopsEarly) {
+  Table t = MakeTable();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Null()}).ok());
+  }
+  ASSERT_TRUE(t.Delete(3).ok());
+  ASSERT_TRUE(t.Delete(7).ok());
+  std::vector<int64_t> seen;
+  t.Scan([&](RowId, const Tuple& tuple) {
+    seen.push_back(tuple[0].AsInt());
+    return seen.size() < 5;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{0, 1, 2, 4, 5}));
+}
+
+TEST(TableTest, RestoreSlotPreservesTombstones) {
+  Table t = MakeTable();
+  t.RestoreSlot({Value::Int(1), Value::Null()}, true);
+  t.RestoreSlot({}, false);
+  t.RestoreSlot({Value::Int(3), Value::Null()}, true);
+  EXPECT_EQ(t.num_slots(), 3u);
+  EXPECT_EQ(t.num_live_rows(), 2u);
+  EXPECT_FALSE(t.IsLive(1));
+  EXPECT_EQ((**t.Get(2))[0].AsInt(), 3);
+}
+
+}  // namespace
+}  // namespace xomatiq::rel

@@ -1,0 +1,102 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::rel {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::Text("x").AsText(), "x");
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Compare(Value::Int(1), Value::Int(2)), 0);
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Int(2)), 0);
+  EXPECT_GT(Value::Compare(Value::Text("b"), Value::Text("a")), 0);
+  EXPECT_LT(Value::Compare(Value::Double(1.1), Value::Double(1.2)), 0);
+}
+
+TEST(ValueTest, CompareNumericCrossType) {
+  // INT and DOUBLE compare as numbers.
+  EXPECT_EQ(Value::Compare(Value::Int(3), Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(3), Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Compare(Value::Double(4.5), Value::Int(4)), 0);
+}
+
+TEST(ValueTest, CompareClassOrder) {
+  // NULL < numeric < TEXT.
+  EXPECT_LT(Value::Compare(Value::Null(), Value::Int(-100)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(1000), Value::Text("0")), 0);
+  EXPECT_EQ(Value::Compare(Value::Null(), Value::Null()), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::Text("abc").Hash(), Value::Text("abc").Hash());
+  EXPECT_TRUE(Value::Int(3) == Value::Double(3.0));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::Text("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, CastToInt) {
+  EXPECT_EQ(Value::Text("42").CastTo(ValueType::kInt)->AsInt(), 42);
+  EXPECT_EQ(Value::Double(3.9).CastTo(ValueType::kInt)->AsInt(), 3);
+  EXPECT_FALSE(Value::Text("abc").CastTo(ValueType::kInt).ok());
+  EXPECT_TRUE(Value::Null().CastTo(ValueType::kInt)->is_null());
+}
+
+TEST(ValueTest, CastToDouble) {
+  EXPECT_DOUBLE_EQ(Value::Text("1.5").CastTo(ValueType::kDouble)->AsDouble(),
+                   1.5);
+  EXPECT_DOUBLE_EQ(Value::Int(2).CastTo(ValueType::kDouble)->AsDouble(), 2.0);
+  EXPECT_FALSE(Value::Text("1.14.17.3").CastTo(ValueType::kDouble).ok());
+}
+
+TEST(ValueTest, CastToText) {
+  EXPECT_EQ(Value::Int(7).CastTo(ValueType::kText)->AsText(), "7");
+  EXPECT_EQ(Value::Text("x").CastTo(ValueType::kText)->AsText(), "x");
+}
+
+TEST(ValueTest, ToNumeric) {
+  EXPECT_DOUBLE_EQ(*Value::Int(4).ToNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(4.5).ToNumeric(), 4.5);
+  EXPECT_FALSE(Value::Text("4").ToNumeric().ok());
+  EXPECT_FALSE(Value::Null().ToNumeric().ok());
+}
+
+TEST(CompositeKeyTest, LexicographicOrder) {
+  CompositeKey a{Value::Int(1), Value::Text("b")};
+  CompositeKey b{Value::Int(1), Value::Text("c")};
+  CompositeKey c{Value::Int(2)};
+  EXPECT_LT(CompareCompositeKeys(a, b), 0);
+  EXPECT_LT(CompareCompositeKeys(a, c), 0);
+  EXPECT_EQ(CompareCompositeKeys(a, a), 0);
+}
+
+TEST(CompositeKeyTest, PrefixIsSmaller) {
+  CompositeKey prefix{Value::Int(1)};
+  CompositeKey full{Value::Int(1), Value::Int(0)};
+  EXPECT_LT(CompareCompositeKeys(prefix, full), 0);
+  EXPECT_GT(CompareCompositeKeys(full, prefix), 0);
+}
+
+TEST(CompositeKeyTest, HasherAgreesWithEq) {
+  CompositeKeyHasher hasher;
+  CompositeKeyEq eq;
+  CompositeKey a{Value::Int(3), Value::Text("x")};
+  CompositeKey b{Value::Double(3.0), Value::Text("x")};
+  EXPECT_TRUE(eq(a, b));
+  EXPECT_EQ(hasher(a), hasher(b));
+}
+
+}  // namespace
+}  // namespace xomatiq::rel

@@ -1,0 +1,141 @@
+#include "relational/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace xomatiq::rel {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/wal_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log";
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendAndReplay) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("one").ok());
+    ASSERT_TRUE((*wal)->Append("two").ok());
+    ASSERT_TRUE((*wal)->Append("").ok());
+  }
+  std::vector<std::string> seen;
+  auto count = WriteAheadLog::Replay(path_, [&](std::string_view payload) {
+    seen.emplace_back(payload);
+    return common::Status::OK();
+  });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 3u);
+  EXPECT_EQ(seen, (std::vector<std::string>{"one", "two", ""}));
+}
+
+TEST_F(WalTest, MissingFileIsEmptyLog) {
+  auto count = WriteAheadLog::Replay(path_, [](std::string_view) {
+    return common::Status::OK();
+  });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+TEST_F(WalTest, TornTailIsIgnored) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE((*wal)->Append("intact").ok());
+    ASSERT_TRUE((*wal)->Append("will be torn").ok());
+  }
+  // Truncate mid-record to simulate a crash during write.
+  auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 5);
+  bool truncated = false;
+  std::vector<std::string> seen;
+  auto count = WriteAheadLog::Replay(
+      path_,
+      [&](std::string_view payload) {
+        seen.emplace_back(payload);
+        return common::Status::OK();
+      },
+      &truncated);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(seen, std::vector<std::string>{"intact"});
+}
+
+TEST_F(WalTest, CorruptPayloadStopsReplay) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE((*wal)->Append("first").ok());
+    ASSERT_TRUE((*wal)->Append("second").ok());
+  }
+  // Flip a byte inside the second record's payload.
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-2, std::ios::end);
+    f.put('X');
+  }
+  bool truncated = false;
+  size_t replayed = 0;
+  auto count = WriteAheadLog::Replay(
+      path_,
+      [&](std::string_view) {
+        ++replayed;
+        return common::Status::OK();
+      },
+      &truncated);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(replayed, 1u);
+  EXPECT_TRUE(truncated);
+}
+
+TEST_F(WalTest, ResetTruncates) {
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_TRUE((*wal)->Append("before checkpoint").ok());
+  ASSERT_TRUE((*wal)->Reset().ok());
+  ASSERT_TRUE((*wal)->Append("after").ok());
+  std::vector<std::string> seen;
+  auto count = WriteAheadLog::Replay(path_, [&](std::string_view payload) {
+    seen.emplace_back(payload);
+    return common::Status::OK();
+  });
+  EXPECT_EQ(seen, std::vector<std::string>{"after"});
+}
+
+TEST_F(WalTest, ReplayCallbackErrorPropagates) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE((*wal)->Append("x").ok());
+  }
+  auto count = WriteAheadLog::Replay(path_, [](std::string_view) {
+    return common::Status::Corruption("boom");
+  });
+  EXPECT_FALSE(count.ok());
+}
+
+TEST_F(WalTest, BinaryPayloadSafe) {
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE((*wal)->Append(payload).ok());
+  }
+  std::string seen;
+  auto count = WriteAheadLog::Replay(path_, [&](std::string_view p) {
+    seen = std::string(p);
+    return common::Status::OK();
+  });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(seen, payload);
+}
+
+}  // namespace
+}  // namespace xomatiq::rel

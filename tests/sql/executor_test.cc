@@ -1,0 +1,202 @@
+#include "sql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/engine.h"
+
+namespace xomatiq::sql {
+namespace {
+
+using rel::Database;
+using rel::Tuple;
+using rel::Value;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = Database::OpenInMemory();
+    engine_ = std::make_unique<SqlEngine>(db_.get());
+    Run("CREATE TABLE t (id INT, grp INT, name TEXT, score DOUBLE)");
+    const char* rows[] = {
+        "(1, 1, 'alpha', 1.0)",  "(2, 1, 'beta', 2.0)",
+        "(3, 2, 'gamma', NULL)", "(4, 2, 'delta', 4.0)",
+        "(5, 3, 'alpha', 5.0)",
+    };
+    for (const char* r : rows) {
+      Run(std::string("INSERT INTO t VALUES ") + r);
+    }
+  }
+
+  void Run(const std::string& sql) {
+    auto r = engine_->Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+  }
+
+  QueryResult Query(const std::string& sql) {
+    auto r = engine_->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    return r.ok() ? std::move(*r) : QueryResult{};
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<SqlEngine> engine_;
+};
+
+TEST_F(ExecutorTest, ProjectionAndFilter) {
+  QueryResult r = Query("SELECT name FROM t WHERE grp = 2 ORDER BY id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "gamma");
+  EXPECT_EQ(r.rows[1][0].AsText(), "delta");
+}
+
+TEST_F(ExecutorTest, SelectStarKeepsAllColumns) {
+  QueryResult r = Query("SELECT * FROM t WHERE id = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].size(), 4u);
+  EXPECT_EQ(r.schema.column(2).name, "name");
+}
+
+TEST_F(ExecutorTest, NullNeverMatchesComparison) {
+  QueryResult eq = Query("SELECT id FROM t WHERE score = 4.0");
+  EXPECT_EQ(eq.rows.size(), 1u);
+  QueryResult lt = Query("SELECT id FROM t WHERE score < 100");
+  EXPECT_EQ(lt.rows.size(), 4u);  // NULL score row excluded
+  QueryResult isnull = Query("SELECT id FROM t WHERE score IS NULL");
+  ASSERT_EQ(isnull.rows.size(), 1u);
+  EXPECT_EQ(isnull.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, OrderByDescWithNulls) {
+  QueryResult r = Query("SELECT id FROM t ORDER BY score DESC, id");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  // NULL sorts lowest, so DESC puts it last.
+  EXPECT_EQ(r.rows[4][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, LimitOffset) {
+  QueryResult r = Query("SELECT id FROM t ORDER BY id LIMIT 2 OFFSET 1");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 3);
+  EXPECT_EQ(Query("SELECT id FROM t LIMIT 0").rows.size(), 0u);
+  EXPECT_EQ(Query("SELECT id FROM t LIMIT 100").rows.size(), 5u);
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  QueryResult r = Query("SELECT DISTINCT name FROM t ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 4u);  // alpha dedups
+}
+
+TEST_F(ExecutorTest, GroupByWithAggregates) {
+  QueryResult r = Query(
+      "SELECT grp, COUNT(*) AS n, SUM(score) AS total, MIN(name) AS lo "
+      "FROM t GROUP BY grp ORDER BY grp");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);                 // grp 1 count
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 3.0);     // 1.0 + 2.0
+  EXPECT_EQ(r.rows[1][1].AsInt(), 2);                 // grp 2 count
+  EXPECT_DOUBLE_EQ(r.rows[1][2].AsDouble(), 4.0);     // NULL skipped
+  EXPECT_EQ(r.rows[0][3].AsText(), "alpha");
+}
+
+TEST_F(ExecutorTest, CountColumnSkipsNulls) {
+  QueryResult r = Query("SELECT COUNT(score), COUNT(*) FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 5);
+}
+
+TEST_F(ExecutorTest, GrandAggregateOnEmptyInput) {
+  QueryResult r =
+      Query("SELECT COUNT(*), SUM(score), MIN(id) FROM t WHERE id > 100");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_TRUE(r.rows[0][2].is_null());
+}
+
+TEST_F(ExecutorTest, Having) {
+  QueryResult r = Query(
+      "SELECT grp, COUNT(*) AS n FROM t GROUP BY grp "
+      "HAVING COUNT(*) > 1 ORDER BY grp");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, AvgIsDouble) {
+  QueryResult r = Query("SELECT AVG(score) FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 3.0);  // (1+2+4+5)/4
+}
+
+TEST_F(ExecutorTest, JoinCombinations) {
+  Run("CREATE TABLE u (tid INT, tag TEXT)");
+  Run("INSERT INTO u VALUES (1, 'x'), (1, 'y'), (3, 'z'), (99, 'w')");
+  // Hash join (no index on either side).
+  QueryResult r = Query(
+      "SELECT t.id, u.tag FROM t, u WHERE t.id = u.tid ORDER BY t.id, u.tag");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsText(), "x");
+  EXPECT_EQ(r.rows[2][1].AsText(), "z");
+  // Same result with an index available (index-nested-loop path).
+  Run("CREATE INDEX t_id ON t (id) USING HASH");
+  QueryResult r2 = Query(
+      "SELECT t.id, u.tag FROM u, t WHERE t.id = u.tid ORDER BY t.id, u.tag");
+  ASSERT_EQ(r2.rows.size(), 3u);
+  for (size_t i = 0; i < r.rows.size(); ++i) {
+    EXPECT_EQ(r.rows[i][0].AsInt(), r2.rows[i][0].AsInt());
+    EXPECT_EQ(r.rows[i][1].AsText(), r2.rows[i][1].AsText());
+  }
+}
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  Run("CREATE TABLE a (x INT)");
+  Run("CREATE TABLE b (x INT)");
+  Run("INSERT INTO a VALUES (1), (2)");
+  Run("INSERT INTO b VALUES (2), (3)");
+  QueryResult r = Query(
+      "SELECT t.id FROM a, b, t WHERE a.x = b.x AND b.x = t.id");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, ExplicitJoinSyntax) {
+  Run("CREATE TABLE u (tid INT, tag TEXT)");
+  Run("INSERT INTO u VALUES (1, 'x')");
+  QueryResult r =
+      Query("SELECT u.tag FROM t JOIN u ON t.id = u.tid");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "x");
+}
+
+TEST_F(ExecutorTest, DeleteAndUpdateThroughEngine) {
+  auto del = engine_->Execute("DELETE FROM t WHERE grp = 1");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->affected, 2u);
+  EXPECT_EQ(Query("SELECT id FROM t").rows.size(), 3u);
+  auto upd = engine_->Execute("UPDATE t SET score = score + 1 WHERE id = 4");
+  ASSERT_TRUE(upd.ok());
+  EXPECT_EQ(upd->affected, 1u);
+  QueryResult r = Query("SELECT score FROM t WHERE id = 4");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 5.0);
+}
+
+TEST_F(ExecutorTest, InsertWithColumnListFillsNulls) {
+  Run("INSERT INTO t (id) VALUES (42)");
+  QueryResult r = Query("SELECT name FROM t WHERE id = 42");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_TRUE(r.rows[0][0].is_null());
+}
+
+TEST_F(ExecutorTest, ToTableRendering) {
+  QueryResult r = Query("SELECT id, name FROM t WHERE id = 1");
+  std::string table = r.ToTable();
+  EXPECT_NE(table.find("| id | name"), std::string::npos) << table;
+  EXPECT_NE(table.find("| 1  | alpha"), std::string::npos) << table;
+  EXPECT_NE(table.find("1 row(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xomatiq::sql

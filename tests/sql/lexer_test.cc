@@ -1,0 +1,81 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::sql {
+namespace {
+
+TEST(SqlLexerTest, KeywordsCaseInsensitive) {
+  auto toks = Tokenize("select From WHERE");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 4u);  // + EOF
+  EXPECT_TRUE((*toks)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*toks)[1].IsKeyword("FROM"));
+  EXPECT_TRUE((*toks)[2].IsKeyword("WHERE"));
+  EXPECT_EQ((*toks)[3].type, TokenType::kEof);
+}
+
+TEST(SqlLexerTest, IdentifiersKeepCase) {
+  auto toks = Tokenize("xml_Node d_a");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*toks)[0].text, "xml_Node");
+  EXPECT_EQ((*toks)[1].text, "d_a");
+}
+
+TEST(SqlLexerTest, StringLiteralsWithEscapes) {
+  auto toks = Tokenize("'it''s a ''test'''");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kString);
+  EXPECT_EQ((*toks)[0].text, "it's a 'test'");
+}
+
+TEST(SqlLexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(SqlLexerTest, Numbers) {
+  auto toks = Tokenize("42 -7 3.14 1e3 2.5E-2");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*toks)[0].int_value, 42);
+  // '-7' lexes as symbol '-' then integer 7 (unary minus is parsed).
+  EXPECT_TRUE((*toks)[1].IsSymbol("-"));
+  EXPECT_EQ((*toks)[2].int_value, 7);
+  EXPECT_EQ((*toks)[3].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ((*toks)[3].double_value, 3.14);
+  EXPECT_DOUBLE_EQ((*toks)[4].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*toks)[5].double_value, 0.025);
+}
+
+TEST(SqlLexerTest, MultiCharSymbols) {
+  auto toks = Tokenize("<= >= != <> ||");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[0].IsSymbol("<="));
+  EXPECT_TRUE((*toks)[1].IsSymbol(">="));
+  EXPECT_TRUE((*toks)[2].IsSymbol("!="));
+  EXPECT_TRUE((*toks)[3].IsSymbol("!="));  // <> normalizes
+  EXPECT_TRUE((*toks)[4].IsSymbol("||"));
+}
+
+TEST(SqlLexerTest, LineComments) {
+  auto toks = Tokenize("SELECT -- comment here\n 1");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);
+  EXPECT_TRUE((*toks)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*toks)[1].int_value, 1);
+}
+
+TEST(SqlLexerTest, QuotedIdentifiers) {
+  auto toks = Tokenize("\"weird name\"");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*toks)[0].text, "weird name");
+}
+
+TEST(SqlLexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("SELECT #").ok());
+}
+
+}  // namespace
+}  // namespace xomatiq::sql

@@ -1,0 +1,164 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::sql {
+namespace {
+
+TEST(SqlParserTest, CreateTable) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE t (id INT NOT NULL, name TEXT, score DOUBLE, "
+      "tag VARCHAR(32), pk INTEGER PRIMARY KEY)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, StatementKind::kCreateTable);
+  const CreateTableStmt& ct = stmt->create_table;
+  EXPECT_EQ(ct.table, "t");
+  ASSERT_EQ(ct.columns.size(), 5u);
+  EXPECT_TRUE(ct.columns[0].not_null);
+  EXPECT_EQ(ct.columns[1].type, rel::ValueType::kText);
+  EXPECT_EQ(ct.columns[2].type, rel::ValueType::kDouble);
+  EXPECT_EQ(ct.columns[3].type, rel::ValueType::kText);
+  EXPECT_TRUE(ct.columns[4].not_null);  // PRIMARY KEY implies NOT NULL
+}
+
+TEST(SqlParserTest, CreateIndexVariants) {
+  auto stmt = ParseStatement(
+      "CREATE UNIQUE INDEX idx ON t (a, b) USING HASH");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->create_index.unique);
+  EXPECT_EQ(stmt->create_index.kind, rel::IndexKind::kHash);
+  EXPECT_EQ(stmt->create_index.columns,
+            (std::vector<std::string>{"a", "b"}));
+  auto inv = ParseStatement("CREATE INDEX kw ON t (v) USING INVERTED");
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->create_index.kind, rel::IndexKind::kInverted);
+  auto btree = ParseStatement("CREATE INDEX b ON t (v)");
+  ASSERT_TRUE(btree.ok());
+  EXPECT_EQ(btree->create_index.kind, rel::IndexKind::kBTree);
+}
+
+TEST(SqlParserTest, InsertMultipleRows) {
+  auto stmt = ParseStatement(
+      "INSERT INTO t (id, name) VALUES (1, 'a'), (2, NULL)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->insert.rows.size(), 2u);
+  EXPECT_EQ(stmt->insert.columns, (std::vector<std::string>{"id", "name"}));
+}
+
+TEST(SqlParserTest, SelectFullClause) {
+  auto stmt = ParseStatement(
+      "SELECT DISTINCT a.id AS x, COUNT(*) AS n FROM t a, u "
+      "JOIN v ON v.id = a.id "
+      "WHERE a.id > 3 AND u.name LIKE 'x%' "
+      "GROUP BY a.id HAVING COUNT(*) > 1 "
+      "ORDER BY n DESC, x LIMIT 10 OFFSET 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& s = stmt->select;
+  EXPECT_TRUE(s.distinct);
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].alias, "x");
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].alias, "a");
+  EXPECT_EQ(s.from[1].alias, "u");
+  ASSERT_EQ(s.joins.size(), 1u);
+  ASSERT_NE(s.where, nullptr);
+  ASSERT_EQ(s.group_by.size(), 1u);
+  ASSERT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].desc);
+  EXPECT_FALSE(s.order_by[1].desc);
+  EXPECT_EQ(s.limit, 10);
+  EXPECT_EQ(s.offset, 5);
+}
+
+TEST(SqlParserTest, SelectStar) {
+  auto stmt = ParseStatement("SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->select.items.size(), 1u);
+  EXPECT_TRUE(stmt->select.items[0].is_star);
+}
+
+TEST(SqlParserTest, ExpressionPrecedence) {
+  auto e = ParseExpression("a = 1 OR b = 2 AND NOT c = 3");
+  ASSERT_TRUE(e.ok());
+  // OR binds loosest: (a=1) OR ((b=2) AND (NOT (c=3)))
+  EXPECT_EQ((*e)->ToString(),
+            "((a = 1) OR ((b = 2) AND NOT (c = 3)))");
+}
+
+TEST(SqlParserTest, ArithmeticPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3 - 4 / 2");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "((1 + (2 * 3)) - (4 / 2))");
+}
+
+TEST(SqlParserTest, SpecialPredicates) {
+  EXPECT_TRUE(ParseExpression("x IS NULL").ok());
+  EXPECT_TRUE(ParseExpression("x IS NOT NULL").ok());
+  EXPECT_TRUE(ParseExpression("x NOT LIKE 'a%'").ok());
+  EXPECT_TRUE(ParseExpression("x IN (1, 2, 3)").ok());
+  EXPECT_TRUE(ParseExpression("x NOT IN ('a')").ok());
+  EXPECT_TRUE(ParseExpression("x BETWEEN 1 AND 10").ok());
+  EXPECT_TRUE(ParseExpression("CONTAINS(v, 'cdc6')").ok());
+  EXPECT_TRUE(ParseExpression("LOWER(x) = 'abc'").ok());
+  EXPECT_TRUE(ParseExpression("LENGTH(x) > 3").ok());
+}
+
+TEST(SqlParserTest, QualifiedColumnNames) {
+  auto e = ParseExpression("d_a.doc_id = n_a.doc_id");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->left->column_name, "d_a.doc_id");
+}
+
+TEST(SqlParserTest, DeleteAndUpdate) {
+  auto del = ParseStatement("DELETE FROM t WHERE id = 3");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->kind, StatementKind::kDelete);
+  ASSERT_NE(del->del.where, nullptr);
+  auto upd = ParseStatement("UPDATE t SET a = 1, b = b + 1 WHERE id = 2");
+  ASSERT_TRUE(upd.ok());
+  ASSERT_EQ(upd->update.sets.size(), 2u);
+}
+
+TEST(SqlParserTest, Explain) {
+  auto stmt = ParseStatement("EXPLAIN SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, StatementKind::kExplain);
+}
+
+TEST(SqlParserTest, Drop) {
+  auto t = ParseStatement("DROP TABLE t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->drop.is_table);
+  auto i = ParseStatement("DROP INDEX idx");
+  ASSERT_TRUE(i.ok());
+  EXPECT_FALSE(i->drop.is_table);
+}
+
+TEST(SqlParserTest, ErrorsAreParseErrors) {
+  const char* bad[] = {
+      "SELECT",                      // missing items
+      "SELECT a FROM",               // missing table
+      "CREATE TABLE t ()",           // no columns
+      "INSERT INTO t VALUES",        // no rows
+      "SELECT a FROM t WHERE",       // dangling where
+      "SELECT a FROM t LIMIT 'x'",   // non-integer limit
+      "SELECT a FROM t 42",          // trailing input
+      "UPDATE t",                    // missing SET
+  };
+  for (const char* sql : bad) {
+    auto stmt = ParseStatement(sql);
+    EXPECT_FALSE(stmt.ok()) << sql;
+  }
+}
+
+TEST(SqlParserTest, ExprCloneIsDeep) {
+  auto e = ParseExpression("a + 1 BETWEEN b AND c + 2");
+  ASSERT_TRUE(e.ok());
+  ExprPtr clone = (*e)->Clone();
+  EXPECT_EQ(clone->ToString(), (*e)->ToString());
+  EXPECT_NE(clone->left.get(), (*e)->left.get());
+}
+
+}  // namespace
+}  // namespace xomatiq::sql

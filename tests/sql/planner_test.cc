@@ -1,0 +1,196 @@
+#include "sql/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/engine.h"
+#include "sql/parser.h"
+
+namespace xomatiq::sql {
+namespace {
+
+using rel::Database;
+using rel::IndexKind;
+
+// Fixture with a small warehouse-shaped catalog and indexes.
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = Database::OpenInMemory();
+    engine_ = std::make_unique<SqlEngine>(db_.get());
+    Run("CREATE TABLE node (doc INT, id INT, path INT, ord INT)");
+    Run("CREATE TABLE txt (node INT, value TEXT)");
+    Run("CREATE INDEX node_id ON node (id) USING HASH");
+    Run("CREATE INDEX node_path ON node (path)");
+    Run("CREATE INDEX node_doc_ord ON node (doc, ord)");
+    Run("CREATE INDEX txt_node ON txt (node) USING HASH");
+    Run("CREATE INDEX txt_kw ON txt (value) USING INVERTED");
+    for (int i = 0; i < 20; ++i) {
+      Run("INSERT INTO node VALUES (" + std::to_string(i / 5) + ", " +
+          std::to_string(i) + ", " + std::to_string(i % 3) + ", " +
+          std::to_string(i % 5) + ")");
+      Run("INSERT INTO txt VALUES (" + std::to_string(i) +
+          ", 'value token" + std::to_string(i) + "')");
+    }
+  }
+
+  void Run(const std::string& sql) {
+    auto r = engine_->Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+  }
+
+  std::string Explain(const std::string& sql) {
+    auto r = engine_->Execute("EXPLAIN " + sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    return r.ok() ? r->explain_text : "";
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<SqlEngine> engine_;
+};
+
+TEST_F(PlannerTest, EqualityPicksHashIndex) {
+  std::string plan = Explain("SELECT id FROM node WHERE id = 7");
+  EXPECT_NE(plan.find("IndexScan node USING node_id"), std::string::npos)
+      << plan;
+}
+
+TEST_F(PlannerTest, EqualityOnBtreeColumn) {
+  std::string plan = Explain("SELECT id FROM node WHERE path = 1");
+  EXPECT_NE(plan.find("IndexScan node USING node_path"), std::string::npos)
+      << plan;
+}
+
+TEST_F(PlannerTest, RangePicksBtree) {
+  std::string plan = Explain("SELECT id FROM node WHERE path > 1");
+  EXPECT_NE(plan.find("IndexScan node USING node_path"), std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("> 1"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, CompositePrefixEquality) {
+  std::string plan =
+      Explain("SELECT id FROM node WHERE doc = 2 AND ord = 3");
+  EXPECT_NE(plan.find("node_doc_ord"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("key=(2, 3)"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, ContainsPicksInvertedIndex) {
+  std::string plan =
+      Explain("SELECT value FROM txt WHERE CONTAINS(value, 'token3')");
+  EXPECT_NE(plan.find("KeywordScan txt USING txt_kw"), std::string::npos)
+      << plan;
+}
+
+TEST_F(PlannerTest, NoIndexFallsBackToSeqScanFilter) {
+  std::string plan = Explain("SELECT id FROM node WHERE ord = 2");
+  EXPECT_NE(plan.find("SeqScan node"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Filter"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, EquiJoinWithInnerIndexPicksIndexNestedLoop) {
+  std::string plan = Explain(
+      "SELECT t.value FROM txt t, node n WHERE t.node = n.id");
+  // txt first, node joined via its hash index.
+  EXPECT_NE(plan.find("IndexNLJoin inner=node USING node_id"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(PlannerTest, EquiJoinWithoutIndexPicksHashJoin) {
+  std::string plan = Explain(
+      "SELECT n.id FROM node n, node m WHERE n.ord = m.ord");
+  EXPECT_NE(plan.find("HashJoin"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, CrossJoinIsNestedLoop) {
+  std::string plan = Explain("SELECT n.id FROM node n, txt t LIMIT 1");
+  EXPECT_NE(plan.find("NestedLoopJoin"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, UnknownColumnIsError) {
+  auto r = engine_->Execute("SELECT nothing FROM node");
+  EXPECT_FALSE(r.ok());
+  auto w = engine_->Execute("SELECT id FROM node WHERE ghost = 1");
+  EXPECT_FALSE(w.ok());
+}
+
+TEST_F(PlannerTest, DuplicateAliasRejected) {
+  auto r = engine_->Execute("SELECT x.id FROM node x, txt x");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PlannerTest, AggregateShapesPlan) {
+  std::string plan = Explain(
+      "SELECT doc, COUNT(*) FROM node GROUP BY doc HAVING COUNT(*) > 2");
+  EXPECT_NE(plan.find("Aggregate"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Filter"), std::string::npos) << plan;  // HAVING
+}
+
+TEST_F(PlannerTest, BareColumnOutsideGroupByRejected) {
+  auto r = engine_->Execute("SELECT id, COUNT(*) FROM node GROUP BY doc");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PlannerTest, OrderBySortsBeforeOrAfterProjection) {
+  // Key available pre-projection.
+  std::string pre = Explain("SELECT id FROM node ORDER BY ord");
+  EXPECT_NE(pre.find("Sort"), std::string::npos);
+  // Key references the output alias -> sorts after projection.
+  std::string post =
+      Explain("SELECT id + 1 AS shifted FROM node ORDER BY shifted");
+  EXPECT_NE(post.find("Sort"), std::string::npos);
+}
+
+TEST_F(PlannerTest, LikePrefixUsesBtreeRangeWithResidualFilter) {
+  Run("CREATE TABLE s (name TEXT)");
+  Run("CREATE INDEX s_name ON s (name)");
+  Run("INSERT INTO s VALUES ('alpha'), ('alphabet'), ('beta'), ('alp')");
+  std::string plan = Explain("SELECT name FROM s WHERE name LIKE 'alpha%'");
+  EXPECT_NE(plan.find("IndexScan s USING s_name"), std::string::npos)
+      << plan;
+  // The range is a superset, so the LIKE stays as a filter.
+  EXPECT_NE(plan.find("Filter"), std::string::npos) << plan;
+  auto r = engine_->Execute("SELECT name FROM s WHERE name LIKE 'alpha%' "
+                            "ORDER BY name");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].AsText(), "alpha");
+  EXPECT_EQ(r->rows[1][0].AsText(), "alphabet");
+  // Leading-wildcard patterns cannot use the index.
+  std::string scan = Explain("SELECT name FROM s WHERE name LIKE '%pha'");
+  EXPECT_NE(scan.find("SeqScan"), std::string::npos) << scan;
+}
+
+TEST_F(PlannerTest, GreedyOrderAvoidsEarlyCrossProduct) {
+  // node and txt connect via t.node = n.id; the second node alias m only
+  // connects through txt (t.node = m.ord). FROM order (n, m, t) would
+  // cross n x m first; greedy ordering must chain n -> t -> m instead.
+  std::string plan = Explain(
+      "SELECT n.id FROM node n, node m, txt t "
+      "WHERE t.node = n.id AND t.node = m.ord");
+  EXPECT_EQ(plan.find("NestedLoopJoin"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, DisconnectedComponentsFilteredBeforeCross) {
+  // Two independent single-table filters joined by nothing: each side
+  // must carry its filter below the cross product.
+  std::string plan = Explain(
+      "SELECT n.id FROM node n, txt t "
+      "WHERE n.id = 3 AND CONTAINS(t.value, 'token5')");
+  size_t cross = plan.find("NestedLoopJoin");
+  ASSERT_NE(cross, std::string::npos) << plan;
+  // Both access paths appear below (after, in the printed tree) the join
+  // node and are index-driven, not residual filters above it.
+  EXPECT_GT(plan.find("IndexScan node USING node_id"), cross) << plan;
+  EXPECT_GT(plan.find("KeywordScan txt USING txt_kw"), cross) << plan;
+  EXPECT_EQ(plan.find("Filter"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, IndexConsumedPredicateNotReFiltered) {
+  // Single equality fully served by the index: no residual Filter.
+  std::string plan = Explain("SELECT id FROM node WHERE id = 3");
+  EXPECT_EQ(plan.find("Filter"), std::string::npos) << plan;
+}
+
+}  // namespace
+}  // namespace xomatiq::sql

@@ -1,0 +1,112 @@
+#include "xml/dom.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::xml {
+namespace {
+
+std::unique_ptr<XmlNode> BuildSample() {
+  auto root = std::make_unique<XmlNode>(NodeKind::kElement, "db_entry");
+  root->AddTextElement("enzyme_id", "1.14.17.3");
+  XmlNode* list = root->AddElement("alternate_name_list");
+  list->AddTextElement("alternate_name", "first");
+  list->AddTextElement("alternate_name", "second");
+  XmlNode* ref = root->AddElement("reference");
+  ref->AddAttribute("name", "AMD_BOVIN");
+  ref->AddAttribute("swissprot_accession_number", "P10731");
+  return root;
+}
+
+TEST(DomTest, ChildNavigation) {
+  auto root = BuildSample();
+  EXPECT_EQ(root->ChildText("enzyme_id"), "1.14.17.3");
+  EXPECT_EQ(root->FirstChildElement("missing"), nullptr);
+  const XmlNode* list = root->FirstChildElement("alternate_name_list");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->ChildElements("alternate_name").size(), 2u);
+  EXPECT_EQ(root->ChildElements().size(), 3u);
+}
+
+TEST(DomTest, Attributes) {
+  auto root = BuildSample();
+  const XmlNode* ref = root->FirstChildElement("reference");
+  ASSERT_NE(ref, nullptr);
+  ASSERT_NE(ref->FindAttribute("name"), nullptr);
+  EXPECT_EQ(*ref->FindAttribute("name"), "AMD_BOVIN");
+  EXPECT_EQ(ref->FindAttribute("nope"), nullptr);
+  EXPECT_EQ(ref->attributes().size(), 2u);
+}
+
+TEST(DomTest, DescendantsAndVisit) {
+  auto root = BuildSample();
+  EXPECT_EQ(root->Descendants("alternate_name").size(), 2u);
+  size_t visited = 0;
+  root->Visit([&](const XmlNode&) {
+    ++visited;
+    return true;
+  });
+  // db_entry + enzyme_id + text + list + 2*(name + text) + reference.
+  EXPECT_EQ(visited, root->SubtreeSize());
+  EXPECT_EQ(visited, 9u);
+  // Early stop.
+  size_t stopped = 0;
+  root->Visit([&](const XmlNode&) { return ++stopped < 3; });
+  EXPECT_EQ(stopped, 3u);
+}
+
+TEST(DomTest, LabelPath) {
+  XmlDocument doc;
+  XmlNode* root = doc.CreateRoot("hlx_enzyme");
+  XmlNode* entry = root->AddElement("db_entry");
+  XmlNode* id = entry->AddElement("enzyme_id");
+  EXPECT_EQ(root->LabelPath(), "/hlx_enzyme");
+  EXPECT_EQ(id->LabelPath(), "/hlx_enzyme/db_entry/enzyme_id");
+}
+
+TEST(DomTest, CloneIsDeepAndEqual) {
+  auto root = BuildSample();
+  auto copy = root->Clone();
+  EXPECT_TRUE(XmlNode::DeepEqual(*root, *copy));
+  EXPECT_NE(root.get(), copy.get());
+  copy->AddElement("extra");
+  EXPECT_FALSE(XmlNode::DeepEqual(*root, *copy));
+}
+
+TEST(DomTest, DeepEqualIsOrderSensitive) {
+  auto a = std::make_unique<XmlNode>(NodeKind::kElement, "r");
+  a->AddTextElement("x", "1");
+  a->AddTextElement("y", "2");
+  auto b = std::make_unique<XmlNode>(NodeKind::kElement, "r");
+  b->AddTextElement("y", "2");
+  b->AddTextElement("x", "1");
+  EXPECT_FALSE(XmlNode::DeepEqual(*a, *b));
+}
+
+TEST(DomTest, DocumentRootAccess) {
+  XmlDocument doc;
+  EXPECT_EQ(doc.root(), nullptr);
+  doc.CreateRoot("top");
+  ASSERT_NE(doc.root(), nullptr);
+  EXPECT_EQ(doc.root()->name(), "top");
+  EXPECT_EQ(doc.root()->parent(), &doc.document_node());
+}
+
+TEST(DomTest, DocumentMoveKeepsParentPointers) {
+  XmlDocument doc;
+  doc.CreateRoot("top")->AddElement("child");
+  XmlDocument moved = std::move(doc);
+  const XmlNode* root = moved.root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->children().front()->parent(), root);
+  EXPECT_EQ(root->LabelPath(), "/top");
+}
+
+TEST(DomTest, MixedTextConcatenation) {
+  auto node = std::make_unique<XmlNode>(NodeKind::kElement, "e");
+  node->AddText("a");
+  node->AddText("b");
+  EXPECT_EQ(node->Text(), "ab");
+}
+
+}  // namespace
+}  // namespace xomatiq::xml

@@ -1,0 +1,159 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::xml {
+namespace {
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto doc = ParseXml("<root/>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_NE(doc->root(), nullptr);
+  EXPECT_EQ(doc->root()->name(), "root");
+  EXPECT_TRUE(doc->root()->children().empty());
+}
+
+TEST(XmlParserTest, DeclarationAndDoctype) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!DOCTYPE hlx_enzyme [ <!ELEMENT hlx_enzyme (x)> ]>\n"
+      "<hlx_enzyme><x>1</x></hlx_enzyme>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->doctype_name(), "hlx_enzyme");
+  EXPECT_EQ(doc->root()->ChildText("x"), "1");
+}
+
+TEST(XmlParserTest, AttributesBothQuoteStyles) {
+  auto doc = ParseXml("<e a=\"1\" b='two' c=\"with 'quotes'\"/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root()->FindAttribute("a"), "1");
+  EXPECT_EQ(*doc->root()->FindAttribute("b"), "two");
+  EXPECT_EQ(*doc->root()->FindAttribute("c"), "with 'quotes'");
+}
+
+TEST(XmlParserTest, DuplicateAttributeRejected) {
+  EXPECT_FALSE(ParseXml("<e a=\"1\" a=\"2\"/>").ok());
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  auto doc = ParseXml("<e a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</e>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root()->FindAttribute("a"), "<&>");
+  EXPECT_EQ(doc->root()->Text(), "\"x' AB");
+}
+
+TEST(XmlParserTest, NumericEntityUtf8) {
+  auto doc = ParseXml("<e>&#955;&#x1F9EC;</e>");  // lambda + dna emoji
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->Text(), "\xCE\xBB\xF0\x9F\xA7\xAC");
+}
+
+TEST(XmlParserTest, BadEntitiesRejected) {
+  EXPECT_FALSE(ParseXml("<e>&nope;</e>").ok());
+  EXPECT_FALSE(ParseXml("<e>&#xZZ;</e>").ok());
+  EXPECT_FALSE(ParseXml("<e>&#0;</e>").ok());
+  EXPECT_FALSE(ParseXml("<e>& loose</e>").ok());
+}
+
+TEST(XmlParserTest, Cdata) {
+  auto doc = ParseXml("<e><![CDATA[a <raw> & b]]></e>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->Text(), "a <raw> & b");
+}
+
+TEST(XmlParserTest, CommentsSkippedByDefault) {
+  auto doc = ParseXml("<e><!-- hidden --><x>1</x></e>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->children().size(), 1u);
+}
+
+TEST(XmlParserTest, CommentsKeptOnRequest) {
+  ParseOptions options;
+  options.keep_comments = true;
+  auto doc = ParseXml("<e><!-- hello --></e>", options);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root()->children().size(), 1u);
+  EXPECT_EQ(doc->root()->children()[0]->kind(), NodeKind::kComment);
+  EXPECT_EQ(doc->root()->children()[0]->value(), " hello ");
+}
+
+TEST(XmlParserTest, WhitespaceStrippingToggle) {
+  const char* text = "<e>\n  <x>1</x>\n</e>";
+  auto stripped = ParseXml(text);
+  ASSERT_TRUE(stripped.ok());
+  EXPECT_EQ(stripped->root()->children().size(), 1u);
+  ParseOptions keep;
+  keep.strip_whitespace_text = false;
+  auto kept = ParseXml(text, keep);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->root()->children().size(), 3u);
+}
+
+TEST(XmlParserTest, NestedStructure) {
+  auto doc = ParseXml(
+      "<a><b><c>deep</c></b><b><c>two</c></b></a>");
+  ASSERT_TRUE(doc.ok());
+  auto bs = doc->root()->ChildElements("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[1]->ChildText("c"), "two");
+}
+
+TEST(XmlParserTest, WellFormednessErrors) {
+  const char* bad[] = {
+      "",                          // empty
+      "<a>",                       // unterminated
+      "<a></b>",                   // mismatched tags
+      "<a><b></a></b>",            // interleaved
+      "<a attr></a>",              // attribute without value
+      "<a 'x'=1/>",                // bad attribute name
+      "<a/><b/>",                  // two roots
+      "text only",                 // no element
+      "<a>text</a> trailing<b/>",  // trailing content
+      "<a attr=\"x></a>",          // unterminated attribute
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseXml(text).ok()) << text;
+  }
+}
+
+TEST(XmlParserTest, DepthLimitGuardsTheStack) {
+  // 400 levels parse fine; 600 exceed the limit and fail cleanly.
+  auto nested = [](size_t depth) {
+    std::string text;
+    for (size_t i = 0; i < depth; ++i) text += "<e>";
+    text += "x";
+    for (size_t i = 0; i < depth; ++i) text += "</e>";
+    return text;
+  };
+  EXPECT_TRUE(ParseXml(nested(400)).ok());
+  auto deep = ParseXml(nested(600));
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.status().message().find("depth limit"), std::string::npos);
+}
+
+TEST(XmlParserTest, ProcessingInstructionsKeptOnRequest) {
+  ParseOptions options;
+  options.keep_processing_instructions = true;
+  auto doc = ParseXml("<e><?target payload here?></e>", options);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root()->children().size(), 1u);
+  EXPECT_EQ(doc->root()->children()[0]->kind(),
+            NodeKind::kProcessingInstruction);
+  EXPECT_EQ(doc->root()->children()[0]->name(), "target");
+  EXPECT_EQ(doc->root()->children()[0]->value(), "payload here");
+}
+
+TEST(XmlParserTest, NamesAllowColonsAndDots) {
+  auto doc = ParseXml("<ns:e x.y-z=\"1\"/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->name(), "ns:e");
+}
+
+TEST(DecodeEntitiesTest, PlainTextPassThrough) {
+  auto out = DecodeEntities("no entities at all");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "no entities at all");
+}
+
+}  // namespace
+}  // namespace xomatiq::xml

@@ -1,0 +1,101 @@
+#include "xml/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xml/parser.h"
+
+namespace xomatiq::xml {
+namespace {
+
+TEST(XmlWriterTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(EscapeText("\"q\" 'a'", /*for_attribute=*/true),
+            "&quot;q&quot; &apos;a&apos;");
+  EXPECT_EQ(EscapeText("\"q\""), "\"q\"");
+}
+
+TEST(XmlWriterTest, CompactSerialization) {
+  XmlDocument doc;
+  XmlNode* root = doc.CreateRoot("r");
+  root->AddTextElement("x", "1 < 2");
+  XmlNode* e = root->AddElement("e");
+  e->AddAttribute("a", "v&w");
+  WriteOptions options;
+  options.pretty = false;
+  options.declaration = false;
+  EXPECT_EQ(WriteXml(doc, options),
+            "<r><x>1 &lt; 2</x><e a=\"v&amp;w\"/></r>");
+}
+
+TEST(XmlWriterTest, DeclarationEmitted) {
+  XmlDocument doc;
+  doc.CreateRoot("r");
+  std::string out = WriteXml(doc);
+  EXPECT_EQ(out.find("<?xml version=\"1.0\" encoding=\"UTF-8\"?>"), 0u);
+}
+
+TEST(XmlWriterTest, PrettyIndentation) {
+  XmlDocument doc;
+  XmlNode* root = doc.CreateRoot("r");
+  root->AddElement("list")->AddTextElement("item", "x");
+  std::string out = WriteXml(doc);
+  EXPECT_NE(out.find("\n  <list>"), std::string::npos) << out;
+  EXPECT_NE(out.find("\n    <item>x</item>"), std::string::npos) << out;
+}
+
+// Deterministic random data-centric document (text only in leaves).
+std::unique_ptr<XmlNode> RandomTree(common::Rng* rng, int depth) {
+  static const char* kNames[] = {"entry", "name", "list", "value", "ref"};
+  auto node = std::make_unique<XmlNode>(NodeKind::kElement,
+                                        kNames[rng->Uniform(5)]);
+  if (rng->Bernoulli(0.5)) {
+    node->AddAttribute("id", std::to_string(rng->Uniform(1000)));
+  }
+  if (rng->Bernoulli(0.3)) {
+    node->AddAttribute("type", "a<&>'\"b");
+  }
+  size_t children = depth > 0 ? rng->Uniform(4) : 0;
+  if (children == 0) {
+    if (rng->Bernoulli(0.8)) {
+      node->AddText("text & <" + std::to_string(rng->Uniform(100)) + ">");
+    }
+    return node;
+  }
+  for (size_t i = 0; i < children; ++i) {
+    node->AppendChild(RandomTree(rng, depth - 1));
+  }
+  return node;
+}
+
+// Property: Parse(Write(doc)) == doc for every serialization mode on
+// data-centric documents.
+class WriterRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WriterRoundTripTest, CompactRoundTrip) {
+  common::Rng rng(GetParam());
+  XmlDocument doc;
+  doc.SetRoot(RandomTree(&rng, 4));
+  WriteOptions options;
+  options.pretty = false;
+  std::string text = WriteXml(doc, options);
+  auto reparsed = ParseXml(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  EXPECT_TRUE(XmlNode::DeepEqual(*doc.root(), *reparsed->root())) << text;
+}
+
+TEST_P(WriterRoundTripTest, PrettyRoundTrip) {
+  common::Rng rng(GetParam() + 1000);
+  XmlDocument doc;
+  doc.SetRoot(RandomTree(&rng, 4));
+  std::string text = WriteXml(doc);
+  auto reparsed = ParseXml(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  EXPECT_TRUE(XmlNode::DeepEqual(*doc.root(), *reparsed->root())) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriterRoundTripTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace xomatiq::xml

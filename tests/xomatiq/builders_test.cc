@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "xomatiq/xomatiq.h"
+#include "xomatiq/xq_parser.h"
+
+namespace xomatiq::xq {
+namespace {
+
+TEST(KeywordQueryBuilderTest, ReproducesFigure8Shape) {
+  KeywordQueryBuilder builder;
+  builder.AddDatabase("hlx_embl.inv", "hlx_n_sequence",
+                      "//embl_accession_number")
+      .AddDatabase("hlx_sprot.all", "hlx_n_sequence",
+                   "//sprot_accession_number")
+      .SetKeyword("cdc6");
+  std::string query = builder.Build();
+  // Text matches the Fig 8 pattern.
+  EXPECT_NE(query.find("document(\"hlx_embl.inv\")/hlx_n_sequence"),
+            std::string::npos)
+      << query;
+  EXPECT_NE(query.find("contains($a, \"cdc6\", any)"), std::string::npos);
+  EXPECT_NE(query.find("contains($b, \"cdc6\", any)"), std::string::npos);
+  EXPECT_NE(query.find("$b//sprot_accession_number"), std::string::npos);
+  // And it parses.
+  auto ast = ParseXQuery(query);
+  ASSERT_TRUE(ast.ok()) << query << "\n" << ast.status().ToString();
+  EXPECT_EQ(ast->bindings.size(), 2u);
+}
+
+TEST(SubtreeQueryBuilderTest, ReproducesFigure9Shape) {
+  SubtreeQueryBuilder builder("hlx_enzyme.DEFAULT", "hlx_enzyme");
+  builder.AddCondition("catalytic_activity", "ketone")
+      .AddReturn("enzyme_id")
+      .AddReturn("enzyme_description");
+  std::string query = builder.Build();
+  EXPECT_NE(query.find("contains($a//catalytic_activity, \"ketone\")"),
+            std::string::npos)
+      << query;
+  auto ast = ParseXQuery(query);
+  ASSERT_TRUE(ast.ok()) << query;
+  EXPECT_EQ(ast->returns.size(), 2u);
+}
+
+TEST(SubtreeQueryBuilderTest, DisjunctiveConditions) {
+  SubtreeQueryBuilder builder("c", "root");
+  builder.AddCondition("x", "k1")
+      .AddCondition("y", "k2")
+      .SetDisjunctive(true)
+      .AddReturn("id");
+  std::string query = builder.Build();
+  EXPECT_NE(query.find("OR"), std::string::npos) << query;
+  auto ast = ParseXQuery(query);
+  ASSERT_TRUE(ast.ok()) << query;
+  EXPECT_EQ(ast->where->kind, XqCondKind::kOr);
+}
+
+TEST(SubtreeQueryBuilderTest, ComparisonConditions) {
+  SubtreeQueryBuilder builder("c", "root");
+  builder.AddComparison("enzyme_id", "=", "1.1.1.1").AddReturn("enzyme_id");
+  std::string query = builder.Build();
+  auto ast = ParseXQuery(query);
+  ASSERT_TRUE(ast.ok()) << query;
+  EXPECT_EQ(ast->where->kind, XqCondKind::kCompare);
+}
+
+TEST(JoinQueryBuilderTest, ReproducesFigure11) {
+  JoinQueryBuilder builder("hlx_embl.inv", "/hlx_n_sequence/db_entry",
+                           "hlx_enzyme.DEFAULT", "/hlx_enzyme/db_entry");
+  builder.AddJoin("//qualifier[@qualifier_type = \"EC number\"]",
+                  "/enzyme_id");
+  builder.AddReturn('a', "//embl_accession_number", "Accession_Number");
+  builder.AddReturn('a', "//description", "Accession_Description");
+  std::string query = builder.Build();
+  EXPECT_NE(
+      query.find(
+          "$a//qualifier[@qualifier_type = \"EC number\"] = $b/enzyme_id"),
+      std::string::npos)
+      << query;
+  EXPECT_NE(query.find("$Accession_Number = $a//embl_accession_number"),
+            std::string::npos)
+      << query;
+  auto ast = ParseXQuery(query);
+  ASSERT_TRUE(ast.ok()) << query << "\n" << ast.status().ToString();
+  EXPECT_EQ(ast->bindings.size(), 2u);
+  EXPECT_EQ(ast->returns[0].alias, "Accession_Number");
+}
+
+TEST(JoinQueryBuilderTest, ExtraConditions) {
+  JoinQueryBuilder builder("c1", "/r1", "c2", "/r2");
+  builder.AddJoin("/x", "/y");
+  builder.AddLeftCondition("contains($a//kw, \"cell\")");
+  builder.AddReturn('b', "/id");
+  auto ast = ParseXQuery(builder.Build());
+  ASSERT_TRUE(ast.ok()) << builder.Build();
+  EXPECT_EQ(ast->where->kind, XqCondKind::kAnd);
+}
+
+}  // namespace
+}  // namespace xomatiq::xq

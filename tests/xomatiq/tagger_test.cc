@@ -1,0 +1,78 @@
+#include "xomatiq/tagger.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xomatiq::xq {
+namespace {
+
+using rel::Tuple;
+using rel::Value;
+
+TEST(SanitizeElementNameTest, Rules) {
+  EXPECT_EQ(SanitizeElementName("enzyme_id"), "enzyme_id");
+  EXPECT_EQ(SanitizeElementName("Accession Number"), "Accession_Number");
+  EXPECT_EQ(SanitizeElementName("COUNT(*)"), "COUNT___");
+  EXPECT_EQ(SanitizeElementName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeElementName(""), "column");
+  EXPECT_EQ(SanitizeElementName("-x"), "_-x");
+}
+
+TEST(TaggerTest, BasicStructure) {
+  std::vector<std::string> columns{"enzyme_id", "description"};
+  std::vector<Tuple> rows{
+      {Value::Text("1.1.1.1"), Value::Text("alcohol dehydrogenase")},
+      {Value::Text("2.7.7.7"), Value::Null()},
+  };
+  xml::XmlDocument doc = TagResults(columns, rows);
+  ASSERT_NE(doc.root(), nullptr);
+  EXPECT_EQ(doc.root()->name(), "results");
+  auto results = doc.root()->ChildElements("result");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0]->ChildText("enzyme_id"), "1.1.1.1");
+  EXPECT_EQ(results[0]->ChildText("description"), "alcohol dehydrogenase");
+  // NULL becomes an empty element.
+  const xml::XmlNode* null_el = results[1]->FirstChildElement("description");
+  ASSERT_NE(null_el, nullptr);
+  EXPECT_TRUE(null_el->children().empty());
+}
+
+TEST(TaggerTest, EmptyResultSet) {
+  xml::XmlDocument doc = TagResults({"a"}, {});
+  ASSERT_NE(doc.root(), nullptr);
+  EXPECT_TRUE(doc.root()->children().empty());
+}
+
+TEST(TaggerTest, CustomRootAndRowNames) {
+  std::vector<Tuple> rows{{Value::Int(1)}};
+  xml::XmlDocument doc = TagResults({"id"}, rows, "enzymes", "enzyme");
+  EXPECT_EQ(doc.root()->name(), "enzymes");
+  EXPECT_EQ(doc.root()->ChildElements("enzyme").size(), 1u);
+}
+
+TEST(TaggerTest, OutputIsWellFormedXml) {
+  std::vector<Tuple> rows{
+      {Value::Text("<danger> & 'quotes'")},
+  };
+  xml::XmlDocument doc = TagResults({"weird col!"}, rows);
+  std::string text = xml::WriteXml(doc);
+  auto reparsed = xml::ParseXml(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->root()
+                ->ChildElements("result")[0]
+                ->ChildText("weird_col_"),
+            "<danger> & 'quotes'");
+}
+
+TEST(TaggerTest, NumericValuesRendered) {
+  std::vector<Tuple> rows{{Value::Int(42), Value::Double(2.5)}};
+  xml::XmlDocument doc = TagResults({"n", "score"}, rows);
+  auto result = doc.root()->ChildElements("result")[0];
+  EXPECT_EQ(result->ChildText("n"), "42");
+  EXPECT_EQ(result->ChildText("score"), "2.5");
+}
+
+}  // namespace
+}  // namespace xomatiq::xq
