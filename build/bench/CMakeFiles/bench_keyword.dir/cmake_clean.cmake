@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_keyword.dir/bench_keyword.cc.o"
+  "CMakeFiles/bench_keyword.dir/bench_keyword.cc.o.d"
+  "bench_keyword"
+  "bench_keyword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keyword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subtree.dir/bench_subtree.cc.o"
+  "CMakeFiles/bench_subtree.dir/bench_subtree.cc.o.d"
+  "bench_subtree"
+  "bench_subtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_update.cc" "bench/CMakeFiles/bench_update.dir/bench_update.cc.o" "gcc" "bench/CMakeFiles/bench_update.dir/bench_update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xomatiq/CMakeFiles/xq_xomatiq.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/xq_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/xq_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/datahounds/CMakeFiles/xq_datahounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/xq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/flatfile/CMakeFiles/xq_flatfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/xq_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

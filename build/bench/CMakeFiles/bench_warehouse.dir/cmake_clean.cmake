@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_warehouse.dir/bench_warehouse.cc.o"
+  "CMakeFiles/bench_warehouse.dir/bench_warehouse.cc.o.d"
+  "bench_warehouse"
+  "bench_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

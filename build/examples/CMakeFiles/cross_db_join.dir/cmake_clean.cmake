@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_db_join.dir/cross_db_join.cpp.o"
+  "CMakeFiles/cross_db_join.dir/cross_db_join.cpp.o.d"
+  "cross_db_join"
+  "cross_db_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_db_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

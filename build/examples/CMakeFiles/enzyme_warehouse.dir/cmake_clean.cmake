@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzyme_warehouse.dir/enzyme_warehouse.cpp.o"
+  "CMakeFiles/enzyme_warehouse.dir/enzyme_warehouse.cpp.o.d"
+  "enzyme_warehouse"
+  "enzyme_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzyme_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

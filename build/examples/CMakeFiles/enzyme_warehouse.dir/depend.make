@@ -1,0 +1,2 @@
+# Empty dependencies file for enzyme_warehouse.
+# This may be replaced when dependencies are built.

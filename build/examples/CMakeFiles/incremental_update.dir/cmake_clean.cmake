@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_update.dir/incremental_update.cpp.o"
+  "CMakeFiles/incremental_update.dir/incremental_update.cpp.o.d"
+  "incremental_update"
+  "incremental_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

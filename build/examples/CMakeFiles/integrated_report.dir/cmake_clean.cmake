@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrated_report.dir/integrated_report.cpp.o"
+  "CMakeFiles/integrated_report.dir/integrated_report.cpp.o.d"
+  "integrated_report"
+  "integrated_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrated_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xq_shell.dir/xq_shell.cpp.o"
+  "CMakeFiles/xq_shell.dir/xq_shell.cpp.o.d"
+  "xq_shell"
+  "xq_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xq_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_enzyme_warehouse "/root/repo/build/examples/enzyme_warehouse")
+set_tests_properties(example_enzyme_warehouse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cross_db_join "/root/repo/build/examples/cross_db_join")
+set_tests_properties(example_cross_db_join PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_incremental_update "/root/repo/build/examples/incremental_update")
+set_tests_properties(example_incremental_update PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_integrated_report "/root/repo/build/examples/integrated_report")
+set_tests_properties(example_integrated_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_xq_shell "sh" "-c" "printf '\\\\demo\\nFOR \$a IN document(\"hlx_enzyme.DEFAULT\")/hlx_enzyme RETURN \$a//enzyme_id ;\\n\\\\quit\\n' | /root/repo/build/examples/xq_shell")
+set_tests_properties(example_xq_shell PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xq_baseline.dir/native_xml.cc.o"
+  "CMakeFiles/xq_baseline.dir/native_xml.cc.o.d"
+  "CMakeFiles/xq_baseline.dir/path_partitioned.cc.o"
+  "CMakeFiles/xq_baseline.dir/path_partitioned.cc.o.d"
+  "CMakeFiles/xq_baseline.dir/srs.cc.o"
+  "CMakeFiles/xq_baseline.dir/srs.cc.o.d"
+  "libxq_baseline.a"
+  "libxq_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xq_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xq_common.dir/status.cc.o"
+  "CMakeFiles/xq_common.dir/status.cc.o.d"
+  "CMakeFiles/xq_common.dir/string_util.cc.o"
+  "CMakeFiles/xq_common.dir/string_util.cc.o.d"
+  "libxq_common.a"
+  "libxq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xq_datagen.dir/corpus.cc.o"
+  "CMakeFiles/xq_datagen.dir/corpus.cc.o.d"
+  "libxq_datagen.a"
+  "libxq_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xq_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

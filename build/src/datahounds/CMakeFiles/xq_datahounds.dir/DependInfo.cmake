@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datahounds/generic_schema.cc" "src/datahounds/CMakeFiles/xq_datahounds.dir/generic_schema.cc.o" "gcc" "src/datahounds/CMakeFiles/xq_datahounds.dir/generic_schema.cc.o.d"
+  "/root/repo/src/datahounds/shredder.cc" "src/datahounds/CMakeFiles/xq_datahounds.dir/shredder.cc.o" "gcc" "src/datahounds/CMakeFiles/xq_datahounds.dir/shredder.cc.o.d"
+  "/root/repo/src/datahounds/warehouse.cc" "src/datahounds/CMakeFiles/xq_datahounds.dir/warehouse.cc.o" "gcc" "src/datahounds/CMakeFiles/xq_datahounds.dir/warehouse.cc.o.d"
+  "/root/repo/src/datahounds/xml_transformer.cc" "src/datahounds/CMakeFiles/xq_datahounds.dir/xml_transformer.cc.o" "gcc" "src/datahounds/CMakeFiles/xq_datahounds.dir/xml_transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/xq_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/flatfile/CMakeFiles/xq_flatfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

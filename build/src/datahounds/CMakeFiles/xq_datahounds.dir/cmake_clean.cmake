@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xq_datahounds.dir/generic_schema.cc.o"
+  "CMakeFiles/xq_datahounds.dir/generic_schema.cc.o.d"
+  "CMakeFiles/xq_datahounds.dir/shredder.cc.o"
+  "CMakeFiles/xq_datahounds.dir/shredder.cc.o.d"
+  "CMakeFiles/xq_datahounds.dir/warehouse.cc.o"
+  "CMakeFiles/xq_datahounds.dir/warehouse.cc.o.d"
+  "CMakeFiles/xq_datahounds.dir/xml_transformer.cc.o"
+  "CMakeFiles/xq_datahounds.dir/xml_transformer.cc.o.d"
+  "libxq_datahounds.a"
+  "libxq_datahounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xq_datahounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

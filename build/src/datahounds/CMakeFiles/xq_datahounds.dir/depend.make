@@ -1,0 +1,2 @@
+# Empty dependencies file for xq_datahounds.
+# This may be replaced when dependencies are built.

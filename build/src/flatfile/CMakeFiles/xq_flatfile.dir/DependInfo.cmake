@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flatfile/embl.cc" "src/flatfile/CMakeFiles/xq_flatfile.dir/embl.cc.o" "gcc" "src/flatfile/CMakeFiles/xq_flatfile.dir/embl.cc.o.d"
+  "/root/repo/src/flatfile/enzyme.cc" "src/flatfile/CMakeFiles/xq_flatfile.dir/enzyme.cc.o" "gcc" "src/flatfile/CMakeFiles/xq_flatfile.dir/enzyme.cc.o.d"
+  "/root/repo/src/flatfile/line_record.cc" "src/flatfile/CMakeFiles/xq_flatfile.dir/line_record.cc.o" "gcc" "src/flatfile/CMakeFiles/xq_flatfile.dir/line_record.cc.o.d"
+  "/root/repo/src/flatfile/swissprot.cc" "src/flatfile/CMakeFiles/xq_flatfile.dir/swissprot.cc.o" "gcc" "src/flatfile/CMakeFiles/xq_flatfile.dir/swissprot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

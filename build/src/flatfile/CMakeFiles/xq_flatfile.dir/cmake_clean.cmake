@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xq_flatfile.dir/embl.cc.o"
+  "CMakeFiles/xq_flatfile.dir/embl.cc.o.d"
+  "CMakeFiles/xq_flatfile.dir/enzyme.cc.o"
+  "CMakeFiles/xq_flatfile.dir/enzyme.cc.o.d"
+  "CMakeFiles/xq_flatfile.dir/line_record.cc.o"
+  "CMakeFiles/xq_flatfile.dir/line_record.cc.o.d"
+  "CMakeFiles/xq_flatfile.dir/swissprot.cc.o"
+  "CMakeFiles/xq_flatfile.dir/swissprot.cc.o.d"
+  "libxq_flatfile.a"
+  "libxq_flatfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xq_flatfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

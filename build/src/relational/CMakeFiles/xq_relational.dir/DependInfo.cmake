@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/btree_index.cc" "src/relational/CMakeFiles/xq_relational.dir/btree_index.cc.o" "gcc" "src/relational/CMakeFiles/xq_relational.dir/btree_index.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/relational/CMakeFiles/xq_relational.dir/database.cc.o" "gcc" "src/relational/CMakeFiles/xq_relational.dir/database.cc.o.d"
+  "/root/repo/src/relational/hash_index.cc" "src/relational/CMakeFiles/xq_relational.dir/hash_index.cc.o" "gcc" "src/relational/CMakeFiles/xq_relational.dir/hash_index.cc.o.d"
+  "/root/repo/src/relational/inverted_index.cc" "src/relational/CMakeFiles/xq_relational.dir/inverted_index.cc.o" "gcc" "src/relational/CMakeFiles/xq_relational.dir/inverted_index.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/xq_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/xq_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/serde.cc" "src/relational/CMakeFiles/xq_relational.dir/serde.cc.o" "gcc" "src/relational/CMakeFiles/xq_relational.dir/serde.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/xq_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/xq_relational.dir/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/xq_relational.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/xq_relational.dir/value.cc.o.d"
+  "/root/repo/src/relational/wal.cc" "src/relational/CMakeFiles/xq_relational.dir/wal.cc.o" "gcc" "src/relational/CMakeFiles/xq_relational.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

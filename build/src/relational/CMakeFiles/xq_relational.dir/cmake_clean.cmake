@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xq_relational.dir/btree_index.cc.o"
+  "CMakeFiles/xq_relational.dir/btree_index.cc.o.d"
+  "CMakeFiles/xq_relational.dir/database.cc.o"
+  "CMakeFiles/xq_relational.dir/database.cc.o.d"
+  "CMakeFiles/xq_relational.dir/hash_index.cc.o"
+  "CMakeFiles/xq_relational.dir/hash_index.cc.o.d"
+  "CMakeFiles/xq_relational.dir/inverted_index.cc.o"
+  "CMakeFiles/xq_relational.dir/inverted_index.cc.o.d"
+  "CMakeFiles/xq_relational.dir/schema.cc.o"
+  "CMakeFiles/xq_relational.dir/schema.cc.o.d"
+  "CMakeFiles/xq_relational.dir/serde.cc.o"
+  "CMakeFiles/xq_relational.dir/serde.cc.o.d"
+  "CMakeFiles/xq_relational.dir/table.cc.o"
+  "CMakeFiles/xq_relational.dir/table.cc.o.d"
+  "CMakeFiles/xq_relational.dir/value.cc.o"
+  "CMakeFiles/xq_relational.dir/value.cc.o.d"
+  "CMakeFiles/xq_relational.dir/wal.cc.o"
+  "CMakeFiles/xq_relational.dir/wal.cc.o.d"
+  "libxq_relational.a"
+  "libxq_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xq_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

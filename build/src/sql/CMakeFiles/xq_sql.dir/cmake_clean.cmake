@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xq_sql.dir/ast.cc.o"
+  "CMakeFiles/xq_sql.dir/ast.cc.o.d"
+  "CMakeFiles/xq_sql.dir/engine.cc.o"
+  "CMakeFiles/xq_sql.dir/engine.cc.o.d"
+  "CMakeFiles/xq_sql.dir/executor.cc.o"
+  "CMakeFiles/xq_sql.dir/executor.cc.o.d"
+  "CMakeFiles/xq_sql.dir/expr_eval.cc.o"
+  "CMakeFiles/xq_sql.dir/expr_eval.cc.o.d"
+  "CMakeFiles/xq_sql.dir/lexer.cc.o"
+  "CMakeFiles/xq_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/xq_sql.dir/parser.cc.o"
+  "CMakeFiles/xq_sql.dir/parser.cc.o.d"
+  "CMakeFiles/xq_sql.dir/plan.cc.o"
+  "CMakeFiles/xq_sql.dir/plan.cc.o.d"
+  "CMakeFiles/xq_sql.dir/planner.cc.o"
+  "CMakeFiles/xq_sql.dir/planner.cc.o.d"
+  "libxq_sql.a"
+  "libxq_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xq_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xq_xml.dir/dom.cc.o"
+  "CMakeFiles/xq_xml.dir/dom.cc.o.d"
+  "CMakeFiles/xq_xml.dir/dtd.cc.o"
+  "CMakeFiles/xq_xml.dir/dtd.cc.o.d"
+  "CMakeFiles/xq_xml.dir/parser.cc.o"
+  "CMakeFiles/xq_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xq_xml.dir/writer.cc.o"
+  "CMakeFiles/xq_xml.dir/writer.cc.o.d"
+  "libxq_xml.a"
+  "libxq_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xq_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

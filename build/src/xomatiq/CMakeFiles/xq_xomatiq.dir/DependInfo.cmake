@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xomatiq/tagger.cc" "src/xomatiq/CMakeFiles/xq_xomatiq.dir/tagger.cc.o" "gcc" "src/xomatiq/CMakeFiles/xq_xomatiq.dir/tagger.cc.o.d"
+  "/root/repo/src/xomatiq/xomatiq.cc" "src/xomatiq/CMakeFiles/xq_xomatiq.dir/xomatiq.cc.o" "gcc" "src/xomatiq/CMakeFiles/xq_xomatiq.dir/xomatiq.cc.o.d"
+  "/root/repo/src/xomatiq/xq2sql.cc" "src/xomatiq/CMakeFiles/xq_xomatiq.dir/xq2sql.cc.o" "gcc" "src/xomatiq/CMakeFiles/xq_xomatiq.dir/xq2sql.cc.o.d"
+  "/root/repo/src/xomatiq/xq_ast.cc" "src/xomatiq/CMakeFiles/xq_xomatiq.dir/xq_ast.cc.o" "gcc" "src/xomatiq/CMakeFiles/xq_xomatiq.dir/xq_ast.cc.o.d"
+  "/root/repo/src/xomatiq/xq_parser.cc" "src/xomatiq/CMakeFiles/xq_xomatiq.dir/xq_parser.cc.o" "gcc" "src/xomatiq/CMakeFiles/xq_xomatiq.dir/xq_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datahounds/CMakeFiles/xq_datahounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/xq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/xq_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flatfile/CMakeFiles/xq_flatfile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xq_xomatiq.dir/tagger.cc.o"
+  "CMakeFiles/xq_xomatiq.dir/tagger.cc.o.d"
+  "CMakeFiles/xq_xomatiq.dir/xomatiq.cc.o"
+  "CMakeFiles/xq_xomatiq.dir/xomatiq.cc.o.d"
+  "CMakeFiles/xq_xomatiq.dir/xq2sql.cc.o"
+  "CMakeFiles/xq_xomatiq.dir/xq2sql.cc.o.d"
+  "CMakeFiles/xq_xomatiq.dir/xq_ast.cc.o"
+  "CMakeFiles/xq_xomatiq.dir/xq_ast.cc.o.d"
+  "CMakeFiles/xq_xomatiq.dir/xq_parser.cc.o"
+  "CMakeFiles/xq_xomatiq.dir/xq_parser.cc.o.d"
+  "libxq_xomatiq.a"
+  "libxq_xomatiq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xq_xomatiq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxq_xomatiq.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for xq_xomatiq.
+# This may be replaced when dependencies are built.

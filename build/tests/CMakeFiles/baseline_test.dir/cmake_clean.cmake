@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_test.dir/baseline/native_xml_test.cc.o"
+  "CMakeFiles/baseline_test.dir/baseline/native_xml_test.cc.o.d"
+  "CMakeFiles/baseline_test.dir/baseline/path_partitioned_test.cc.o"
+  "CMakeFiles/baseline_test.dir/baseline/path_partitioned_test.cc.o.d"
+  "CMakeFiles/baseline_test.dir/baseline/srs_test.cc.o"
+  "CMakeFiles/baseline_test.dir/baseline/srs_test.cc.o.d"
+  "baseline_test"
+  "baseline_test.pdb"
+  "baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datahounds_test.dir/datahounds/shredder_test.cc.o"
+  "CMakeFiles/datahounds_test.dir/datahounds/shredder_test.cc.o.d"
+  "CMakeFiles/datahounds_test.dir/datahounds/transformer_test.cc.o"
+  "CMakeFiles/datahounds_test.dir/datahounds/transformer_test.cc.o.d"
+  "CMakeFiles/datahounds_test.dir/datahounds/warehouse_test.cc.o"
+  "CMakeFiles/datahounds_test.dir/datahounds/warehouse_test.cc.o.d"
+  "datahounds_test"
+  "datahounds_test.pdb"
+  "datahounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datahounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatfile_test.dir/flatfile/embl_test.cc.o"
+  "CMakeFiles/flatfile_test.dir/flatfile/embl_test.cc.o.d"
+  "CMakeFiles/flatfile_test.dir/flatfile/enzyme_test.cc.o"
+  "CMakeFiles/flatfile_test.dir/flatfile/enzyme_test.cc.o.d"
+  "CMakeFiles/flatfile_test.dir/flatfile/line_record_test.cc.o"
+  "CMakeFiles/flatfile_test.dir/flatfile/line_record_test.cc.o.d"
+  "CMakeFiles/flatfile_test.dir/flatfile/swissprot_test.cc.o"
+  "CMakeFiles/flatfile_test.dir/flatfile/swissprot_test.cc.o.d"
+  "flatfile_test"
+  "flatfile_test.pdb"
+  "flatfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_test.dir/relational/btree_index_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/btree_index_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/database_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/database_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/hash_index_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/hash_index_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/inverted_index_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/inverted_index_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/recovery_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/recovery_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/schema_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/schema_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/serde_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/serde_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/table_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/table_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/value_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/value_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/wal_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/wal_test.cc.o.d"
+  "relational_test"
+  "relational_test.pdb"
+  "relational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xomatiq/builders_test.cc" "tests/CMakeFiles/xomatiq_test.dir/xomatiq/builders_test.cc.o" "gcc" "tests/CMakeFiles/xomatiq_test.dir/xomatiq/builders_test.cc.o.d"
+  "/root/repo/tests/xomatiq/tagger_test.cc" "tests/CMakeFiles/xomatiq_test.dir/xomatiq/tagger_test.cc.o" "gcc" "tests/CMakeFiles/xomatiq_test.dir/xomatiq/tagger_test.cc.o.d"
+  "/root/repo/tests/xomatiq/xomatiq_query_test.cc" "tests/CMakeFiles/xomatiq_test.dir/xomatiq/xomatiq_query_test.cc.o" "gcc" "tests/CMakeFiles/xomatiq_test.dir/xomatiq/xomatiq_query_test.cc.o.d"
+  "/root/repo/tests/xomatiq/xq2sql_test.cc" "tests/CMakeFiles/xomatiq_test.dir/xomatiq/xq2sql_test.cc.o" "gcc" "tests/CMakeFiles/xomatiq_test.dir/xomatiq/xq2sql_test.cc.o.d"
+  "/root/repo/tests/xomatiq/xq_parser_test.cc" "tests/CMakeFiles/xomatiq_test.dir/xomatiq/xq_parser_test.cc.o" "gcc" "tests/CMakeFiles/xomatiq_test.dir/xomatiq/xq_parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xomatiq/CMakeFiles/xq_xomatiq.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/xq_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/xq_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/datahounds/CMakeFiles/xq_datahounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/xq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/flatfile/CMakeFiles/xq_flatfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/xq_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xomatiq_test.dir/xomatiq/builders_test.cc.o"
+  "CMakeFiles/xomatiq_test.dir/xomatiq/builders_test.cc.o.d"
+  "CMakeFiles/xomatiq_test.dir/xomatiq/tagger_test.cc.o"
+  "CMakeFiles/xomatiq_test.dir/xomatiq/tagger_test.cc.o.d"
+  "CMakeFiles/xomatiq_test.dir/xomatiq/xomatiq_query_test.cc.o"
+  "CMakeFiles/xomatiq_test.dir/xomatiq/xomatiq_query_test.cc.o.d"
+  "CMakeFiles/xomatiq_test.dir/xomatiq/xq2sql_test.cc.o"
+  "CMakeFiles/xomatiq_test.dir/xomatiq/xq2sql_test.cc.o.d"
+  "CMakeFiles/xomatiq_test.dir/xomatiq/xq_parser_test.cc.o"
+  "CMakeFiles/xomatiq_test.dir/xomatiq/xq_parser_test.cc.o.d"
+  "xomatiq_test"
+  "xomatiq_test.pdb"
+  "xomatiq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xomatiq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
