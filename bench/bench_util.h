@@ -5,7 +5,10 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "baseline/native_xml.h"
 #include "baseline/srs.h"
@@ -33,6 +36,47 @@ inline void Check(const common::Status& status, const char* what) {
     std::abort();
   }
 }
+
+// Machine-readable benchmark output: accumulates named records of numeric
+// metrics and writes them as a JSON array (e.g. BENCH_pipeline.json) so
+// drivers can diff runs without scraping stdout.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  void Add(std::string name,
+           std::vector<std::pair<std::string, double>> metrics) {
+    records_.push_back({std::move(name), std::move(metrics)});
+  }
+
+  // Writes the report; returns false (and prints to stderr) on I/O error.
+  bool Write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(f, "  {\"name\": \"%s\"", records_[r].name.c_str());
+      for (const auto& [key, value] : records_[r].metrics) {
+        std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string path_;
+  std::vector<Record> records_;
+};
 
 // Scale knob for corpus sweeps: `n` is the EMBL entry count; enzymes and
 // proteins scale proportionally. Keyword/link selectivities follow the

@@ -1,0 +1,129 @@
+#ifndef XOMATIQ_RELATIONAL_ROW_BATCH_H_
+#define XOMATIQ_RELATIONAL_ROW_BATCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "relational/btree_index.h"
+#include "relational/schema.h"
+
+namespace xomatiq::rel {
+
+// Fixed-capacity batch of rows flowing between executor operators, with a
+// selection mask. Rows are stored as tuple pointers so a scan batch can
+// reference table storage directly (zero copy); operators that synthesize
+// rows (project, joins, aggregate) append owned tuples instead. Filters
+// narrow the selection in place, so a batch crosses a predicate chain
+// without moving a single tuple.
+//
+// Owned storage is reserved up front and never exceeds `capacity`, so row
+// pointers into it stay valid for the lifetime of the batch (including
+// after a move).
+class RowBatch {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit RowBatch(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    rows_.reserve(capacity_);
+    row_ids_.reserve(capacity_);
+    sel_.reserve(capacity_);
+    owned_index_.reserve(capacity_);
+    owned_.reserve(capacity_);
+  }
+
+  RowBatch(RowBatch&&) = default;
+  RowBatch& operator=(RowBatch&&) = default;
+  RowBatch(const RowBatch&) = delete;
+  RowBatch& operator=(const RowBatch&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  // Number of selected (live) rows.
+  size_t size() const { return sel_.size(); }
+  bool empty() const { return sel_.empty(); }
+  // True when no more rows can be appended.
+  bool full() const { return rows_.size() >= capacity_; }
+
+  // Appends a row that outlives the batch (e.g. table storage). The new
+  // row is selected.
+  void AppendRef(const Tuple* row, RowId row_id) {
+    sel_.push_back(static_cast<uint32_t>(rows_.size()));
+    rows_.push_back(row);
+    row_ids_.push_back(row_id);
+    owned_index_.push_back(-1);
+  }
+
+  // Appends a synthesized row; the batch owns it. The new row is selected.
+  void AppendOwned(Tuple row, RowId row_id = 0) {
+    owned_.push_back(std::move(row));
+    AppendRef(&owned_.back(), row_id);
+    owned_index_.back() = static_cast<int32_t>(owned_.size() - 1);
+  }
+
+  // i-th selected row / its RowId (scan provenance; 0 for synthesized).
+  const Tuple& row(size_t i) const { return *rows_[sel_[i]]; }
+  RowId row_id(size_t i) const { return row_ids_[sel_[i]]; }
+
+  // Takes the i-th selected row: moves it out when the batch owns it,
+  // copies when it references external storage. Only for consumers that
+  // drop or Clear() the batch before reading that row again.
+  Tuple StealRow(size_t i) {
+    int32_t o = owned_index_[sel_[i]];
+    if (o >= 0) return std::move(owned_[static_cast<size_t>(o)]);
+    return *rows_[sel_[i]];
+  }
+
+  // Selection mask: ordered physical positions of the live rows.
+  const std::vector<uint32_t>& sel() const { return sel_; }
+
+  // Replaces the selection with `sel`, which must be an ordered subset of
+  // the current selection (as a filter produces).
+  void SetSel(std::vector<uint32_t> sel) { sel_ = std::move(sel); }
+
+  // Keeps only the selected rows whose index i has keep[i] true.
+  void Retain(const std::vector<char>& keep) {
+    std::vector<uint32_t> next;
+    next.reserve(sel_.size());
+    for (size_t i = 0; i < sel_.size(); ++i) {
+      if (keep[i]) next.push_back(sel_[i]);
+    }
+    sel_ = std::move(next);
+  }
+
+  // Drops the first `n` selected rows (LIMIT ... OFFSET).
+  void DropFront(size_t n) {
+    if (n >= sel_.size()) {
+      sel_.clear();
+      return;
+    }
+    sel_.erase(sel_.begin(), sel_.begin() + static_cast<ptrdiff_t>(n));
+  }
+
+  // Keeps only the first `n` selected rows (LIMIT).
+  void Truncate(size_t n) {
+    if (n < sel_.size()) sel_.resize(n);
+  }
+
+  // Empties the batch for reuse; keeps reserved storage.
+  void Clear() {
+    rows_.clear();
+    row_ids_.clear();
+    sel_.clear();
+    owned_.clear();
+    owned_index_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<const Tuple*> rows_;
+  std::vector<RowId> row_ids_;
+  std::vector<uint32_t> sel_;
+  // Physical position -> index into owned_, or -1 for referenced rows.
+  std::vector<int32_t> owned_index_;
+  std::vector<Tuple> owned_;
+};
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_ROW_BATCH_H_

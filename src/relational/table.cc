@@ -1,5 +1,7 @@
 #include "relational/table.h"
 
+#include <algorithm>
+
 namespace xomatiq::rel {
 
 using common::Result;
@@ -44,7 +46,7 @@ Result<const Tuple*> Table::Get(RowId row) const {
     return Status::NotFound("row " + std::to_string(row) + " not live in " +
                             name_);
   }
-  return &rows_[row];
+  return &rows_[static_cast<size_t>(row)];
 }
 
 Status Table::Delete(RowId row) {
@@ -52,9 +54,10 @@ Status Table::Delete(RowId row) {
     return Status::NotFound("row " + std::to_string(row) + " not live in " +
                             name_);
   }
-  deleted_[row] = true;
-  rows_[row].clear();
-  rows_[row].shrink_to_fit();
+  size_t slot = static_cast<size_t>(row);
+  deleted_[slot] = true;
+  rows_[slot].clear();
+  rows_[slot].shrink_to_fit();
   --live_count_;
   return Status::OK();
 }
@@ -65,7 +68,7 @@ Status Table::Update(RowId row, Tuple tuple) {
                             name_);
   }
   XQ_RETURN_IF_ERROR(ValidateAndCoerce(&tuple));
-  rows_[row] = std::move(tuple);
+  rows_[static_cast<size_t>(row)] = std::move(tuple);
   return Status::OK();
 }
 
@@ -78,9 +81,17 @@ RowId Table::RestoreSlot(Tuple tuple, bool live) {
 }
 
 void Table::Scan(const std::function<bool(RowId, const Tuple&)>& visit) const {
-  for (RowId row = 0; row < rows_.size(); ++row) {
-    if (deleted_[row]) continue;
-    if (!visit(row, rows_[row])) return;
+  ScanPartition(0, static_cast<RowId>(rows_.size()), visit);
+}
+
+void Table::ScanPartition(
+    RowId first_slot, RowId last_slot,
+    const std::function<bool(RowId, const Tuple&)>& visit) const {
+  RowId end = std::min(last_slot, static_cast<RowId>(rows_.size()));
+  for (RowId row = first_slot; row < end; ++row) {
+    size_t slot = static_cast<size_t>(row);
+    if (deleted_[slot]) continue;
+    if (!visit(row, rows_[slot])) return;
   }
 }
 

@@ -31,8 +31,11 @@ class Table {
 
   // Fetches a live row; NotFound for deleted/out-of-range slots.
   common::Result<const Tuple*> Get(RowId row) const;
+  // Bounds-checked: RowId is 64-bit while slot counts are size_t, so the
+  // comparison is done in RowId width to stay exact on 32-bit size_t.
   bool IsLive(RowId row) const {
-    return row < rows_.size() && !deleted_[row];
+    return row < static_cast<RowId>(rows_.size()) &&
+           !deleted_[static_cast<size_t>(row)];
   }
 
   // Tombstones a live row.
@@ -43,6 +46,14 @@ class Table {
 
   // Visits live rows in RowId order; visitor returns false to stop.
   void Scan(const std::function<bool(RowId, const Tuple&)>& visit) const;
+
+  // Visits live rows with first_slot <= RowId < last_slot in RowId order;
+  // bounds are clamped to [0, num_slots()). Contiguous partitions cover
+  // the table exactly once, so parallel scan workers can each take a
+  // disjoint slot range and the concatenation preserves RowId order.
+  void ScanPartition(RowId first_slot, RowId last_slot,
+                     const std::function<bool(RowId, const Tuple&)>& visit)
+      const;
 
   // Appends a slot verbatim during snapshot restore; skips validation so
   // tombstoned slots keep their positions and RowIds stay stable.

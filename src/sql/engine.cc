@@ -107,9 +107,21 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
     result.explain_text = plan->ToString();
     return result;
   }
-  Executor executor(db_);
+  Executor executor(db_, options_.executor);
   XQ_ASSIGN_OR_RETURN(result.rows, executor.ExecuteToVector(*plan));
   return result;
+}
+
+Result<rel::Schema> SqlEngine::ExecuteSelectBatched(
+    std::string_view sql, const Executor::BatchSink& sink) {
+  XQ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("ExecuteSelectBatched requires a SELECT");
+  }
+  XQ_ASSIGN_OR_RETURN(PlanPtr plan, planner_.PlanSelect(stmt.select));
+  Executor executor(db_, options_.executor);
+  XQ_RETURN_IF_ERROR(executor.ExecuteBatched(*plan, sink));
+  return plan->schema;
 }
 
 Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt) {

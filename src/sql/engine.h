@@ -6,10 +6,17 @@
 
 #include "common/result.h"
 #include "relational/database.h"
+#include "sql/executor.h"
 #include "sql/plan.h"
 #include "sql/planner.h"
 
 namespace xomatiq::sql {
+
+// Engine-level knobs, forwarded to the planner and executor.
+struct EngineOptions {
+  PlannerOptions planner;
+  ExecutorOptions executor;
+};
 
 // Result of one statement: rows for SELECT/EXPLAIN, affected count for DML.
 struct QueryResult {
@@ -27,10 +34,16 @@ struct QueryResult {
 // SQL surface XomatiQ's XQ2SQL translator targets.
 class SqlEngine {
  public:
-  explicit SqlEngine(rel::Database* db) : db_(db), planner_(db) {}
+  explicit SqlEngine(rel::Database* db, EngineOptions options = {})
+      : db_(db), options_(options), planner_(db, options.planner) {}
 
   // Parses and runs one statement.
   common::Result<QueryResult> Execute(std::string_view sql);
+
+  // Parses, plans and streams a SELECT's output batches into `sink`
+  // without materializing the result set. Returns the output schema.
+  common::Result<rel::Schema> ExecuteSelectBatched(
+      std::string_view sql, const Executor::BatchSink& sink);
 
   // Plans a pre-parsed SELECT (exposed for tests and benchmarks).
   common::Result<PlanPtr> Plan(const SelectStmt& stmt) {
@@ -47,6 +60,7 @@ class SqlEngine {
   common::Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt);
 
   rel::Database* db_;
+  EngineOptions options_;
   Planner planner_;
 };
 

@@ -1,61 +1,999 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "sql/expr_eval.h"
+#include "sql/planner.h"
 
 namespace xomatiq::sql {
 
 using common::Result;
 using common::Status;
 using rel::CompositeKey;
+using rel::RowBatch;
 using rel::RowId;
 using rel::Tuple;
 using rel::Value;
 using rel::ValueType;
 
-Status Executor::Execute(const PlanNode& plan, const RowSink& sink) {
-  switch (plan.kind) {
-    case PlanKind::kSeqScan:
-      return ExecScan(plan, sink);
-    case PlanKind::kIndexScan:
-      return ExecIndexScan(plan, sink);
-    case PlanKind::kKeywordScan:
-      return ExecKeywordScan(plan, sink);
-    case PlanKind::kFilter:
-      return ExecFilter(plan, sink);
-    case PlanKind::kProject:
-      return ExecProject(plan, sink);
-    case PlanKind::kNestedLoopJoin:
-      return ExecNestedLoopJoin(plan, sink);
-    case PlanKind::kHashJoin:
-      return ExecHashJoin(plan, sink);
-    case PlanKind::kIndexNLJoin:
-      return ExecIndexNLJoin(plan, sink);
-    case PlanKind::kSort:
-      return ExecSort(plan, sink);
-    case PlanKind::kLimit:
-      return ExecLimit(plan, sink);
-    case PlanKind::kAggregate:
-      return ExecAggregate(plan, sink);
-    case PlanKind::kDistinct:
-      return ExecDistinct(plan, sink);
+// ---------------------------------------------------------------------
+// Shared aggregate machinery (both paths).
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;
+  bool has = false;
+  bool all_int = true;
+  int64_t isum = 0;
+  double dsum = 0;
+  Value min;
+  Value max;
+};
+
+// Folds one already-evaluated argument value into `state`. `v` is null
+// for COUNT(*).
+Status UpdateAggValue(AggFunc func, const Value* v, AggState* state) {
+  if (v == nullptr) {  // COUNT(*)
+    ++state->count;
+    return Status::OK();
   }
-  return Status::Internal("bad plan kind");
+  if (v->is_null()) return Status::OK();
+  ++state->count;
+  switch (func) {
+    case AggFunc::kCount:
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      XQ_ASSIGN_OR_RETURN(double d, v->ToNumeric());
+      state->dsum += d;
+      if (v->type() == ValueType::kInt) {
+        state->isum += v->AsInt();
+      } else {
+        state->all_int = false;
+      }
+      state->has = true;
+      break;
+    }
+    case AggFunc::kMin:
+      if (!state->has || Value::Compare(*v, state->min) < 0) state->min = *v;
+      state->has = true;
+      break;
+    case AggFunc::kMax:
+      if (!state->has || Value::Compare(*v, state->max) > 0) state->max = *v;
+      state->has = true;
+      break;
+  }
+  return Status::OK();
+}
+
+Status UpdateAgg(const AggSpec& spec, const Tuple& tuple, AggState* state) {
+  if (spec.arg == nullptr) return UpdateAggValue(spec.func, nullptr, state);
+  XQ_ASSIGN_OR_RETURN(Value v, Eval(*spec.arg, tuple));
+  return UpdateAggValue(spec.func, &v, state);
+}
+
+Value FinalizeAgg(const AggSpec& spec, const AggState& state) {
+  switch (spec.func) {
+    case AggFunc::kCount:
+      return Value::Int(state.count);
+    case AggFunc::kSum:
+      if (!state.has) return Value::Null();
+      return state.all_int ? Value::Int(state.isum)
+                           : Value::Double(state.dsum);
+    case AggFunc::kAvg:
+      if (!state.has) return Value::Null();
+      return Value::Double(state.dsum / static_cast<double>(state.count));
+    case AggFunc::kMin:
+      return state.has ? state.min : Value::Null();
+    case AggFunc::kMax:
+      return state.has ? state.max : Value::Null();
+  }
+  return Value::Null();
+}
+
+// True when some node in `plan` has bound expressions without compiled
+// programs (hand-built plans; planner output arrives pre-compiled).
+bool NeedsCompile(const PlanNode& plan) {
+  if (plan.predicate && !plan.predicate_prog.has_value()) return true;
+  if (plan.project_progs.size() != plan.project_exprs.size()) return true;
+  if (plan.left_key_progs.size() != plan.left_keys.size()) return true;
+  if (plan.right_key_progs.size() != plan.right_keys.size()) return true;
+  if (plan.outer_key_progs.size() != plan.outer_key_exprs.size()) return true;
+  if (plan.sort_key_progs.size() != plan.sort_keys.size()) return true;
+  if (plan.group_progs.size() != plan.group_exprs.size()) return true;
+  if (plan.agg_arg_progs.size() != plan.aggs.size()) return true;
+  for (const auto& child : plan.children) {
+    if (NeedsCompile(*child)) return true;
+  }
+  return false;
+}
+
+// Accumulates rows into capacity-sized batches and forwards them to the
+// sink, honoring a row budget (-1 = unlimited) and consumer stop.
+class BatchEmitter {
+ public:
+  BatchEmitter(size_t capacity, const Executor::BatchSink& sink,
+               int64_t budget)
+      : batch_(capacity), sink_(sink), budget_(budget) {}
+
+  // Appends a row that outlives the batch. Returns false to stop
+  // producing (budget met or consumer done).
+  bool PushRef(const Tuple* row, RowId id) {
+    batch_.AppendRef(row, id);
+    return MaybeFlush();
+  }
+
+  // Appends a synthesized row.
+  bool PushOwned(Tuple row) {
+    batch_.AppendOwned(std::move(row));
+    return MaybeFlush();
+  }
+
+  // Flushes any buffered remainder. Returns false if stopped.
+  bool Flush() {
+    if (batch_.empty()) return !stopped_;
+    emitted_ += static_cast<int64_t>(batch_.size());
+    if (!sink_(batch_)) stopped_ = true;
+    batch_.Clear();
+    if (budget_ >= 0 && emitted_ >= budget_) stopped_ = true;
+    return !stopped_;
+  }
+
+  bool stopped() const { return stopped_; }
+
+ private:
+  bool MaybeFlush() {
+    if (batch_.full() ||
+        (budget_ >= 0 &&
+         emitted_ + static_cast<int64_t>(batch_.size()) >= budget_)) {
+      return Flush();
+    }
+    return true;
+  }
+
+  RowBatch batch_;
+  const Executor::BatchSink& sink_;
+  int64_t budget_;
+  int64_t emitted_ = 0;
+  bool stopped_ = false;
+};
+
+// Per-program bare-column-ref slots (-1 where the interpreter is needed).
+std::vector<int> SingleSlots(const std::vector<CompiledExpr>& progs) {
+  std::vector<int> slots;
+  slots.reserve(progs.size());
+  for (const CompiledExpr& p : progs) slots.push_back(p.single_slot());
+  return slots;
+}
+
+// Evaluates a key program, reading bare column refs directly.
+inline Result<const Value*> EvalKey(const CompiledExpr& prog, int slot,
+                                    const Tuple& row, EvalScratch* scratch) {
+  if (slot >= 0 && static_cast<size_t>(slot) < row.size()) {
+    return &row[static_cast<size_t>(slot)];
+  }
+  return prog.EvalRowRef(row, scratch);
+}
+
+// Evaluates a join-pair predicate without materializing the combined row.
+Result<bool> PairPasses(const CompiledExpr& prog, const Tuple& left,
+                        const Tuple& right, EvalScratch* scratch) {
+  XQ_ASSIGN_OR_RETURN(const Value* v, prog.EvalPairRef(left, right, scratch));
+  std::optional<bool> t = Truthiness(*v);
+  return t.has_value() && *t;
+}
+
+// Joined row: left columns then right columns, built with one allocation.
+Tuple Concat(const Tuple& left, const Tuple& right) {
+  Tuple combined;
+  combined.reserve(left.size() + right.size());
+  combined.insert(combined.end(), left.begin(), left.end());
+  combined.insert(combined.end(), right.begin(), right.end());
+  return combined;
+}
+
+// Streams the live tuples behind `rows` into the emitter; false on stop.
+Result<bool> EmitRowIds(const rel::Table& table, const std::vector<RowId>& rows,
+                        BatchEmitter* em) {
+  for (RowId row : rows) {
+    auto tuple = table.Get(row);
+    if (!tuple.ok()) return tuple.status();
+    if (!em->PushRef(*tuple, row)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Batched pipeline.
+// ---------------------------------------------------------------------
+
+Status Executor::ExecuteBatched(const PlanNode& plan, const BatchSink& sink) {
+  if (NeedsCompile(plan)) {
+    // Compilation only fills the *_progs caches from already-bound
+    // expressions; the plan is logically const.
+    XQ_RETURN_IF_ERROR(CompilePlanPrograms(const_cast<PlanNode*>(&plan)));
+  }
+  return ExecB(plan, sink, /*budget=*/-1);
 }
 
 Result<std::vector<Tuple>> Executor::ExecuteToVector(const PlanNode& plan) {
   std::vector<Tuple> rows;
-  XQ_RETURN_IF_ERROR(Execute(plan, [&](const Tuple& t) {
+  XQ_RETURN_IF_ERROR(ExecuteBatched(plan, [&](RowBatch& batch) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      // The batch is dead after this call, so owned rows move out free.
+      rows.push_back(batch.StealRow(i));
+    }
+    return true;
+  }));
+  return rows;
+}
+
+Status Executor::ExecB(const PlanNode& plan, const BatchSink& sink,
+                       int64_t budget) {
+  switch (plan.kind) {
+    case PlanKind::kSeqScan:
+      return ExecScanB(plan, sink, budget);
+    case PlanKind::kParallelSeqScan:
+      // A finite budget means a LIMIT bounds this scan; the serial path
+      // preserves the touch-~limit-rows guarantee.
+      return budget >= 0 ? ExecScanB(plan, sink, budget)
+                         : ExecParallelScanB(plan, sink, budget);
+    case PlanKind::kIndexScan:
+      return ExecIndexScanB(plan, sink, budget);
+    case PlanKind::kKeywordScan:
+      return ExecKeywordScanB(plan, sink, budget);
+    case PlanKind::kFilter:
+      return ExecFilterB(plan, sink);
+    case PlanKind::kProject:
+      return ExecProjectB(plan, sink, budget);
+    case PlanKind::kNestedLoopJoin:
+      return ExecNestedLoopJoinB(plan, sink);
+    case PlanKind::kHashJoin:
+      return ExecHashJoinB(plan, sink);
+    case PlanKind::kIndexNLJoin:
+      return ExecIndexNLJoinB(plan, sink);
+    case PlanKind::kSort:
+      return ExecSortB(plan, sink);
+    case PlanKind::kLimit:
+      return ExecLimitB(plan, sink);
+    case PlanKind::kAggregate:
+      return ExecAggregateB(plan, sink);
+    case PlanKind::kDistinct:
+      return ExecDistinctB(plan, sink);
+  }
+  return Status::Internal("bad plan kind");
+}
+
+Status Executor::ExecScanB(const PlanNode& plan, const BatchSink& sink,
+                           int64_t budget) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
+  BatchEmitter em(options_.batch_capacity, sink, budget);
+  table->Scan(
+      [&](RowId row, const Tuple& tuple) { return em.PushRef(&tuple, row); });
+  em.Flush();
+  return Status::OK();
+}
+
+namespace {
+
+// Bounded handoff queue between one parallel-scan worker and the merger.
+class BatchQueue {
+ public:
+  explicit BatchQueue(size_t max_batches) : max_(max_batches) {}
+
+  // Blocks until there is space. Returns false when the consumer aborted.
+  bool Push(RowBatch&& batch) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_.wait(lock, [&] { return queue_.size() < max_ || aborted_; });
+    if (aborted_) return false;
+    queue_.push_back(std::move(batch));
+    data_.notify_one();
+    return true;
+  }
+
+  void MarkDone() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    data_.notify_all();
+  }
+
+  // Blocks until a batch arrives or the producer finished; false = drained.
+  bool Pop(RowBatch* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    data_.wait(lock, [&] { return !queue_.empty() || done_; });
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    space_.notify_one();
+    return true;
+  }
+
+  void Abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+    }
+    space_.notify_all();
+    data_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable space_;
+  std::condition_variable data_;
+  std::deque<RowBatch> queue_;
+  size_t max_;
+  bool done_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+Status Executor::ExecParallelScanB(const PlanNode& plan, const BatchSink& sink,
+                                   int64_t budget,
+                                   const CompiledExpr* pred) {
+  (void)budget;
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
+  size_t degree = plan.parallel_degree > 1
+                      ? static_cast<size_t>(plan.parallel_degree)
+                      : 2;
+  size_t slots = table->num_slots();
+  size_t per_worker = (slots + degree - 1) / degree;
+  if (per_worker == 0) per_worker = 1;
+
+  std::vector<std::unique_ptr<BatchQueue>> queues;
+  for (size_t w = 0; w < degree; ++w) {
+    queues.push_back(
+        std::make_unique<BatchQueue>(options_.parallel_queue_batches));
+  }
+  size_t capacity = options_.batch_capacity;
+  std::vector<Status> worker_status(degree);
+  std::vector<std::thread> workers;
+  workers.reserve(degree);
+  for (size_t w = 0; w < degree; ++w) {
+    workers.emplace_back([table, capacity, per_worker, slots, w, pred,
+                          queue = queues[w].get(),
+                          status = &worker_status[w]] {
+      RowId first = static_cast<RowId>(std::min(w * per_worker, slots));
+      RowId last = static_cast<RowId>(std::min((w + 1) * per_worker, slots));
+      RowBatch batch(capacity);
+      EvalScratch scratch;
+      table->ScanPartition(first, last, [&](RowId row, const Tuple& tuple) {
+        if (pred != nullptr) {
+          auto v = pred->EvalRowRef(tuple, &scratch);
+          if (!v.ok()) {
+            *status = v.status();
+            return false;
+          }
+          std::optional<bool> t = Truthiness(**v);
+          if (!t.has_value() || !*t) return true;
+        }
+        batch.AppendRef(&tuple, row);
+        if (batch.full()) {
+          if (!queue->Push(std::move(batch))) return false;
+          batch = RowBatch(capacity);
+        }
+        return true;
+      });
+      if (!batch.empty()) queue->Push(std::move(batch));
+      queue->MarkDone();
+    });
+  }
+
+  // Consume partitions in order: contiguous slot ranges concatenated in
+  // worker order yield exactly RowId order.
+  bool stopped = false;
+  for (size_t w = 0; w < degree && !stopped; ++w) {
+    RowBatch batch(capacity);
+    while (queues[w]->Pop(&batch)) {
+      if (!sink(batch)) {
+        stopped = true;
+        break;
+      }
+    }
+  }
+  for (auto& queue : queues) queue->Abort();
+  for (std::thread& t : workers) t.join();
+  for (const Status& s : worker_status) {
+    XQ_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Status Executor::ExecIndexScanB(const PlanNode& plan, const BatchSink& sink,
+                                int64_t budget) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
+  const rel::IndexEntry& entry = *plan.index;
+  BatchEmitter em(options_.batch_capacity, sink, budget);
+  if (!plan.eq_key.empty()) {
+    if (entry.def.kind == rel::IndexKind::kHash) {
+      const std::vector<RowId>* rows = entry.hash->Lookup(plan.eq_key);
+      if (rows != nullptr) {
+        XQ_ASSIGN_OR_RETURN(bool more, EmitRowIds(*table, *rows, &em));
+        (void)more;
+      }
+      em.Flush();
+      return Status::OK();
+    }
+    if (plan.eq_key.size() == entry.def.columns.size()) {
+      std::vector<RowId> rows = entry.btree->Lookup(plan.eq_key);
+      XQ_ASSIGN_OR_RETURN(bool more, EmitRowIds(*table, rows, &em));
+      (void)more;
+      em.Flush();
+      return Status::OK();
+    }
+    Status status;
+    entry.btree->ScanPrefix(
+        plan.eq_key, [&](const CompositeKey&, const std::vector<RowId>& rows) {
+          auto more = EmitRowIds(*table, rows, &em);
+          if (!more.ok()) {
+            status = more.status();
+            return false;
+          }
+          return *more;
+        });
+    if (status.ok()) em.Flush();
+    return status;
+  }
+  std::optional<rel::BTreeIndex::Bound> lo, hi;
+  if (plan.lo.has_value()) {
+    lo = rel::BTreeIndex::Bound{{*plan.lo}, plan.lo_inclusive};
+  }
+  if (plan.hi.has_value()) {
+    hi = rel::BTreeIndex::Bound{{*plan.hi}, plan.hi_inclusive};
+  }
+  Status status;
+  entry.btree->Scan(lo, hi,
+                    [&](const CompositeKey&, const std::vector<RowId>& rows) {
+                      auto more = EmitRowIds(*table, rows, &em);
+                      if (!more.ok()) {
+                        status = more.status();
+                        return false;
+                      }
+                      return *more;
+                    });
+  if (status.ok()) em.Flush();
+  return status;
+}
+
+Status Executor::ExecKeywordScanB(const PlanNode& plan, const BatchSink& sink,
+                                  int64_t budget) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
+  std::vector<RowId> rows = plan.index->inverted->LookupAll(plan.keyword);
+  BatchEmitter em(options_.batch_capacity, sink, budget);
+  XQ_ASSIGN_OR_RETURN(bool more, EmitRowIds(*table, rows, &em));
+  (void)more;
+  em.Flush();
+  return Status::OK();
+}
+
+Status Executor::ExecFilterB(const PlanNode& plan, const BatchSink& sink) {
+  const CompiledExpr& prog = *plan.predicate_prog;
+  const PlanNode& child = *plan.children[0];
+  // Execution-time fusion: over a bare scan, evaluate the predicate inside
+  // the scan loop so rejected rows never enter a batch. The plan tree (and
+  // its EXPLAIN rendering) is untouched.
+  if (child.kind == PlanKind::kSeqScan) {
+    XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(child.table));
+    BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
+    EvalScratch fused_scratch;
+    Status status;
+    table->Scan([&](RowId row, const Tuple& tuple) {
+      auto v = prog.EvalRowRef(tuple, &fused_scratch);
+      if (!v.ok()) {
+        status = v.status();
+        return false;
+      }
+      std::optional<bool> t = Truthiness(**v);
+      if (!t.has_value() || !*t) return true;
+      return em.PushRef(&tuple, row);
+    });
+    XQ_RETURN_IF_ERROR(status);
+    em.Flush();
+    return Status::OK();
+  }
+  if (child.kind == PlanKind::kParallelSeqScan) {
+    return ExecParallelScanB(child, sink, /*budget=*/-1, &prog);
+  }
+  // Over a join, run the predicate on each candidate pair so rejected
+  // pairs are never concatenated (fig-query containment filters reject
+  // most of a join's output).
+  if (child.kind == PlanKind::kNestedLoopJoin) {
+    return ExecNestedLoopJoinB(child, sink, &prog);
+  }
+  if (child.kind == PlanKind::kHashJoin) {
+    return ExecHashJoinB(child, sink, &prog);
+  }
+  if (child.kind == PlanKind::kIndexNLJoin) {
+    return ExecIndexNLJoinB(child, sink, &prog);
+  }
+  EvalScratch scratch;
+  Status inner_status;
+  XQ_RETURN_IF_ERROR(ExecB(
+      *plan.children[0],
+      [&](RowBatch& batch) {
+        Status s = prog.FilterBatch(&batch, &scratch);
+        if (!s.ok()) {
+          inner_status = s;
+          return false;
+        }
+        if (batch.empty()) return true;
+        return sink(batch);
+      },
+      /*budget=*/-1));
+  return inner_status;
+}
+
+Status Executor::ExecProjectB(const PlanNode& plan, const BatchSink& sink,
+                              int64_t budget) {
+  BatchEmitter em(options_.batch_capacity, sink, budget);
+  EvalScratch scratch;
+  Status inner_status;
+  // Bare column references (the common SELECT-list shape) read their slot
+  // directly instead of running the interpreter per row.
+  std::vector<int> slots;
+  slots.reserve(plan.project_progs.size());
+  for (const CompiledExpr& prog : plan.project_progs) {
+    slots.push_back(prog.single_slot());
+  }
+  XQ_RETURN_IF_ERROR(ExecB(
+      *plan.children[0],
+      [&](RowBatch& batch) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const Tuple& row = batch.row(i);
+          Tuple out;
+          out.reserve(plan.project_progs.size());
+          for (size_t j = 0; j < plan.project_progs.size(); ++j) {
+            int s = slots[j];
+            if (s >= 0 && static_cast<size_t>(s) < row.size()) {
+              out.push_back(row[static_cast<size_t>(s)]);
+              continue;
+            }
+            auto v = plan.project_progs[j].EvalRowRef(row, &scratch);
+            if (!v.ok()) {
+              inner_status = v.status();
+              return false;
+            }
+            out.push_back(**v);
+          }
+          if (!em.PushOwned(std::move(out))) return false;
+        }
+        return true;
+      },
+      budget));
+  XQ_RETURN_IF_ERROR(inner_status);
+  em.Flush();
+  return Status::OK();
+}
+
+Status Executor::ExecNestedLoopJoinB(const PlanNode& plan,
+                                     const BatchSink& sink,
+                                     const CompiledExpr* residual) {
+  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> inner,
+                      ExecuteToVector(*plan.children[1]));
+  const CompiledExpr* pred =
+      plan.predicate_prog.has_value() ? &*plan.predicate_prog : nullptr;
+  BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
+  EvalScratch scratch;
+  Status inner_status;
+  // Both the join predicate and any fused residual filter are evaluated
+  // on the (left, right) pair; only passing pairs are materialized.
+  auto pair_ok = [&](const CompiledExpr* prog, const Tuple& left,
+                     const Tuple& right, bool* ok) {
+    if (prog == nullptr) {
+      *ok = true;
+      return true;
+    }
+    auto pass = PairPasses(*prog, left, right, &scratch);
+    if (!pass.ok()) {
+      inner_status = pass.status();
+      return false;
+    }
+    *ok = *pass;
+    return true;
+  };
+  XQ_RETURN_IF_ERROR(ExecB(
+      *plan.children[0],
+      [&](RowBatch& batch) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const Tuple& left = batch.row(i);
+          for (const Tuple& right : inner) {
+            bool ok = false;
+            if (!pair_ok(pred, left, right, &ok)) return false;
+            if (!ok) continue;
+            if (!pair_ok(residual, left, right, &ok)) return false;
+            if (!ok) continue;
+            if (!em.PushOwned(Concat(left, right))) return false;
+          }
+        }
+        return true;
+      },
+      /*budget=*/-1));
+  XQ_RETURN_IF_ERROR(inner_status);
+  em.Flush();
+  return Status::OK();
+}
+
+Status Executor::ExecHashJoinB(const PlanNode& plan, const BatchSink& sink,
+                               const CompiledExpr* residual) {
+  // Build on the right child.
+  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> build,
+                      ExecuteToVector(*plan.children[1]));
+  EvalScratch scratch;
+  std::unordered_map<CompositeKey, std::vector<size_t>,
+                     rel::CompositeKeyHasher, rel::CompositeKeyEq>
+      ht;
+  ht.reserve(build.size());
+  std::vector<int> right_slots = SingleSlots(plan.right_key_progs);
+  std::vector<int> left_slots = SingleSlots(plan.left_key_progs);
+  for (size_t i = 0; i < build.size(); ++i) {
+    CompositeKey key;
+    bool has_null = false;
+    for (size_t j = 0; j < plan.right_key_progs.size(); ++j) {
+      XQ_ASSIGN_OR_RETURN(
+          const Value* v,
+          EvalKey(plan.right_key_progs[j], right_slots[j], build[i],
+                  &scratch));
+      if (v->is_null()) {
+        has_null = true;
+        break;
+      }
+      key.push_back(*v);
+    }
+    if (!has_null) ht[std::move(key)].push_back(i);
+  }
+  BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
+  Status inner_status;
+  CompositeKey probe;  // reused across rows
+  XQ_RETURN_IF_ERROR(ExecB(
+      *plan.children[0],
+      [&](RowBatch& batch) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const Tuple& left = batch.row(i);
+          probe.clear();
+          bool has_null = false;
+          for (size_t j = 0; j < plan.left_key_progs.size(); ++j) {
+            auto v = EvalKey(plan.left_key_progs[j], left_slots[j], left,
+                             &scratch);
+            if (!v.ok()) {
+              inner_status = v.status();
+              return false;
+            }
+            if ((*v)->is_null()) {
+              has_null = true;  // NULL never joins
+              break;
+            }
+            probe.push_back(**v);
+          }
+          if (has_null) continue;
+          auto it = ht.find(probe);
+          if (it == ht.end()) continue;
+          for (size_t b : it->second) {
+            if (residual != nullptr) {
+              auto pass = PairPasses(*residual, left, build[b], &scratch);
+              if (!pass.ok()) {
+                inner_status = pass.status();
+                return false;
+              }
+              if (!*pass) continue;
+            }
+            if (!em.PushOwned(Concat(left, build[b]))) return false;
+          }
+        }
+        return true;
+      },
+      /*budget=*/-1));
+  XQ_RETURN_IF_ERROR(inner_status);
+  em.Flush();
+  return Status::OK();
+}
+
+Status Executor::ExecIndexNLJoinB(const PlanNode& plan,
+                                  const BatchSink& sink,
+                                  const CompiledExpr* residual) {
+  XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
+  const rel::IndexEntry& entry = *plan.index;
+  BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
+  EvalScratch scratch;
+  Status inner_status;
+  CompositeKey key;            // reused across rows
+  std::vector<RowId> fetched;  // reused btree-lookup buffer
+  std::vector<int> key_slots = SingleSlots(plan.outer_key_progs);
+  XQ_RETURN_IF_ERROR(ExecB(
+      *plan.children[0],
+      [&](RowBatch& batch) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const Tuple& outer = batch.row(i);
+          key.clear();
+          bool has_null = false;
+          for (size_t j = 0; j < plan.outer_key_progs.size(); ++j) {
+            auto v = EvalKey(plan.outer_key_progs[j], key_slots[j], outer,
+                             &scratch);
+            if (!v.ok()) {
+              inner_status = v.status();
+              return false;
+            }
+            if ((*v)->is_null()) {
+              has_null = true;
+              break;
+            }
+            key.push_back(**v);
+          }
+          if (has_null) continue;
+          // Coerce the probe key to the indexed column types so INT
+          // probes hit TEXT-typed keys the way a filter comparison would.
+          for (size_t k = 0; k < key.size(); ++k) {
+            ValueType want =
+                table->schema().column(entry.column_indexes[k]).type;
+            if (key[k].type() != want) {
+              auto cast = key[k].CastTo(want);
+              if (cast.ok()) key[k] = std::move(*cast);
+            }
+          }
+          const std::vector<RowId>* rows = nullptr;
+          if (entry.def.kind == rel::IndexKind::kHash) {
+            rows = entry.hash->Lookup(key);
+            if (rows == nullptr) continue;
+          } else if (key.size() == entry.def.columns.size()) {
+            fetched = entry.btree->Lookup(key);
+            rows = &fetched;
+          } else {
+            fetched.clear();
+            entry.btree->ScanPrefix(
+                key, [&](const CompositeKey&, const std::vector<RowId>& r) {
+                  fetched.insert(fetched.end(), r.begin(), r.end());
+                  return true;
+                });
+            rows = &fetched;
+          }
+          for (RowId row : *rows) {
+            auto tuple = table->Get(row);
+            if (!tuple.ok()) {
+              inner_status = tuple.status();
+              return false;
+            }
+            if (residual != nullptr) {
+              auto pass = PairPasses(*residual, outer, **tuple, &scratch);
+              if (!pass.ok()) {
+                inner_status = pass.status();
+                return false;
+              }
+              if (!*pass) continue;
+            }
+            if (!em.PushOwned(Concat(outer, **tuple))) return false;
+          }
+        }
+        return true;
+      },
+      /*budget=*/-1));
+  XQ_RETURN_IF_ERROR(inner_status);
+  em.Flush();
+  return Status::OK();
+}
+
+Status Executor::ExecSortB(const PlanNode& plan, const BatchSink& sink) {
+  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                      ExecuteToVector(*plan.children[0]));
+  EvalScratch scratch;
+  std::vector<int> key_slots = SingleSlots(plan.sort_key_progs);
+  std::vector<std::pair<CompositeKey, size_t>> keyed;
+  keyed.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    CompositeKey key;
+    for (size_t j = 0; j < plan.sort_key_progs.size(); ++j) {
+      XQ_ASSIGN_OR_RETURN(
+          const Value* v,
+          EvalKey(plan.sort_key_progs[j], key_slots[j], rows[i], &scratch));
+      key.push_back(*v);
+    }
+    keyed.emplace_back(std::move(key), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [&](const auto& a, const auto& b) {
+                     for (size_t k = 0; k < plan.sort_keys.size(); ++k) {
+                       int c = Value::Compare(a.first[k], b.first[k]);
+                       if (c != 0) {
+                         return plan.sort_keys[k].desc ? c > 0 : c < 0;
+                       }
+                     }
+                     return false;
+                   });
+  BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
+  for (const auto& [key, i] : keyed) {
+    if (!em.PushRef(&rows[i], 0)) return Status::OK();
+  }
+  em.Flush();
+  return Status::OK();
+}
+
+Status Executor::ExecLimitB(const PlanNode& plan, const BatchSink& sink) {
+  int64_t child_budget =
+      plan.limit >= 0 ? plan.offset + plan.limit : int64_t{-1};
+  int64_t to_skip = plan.offset;
+  int64_t remaining = plan.limit;  // < 0 = unlimited
+  return ExecB(
+      *plan.children[0],
+      [&](RowBatch& batch) {
+        if (to_skip > 0) {
+          size_t drop = static_cast<size_t>(
+              std::min<int64_t>(to_skip, static_cast<int64_t>(batch.size())));
+          batch.DropFront(drop);
+          to_skip -= static_cast<int64_t>(drop);
+          if (batch.empty()) return true;
+        }
+        bool done = false;
+        if (remaining >= 0) {
+          if (static_cast<int64_t>(batch.size()) >= remaining) {
+            batch.Truncate(static_cast<size_t>(remaining));
+            remaining = 0;
+            done = true;
+          } else {
+            remaining -= static_cast<int64_t>(batch.size());
+          }
+        }
+        if (!batch.empty() && !sink(batch)) return false;
+        return !done;
+      },
+      child_budget);
+}
+
+Status Executor::ExecAggregateB(const PlanNode& plan, const BatchSink& sink) {
+  std::unordered_map<CompositeKey, size_t, rel::CompositeKeyHasher,
+                     rel::CompositeKeyEq>
+      group_index;
+  std::vector<CompositeKey> group_keys;  // insertion order
+  std::vector<std::vector<AggState>> states;
+  EvalScratch scratch;
+  Status inner_status;
+  std::vector<int> group_slots = SingleSlots(plan.group_progs);
+  std::vector<int> arg_slots;
+  arg_slots.reserve(plan.agg_arg_progs.size());
+  for (const auto& prog : plan.agg_arg_progs) {
+    arg_slots.push_back(prog.has_value() ? prog->single_slot() : -1);
+  }
+  XQ_RETURN_IF_ERROR(ExecB(
+      *plan.children[0],
+      [&](RowBatch& batch) {
+        for (size_t r = 0; r < batch.size(); ++r) {
+          const Tuple& tuple = batch.row(r);
+          CompositeKey key;
+          for (size_t j = 0; j < plan.group_progs.size(); ++j) {
+            auto v = EvalKey(plan.group_progs[j], group_slots[j], tuple,
+                             &scratch);
+            if (!v.ok()) {
+              inner_status = v.status();
+              return false;
+            }
+            key.push_back(**v);
+          }
+          size_t slot;
+          auto it = group_index.find(key);
+          if (it == group_index.end()) {
+            slot = group_keys.size();
+            group_index.emplace(key, slot);
+            group_keys.push_back(std::move(key));
+            states.emplace_back(plan.aggs.size());
+          } else {
+            slot = it->second;
+          }
+          for (size_t a = 0; a < plan.aggs.size(); ++a) {
+            Status s;
+            if (!plan.agg_arg_progs[a].has_value()) {
+              s = UpdateAggValue(plan.aggs[a].func, nullptr,
+                                 &states[slot][a]);
+            } else {
+              auto v = EvalKey(*plan.agg_arg_progs[a], arg_slots[a], tuple,
+                               &scratch);
+              if (!v.ok()) {
+                inner_status = v.status();
+                return false;
+              }
+              s = UpdateAggValue(plan.aggs[a].func, *v, &states[slot][a]);
+            }
+            if (!s.ok()) {
+              inner_status = s;
+              return false;
+            }
+          }
+        }
+        return true;
+      },
+      /*budget=*/-1));
+  XQ_RETURN_IF_ERROR(inner_status);
+  // Grand aggregate over an empty input still yields one row.
+  if (group_keys.empty() && plan.group_exprs.empty()) {
+    group_keys.emplace_back();
+    states.emplace_back(plan.aggs.size());
+  }
+  BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Tuple out = group_keys[g];
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      out.push_back(FinalizeAgg(plan.aggs[a], states[g][a]));
+    }
+    if (!em.PushOwned(std::move(out))) return Status::OK();
+  }
+  em.Flush();
+  return Status::OK();
+}
+
+Status Executor::ExecDistinctB(const PlanNode& plan, const BatchSink& sink) {
+  std::unordered_set<CompositeKey, rel::CompositeKeyHasher,
+                     rel::CompositeKeyEq>
+      seen;
+  return ExecB(
+      *plan.children[0],
+      [&](RowBatch& batch) {
+        std::vector<uint32_t> next;
+        next.reserve(batch.size());
+        const std::vector<uint32_t>& sel = batch.sel();
+        for (size_t i = 0; i < sel.size(); ++i) {
+          if (seen.insert(batch.row(i)).second) next.push_back(sel[i]);
+        }
+        batch.SetSel(std::move(next));
+        if (batch.empty()) return true;
+        return sink(batch);
+      },
+      /*budget=*/-1);
+}
+
+// ---------------------------------------------------------------------
+// Row-at-a-time reference path (pre-batching executor, kept verbatim).
+// ---------------------------------------------------------------------
+
+Status Executor::ExecuteRowAtATime(const PlanNode& plan, const RowSink& sink) {
+  switch (plan.kind) {
+    case PlanKind::kSeqScan:
+    case PlanKind::kParallelSeqScan:  // baseline path stays serial
+      return ExecScanRow(plan, sink);
+    case PlanKind::kIndexScan:
+      return ExecIndexScanRow(plan, sink);
+    case PlanKind::kKeywordScan:
+      return ExecKeywordScanRow(plan, sink);
+    case PlanKind::kFilter:
+      return ExecFilterRow(plan, sink);
+    case PlanKind::kProject:
+      return ExecProjectRow(plan, sink);
+    case PlanKind::kNestedLoopJoin:
+      return ExecNestedLoopJoinRow(plan, sink);
+    case PlanKind::kHashJoin:
+      return ExecHashJoinRow(plan, sink);
+    case PlanKind::kIndexNLJoin:
+      return ExecIndexNLJoinRow(plan, sink);
+    case PlanKind::kSort:
+      return ExecSortRow(plan, sink);
+    case PlanKind::kLimit:
+      return ExecLimitRow(plan, sink);
+    case PlanKind::kAggregate:
+      return ExecAggregateRow(plan, sink);
+    case PlanKind::kDistinct:
+      return ExecDistinctRow(plan, sink);
+  }
+  return Status::Internal("bad plan kind");
+}
+
+Result<std::vector<Tuple>> Executor::CollectRows(const PlanNode& plan) {
+  std::vector<Tuple> rows;
+  XQ_RETURN_IF_ERROR(ExecuteRowAtATime(plan, [&](const Tuple& t) {
     rows.push_back(t);
     return true;
   }));
   return rows;
 }
 
-Status Executor::ExecScan(const PlanNode& plan, const RowSink& sink) {
+Status Executor::ExecScanRow(const PlanNode& plan, const RowSink& sink) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
   table->Scan([&](RowId, const Tuple& tuple) { return sink(tuple); });
   return Status::OK();
@@ -76,7 +1014,7 @@ Result<bool> EmitRows(const rel::Table& table, const std::vector<RowId>& rows,
 
 }  // namespace
 
-Status Executor::ExecIndexScan(const PlanNode& plan, const RowSink& sink) {
+Status Executor::ExecIndexScanRow(const PlanNode& plan, const RowSink& sink) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
   const rel::IndexEntry& entry = *plan.index;
   if (!plan.eq_key.empty()) {
@@ -128,7 +1066,8 @@ Status Executor::ExecIndexScan(const PlanNode& plan, const RowSink& sink) {
   return status;
 }
 
-Status Executor::ExecKeywordScan(const PlanNode& plan, const RowSink& sink) {
+Status Executor::ExecKeywordScanRow(const PlanNode& plan,
+                                    const RowSink& sink) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
   std::vector<RowId> rows = plan.index->inverted->LookupAll(plan.keyword);
   XQ_ASSIGN_OR_RETURN(bool more, EmitRows(*table, rows, sink));
@@ -136,66 +1075,69 @@ Status Executor::ExecKeywordScan(const PlanNode& plan, const RowSink& sink) {
   return Status::OK();
 }
 
-Status Executor::ExecFilter(const PlanNode& plan, const RowSink& sink) {
+Status Executor::ExecFilterRow(const PlanNode& plan, const RowSink& sink) {
   Status inner_status;
-  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& tuple) {
-    auto pass = EvalPredicate(*plan.predicate, tuple);
-    if (!pass.ok()) {
-      inner_status = pass.status();
-      return false;
-    }
-    if (pass->has_value() && **pass) return sink(tuple);
-    return true;
-  }));
-  return inner_status;
-}
-
-Status Executor::ExecProject(const PlanNode& plan, const RowSink& sink) {
-  Status inner_status;
-  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& tuple) {
-    Tuple out;
-    out.reserve(plan.project_exprs.size());
-    for (const ExprPtr& e : plan.project_exprs) {
-      auto v = Eval(*e, tuple);
-      if (!v.ok()) {
-        inner_status = v.status();
-        return false;
-      }
-      out.push_back(std::move(*v));
-    }
-    return sink(out);
-  }));
-  return inner_status;
-}
-
-Status Executor::ExecNestedLoopJoin(const PlanNode& plan,
-                                    const RowSink& sink) {
-  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> inner,
-                      ExecuteToVector(*plan.children[1]));
-  Status inner_status;
-  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& left) {
-    for (const Tuple& right : inner) {
-      Tuple combined = left;
-      combined.insert(combined.end(), right.begin(), right.end());
-      if (plan.predicate) {
-        auto pass = EvalPredicate(*plan.predicate, combined);
+  XQ_RETURN_IF_ERROR(
+      ExecuteRowAtATime(*plan.children[0], [&](const Tuple& tuple) {
+        auto pass = EvalPredicate(*plan.predicate, tuple);
         if (!pass.ok()) {
           inner_status = pass.status();
           return false;
         }
-        if (!pass->has_value() || !**pass) continue;
-      }
-      if (!sink(combined)) return false;
-    }
-    return true;
-  }));
+        if (pass->has_value() && **pass) return sink(tuple);
+        return true;
+      }));
   return inner_status;
 }
 
-Status Executor::ExecHashJoin(const PlanNode& plan, const RowSink& sink) {
+Status Executor::ExecProjectRow(const PlanNode& plan, const RowSink& sink) {
+  Status inner_status;
+  XQ_RETURN_IF_ERROR(
+      ExecuteRowAtATime(*plan.children[0], [&](const Tuple& tuple) {
+        Tuple out;
+        out.reserve(plan.project_exprs.size());
+        for (const ExprPtr& e : plan.project_exprs) {
+          auto v = Eval(*e, tuple);
+          if (!v.ok()) {
+            inner_status = v.status();
+            return false;
+          }
+          out.push_back(std::move(*v));
+        }
+        return sink(out);
+      }));
+  return inner_status;
+}
+
+Status Executor::ExecNestedLoopJoinRow(const PlanNode& plan,
+                                       const RowSink& sink) {
+  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> inner,
+                      CollectRows(*plan.children[1]));
+  Status inner_status;
+  XQ_RETURN_IF_ERROR(
+      ExecuteRowAtATime(*plan.children[0], [&](const Tuple& left) {
+        for (const Tuple& right : inner) {
+          Tuple combined = left;
+          combined.insert(combined.end(), right.begin(), right.end());
+          if (plan.predicate) {
+            auto pass = EvalPredicate(*plan.predicate, combined);
+            if (!pass.ok()) {
+              inner_status = pass.status();
+              return false;
+            }
+            if (!pass->has_value() || !**pass) continue;
+          }
+          if (!sink(combined)) return false;
+        }
+        return true;
+      }));
+  return inner_status;
+}
+
+Status Executor::ExecHashJoinRow(const PlanNode& plan, const RowSink& sink) {
   // Build on the right child.
   XQ_ASSIGN_OR_RETURN(std::vector<Tuple> build,
-                      ExecuteToVector(*plan.children[1]));
+                      CollectRows(*plan.children[1]));
   std::unordered_map<CompositeKey, std::vector<size_t>,
                      rel::CompositeKeyHasher, rel::CompositeKeyEq>
       ht;
@@ -213,85 +1155,86 @@ Status Executor::ExecHashJoin(const PlanNode& plan, const RowSink& sink) {
     if (!has_null) ht[std::move(key)].push_back(i);
   }
   Status inner_status;
-  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& left) {
-    CompositeKey key;
-    for (const ExprPtr& e : plan.left_keys) {
-      auto v = Eval(*e, left);
-      if (!v.ok()) {
-        inner_status = v.status();
-        return false;
-      }
-      if (v->is_null()) return true;  // NULL never joins
-      key.push_back(std::move(*v));
-    }
-    auto it = ht.find(key);
-    if (it == ht.end()) return true;
-    for (size_t i : it->second) {
-      Tuple combined = left;
-      combined.insert(combined.end(), build[i].begin(), build[i].end());
-      if (!sink(combined)) return false;
-    }
-    return true;
-  }));
+  XQ_RETURN_IF_ERROR(
+      ExecuteRowAtATime(*plan.children[0], [&](const Tuple& left) {
+        CompositeKey key;
+        for (const ExprPtr& e : plan.left_keys) {
+          auto v = Eval(*e, left);
+          if (!v.ok()) {
+            inner_status = v.status();
+            return false;
+          }
+          if (v->is_null()) return true;  // NULL never joins
+          key.push_back(std::move(*v));
+        }
+        auto it = ht.find(key);
+        if (it == ht.end()) return true;
+        for (size_t i : it->second) {
+          Tuple combined = left;
+          combined.insert(combined.end(), build[i].begin(), build[i].end());
+          if (!sink(combined)) return false;
+        }
+        return true;
+      }));
   return inner_status;
 }
 
-Status Executor::ExecIndexNLJoin(const PlanNode& plan, const RowSink& sink) {
+Status Executor::ExecIndexNLJoinRow(const PlanNode& plan,
+                                    const RowSink& sink) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
   const rel::IndexEntry& entry = *plan.index;
   Status inner_status;
-  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& outer) {
-    CompositeKey key;
-    for (const ExprPtr& e : plan.outer_key_exprs) {
-      auto v = Eval(*e, outer);
-      if (!v.ok()) {
-        inner_status = v.status();
-        return false;
-      }
-      if (v->is_null()) return true;
-      key.push_back(std::move(*v));
-    }
-    // Coerce the probe key to the indexed column types so INT probes hit
-    // TEXT-typed keys the way the filter comparison would.
-    for (size_t i = 0; i < key.size(); ++i) {
-      ValueType want =
-          table->schema().column(entry.column_indexes[i]).type;
-      if (key[i].type() != want) {
-        auto cast = key[i].CastTo(want);
-        if (cast.ok()) key[i] = std::move(*cast);
-      }
-    }
-    std::vector<RowId> rows;
-    if (entry.def.kind == rel::IndexKind::kHash) {
-      const std::vector<RowId>* found = entry.hash->Lookup(key);
-      if (found != nullptr) rows = *found;
-    } else if (key.size() == entry.def.columns.size()) {
-      rows = entry.btree->Lookup(key);
-    } else {
-      entry.btree->ScanPrefix(
-          key, [&](const CompositeKey&, const std::vector<RowId>& r) {
-            rows.insert(rows.end(), r.begin(), r.end());
-            return true;
-          });
-    }
-    for (RowId row : rows) {
-      auto tuple = table->Get(row);
-      if (!tuple.ok()) {
-        inner_status = tuple.status();
-        return false;
-      }
-      Tuple combined = outer;
-      combined.insert(combined.end(), (*tuple)->begin(), (*tuple)->end());
-      if (!sink(combined)) return false;
-    }
-    return true;
-  }));
+  XQ_RETURN_IF_ERROR(
+      ExecuteRowAtATime(*plan.children[0], [&](const Tuple& outer) {
+        CompositeKey key;
+        for (const ExprPtr& e : plan.outer_key_exprs) {
+          auto v = Eval(*e, outer);
+          if (!v.ok()) {
+            inner_status = v.status();
+            return false;
+          }
+          if (v->is_null()) return true;
+          key.push_back(std::move(*v));
+        }
+        // Coerce the probe key to the indexed column types so INT probes
+        // hit TEXT-typed keys the way the filter comparison would.
+        for (size_t i = 0; i < key.size(); ++i) {
+          ValueType want = table->schema().column(entry.column_indexes[i]).type;
+          if (key[i].type() != want) {
+            auto cast = key[i].CastTo(want);
+            if (cast.ok()) key[i] = std::move(*cast);
+          }
+        }
+        std::vector<RowId> rows;
+        if (entry.def.kind == rel::IndexKind::kHash) {
+          const std::vector<RowId>* found = entry.hash->Lookup(key);
+          if (found != nullptr) rows = *found;
+        } else if (key.size() == entry.def.columns.size()) {
+          rows = entry.btree->Lookup(key);
+        } else {
+          entry.btree->ScanPrefix(
+              key, [&](const CompositeKey&, const std::vector<RowId>& r) {
+                rows.insert(rows.end(), r.begin(), r.end());
+                return true;
+              });
+        }
+        for (RowId row : rows) {
+          auto tuple = table->Get(row);
+          if (!tuple.ok()) {
+            inner_status = tuple.status();
+            return false;
+          }
+          Tuple combined = outer;
+          combined.insert(combined.end(), (*tuple)->begin(), (*tuple)->end());
+          if (!sink(combined)) return false;
+        }
+        return true;
+      }));
   return inner_status;
 }
 
-Status Executor::ExecSort(const PlanNode& plan, const RowSink& sink) {
-  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
-                      ExecuteToVector(*plan.children[0]));
+Status Executor::ExecSortRow(const PlanNode& plan, const RowSink& sink) {
+  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> rows, CollectRows(*plan.children[0]));
   // Precompute sort keys per row.
   std::vector<std::pair<CompositeKey, size_t>> keyed;
   keyed.reserve(rows.size());
@@ -319,10 +1262,10 @@ Status Executor::ExecSort(const PlanNode& plan, const RowSink& sink) {
   return Status::OK();
 }
 
-Status Executor::ExecLimit(const PlanNode& plan, const RowSink& sink) {
+Status Executor::ExecLimitRow(const PlanNode& plan, const RowSink& sink) {
   int64_t skipped = 0;
   int64_t emitted = 0;
-  return Execute(*plan.children[0], [&](const Tuple& tuple) {
+  return ExecuteRowAtATime(*plan.children[0], [&](const Tuple& tuple) {
     if (skipped < plan.offset) {
       ++skipped;
       return true;
@@ -334,110 +1277,43 @@ Status Executor::ExecLimit(const PlanNode& plan, const RowSink& sink) {
   });
 }
 
-namespace {
-
-struct AggState {
-  int64_t count = 0;
-  bool has = false;
-  bool all_int = true;
-  int64_t isum = 0;
-  double dsum = 0;
-  Value min;
-  Value max;
-};
-
-Status UpdateAgg(const AggSpec& spec, const Tuple& tuple, AggState* state) {
-  if (spec.arg == nullptr) {  // COUNT(*)
-    ++state->count;
-    return Status::OK();
-  }
-  XQ_ASSIGN_OR_RETURN(Value v, Eval(*spec.arg, tuple));
-  if (v.is_null()) return Status::OK();
-  ++state->count;
-  switch (spec.func) {
-    case AggFunc::kCount:
-      break;
-    case AggFunc::kSum:
-    case AggFunc::kAvg: {
-      XQ_ASSIGN_OR_RETURN(double d, v.ToNumeric());
-      state->dsum += d;
-      if (v.type() == ValueType::kInt) {
-        state->isum += v.AsInt();
-      } else {
-        state->all_int = false;
-      }
-      state->has = true;
-      break;
-    }
-    case AggFunc::kMin:
-      if (!state->has || Value::Compare(v, state->min) < 0) state->min = v;
-      state->has = true;
-      break;
-    case AggFunc::kMax:
-      if (!state->has || Value::Compare(v, state->max) > 0) state->max = v;
-      state->has = true;
-      break;
-  }
-  return Status::OK();
-}
-
-Value FinalizeAgg(const AggSpec& spec, const AggState& state) {
-  switch (spec.func) {
-    case AggFunc::kCount:
-      return Value::Int(state.count);
-    case AggFunc::kSum:
-      if (!state.has) return Value::Null();
-      return state.all_int ? Value::Int(state.isum)
-                           : Value::Double(state.dsum);
-    case AggFunc::kAvg:
-      if (!state.has) return Value::Null();
-      return Value::Double(state.dsum / static_cast<double>(state.count));
-    case AggFunc::kMin:
-      return state.has ? state.min : Value::Null();
-    case AggFunc::kMax:
-      return state.has ? state.max : Value::Null();
-  }
-  return Value::Null();
-}
-
-}  // namespace
-
-Status Executor::ExecAggregate(const PlanNode& plan, const RowSink& sink) {
+Status Executor::ExecAggregateRow(const PlanNode& plan, const RowSink& sink) {
   std::unordered_map<CompositeKey, size_t, rel::CompositeKeyHasher,
                      rel::CompositeKeyEq>
       group_index;
-  std::vector<CompositeKey> group_keys;          // insertion order
+  std::vector<CompositeKey> group_keys;  // insertion order
   std::vector<std::vector<AggState>> states;
   Status inner_status;
-  XQ_RETURN_IF_ERROR(Execute(*plan.children[0], [&](const Tuple& tuple) {
-    CompositeKey key;
-    for (const ExprPtr& g : plan.group_exprs) {
-      auto v = Eval(*g, tuple);
-      if (!v.ok()) {
-        inner_status = v.status();
-        return false;
-      }
-      key.push_back(std::move(*v));
-    }
-    size_t slot;
-    auto it = group_index.find(key);
-    if (it == group_index.end()) {
-      slot = group_keys.size();
-      group_index.emplace(key, slot);
-      group_keys.push_back(std::move(key));
-      states.emplace_back(plan.aggs.size());
-    } else {
-      slot = it->second;
-    }
-    for (size_t a = 0; a < plan.aggs.size(); ++a) {
-      Status s = UpdateAgg(plan.aggs[a], tuple, &states[slot][a]);
-      if (!s.ok()) {
-        inner_status = s;
-        return false;
-      }
-    }
-    return true;
-  }));
+  XQ_RETURN_IF_ERROR(
+      ExecuteRowAtATime(*plan.children[0], [&](const Tuple& tuple) {
+        CompositeKey key;
+        for (const ExprPtr& g : plan.group_exprs) {
+          auto v = Eval(*g, tuple);
+          if (!v.ok()) {
+            inner_status = v.status();
+            return false;
+          }
+          key.push_back(std::move(*v));
+        }
+        size_t slot;
+        auto it = group_index.find(key);
+        if (it == group_index.end()) {
+          slot = group_keys.size();
+          group_index.emplace(key, slot);
+          group_keys.push_back(std::move(key));
+          states.emplace_back(plan.aggs.size());
+        } else {
+          slot = it->second;
+        }
+        for (size_t a = 0; a < plan.aggs.size(); ++a) {
+          Status s = UpdateAgg(plan.aggs[a], tuple, &states[slot][a]);
+          if (!s.ok()) {
+            inner_status = s;
+            return false;
+          }
+        }
+        return true;
+      }));
   XQ_RETURN_IF_ERROR(inner_status);
   // Grand aggregate over an empty input still yields one row.
   if (group_keys.empty() && plan.group_exprs.empty()) {
@@ -454,11 +1330,11 @@ Status Executor::ExecAggregate(const PlanNode& plan, const RowSink& sink) {
   return Status::OK();
 }
 
-Status Executor::ExecDistinct(const PlanNode& plan, const RowSink& sink) {
+Status Executor::ExecDistinctRow(const PlanNode& plan, const RowSink& sink) {
   std::unordered_set<CompositeKey, rel::CompositeKeyHasher,
                      rel::CompositeKeyEq>
       seen;
-  return Execute(*plan.children[0], [&](const Tuple& tuple) {
+  return ExecuteRowAtATime(*plan.children[0], [&](const Tuple& tuple) {
     if (!seen.insert(tuple).second) return true;
     return sink(tuple);
   });

@@ -6,43 +6,103 @@
 
 #include "common/result.h"
 #include "relational/database.h"
+#include "relational/row_batch.h"
 #include "sql/plan.h"
 
 namespace xomatiq::sql {
 
-// Streaming plan executor. Rows flow bottom-up through a sink callback;
-// the sink returns false to stop early (LIMIT pushes this down, so a
-// LIMIT 10 over a million-row scan touches ~10 rows on an index path).
-// Blocking operators (sort, hash-join build, aggregate, distinct)
-// materialize internally.
+struct ExecutorOptions {
+  // Rows per RowBatch flowing between operators.
+  size_t batch_capacity = rel::RowBatch::kDefaultCapacity;
+  // Bound (in batches) of each parallel-scan worker's output queue.
+  size_t parallel_queue_batches = 4;
+};
+
+// Plan executor. The primary pipeline is batched: operators produce and
+// consume RowBatch buffers, predicates/projections run as slot-bound
+// expression programs (CompiledExpr), and a row budget flows down through
+// row-preserving operators so LIMIT over an index path still touches
+// ~limit rows. Blocking operators (sort, hash-join build, aggregate,
+// distinct) materialize internally. The pre-batching row-at-a-time path
+// is retained as a differential oracle and as bench_pipeline's baseline.
 class Executor {
  public:
-  explicit Executor(rel::Database* db) : db_(db) {}
+  explicit Executor(rel::Database* db, ExecutorOptions options = {})
+      : db_(db), options_(options) {}
 
   using RowSink = std::function<bool(const rel::Tuple&)>;
+  // Receives each output batch; may narrow its selection in place but must
+  // not keep references past the call. Returns false to stop early.
+  using BatchSink = std::function<bool(rel::RowBatch&)>;
 
-  // Streams the plan's output rows into `sink`.
-  common::Status Execute(const PlanNode& plan, const RowSink& sink);
+  // Streams the plan's output batches into `sink` (primary path).
+  common::Status ExecuteBatched(const PlanNode& plan, const BatchSink& sink);
 
-  // Convenience: materializes all output rows.
+  // Convenience: materializes all output rows (batched underneath).
   common::Result<std::vector<rel::Tuple>> ExecuteToVector(
       const PlanNode& plan);
 
+  // Reference tuple-at-a-time executor: rows cross a per-row sink and
+  // expressions are evaluated by walking the AST. Kept for differential
+  // testing and as the baseline bench_pipeline measures against.
+  common::Status ExecuteRowAtATime(const PlanNode& plan, const RowSink& sink);
+
  private:
-  common::Status ExecScan(const PlanNode& plan, const RowSink& sink);
-  common::Status ExecIndexScan(const PlanNode& plan, const RowSink& sink);
-  common::Status ExecKeywordScan(const PlanNode& plan, const RowSink& sink);
-  common::Status ExecFilter(const PlanNode& plan, const RowSink& sink);
-  common::Status ExecProject(const PlanNode& plan, const RowSink& sink);
-  common::Status ExecNestedLoopJoin(const PlanNode& plan, const RowSink& sink);
-  common::Status ExecHashJoin(const PlanNode& plan, const RowSink& sink);
-  common::Status ExecIndexNLJoin(const PlanNode& plan, const RowSink& sink);
-  common::Status ExecSort(const PlanNode& plan, const RowSink& sink);
-  common::Status ExecLimit(const PlanNode& plan, const RowSink& sink);
-  common::Status ExecAggregate(const PlanNode& plan, const RowSink& sink);
-  common::Status ExecDistinct(const PlanNode& plan, const RowSink& sink);
+  // --- batched pipeline; `budget` = max rows the consumer accepts
+  // (-1 unlimited), honored by leaf scans for early termination ---
+  common::Status ExecB(const PlanNode& plan, const BatchSink& sink,
+                       int64_t budget);
+  common::Status ExecScanB(const PlanNode& plan, const BatchSink& sink,
+                           int64_t budget);
+  // `pred`, when set, is a filter fused into the scan at execution time:
+  // workers evaluate it and rejected rows never enter a batch.
+  common::Status ExecParallelScanB(const PlanNode& plan,
+                                   const BatchSink& sink, int64_t budget,
+                                   const CompiledExpr* pred = nullptr);
+  common::Status ExecIndexScanB(const PlanNode& plan, const BatchSink& sink,
+                                int64_t budget);
+  common::Status ExecKeywordScanB(const PlanNode& plan, const BatchSink& sink,
+                                  int64_t budget);
+  common::Status ExecFilterB(const PlanNode& plan, const BatchSink& sink);
+  common::Status ExecProjectB(const PlanNode& plan, const BatchSink& sink,
+                              int64_t budget);
+  // `residual`, when set, is a parent Filter fused into the join: it is
+  // evaluated on each candidate (left, right) pair via EvalPairRef, and
+  // failing pairs are never concatenated.
+  common::Status ExecNestedLoopJoinB(const PlanNode& plan,
+                                     const BatchSink& sink,
+                                     const CompiledExpr* residual = nullptr);
+  common::Status ExecHashJoinB(const PlanNode& plan, const BatchSink& sink,
+                               const CompiledExpr* residual = nullptr);
+  common::Status ExecIndexNLJoinB(const PlanNode& plan,
+                                  const BatchSink& sink,
+                                  const CompiledExpr* residual = nullptr);
+  common::Status ExecSortB(const PlanNode& plan, const BatchSink& sink);
+  common::Status ExecLimitB(const PlanNode& plan, const BatchSink& sink);
+  common::Status ExecAggregateB(const PlanNode& plan, const BatchSink& sink);
+  common::Status ExecDistinctB(const PlanNode& plan, const BatchSink& sink);
+
+  // --- row-at-a-time reference path ---
+  common::Status ExecScanRow(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecIndexScanRow(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecKeywordScanRow(const PlanNode& plan,
+                                    const RowSink& sink);
+  common::Status ExecFilterRow(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecProjectRow(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecNestedLoopJoinRow(const PlanNode& plan,
+                                       const RowSink& sink);
+  common::Status ExecHashJoinRow(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecIndexNLJoinRow(const PlanNode& plan,
+                                    const RowSink& sink);
+  common::Status ExecSortRow(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecLimitRow(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecAggregateRow(const PlanNode& plan, const RowSink& sink);
+  common::Status ExecDistinctRow(const PlanNode& plan, const RowSink& sink);
+
+  common::Result<std::vector<rel::Tuple>> CollectRows(const PlanNode& plan);
 
   rel::Database* db_;
+  ExecutorOptions options_;
 };
 
 }  // namespace xomatiq::sql

@@ -51,6 +51,8 @@ namespace {
 
 Value BoolValue(bool b) { return Value::Int(b ? 1 : 0); }
 
+}  // namespace
+
 // NULL-aware truthiness; NULL -> nullopt.
 std::optional<bool> Truthiness(const Value& v) {
   switch (v.type()) {
@@ -65,6 +67,8 @@ std::optional<bool> Truthiness(const Value& v) {
   }
   return std::nullopt;
 }
+
+namespace {
 
 Result<Value> EvalComparison(BinaryOp op, const Value& l, const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Null();
@@ -120,6 +124,23 @@ Result<Value> EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
 }
 
 }  // namespace
+
+Result<Value> EvalBinaryScalar(BinaryOp op, const Value& l, const Value& r) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return EvalComparison(op, l, r);
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      return Status::Internal("AND/OR are not scalar ops");
+    default:
+      return EvalArithmetic(op, l, r);
+  }
+}
 
 bool MatchLike(std::string_view text, std::string_view pattern) {
   // Iterative two-pointer matcher with backtracking on the last '%'.

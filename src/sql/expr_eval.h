@@ -22,6 +22,15 @@ common::Result<rel::Value> Eval(const Expr& e, const rel::Tuple& tuple);
 common::Result<std::optional<bool>> EvalPredicate(const Expr& e,
                                                   const rel::Tuple& tuple);
 
+// NULL-aware truthiness of a value; NULL -> nullopt. Shared between the
+// tree walker and the compiled-expression interpreter.
+std::optional<bool> Truthiness(const rel::Value& v);
+
+// Scalar binary evaluation (comparison, arithmetic, concat) with SQL NULL
+// propagation. kAnd/kOr are control flow, not scalar ops, and are rejected.
+common::Result<rel::Value> EvalBinaryScalar(BinaryOp op, const rel::Value& l,
+                                            const rel::Value& r);
+
 // SQL LIKE with % (any run) and _ (any one char); case-sensitive.
 bool MatchLike(std::string_view text, std::string_view pattern);
 

@@ -7,6 +7,7 @@ namespace {
 std::string_view PlanKindName(PlanKind kind) {
   switch (kind) {
     case PlanKind::kSeqScan: return "SeqScan";
+    case PlanKind::kParallelSeqScan: return "ParallelSeqScan";
     case PlanKind::kIndexScan: return "IndexScan";
     case PlanKind::kKeywordScan: return "KeywordScan";
     case PlanKind::kFilter: return "Filter";
@@ -30,6 +31,10 @@ std::string PlanNode::ToString(int indent) const {
   switch (kind) {
     case PlanKind::kSeqScan:
       out += " " + table + (alias != table ? " AS " + alias : "");
+      break;
+    case PlanKind::kParallelSeqScan:
+      out += " " + table + (alias != table ? " AS " + alias : "") +
+             " workers=" + std::to_string(parallel_degree);
       break;
     case PlanKind::kIndexScan: {
       out += " " + table + " USING " + index->def.name;

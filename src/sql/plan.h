@@ -7,11 +7,13 @@
 
 #include "relational/database.h"
 #include "sql/ast.h"
+#include "sql/compiled_expr.h"
 
 namespace xomatiq::sql {
 
 enum class PlanKind {
   kSeqScan,        // full table scan
+  kParallelSeqScan,// partitioned scan fanned across worker threads
   kIndexScan,      // btree/hash point or range access
   kKeywordScan,    // inverted-index posting fetch for CONTAINS
   kFilter,         // predicate
@@ -82,6 +84,22 @@ struct PlanNode {
   // kAggregate.
   std::vector<ExprPtr> group_exprs;
   std::vector<AggSpec> aggs;
+
+  // kParallelSeqScan worker count (>= 2 when chosen by the planner).
+  int parallel_degree = 0;
+
+  // Slot-bound expression programs compiled from the fields above by
+  // CompilePlanPrograms (planner.cc); the executor's batched pipeline
+  // evaluates these instead of re-walking the AST per row. The ExprPtr
+  // originals are kept for EXPLAIN and the row-at-a-time baseline.
+  std::optional<CompiledExpr> predicate_prog;
+  std::vector<CompiledExpr> project_progs;
+  std::vector<CompiledExpr> left_key_progs;
+  std::vector<CompiledExpr> right_key_progs;
+  std::vector<CompiledExpr> outer_key_progs;
+  std::vector<CompiledExpr> sort_key_progs;
+  std::vector<CompiledExpr> group_progs;
+  std::vector<std::optional<CompiledExpr>> agg_arg_progs;
 
   // Human-readable operator tree (EXPLAIN).
   std::string ToString(int indent = 0) const;

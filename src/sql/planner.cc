@@ -1,6 +1,7 @@
 #include "sql/planner.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "sql/expr_eval.h"
 
@@ -427,6 +428,15 @@ Result<PlanPtr> Planner::PlanSelect(const SelectStmt& stmt) {
       access->index = kw_index;
       access->keyword = kw_pred->keyword;
       conjuncts[kw_pred->conjunct_index] = nullptr;
+    } else if (table->num_slots() >= options_.parallel_scan_threshold) {
+      int degree = options_.parallel_degree;
+      if (degree <= 0) {
+        degree = static_cast<int>(std::thread::hardware_concurrency());
+      }
+      if (degree >= 2) {
+        access->kind = PlanKind::kParallelSeqScan;
+        access->parallel_degree = degree;
+      }
     }
 
     if (plan == nullptr) {
@@ -474,7 +484,8 @@ Result<PlanPtr> Planner::PlanSelect(const SelectStmt& stmt) {
       // consumed predicate) and an index exists on a join column.
       const IndexEntry* inl_index = nullptr;
       const EquiJoin* inl_equi = nullptr;
-      if (access->kind == PlanKind::kSeqScan) {
+      if (access->kind == PlanKind::kSeqScan ||
+          access->kind == PlanKind::kParallelSeqScan) {
         for (const EquiJoin& ej : equis) {
           if (ej.right_bare.empty()) continue;
           const IndexEntry* idx =
@@ -772,7 +783,60 @@ Result<PlanPtr> Planner::PlanSelect(const SelectStmt& stmt) {
     plan = std::move(limit);
   }
 
+  XQ_RETURN_IF_ERROR(CompilePlanPrograms(plan.get()));
   return plan;
+}
+
+namespace {
+
+Result<CompiledExpr> CompileOne(const ExprPtr& e) {
+  return CompiledExpr::Compile(*e);
+}
+
+Status CompileList(const std::vector<ExprPtr>& exprs,
+                   std::vector<CompiledExpr>* out) {
+  out->clear();
+  out->reserve(exprs.size());
+  for (const ExprPtr& e : exprs) {
+    XQ_ASSIGN_OR_RETURN(CompiledExpr prog, CompileOne(e));
+    out->push_back(std::move(prog));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CompilePlanPrograms(PlanNode* plan) {
+  if (plan->predicate) {
+    XQ_ASSIGN_OR_RETURN(CompiledExpr prog, CompileOne(plan->predicate));
+    plan->predicate_prog = std::move(prog);
+  }
+  XQ_RETURN_IF_ERROR(CompileList(plan->project_exprs, &plan->project_progs));
+  XQ_RETURN_IF_ERROR(CompileList(plan->left_keys, &plan->left_key_progs));
+  XQ_RETURN_IF_ERROR(CompileList(plan->right_keys, &plan->right_key_progs));
+  XQ_RETURN_IF_ERROR(
+      CompileList(plan->outer_key_exprs, &plan->outer_key_progs));
+  XQ_RETURN_IF_ERROR(CompileList(plan->group_exprs, &plan->group_progs));
+  plan->sort_key_progs.clear();
+  plan->sort_key_progs.reserve(plan->sort_keys.size());
+  for (const SortKey& sk : plan->sort_keys) {
+    XQ_ASSIGN_OR_RETURN(CompiledExpr prog, CompileOne(sk.expr));
+    plan->sort_key_progs.push_back(std::move(prog));
+  }
+  plan->agg_arg_progs.clear();
+  plan->agg_arg_progs.reserve(plan->aggs.size());
+  for (const AggSpec& spec : plan->aggs) {
+    if (spec.arg == nullptr) {
+      plan->agg_arg_progs.emplace_back();
+    } else {
+      XQ_ASSIGN_OR_RETURN(CompiledExpr prog, CompileOne(spec.arg));
+      plan->agg_arg_progs.emplace_back(std::move(prog));
+    }
+  }
+  for (const PlanPtr& child : plan->children) {
+    XQ_RETURN_IF_ERROR(CompilePlanPrograms(child.get()));
+  }
+  return Status::OK();
 }
 
 }  // namespace xomatiq::sql

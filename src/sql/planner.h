@@ -7,6 +7,17 @@
 
 namespace xomatiq::sql {
 
+// Planner tuning knobs.
+struct PlannerOptions {
+  // A sequential scan over a table with at least this many slots becomes a
+  // kParallelSeqScan. Defaults high enough that unit-test-sized tables
+  // keep their (byte-identical) SeqScan plans.
+  size_t parallel_scan_threshold = 1 << 16;
+  // Worker count for parallel scans: 0 = hardware concurrency. Parallel
+  // scans are only chosen when the effective degree is >= 2.
+  int parallel_degree = 0;
+};
+
 // Rule-based planner. Produces a left-deep physical plan in FROM order:
 //   - single-table predicates choose hash/btree/inverted index access
 //     paths when a matching index exists (equality, single-column range,
@@ -20,13 +31,22 @@ namespace xomatiq::sql {
 // measures the impact of each index choice.
 class Planner {
  public:
-  explicit Planner(rel::Database* db) : db_(db) {}
+  explicit Planner(rel::Database* db, PlannerOptions options = {})
+      : db_(db), options_(options) {}
 
   common::Result<PlanPtr> PlanSelect(const SelectStmt& stmt);
 
+  PlannerOptions& options() { return options_; }
+
  private:
   rel::Database* db_;
+  PlannerOptions options_;
 };
+
+// Compiles every bound expression of `plan` (and its children) into the
+// slot-bound programs the batched executor evaluates (plan->*_progs).
+// PlanSelect calls this on its result; exposed for hand-built plans.
+common::Status CompilePlanPrograms(PlanNode* plan);
 
 // Splits a boolean expression into top-level AND conjuncts (consumes the
 // expression tree).

@@ -35,15 +35,19 @@ Result<XqResult> XomatiQ::Execute(std::string_view query_text) {
   result.executed_sql = translation.sql;
   result.constructor_name = translation.constructor_name;
   // Union the disjunct statements with set semantics, preserving the
-  // first-seen order.
+  // first-seen order. Each statement streams its batches straight into
+  // the result; no per-statement materialization.
   std::set<rel::CompositeKey, rel::CompositeKeyLess> seen;
   for (const std::string& sql : translation.sql) {
-    XQ_ASSIGN_OR_RETURN(sql::QueryResult qr, engine_.Execute(sql));
-    for (Tuple& row : qr.rows) {
-      if (seen.insert(row).second) {
-        result.rows.push_back(std::move(row));
-      }
-    }
+    XQ_RETURN_IF_ERROR(
+        engine_.ExecuteSelectBatched(sql, [&](rel::RowBatch& batch) {
+          for (size_t i = 0; i < batch.size(); ++i) {
+            if (seen.insert(batch.row(i)).second) {
+              result.rows.push_back(batch.row(i));
+            }
+          }
+          return true;
+        }).status());
   }
   return result;
 }

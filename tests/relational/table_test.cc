@@ -88,6 +88,59 @@ TEST(TableTest, ScanSkipsDeletedAndStopsEarly) {
   EXPECT_EQ(seen, (std::vector<int64_t>{0, 1, 2, 4, 5}));
 }
 
+TEST(TableTest, ScanPartitionCoversTableExactlyOnce) {
+  Table t = MakeTable();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Null()}).ok());
+  }
+  ASSERT_TRUE(t.Delete(0).ok());
+  ASSERT_TRUE(t.Delete(4).ok());
+  ASSERT_TRUE(t.Delete(9).ok());
+  // Contiguous partitions (including one that is all tombstones and one
+  // that is empty) concatenate to exactly the serial scan.
+  std::vector<int64_t> expect;
+  t.Scan([&](RowId, const Tuple& tuple) {
+    expect.push_back(tuple[0].AsInt());
+    return true;
+  });
+  std::vector<int64_t> got;
+  const RowId cuts[] = {0, 4, 5, 5, 10};
+  for (size_t i = 0; i + 1 < std::size(cuts); ++i) {
+    t.ScanPartition(cuts[i], cuts[i + 1], [&](RowId, const Tuple& tuple) {
+      got.push_back(tuple[0].AsInt());
+      return true;
+    });
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(TableTest, ScanPartitionClampsBoundsAndStopsEarly) {
+  Table t = MakeTable();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Null()}).ok());
+  }
+  // Bounds beyond the table clamp; an inverted/empty range visits nothing.
+  std::vector<int64_t> seen;
+  t.ScanPartition(3, 1000, [&](RowId, const Tuple& tuple) {
+    seen.push_back(tuple[0].AsInt());
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{3, 4}));
+  seen.clear();
+  t.ScanPartition(4, 2, [&](RowId, const Tuple&) {
+    seen.push_back(-1);
+    return true;
+  });
+  EXPECT_TRUE(seen.empty());
+  // The visitor's false return stops within the partition.
+  seen.clear();
+  t.ScanPartition(0, 5, [&](RowId, const Tuple& tuple) {
+    seen.push_back(tuple[0].AsInt());
+    return seen.size() < 2;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{0, 1}));
+}
+
 TEST(TableTest, RestoreSlotPreservesTombstones) {
   Table t = MakeTable();
   t.RestoreSlot({Value::Int(1), Value::Null()}, true);
