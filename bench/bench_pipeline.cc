@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -91,6 +92,21 @@ size_t RunBatched(Executor* exec, const std::vector<PlanPtr>& plans) {
   return rows;
 }
 
+// Flattens one plan tree's EXPLAIN ANALYZE actuals into report metrics:
+// op<N>_<Kind>_rows / _ms per operator, preorder. Fused children carry
+// zero counters by design (their work is in the parent's numbers).
+void AddOperatorStats(const PlanNode& node, int* index,
+                      std::vector<std::pair<std::string, double>>* out) {
+  std::string key =
+      "op" + std::to_string((*index)++) + "_" +
+      std::string(xomatiq::sql::PlanKindName(node.kind));
+  out->emplace_back(key + "_rows", static_cast<double>(node.stats.rows_out));
+  out->emplace_back(key + "_ms", static_cast<double>(node.stats.ns) / 1e6);
+  for (const auto& child : node.children) {
+    AddOperatorStats(*child, index, out);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,6 +158,12 @@ int main(int argc, char** argv) {
   par_options.parallel_degree = 4;
   Planner par_planner(db, par_options);
   Executor exec(db);
+  // Stats-collecting executor: times the same batched plans with
+  // per-operator actuals on, so the report carries both the observability
+  // overhead and the per-operator breakdown.
+  xomatiq::sql::ExecutorOptions stats_options;
+  stats_options.collect_stats = true;
+  Executor stats_exec(db, stats_options);
 
   JsonReport report("BENCH_pipeline.json");
   std::printf("%-18s %12s %12s %12s %9s %9s\n", "workload", "row_at_a_time",
@@ -162,19 +184,50 @@ int main(int argc, char** argv) {
     double t_row = BestOfSeconds(reps, [&] { RunRowAtATime(&exec, plans); });
     double t_batch = BestOfSeconds(reps, [&] { RunBatched(&exec, plans); });
     double t_par = BestOfSeconds(reps, [&] { RunBatched(&exec, par_plans); });
+    // Same plans with per-operator stats collection on: the delta against
+    // t_batch is the observability overhead (budgeted at <= 5%).
+    double t_stats = BestOfSeconds(reps, [&] {
+      for (const PlanPtr& plan : plans) plan->ClearStats();
+      RunBatched(&stats_exec, plans);
+    });
     double speedup = t_batch > 0 ? t_row / t_batch : 0;
+    double stats_overhead_pct =
+        t_batch > 0 ? (t_stats / t_batch - 1.0) * 100.0 : 0;
 
     std::printf("%-18s %11.3fms %11.3fms %11.3fms %8.2fx %9zu\n",
                 w.name.c_str(), t_row * 1e3, t_batch * 1e3, t_par * 1e3,
                 speedup, rows_row);
-    report.Add(w.name, {{"n", static_cast<double>(n)},
-                        {"rows", static_cast<double>(rows_row)},
-                        {"row_at_a_time_ms", t_row * 1e3},
-                        {"batched_ms", t_batch * 1e3},
-                        {"parallel_ms", t_par * 1e3},
-                        {"speedup_batched", speedup}});
+    std::vector<std::pair<std::string, double>> metrics = {
+        {"n", static_cast<double>(n)},
+        {"rows", static_cast<double>(rows_row)},
+        {"row_at_a_time_ms", t_row * 1e3},
+        {"batched_ms", t_batch * 1e3},
+        {"parallel_ms", t_par * 1e3},
+        {"batched_stats_ms", t_stats * 1e3},
+        {"stats_overhead_pct", stats_overhead_pct},
+        {"speedup_batched", speedup}};
+    // The last timed stats run left its actuals on the plan nodes; embed
+    // the per-operator breakdown (single-statement workloads only keep
+    // the flattened keys unambiguous — disjunct unions get per-plan
+    // prefixes from the preorder index continuing across statements).
+    int op_index = 0;
+    for (const PlanPtr& plan : plans) {
+      AddOperatorStats(*plan, &op_index, &metrics);
+    }
+    report.Add(w.name, std::move(metrics));
   }
   if (!report.Write()) return 1;
   std::printf("wrote BENCH_pipeline.json\n");
+  // Process-wide metrics snapshot (scan/WAL/index counters, stage
+  // histograms) alongside the per-workload report, via the shared JSON
+  // export helper.
+  std::FILE* mf = std::fopen("BENCH_pipeline_metrics.json", "w");
+  if (mf != nullptr) {
+    std::string snap =
+        xomatiq::common::MetricsRegistry::Global().Snapshot().ToJson();
+    std::fwrite(snap.data(), 1, snap.size(), mf);
+    std::fclose(mf);
+    std::printf("wrote BENCH_pipeline_metrics.json\n");
+  }
   return 0;
 }

@@ -1,0 +1,194 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace xomatiq::common {
+
+namespace {
+
+// Dots and other non-identifier characters are invalid in Prometheus
+// metric names; map them to underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+size_t Histogram::BucketFor(uint64_t ns) {
+  if (ns < kFirstBucketNs) return 0;
+  // Index of the highest set bit above the first-bucket threshold.
+  size_t bucket = 0;
+  uint64_t bound = kFirstBucketNs;
+  while (bucket + 1 < kNumBuckets && ns >= bound) {
+    ++bucket;
+    bound <<= 1;
+  }
+  return bucket;
+}
+
+uint64_t Histogram::BucketUpperNs(size_t i) {
+  if (i + 1 >= kNumBuckets) return UINT64_MAX;
+  return kFirstBucketNs << i;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_names_.find(name);
+  if (it != counter_names_.end()) return it->second;
+  Counter* c = &counters_.emplace_back();
+  counter_names_.emplace(std::string(name), c);
+  return c;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_names_.find(name);
+  if (it != gauge_names_.end()) return it->second;
+  Gauge* g = &gauges_.emplace_back();
+  gauge_names_.emplace(std::string(name), g);
+  return g;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histogram_names_.find(name);
+  if (it != histogram_names_.end()) return it->second;
+  Histogram* h = &histograms_.emplace_back();
+  histogram_names_.emplace(std::string(name), h);
+  return h;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (const auto& [name, c] : counter_names_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (const auto& [name, g] : gauge_names_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histogram_names_.size());
+  for (const auto& [name, h] : histogram_names_) {
+    MetricsSnapshot::HistogramSample s;
+    s.name = name;
+    s.count = h->Count();
+    s.sum_ns = h->SumNs();
+    s.buckets.resize(Histogram::kNumBuckets);
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      s.buckets[i] = h->BucketCount(i);
+    }
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counters_) c.Reset();
+  for (auto& g : gauges_) g.Reset();
+  for (auto& h : histograms_) h.Reset();
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " counter\n" + pname + " ";
+    AppendU64(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " gauge\n" + pname + " ";
+    AppendI64(&out, value);
+    out += "\n";
+  }
+  for (const HistogramSample& h : histograms) {
+    std::string pname = PrometheusName(h.name);
+    out += "# TYPE " + pname + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += pname + "_bucket{le=\"";
+      uint64_t upper = Histogram::BucketUpperNs(i);
+      if (upper == UINT64_MAX) {
+        out += "+Inf";
+      } else {
+        // Label in microseconds to keep the text humane.
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f",
+                      static_cast<double>(upper) / 1e3);
+        out += buf;
+      }
+      out += "\"} ";
+      AppendU64(&out, cumulative);
+      out += "\n";
+    }
+    out += pname + "_sum ";
+    AppendU64(&out, h.sum_ns);
+    out += "\n" + pname + "_count ";
+    AppendU64(&out, h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + counters[i].first + "\":";
+    AppendU64(&out, counters[i].second);
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + gauges[i].first + "\":";
+    AppendI64(&out, gauges[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    if (i > 0) out += ",";
+    const HistogramSample& h = histograms[i];
+    out += "\"" + h.name + "\":{\"count\":";
+    AppendU64(&out, h.count);
+    out += ",\"sum_ns\":";
+    AppendU64(&out, h.sum_ns);
+    out += ",\"buckets\":[";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ",";
+      AppendU64(&out, h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace xomatiq::common

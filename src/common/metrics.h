@@ -1,0 +1,165 @@
+#ifndef XOMATIQ_COMMON_METRICS_H_
+#define XOMATIQ_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xomatiq::common {
+
+// Process-wide observability primitives (zero external dependencies).
+//
+// Handles returned by MetricsRegistry are stable for the process lifetime,
+// so hot paths resolve a metric once (static local) and then touch a single
+// relaxed atomic. Counters and gauges are padded to a cache line so the
+// parallel-scan workers incrementing neighbouring metrics never share a
+// line. Naming scheme: dot-separated `<layer>.<component>.<what>`, e.g.
+// `rel.wal.bytes_appended`, `sql.queries`, `xq.stage.translate` (see
+// DESIGN.md "Observability").
+
+inline constexpr size_t kCacheLineSize = 64;
+
+// Monotonically increasing event count.
+struct alignas(kCacheLineSize) Counter {
+  std::atomic<uint64_t> value{0};
+
+  void Inc(uint64_t n = 1) { value.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value.load(std::memory_order_relaxed); }
+  void Reset() { value.store(0, std::memory_order_relaxed); }
+};
+
+// Point-in-time signed level (table count, live rows, ...).
+struct alignas(kCacheLineSize) Gauge {
+  std::atomic<int64_t> value{0};
+
+  void Set(int64_t v) { value.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value.load(std::memory_order_relaxed); }
+  void Reset() { value.store(0, std::memory_order_relaxed); }
+};
+
+// Fixed-bucket latency histogram over nanosecond samples. Buckets are
+// powers of two starting at 1us (<1us pools in bucket 0), so recording is
+// a bit-scan plus one relaxed increment — no allocation, no locking.
+class Histogram {
+ public:
+  // Bucket i holds samples with ns < kFirstBucketNs << i (last = +inf).
+  static constexpr size_t kNumBuckets = 24;
+  static constexpr uint64_t kFirstBucketNs = 1024;  // ~1us
+
+  void Record(uint64_t ns) {
+    buckets_[BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t SumNs() const { return sum_ns_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Inclusive upper bound of bucket `i` in ns (UINT64_MAX for the last).
+  static uint64_t BucketUpperNs(size_t i);
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  static size_t BucketFor(uint64_t ns);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+// Value-copy of the registry at one instant, renderable as Prometheus
+// exposition text or JSON (the benches embed the JSON form).
+struct MetricsSnapshot {
+  struct HistogramSample {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum_ns = 0;
+    std::vector<uint64_t> buckets;  // cumulative-free per-bucket counts
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSample> histograms;
+
+  // Prometheus text exposition: names with dots mapped to underscores,
+  // histograms emitted as `<name>_count` / `<name>_sum_ns` plus `_bucket`
+  // lines with cumulative `le` labels in microseconds.
+  std::string ToPrometheusText() const;
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+};
+
+// Global name -> metric table. Registration takes a mutex; returned
+// pointers never move or expire, so steady-state access is lock-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered metric (names stay registered). Backs the
+  // engine's RESET STATS command.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*, std::less<>> counter_names_;
+  std::map<std::string, Gauge*, std::less<>> gauge_names_;
+  std::map<std::string, Histogram*, std::less<>> histogram_names_;
+};
+
+// RAII latency sample: records elapsed wall time into `hist` on scope
+// exit. Tolerates a null histogram (no-op) so call sites can gate on a
+// config without branching at every exit path.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* hist)
+      : hist_(hist),
+        start_(hist == nullptr ? std::chrono::steady_clock::time_point{}
+                               : std::chrono::steady_clock::now()) {}
+  ~ScopedLatency() { Stop(); }
+
+  // Records the sample now and disarms the destructor; lets a call site
+  // end the measured region before the enclosing scope does.
+  void Stop() {
+    if (hist_ == nullptr) return;
+    hist_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+    hist_ = nullptr;
+  }
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace xomatiq::common
+
+#endif  // XOMATIQ_COMMON_METRICS_H_

@@ -1,0 +1,134 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace xomatiq::common {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t ThisThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+thread_local Trace* g_current_trace = nullptr;
+// Innermost open span per thread. Only meaningful while the owning trace
+// is current; TraceScope swaps traces only between complete span trees in
+// practice (one query = one scope), so a plain stack suffices.
+thread_local std::vector<uint32_t> g_span_stack;
+
+// Minimal JSON string escaping for span names.
+void AppendJsonString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+Trace::Trace() : origin_ns_(NowNs()) {}
+
+Trace* Trace::Current() { return g_current_trace; }
+
+void Trace::SetCurrent(Trace* trace) { g_current_trace = trace; }
+
+uint32_t Trace::BeginSpan(std::string_view name) {
+  uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = static_cast<uint32_t>(spans_.size() + 1);
+  span.parent = g_span_stack.empty() ? 0 : g_span_stack.back();
+  span.name = std::string(name);
+  span.start_ns = now - origin_ns_;
+  span.thread_id = ThisThreadId();
+  spans_.push_back(std::move(span));
+  g_span_stack.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Trace::EndSpan(uint32_t id) {
+  uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  span.duration_ns = (now - origin_ns_) - span.start_ns;
+  // Pop through any abandoned children (e.g. early returns that skipped
+  // an explicit end) so the stack never wedges.
+  while (!g_span_stack.empty()) {
+    uint32_t top = g_span_stack.back();
+    g_span_stack.pop_back();
+    if (top == id) break;
+  }
+}
+
+std::vector<Trace::Span> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<std::string> Trace::SpanNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(spans_.size());
+  for (const Span& s : spans_) names.push_back(s.name);
+  return names;
+}
+
+std::string Trace::ToChromeJson() const {
+  std::vector<Span> snapshot = spans();
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const Span& s = snapshot[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    AppendJsonString(&out, s.name);
+    char buf[160];
+    // Complete ("X") events; ts/dur are microseconds per the spec.
+    std::snprintf(buf, sizeof buf,
+                  ",\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"args\":{\"id\":%u,\"parent\":%u}}",
+                  static_cast<unsigned long long>(s.thread_id % 1000000),
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.duration_ns) / 1e3, s.id, s.parent);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+TraceSpan::TraceSpan(std::string_view name, Histogram* latency)
+    : trace_(Trace::Current()), latency_(latency) {
+  if (trace_ == nullptr && latency_ == nullptr) return;
+  if (latency_ != nullptr) start_ns_ = NowNs();
+  if (trace_ != nullptr) id_ = trace_->BeginSpan(name);
+}
+
+TraceSpan::~TraceSpan() {
+  if (trace_ != nullptr) trace_->EndSpan(id_);
+  if (latency_ != nullptr) latency_->Record(NowNs() - start_ns_);
+}
+
+}  // namespace xomatiq::common

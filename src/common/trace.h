@@ -1,0 +1,103 @@
+#ifndef XOMATIQ_COMMON_TRACE_H_
+#define XOMATIQ_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace xomatiq::common {
+
+// Per-query tree of named, timed spans.
+//
+// A Trace is installed for the current thread with TraceScope; while one is
+// installed, every TraceSpan constructed on that thread records a span
+// whose parent is the innermost open span. With no trace installed,
+// TraceSpan is a single thread-local pointer test — cheap enough to leave
+// in release hot paths. Worker threads spawned inside a span do not
+// inherit the trace (their work is accounted through operator stats /
+// metrics instead), so recorded thread ids always name threads that
+// explicitly entered the trace.
+class Trace {
+ public:
+  struct Span {
+    uint32_t id = 0;
+    uint32_t parent = 0;  // 0 = root (span ids start at 1)
+    std::string name;
+    uint64_t start_ns = 0;  // relative to the trace origin
+    uint64_t duration_ns = 0;
+    uint64_t thread_id = 0;  // hashed std::thread::id
+  };
+
+  Trace();
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  // Opens a span; returns its id. Thread-safe.
+  uint32_t BeginSpan(std::string_view name);
+  // Closes the span `id` (records its duration). Thread-safe.
+  void EndSpan(uint32_t id);
+
+  // Snapshot of all spans recorded so far (open spans have duration 0).
+  std::vector<Span> spans() const;
+
+  // Span names in begin order — the golden-test view of a pipeline.
+  std::vector<std::string> SpanNames() const;
+
+  // Chrome trace_event JSON ({"traceEvents":[...]}), loadable in
+  // chrome://tracing or Perfetto. Timestamps/durations in microseconds.
+  std::string ToChromeJson() const;
+
+  // Trace installed for the current thread (nullptr when none).
+  static Trace* Current();
+
+ private:
+  friend class TraceScope;
+  static void SetCurrent(Trace* trace);
+
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  uint64_t origin_ns_ = 0;
+};
+
+// RAII install of `trace` as the current thread's trace; restores the
+// previous one (traces nest) on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(Trace* trace) : prev_(Trace::Current()) {
+    Trace::SetCurrent(trace);
+  }
+  ~TraceScope() { Trace::SetCurrent(prev_); }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Trace* prev_;
+};
+
+// RAII span on the current thread's trace; no-op when none is installed.
+// Optionally mirrors the measured latency into a histogram so stage
+// timings show up in the metrics snapshot even for untraced queries.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, Histogram* latency = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Trace* trace_;
+  Histogram* latency_;
+  uint32_t id_ = 0;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace xomatiq::common
+
+#endif  // XOMATIQ_COMMON_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "datahounds/generic_schema.h"
 #include "relational/serde.h"
 #include "xml/writer.h"
@@ -121,8 +123,18 @@ Result<Warehouse::LoadStats> Warehouse::LoadSource(
     std::string_view raw) {
   XQ_RETURN_IF_ERROR(RegisterCollection(collection, transformer));
   const Collection* c = FindCollection(collection);
-  XQ_ASSIGN_OR_RETURN(std::vector<TransformedDocument> docs,
-                      transformer.Transform(raw));
+  static common::Histogram* transform_hist =
+      common::MetricsRegistry::Global().GetHistogram("hounds.stage.transform");
+  static common::Histogram* shred_hist =
+      common::MetricsRegistry::Global().GetHistogram("hounds.stage.shred");
+  static common::Counter* docs_loaded =
+      common::MetricsRegistry::Global().GetCounter("hounds.documents_loaded");
+  std::vector<TransformedDocument> docs;
+  {
+    common::TraceSpan span("hounds.transform", transform_hist);
+    XQ_ASSIGN_OR_RETURN(docs, transformer.Transform(raw));
+  }
+  common::TraceSpan span("hounds.shred", shred_hist);
   LoadStats stats;
   for (const TransformedDocument& doc : docs) {
     std::vector<std::string> errors;
@@ -136,6 +148,7 @@ Result<Warehouse::LoadStats> Warehouse::LoadSource(
                                                  c->sequence_elements,
                                                  ContentHash(doc.document)));
     ++stats.documents;
+    docs_loaded->Inc();
     stats.nodes += s.nodes;
     stats.text_values += s.text_values;
     stats.numeric_values += s.numeric_values;

@@ -3,12 +3,26 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/metrics.h"
+
 namespace xomatiq::rel {
 
 namespace {
 
 bool KeyLess(const CompositeKey& a, const CompositeKey& b) {
   return CompareCompositeKeys(a, b) < 0;
+}
+
+common::Counter* LeafSplitCounter() {
+  static common::Counter* c =
+      common::MetricsRegistry::Global().GetCounter("rel.btree.leaf_splits");
+  return c;
+}
+
+common::Counter* InternalSplitCounter() {
+  static common::Counter* c = common::MetricsRegistry::Global().GetCounter(
+      "rel.btree.internal_splits");
+  return c;
 }
 
 }  // namespace
@@ -77,6 +91,7 @@ void BTreeIndex::InsertIntoLeaf(Node* leaf, const CompositeKey& key,
 }
 
 void BTreeIndex::SplitLeaf(Node* leaf) {
+  LeafSplitCounter()->Inc();
   auto right = std::make_unique<Node>(/*leaf=*/true);
   size_t mid = leaf->entries.size() / 2;
   right->entries.assign(std::make_move_iterator(leaf->entries.begin() + mid),
@@ -117,6 +132,7 @@ void BTreeIndex::InsertIntoParent(Node* left, CompositeKey sep, Node* right) {
 }
 
 void BTreeIndex::SplitInternal(Node* node) {
+  InternalSplitCounter()->Inc();
   size_t mid = node->keys.size() / 2;
   CompositeKey sep = std::move(node->keys[mid]);
   auto right = std::make_unique<Node>(/*leaf=*/false);

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/metrics.h"
 #include "relational/serde.h"
 
 namespace xomatiq::rel {
@@ -102,12 +103,18 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir) {
     XQ_RETURN_IF_ERROR(db->LoadSnapshot(snapshot_path));
   }
   db->replaying_ = true;
+  common::ScopedLatency replay_timer(
+      common::MetricsRegistry::Global().GetHistogram("rel.recovery.replay"));
   auto replayed = WriteAheadLog::Replay(
       dir + "/" + kWalFile,
       [&](std::string_view payload) { return db->ReplayRecord(payload); });
+  replay_timer.Stop();
   db->replaying_ = false;
   if (!replayed.ok()) return replayed.status();
   db->records_recovered_ = *replayed;
+  common::MetricsRegistry::Global()
+      .GetCounter("rel.recovery.records")
+      ->Inc(*replayed);
   XQ_ASSIGN_OR_RETURN(db->wal_, WriteAheadLog::Open(dir + "/" + kWalFile));
   return db;
 }
@@ -115,6 +122,10 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir) {
 Status Database::Log(std::string_view payload) {
   if (wal_ == nullptr || replaying_) return Status::OK();
   return wal_->Append(payload);
+}
+
+common::MetricsSnapshot Database::MetricsSnapshot() {
+  return common::MetricsRegistry::Global().Snapshot();
 }
 
 // --- DDL -------------------------------------------------------------

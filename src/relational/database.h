@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "relational/btree_index.h"
 #include "relational/hash_index.h"
@@ -98,6 +99,13 @@ class Database {
   bool durable() const { return wal_ != nullptr; }
   uint64_t wal_bytes() const { return wal_ ? wal_->bytes_written() : 0; }
   size_t records_recovered() const { return records_recovered_; }
+
+  // --- observability ---
+  // Point-in-time copy of the process metrics registry (engine counters,
+  // WAL/index/recovery counters, stage latency histograms). The registry
+  // is process-global; this accessor is the stable API surface callers
+  // and benches go through.
+  static common::MetricsSnapshot MetricsSnapshot();
 
  private:
   struct TableInfo {

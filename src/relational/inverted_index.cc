@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace xomatiq::rel {
+
+namespace {
+
+common::Counter* PostingsScannedCounter() {
+  static common::Counter* c = common::MetricsRegistry::Global().GetCounter(
+      "rel.inverted.postings_scanned");
+  return c;
+}
+
+}  // namespace
 
 void InvertedIndex::Add(RowId row, std::string_view text) {
   for (const std::string& token : common::TokenizeKeywords(text)) {
@@ -35,7 +46,9 @@ std::vector<RowId> InvertedIndex::Lookup(std::string_view token) const {
   std::vector<std::string> tokens = common::TokenizeKeywords(token);
   if (tokens.size() == 1) {
     auto it = postings_.find(tokens[0]);
-    return it == postings_.end() ? std::vector<RowId>{} : it->second;
+    if (it == postings_.end()) return {};
+    PostingsScannedCounter()->Inc(it->second.size());
+    return it->second;
   }
   return LookupAll(token);
 }
@@ -48,6 +61,7 @@ std::vector<RowId> InvertedIndex::LookupAll(std::string_view phrase) const {
   for (const std::string& token : tokens) {
     auto it = postings_.find(token);
     if (it == postings_.end()) return {};
+    PostingsScannedCounter()->Inc(it->second.size());
     if (first) {
       acc = it->second;
       first = false;

@@ -2,10 +2,36 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace xomatiq::rel {
 
 using common::Result;
 using common::Status;
+
+namespace {
+
+// Handles are resolved once; ScanPartition accumulates locally and flushes
+// one atomic add per scan so the per-row loop stays counter-free.
+common::Counter* ScansCounter() {
+  static common::Counter* c =
+      common::MetricsRegistry::Global().GetCounter("rel.table.scans");
+  return c;
+}
+
+common::Counter* RowsScannedCounter() {
+  static common::Counter* c =
+      common::MetricsRegistry::Global().GetCounter("rel.table.rows_scanned");
+  return c;
+}
+
+common::Counter* RowsFetchedCounter() {
+  static common::Counter* c =
+      common::MetricsRegistry::Global().GetCounter("rel.table.rows_fetched");
+  return c;
+}
+
+}  // namespace
 
 Status Table::ValidateAndCoerce(Tuple* tuple) const {
   if (tuple->size() != schema_.size()) {
@@ -46,6 +72,7 @@ Result<const Tuple*> Table::Get(RowId row) const {
     return Status::NotFound("row " + std::to_string(row) + " not live in " +
                             name_);
   }
+  RowsFetchedCounter()->Inc();
   return &rows_[static_cast<size_t>(row)];
 }
 
@@ -88,11 +115,15 @@ void Table::ScanPartition(
     RowId first_slot, RowId last_slot,
     const std::function<bool(RowId, const Tuple&)>& visit) const {
   RowId end = std::min(last_slot, static_cast<RowId>(rows_.size()));
+  uint64_t visited = 0;
   for (RowId row = first_slot; row < end; ++row) {
     size_t slot = static_cast<size_t>(row);
     if (deleted_[slot]) continue;
-    if (!visit(row, rows_[slot])) return;
+    ++visited;
+    if (!visit(row, rows_[slot])) break;
   }
+  ScansCounter()->Inc();
+  RowsScannedCounter()->Inc(visited);
 }
 
 }  // namespace xomatiq::rel

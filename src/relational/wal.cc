@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "relational/serde.h"
 
 namespace xomatiq::rel {
@@ -38,6 +39,12 @@ Status WriteAheadLog::Append(std::string_view payload) {
     return Status::IoError("WAL flush failed at " + path_);
   }
   bytes_written_ += header.size() + payload.size();
+  static common::Counter* appends =
+      common::MetricsRegistry::Global().GetCounter("rel.wal.appends");
+  static common::Counter* bytes =
+      common::MetricsRegistry::Global().GetCounter("rel.wal.bytes_appended");
+  appends->Inc();
+  bytes->Inc(header.size() + payload.size());
   return Status::OK();
 }
 

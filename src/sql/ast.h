@@ -167,7 +167,9 @@ enum class StatementKind {
   kSelect,
   kDelete,
   kUpdate,
-  kExplain,  // EXPLAIN <select>
+  kExplain,     // EXPLAIN [ANALYZE] <select>
+  kStats,       // STATS: dump the process metrics snapshot
+  kResetStats,  // RESET STATS: zero counters/gauges/histograms
 };
 
 struct Statement {
@@ -179,6 +181,9 @@ struct Statement {
   SelectStmt select;  // also the target of kExplain
   DeleteStmt del;
   UpdateStmt update;
+  // kExplain: EXPLAIN ANALYZE — execute the query and annotate the plan
+  // tree with per-operator actuals instead of printing the bare plan.
+  bool analyze = false;
 };
 
 }  // namespace xomatiq::sql

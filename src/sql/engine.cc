@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "sql/executor.h"
 #include "sql/expr_eval.h"
 #include "sql/parser.h"
@@ -55,7 +57,18 @@ std::string QueryResult::ToTable() const {
 }
 
 Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
-  XQ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  // Registered once; the registry hands back stable pointers, so the hot
+  // path is one atomic add plus the histogram record.
+  static common::Counter* queries =
+      common::MetricsRegistry::Global().GetCounter("sql.queries");
+  static common::Histogram* parse_hist =
+      common::MetricsRegistry::Global().GetHistogram("sql.stage.parse");
+  queries->Inc();
+  Statement stmt;
+  {
+    common::TraceSpan span("sql.parse", parse_hist);
+    XQ_ASSIGN_OR_RETURN(stmt, ParseStatement(sql));
+  }
   switch (stmt.kind) {
     case StatementKind::kCreateTable: {
       std::vector<rel::Column> cols;
@@ -89,26 +102,61 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
     case StatementKind::kSelect:
       return ExecuteSelect(stmt.select, /*explain_only=*/false);
     case StatementKind::kExplain:
-      return ExecuteSelect(stmt.select, /*explain_only=*/true);
+      // Plain EXPLAIN prints the plan without running it; EXPLAIN ANALYZE
+      // runs the query with stats collection and prints the same tree
+      // annotated with per-operator actuals.
+      return ExecuteSelect(stmt.select, /*explain_only=*/!stmt.analyze,
+                           /*analyze=*/stmt.analyze);
     case StatementKind::kDelete:
       return ExecuteDelete(stmt.del);
     case StatementKind::kUpdate:
       return ExecuteUpdate(stmt.update);
+    case StatementKind::kStats: {
+      QueryResult result;
+      result.explain_text =
+          common::MetricsRegistry::Global().Snapshot().ToPrometheusText();
+      return result;
+    }
+    case StatementKind::kResetStats:
+      common::MetricsRegistry::Global().Reset();
+      return QueryResult{};
   }
   return Status::Internal("bad statement kind");
 }
 
 Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
-                                             bool explain_only) {
-  XQ_ASSIGN_OR_RETURN(PlanPtr plan, planner_.PlanSelect(stmt));
+                                             bool explain_only,
+                                             bool analyze) {
+  static common::Histogram* plan_hist =
+      common::MetricsRegistry::Global().GetHistogram("sql.stage.plan");
+  static common::Histogram* exec_hist =
+      common::MetricsRegistry::Global().GetHistogram("sql.stage.execute");
+  PlanPtr plan;
+  {
+    common::TraceSpan span("sql.plan", plan_hist);
+    XQ_ASSIGN_OR_RETURN(plan, planner_.PlanSelect(stmt));
+  }
   QueryResult result;
   result.schema = plan->schema;
   if (explain_only) {
     result.explain_text = plan->ToString();
     return result;
   }
-  Executor executor(db_, options_.executor);
-  XQ_ASSIGN_OR_RETURN(result.rows, executor.ExecuteToVector(*plan));
+  ExecutorOptions exec_options = options_.executor;
+  if (analyze) {
+    exec_options.collect_stats = true;
+    plan->ClearStats();
+  }
+  Executor executor(db_, exec_options);
+  {
+    common::TraceSpan span("sql.execute", exec_hist);
+    XQ_ASSIGN_OR_RETURN(result.rows, executor.ExecuteToVector(*plan));
+  }
+  if (analyze) {
+    // EXPLAIN ANALYZE returns the annotated tree, not the result rows.
+    result.explain_text = plan->ToString(0, /*analyze=*/true);
+    result.rows.clear();
+  }
   return result;
 }
 

@@ -23,7 +23,7 @@ struct QueryResult {
   rel::Schema schema;
   std::vector<rel::Tuple> rows;
   size_t affected = 0;
-  std::string explain_text;  // set for EXPLAIN
+  std::string explain_text;  // set for EXPLAIN [ANALYZE] and STATS
 
   // Renders rows as a fixed-width ASCII table (the "simple table format"
   // result view of the paper's Figs 7(b)/12).
@@ -53,8 +53,11 @@ class SqlEngine {
   rel::Database* db() { return db_; }
 
  private:
+  // `analyze` = EXPLAIN ANALYZE: execute with per-operator stats
+  // collection and return the annotated plan tree instead of the rows.
   common::Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
-                                            bool explain_only);
+                                            bool explain_only,
+                                            bool analyze = false);
   common::Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
   common::Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt);
   common::Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt);

@@ -1,6 +1,7 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -240,6 +241,28 @@ Result<std::vector<Tuple>> Executor::ExecuteToVector(const PlanNode& plan) {
 
 Status Executor::ExecB(const PlanNode& plan, const BatchSink& sink,
                        int64_t budget) {
+  if (!options_.collect_stats) return DispatchB(plan, sink, budget);
+  OpStats& st = plan.stats;
+  ++st.invocations;
+  // Count emission before the parent consumes, so a consumer that stops
+  // mid-pipeline (LIMIT row budget, aborted sink) still leaves finalized
+  // counters behind.
+  BatchSink counting = [&st, &sink](RowBatch& batch) {
+    st.rows_out += batch.size();
+    ++st.batches;
+    return sink(batch);
+  };
+  auto t0 = std::chrono::steady_clock::now();
+  Status status = DispatchB(plan, counting, budget);
+  st.ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return status;
+}
+
+Status Executor::DispatchB(const PlanNode& plan, const BatchSink& sink,
+                           int64_t budget) {
   switch (plan.kind) {
     case PlanKind::kSeqScan:
       return ExecScanB(plan, sink, budget);
@@ -359,17 +382,26 @@ Status Executor::ExecParallelScanB(const PlanNode& plan, const BatchSink& sink,
         std::make_unique<BatchQueue>(options_.parallel_queue_batches));
   }
   size_t capacity = options_.batch_capacity;
+  // Per-partition output counts for EXPLAIN ANALYZE skew reporting. Each
+  // worker owns exactly one slot (sized up front), so no synchronization
+  // beyond the thread join is needed.
+  std::vector<uint64_t>* partition_rows = nullptr;
+  if (options_.collect_stats) {
+    plan.stats.partition_rows.assign(degree, 0);
+    partition_rows = &plan.stats.partition_rows;
+  }
   std::vector<Status> worker_status(degree);
   std::vector<std::thread> workers;
   workers.reserve(degree);
   for (size_t w = 0; w < degree; ++w) {
     workers.emplace_back([table, capacity, per_worker, slots, w, pred,
-                          queue = queues[w].get(),
+                          partition_rows, queue = queues[w].get(),
                           status = &worker_status[w]] {
       RowId first = static_cast<RowId>(std::min(w * per_worker, slots));
       RowId last = static_cast<RowId>(std::min((w + 1) * per_worker, slots));
       RowBatch batch(capacity);
       EvalScratch scratch;
+      uint64_t emitted = 0;
       table->ScanPartition(first, last, [&](RowId row, const Tuple& tuple) {
         if (pred != nullptr) {
           auto v = pred->EvalRowRef(tuple, &scratch);
@@ -381,6 +413,7 @@ Status Executor::ExecParallelScanB(const PlanNode& plan, const BatchSink& sink,
           if (!t.has_value() || !*t) return true;
         }
         batch.AppendRef(&tuple, row);
+        ++emitted;
         if (batch.full()) {
           if (!queue->Push(std::move(batch))) return false;
           batch = RowBatch(capacity);
@@ -388,6 +421,10 @@ Status Executor::ExecParallelScanB(const PlanNode& plan, const BatchSink& sink,
         return true;
       });
       if (!batch.empty()) queue->Push(std::move(batch));
+      // Record the partition count before MarkDone: the merger only
+      // reads the slot after joining this thread, but finalizing here
+      // keeps the count truthful even when the consumer aborted early.
+      if (partition_rows != nullptr) (*partition_rows)[w] = emitted;
       queue->MarkDone();
     });
   }
@@ -484,8 +521,10 @@ Status Executor::ExecFilterB(const PlanNode& plan, const BatchSink& sink) {
   const PlanNode& child = *plan.children[0];
   // Execution-time fusion: over a bare scan, evaluate the predicate inside
   // the scan loop so rejected rows never enter a batch. The plan tree (and
-  // its EXPLAIN rendering) is untouched.
+  // its EXPLAIN rendering) is untouched; the child is marked `fused` so
+  // EXPLAIN ANALYZE can explain its zeroed counters.
   if (child.kind == PlanKind::kSeqScan) {
+    if (options_.collect_stats) child.stats.fused = true;
     XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(child.table));
     BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
     EvalScratch fused_scratch;
@@ -505,18 +544,24 @@ Status Executor::ExecFilterB(const PlanNode& plan, const BatchSink& sink) {
     return Status::OK();
   }
   if (child.kind == PlanKind::kParallelSeqScan) {
+    // The fused parallel scan still records its per-partition post-filter
+    // counts into the child node (ExecParallelScanB writes them there).
+    if (options_.collect_stats) child.stats.fused = true;
     return ExecParallelScanB(child, sink, /*budget=*/-1, &prog);
   }
   // Over a join, run the predicate on each candidate pair so rejected
   // pairs are never concatenated (fig-query containment filters reject
   // most of a join's output).
   if (child.kind == PlanKind::kNestedLoopJoin) {
+    if (options_.collect_stats) child.stats.fused = true;
     return ExecNestedLoopJoinB(child, sink, &prog);
   }
   if (child.kind == PlanKind::kHashJoin) {
+    if (options_.collect_stats) child.stats.fused = true;
     return ExecHashJoinB(child, sink, &prog);
   }
   if (child.kind == PlanKind::kIndexNLJoin) {
+    if (options_.collect_stats) child.stats.fused = true;
     return ExecIndexNLJoinB(child, sink, &prog);
   }
   EvalScratch scratch;

@@ -16,6 +16,14 @@ struct ExecutorOptions {
   size_t batch_capacity = rel::RowBatch::kDefaultCapacity;
   // Bound (in batches) of each parallel-scan worker's output queue.
   size_t parallel_queue_batches = 4;
+  // Accumulate per-operator actuals (rows/batches/time, parallel-scan
+  // partition counts) into each PlanNode's `stats` while executing —
+  // the data EXPLAIN ANALYZE renders. Counting is per batch, not per row,
+  // so the overhead on the batched path is negligible; it is still off by
+  // default so plain queries never touch the stats fields. Callers that
+  // reuse a plan should ClearStats() first; the executor only accumulates
+  // (join inner sides re-enter the same nodes within one query).
+  bool collect_stats = false;
 };
 
 // Plan executor. The primary pipeline is batched: operators produce and
@@ -50,8 +58,14 @@ class Executor {
  private:
   // --- batched pipeline; `budget` = max rows the consumer accepts
   // (-1 unlimited), honored by leaf scans for early termination ---
+  // ExecB wraps DispatchB with the per-operator stats collection
+  // (collect_stats): output rows/batches are counted before the parent
+  // sink sees them, so LIMIT-driven early termination still leaves every
+  // operator's counters finalized.
   common::Status ExecB(const PlanNode& plan, const BatchSink& sink,
                        int64_t budget);
+  common::Status DispatchB(const PlanNode& plan, const BatchSink& sink,
+                           int64_t budget);
   common::Status ExecScanB(const PlanNode& plan, const BatchSink& sink,
                            int64_t budget);
   // `pred`, when set, is a filter fused into the scan at execution time:

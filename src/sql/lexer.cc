@@ -30,7 +30,8 @@ const std::unordered_set<std::string>& Keywords() {
       "IN",     "BETWEEN","INT",      "INTEGER","DOUBLE", "REAL",    "TEXT",
       "VARCHAR","PRIMARY","KEY",      "COUNT",  "MIN",    "MAX",     "SUM",
       "AVG",    "EXPLAIN","BTREE",    "HASH",   "INVERTED","DROP",   "TRUE",
-      "FALSE",  "CAST",   "LOWER",    "UPPER",  "LENGTH",
+      "FALSE",  "CAST",   "LOWER",    "UPPER",  "LENGTH", "ANALYZE",
+      "STATS",  "RESET",
   };
   return *kKeywords;
 }

@@ -104,7 +104,27 @@ Result<Statement> Parser::ParseStatement() {
   if (Peek().IsKeyword("EXPLAIN")) {
     Advance();
     stmt.kind = StatementKind::kExplain;
+    if (Peek().IsKeyword("ANALYZE")) {
+      Advance();
+      stmt.analyze = true;
+    }
     XQ_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+  if (Peek().IsKeyword("STATS")) {
+    Advance();
+    stmt.kind = StatementKind::kStats;
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+  if (Peek().IsKeyword("RESET")) {
+    Advance();
+    if (!Peek().IsKeyword("STATS")) {
+      return Status::ParseError("expected STATS after RESET");
+    }
+    Advance();
+    stmt.kind = StatementKind::kResetStats;
     XQ_RETURN_IF_ERROR(ExpectEnd());
     return stmt;
   }

@@ -1,8 +1,8 @@
 #include "sql/plan.h"
 
-namespace xomatiq::sql {
+#include <cstdio>
 
-namespace {
+namespace xomatiq::sql {
 
 std::string_view PlanKindName(PlanKind kind) {
   switch (kind) {
@@ -23,9 +23,53 @@ std::string_view PlanKindName(PlanKind kind) {
   return "?";
 }
 
+namespace {
+
+// `actual rows=... batches=... time=...ms` suffix for EXPLAIN ANALYZE.
+// One formatter serves both printers, so the plain and analyzed trees
+// cannot drift: ToString always renders the node label through the switch
+// below and appends this only when `analyze` is set.
+std::string StatsSuffix(const PlanNode& node) {
+  const OpStats& st = node.stats;
+  if (st.fused) {
+    std::string out = " (fused into parent";
+    if (!st.partition_rows.empty()) {
+      out += "; partitions=[";
+      for (size_t i = 0; i < st.partition_rows.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(st.partition_rows[i]);
+      }
+      out += "]";
+    }
+    return out + ")";
+  }
+  char ms[32];
+  std::snprintf(ms, sizeof ms, "%.3f", static_cast<double>(st.ns) / 1e6);
+  std::string out = " (actual rows=" + std::to_string(st.rows_out) +
+                    " batches=" + std::to_string(st.batches) + " time=" +
+                    ms + "ms";
+  if (st.invocations > 1) {
+    out += " loops=" + std::to_string(st.invocations);
+  }
+  if (!st.partition_rows.empty()) {
+    out += " partitions=[";
+    for (size_t i = 0; i < st.partition_rows.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(st.partition_rows[i]);
+    }
+    out += "]";
+  }
+  return out + ")";
+}
+
 }  // namespace
 
-std::string PlanNode::ToString(int indent) const {
+void PlanNode::ClearStats() const {
+  stats.Clear();
+  for (const auto& child : children) child->ClearStats();
+}
+
+std::string PlanNode::ToString(int indent, bool analyze) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   std::string out = pad + std::string(PlanKindName(kind));
   switch (kind) {
@@ -113,9 +157,10 @@ std::string PlanNode::ToString(int indent) const {
     case PlanKind::kDistinct:
       break;
   }
+  if (analyze) out += StatsSuffix(*this);
   out += "\n";
   for (const auto& child : children) {
-    out += child->ToString(indent + 1);
+    out += child->ToString(indent + 1, analyze);
   }
   return out;
 }

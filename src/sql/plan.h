@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "relational/database.h"
@@ -10,6 +11,30 @@
 #include "sql/compiled_expr.h"
 
 namespace xomatiq::sql {
+
+// EXPLAIN ANALYZE actuals for one operator, filled by the Executor when
+// ExecutorOptions.collect_stats is on. Accumulation is single-threaded
+// (the pipeline is driven from one consumer thread) except for
+// partition_rows, where each parallel-scan worker owns exactly one slot.
+struct OpStats {
+  uint64_t rows_out = 0;     // rows this operator emitted downstream
+  uint64_t batches = 0;      // RowBatches emitted
+  uint64_t invocations = 0;  // times the operator pipeline was started
+                             // (>1 for rescanned join inner sides)
+  // Inclusive wall time of this operator's pipeline. The executor pushes
+  // batches from the leaves up, so a node's time covers producing its
+  // input AND everything downstream consuming its output; compare rows
+  // across siblings, and read time top-down (root time = query time).
+  uint64_t ns = 0;
+  // Set when execution-time fusion ran this operator inside its parent
+  // (filter into scan/join); its own emission counters then stay zero and
+  // the fused work is credited to the parent's counters.
+  bool fused = false;
+  // kParallelSeqScan: rows emitted per worker partition (skew view).
+  std::vector<uint64_t> partition_rows;
+
+  void Clear() { *this = OpStats{}; }
+};
 
 enum class PlanKind {
   kSeqScan,        // full table scan
@@ -26,6 +51,10 @@ enum class PlanKind {
   kAggregate,      // group by + aggregate functions
   kDistinct,
 };
+
+// Operator display name ("SeqScan", "HashJoin", ...), shared by EXPLAIN
+// rendering and the benches' per-operator metric labels.
+std::string_view PlanKindName(PlanKind kind);
 
 struct SortKey {
   ExprPtr expr;  // bound to child schema
@@ -101,8 +130,18 @@ struct PlanNode {
   std::vector<CompiledExpr> group_progs;
   std::vector<std::optional<CompiledExpr>> agg_arg_progs;
 
-  // Human-readable operator tree (EXPLAIN).
-  std::string ToString(int indent = 0) const;
+  // Execution actuals (EXPLAIN ANALYZE). Mutable for the same reason the
+  // compiled programs are filled through a const plan: stats are an
+  // execution-time cache, not part of the plan's logical identity.
+  mutable OpStats stats;
+
+  // Zeroes stats on this node and every descendant.
+  void ClearStats() const;
+
+  // Human-readable operator tree (EXPLAIN). EXPLAIN ANALYZE renders the
+  // same tree through the same code path with `analyze` set, appending
+  // per-operator actuals (rows/batches/time, parallel partition counts).
+  std::string ToString(int indent = 0, bool analyze = false) const;
 };
 
 using PlanPtr = std::unique_ptr<PlanNode>;

@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "xomatiq/tagger.h"
 #include "xomatiq/xq_parser.h"
 
@@ -11,6 +13,17 @@ using common::Result;
 using common::Status;
 using rel::Tuple;
 using rel::Value;
+
+namespace {
+
+// Stage latency histograms: each named pipeline stage (parse -> translate
+// -> execute -> tag) also lands in the metrics snapshot, so the XomatiQ
+// query-latency breakdown is visible without an active trace.
+common::Histogram* StageHist(const char* name) {
+  return common::MetricsRegistry::Global().GetHistogram(name);
+}
+
+}  // namespace
 
 std::string XqResult::ToTable() const {
   sql::QueryResult qr;
@@ -24,12 +37,24 @@ std::string XqResult::ToTable() const {
 }
 
 Result<Translation> XomatiQ::Translate(std::string_view query_text) {
-  XQ_ASSIGN_OR_RETURN(XQueryAst ast, ParseXQuery(query_text));
+  static common::Histogram* parse_hist = StageHist("xq.stage.parse");
+  static common::Histogram* translate_hist = StageHist("xq.stage.translate");
+  XQueryAst ast;
+  {
+    common::TraceSpan span("xq.parse", parse_hist);
+    XQ_ASSIGN_OR_RETURN(ast, ParseXQuery(query_text));
+  }
+  common::TraceSpan span("xq.translate", translate_hist);
   return translator_.Translate(ast);
 }
 
 Result<XqResult> XomatiQ::Execute(std::string_view query_text) {
+  static common::Counter* queries =
+      common::MetricsRegistry::Global().GetCounter("xq.queries");
+  static common::Histogram* exec_hist = StageHist("xq.stage.execute");
+  queries->Inc();
   XQ_ASSIGN_OR_RETURN(Translation translation, Translate(query_text));
+  common::TraceSpan span("xq.execute", exec_hist);
   XqResult result;
   result.columns = translation.column_names;
   result.executed_sql = translation.sql;
@@ -63,6 +88,8 @@ Result<std::string> XomatiQ::Explain(std::string_view query_text) {
 }
 
 xml::XmlDocument XomatiQ::ResultsAsXml(const XqResult& result) const {
+  static common::Histogram* tag_hist = StageHist("xq.stage.tag");
+  common::TraceSpan span("xq.tag", tag_hist);
   return TagResults(result.columns, result.rows, "results",
                     result.constructor_name.empty() ? "result"
                                                     : result.constructor_name);

@@ -1,0 +1,195 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace xomatiq::common {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(MetricTest, PaddedAgainstFalseSharing) {
+  // Counters and gauges occupy (at least) a full cache line each so
+  // adjacent registry entries never share one.
+  EXPECT_GE(sizeof(Counter), kCacheLineSize);
+  EXPECT_GE(sizeof(Gauge), kCacheLineSize);
+  EXPECT_EQ(alignof(Counter), kCacheLineSize);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds everything below the first bound.
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(Histogram::kFirstBucketNs - 1), 0u);
+  // Exactly at a bound rolls into the next bucket.
+  EXPECT_EQ(Histogram::BucketFor(Histogram::kFirstBucketNs), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2 * Histogram::kFirstBucketNs), 2u);
+  // Far beyond the last bound saturates at the final bucket.
+  EXPECT_EQ(Histogram::BucketFor(UINT64_MAX), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperNs(Histogram::kNumBuckets - 1), UINT64_MAX);
+}
+
+TEST(HistogramTest, RecordAccumulatesCountAndSum) {
+  Histogram h;
+  h.Record(100);
+  h.Record(5000);
+  h.Record(5000);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.SumNs(), 10100u);
+  uint64_t total = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    total += h.BucketCount(i);
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketFor(100)), 1u);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketFor(5000)), 2u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumNs(), 0u);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStableSharedHandles) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("test.registry.stable");
+  Counter* b = reg.GetCounter("test.registry.stable");
+  EXPECT_EQ(a, b);
+  // Registering more metrics must not move existing ones.
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("test.registry.churn." + std::to_string(i));
+  }
+  EXPECT_EQ(reg.GetCounter("test.registry.stable"), a);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.concurrent.inc");
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("test.concurrent.hist");
+  c->Reset();
+  h->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c, h] {
+      for (int i = 0; i < kIters; ++i) {
+        c->Inc();
+        h->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h->Count(), static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndReset) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.snapshot.counter");
+  Gauge* g = reg.GetGauge("test.snapshot.gauge");
+  Histogram* h = reg.GetHistogram("test.snapshot.hist");
+  c->Reset();
+  c->Inc(7);
+  g->Set(-5);
+  h->Reset();
+  h->Record(2048);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  auto find_counter = [&](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "counter not in snapshot: " << name;
+    return 0;
+  };
+  EXPECT_EQ(find_counter("test.snapshot.counter"), 7u);
+  bool found_gauge = false;
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == "test.snapshot.gauge") {
+      found_gauge = true;
+      EXPECT_EQ(v, -5);
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+  bool found_hist = false;
+  for (const auto& s : snap.histograms) {
+    if (s.name == "test.snapshot.hist") {
+      found_hist = true;
+      EXPECT_EQ(s.count, 1u);
+      EXPECT_EQ(s.sum_ns, 2048u);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+
+  reg.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->Count(), 0u);
+}
+
+TEST(MetricsSnapshotTest, PrometheusTextFormat) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.prom.counter")->Reset();
+  reg.GetCounter("test.prom.counter")->Inc(3);
+  std::string text = reg.Snapshot().ToPrometheusText();
+  // Dots become underscores; the TYPE line precedes the sample line.
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_counter 3"), std::string::npos);
+  // Histograms (registered by other tests and the engine) emit cumulative
+  // buckets ending at +Inf plus _sum/_count lines.
+  reg.GetHistogram("test.prom.hist")->Record(1);
+  text = reg.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE test_prom_hist histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_sum"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 1"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, JsonFormat) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.json.counter")->Reset();
+  reg.GetCounter("test.json.counter")->Inc(9);
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\":9"), std::string::npos);
+}
+
+TEST(ScopedLatencyTest, RecordsOnExitAndStopDisarms) {
+  Histogram h;
+  { ScopedLatency timer(&h); }
+  EXPECT_EQ(h.Count(), 1u);
+  {
+    ScopedLatency timer(&h);
+    timer.Stop();
+    // The destructor must not double-record after an explicit Stop().
+  }
+  EXPECT_EQ(h.Count(), 2u);
+  // Null histogram is a no-op.
+  { ScopedLatency timer(nullptr); }
+}
+
+}  // namespace
+}  // namespace xomatiq::common

@@ -1,0 +1,115 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace xomatiq::common {
+namespace {
+
+TEST(TraceTest, NoTraceInstalledIsNoOp) {
+  EXPECT_EQ(Trace::Current(), nullptr);
+  // Spans constructed without an installed trace must be inert.
+  TraceSpan span("orphan");
+}
+
+TEST(TraceTest, RecordsNestedSpans) {
+  Trace trace;
+  {
+    TraceScope scope(&trace);
+    ASSERT_EQ(Trace::Current(), &trace);
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+    }
+  }
+  EXPECT_EQ(Trace::Current(), nullptr);
+  std::vector<Trace::Span> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner");
+  // inner's parent is outer; outer is a root.
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  // Durations are recorded and nesting is consistent.
+  EXPECT_GE(spans[0].duration_ns, spans[1].duration_ns);
+  EXPECT_NE(spans[0].thread_id, 0u);
+}
+
+TEST(TraceTest, SpanNamesInBeginOrder) {
+  Trace trace;
+  {
+    TraceScope scope(&trace);
+    TraceSpan a("first");
+    TraceSpan b("second");
+    TraceSpan c("third");
+  }
+  EXPECT_EQ(trace.SpanNames(),
+            (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(TraceTest, WorkerThreadsDoNotInheritTrace) {
+  Trace trace;
+  TraceScope scope(&trace);
+  std::thread worker([] {
+    EXPECT_EQ(Trace::Current(), nullptr);
+    TraceSpan span("worker-span");  // must be a no-op
+  });
+  worker.join();
+  EXPECT_TRUE(trace.spans().empty());
+}
+
+TEST(TraceTest, SpanMirrorsIntoHistogram) {
+  Histogram h;
+  // Mirrors even with no trace installed.
+  { TraceSpan span("stage", &h); }
+  EXPECT_EQ(h.Count(), 1u);
+  Trace trace;
+  {
+    TraceScope scope(&trace);
+    TraceSpan span("stage", &h);
+  }
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(trace.spans().size(), 1u);
+}
+
+TEST(TraceTest, ChromeJsonWellFormed) {
+  Trace trace;
+  {
+    TraceScope scope(&trace);
+    TraceSpan outer("query");
+    TraceSpan inner("stage \"quoted\"");
+  }
+  std::string json = trace.ToChromeJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Quotes in span names must be escaped.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  // Balanced braces/brackets (crude well-formedness check).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+}  // namespace
+}  // namespace xomatiq::common

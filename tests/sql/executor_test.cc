@@ -351,5 +351,127 @@ TEST_F(ExecutorTest, ToTableRendering) {
   EXPECT_NE(table.find("1 row(s)"), std::string::npos);
 }
 
+// --- EXPLAIN ANALYZE ----------------------------------------------------
+
+// First "actual rows=N" on the line naming operator `op`; 0 with a test
+// failure when the operator or its actuals are missing.
+uint64_t ActualRows(const std::string& text, const std::string& op) {
+  size_t line = text.find(op);
+  if (line == std::string::npos) {
+    ADD_FAILURE() << "operator " << op << " not in plan:\n" << text;
+    return 0;
+  }
+  size_t eol = text.find('\n', line);
+  size_t pos = text.find("actual rows=", line);
+  if (pos == std::string::npos || pos > eol) {
+    ADD_FAILURE() << "no actuals for " << op << " in plan:\n" << text;
+    return 0;
+  }
+  return std::stoull(text.substr(pos + 12));
+}
+
+TEST_F(ExecutorTest, ExplainAnalyzeScanActualsMatchResults) {
+  QueryResult want = Query("SELECT * FROM t");
+  QueryResult r = Query("EXPLAIN ANALYZE SELECT * FROM t");
+  // EXPLAIN ANALYZE returns the annotated tree, not the rows.
+  EXPECT_TRUE(r.rows.empty());
+  EXPECT_NE(r.explain_text.find("time="), std::string::npos)
+      << r.explain_text;
+  EXPECT_EQ(ActualRows(r.explain_text, "SeqScan"), want.rows.size());
+  // Plain EXPLAIN renders the same tree without actuals.
+  QueryResult plain = Query("EXPLAIN SELECT * FROM t");
+  EXPECT_EQ(plain.explain_text.find("actual rows="), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ExplainAnalyzeIndexLookup) {
+  Run("CREATE INDEX t_id ON t (id) USING HASH");
+  QueryResult want = Query("SELECT * FROM t WHERE id = 2");
+  ASSERT_EQ(want.rows.size(), 1u);
+  QueryResult r = Query("EXPLAIN ANALYZE SELECT * FROM t WHERE id = 2");
+  EXPECT_EQ(ActualRows(r.explain_text, "IndexScan"), want.rows.size());
+}
+
+TEST_F(ExecutorTest, ExplainAnalyzeJoinActualsMatchResults) {
+  Run("CREATE TABLE u (tid INT, tag TEXT)");
+  Run("INSERT INTO u VALUES (1, 'x'), (1, 'y'), (3, 'z'), (99, 'w')");
+  QueryResult want =
+      Query("SELECT t.id, u.tag FROM t, u WHERE t.id = u.tid");
+  ASSERT_EQ(want.rows.size(), 3u);
+  QueryResult r = Query(
+      "EXPLAIN ANALYZE SELECT t.id, u.tag FROM t, u WHERE t.id = u.tid");
+  // The root Project emits exactly the result rows.
+  EXPECT_EQ(ActualRows(r.explain_text, "Project"), want.rows.size());
+}
+
+TEST_F(ExecutorTest, ExplainAnalyzeFusedFilterIsLabeled) {
+  QueryResult r = Query("EXPLAIN ANALYZE SELECT id FROM t WHERE grp = 2");
+  // The filter's scan child ran inside the filter; its line says so
+  // instead of showing misleading zero counters.
+  EXPECT_NE(r.explain_text.find("(fused into parent"), std::string::npos)
+      << r.explain_text;
+  EXPECT_EQ(ActualRows(r.explain_text, "Filter"), 2u);
+}
+
+TEST_F(ExecutorTest, ExplainAnalyzeLimitFinalizesMidBatchStats) {
+  // LIMIT cancels the pipeline mid-batch; every operator above and below
+  // the cut must still report finalized actuals.
+  QueryResult r = Query("EXPLAIN ANALYZE SELECT id FROM t LIMIT 2");
+  EXPECT_EQ(ActualRows(r.explain_text, "Limit"), 2u);
+  // The scan may emit fewer rows than the table (early termination) but
+  // at least the limit's worth, and its counters must be present.
+  uint64_t scanned = ActualRows(r.explain_text, "SeqScan");
+  EXPECT_GE(scanned, 2u);
+  EXPECT_LE(scanned, 5u);
+}
+
+TEST_F(ExecutorTest, ExplainAnalyzeKeywordsAreCaseInsensitive) {
+  QueryResult r = Query("explain analyze select id from t");
+  EXPECT_NE(r.explain_text.find("actual rows="), std::string::npos)
+      << r.explain_text;
+}
+
+TEST_F(ExecutorTest, ExplainAnalyzeParallelScanReportsPartitions) {
+  EngineOptions par;
+  par.planner.parallel_scan_threshold = 1;
+  par.planner.parallel_degree = 3;
+  SqlEngine par_engine(db_.get(), par);
+  auto r = par_engine.Execute(
+      "EXPLAIN ANALYZE SELECT id FROM t WHERE grp = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::string& text = r->explain_text;
+  ASSERT_NE(text.find("ParallelSeqScan"), std::string::npos) << text;
+  size_t pos = text.find("partitions=[");
+  ASSERT_NE(pos, std::string::npos) << text;
+  // Per-partition counts sum to the scan's post-filter output (2 rows).
+  uint64_t total = 0;
+  size_t cursor = pos + 12;
+  while (cursor < text.size() && text[cursor] != ']') {
+    if (text[cursor] >= '0' && text[cursor] <= '9') {
+      total += std::stoull(text.substr(cursor));
+      while (cursor < text.size() && text[cursor] >= '0' &&
+             text[cursor] <= '9') {
+        ++cursor;
+      }
+    } else {
+      ++cursor;
+    }
+  }
+  EXPECT_EQ(total, 2u) << text;
+}
+
+TEST_F(ExecutorTest, StatsCommandDumpsAndResetsRegistry) {
+  Query("SELECT * FROM t");
+  QueryResult stats = Query("STATS");
+  // Engine counters surface in Prometheus exposition form.
+  EXPECT_NE(stats.explain_text.find("# TYPE sql_queries counter"),
+            std::string::npos)
+      << stats.explain_text;
+  EXPECT_NE(stats.explain_text.find("rel_table_rows_scanned"),
+            std::string::npos);
+  Query("RESET STATS");
+  QueryResult after = Query("reset stats");  // case-insensitive, idempotent
+  EXPECT_TRUE(after.explain_text.empty());
+}
+
 }  // namespace
 }  // namespace xomatiq::sql
