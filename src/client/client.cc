@@ -1,0 +1,77 @@
+#include "client/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace xomatiq::cli {
+
+using common::Result;
+using common::Status;
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status =
+        Status::IoError("connect " + host + ":" + std::to_string(port) +
+                        ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), next_id_(other.next_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<srv::Response> Client::Execute(srv::RequestMode mode,
+                                      std::string_view text) {
+  if (fd_ < 0) return Status::IoError("client is closed");
+  srv::Request request;
+  request.id = next_id_++;
+  request.mode = mode;
+  request.text = std::string(text);
+  XQ_RETURN_IF_ERROR(srv::WriteFrame(fd_, srv::EncodeRequest(request)));
+  while (true) {
+    XQ_ASSIGN_OR_RETURN(std::string frame,
+                        srv::ReadFrame(fd_, srv::kDefaultMaxFrameBytes));
+    XQ_ASSIGN_OR_RETURN(srv::Response response, srv::DecodeResponse(frame));
+    // A session-level error (id 0, e.g. the server timing us out) or a
+    // stale reply for an abandoned request is not ours to swallow.
+    if (response.id == request.id) return response;
+    if (response.id == 0) return response.status();
+  }
+}
+
+}  // namespace xomatiq::cli

@@ -1,0 +1,55 @@
+#ifndef XOMATIQ_CLIENT_CLIENT_H_
+#define XOMATIQ_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace xomatiq::cli {
+
+// Blocking client for the xomatiq_server wire protocol: one TCP
+// connection, one outstanding request at a time. Transport failures
+// (connect refused, connection dropped, oversized reply) surface as the
+// error of the returned Result; a server-side query failure surfaces as
+// a *successful* Result whose Response carries the error status — the
+// caller can distinguish "the server is gone" from "the query was bad".
+//
+// Not thread-safe; use one Client per thread.
+class Client {
+ public:
+  static common::Result<Client> Connect(const std::string& host,
+                                        uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  common::Result<srv::Response> Execute(srv::RequestMode mode,
+                                        std::string_view text);
+
+  // Shorthands.
+  common::Result<srv::Response> Sql(std::string_view text) {
+    return Execute(srv::RequestMode::kSql, text);
+  }
+  common::Result<srv::Response> Xq(std::string_view text) {
+    return Execute(srv::RequestMode::kXq, text);
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace xomatiq::cli
+
+#endif  // XOMATIQ_CLIENT_CLIENT_H_

@@ -26,6 +26,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kTimeout:
+      return "Timeout";
   }
   return "Unknown";
 }

@@ -23,7 +23,15 @@ enum class StatusCode {
   kCorruption,
   kUnsupported,
   kInternal,
+  // Service-layer codes (src/server): admission control and socket I/O.
+  kOverloaded,  // bounded admission queue full; retry later
+  kTimeout,     // peer too slow (mid-frame read deadline expired)
 };
+
+// Largest valid StatusCode value; used to bounds-check codes read off the
+// wire before casting.
+inline constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(StatusCode::kTimeout);
 
 // Returns a stable human-readable name for `code` (e.g. "ParseError").
 std::string_view StatusCodeName(StatusCode code);
@@ -72,6 +80,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

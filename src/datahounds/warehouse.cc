@@ -1,5 +1,7 @@
 #include "datahounds/warehouse.h"
 
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/metrics.h"
@@ -33,9 +35,32 @@ Result<std::unique_ptr<Warehouse>> Warehouse::Open(rel::Database* db) {
   return warehouse;
 }
 
+void Warehouse::Subscribe(std::function<void(const ChangeEvent&)> callback) {
+  std::unique_lock lock(mu_);
+  subscribers_.push_back(std::move(callback));
+}
+
+void Warehouse::Fire(const ChangeEvent& event) {
+  // Copy the list so callbacks run without mu_ held (they still run under
+  // the exclusive database latch of the surrounding load/sync).
+  std::vector<std::function<void(const ChangeEvent&)>> subscribers;
+  {
+    std::shared_lock lock(mu_);
+    subscribers = subscribers_;
+  }
+  for (const auto& callback : subscribers) callback(event);
+}
+
+common::Result<xml::XmlDocument> Warehouse::ReconstructDocument(
+    int64_t doc_id) {
+  std::shared_lock latch(db_->latch());
+  return shredder_->ReconstructDocument(doc_id);
+}
+
 Status Warehouse::LoadCollectionsFromCatalog() {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table,
                       db_->GetTable(kCollectionTable));
+  std::unique_lock lock(mu_);
   Status status;
   table->Scan([&](RowId, const Tuple& t) {
     Collection c;
@@ -63,7 +88,13 @@ Status Warehouse::LoadCollectionsFromCatalog() {
 
 Status Warehouse::RegisterCollection(const std::string& collection,
                                      const XmlTransformer& transformer) {
-  if (collections_.count(collection) > 0) return Status::OK();
+  std::unique_lock latch(db_->latch());
+  return RegisterCollectionLocked(collection, transformer);
+}
+
+Status Warehouse::RegisterCollectionLocked(const std::string& collection,
+                                           const XmlTransformer& transformer) {
+  if (FindCollection(collection) != nullptr) return Status::OK();
   Collection c;
   c.name = collection;
   c.root_element = transformer.root_element();
@@ -78,17 +109,21 @@ Status Warehouse::RegisterCollection(const std::string& collection,
                   {Value::Text(collection), Value::Text(c.root_element),
                    Value::Text(c.dtd_text), Value::Text(c.source)})
           .status());
+  std::unique_lock lock(mu_);
   collections_[collection] = std::move(c);
   return Status::OK();
 }
 
 const Warehouse::Collection* Warehouse::FindCollection(
     const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = collections_.find(name);
+  // Collections are never erased, so the pointer outlives the lock.
   return it == collections_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> Warehouse::CollectionNames() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, c] : collections_) names.push_back(name);
   return names;
@@ -97,6 +132,7 @@ std::vector<std::string> Warehouse::CollectionNames() const {
 Result<int64_t> Warehouse::LoadDocument(const std::string& collection,
                                         const xml::XmlDocument& doc,
                                         const std::string& uri) {
+  std::unique_lock latch(db_->latch());
   const Collection* c = FindCollection(collection);
   if (c == nullptr) {
     return Status::NotFound("collection not registered: " + collection);
@@ -115,13 +151,16 @@ Result<int64_t> Warehouse::LoadDocument(const std::string& collection,
 }
 
 Status Warehouse::RemoveDocument(int64_t doc_id) {
+  std::unique_lock latch(db_->latch());
   return shredder_->DeleteDocument(doc_id);
 }
 
 Result<Warehouse::LoadStats> Warehouse::LoadSource(
     const std::string& collection, const XmlTransformer& transformer,
     std::string_view raw) {
-  XQ_RETURN_IF_ERROR(RegisterCollection(collection, transformer));
+  // Exclusive for the whole load: queries either see none or all of it.
+  std::unique_lock latch(db_->latch());
+  XQ_RETURN_IF_ERROR(RegisterCollectionLocked(collection, transformer));
   const Collection* c = FindCollection(collection);
   static common::Histogram* transform_hist =
       common::MetricsRegistry::Global().GetHistogram("hounds.stage.transform");
@@ -161,7 +200,9 @@ Result<Warehouse::LoadStats> Warehouse::LoadSource(
 Result<UpdateStats> Warehouse::SyncSource(const std::string& collection,
                                           const XmlTransformer& transformer,
                                           std::string_view raw) {
-  XQ_RETURN_IF_ERROR(RegisterCollection(collection, transformer));
+  // Exclusive across diff + apply; ChangeEvents fire under this latch.
+  std::unique_lock latch(db_->latch());
+  XQ_RETURN_IF_ERROR(RegisterCollectionLocked(collection, transformer));
   const Collection* c = FindCollection(collection);
   XQ_ASSIGN_OR_RETURN(std::vector<TransformedDocument> docs,
                       transformer.Transform(raw));
@@ -217,6 +258,7 @@ Result<UpdateStats> Warehouse::SyncSource(const std::string& collection,
 
 Result<std::vector<int64_t>> Warehouse::DocumentsIn(
     const std::string& collection) const {
+  std::shared_lock latch(db_->latch());
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(kDocumentTable));
   std::vector<int64_t> ids;
   table->Scan([&](RowId, const Tuple& t) {
@@ -228,6 +270,7 @@ Result<std::vector<int64_t>> Warehouse::DocumentsIn(
 }
 
 Result<int64_t> Warehouse::FindDocument(const std::string& uri) const {
+  std::shared_lock latch(db_->latch());
   const rel::IndexEntry* idx = db_->FindIndexByName("idx_doc_uri");
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(kDocumentTable));
   if (idx != nullptr) {

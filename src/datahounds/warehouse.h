@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,22 @@ struct UpdateStats {
 // an embedded relational database, loads sources through their
 // XML-Transformers, validates against the per-source DTD, shreds, and
 // keeps collections fresh via content-hash diffing with change triggers.
+//
+// Thread-safety / locking rules:
+//   - Mutating entry points (LoadSource, SyncSource, LoadDocument,
+//     RemoveDocument) hold the database statement latch EXCLUSIVELY for
+//     their whole run, so concurrent engine SELECTs never observe a
+//     half-applied load. Read entry points (DocumentsIn, FindDocument,
+//     ReconstructDocument) hold it shared.
+//   - The collection map and trigger-subscriber list are guarded by their
+//     own shared_mutex (`mu_`), always acquired AFTER the database latch,
+//     never while waiting on it — the two form a fixed order.
+//   - Collections are never erased, so a Collection* from FindCollection
+//     stays valid (and immutable) for the warehouse's lifetime.
+//   - ChangeEvent callbacks run on the syncing thread while the database
+//     latch is held exclusively: they must not issue queries back into the
+//     same database (the result-cache invalidation hook is the intended
+//     shape of subscriber).
 class Warehouse {
  public:
   // `db` must outlive the warehouse. Creates the generic schema and
@@ -80,10 +97,10 @@ class Warehouse {
                                          const XmlTransformer& transformer,
                                          std::string_view raw);
 
-  // Subscribes a trigger callback for warehouse changes.
-  void Subscribe(std::function<void(const ChangeEvent&)> callback) {
-    subscribers_.push_back(std::move(callback));
-  }
+  // Subscribes a trigger callback for warehouse changes. Callbacks are
+  // never unsubscribed: they must outlive the warehouse or capture
+  // weak/shared state they can safely outlive (see the class comment).
+  void Subscribe(std::function<void(const ChangeEvent&)> callback);
 
   // Loads one already-built XML document (validated) into `collection`.
   common::Result<int64_t> LoadDocument(const std::string& collection,
@@ -92,9 +109,7 @@ class Warehouse {
 
   common::Status RemoveDocument(int64_t doc_id);
 
-  common::Result<xml::XmlDocument> ReconstructDocument(int64_t doc_id) {
-    return shredder_->ReconstructDocument(doc_id);
-  }
+  common::Result<xml::XmlDocument> ReconstructDocument(int64_t doc_id);
 
   // doc_ids of every document in `collection`, ascending.
   common::Result<std::vector<int64_t>> DocumentsIn(
@@ -111,13 +126,17 @@ class Warehouse {
  private:
   explicit Warehouse(rel::Database* db) : db_(db) {}
 
-  void Fire(const ChangeEvent& event) {
-    for (const auto& callback : subscribers_) callback(event);
-  }
+  void Fire(const ChangeEvent& event);
   common::Status LoadCollectionsFromCatalog();
+  // RegisterCollection body; caller must hold db()->latch() exclusively.
+  common::Status RegisterCollectionLocked(const std::string& collection,
+                                          const XmlTransformer& transformer);
 
   rel::Database* db_;
   std::unique_ptr<Shredder> shredder_;
+  // Guards collections_ and subscribers_; acquired after db_->latch() when
+  // both are needed (see class comment).
+  mutable std::shared_mutex mu_;
   std::map<std::string, Collection> collections_;
   std::vector<std::function<void(const ChangeEvent&)>> subscribers_;
 };

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -44,9 +45,24 @@ struct IndexEntry {
 
 // Embedded relational database: catalog of heap tables plus secondary
 // indexes, with write-ahead logging and snapshot checkpointing when opened
-// against a directory. Single-threaded by design (the warehouse loads and
-// queries from one thread); durability, not concurrency, is what the paper
-// leans on Oracle for.
+// against a directory.
+//
+// Concurrency model (see DESIGN.md "Service layer"): the database carries a
+// single statement-level reader/writer latch, exposed via latch(). The
+// database's own methods deliberately do NOT acquire it — composite
+// operations (a warehouse sync issuing thousands of Inserts, the engine
+// binding a plan then scanning) must be covered by ONE acquisition at the
+// statement boundary, and self-locking here would deadlock them. The
+// locking rules are:
+//   - sql::SqlEngine takes latch() shared for SELECT / EXPLAIN and
+//     exclusive for DML / DDL, for the full parse-free statement lifetime;
+//   - hounds::Warehouse takes latch() exclusive across LoadSource /
+//     SyncSource / LoadDocument / RemoveDocument and shared across its
+//     catalog reads;
+//   - any other caller that shares a Database across threads must follow
+//     the same discipline: hold the latch shared for as long as it uses a
+//     Table* / IndexEntry* obtained from the catalog, exclusive around any
+//     mutation. Single-threaded embedded use needs no locking at all.
 class Database {
  public:
   ~Database();
@@ -100,6 +116,12 @@ class Database {
   uint64_t wal_bytes() const { return wal_ ? wal_->bytes_written() : 0; }
   size_t records_recovered() const { return records_recovered_; }
 
+  // --- concurrency ---
+  // Statement-level reader/writer latch; see the class comment for who
+  // acquires it and when. Returned reference is valid for the database's
+  // lifetime.
+  std::shared_mutex& latch() const { return latch_; }
+
   // --- observability ---
   // Point-in-time copy of the process metrics registry (engine counters,
   // WAL/index/recovery counters, stage latency histograms). The registry
@@ -133,6 +155,7 @@ class Database {
   common::Status IndexInsert(TableInfo* info, RowId row, const Tuple& tuple);
   void IndexErase(TableInfo* info, RowId row, const Tuple& tuple);
 
+  mutable std::shared_mutex latch_;
   std::map<std::string, TableInfo> tables_;
   std::string dir_;
   std::unique_ptr<WriteAheadLog> wal_;

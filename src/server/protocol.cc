@@ -1,0 +1,216 @@
+#include "server/protocol.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "relational/serde.h"
+
+namespace xomatiq::srv {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+using rel::BinaryReader;
+using rel::BinaryWriter;
+
+std::string_view RequestModeName(RequestMode mode) {
+  switch (mode) {
+    case RequestMode::kSql:
+      return "SQL";
+    case RequestMode::kXq:
+      return "XQ";
+    case RequestMode::kXqXml:
+      return "XQ_XML";
+    case RequestMode::kExplain:
+      return "EXPLAIN";
+    case RequestMode::kStats:
+      return "STATS";
+    case RequestMode::kPing:
+      return "PING";
+  }
+  return "?";
+}
+
+std::string EncodeRequest(const Request& request) {
+  BinaryWriter w;
+  w.PutU64(request.id);
+  w.PutU8(static_cast<uint8_t>(request.mode));
+  w.PutString(request.text);
+  return w.TakeBuffer();
+}
+
+Result<Request> DecodeRequest(std::string_view body) {
+  BinaryReader r(body);
+  Request request;
+  XQ_ASSIGN_OR_RETURN(request.id, r.GetU64());
+  XQ_ASSIGN_OR_RETURN(uint8_t mode, r.GetU8());
+  if (mode > kMaxRequestMode) {
+    return Status::InvalidArgument("bad request mode " + std::to_string(mode));
+  }
+  request.mode = static_cast<RequestMode>(mode);
+  XQ_ASSIGN_OR_RETURN(request.text, r.GetString());
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after request");
+  }
+  return request;
+}
+
+std::string EncodeResponseBody(const Response& response) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(response.code));
+  if (!response.ok()) {
+    w.PutString(response.error);
+    return w.TakeBuffer();
+  }
+  w.PutU8(static_cast<uint8_t>(response.kind));
+  w.PutU8(response.flags);
+  if (response.kind == PayloadKind::kRows) {
+    w.PutU32(static_cast<uint32_t>(response.columns.size()));
+    for (const std::string& col : response.columns) w.PutString(col);
+    w.PutU32(static_cast<uint32_t>(response.rows.size()));
+    for (const rel::Tuple& row : response.rows) rel::EncodeTuple(row, &w);
+  } else {
+    w.PutString(response.text);
+  }
+  return w.TakeBuffer();
+}
+
+std::string EncodeResponse(const Response& response) {
+  BinaryWriter w;
+  w.PutU64(response.id);
+  std::string out = w.TakeBuffer();
+  out += EncodeResponseBody(response);
+  return out;
+}
+
+std::string EncodeErrorResponse(uint64_t id, const Status& status) {
+  Response response;
+  response.id = id;
+  response.code = status.code();
+  response.error = status.message();
+  return EncodeResponse(response);
+}
+
+Result<Response> DecodeResponse(std::string_view body) {
+  BinaryReader r(body);
+  Response response;
+  XQ_ASSIGN_OR_RETURN(response.id, r.GetU64());
+  XQ_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
+  if (code > common::kMaxStatusCode) {
+    return Status::Corruption("bad status code " + std::to_string(code));
+  }
+  response.code = static_cast<StatusCode>(code);
+  if (!response.ok()) {
+    XQ_ASSIGN_OR_RETURN(response.error, r.GetString());
+    return response;
+  }
+  XQ_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  if (kind > kMaxPayloadKind) {
+    return Status::Corruption("bad payload kind " + std::to_string(kind));
+  }
+  response.kind = static_cast<PayloadKind>(kind);
+  XQ_ASSIGN_OR_RETURN(response.flags, r.GetU8());
+  if (response.kind == PayloadKind::kRows) {
+    XQ_ASSIGN_OR_RETURN(uint32_t ncols, r.GetU32());
+    for (uint32_t i = 0; i < ncols; ++i) {
+      XQ_ASSIGN_OR_RETURN(std::string col, r.GetString());
+      response.columns.push_back(std::move(col));
+    }
+    XQ_ASSIGN_OR_RETURN(uint32_t nrows, r.GetU32());
+    for (uint32_t i = 0; i < nrows; ++i) {
+      XQ_ASSIGN_OR_RETURN(rel::Tuple row, rel::DecodeTuple(&r));
+      response.rows.push_back(std::move(row));
+    }
+  } else {
+    XQ_ASSIGN_OR_RETURN(response.text, r.GetString());
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after response");
+  }
+  return response;
+}
+
+// --- framing ----------------------------------------------------------
+
+namespace {
+
+// recv() into [buf, buf+len); returns bytes read, 0 on EOF, -1 on error.
+// `consumed_any` selects the timeout semantics documented on ReadFrame:
+// EAGAIN with nothing consumed keeps waiting (idle connection), EAGAIN
+// mid-frame is the slow-client violation.
+Result<size_t> ReadSome(int fd, char* buf, size_t len, bool consumed_any) {
+  while (true) {
+    ssize_t n = ::recv(fd, buf, len, 0);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n == 0) return size_t{0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (consumed_any) {
+        return Status::Timeout("read timed out mid-frame");
+      }
+      continue;  // idle between frames: keep waiting
+    }
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Status ReadExact(int fd, char* buf, size_t len, bool consumed_any) {
+  size_t done = 0;
+  while (done < len) {
+    XQ_ASSIGN_OR_RETURN(size_t n,
+                        ReadSome(fd, buf + done, len - done, consumed_any));
+    if (n == 0) {
+      return consumed_any ? Status::Corruption("eof mid-frame")
+                          : Status::NotFound("connection closed");
+    }
+    done += n;
+    consumed_any = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view body) {
+  char header[4];
+  uint32_t len = static_cast<uint32_t>(body.size());
+  std::memcpy(header, &len, 4);
+  std::string buf(header, 4);
+  buf.append(body);
+  size_t done = 0;
+  while (done < buf.size()) {
+    ssize_t n = ::send(fd, buf.data() + done, buf.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFrame(int fd, size_t max_bytes) {
+  char header[4];
+  // The first byte of the header may wait forever (idle session); once any
+  // byte arrives the peer owes us the rest of the frame within the socket's
+  // receive timeout.
+  XQ_RETURN_IF_ERROR(ReadExact(fd, header, 1, /*consumed_any=*/false));
+  XQ_RETURN_IF_ERROR(ReadExact(fd, header + 1, 3, /*consumed_any=*/true));
+  uint32_t len;
+  std::memcpy(&len, header, 4);
+  if (len > max_bytes) {
+    return Status::InvalidArgument("frame of " + std::to_string(len) +
+                                   " bytes exceeds limit of " +
+                                   std::to_string(max_bytes));
+  }
+  std::string body(len, '\0');
+  if (len > 0) {
+    XQ_RETURN_IF_ERROR(ReadExact(fd, body.data(), len, /*consumed_any=*/true));
+  }
+  return body;
+}
+
+}  // namespace xomatiq::srv

@@ -1,0 +1,117 @@
+#ifndef XOMATIQ_SERVER_PROTOCOL_H_
+#define XOMATIQ_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+
+namespace xomatiq::srv {
+
+// Length-prefixed binary wire protocol between xomatiq_server and its
+// clients (see DESIGN.md "Service layer" for the framing diagram).
+//
+//   frame    := u32 body_length (little-endian) | body
+//   request  := u64 request_id | u8 mode | string query_text
+//   response := u64 request_id | u8 status_code
+//               | string error_message                  (status_code != 0)
+//               | u8 kind | u8 flags | payload          (status_code == 0)
+//   payload  := rows: u32 ncols | ncols * string
+//                     | u32 nrows | nrows * tuple       (kind == kRows)
+//            := string                                  (kind == kText/kXml)
+//
+// Strings and tuples reuse the rel::serde encoding (u32-length-prefixed
+// strings, tagged values), so the wire shares one binary dialect with the
+// WAL and snapshots.
+
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;  // 16 MiB
+
+enum class RequestMode : uint8_t {
+  kSql = 0,      // one SQL statement (SELECT/DML/DDL/EXPLAIN/STATS text)
+  kXq = 1,       // XomatiQ FLWR query, rows response
+  kXqXml = 2,    // XomatiQ FLWR query, re-tagged XML response (§3.3)
+  kExplain = 3,  // XomatiQ query -> relational plans, text response
+  kStats = 4,    // server + engine metrics snapshot as JSON text
+  kPing = 5,     // liveness probe; echoes "pong"
+};
+inline constexpr uint8_t kMaxRequestMode =
+    static_cast<uint8_t>(RequestMode::kPing);
+
+std::string_view RequestModeName(RequestMode mode);
+
+struct Request {
+  uint64_t id = 0;
+  RequestMode mode = RequestMode::kSql;
+  std::string text;
+};
+
+enum class PayloadKind : uint8_t {
+  kRows = 0,
+  kText = 1,
+  kXml = 2,
+};
+inline constexpr uint8_t kMaxPayloadKind =
+    static_cast<uint8_t>(PayloadKind::kXml);
+
+// Response flag bits.
+inline constexpr uint8_t kFlagCached = 1;  // served from the result cache
+
+// Byte offset of the flags byte inside an OK response *body* (the part
+// after the request id): [0]=status, [1]=kind, [2]=flags. The result cache
+// stores encoded bodies and patches exactly this byte when re-serving.
+inline constexpr size_t kFlagsOffset = 2;
+
+struct Response {
+  uint64_t id = 0;
+  common::StatusCode code = common::StatusCode::kOk;
+  std::string error;  // set when code != kOk
+  PayloadKind kind = PayloadKind::kText;
+  uint8_t flags = 0;
+  std::vector<std::string> columns;  // kRows
+  std::vector<rel::Tuple> rows;      // kRows
+  std::string text;                  // kText / kXml
+
+  bool ok() const { return code == common::StatusCode::kOk; }
+  bool cached() const { return (flags & kFlagCached) != 0; }
+  common::Status status() const {
+    return ok() ? common::Status::OK() : common::Status(code, error);
+  }
+};
+
+// --- body encoding (no framing) ---
+
+std::string EncodeRequest(const Request& request);
+common::Result<Request> DecodeRequest(std::string_view body);
+
+// Everything after the request id; what the result cache stores.
+std::string EncodeResponseBody(const Response& response);
+// id + body.
+std::string EncodeResponse(const Response& response);
+common::Result<Response> DecodeResponse(std::string_view body);
+
+// Convenience: an error response for `id` carrying `status`.
+std::string EncodeErrorResponse(uint64_t id, const common::Status& status);
+
+// --- framing over a connected socket / pipe fd ---
+// Both helpers loop over partial reads/writes and retry EINTR; writes use
+// MSG_NOSIGNAL so a dead peer surfaces as IoError, not SIGPIPE.
+
+common::Status WriteFrame(int fd, std::string_view body);
+
+// Reads one complete frame body. Status codes distinguish the outcomes a
+// session loop must treat differently:
+//   NotFound    clean EOF on a frame boundary (peer hung up)
+//   Timeout     SO_RCVTIMEO expired while a frame was partially read
+//               (the slow-client guard) -- never fired while idle between
+//               frames, where the read simply keeps waiting
+//   InvalidArgument  declared length exceeds `max_bytes`
+//   Corruption  EOF mid-frame
+//   IoError     any other socket error
+common::Result<std::string> ReadFrame(int fd, size_t max_bytes);
+
+}  // namespace xomatiq::srv
+
+#endif  // XOMATIQ_SERVER_PROTOCOL_H_

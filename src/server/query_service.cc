@@ -1,0 +1,194 @@
+#include "server/query_service.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "relational/serde.h"
+#include "xml/writer.h"
+
+namespace xomatiq::srv {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::string FirstKeyword(std::string_view text) {
+  size_t i = text.find_first_not_of(" \t\r\n");
+  std::string word;
+  for (; i != std::string_view::npos && i < text.size(); ++i) {
+    char c = text[i];
+    if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))) break;
+    if (c >= 'A' && c <= 'Z') c += 'a' - 'A';
+    word.push_back(c);
+  }
+  return word;
+}
+
+bool IsMutation(std::string_view keyword) {
+  return keyword == "insert" || keyword == "update" || keyword == "delete" ||
+         keyword == "create" || keyword == "drop";
+}
+
+// Serves a cached body under `id`, marking it as a cache hit by patching
+// the single flags byte — the rows themselves are reused verbatim.
+std::string ServeCached(uint64_t id, std::string body) {
+  if (body.size() > kFlagsOffset) body[kFlagsOffset] |= kFlagCached;
+  rel::BinaryWriter w;
+  w.PutU64(id);
+  std::string out = w.TakeBuffer();
+  out += body;
+  return out;
+}
+
+std::string Finish(uint64_t id, std::string body) {
+  rel::BinaryWriter w;
+  w.PutU64(id);
+  std::string out = w.TakeBuffer();
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+QueryService::QueryService(hounds::Warehouse* warehouse,
+                           ServiceOptions options)
+    : warehouse_(warehouse),
+      xomatiq_(warehouse),
+      options_(std::move(options)) {
+  if (options_.cache != nullptr) {
+    // Weak capture: the subscription is never removed (see
+    // Warehouse::Subscribe), but the cache may be dropped first.
+    std::weak_ptr<ResultCache> weak = options_.cache;
+    warehouse_->Subscribe([weak](const hounds::ChangeEvent& event) {
+      if (auto cache = weak.lock()) cache->Invalidate(event.collection);
+    });
+  }
+}
+
+std::string QueryService::Handle(const Request& request) {
+  static common::Counter* requests =
+      common::MetricsRegistry::Global().GetCounter("server.requests");
+  static common::Histogram* latency =
+      common::MetricsRegistry::Global().GetHistogram(
+          "server.request_latency_us");
+  requests->Inc();
+  common::TraceSpan span("server.request", latency);
+  switch (request.mode) {
+    case RequestMode::kSql:
+      return HandleSql(request);
+    case RequestMode::kXq:
+      return HandleXq(request, /*as_xml=*/false);
+    case RequestMode::kXqXml:
+      return HandleXq(request, /*as_xml=*/true);
+    case RequestMode::kExplain: {
+      Result<std::string> text = xomatiq_.Explain(request.text);
+      if (!text.ok()) return EncodeErrorResponse(request.id, text.status());
+      Response response;
+      response.id = request.id;
+      response.kind = PayloadKind::kText;
+      response.text = *std::move(text);
+      return EncodeResponse(response);
+    }
+    case RequestMode::kStats: {
+      Response response;
+      response.id = request.id;
+      response.kind = PayloadKind::kText;
+      response.text = common::MetricsRegistry::Global().Snapshot().ToJson();
+      return EncodeResponse(response);
+    }
+    case RequestMode::kPing: {
+      if (options_.allow_sleep && request.text.rfind("#sleep ", 0) == 0) {
+        int ms = std::atoi(request.text.c_str() + 7);
+        if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+      Response response;
+      response.id = request.id;
+      response.kind = PayloadKind::kText;
+      response.text = "pong";
+      return EncodeResponse(response);
+    }
+  }
+  return EncodeErrorResponse(
+      request.id, Status::InvalidArgument("unhandled request mode"));
+}
+
+std::string QueryService::HandleSql(const Request& request) {
+  ResultCache* cache = options_.cache.get();
+  const std::string keyword = FirstKeyword(request.text);
+  const bool cacheable = cache != nullptr && keyword == "select";
+  std::string key;
+  uint64_t generation = 0;
+  if (cacheable) {
+    key = ResultCache::MakeKey(static_cast<uint8_t>(request.mode),
+                               request.text);
+    generation = cache->generation();
+    if (std::optional<std::string> body = cache->Lookup(key)) {
+      return ServeCached(request.id, *std::move(body));
+    }
+  }
+  Result<sql::QueryResult> result = xomatiq_.engine()->Execute(request.text);
+  if (!result.ok()) return EncodeErrorResponse(request.id, result.status());
+  Response response;
+  response.id = request.id;
+  if (!result->explain_text.empty()) {
+    response.kind = PayloadKind::kText;
+    response.text = result->explain_text;
+  } else if (result->schema.size() > 0 || !result->rows.empty()) {
+    response.kind = PayloadKind::kRows;
+    for (const rel::Column& col : result->schema.columns()) {
+      response.columns.push_back(col.name);
+    }
+    response.rows = std::move(result->rows);
+  } else {
+    response.kind = PayloadKind::kText;
+    response.text = "OK (" + std::to_string(result->affected) + " rows)";
+  }
+  std::string body = EncodeResponseBody(response);
+  if (cacheable) {
+    // SQL entries carry no collection tags: table-level dependencies are
+    // not tracked, so they die on any warehouse change.
+    cache->Insert(key, body, /*tags=*/{}, generation);
+  } else if (cache != nullptr && IsMutation(keyword)) {
+    // A write went through this service; everything cached may be stale.
+    cache->Clear();
+  }
+  return Finish(request.id, std::move(body));
+}
+
+std::string QueryService::HandleXq(const Request& request, bool as_xml) {
+  ResultCache* cache = options_.cache.get();
+  std::string key;
+  uint64_t generation = 0;
+  if (cache != nullptr) {
+    key = ResultCache::MakeKey(static_cast<uint8_t>(request.mode),
+                               request.text);
+    generation = cache->generation();
+    if (std::optional<std::string> body = cache->Lookup(key)) {
+      return ServeCached(request.id, *std::move(body));
+    }
+  }
+  Result<xq::XqResult> result = xomatiq_.Execute(request.text);
+  if (!result.ok()) return EncodeErrorResponse(request.id, result.status());
+  Response response;
+  response.id = request.id;
+  if (as_xml) {
+    response.kind = PayloadKind::kXml;
+    response.text = xml::WriteXml(xomatiq_.ResultsAsXml(*result));
+  } else {
+    response.kind = PayloadKind::kRows;
+    response.columns = std::move(result->columns);
+    response.rows = std::move(result->rows);
+  }
+  std::string body = EncodeResponseBody(response);
+  if (cache != nullptr) {
+    cache->Insert(key, body, std::move(result->collections), generation);
+  }
+  return Finish(request.id, std::move(body));
+}
+
+}  // namespace xomatiq::srv

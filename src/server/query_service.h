@@ -1,0 +1,57 @@
+#ifndef XOMATIQ_SERVER_QUERY_SERVICE_H_
+#define XOMATIQ_SERVER_QUERY_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "datahounds/warehouse.h"
+#include "server/protocol.h"
+#include "server/result_cache.h"
+#include "xomatiq/xomatiq.h"
+
+namespace xomatiq::srv {
+
+struct ServiceOptions {
+  // Shared result cache; null disables caching. The service subscribes
+  // cache invalidation to the warehouse's ChangeEvents (holding only a
+  // weak_ptr, so the cache may die before the warehouse).
+  std::shared_ptr<ResultCache> cache;
+  // Honor "#sleep <ms>" PING payloads. Test-only: lets a test pin a
+  // worker for a deterministic interval to fill the admission queue.
+  bool allow_sleep = false;
+};
+
+// Transport-independent request handler: one instance per server, shared
+// by every session/worker. Maps a decoded Request to a fully encoded
+// response frame body (request id + response body).
+//
+// Thread-safety: Handle() may run on many worker threads at once. The
+// underlying SqlEngine takes the database statement latch per statement
+// (shared for reads, exclusive for writes); the cache has its own leaf
+// mutex. Handle() itself keeps no mutable per-request state.
+class QueryService {
+ public:
+  QueryService(hounds::Warehouse* warehouse, ServiceOptions options = {});
+
+  // Never throws and never fails: any error becomes an encoded error
+  // response carrying the request id.
+  std::string Handle(const Request& request);
+
+  ResultCache* cache() { return options_.cache.get(); }
+  xq::XomatiQ* xomatiq() { return &xomatiq_; }
+
+ private:
+  // Cache-aware execution shared by the SQL and XQ paths: probe with
+  // `key` (empty = uncacheable), else run `execute` and install the
+  // encoded body tagged with the collections it read.
+  std::string HandleSql(const Request& request);
+  std::string HandleXq(const Request& request, bool as_xml);
+
+  hounds::Warehouse* warehouse_;
+  xq::XomatiQ xomatiq_;
+  ServiceOptions options_;
+};
+
+}  // namespace xomatiq::srv
+
+#endif  // XOMATIQ_SERVER_QUERY_SERVICE_H_

@@ -1,0 +1,118 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace xomatiq::srv {
+
+namespace {
+
+struct CacheMetrics {
+  common::Counter* hits;
+  common::Counter* misses;
+  common::Counter* evictions;
+  common::Counter* invalidations;
+  common::Gauge* entries;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics m = [] {
+      auto& reg = common::MetricsRegistry::Global();
+      return CacheMetrics{reg.GetCounter("server.cache.hits"),
+                          reg.GetCounter("server.cache.misses"),
+                          reg.GetCounter("server.cache.evictions"),
+                          reg.GetCounter("server.cache.invalidations"),
+                          reg.GetGauge("server.cache.entries")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+std::string ResultCache::MakeKey(uint8_t mode, std::string_view query_text) {
+  std::string key;
+  key.reserve(query_text.size() + 2);
+  key.push_back(static_cast<char>('0' + mode));
+  key.push_back(':');
+  bool pending_space = false;
+  for (char c : query_text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      pending_space = !key.empty();
+      continue;
+    }
+    if (pending_space && key.back() != ':') key.push_back(' ');
+    pending_space = false;
+    key.push_back(c);
+  }
+  return key;
+}
+
+std::optional<std::string> ResultCache::Lookup(const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    CacheMetrics::Get().misses->Inc();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  CacheMetrics::Get().hits->Inc();
+  return it->second->body;
+}
+
+void ResultCache::Insert(const std::string& key, std::string body,
+                         std::vector<std::string> tags, uint64_t generation) {
+  std::lock_guard lock(mu_);
+  if (generation != generation_.load(std::memory_order_relaxed)) {
+    return;  // invalidated while the query ran; result may be stale
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->body = std::move(body);
+    it->second->tags = std::move(tags);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(body), std::move(tags)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    CacheMetrics::Get().evictions->Inc();
+    EvictLocked(std::prev(lru_.end()));
+  }
+  CacheMetrics::Get().entries->Set(static_cast<int64_t>(lru_.size()));
+}
+
+void ResultCache::Invalidate(const std::string& collection) {
+  std::lock_guard lock(mu_);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  CacheMetrics::Get().invalidations->Inc();
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto next = std::next(it);
+    const bool hit = it->tags.empty() ||
+                     std::find(it->tags.begin(), it->tags.end(), collection) !=
+                         it->tags.end();
+    if (hit) EvictLocked(it);
+    it = next;
+  }
+  CacheMetrics::Get().entries->Set(static_cast<int64_t>(lru_.size()));
+}
+
+void ResultCache::Clear() {
+  std::lock_guard lock(mu_);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  index_.clear();
+  lru_.clear();
+  CacheMetrics::Get().entries->Set(0);
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+void ResultCache::EvictLocked(std::list<Entry>::iterator it) {
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace xomatiq::srv

@@ -1,0 +1,84 @@
+#ifndef XOMATIQ_SERVER_RESULT_CACHE_H_
+#define XOMATIQ_SERVER_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace xomatiq::srv {
+
+// LRU cache of encoded response *bodies* (protocol.h layout, everything
+// after the request id) keyed on normalized query text. A hit is re-served
+// to any session by patching the request id and the cached-flag byte; rows
+// are never re-encoded.
+//
+// Invalidation is tag-based: each entry carries the collections its query
+// read (XQ translations know them; see Translation::collections). A
+// hounds::ChangeEvent for collection C evicts entries tagged C *and*
+// entries with no tags (SQL entries — table-level dependencies are not
+// tracked, so they conservatively die on any change).
+//
+// The generation counter closes the lookup/execute/insert race: a query
+// that started before a sync must not install its stale result after the
+// sync invalidated. Callers capture generation() before executing and pass
+// it to Insert(), which discards on mismatch. ChangeEvents fire while the
+// writer holds the Database latch exclusively, so any execution that
+// observed pre-sync data also observed the pre-bump generation.
+//
+// Thread-safe; the internal mutex is a leaf in the server's lock order
+// (never held while acquiring the Database latch or Warehouse mutex).
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  // Whitespace-collapsed query text prefixed by the mode tag, so
+  // "SELECT  *\nFROM t" and "select * from t" share an entry only when
+  // byte-identical after normalization (case is preserved: string
+  // literals are case-sensitive).
+  static std::string MakeKey(uint8_t mode, std::string_view query_text);
+
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // Returns the encoded body and refreshes LRU recency, or nullopt.
+  std::optional<std::string> Lookup(const std::string& key);
+
+  // Installs `body` unless the cache was invalidated after `generation`
+  // was captured. Evicts least-recently-used entries beyond capacity.
+  void Insert(const std::string& key, std::string body,
+              std::vector<std::string> tags, uint64_t generation);
+
+  // Evicts entries tagged with `collection` plus all untagged entries,
+  // and bumps the generation.
+  void Invalidate(const std::string& collection);
+
+  // Evicts everything and bumps the generation (DDL/DML path).
+  void Clear();
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string body;
+    std::vector<std::string> tags;  // empty = evict on any change
+  };
+
+  void EvictLocked(std::list<Entry>::iterator it);
+
+  const size_t capacity_;
+  std::atomic<uint64_t> generation_{0};
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace xomatiq::srv
+
+#endif  // XOMATIQ_SERVER_RESULT_CACHE_H_

@@ -1,0 +1,184 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/metrics.h"
+
+namespace xomatiq::srv {
+
+using common::Status;
+
+namespace {
+
+struct ServerMetrics {
+  common::Counter* connections;
+  common::Counter* rejected;
+  common::Gauge* active_sessions;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics m = [] {
+      auto& reg = common::MetricsRegistry::Global();
+      return ServerMetrics{reg.GetCounter("server.connections"),
+                           reg.GetCounter("server.rejected_overload"),
+                           reg.GetGauge("server.active_sessions")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+QueryServer::Session::~Session() {
+  if (fd >= 0) ::close(fd);
+}
+
+QueryServer::QueryServer(hounds::Warehouse* warehouse, ServerOptions options)
+    : service_(warehouse, options.service), options_(std::move(options)) {}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+Status QueryServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  pool_ = std::make_unique<BoundedThreadPool>(options_.workers,
+                                              options_.max_queue);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::Shutdown() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // Unblocks accept(); the fd itself is closed after the thread exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Half-close live sessions: readers see EOF and exit, while sockets
+    // stay writable for responses still in flight.
+    std::lock_guard lock(sessions_mu_);
+    for (auto& [id, session] : sessions_) {
+      ::shutdown(session->fd, SHUT_RD);
+    }
+  }
+  if (pool_ != nullptr) pool_->Drain();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(sessions_mu_);
+    threads.swap(session_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener was shut down (or unrecoverable)
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.read_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options_.read_timeout_ms / 1000;
+      tv.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    ServerMetrics::Get().connections->Inc();
+    std::lock_guard lock(sessions_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      return;  // raced with Shutdown; ~Session closes the socket
+    }
+    session->id = next_session_id_++;
+    sessions_[session->id] = session;
+    ServerMetrics::Get().active_sessions->Set(
+        static_cast<int64_t>(sessions_.size()));
+    session_threads_.emplace_back(
+        [this, session] { SessionLoop(session); });
+  }
+}
+
+void QueryServer::SessionLoop(std::shared_ptr<Session> session) {
+  while (true) {
+    common::Result<std::string> frame =
+        ReadFrame(session->fd, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      const common::StatusCode code = frame.status().code();
+      if (code != common::StatusCode::kNotFound) {
+        // Timeout / oversized / corrupt: tell the peer why (best effort —
+        // it may already be gone), then drop the connection.
+        std::string reply = EncodeErrorResponse(0, frame.status());
+        std::lock_guard lock(session->write_mu);
+        WriteFrame(session->fd, reply);
+      }
+      break;
+    }
+    common::Result<Request> request = DecodeRequest(*frame);
+    if (!request.ok()) {
+      std::string reply = EncodeErrorResponse(0, request.status());
+      std::lock_guard lock(session->write_mu);
+      WriteFrame(session->fd, reply);
+      break;  // framing is suspect; don't trust subsequent bytes
+    }
+    const uint64_t id = request->id;
+    bool admitted = pool_->TryEnqueue(
+        [this, session, request = *std::move(request)] {
+          std::string reply = service_.Handle(request);
+          std::lock_guard lock(session->write_mu);
+          WriteFrame(session->fd, reply);
+        });
+    if (!admitted) {
+      ServerMetrics::Get().rejected->Inc();
+      std::string reply = EncodeErrorResponse(
+          id, Status::Overloaded("admission queue full; retry later"));
+      std::lock_guard lock(session->write_mu);
+      if (!WriteFrame(session->fd, reply).ok()) break;
+    }
+  }
+  std::lock_guard lock(sessions_mu_);
+  sessions_.erase(session->id);
+  ServerMetrics::Get().active_sessions->Set(
+      static_cast<int64_t>(sessions_.size()));
+}
+
+}  // namespace xomatiq::srv

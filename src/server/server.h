@@ -1,0 +1,98 @@
+#ifndef XOMATIQ_SERVER_SERVER_H_
+#define XOMATIQ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "datahounds/warehouse.h"
+#include "server/query_service.h"
+#include "server/thread_pool.h"
+
+namespace xomatiq::srv {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port from port()
+  size_t workers = 4;
+  size_t max_queue = 64;  // admission queue bound (see BoundedThreadPool)
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // SO_RCVTIMEO on accepted sockets: a client that stalls mid-frame for
+  // longer than this is timed out and disconnected. 0 disables the guard.
+  int read_timeout_ms = 5000;
+  ServiceOptions service;
+};
+
+// Multi-threaded TCP front end for one Database/Warehouse/XomatiQ stack.
+//
+// Threading model (see DESIGN.md "Service layer"):
+//   - one accept thread;
+//   - one reader thread per session, which decodes frames and enqueues
+//     request tasks on the shared BoundedThreadPool;
+//   - `workers` pool threads execute requests and write responses back,
+//     serialized per-session by Session::write_mu.
+// When the admission queue is full the reader answers OVERLOADED inline —
+// the server never queues without bound and never blocks the socket read
+// loop on the engine.
+//
+// Shutdown() is graceful: stop accepting, half-close every session for
+// reading (in-flight requests keep their sockets writable), drain the
+// pool so every admitted request gets its response, then join.
+class QueryServer {
+ public:
+  QueryServer(hounds::Warehouse* warehouse, ServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Binds, listens and spawns the accept thread.
+  common::Status Start();
+
+  // Graceful stop; idempotent.
+  void Shutdown();
+
+  // Bound port (after Start()).
+  uint16_t port() const { return port_; }
+
+  QueryService* service() { return &service_; }
+
+ private:
+  // Shared by the reader thread and any worker running one of the
+  // session's requests; the last owner closes the socket, so a response
+  // can still be written after the reader exited.
+  struct Session {
+    uint64_t id = 0;
+    int fd = -1;
+    std::mutex write_mu;  // serializes response frames on this socket
+    ~Session();
+  };
+
+  void AcceptLoop();
+  void SessionLoop(std::shared_ptr<Session> session);
+
+  QueryService service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::unique_ptr<BoundedThreadPool> pool_;
+  std::thread accept_thread_;
+
+  std::mutex sessions_mu_;
+  uint64_t next_session_id_ = 1;
+  // Sessions still reading; a session removes itself when its reader
+  // exits. Shutdown half-closes whatever is left.
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> session_threads_;
+};
+
+}  // namespace xomatiq::srv
+
+#endif  // XOMATIQ_SERVER_SERVER_H_

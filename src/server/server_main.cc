@@ -1,0 +1,145 @@
+// xomatiq_server: the XomatiQ query service over TCP.
+//
+//   xomatiq_server [--port N] [--workers N] [--queue N] [--cache N]
+//                  [--db DIR] [--demo N]
+//
+// Serves SQL and XomatiQ queries against one shared warehouse. --db opens
+// (or creates) a durable database directory; without it the server runs
+// in-memory. --demo N loads a deterministic N-entry synthetic corpus
+// (ENZYME + Swiss-Prot + EMBL collections) so the shell has something to
+// query out of the box. Connect with xomatiq_shell.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "datagen/corpus.h"
+#include "datahounds/warehouse.h"
+#include "relational/database.h"
+#include "server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+void LoadDemo(xomatiq::hounds::Warehouse* warehouse, size_t n) {
+  using namespace xomatiq;
+  datagen::CorpusOptions options;
+  options.num_enzymes = n;
+  options.num_proteins = n;
+  options.num_nucleotides = n;
+  options.ketone_fraction = 0.15;  // same planted keyword as xq_shell's \demo
+  datagen::Corpus corpus = datagen::GenerateCorpus(options);
+
+  hounds::EnzymeXmlTransformer enzyme;
+  hounds::SwissProtXmlTransformer sprot;
+  hounds::EmblXmlTransformer embl;
+  struct Load {
+    const char* collection;
+    const hounds::XmlTransformer* transformer;
+    std::string flatfile;
+  } loads[] = {
+      {"hlx_enzyme.DEFAULT", &enzyme, datagen::ToEnzymeFlatFile(corpus)},
+      {"hlx_sprot.DEFAULT", &sprot, datagen::ToSwissProtFlatFile(corpus)},
+      {"hlx_embl.inv", &embl, datagen::ToEmblFlatFile(corpus)},
+  };
+  for (const Load& load : loads) {
+    auto stats =
+        warehouse->LoadSource(load.collection, *load.transformer,
+                              load.flatfile);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "demo load %s: %s\n", load.collection,
+                   stats.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("loaded %-20s %zu documents\n", load.collection,
+                stats->documents);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xomatiq;
+
+  srv::ServerOptions options;
+  options.port = 7333;
+  std::string db_dir;
+  size_t demo = 0;
+  size_t cache_capacity = 256;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      options.port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      options.workers = static_cast<size_t>(std::atoi(next("--workers")));
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      options.max_queue = static_cast<size_t>(std::atoi(next("--queue")));
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      cache_capacity = static_cast<size_t>(std::atoi(next("--cache")));
+    } else if (std::strcmp(argv[i], "--db") == 0) {
+      db_dir = next("--db");
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = static_cast<size_t>(std::atoi(next("--demo")));
+    } else {
+      std::fprintf(stderr,
+                   "usage: xomatiq_server [--port N] [--workers N] "
+                   "[--queue N] [--cache N] [--db DIR] [--demo N]\n");
+      return 2;
+    }
+  }
+
+  std::unique_ptr<rel::Database> db;
+  if (db_dir.empty()) {
+    db = rel::Database::OpenInMemory();
+  } else {
+    auto opened = rel::Database::Open(db_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", db_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(opened).value();
+  }
+  auto warehouse = hounds::Warehouse::Open(db.get());
+  if (!warehouse.ok()) {
+    std::fprintf(stderr, "open warehouse: %s\n",
+                 warehouse.status().ToString().c_str());
+    return 1;
+  }
+  if (demo > 0) LoadDemo(warehouse->get(), demo);
+
+  if (cache_capacity > 0) {
+    options.service.cache =
+        std::make_shared<srv::ResultCache>(cache_capacity);
+  }
+  srv::QueryServer server(warehouse->get(), options);
+  if (auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("xomatiq_server listening on %s:%u (%zu workers, queue %zu, "
+              "cache %zu)\n",
+              options.host.c_str(), server.port(), options.workers,
+              options.max_queue, cache_capacity);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    struct timespec ts = {0, 200 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("shutting down (draining in-flight queries)\n");
+  server.Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "server/thread_pool.h"
+
+#include "common/metrics.h"
+
+namespace xomatiq::srv {
+
+namespace {
+
+common::Gauge* QueueDepthGauge() {
+  static common::Gauge* g =
+      common::MetricsRegistry::Global().GetGauge("server.queue_depth");
+  return g;
+}
+
+}  // namespace
+
+BoundedThreadPool::BoundedThreadPool(size_t workers, size_t max_queue)
+    : max_queue_(max_queue) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BoundedThreadPool::~BoundedThreadPool() { Drain(); }
+
+bool BoundedThreadPool::TryEnqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_ || queue_.size() >= max_queue_) return false;
+    queue_.push_back(std::move(task));
+    QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void BoundedThreadPool::Drain() {
+  {
+    std::unique_lock lock(mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+    drain_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t BoundedThreadPool::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+void BoundedThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ with an empty queue: this worker is done; wake Drain
+        // in case it is waiting on the last task.
+        drain_cv_.notify_all();
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace xomatiq::srv

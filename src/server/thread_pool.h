@@ -1,0 +1,55 @@
+#ifndef XOMATIQ_SERVER_THREAD_POOL_H_
+#define XOMATIQ_SERVER_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xomatiq::srv {
+
+// Fixed-size worker pool with a *bounded* admission queue. TryEnqueue
+// refuses work instead of queueing without limit — the server turns a
+// refusal into a typed OVERLOADED response, which is the backpressure
+// contract: a client always gets an answer, never an unbounded wait.
+//
+// Shutdown drains: Drain() stops admission, lets every queued and running
+// task finish, then joins the workers. Tasks must not TryEnqueue from
+// inside the pool.
+class BoundedThreadPool {
+ public:
+  // `max_queue` counts tasks waiting beyond the ones running.
+  BoundedThreadPool(size_t workers, size_t max_queue);
+  ~BoundedThreadPool();
+
+  BoundedThreadPool(const BoundedThreadPool&) = delete;
+  BoundedThreadPool& operator=(const BoundedThreadPool&) = delete;
+
+  // False when the queue is full or the pool is draining.
+  bool TryEnqueue(std::function<void()> task);
+
+  // Stops admission, waits for queued + in-flight tasks, joins workers.
+  // Idempotent.
+  void Drain();
+
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable drain_cv_;  // Drain waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  // tasks currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xomatiq::srv
+
+#endif  // XOMATIQ_SERVER_THREAD_POOL_H_

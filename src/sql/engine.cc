@@ -1,6 +1,8 @@
 #include "sql/engine.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -69,12 +71,16 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
     common::TraceSpan span("sql.parse", parse_hist);
     XQ_ASSIGN_OR_RETURN(stmt, ParseStatement(sql));
   }
+  // Statement-level latching (see rel::Database::latch()): readers share,
+  // writers exclude. Parsing happens above without the latch; the lock is
+  // held for exactly the span that touches catalog or heap state.
   switch (stmt.kind) {
     case StatementKind::kCreateTable: {
       std::vector<rel::Column> cols;
       for (const ColumnDefAst& c : stmt.create_table.columns) {
         cols.push_back({c.name, c.type, c.not_null});
       }
+      std::unique_lock lock(db_->latch());
       XQ_RETURN_IF_ERROR(db_->CreateTable(stmt.create_table.table,
                                           rel::Schema(std::move(cols))));
       return QueryResult{};
@@ -86,10 +92,12 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
       def.columns = stmt.create_index.columns;
       def.kind = stmt.create_index.kind;
       def.unique = stmt.create_index.unique;
+      std::unique_lock lock(db_->latch());
       XQ_RETURN_IF_ERROR(db_->CreateIndex(def));
       return QueryResult{};
     }
     case StatementKind::kDrop: {
+      std::unique_lock lock(db_->latch());
       if (stmt.drop.is_table) {
         XQ_RETURN_IF_ERROR(db_->DropTable(stmt.drop.name));
       } else {
@@ -97,20 +105,30 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
       }
       return QueryResult{};
     }
-    case StatementKind::kInsert:
+    case StatementKind::kInsert: {
+      std::unique_lock lock(db_->latch());
       return ExecuteInsert(stmt.insert);
-    case StatementKind::kSelect:
+    }
+    case StatementKind::kSelect: {
+      std::shared_lock lock(db_->latch());
       return ExecuteSelect(stmt.select, /*explain_only=*/false);
-    case StatementKind::kExplain:
+    }
+    case StatementKind::kExplain: {
       // Plain EXPLAIN prints the plan without running it; EXPLAIN ANALYZE
       // runs the query with stats collection and prints the same tree
       // annotated with per-operator actuals.
+      std::shared_lock lock(db_->latch());
       return ExecuteSelect(stmt.select, /*explain_only=*/!stmt.analyze,
                            /*analyze=*/stmt.analyze);
-    case StatementKind::kDelete:
+    }
+    case StatementKind::kDelete: {
+      std::unique_lock lock(db_->latch());
       return ExecuteDelete(stmt.del);
-    case StatementKind::kUpdate:
+    }
+    case StatementKind::kUpdate: {
+      std::unique_lock lock(db_->latch());
       return ExecuteUpdate(stmt.update);
+    }
     case StatementKind::kStats: {
       QueryResult result;
       result.explain_text =
@@ -166,6 +184,7 @@ Result<rel::Schema> SqlEngine::ExecuteSelectBatched(
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("ExecuteSelectBatched requires a SELECT");
   }
+  std::shared_lock lock(db_->latch());
   XQ_ASSIGN_OR_RETURN(PlanPtr plan, planner_.PlanSelect(stmt.select));
   Executor executor(db_, options_.executor);
   XQ_RETURN_IF_ERROR(executor.ExecuteBatched(*plan, sink));

@@ -32,6 +32,14 @@ struct QueryResult {
 
 // Statement-level facade over parse -> plan -> execute. This is the full
 // SQL surface XomatiQ's XQ2SQL translator targets.
+//
+// Thread-safety: Execute / ExecuteSelectBatched may be called from many
+// threads against one engine (or several engines over one Database). Each
+// statement acquires the database's statement latch — shared for SELECT /
+// EXPLAIN, exclusive for DML / DDL — so concurrent readers proceed in
+// parallel and writers serialize against everything (see
+// rel::Database::latch()). Plan(), which hands back a raw plan without
+// latching, remains a single-threaded test/bench entry point.
 class SqlEngine {
  public:
   explicit SqlEngine(rel::Database* db, EngineOptions options = {})

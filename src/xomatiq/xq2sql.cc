@@ -1,6 +1,8 @@
 #include "xomatiq/xq2sql.h"
 
+#include <algorithm>
 #include <map>
+#include <shared_mutex>
 
 #include "common/string_util.h"
 #include "datahounds/generic_schema.h"
@@ -369,7 +371,10 @@ Result<Translation> Xq2SqlTranslator::Translate(const XQueryAst& ast) {
     }
   }
 
-  // Load the path dictionary once per translation.
+  // Load the path dictionary once per translation. Shared latch: the
+  // dictionary scan must not race a concurrent warehouse load appending
+  // new paths (see rel::Database::latch()).
+  std::shared_lock latch(warehouse_->db()->latch());
   std::vector<PathEntry> dict;
   XQ_ASSIGN_OR_RETURN(const rel::Table* path_table,
                       warehouse_->db()->GetTable(hounds::kPathTable));
@@ -388,6 +393,13 @@ Result<Translation> Xq2SqlTranslator::Translate(const XQueryAst& ast) {
 
   Translation out;
   out.constructor_name = ast.constructor_name;
+  for (const XqBinding& binding : ast.bindings) {
+    if (binding.collection.empty()) continue;
+    if (std::find(out.collections.begin(), out.collections.end(),
+                  binding.collection) == out.collections.end()) {
+      out.collections.push_back(binding.collection);
+    }
+  }
   for (const XqReturnItem& item : ast.returns) {
     if (!item.alias.empty()) {
       out.column_names.push_back(item.alias);

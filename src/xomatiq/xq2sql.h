@@ -20,6 +20,9 @@ struct Translation {
   // Element name of the RETURN constructor ("" = plain item list); the
   // tagger uses it as the per-row element name.
   std::string constructor_name;
+  // Collections named by the query's FOR bindings (deduplicated, in
+  // binding order). The server's result cache keys invalidation on these.
+  std::vector<std::string> collections;
 };
 
 // XQ2SQL-Transformer (paper §3.2): rewrites a parsed XomatiQ query into

@@ -1,0 +1,211 @@
+// Wire-protocol robustness: encode/decode round trips, rejection of
+// malformed bodies, and the framing layer's behavior on truncated frames,
+// oversized lengths, partial reads/writes, clean EOF and slow peers.
+
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace xomatiq::srv {
+namespace {
+
+using common::StatusCode;
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  Request request;
+  request.id = 0x1122334455667788ull;
+  request.mode = RequestMode::kXqXml;
+  request.text = "FOR $a IN document(\"db\")/root RETURN $a";
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, request.id);
+  EXPECT_EQ(decoded->mode, request.mode);
+  EXPECT_EQ(decoded->text, request.text);
+}
+
+TEST(ProtocolTest, RowsResponseRoundTrip) {
+  Response response;
+  response.id = 7;
+  response.kind = PayloadKind::kRows;
+  response.columns = {"id", "score", "name"};
+  response.rows.push_back(
+      {rel::Value::Int(42), rel::Value::Double(1.5), rel::Value::Text("x")});
+  response.rows.push_back(
+      {rel::Value::Null(), rel::Value::Int(-1), rel::Value::Text("")});
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, 7u);
+  EXPECT_TRUE(decoded->ok());
+  EXPECT_FALSE(decoded->cached());
+  EXPECT_EQ(decoded->columns, response.columns);
+  ASSERT_EQ(decoded->rows.size(), 2u);
+  EXPECT_EQ(decoded->rows[0][0].AsInt(), 42);
+  EXPECT_EQ(decoded->rows[0][2].AsText(), "x");
+  EXPECT_TRUE(decoded->rows[1][0].is_null());
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTrip) {
+  std::string encoded =
+      EncodeErrorResponse(9, common::Status::Overloaded("queue full"));
+  auto decoded = DecodeResponse(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, 9u);
+  EXPECT_EQ(decoded->code, StatusCode::kOverloaded);
+  EXPECT_EQ(decoded->error, "queue full");
+}
+
+TEST(ProtocolTest, CachedFlagPatchesAtDocumentedOffset) {
+  Response response;
+  response.id = 3;
+  response.kind = PayloadKind::kText;
+  response.text = "hello";
+  std::string body = EncodeResponseBody(response);
+  ASSERT_GT(body.size(), kFlagsOffset);
+  body[kFlagsOffset] |= kFlagCached;
+  std::string framed = EncodeResponse(response);
+  framed[8 + kFlagsOffset] |= kFlagCached;  // after the u64 id
+  auto decoded = DecodeResponse(framed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->cached());
+  EXPECT_EQ(decoded->text, "hello");
+}
+
+TEST(ProtocolTest, DecodeRejectsBadMode) {
+  Request request;
+  request.text = "q";
+  std::string encoded = EncodeRequest(request);
+  encoded[8] = 0x7f;  // mode byte
+  EXPECT_FALSE(DecodeRequest(encoded).ok());
+}
+
+TEST(ProtocolTest, DecodeRejectsTrailingGarbage) {
+  std::string encoded = EncodeRequest(Request{});
+  encoded += "zzz";
+  auto decoded = DecodeRequest(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, DecodeRejectsTruncatedBody) {
+  std::string encoded = EncodeRequest(Request{0, RequestMode::kSql, "select"});
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(DecodeRequest(std::string_view(encoded.data(), len)).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(ProtocolTest, DecodeResponseRejectsBadStatusAndKind) {
+  Response response;
+  response.kind = PayloadKind::kText;
+  std::string encoded = EncodeResponse(response);
+  std::string bad_status = encoded;
+  bad_status[8] = 0x7f;
+  EXPECT_FALSE(DecodeResponse(bad_status).ok());
+  std::string bad_kind = encoded;
+  bad_kind[9] = 0x7f;
+  EXPECT_FALSE(DecodeResponse(bad_kind).ok());
+}
+
+// --- framing over a socketpair ---
+
+class FramingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  void CloseWriter() {
+    ::close(fds_[1]);
+    fds_[1] = -1;
+  }
+  int reader() const { return fds_[0]; }
+  int writer() const { return fds_[1]; }
+
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramingTest, RoundTrip) {
+  ASSERT_TRUE(WriteFrame(writer(), "payload").ok());
+  ASSERT_TRUE(WriteFrame(writer(), "").ok());
+  auto first = ReadFrame(reader(), kDefaultMaxFrameBytes);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(*first, "payload");
+  auto second = ReadFrame(reader(), kDefaultMaxFrameBytes);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "");
+}
+
+TEST_F(FramingTest, CleanEofIsNotFound) {
+  CloseWriter();
+  auto frame = ReadFrame(reader(), kDefaultMaxFrameBytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FramingTest, EofMidHeaderIsCorruption) {
+  ASSERT_EQ(::send(writer(), "\x08\x00", 2, 0), 2);
+  CloseWriter();
+  auto frame = ReadFrame(reader(), kDefaultMaxFrameBytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FramingTest, EofMidBodyIsCorruption) {
+  uint32_t len = 100;
+  ASSERT_EQ(::send(writer(), &len, 4, 0), 4);
+  ASSERT_EQ(::send(writer(), "partial", 7, 0), 7);
+  CloseWriter();
+  auto frame = ReadFrame(reader(), kDefaultMaxFrameBytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FramingTest, OversizedLengthIsInvalidArgument) {
+  uint32_t len = 1u << 30;
+  ASSERT_EQ(::send(writer(), &len, 4, 0), 4);
+  auto frame = ReadFrame(reader(), /*max_bytes=*/1024);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FramingTest, PartialWritesReassemble) {
+  std::string body(1000, 'q');
+  std::thread writer_thread([this, &body] {
+    std::string framed;
+    uint32_t len = static_cast<uint32_t>(body.size());
+    framed.append(reinterpret_cast<char*>(&len), 4);
+    framed += body;
+    for (char c : framed) {
+      ASSERT_EQ(::send(writer(), &c, 1, 0), 1);
+    }
+  });
+  auto frame = ReadFrame(reader(), kDefaultMaxFrameBytes);
+  writer_thread.join();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(*frame, body);
+}
+
+TEST_F(FramingTest, SlowPeerMidFrameTimesOut) {
+  timeval tv{0, 50 * 1000};  // 50ms
+  ASSERT_EQ(::setsockopt(reader(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)),
+            0);
+  uint32_t len = 64;
+  ASSERT_EQ(::send(writer(), &len, 4, 0), 4);
+  ASSERT_EQ(::send(writer(), "abc", 3, 0), 3);
+  // ... and then the peer stalls without closing.
+  auto frame = ReadFrame(reader(), kDefaultMaxFrameBytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace xomatiq::srv

@@ -1,0 +1,108 @@
+// Result-cache semantics: LRU eviction at capacity, tag-based and
+// wildcard invalidation, the generation guard against stale inserts, and
+// the hit/miss metrics.
+
+#include "server/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace xomatiq::srv {
+namespace {
+
+common::Counter* Hits() {
+  return common::MetricsRegistry::Global().GetCounter("server.cache.hits");
+}
+common::Counter* Misses() {
+  return common::MetricsRegistry::Global().GetCounter("server.cache.misses");
+}
+
+TEST(ResultCacheTest, MakeKeyNormalizesWhitespace) {
+  EXPECT_EQ(ResultCache::MakeKey(0, "SELECT  *\n FROM\tt"),
+            ResultCache::MakeKey(0, "SELECT * FROM t"));
+  EXPECT_EQ(ResultCache::MakeKey(0, "  SELECT 1  "),
+            ResultCache::MakeKey(0, "SELECT 1"));
+  // Case is preserved and modes do not collide.
+  EXPECT_NE(ResultCache::MakeKey(0, "select 1"),
+            ResultCache::MakeKey(0, "SELECT 1"));
+  EXPECT_NE(ResultCache::MakeKey(0, "SELECT 1"),
+            ResultCache::MakeKey(1, "SELECT 1"));
+}
+
+TEST(ResultCacheTest, HitMissAndCounters) {
+  ResultCache cache(4);
+  uint64_t hits0 = Hits()->Value();
+  uint64_t misses0 = Misses()->Value();
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+  cache.Insert("k", "body", {}, cache.generation());
+  auto body = cache.Lookup("k");
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(*body, "body");
+  EXPECT_EQ(Hits()->Value(), hits0 + 1);
+  EXPECT_EQ(Misses()->Value(), misses0 + 1);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  ResultCache cache(2);
+  cache.Insert("a", "1", {}, cache.generation());
+  cache.Insert("b", "2", {}, cache.generation());
+  ASSERT_TRUE(cache.Lookup("a").has_value());  // refresh a; b is now LRU
+  cache.Insert("c", "3", {}, cache.generation());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+}
+
+TEST(ResultCacheTest, InvalidateByTag) {
+  ResultCache cache(8);
+  cache.Insert("q1", "1", {"hlx_enzyme.DEFAULT"}, cache.generation());
+  cache.Insert("q2", "2", {"hlx_sprot.DEFAULT"}, cache.generation());
+  cache.Insert("q3", "3", {"hlx_enzyme.DEFAULT", "hlx_sprot.DEFAULT"},
+               cache.generation());
+  cache.Insert("sql", "4", {}, cache.generation());  // untagged
+  cache.Invalidate("hlx_enzyme.DEFAULT");
+  EXPECT_FALSE(cache.Lookup("q1").has_value());
+  EXPECT_TRUE(cache.Lookup("q2").has_value());
+  EXPECT_FALSE(cache.Lookup("q3").has_value());
+  // Untagged entries die on any change.
+  EXPECT_FALSE(cache.Lookup("sql").has_value());
+}
+
+TEST(ResultCacheTest, InvalidateBumpsGenerationAndBlocksStaleInsert) {
+  ResultCache cache(8);
+  uint64_t generation = cache.generation();
+  // A sync happens while the query is executing ...
+  cache.Invalidate("hlx_enzyme.DEFAULT");
+  // ... so the result computed against the old state must not land.
+  cache.Insert("q", "stale", {"hlx_enzyme.DEFAULT"}, generation);
+  EXPECT_FALSE(cache.Lookup("q").has_value());
+  // With the current generation it lands fine.
+  cache.Insert("q", "fresh", {"hlx_enzyme.DEFAULT"}, cache.generation());
+  EXPECT_TRUE(cache.Lookup("q").has_value());
+}
+
+TEST(ResultCacheTest, ClearEmptiesAndBumps) {
+  ResultCache cache(8);
+  uint64_t generation = cache.generation();
+  cache.Insert("a", "1", {}, generation);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  EXPECT_GT(cache.generation(), generation);
+}
+
+TEST(ResultCacheTest, InsertRefreshesExistingEntry) {
+  ResultCache cache(2);
+  cache.Insert("a", "old", {}, cache.generation());
+  cache.Insert("b", "2", {}, cache.generation());
+  cache.Insert("a", "new", {"t"}, cache.generation());  // refresh, no growth
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.Lookup("a"), "new");
+  cache.Invalidate("t");
+  EXPECT_FALSE(cache.Lookup("a").has_value());  // tags were replaced too
+}
+
+}  // namespace
+}  // namespace xomatiq::srv
