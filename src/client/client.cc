@@ -7,15 +7,24 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "common/rng.h"
 
 namespace xomatiq::cli {
 
 using common::Result;
 using common::Status;
+using common::StatusCode;
 
-Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+namespace {
+
+// Raw TCP connect; no handshake.
+Result<int> ConnectFd(const std::string& host, uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
@@ -36,16 +45,114 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port) {
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Client(fd);
+  return fd;
+}
+
+// Hello exchange on a fresh connection; returns the negotiated features.
+// A typed error response from the server (e.g. kUnsupported on a major
+// mismatch) is surfaced verbatim.
+Result<uint32_t> Handshake(int fd) {
+  XQ_RETURN_IF_ERROR(srv::WriteFrame(fd, srv::EncodeHello(srv::Hello{})));
+  XQ_ASSIGN_OR_RETURN(std::string frame,
+                      srv::ReadFrame(fd, srv::kDefaultMaxFrameBytes));
+  if (srv::IsHelloFrame(frame)) {
+    XQ_ASSIGN_OR_RETURN(srv::Hello ack, srv::DecodeHello(frame));
+    return ack.features;
+  }
+  // Not a hello: the server refused (typed error response, id 0).
+  XQ_ASSIGN_OR_RETURN(srv::Response response, srv::DecodeResponse(frame));
+  if (!response.ok()) return response.status();
+  return Status::Corruption("unexpected handshake reply");
+}
+
+// Transport-level failures worth a reconnect+resend: the connection is
+// dead or suspect, but the server may well be fine.
+bool IsTransportError(StatusCode code) {
+  return code == StatusCode::kIoError || code == StatusCode::kCorruption ||
+         code == StatusCode::kNotFound || code == StatusCode::kTimeout;
+}
+
+// Backoff schedule shared by connect and execute retries. Returns false
+// when the policy's deadline would be exceeded by waiting.
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy)
+      : policy_(policy),
+        rng_(policy.seed),
+        deadline_(policy.deadline_ms == 0
+                      ? std::chrono::steady_clock::time_point::max()
+                      : std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(policy.deadline_ms)) {}
+
+  bool Expired() const { return std::chrono::steady_clock::now() >= deadline_; }
+
+  // Sleeps for the next jittered exponential delay; false when the
+  // deadline cuts the wait (nothing further should be attempted).
+  bool SleepBeforeRetry(int attempt) {
+    uint64_t nominal = policy_.initial_backoff_ms;
+    for (int i = 0; i < attempt && nominal < policy_.max_backoff_ms; ++i) {
+      nominal *= 2;
+    }
+    nominal = std::min<uint64_t>(nominal, policy_.max_backoff_ms);
+    // Jitter in [0.5, 1.0) de-synchronizes clients retrying after one
+    // shared failure (the thundering-herd guard).
+    auto delay = std::chrono::milliseconds(static_cast<uint64_t>(
+        static_cast<double>(nominal) * (0.5 + 0.5 * rng_.NextDouble())));
+    auto now = std::chrono::steady_clock::now();
+    if (now + delay >= deadline_) return false;
+    std::this_thread::sleep_for(delay);
+    return true;
+  }
+
+ private:
+  const RetryPolicy policy_;
+  common::Rng rng_;
+  const std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  XQ_ASSIGN_OR_RETURN(int fd, ConnectFd(host, port));
+  auto features = Handshake(fd);
+  if (!features.ok()) {
+    ::close(fd);
+    return features.status();
+  }
+  return Client(fd, host, port, *features);
+}
+
+Result<Client> Client::ConnectWithRetry(const std::string& host,
+                                        uint16_t port,
+                                        const RetryPolicy& policy) {
+  Backoff backoff(policy);
+  Status last = Status::IoError("no connect attempts made");
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0 && !backoff.SleepBeforeRetry(attempt - 1)) break;
+    auto client = Connect(host, port);
+    if (client.ok()) return client;
+    last = client.status();
+    // A typed protocol rejection is deterministic; retrying only delays
+    // the inevitable.
+    if (!IsTransportError(last.code())) return last;
+  }
+  return last;
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), next_id_(other.next_id_) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      features_(other.features_),
+      next_id_(other.next_id_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    features_ = other.features_;
     next_id_ = other.next_id_;
   }
   return *this;
@@ -55,13 +162,35 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+Status Client::Reconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  XQ_ASSIGN_OR_RETURN(int fd, ConnectFd(host_, port_));
+  auto features = Handshake(fd);
+  if (!features.ok()) {
+    ::close(fd);
+    return features.status();
+  }
+  fd_ = fd;
+  features_ = *features;
+  return Status::OK();
+}
+
 Result<srv::Response> Client::Execute(srv::RequestMode mode,
-                                      std::string_view text) {
+                                      std::string_view text,
+                                      const common::QueryOptions& opts) {
   if (fd_ < 0) return Status::IoError("client is closed");
   srv::Request request;
   request.id = next_id_++;
   request.mode = mode;
   request.text = std::string(text);
+  if (opts != common::QueryOptions{} &&
+      (features_ & srv::kFeatureQueryOptions) != 0) {
+    request.options = opts;
+    request.has_options = true;
+  }
   XQ_RETURN_IF_ERROR(srv::WriteFrame(fd_, srv::EncodeRequest(request)));
   while (true) {
     XQ_ASSIGN_OR_RETURN(std::string frame,
@@ -72,6 +201,42 @@ Result<srv::Response> Client::Execute(srv::RequestMode mode,
     if (response.id == request.id) return response;
     if (response.id == 0) return response.status();
   }
+}
+
+Result<srv::Response> Client::ExecuteWithRetry(srv::RequestMode mode,
+                                               std::string_view text,
+                                               const common::QueryOptions& opts,
+                                               const RetryPolicy& policy) {
+  Backoff backoff(policy);
+  Status last = Status::IoError("no execute attempts made");
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0 && !backoff.SleepBeforeRetry(attempt - 1)) break;
+    if (fd_ < 0) {
+      Status s = Reconnect();
+      if (!s.ok()) {
+        last = s;
+        if (!IsTransportError(s.code())) return s;
+        continue;
+      }
+    }
+    auto response = Execute(mode, text, opts);
+    if (response.ok()) {
+      // Server-side OVERLOADED is explicit pushback: back off and resend
+      // on the same (healthy) connection. Any other server error is the
+      // query's own problem and returns immediately.
+      if (response->code == StatusCode::kOverloaded) {
+        last = response->status();
+        continue;
+      }
+      return response;
+    }
+    last = response.status();
+    if (!IsTransportError(last.code())) return last;
+    // Dead or suspect connection: drop it so the next attempt reconnects.
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return last;
 }
 
 }  // namespace xomatiq::cli

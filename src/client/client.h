@@ -5,10 +5,26 @@
 #include <string>
 #include <string_view>
 
+#include "common/query_options.h"
 #include "common/result.h"
 #include "server/protocol.h"
 
 namespace xomatiq::cli {
+
+// Resilience knobs for ConnectWithRetry / ExecuteWithRetry. Backoff is
+// exponential (initial_backoff_ms doubling up to max_backoff_ms) with
+// seeded jitter in [0.5, 1.0) of the nominal delay, all capped by an
+// overall deadline — a dead server costs at most deadline_ms, not
+// max_attempts full timeouts.
+struct RetryPolicy {
+  int max_attempts = 4;
+  uint32_t initial_backoff_ms = 10;
+  uint32_t max_backoff_ms = 1000;
+  // Overall budget across every attempt and backoff sleep (0 = no cap).
+  uint32_t deadline_ms = 5000;
+  // Jitter rng seed; a fixed seed gives a replayable retry schedule.
+  uint64_t seed = 42;
+};
 
 // Blocking client for the xomatiq_server wire protocol: one TCP
 // connection, one outstanding request at a time. Transport failures
@@ -17,11 +33,29 @@ namespace xomatiq::cli {
 // a *successful* Result whose Response carries the error status — the
 // caller can distinguish "the server is gone" from "the query was bad".
 //
+// Connect() performs the protocol hello exchange (protocol.h): the client
+// offers its version and feature bits, the server acks with the
+// negotiated intersection (features()), or rejects a major-version
+// mismatch with a typed kUnsupported status. Per-request QueryOptions are
+// only put on the wire when the server acknowledged kFeatureQueryOptions.
+//
+// ExecuteWithRetry retries *transport* failures (reconnect + resend) and
+// OVERLOADED pushback. Retried requests are at-least-once: a response
+// dropped after execution re-runs the query, so use it for reads and
+// idempotent operations, or accept duplicate effects.
+//
 // Not thread-safe; use one Client per thread.
 class Client {
  public:
   static common::Result<Client> Connect(const std::string& host,
                                         uint16_t port);
+  // Connect with backoff: retries refused/failed connections (and the
+  // handshake's transport errors) under `policy`. A typed handshake
+  // rejection (kUnsupported) is not retried — the server will not change
+  // its mind.
+  static common::Result<Client> ConnectWithRetry(const std::string& host,
+                                                 uint16_t port,
+                                                 const RetryPolicy& policy = {});
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -31,7 +65,19 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   common::Result<srv::Response> Execute(srv::RequestMode mode,
-                                        std::string_view text);
+                                        std::string_view text,
+                                        const common::QueryOptions& opts);
+  common::Result<srv::Response> Execute(srv::RequestMode mode,
+                                        std::string_view text) {
+    return Execute(mode, text, common::QueryOptions{});
+  }
+
+  // Execute with deadline-capped retries (see class comment for the
+  // at-least-once caveat). Retries: transport errors (reconnect first) and
+  // kOverloaded responses. Any other server-side error returns immediately.
+  common::Result<srv::Response> ExecuteWithRetry(
+      srv::RequestMode mode, std::string_view text,
+      const common::QueryOptions& opts = {}, const RetryPolicy& policy = {});
 
   // Shorthands.
   common::Result<srv::Response> Sql(std::string_view text) {
@@ -42,11 +88,21 @@ class Client {
   }
 
   int fd() const { return fd_; }
+  // Feature bits acknowledged by the server's hello.
+  uint32_t features() const { return features_; }
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, std::string host, uint16_t port, uint32_t features)
+      : fd_(fd), host_(std::move(host)), port_(port), features_(features) {}
+
+  // Tears down the socket and redoes Connect (including the handshake)
+  // against the remembered endpoint.
+  common::Status Reconnect();
 
   int fd_ = -1;
+  std::string host_;
+  uint16_t port_ = 0;
+  uint32_t features_ = 0;
   uint64_t next_id_ = 1;
 };
 

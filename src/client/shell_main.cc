@@ -105,7 +105,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  auto client = cli::Client::Connect(host, port);
+  // Tolerate a server that is still coming up: a few connect retries with
+  // backoff before giving up.
+  auto client = cli::Client::ConnectWithRetry(host, port);
   if (!client.ok()) {
     std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
     return 1;

@@ -1,0 +1,180 @@
+#include "common/fault_injector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace xomatiq::common {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* fi = new FaultInjector();
+    if (const char* env = std::getenv("XOMATIQ_FAULTS")) {
+      Status s = fi->Configure(env);
+      if (!s.ok()) {
+        std::fprintf(stderr, "XOMATIQ_FAULTS ignored: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+    return fi;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultConfig config) {
+  std::lock_guard lock(mu_);
+  Point& p = points_[point];
+  if (!p.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  p.armed = true;
+  p.calls = 0;
+  p.fires = 0;
+  p.rng = Rng(config.seed);
+  p.config = std::move(config);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end() && it->second.armed) {
+    it->second.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, p] : points_) {
+    if (p.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  points_.clear();
+}
+
+Status FaultInjector::Check(std::string_view point) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  std::lock_guard lock(mu_);
+  auto it = points_.find(std::string(point));
+  if (it == points_.end() || !it->second.armed) return Status::OK();
+  Point& p = it->second;
+  ++p.calls;
+  bool fire = false;
+  switch (p.config.policy) {
+    case FaultPolicy::kAlways:
+      fire = true;
+      break;
+    case FaultPolicy::kNth:
+      fire = p.calls == p.config.n;
+      if (fire) {
+        // One-shot: later calls succeed without re-arming.
+        p.armed = false;
+        armed_count_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      break;
+    case FaultPolicy::kEveryNth:
+      fire = p.config.n > 0 && p.calls % p.config.n == 0;
+      break;
+    case FaultPolicy::kProbability:
+      fire = p.rng.Bernoulli(p.config.probability);
+      break;
+  }
+  if (!fire) return Status::OK();
+  ++p.fires;
+  std::string message = p.config.message.empty()
+                            ? "fault injected at " + std::string(point)
+                            : p.config.message;
+  return Status(p.config.code, std::move(message));
+}
+
+uint64_t FaultInjector::calls(const std::string& point) const {
+  std::lock_guard lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.calls;
+}
+
+uint64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+namespace {
+
+Result<StatusCode> ParseCode(std::string_view name) {
+  if (name == "io") return StatusCode::kIoError;
+  if (name == "corruption") return StatusCode::kCorruption;
+  if (name == "timeout") return StatusCode::kTimeout;
+  if (name == "overloaded") return StatusCode::kOverloaded;
+  if (name == "internal") return StatusCode::kInternal;
+  return Status::InvalidArgument("unknown fault code '" + std::string(name) +
+                                 "'");
+}
+
+}  // namespace
+
+Status FaultInjector::Configure(std::string_view spec) {
+  for (const std::string& raw : Split(spec, ';')) {
+    std::string_view entry = StripWhitespace(raw);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault entry missing '=': " +
+                                     std::string(entry));
+    }
+    std::string point(StripWhitespace(entry.substr(0, eq)));
+    if (point.empty()) {
+      return Status::InvalidArgument("fault entry with empty point name: " +
+                                     std::string(entry));
+    }
+    std::string_view body = StripWhitespace(entry.substr(eq + 1));
+    FaultConfig config;
+    size_t at = body.rfind('@');
+    if (at != std::string_view::npos) {
+      XQ_ASSIGN_OR_RETURN(config.code, ParseCode(body.substr(at + 1)));
+      body = body.substr(0, at);
+    }
+    std::vector<std::string> parts = Split(body, ':');
+    if (parts.empty()) {
+      return Status::InvalidArgument("empty fault spec for " + point);
+    }
+    const std::string& kind = parts[0];
+    auto num = [](const std::string& s, uint64_t* out) {
+      std::optional<int64_t> v = ParseInt64(s);
+      if (!v.has_value() || *v < 0) return false;
+      *out = static_cast<uint64_t>(*v);
+      return true;
+    };
+    if (kind == "always" && parts.size() == 1) {
+      config.policy = FaultPolicy::kAlways;
+    } else if (kind == "nth" && parts.size() == 2) {
+      config.policy = FaultPolicy::kNth;
+      if (!num(parts[1], &config.n) || config.n == 0) {
+        return Status::InvalidArgument("bad nth count for " + point);
+      }
+    } else if (kind == "every" && parts.size() == 2) {
+      config.policy = FaultPolicy::kEveryNth;
+      if (!num(parts[1], &config.n) || config.n == 0) {
+        return Status::InvalidArgument("bad every count for " + point);
+      }
+    } else if (kind == "prob" && (parts.size() == 2 || parts.size() == 3)) {
+      config.policy = FaultPolicy::kProbability;
+      std::optional<double> p = ParseDouble(parts[1]);
+      if (!p.has_value() || *p < 0.0 || *p > 1.0) {
+        return Status::InvalidArgument("bad probability for " + point);
+      }
+      config.probability = *p;
+      if (parts.size() == 3 && !num(parts[2], &config.seed)) {
+        return Status::InvalidArgument("bad seed for " + point);
+      }
+    } else {
+      return Status::InvalidArgument("bad fault spec '" + std::string(body) +
+                                     "' for " + point);
+    }
+    Arm(point, std::move(config));
+  }
+  return Status::OK();
+}
+
+}  // namespace xomatiq::common

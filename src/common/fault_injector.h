@@ -1,0 +1,106 @@
+#ifndef XOMATIQ_COMMON_FAULT_INJECTOR_H_
+#define XOMATIQ_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace xomatiq::common {
+
+// How an armed injection point decides whether a given call fires.
+enum class FaultPolicy : uint8_t {
+  kAlways = 0,       // every call fires
+  kNth = 1,          // exactly the Nth call fires (1-based), then disarms
+  kEveryNth = 2,     // calls N, 2N, 3N, ... fire
+  kProbability = 3,  // each call fires with probability p (seeded, so a
+                     // fixed seed gives a replayable fault schedule)
+};
+
+struct FaultConfig {
+  FaultPolicy policy = FaultPolicy::kAlways;
+  uint64_t n = 1;            // kNth / kEveryNth parameter
+  double probability = 0.0;  // kProbability parameter
+  uint64_t seed = 42;        // kProbability rng seed
+  // Status returned by Check() when the point fires.
+  StatusCode code = StatusCode::kIoError;
+  std::string message;  // empty = "fault injected at <point>"
+};
+
+// Deterministic, seeded fault-injection registry. Failure-prone layers
+// declare named points (XQ_FAULT_POINT) on their error paths; tests (or
+// the XOMATIQ_FAULTS environment variable) arm points with a trigger
+// policy, and the layer's normal error handling is exercised exactly as if
+// the environment had failed.
+//
+// The registry is process-global and thread-safe. The hot path — a point
+// that is not armed while nothing at all is armed — is a single relaxed
+// atomic load, so injection points are left compiled into release builds.
+//
+// Environment syntax (parsed once, at the first Global() call):
+//   XOMATIQ_FAULTS="<point>=<spec>[;<point>=<spec>...]"
+//   <spec> := always | nth:<N> | every:<N> | prob:<P>[:<seed>]
+//             each optionally suffixed with @<code>, code one of
+//             io|corruption|timeout|overloaded|internal
+// Example: XOMATIQ_FAULTS="wal.append.flush=nth:3;server.session.write=prob:0.01:7@io"
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  // Arms `point`; replaces any existing config and zeroes its counters.
+  void Arm(const std::string& point, FaultConfig config);
+  // Disarms one point (counters are kept until Reset).
+  void Disarm(const std::string& point);
+  // Disarms everything and drops all counters.
+  void Reset();
+
+  // Parses the XOMATIQ_FAULTS syntax and arms the listed points.
+  Status Configure(std::string_view spec);
+
+  // The injection-point probe. Returns OK unless `point` is armed and its
+  // policy fires for this call, in which case the configured Status is
+  // returned. Thread-safe; counts calls and fires per point.
+  Status Check(std::string_view point);
+
+  // True when Check(point) would have failed (for sites that need to
+  // simulate a partial effect rather than return a status directly).
+  bool ShouldFail(std::string_view point) { return !Check(point).ok(); }
+
+  // Observability for tests: calls/fires seen while the point was armed.
+  uint64_t calls(const std::string& point) const;
+  uint64_t fires(const std::string& point) const;
+
+  bool any_armed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  struct Point {
+    FaultConfig config;
+    bool armed = false;
+    uint64_t calls = 0;
+    uint64_t fires = 0;
+    Rng rng{0};
+  };
+
+  FaultInjector() = default;
+
+  std::atomic<int> armed_count_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Point> points_;
+};
+
+}  // namespace xomatiq::common
+
+// Injection-point probe that propagates the injected Status out of the
+// enclosing function, exactly like a real failure at this site.
+#define XQ_FAULT_POINT(point)                    \
+  XQ_RETURN_IF_ERROR(                            \
+      ::xomatiq::common::FaultInjector::Global().Check(point))
+
+#endif  // XOMATIQ_COMMON_FAULT_INJECTOR_H_

@@ -4,6 +4,7 @@
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "datahounds/generic_schema.h"
@@ -137,12 +138,7 @@ Result<int64_t> Warehouse::LoadDocument(const std::string& collection,
   if (c == nullptr) {
     return Status::NotFound("collection not registered: " + collection);
   }
-  std::vector<std::string> errors;
-  if (!c->dtd.elements().empty() && !c->dtd.Validate(doc, &errors)) {
-    return Status::InvalidArgument("document " + uri +
-                                   " violates the collection DTD: " +
-                                   errors.front());
-  }
+  XQ_RETURN_IF_ERROR(c->dtd.CheckValid(doc));
   XQ_ASSIGN_OR_RETURN(
       Shredder::ShredStats stats,
       shredder_->ShredDocument(doc, collection, uri, c->sequence_elements,
@@ -176,11 +172,12 @@ Result<Warehouse::LoadStats> Warehouse::LoadSource(
   common::TraceSpan span("hounds.shred", shred_hist);
   LoadStats stats;
   for (const TransformedDocument& doc : docs) {
-    std::vector<std::string> errors;
-    if (!c->dtd.Validate(doc.document, &errors)) {
-      return Status::InvalidArgument("transformed document " + doc.uri +
-                                     " violates its DTD: " + errors.front());
-    }
+    // Fault point hounds.load.shred: fail the load between documents. The
+    // exclusive latch still makes the half-load invisible to queries only
+    // if the caller discards the database; crash-recovery keeps whatever
+    // the WAL committed, which tests assert is a per-document prefix.
+    XQ_FAULT_POINT("hounds.load.shred");
+    XQ_RETURN_IF_ERROR(c->dtd.CheckValid(doc.document));
     XQ_ASSIGN_OR_RETURN(Shredder::ShredStats s,
                         shredder_->ShredDocument(doc.document, collection,
                                                  doc.uri,
@@ -221,6 +218,9 @@ Result<UpdateStats> Warehouse::SyncSource(const std::string& collection,
 
   UpdateStats stats;
   for (const TransformedDocument& doc : docs) {
+    // Fault point hounds.sync.apply: fail the sync between per-document
+    // apply steps (add / update / remove), leaving a prefix applied.
+    XQ_FAULT_POINT("hounds.sync.apply");
     int64_t hash = ContentHash(doc.document);
     auto it = existing.find(doc.uri);
     if (it == existing.end()) {
@@ -249,6 +249,7 @@ Result<UpdateStats> Warehouse::SyncSource(const std::string& collection,
   // Entries no longer present remotely ("without any information being
   // left out or added twice", §2).
   for (const auto& [uri, info] : existing) {
+    XQ_FAULT_POINT("hounds.sync.apply");
     XQ_RETURN_IF_ERROR(shredder_->DeleteDocument(info.first));
     ++stats.removed;
     Fire({ChangeEvent::Kind::kRemoved, collection, uri, info.first});

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "relational/serde.h"
 
@@ -89,7 +90,8 @@ std::unique_ptr<Database> Database::OpenInMemory() {
   return std::unique_ptr<Database>(new Database());
 }
 
-Result<std::unique_ptr<Database>> Database::Open(const std::string& dir) {
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                DbOptions options) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -105,17 +107,24 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir) {
   db->replaying_ = true;
   common::ScopedLatency replay_timer(
       common::MetricsRegistry::Global().GetHistogram("rel.recovery.replay"));
+  bool truncated_tail = false;
   auto replayed = WriteAheadLog::Replay(
       dir + "/" + kWalFile,
-      [&](std::string_view payload) { return db->ReplayRecord(payload); });
+      [&](std::string_view payload) {
+        XQ_FAULT_POINT("db.recovery.record");
+        return db->ReplayRecord(payload);
+      },
+      &truncated_tail);
   replay_timer.Stop();
   db->replaying_ = false;
   if (!replayed.ok()) return replayed.status();
   db->records_recovered_ = *replayed;
+  db->recovered_torn_tail_ = truncated_tail;
   common::MetricsRegistry::Global()
       .GetCounter("rel.recovery.records")
       ->Inc(*replayed);
-  XQ_ASSIGN_OR_RETURN(db->wal_, WriteAheadLog::Open(dir + "/" + kWalFile));
+  XQ_ASSIGN_OR_RETURN(db->wal_,
+                      WriteAheadLog::Open(dir + "/" + kWalFile, options.wal));
   return db;
 }
 
@@ -553,6 +562,7 @@ Status Database::WriteSnapshot(const std::string& path) const {
   file.PutString(body.buffer());
 
   std::string tmp = path + ".tmp";
+  XQ_FAULT_POINT("db.snapshot.write");
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IoError("cannot write snapshot " + tmp);
@@ -560,6 +570,9 @@ Status Database::WriteSnapshot(const std::string& path) const {
               static_cast<std::streamsize>(file.buffer().size()));
     if (!out) return Status::IoError("snapshot write failed " + tmp);
   }
+  // Crashing between write and rename leaves only the .tmp behind; the old
+  // snapshot stays authoritative, so recovery is unaffected.
+  XQ_FAULT_POINT("db.snapshot.rename");
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) return Status::IoError("snapshot rename failed: " + ec.message());

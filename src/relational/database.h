@@ -70,13 +70,21 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  struct DbOptions {
+    WalOptions wal;
+  };
+
   // Volatile database (no WAL, no snapshots).
   static std::unique_ptr<Database> OpenInMemory();
 
   // Durable database rooted at directory `dir` (created if missing).
-  // Recovers state from `dir`/snapshot.db plus `dir`/wal.log.
+  // Recovers state from `dir`/snapshot.db plus `dir`/wal.log; a torn or
+  // corrupt WAL tail is discarded (counted in rel.wal.torn_tail_discarded
+  // and reflected by recovered_torn_tail()). Fault-injection points:
+  // db.recovery.record (per replayed record), db.snapshot.write,
+  // db.snapshot.rename.
   static common::Result<std::unique_ptr<Database>> Open(
-      const std::string& dir);
+      const std::string& dir, DbOptions options = {});
 
   // --- DDL ---
   common::Status CreateTable(const std::string& name, Schema schema);
@@ -115,6 +123,8 @@ class Database {
   bool durable() const { return wal_ != nullptr; }
   uint64_t wal_bytes() const { return wal_ ? wal_->bytes_written() : 0; }
   size_t records_recovered() const { return records_recovered_; }
+  // True when Open discarded a torn/corrupt WAL tail during recovery.
+  bool recovered_torn_tail() const { return recovered_torn_tail_; }
 
   // --- concurrency ---
   // Statement-level reader/writer latch; see the class comment for who
@@ -160,6 +170,7 @@ class Database {
   std::string dir_;
   std::unique_ptr<WriteAheadLog> wal_;
   size_t records_recovered_ = 0;
+  bool recovered_torn_tail_ = false;
   bool replaying_ = false;
 };
 

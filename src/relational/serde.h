@@ -58,7 +58,8 @@ common::Result<Tuple> DecodeTuple(BinaryReader* r);
 void EncodeSchema(const Schema& s, BinaryWriter* w);
 common::Result<Schema> DecodeSchema(BinaryReader* r);
 
-// CRC32 (IEEE polynomial) used to frame WAL records and snapshots.
+// CRC32-C (Castagnoli polynomial) used to frame WAL records and
+// snapshots; hardware-accelerated where SSE4.2 is available.
 uint32_t Crc32(std::string_view data);
 
 }  // namespace xomatiq::rel

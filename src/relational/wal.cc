@@ -1,9 +1,12 @@
 #include "relational/wal.h"
 
+#include <unistd.h>
+
 #include <cstring>
 #include <memory>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "relational/serde.h"
 
@@ -17,26 +20,47 @@ WriteAheadLog::~WriteAheadLog() {
 }
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
-    const std::string& path) {
+    const std::string& path, WalOptions options) {
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) {
     return Status::IoError("cannot open WAL at " + path);
   }
-  return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, f));
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, f, options));
 }
 
 Status WriteAheadLog::Append(std::string_view payload) {
+  XQ_FAULT_POINT("wal.append.before");
   BinaryWriter frame;
   frame.PutU32(static_cast<uint32_t>(payload.size()));
-  frame.PutU32(Crc32(payload));
+  frame.PutU32(options_.checksum ? Crc32(payload) : 0);
   const std::string& header = frame.buffer();
+  auto& fi = common::FaultInjector::Global();
+  if (fi.any_armed()) {
+    Status torn = fi.Check("wal.append.torn");
+    if (!torn.ok()) {
+      // Simulated crash mid-write: leave a genuinely torn frame on disk
+      // (the whole header plus half the payload) so recovery has to detect
+      // and discard it, then fail the append like a real I/O error.
+      size_t partial = payload.size() / 2;
+      (void)std::fwrite(header.data(), 1, header.size(), file_);
+      (void)std::fwrite(payload.data(), 1, partial, file_);
+      (void)std::fflush(file_);
+      bytes_written_ += header.size() + partial;
+      return torn;
+    }
+  }
   if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
       std::fwrite(payload.data(), 1, payload.size(), file_) !=
           payload.size()) {
     return Status::IoError("WAL write failed at " + path_);
   }
+  XQ_FAULT_POINT("wal.append.flush");
   if (std::fflush(file_) != 0) {
     return Status::IoError("WAL flush failed at " + path_);
+  }
+  if (options_.fsync_each_append && ::fsync(::fileno(file_)) != 0) {
+    return Status::IoError("WAL fsync failed at " + path_);
   }
   bytes_written_ += header.size() + payload.size();
   static common::Counter* appends =
@@ -56,25 +80,32 @@ Result<size_t> WriteAheadLog::Replay(
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return size_t{0};  // no log yet
   size_t count = 0;
+  bool torn = false;
   std::vector<char> buf;
   while (true) {
     unsigned char header[8];
     size_t got = std::fread(header, 1, 8, f);
     if (got < 8) {
-      if (got != 0 && truncated_tail != nullptr) *truncated_tail = true;
+      torn = got != 0;
       break;
     }
     uint32_t len = 0, crc = 0;
     for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
     for (int i = 0; i < 4; ++i) crc |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+    if (len > kMaxWalRecordBytes) {
+      // A torn header decodes as garbage; an implausible length must not
+      // drive the allocation below.
+      torn = true;
+      break;
+    }
     buf.resize(len);
     if (len > 0 && std::fread(buf.data(), 1, len, f) != len) {
-      if (truncated_tail != nullptr) *truncated_tail = true;
+      torn = true;
       break;
     }
     std::string_view payload(buf.data(), len);
     if (Crc32(payload) != crc) {
-      if (truncated_tail != nullptr) *truncated_tail = true;
+      torn = true;
       break;
     }
     Status s = replay(payload);
@@ -85,10 +116,17 @@ Result<size_t> WriteAheadLog::Replay(
     ++count;
   }
   std::fclose(f);
+  if (torn) {
+    if (truncated_tail != nullptr) *truncated_tail = true;
+    common::MetricsRegistry::Global()
+        .GetCounter("rel.wal.torn_tail_discarded")
+        ->Inc();
+  }
   return count;
 }
 
 Status WriteAheadLog::Reset() {
+  XQ_FAULT_POINT("wal.reset");
   if (file_ != nullptr) std::fclose(file_);
   file_ = std::fopen(path_.c_str(), "wb");
   if (file_ == nullptr) {

@@ -10,10 +10,31 @@
 
 namespace xomatiq::rel {
 
+// Records whose declared length exceeds this are treated as a torn/corrupt
+// tail during replay (a garbage length from a torn header must not drive a
+// multi-gigabyte allocation).
+inline constexpr uint32_t kMaxWalRecordBytes = 64u << 20;  // 64 MiB
+
+struct WalOptions {
+  // fsync(2) after every append (fflush alone leaves the record in the OS
+  // page cache, which survives a process crash but not a power failure).
+  bool fsync_each_append = false;
+  // Bench-only escape hatch: skip the per-record CRC32-C so bench_pipeline
+  // can price the checksum. Records written with checksum=false are not
+  // replayable; never disable outside a throwaway benchmark log.
+  bool checksum = true;
+};
+
 // Append-only write-ahead log. Each record is framed as
-// [u32 payload_len][u32 crc32(payload)][payload]; recovery replays records
+// [u32 payload_len][u32 crc32c(payload)][payload]; recovery replays records
 // in order and stops cleanly at the first truncated or corrupt frame
-// (torn-write tolerance).
+// (torn-write tolerance). Fault-injection points (common::FaultInjector):
+//   wal.append.before  fail before any byte is written
+//   wal.append.torn    write a partial frame, then fail (simulated crash
+//                      mid-write; the torn tail must be discarded on
+//                      recovery)
+//   wal.append.flush   fail the flush/fsync (record may not be durable)
+//   wal.reset          fail the post-checkpoint truncation
 class WriteAheadLog {
  public:
   ~WriteAheadLog();
@@ -23,14 +44,18 @@ class WriteAheadLog {
 
   // Opens (creating if needed) the log at `path` for appending.
   static common::Result<std::unique_ptr<WriteAheadLog>> Open(
-      const std::string& path);
+      const std::string& path, WalOptions options = {});
 
-  // Appends one framed record and flushes it to the OS.
+  // Appends one framed record and flushes it to the OS (plus fsync when
+  // configured). The flush is the commit point: an OK return means the
+  // record will survive reopen.
   common::Status Append(std::string_view payload);
 
   // Reads records from `path`, invoking `replay` per intact payload.
   // Returns the number of records replayed. A missing file counts as an
-  // empty log. Corrupt tails are ignored (logged into *truncated_tail).
+  // empty log. Corrupt or truncated tails (bad length, short read, CRC
+  // mismatch) end replay cleanly (reported via *truncated_tail and the
+  // rel.wal.torn_tail_discarded counter).
   static common::Result<size_t> Replay(
       const std::string& path,
       const std::function<common::Status(std::string_view)>& replay,
@@ -43,11 +68,12 @@ class WriteAheadLog {
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
-  WriteAheadLog(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
+  WriteAheadLog(std::string path, std::FILE* file, WalOptions options)
+      : path_(std::move(path)), file_(file), options_(options) {}
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  WalOptions options_;
   uint64_t bytes_written_ = 0;
 };
 

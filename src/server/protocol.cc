@@ -34,11 +34,58 @@ std::string_view RequestModeName(RequestMode mode) {
   return "?";
 }
 
+// --- hello ------------------------------------------------------------
+
+namespace {
+// Option-flag bits in the optional request tail.
+constexpr uint8_t kOptTrace = 1;
+constexpr uint8_t kOptBypassCache = 2;
+}  // namespace
+
+std::string EncodeHello(const Hello& hello) {
+  BinaryWriter w;
+  std::string out(kWireMagic, sizeof(kWireMagic));
+  w.PutU8(hello.major);
+  w.PutU8(hello.minor);
+  w.PutU32(hello.features);
+  out += w.TakeBuffer();
+  return out;
+}
+
+bool IsHelloFrame(std::string_view body) {
+  return body.size() >= sizeof(kWireMagic) &&
+         std::memcmp(body.data(), kWireMagic, sizeof(kWireMagic)) == 0;
+}
+
+Result<Hello> DecodeHello(std::string_view body) {
+  if (!IsHelloFrame(body)) {
+    return Status::InvalidArgument("not a hello frame (bad magic)");
+  }
+  BinaryReader r(body.substr(sizeof(kWireMagic)));
+  Hello hello;
+  XQ_ASSIGN_OR_RETURN(hello.major, r.GetU8());
+  XQ_ASSIGN_OR_RETURN(hello.minor, r.GetU8());
+  XQ_ASSIGN_OR_RETURN(hello.features, r.GetU32());
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after hello");
+  }
+  return hello;
+}
+
+// --- requests ---------------------------------------------------------
+
 std::string EncodeRequest(const Request& request) {
   BinaryWriter w;
   w.PutU64(request.id);
   w.PutU8(static_cast<uint8_t>(request.mode));
   w.PutString(request.text);
+  if (request.has_options) {
+    uint8_t flags = 0;
+    if (request.options.trace) flags |= kOptTrace;
+    if (request.options.bypass_cache) flags |= kOptBypassCache;
+    w.PutU8(flags);
+    w.PutU32(request.options.deadline_ms);
+  }
   return w.TakeBuffer();
 }
 
@@ -52,6 +99,15 @@ Result<Request> DecodeRequest(std::string_view body) {
   }
   request.mode = static_cast<RequestMode>(mode);
   XQ_ASSIGN_OR_RETURN(request.text, r.GetString());
+  if (!r.AtEnd()) {
+    // Optional options tail (sent only after kFeatureQueryOptions was
+    // negotiated; its absence means defaults).
+    XQ_ASSIGN_OR_RETURN(uint8_t flags, r.GetU8());
+    XQ_ASSIGN_OR_RETURN(request.options.deadline_ms, r.GetU32());
+    request.options.trace = (flags & kOptTrace) != 0;
+    request.options.bypass_cache = (flags & kOptBypassCache) != 0;
+    request.has_options = true;
+  }
   if (!r.AtEnd()) {
     return Status::Corruption("trailing bytes after request");
   }

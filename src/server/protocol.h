@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/query_options.h"
 #include "common/result.h"
 #include "relational/schema.h"
 
@@ -15,7 +16,9 @@ namespace xomatiq::srv {
 // clients (see DESIGN.md "Service layer" for the framing diagram).
 //
 //   frame    := u32 body_length (little-endian) | body
+//   hello    := "XQWP" | u8 major | u8 minor | u32 feature_bits
 //   request  := u64 request_id | u8 mode | string query_text
+//               | [u8 option_flags | u32 deadline_ms]   (optional tail)
 //   response := u64 request_id | u8 status_code
 //               | string error_message                  (status_code != 0)
 //               | u8 kind | u8 flags | payload          (status_code == 0)
@@ -26,8 +29,40 @@ namespace xomatiq::srv {
 // Strings and tuples reuse the rel::serde encoding (u32-length-prefixed
 // strings, tagged values), so the wire shares one binary dialect with the
 // WAL and snapshots.
+//
+// Versioning: a session MAY open with a hello frame; the server answers
+// with its own hello (features = the intersection) and rejects a
+// mismatched major version with a typed kUnsupported error response. A
+// first frame that does not start with the magic is a legacy bare request
+// (protocol 1.0 behavior, no features) — existing clients keep working.
+// The optional request tail is only sent once the server has acknowledged
+// kFeatureQueryOptions.
 
 inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;  // 16 MiB
+
+// --- protocol version & feature negotiation ---
+
+inline constexpr char kWireMagic[4] = {'X', 'Q', 'W', 'P'};
+inline constexpr uint8_t kProtocolMajor = 1;
+inline constexpr uint8_t kProtocolMinor = 1;
+
+// Feature bits carried in the hello exchange.
+inline constexpr uint32_t kFeatureQueryOptions = 1u << 0;
+inline constexpr uint32_t kSupportedFeatures = kFeatureQueryOptions;
+
+// Hello body — used in both directions (the server's reply carries the
+// negotiated feature intersection).
+struct Hello {
+  uint8_t major = kProtocolMajor;
+  uint8_t minor = kProtocolMinor;
+  uint32_t features = kSupportedFeatures;
+};
+
+std::string EncodeHello(const Hello& hello);
+common::Result<Hello> DecodeHello(std::string_view body);
+// True when `body` opens with the wire magic (i.e. is a hello, not a
+// legacy bare request whose first bytes are a request id).
+bool IsHelloFrame(std::string_view body);
 
 enum class RequestMode : uint8_t {
   kSql = 0,      // one SQL statement (SELECT/DML/DDL/EXPLAIN/STATS text)
@@ -46,6 +81,11 @@ struct Request {
   uint64_t id = 0;
   RequestMode mode = RequestMode::kSql;
   std::string text;
+  // Per-query options (deadline / trace / cache bypass). Encoded as the
+  // optional request tail only when `has_options` is set; decoding a
+  // request without the tail leaves defaults and has_options == false.
+  common::QueryOptions options;
+  bool has_options = false;
 };
 
 enum class PayloadKind : uint8_t {
@@ -58,6 +98,7 @@ inline constexpr uint8_t kMaxPayloadKind =
 
 // Response flag bits.
 inline constexpr uint8_t kFlagCached = 1;  // served from the result cache
+inline constexpr uint8_t kFlagTraced = 2;  // a query trace was recorded
 
 // Byte offset of the flags byte inside an OK response *body* (the part
 // after the request id): [0]=status, [1]=kind, [2]=flags. The result cache

@@ -73,18 +73,50 @@ QueryService::QueryService(hounds::Warehouse* warehouse,
 std::string QueryService::Handle(const Request& request) {
   static common::Counter* requests =
       common::MetricsRegistry::Global().GetCounter("server.requests");
+  requests->Inc();
+  common::QueryOptions opts = request.options;
+  if (opts.deadline_ms == 0) opts.deadline_ms = options_.default_deadline_ms;
+  if (!opts.trace) return Dispatch(request, opts);
+  // Traced request: install a per-request Trace for this worker thread,
+  // keep the Chrome JSON for LastTraceJson, and mark the response.
+  common::Trace trace;
+  std::string reply;
+  {
+    common::TraceScope scope(&trace);
+    reply = Dispatch(request, opts);
+  }
+  {
+    std::lock_guard lock(trace_mu_);
+    last_trace_json_ = trace.ToChromeJson();
+  }
+  // Reply layout: u64 id | u8 status | (u8 kind | u8 flags | ...). Patch
+  // the flags byte of OK responses the same way ServeCached does.
+  constexpr size_t kReplyFlags = 8 + kFlagsOffset;
+  if (reply.size() > kReplyFlags && reply[8] == 0) {
+    reply[kReplyFlags] = static_cast<char>(
+        static_cast<uint8_t>(reply[kReplyFlags]) | kFlagTraced);
+  }
+  return reply;
+}
+
+std::string QueryService::LastTraceJson() const {
+  std::lock_guard lock(trace_mu_);
+  return last_trace_json_;
+}
+
+std::string QueryService::Dispatch(const Request& request,
+                                   const common::QueryOptions& opts) {
   static common::Histogram* latency =
       common::MetricsRegistry::Global().GetHistogram(
           "server.request_latency_us");
-  requests->Inc();
   common::TraceSpan span("server.request", latency);
   switch (request.mode) {
     case RequestMode::kSql:
-      return HandleSql(request);
+      return HandleSql(request, opts);
     case RequestMode::kXq:
-      return HandleXq(request, /*as_xml=*/false);
+      return HandleXq(request, /*as_xml=*/false, opts);
     case RequestMode::kXqXml:
-      return HandleXq(request, /*as_xml=*/true);
+      return HandleXq(request, /*as_xml=*/true, opts);
     case RequestMode::kExplain: {
       Result<std::string> text = xomatiq_.Explain(request.text);
       if (!text.ok()) return EncodeErrorResponse(request.id, text.status());
@@ -117,10 +149,12 @@ std::string QueryService::Handle(const Request& request) {
       request.id, Status::InvalidArgument("unhandled request mode"));
 }
 
-std::string QueryService::HandleSql(const Request& request) {
+std::string QueryService::HandleSql(const Request& request,
+                                    const common::QueryOptions& opts) {
   ResultCache* cache = options_.cache.get();
   const std::string keyword = FirstKeyword(request.text);
-  const bool cacheable = cache != nullptr && keyword == "select";
+  const bool cacheable =
+      cache != nullptr && keyword == "select" && !opts.bypass_cache;
   std::string key;
   uint64_t generation = 0;
   if (cacheable) {
@@ -131,7 +165,8 @@ std::string QueryService::HandleSql(const Request& request) {
       return ServeCached(request.id, *std::move(body));
     }
   }
-  Result<sql::QueryResult> result = xomatiq_.engine()->Execute(request.text);
+  Result<sql::QueryResult> result =
+      xomatiq_.engine()->Execute(request.text, opts);
   if (!result.ok()) return EncodeErrorResponse(request.id, result.status());
   Response response;
   response.id = request.id;
@@ -160,11 +195,13 @@ std::string QueryService::HandleSql(const Request& request) {
   return Finish(request.id, std::move(body));
 }
 
-std::string QueryService::HandleXq(const Request& request, bool as_xml) {
+std::string QueryService::HandleXq(const Request& request, bool as_xml,
+                                   const common::QueryOptions& opts) {
   ResultCache* cache = options_.cache.get();
+  const bool use_cache = cache != nullptr && !opts.bypass_cache;
   std::string key;
   uint64_t generation = 0;
-  if (cache != nullptr) {
+  if (use_cache) {
     key = ResultCache::MakeKey(static_cast<uint8_t>(request.mode),
                                request.text);
     generation = cache->generation();
@@ -172,7 +209,7 @@ std::string QueryService::HandleXq(const Request& request, bool as_xml) {
       return ServeCached(request.id, *std::move(body));
     }
   }
-  Result<xq::XqResult> result = xomatiq_.Execute(request.text);
+  Result<xq::XqResult> result = xomatiq_.Execute(request.text, opts);
   if (!result.ok()) return EncodeErrorResponse(request.id, result.status());
   Response response;
   response.id = request.id;
@@ -185,7 +222,7 @@ std::string QueryService::HandleXq(const Request& request, bool as_xml) {
     response.rows = std::move(result->rows);
   }
   std::string body = EncodeResponseBody(response);
-  if (cache != nullptr) {
+  if (use_cache) {
     cache->Insert(key, body, std::move(result->collections), generation);
   }
   return Finish(request.id, std::move(body));

@@ -2,8 +2,10 @@
 #define XOMATIQ_SERVER_QUERY_SERVICE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "common/query_options.h"
 #include "datahounds/warehouse.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
@@ -19,6 +21,10 @@ struct ServiceOptions {
   // Honor "#sleep <ms>" PING payloads. Test-only: lets a test pin a
   // worker for a deterministic interval to fill the admission queue.
   bool allow_sleep = false;
+  // Server-side deadline applied to requests that don't carry their own
+  // (0 = none). A request's explicit deadline always wins, even if longer:
+  // the knob is a default, not a cap.
+  uint32_t default_deadline_ms = 0;
 };
 
 // Transport-independent request handler: one instance per server, shared
@@ -34,22 +40,37 @@ class QueryService {
   QueryService(hounds::Warehouse* warehouse, ServiceOptions options = {});
 
   // Never throws and never fails: any error becomes an encoded error
-  // response carrying the request id.
+  // response carrying the request id. Request options are honored here:
+  // deadline (request's own, else the service default) flows to the
+  // engine, bypass_cache skips both cache probe and install, trace wraps
+  // the request in a Trace whose Chrome JSON LastTraceJson() returns.
   std::string Handle(const Request& request);
+
+  // Chrome trace_event JSON of the most recent traced request ("" when no
+  // request asked for a trace yet). One slot, last-writer-wins: the
+  // diagnosing operator traces one query at a time.
+  std::string LastTraceJson() const;
 
   ResultCache* cache() { return options_.cache.get(); }
   xq::XomatiQ* xomatiq() { return &xomatiq_; }
 
  private:
+  // The mode dispatch, with the effective (defaulted) options applied.
+  std::string Dispatch(const Request& request,
+                       const common::QueryOptions& opts);
   // Cache-aware execution shared by the SQL and XQ paths: probe with
   // `key` (empty = uncacheable), else run `execute` and install the
   // encoded body tagged with the collections it read.
-  std::string HandleSql(const Request& request);
-  std::string HandleXq(const Request& request, bool as_xml);
+  std::string HandleSql(const Request& request,
+                        const common::QueryOptions& opts);
+  std::string HandleXq(const Request& request, bool as_xml,
+                       const common::QueryOptions& opts);
 
   hounds::Warehouse* warehouse_;
   xq::XomatiQ xomatiq_;
   ServiceOptions options_;
+  mutable std::mutex trace_mu_;
+  std::string last_trace_json_;
 };
 
 }  // namespace xomatiq::srv

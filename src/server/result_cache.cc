@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 
 namespace xomatiq::srv {
@@ -62,6 +63,10 @@ std::optional<std::string> ResultCache::Lookup(const std::string& key) {
 
 void ResultCache::Insert(const std::string& key, std::string body,
                          std::vector<std::string> tags, uint64_t generation) {
+  // Fault point cache.insert: drop the install silently. The cache is an
+  // optimization — losing an insert must never affect correctness, only
+  // hit rate, and tests assert exactly that.
+  if (common::FaultInjector::Global().ShouldFail("cache.insert")) return;
   std::lock_guard lock(mu_);
   if (generation != generation_.load(std::memory_order_relaxed)) {
     return;  // invalidated while the query ran; result may be stale

@@ -10,6 +10,7 @@
 
 #include <cstring>
 
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 
 namespace xomatiq::srv {
@@ -139,9 +140,17 @@ void QueryServer::AcceptLoop() {
 }
 
 void QueryServer::SessionLoop(std::shared_ptr<Session> session) {
+  bool first_frame = true;
   while (true) {
     common::Result<std::string> frame =
         ReadFrame(session->fd, options_.max_frame_bytes);
+    if (frame.ok()) {
+      // Fault point server.session.read: fail a successfully read frame
+      // as if the socket read itself had failed.
+      Status injected = common::FaultInjector::Global().Check(
+          "server.session.read");
+      if (!injected.ok()) frame = injected;
+    }
     if (!frame.ok()) {
       const common::StatusCode code = frame.status().code();
       if (code != common::StatusCode::kNotFound) {
@@ -152,6 +161,37 @@ void QueryServer::SessionLoop(std::shared_ptr<Session> session) {
         WriteFrame(session->fd, reply);
       }
       break;
+    }
+    if (first_frame) {
+      first_frame = false;
+      if (IsHelloFrame(*frame)) {
+        common::Result<Hello> hello = DecodeHello(*frame);
+        if (!hello.ok()) {
+          std::string reply = EncodeErrorResponse(0, hello.status());
+          std::lock_guard lock(session->write_mu);
+          WriteFrame(session->fd, reply);
+          break;
+        }
+        if (hello->major != kProtocolMajor) {
+          std::string reply = EncodeErrorResponse(
+              0, Status::Unsupported(
+                     "protocol major version " +
+                     std::to_string(hello->major) + " not supported (server " +
+                     std::to_string(kProtocolMajor) + "." +
+                     std::to_string(kProtocolMinor) + ")"));
+          std::lock_guard lock(session->write_mu);
+          WriteFrame(session->fd, reply);
+          break;
+        }
+        Hello ack;
+        ack.features = hello->features & kSupportedFeatures;
+        std::string reply = EncodeHello(ack);
+        std::lock_guard lock(session->write_mu);
+        if (!WriteFrame(session->fd, reply).ok()) break;
+        continue;
+      }
+      // No magic: a legacy client's bare request — fall through and treat
+      // it as protocol 1.0 with no negotiated features.
     }
     common::Result<Request> request = DecodeRequest(*frame);
     if (!request.ok()) {
@@ -164,6 +204,14 @@ void QueryServer::SessionLoop(std::shared_ptr<Session> session) {
     bool admitted = pool_->TryEnqueue(
         [this, session, request = *std::move(request)] {
           std::string reply = service_.Handle(request);
+          // Fault point server.session.write: drop the response and sever
+          // the connection, as a worker crashing between execution and
+          // reply would; the client's retry layer must reconnect+resend.
+          if (common::FaultInjector::Global().ShouldFail(
+                  "server.session.write")) {
+            ::shutdown(session->fd, SHUT_RDWR);
+            return;
+          }
           std::lock_guard lock(session->write_mu);
           WriteFrame(session->fd, reply);
         });

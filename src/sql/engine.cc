@@ -58,7 +58,8 @@ std::string QueryResult::ToTable() const {
   return out;
 }
 
-Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
+Result<QueryResult> SqlEngine::Execute(std::string_view sql,
+                                       const common::QueryOptions& opts) {
   // Registered once; the registry hands back stable pointers, so the hot
   // path is one atomic add plus the histogram record.
   static common::Counter* queries =
@@ -66,6 +67,9 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
   static common::Histogram* parse_hist =
       common::MetricsRegistry::Global().GetHistogram("sql.stage.parse");
   queries->Inc();
+  // The relative budget becomes absolute exactly once, here, so parsing
+  // and planning draw from the same clock as execution.
+  common::Deadline deadline = common::Deadline::After(opts.deadline_ms);
   Statement stmt;
   {
     common::TraceSpan span("sql.parse", parse_hist);
@@ -111,7 +115,8 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
     }
     case StatementKind::kSelect: {
       std::shared_lock lock(db_->latch());
-      return ExecuteSelect(stmt.select, /*explain_only=*/false);
+      return ExecuteSelect(stmt.select, /*explain_only=*/false,
+                           /*analyze=*/false, deadline);
     }
     case StatementKind::kExplain: {
       // Plain EXPLAIN prints the plan without running it; EXPLAIN ANALYZE
@@ -119,7 +124,7 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
       // annotated with per-operator actuals.
       std::shared_lock lock(db_->latch());
       return ExecuteSelect(stmt.select, /*explain_only=*/!stmt.analyze,
-                           /*analyze=*/stmt.analyze);
+                           /*analyze=*/stmt.analyze, deadline);
     }
     case StatementKind::kDelete: {
       std::unique_lock lock(db_->latch());
@@ -143,8 +148,8 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
 }
 
 Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
-                                             bool explain_only,
-                                             bool analyze) {
+                                             bool explain_only, bool analyze,
+                                             common::Deadline deadline) {
   static common::Histogram* plan_hist =
       common::MetricsRegistry::Global().GetHistogram("sql.stage.plan");
   static common::Histogram* exec_hist =
@@ -161,6 +166,7 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
     return result;
   }
   ExecutorOptions exec_options = options_.executor;
+  exec_options.deadline = deadline;
   if (analyze) {
     exec_options.collect_stats = true;
     plan->ClearStats();
@@ -179,14 +185,17 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
 }
 
 Result<rel::Schema> SqlEngine::ExecuteSelectBatched(
-    std::string_view sql, const Executor::BatchSink& sink) {
+    std::string_view sql, const Executor::BatchSink& sink,
+    common::Deadline deadline) {
   XQ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("ExecuteSelectBatched requires a SELECT");
   }
   std::shared_lock lock(db_->latch());
   XQ_ASSIGN_OR_RETURN(PlanPtr plan, planner_.PlanSelect(stmt.select));
-  Executor executor(db_, options_.executor);
+  ExecutorOptions exec_options = options_.executor;
+  exec_options.deadline = deadline;
+  Executor executor(db_, exec_options);
   XQ_RETURN_IF_ERROR(executor.ExecuteBatched(*plan, sink));
   return plan->schema;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_options.h"
 #include "common/result.h"
 #include "relational/database.h"
 #include "sql/executor.h"
@@ -45,13 +46,25 @@ class SqlEngine {
   explicit SqlEngine(rel::Database* db, EngineOptions options = {})
       : db_(db), options_(options), planner_(db, options.planner) {}
 
-  // Parses and runs one statement.
-  common::Result<QueryResult> Execute(std::string_view sql);
+  // Parses and runs one statement. `opts.deadline_ms` is converted to an
+  // absolute deadline here, once; SELECT execution past it fails with
+  // kTimeout (DML/DDL run to completion — partial mutations are worse than
+  // late ones). `opts.trace` / `opts.bypass_cache` are honored by the
+  // layers that own tracing and caching (server QueryService); the engine
+  // itself only consumes the deadline.
+  common::Result<QueryResult> Execute(std::string_view sql,
+                                      const common::QueryOptions& opts);
+  common::Result<QueryResult> Execute(std::string_view sql) {
+    return Execute(sql, common::QueryOptions{});
+  }
 
   // Parses, plans and streams a SELECT's output batches into `sink`
   // without materializing the result set. Returns the output schema.
+  // `deadline` is absolute so a multi-statement caller (XomatiQ) can share
+  // one budget across its generated SQL statements.
   common::Result<rel::Schema> ExecuteSelectBatched(
-      std::string_view sql, const Executor::BatchSink& sink);
+      std::string_view sql, const Executor::BatchSink& sink,
+      common::Deadline deadline = {});
 
   // Plans a pre-parsed SELECT (exposed for tests and benchmarks).
   common::Result<PlanPtr> Plan(const SelectStmt& stmt) {
@@ -65,7 +78,8 @@ class SqlEngine {
   // collection and return the annotated plan tree instead of the rows.
   common::Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
                                             bool explain_only,
-                                            bool analyze = false);
+                                            bool analyze = false,
+                                            common::Deadline deadline = {});
   common::Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
   common::Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt);
   common::Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt);

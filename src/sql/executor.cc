@@ -239,8 +239,28 @@ Result<std::vector<Tuple>> Executor::ExecuteToVector(const PlanNode& plan) {
   return rows;
 }
 
+bool Executor::DeadlineHit() {
+  if (deadline_hit_) return true;
+  if (!options_.deadline.set()) return false;
+  if ((++deadline_probe_ & 1023) != 0) return false;
+  deadline_hit_ = options_.deadline.expired();
+  return deadline_hit_;
+}
+
+Status Executor::DeadlineStatus() const {
+  return deadline_hit_ ? Status::Timeout("query deadline exceeded")
+                       : Status::OK();
+}
+
 Status Executor::ExecB(const PlanNode& plan, const BatchSink& sink,
                        int64_t budget) {
+  // Operator entry is rare (per node per query, plus join inner-side
+  // re-entries), so an unconditional clock check here is cheap and catches
+  // deadlines that elapsed inside a blocking child (sort, hash build).
+  if (options_.deadline.expired()) {
+    deadline_hit_ = true;
+    return DeadlineStatus();
+  }
   if (!options_.collect_stats) return DispatchB(plan, sink, budget);
   OpStats& st = plan.stats;
   ++st.invocations;
@@ -301,8 +321,11 @@ Status Executor::ExecScanB(const PlanNode& plan, const BatchSink& sink,
                            int64_t budget) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
   BatchEmitter em(options_.batch_capacity, sink, budget);
-  table->Scan(
-      [&](RowId row, const Tuple& tuple) { return em.PushRef(&tuple, row); });
+  table->Scan([&](RowId row, const Tuple& tuple) {
+    if (DeadlineHit()) return false;
+    return em.PushRef(&tuple, row);
+  });
+  XQ_RETURN_IF_ERROR(DeadlineStatus());
   em.Flush();
   return Status::OK();
 }
@@ -393,16 +416,22 @@ Status Executor::ExecParallelScanB(const PlanNode& plan, const BatchSink& sink,
   std::vector<Status> worker_status(degree);
   std::vector<std::thread> workers;
   workers.reserve(degree);
+  const common::Deadline deadline = options_.deadline;
   for (size_t w = 0; w < degree; ++w) {
     workers.emplace_back([table, capacity, per_worker, slots, w, pred,
-                          partition_rows, queue = queues[w].get(),
+                          deadline, partition_rows, queue = queues[w].get(),
                           status = &worker_status[w]] {
       RowId first = static_cast<RowId>(std::min(w * per_worker, slots));
       RowId last = static_cast<RowId>(std::min((w + 1) * per_worker, slots));
       RowBatch batch(capacity);
       EvalScratch scratch;
       uint64_t emitted = 0;
+      uint64_t probe = 0;
       table->ScanPartition(first, last, [&](RowId row, const Tuple& tuple) {
+        if (deadline.set() && (++probe & 1023) == 0 && deadline.expired()) {
+          *status = Status::Timeout("query deadline exceeded");
+          return false;
+        }
         if (pred != nullptr) {
           auto v = pred->EvalRowRef(tuple, &scratch);
           if (!v.ok()) {
@@ -474,6 +503,10 @@ Status Executor::ExecIndexScanB(const PlanNode& plan, const BatchSink& sink,
     Status status;
     entry.btree->ScanPrefix(
         plan.eq_key, [&](const CompositeKey&, const std::vector<RowId>& rows) {
+          if (DeadlineHit()) {
+            status = DeadlineStatus();
+            return false;
+          }
           auto more = EmitRowIds(*table, rows, &em);
           if (!more.ok()) {
             status = more.status();
@@ -494,6 +527,10 @@ Status Executor::ExecIndexScanB(const PlanNode& plan, const BatchSink& sink,
   Status status;
   entry.btree->Scan(lo, hi,
                     [&](const CompositeKey&, const std::vector<RowId>& rows) {
+                      if (DeadlineHit()) {
+                        status = DeadlineStatus();
+                        return false;
+                      }
                       auto more = EmitRowIds(*table, rows, &em);
                       if (!more.ok()) {
                         status = more.status();
@@ -655,6 +692,10 @@ Status Executor::ExecNestedLoopJoinB(const PlanNode& plan,
         for (size_t i = 0; i < batch.size(); ++i) {
           const Tuple& left = batch.row(i);
           for (const Tuple& right : inner) {
+            if (DeadlineHit()) {
+              inner_status = DeadlineStatus();
+              return false;
+            }
             bool ok = false;
             if (!pair_ok(pred, left, right, &ok)) return false;
             if (!ok) continue;
@@ -706,6 +747,10 @@ Status Executor::ExecHashJoinB(const PlanNode& plan, const BatchSink& sink,
       *plan.children[0],
       [&](RowBatch& batch) {
         for (size_t i = 0; i < batch.size(); ++i) {
+          if (DeadlineHit()) {
+            inner_status = DeadlineStatus();
+            return false;
+          }
           const Tuple& left = batch.row(i);
           probe.clear();
           bool has_null = false;
@@ -760,6 +805,10 @@ Status Executor::ExecIndexNLJoinB(const PlanNode& plan,
       *plan.children[0],
       [&](RowBatch& batch) {
         for (size_t i = 0; i < batch.size(); ++i) {
+          if (DeadlineHit()) {
+            inner_status = DeadlineStatus();
+            return false;
+          }
           const Tuple& outer = batch.row(i);
           key.clear();
           bool has_null = false;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/query_options.h"
 #include "common/result.h"
 #include "relational/database.h"
 #include "relational/row_batch.h"
@@ -14,6 +15,11 @@ namespace xomatiq::sql {
 struct ExecutorOptions {
   // Rows per RowBatch flowing between operators.
   size_t batch_capacity = rel::RowBatch::kDefaultCapacity;
+  // Absolute cancellation point. Checked cooperatively — at operator entry
+  // and on a sampled stride inside scan/join loops — so an expired query
+  // stops within ~one batch of work and returns kTimeout. Applies to the
+  // batched pipeline only; the row-at-a-time oracle path ignores it.
+  common::Deadline deadline;
   // Bound (in batches) of each parallel-scan worker's output queue.
   size_t parallel_queue_batches = 4;
   // Accumulate per-operator actuals (rows/batches/time, parallel-scan
@@ -115,8 +121,15 @@ class Executor {
 
   common::Result<std::vector<rel::Tuple>> CollectRows(const PlanNode& plan);
 
+  // Strided cooperative deadline probe for hot loops: one counter increment
+  // per call, one clock read every 1024 calls. Sticky once expired.
+  bool DeadlineHit();
+  common::Status DeadlineStatus() const;
+
   rel::Database* db_;
   ExecutorOptions options_;
+  uint64_t deadline_probe_ = 0;
+  bool deadline_hit_ = false;
 };
 
 }  // namespace xomatiq::sql

@@ -339,6 +339,17 @@ bool Dtd::Validate(const XmlDocument& doc,
   return Validate(*root, errors);
 }
 
+common::Status Dtd::CheckValid(const XmlDocument& doc) const {
+  if (elements_.empty()) return common::Status::OK();
+  std::vector<std::string> errors;
+  if (Validate(doc, &errors)) return common::Status::OK();
+  std::string msg = "DTD validation failed: " + errors.front();
+  if (errors.size() > 1) {
+    msg += " (and " + std::to_string(errors.size() - 1) + " more)";
+  }
+  return common::Status::ConstraintViolation(std::move(msg));
+}
+
 // --- formatting ----------------------------------------------------------
 
 std::string Dtd::ToString() const {

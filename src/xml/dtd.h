@@ -87,6 +87,12 @@ class Dtd {
   bool Validate(const XmlDocument& doc, std::vector<std::string>* errors) const;
   bool Validate(const XmlNode& element, std::vector<std::string>* errors) const;
 
+  // Typed-status validation for callers on the Result/Status error surface
+  // (warehouse load/sync): OK when `doc` conforms, else
+  // kConstraintViolation summarizing the first violations. A DTD with no
+  // declarations accepts everything.
+  common::Status CheckValid(const XmlDocument& doc) const;
+
   // Re-emits DTD text (<!ELEMENT ...> / <!ATTLIST ...>) — regenerates the
   // paper's Fig 5 artifact.
   std::string ToString() const;

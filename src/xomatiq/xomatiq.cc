@@ -48,11 +48,15 @@ Result<Translation> XomatiQ::Translate(std::string_view query_text) {
   return translator_.Translate(ast);
 }
 
-Result<XqResult> XomatiQ::Execute(std::string_view query_text) {
+Result<XqResult> XomatiQ::Execute(std::string_view query_text,
+                                  const common::QueryOptions& opts) {
   static common::Counter* queries =
       common::MetricsRegistry::Global().GetCounter("xq.queries");
   static common::Histogram* exec_hist = StageHist("xq.stage.execute");
   queries->Inc();
+  // One absolute deadline for the whole query: parsing, translation and
+  // every generated SQL disjunct share the same budget.
+  common::Deadline deadline = common::Deadline::After(opts.deadline_ms);
   XQ_ASSIGN_OR_RETURN(Translation translation, Translate(query_text));
   common::TraceSpan span("xq.execute", exec_hist);
   XqResult result;
@@ -65,15 +69,19 @@ Result<XqResult> XomatiQ::Execute(std::string_view query_text) {
   // the result; no per-statement materialization.
   std::set<rel::CompositeKey, rel::CompositeKeyLess> seen;
   for (const std::string& sql : translation.sql) {
-    XQ_RETURN_IF_ERROR(
-        engine_.ExecuteSelectBatched(sql, [&](rel::RowBatch& batch) {
-          for (size_t i = 0; i < batch.size(); ++i) {
-            if (seen.insert(batch.row(i)).second) {
-              result.rows.push_back(batch.row(i));
-            }
-          }
-          return true;
-        }).status());
+    XQ_RETURN_IF_ERROR(engine_
+                           .ExecuteSelectBatched(
+                               sql,
+                               [&](rel::RowBatch& batch) {
+                                 for (size_t i = 0; i < batch.size(); ++i) {
+                                   if (seen.insert(batch.row(i)).second) {
+                                     result.rows.push_back(batch.row(i));
+                                   }
+                                 }
+                                 return true;
+                               },
+                               deadline)
+                           .status());
   }
   return result;
 }

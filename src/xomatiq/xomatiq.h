@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_options.h"
 #include "common/result.h"
 #include "datahounds/warehouse.h"
 #include "sql/engine.h"
@@ -41,8 +42,15 @@ class XomatiQ {
         engine_(warehouse->db()),
         translator_(warehouse) {}
 
-  // Parses, translates and runs a query.
-  common::Result<XqResult> Execute(std::string_view query_text);
+  // Parses, translates and runs a query. The deadline in `opts` is made
+  // absolute once at entry, so every generated SQL statement of a
+  // multi-disjunct query draws down one shared budget; expiry surfaces as
+  // kTimeout. Trace/cache options are consumed by the server layer.
+  common::Result<XqResult> Execute(std::string_view query_text,
+                                   const common::QueryOptions& opts);
+  common::Result<XqResult> Execute(std::string_view query_text) {
+    return Execute(query_text, common::QueryOptions{});
+  }
 
   // Translation only (inspect the generated SQL).
   common::Result<Translation> Translate(std::string_view query_text);

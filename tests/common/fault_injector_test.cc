@@ -1,0 +1,194 @@
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace xomatiq::common {
+namespace {
+
+// The registry is process-global; every test starts and ends clean so the
+// suites sharing this binary can't contaminate each other.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  FaultInjector& fi() { return FaultInjector::Global(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedPointIsOkAndUncounted) {
+  EXPECT_FALSE(fi().any_armed());
+  EXPECT_TRUE(fi().Check("nowhere").ok());
+  EXPECT_EQ(fi().calls("nowhere"), 0u);
+  EXPECT_EQ(fi().fires("nowhere"), 0u);
+}
+
+TEST_F(FaultInjectorTest, AlwaysFiresEveryCall) {
+  FaultConfig config;
+  config.policy = FaultPolicy::kAlways;
+  fi().Arm("p", config);
+  EXPECT_TRUE(fi().any_armed());
+  for (int i = 0; i < 5; ++i) {
+    Status s = fi().Check("p");
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+    // Default message names the point.
+    EXPECT_NE(s.message().find("p"), std::string::npos);
+  }
+  EXPECT_EQ(fi().calls("p"), 5u);
+  EXPECT_EQ(fi().fires("p"), 5u);
+}
+
+TEST_F(FaultInjectorTest, NthFiresOnceThenDisarms) {
+  FaultConfig config;
+  config.policy = FaultPolicy::kNth;
+  config.n = 3;
+  fi().Arm("p", config);
+  EXPECT_TRUE(fi().Check("p").ok());
+  EXPECT_TRUE(fi().Check("p").ok());
+  EXPECT_FALSE(fi().Check("p").ok());  // the 3rd call
+  // One-shot: the point is spent.
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(fi().Check("p").ok());
+  EXPECT_EQ(fi().fires("p"), 1u);
+}
+
+TEST_F(FaultInjectorTest, EveryNthFiresPeriodically) {
+  FaultConfig config;
+  config.policy = FaultPolicy::kEveryNth;
+  config.n = 3;
+  fi().Arm("p", config);
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(!fi().Check("p").ok());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+  EXPECT_EQ(fi().fires("p"), 3u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsDeterministicPerSeed) {
+  auto schedule = [&](uint64_t seed) {
+    fi().Reset();
+    FaultConfig config;
+    config.policy = FaultPolicy::kProbability;
+    config.probability = 0.3;
+    config.seed = seed;
+    fi().Arm("p", config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!fi().Check("p").ok());
+    return fired;
+  };
+  auto a = schedule(7);
+  auto b = schedule(7);
+  EXPECT_EQ(a, b) << "same seed must replay the same fault schedule";
+  auto c = schedule(8);
+  EXPECT_NE(a, c) << "different seeds should differ (64 draws at p=0.3)";
+  // Sanity: roughly p of the calls fired, not none and not all.
+  size_t fires = static_cast<size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 4u);
+  EXPECT_LT(fires, 40u);
+}
+
+TEST_F(FaultInjectorTest, ConfiguredStatusCodeAndMessage) {
+  FaultConfig config;
+  config.code = StatusCode::kTimeout;
+  config.message = "synthetic stall";
+  fi().Arm("p", config);
+  Status s = fi().Check("p");
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_EQ(s.message(), "synthetic stall");
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsFiringAndResetClearsCounters) {
+  fi().Arm("p", FaultConfig{});
+  EXPECT_FALSE(fi().Check("p").ok());
+  fi().Disarm("p");
+  EXPECT_TRUE(fi().Check("p").ok());
+  // Counters survive Disarm (observability) but not Reset.
+  EXPECT_EQ(fi().fires("p"), 1u);
+  fi().Reset();
+  EXPECT_EQ(fi().calls("p"), 0u);
+  EXPECT_EQ(fi().fires("p"), 0u);
+  EXPECT_FALSE(fi().any_armed());
+}
+
+TEST_F(FaultInjectorTest, ConfigureParsesEverySpecForm) {
+  ASSERT_TRUE(fi().Configure("a=always;b=nth:2;c=every:4;d=prob:0.5:9").ok());
+  EXPECT_FALSE(fi().Check("a").ok());
+  EXPECT_TRUE(fi().Check("b").ok());
+  EXPECT_FALSE(fi().Check("b").ok());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(fi().Check("c").ok());
+  EXPECT_FALSE(fi().Check("c").ok());
+  // d is probabilistic; just confirm it's armed and counted.
+  fi().ShouldFail("d");
+  EXPECT_EQ(fi().calls("d"), 1u);
+}
+
+TEST_F(FaultInjectorTest, ConfigureParsesCodeSuffix) {
+  ASSERT_TRUE(
+      fi().Configure("a=always@timeout;b=always@overloaded;c=nth:1@corruption")
+          .ok());
+  EXPECT_EQ(fi().Check("a").code(), StatusCode::kTimeout);
+  EXPECT_EQ(fi().Check("b").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(fi().Check("c").code(), StatusCode::kCorruption);
+}
+
+TEST_F(FaultInjectorTest, ConfigureRejectsMalformedSpecs) {
+  EXPECT_FALSE(fi().Configure("justapoint").ok());
+  EXPECT_FALSE(fi().Configure("p=sometimes").ok());
+  EXPECT_FALSE(fi().Configure("p=nth:zero").ok());
+  EXPECT_FALSE(fi().Configure("p=prob:notanumber").ok());
+  EXPECT_FALSE(fi().Configure("p=always@sigsegv").ok());
+  EXPECT_FALSE(fi().Configure("=always").ok());
+}
+
+TEST_F(FaultInjectorTest, ShouldFailMirrorsCheck) {
+  FaultConfig config;
+  config.policy = FaultPolicy::kNth;
+  config.n = 2;
+  fi().Arm("p", config);
+  EXPECT_FALSE(fi().ShouldFail("p"));
+  EXPECT_TRUE(fi().ShouldFail("p"));
+  EXPECT_FALSE(fi().ShouldFail("p"));
+}
+
+// XQ_FAULT_POINT propagates the injected Status out of the enclosing
+// function, exactly like a real failure at that site.
+Status GuardedOperation() {
+  XQ_FAULT_POINT("test.guarded");
+  return Status::OK();
+}
+
+TEST_F(FaultInjectorTest, FaultPointMacroPropagates) {
+  EXPECT_TRUE(GuardedOperation().ok());
+  FaultConfig config;
+  config.code = StatusCode::kCorruption;
+  fi().Arm("test.guarded", config);
+  Status s = GuardedOperation();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  fi().Disarm("test.guarded");
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FaultInjectorTest, ThreadSafeUnderConcurrentChecks) {
+  FaultConfig config;
+  config.policy = FaultPolicy::kEveryNth;
+  config.n = 10;
+  fi().Arm("p", config);
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) fi().ShouldFail("p");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(fi().calls("p"), kThreads * kCallsPerThread);
+  EXPECT_EQ(fi().fires("p"), kThreads * kCallsPerThread / 10);
+}
+
+}  // namespace
+}  // namespace xomatiq::common

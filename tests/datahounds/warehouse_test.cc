@@ -70,7 +70,9 @@ TEST(WarehouseTest, InvalidDocumentRejected) {
   bogus.CreateRoot("hlx_enzyme")->AddElement("wrong_child");
   auto r = (*warehouse)->LoadDocument("hlx_enzyme.DEFAULT", bogus, "u");
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), common::StatusCode::kInvalidArgument);
+  // DTD violations are typed as constraint violations (Dtd::CheckValid).
+  EXPECT_EQ(r.status().code(), common::StatusCode::kConstraintViolation);
+  EXPECT_NE(r.status().message().find("DTD"), std::string::npos);
 }
 
 TEST(WarehouseTest, UnknownCollectionRejected) {

@@ -94,9 +94,33 @@ TEST(SerdeTest, SchemaRoundTrip) {
 }
 
 TEST(SerdeTest, Crc32KnownVector) {
-  // Standard test vector for IEEE CRC32.
-  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  // Standard test vector for CRC32-C (Castagnoli), the polynomial the
+  // WAL uses so the x86-64 crc32 instruction applies.
+  EXPECT_EQ(Crc32("123456789"), 0xE3069283u);
   EXPECT_EQ(Crc32(""), 0u);
+  // 32 zero bytes: exercises the 8-byte slicing loop with no tail.
+  EXPECT_EQ(Crc32(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(SerdeTest, Crc32AllLengthsConsistent) {
+  // Sweep lengths 0..63 so every word-loop/tail-loop split is hit; the
+  // hardware and software implementations must agree with the bytewise
+  // reference regardless of which one Crc32() dispatches to.
+  auto reference = [](std::string_view data) {
+    uint32_t crc = 0xFFFFFFFFU;
+    for (char ch : data) {
+      crc ^= static_cast<uint8_t>(ch);
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? 0x82F63B78U ^ (crc >> 1) : crc >> 1;
+      }
+    }
+    return crc ^ 0xFFFFFFFFU;
+  };
+  std::string data;
+  for (int len = 0; len < 64; ++len) {
+    EXPECT_EQ(Crc32(data), reference(data)) << "len=" << len;
+    data.push_back(static_cast<char>('a' + len % 26));
+  }
 }
 
 TEST(SerdeTest, Crc32DetectsBitFlips) {
