@@ -24,6 +24,7 @@ enum class Op : uint8_t {
   kInsert = 5,
   kDelete = 6,
   kUpdate = 7,
+  kSetStats = 8,
 };
 
 constexpr char kSnapshotMagic[] = "XQSNAP1";
@@ -312,6 +313,7 @@ Result<RowId> Database::InsertInternal(const std::string& table, Tuple tuple) {
     (void)info.table->Delete(row);
     return s;
   }
+  ++info.mutations_since_analyze;
   return row;
 }
 
@@ -386,7 +388,9 @@ Status Database::DeleteInternal(const std::string& table, RowId row) {
   TableInfo& info = it->second;
   XQ_ASSIGN_OR_RETURN(const Tuple* tuple, info.table->Get(row));
   IndexErase(&info, row, *tuple);
-  return info.table->Delete(row);
+  XQ_RETURN_IF_ERROR(info.table->Delete(row));
+  ++info.mutations_since_analyze;
+  return Status::OK();
 }
 
 Status Database::Update(const std::string& table, RowId row, Tuple tuple) {
@@ -422,7 +426,54 @@ Status Database::UpdateInternal(const std::string& table, RowId row,
     XQ_RETURN_IF_ERROR(IndexInsert(&info, row, saved));
     return s;
   }
+  ++info.mutations_since_analyze;
   return Status::OK();
+}
+
+// --- statistics --------------------------------------------------------
+
+Status Database::Analyze(const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  common::ScopedLatency timer(
+      common::MetricsRegistry::Global().GetHistogram("rel.stats.analyze"));
+  TableStats stats = ComputeTableStats(*it->second.table);
+  XQ_RETURN_IF_ERROR(SetStatsInternal(table, stats));
+  common::MetricsRegistry::Global().GetCounter("rel.stats.analyze_runs")->Inc();
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(Op::kSetStats));
+  w.PutString(table);
+  EncodeTableStats(stats, &w);
+  return Log(w.buffer());
+}
+
+Status Database::SetStatsInternal(const std::string& table, TableStats stats) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  if (stats.columns.size() != it->second.table->schema().size()) {
+    return Status::Corruption("stats column count mismatch for " + table);
+  }
+  it->second.stats = std::move(stats);
+  it->second.mutations_since_analyze = 0;
+  size_t with_stats = 0;
+  for (const auto& [name, info] : tables_) {
+    if (info.stats.has_value()) ++with_stats;
+  }
+  common::MetricsRegistry::Global()
+      .GetGauge("rel.stats.tables_with_stats")
+      ->Set(static_cast<int64_t>(with_stats));
+  return Status::OK();
+}
+
+const TableStats* Database::StatsFor(const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end() || !it->second.stats.has_value()) return nullptr;
+  return &*it->second.stats;
+}
+
+uint64_t Database::MutationsSinceAnalyze(const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.mutations_since_analyze;
 }
 
 // --- lookup ----------------------------------------------------------
@@ -528,6 +579,14 @@ Status Database::ReplayRecord(std::string_view payload) {
       XQ_ASSIGN_OR_RETURN(Tuple tuple, DecodeTuple(&r));
       return UpdateInternal(table, row, std::move(tuple));
     }
+    case Op::kSetStats: {
+      // Replaying DML ahead of this record re-inflates the staleness
+      // counter; SetStatsInternal zeroes it, so the recovered counter
+      // matches the pre-crash state (WAL order == original order).
+      XQ_ASSIGN_OR_RETURN(std::string table, r.GetString());
+      XQ_ASSIGN_OR_RETURN(TableStats stats, DecodeTableStats(&r));
+      return SetStatsInternal(table, std::move(stats));
+    }
   }
   return Status::Corruption("bad WAL op tag " + std::to_string(tag));
 }
@@ -554,6 +613,11 @@ Status Database::WriteSnapshot(const std::string& path) const {
     body.PutU32(static_cast<uint32_t>(info.indexes.size()));
     for (const auto& entry : info.indexes) {
       EncodeIndexDef(entry->def, &body);
+    }
+    body.PutU8(info.stats.has_value() ? 1 : 0);
+    if (info.stats.has_value()) {
+      EncodeTableStats(*info.stats, &body);
+      body.PutU64(info.mutations_since_analyze);
     }
   }
   BinaryWriter file;
@@ -615,6 +679,13 @@ Status Database::LoadSnapshot(const std::string& path) {
     for (uint32_t i = 0; i < nindexes; ++i) {
       XQ_ASSIGN_OR_RETURN(IndexDef def, DecodeIndexDef(&r));
       XQ_RETURN_IF_ERROR(CreateIndexInternal(def));
+    }
+    XQ_ASSIGN_OR_RETURN(uint8_t has_stats, r.GetU8());
+    if (has_stats != 0) {
+      XQ_ASSIGN_OR_RETURN(TableStats stats, DecodeTableStats(&r));
+      XQ_RETURN_IF_ERROR(SetStatsInternal(name, std::move(stats)));
+      XQ_ASSIGN_OR_RETURN(tables_.find(name)->second.mutations_since_analyze,
+                          r.GetU64());
     }
   }
   return Status::OK();

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "relational/btree_index.h"
 #include "relational/hash_index.h"
 #include "relational/inverted_index.h"
+#include "relational/stats.h"
 #include "relational/table.h"
 #include "relational/wal.h"
 
@@ -116,6 +118,22 @@ class Database {
                               IndexKind kind) const;
   const IndexEntry* FindIndexByName(const std::string& index_name) const;
 
+  // --- statistics (cost-based planning) ---
+  // Collects per-table row counts and per-column NDV / min-max /
+  // null-fraction sketches with one full scan, stores them in the catalog
+  // and logs them to the WAL (they survive restarts like any other catalog
+  // state). Resets the table's staleness counter.
+  common::Status Analyze(const std::string& table);
+
+  // Catalog statistics for `table`; nullptr when never analyzed (or the
+  // table is unknown). Pointer valid while the latch is held and the table
+  // is not re-analyzed/dropped.
+  const TableStats* StatsFor(const std::string& table) const;
+
+  // Rows inserted/deleted/updated since the last ANALYZE of `table`
+  // (0 when never analyzed — staleness is moot without stats).
+  uint64_t MutationsSinceAnalyze(const std::string& table) const;
+
   // --- durability ---
   // Writes a full snapshot and truncates the WAL. No-op for in-memory DBs.
   common::Status Checkpoint();
@@ -143,6 +161,11 @@ class Database {
   struct TableInfo {
     std::unique_ptr<Table> table;
     std::vector<std::unique_ptr<IndexEntry>> indexes;
+    // ANALYZE output; nullopt until the table is first analyzed.
+    std::optional<TableStats> stats;
+    // Mutations applied since `stats` was collected; the planner treats
+    // stats as stale past a threshold and falls back to rule-based plans.
+    uint64_t mutations_since_analyze = 0;
   };
 
   Database() = default;
@@ -155,6 +178,7 @@ class Database {
   common::Status DeleteInternal(const std::string& table, RowId row);
   common::Status UpdateInternal(const std::string& table, RowId row,
                                 Tuple tuple);
+  common::Status SetStatsInternal(const std::string& table, TableStats stats);
 
   common::Status Log(std::string_view payload);
   common::Status ReplayRecord(std::string_view payload);

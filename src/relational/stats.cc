@@ -1,0 +1,66 @@
+#include "relational/stats.h"
+
+#include <unordered_set>
+
+namespace xomatiq::rel {
+
+using common::Result;
+using common::Status;
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats stats;
+  size_t ncols = table.schema().size();
+  stats.columns.resize(ncols);
+  // Exact NDV via hashed distinct sets of full Values (Value::Hash is
+  // Compare-consistent, so INT 3 and DOUBLE 3.0 count as one value, which
+  // matches SQL DISTINCT semantics).
+  std::vector<std::unordered_set<Value, ValueHasher>> distinct(ncols);
+  table.Scan([&](RowId, const Tuple& tuple) {
+    ++stats.row_count;
+    for (size_t c = 0; c < ncols; ++c) {
+      const Value& v = tuple[c];
+      ColumnStats& cs = stats.columns[c];
+      if (v.is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      if (distinct[c].insert(v).second) {
+        if (cs.min.is_null() || Value::Compare(v, cs.min) < 0) cs.min = v;
+        if (cs.max.is_null() || Value::Compare(v, cs.max) > 0) cs.max = v;
+      }
+    }
+    return true;
+  });
+  for (size_t c = 0; c < ncols; ++c) {
+    stats.columns[c].ndv = distinct[c].size();
+  }
+  return stats;
+}
+
+void EncodeTableStats(const TableStats& stats, BinaryWriter* w) {
+  w->PutU64(stats.row_count);
+  w->PutU32(static_cast<uint32_t>(stats.columns.size()));
+  for (const ColumnStats& cs : stats.columns) {
+    w->PutU64(cs.ndv);
+    w->PutU64(cs.null_count);
+    EncodeValue(cs.min, w);
+    EncodeValue(cs.max, w);
+  }
+}
+
+Result<TableStats> DecodeTableStats(BinaryReader* r) {
+  TableStats stats;
+  XQ_ASSIGN_OR_RETURN(stats.row_count, r->GetU64());
+  XQ_ASSIGN_OR_RETURN(uint32_t ncols, r->GetU32());
+  stats.columns.resize(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    ColumnStats& cs = stats.columns[c];
+    XQ_ASSIGN_OR_RETURN(cs.ndv, r->GetU64());
+    XQ_ASSIGN_OR_RETURN(cs.null_count, r->GetU64());
+    XQ_ASSIGN_OR_RETURN(cs.min, DecodeValue(r));
+    XQ_ASSIGN_OR_RETURN(cs.max, DecodeValue(r));
+  }
+  return stats;
+}
+
+}  // namespace xomatiq::rel

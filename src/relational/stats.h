@@ -1,0 +1,48 @@
+#ifndef XOMATIQ_RELATIONAL_STATS_H_
+#define XOMATIQ_RELATIONAL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/serde.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace xomatiq::rel {
+
+// Per-column statistics sketch collected by ANALYZE. NDV is exact (hashed
+// distinct count over Value::Hash, which is Compare-consistent); min/max
+// follow the Value total order and exclude NULLs.
+struct ColumnStats {
+  uint64_t ndv = 0;         // distinct non-NULL values
+  uint64_t null_count = 0;  // NULL occurrences
+  Value min;                // NULL when the column is all-NULL / table empty
+  Value max;
+
+  double null_fraction(uint64_t row_count) const {
+    return row_count == 0 ? 0.0
+                          : static_cast<double>(null_count) /
+                                static_cast<double>(row_count);
+  }
+};
+
+// Table-level statistics: the catalog state behind cost-based planning.
+// `analyzed_version` counts ANALYZE runs process-wide so plan caches can
+// detect refreshes.
+struct TableStats {
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;  // parallel to the table schema
+};
+
+// Full-scan statistics collection (one pass, all columns at once).
+TableStats ComputeTableStats(const Table& table);
+
+// Snapshot / WAL serialization.
+void EncodeTableStats(const TableStats& stats, BinaryWriter* w);
+common::Result<TableStats> DecodeTableStats(BinaryReader* r);
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_STATS_H_

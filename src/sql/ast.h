@@ -153,6 +153,11 @@ struct DeleteStmt {
   ExprPtr where;
 };
 
+// ANALYZE [table]: collect optimizer statistics (empty = all tables).
+struct AnalyzeStmt {
+  std::string table;
+};
+
 struct UpdateStmt {
   std::string table;
   std::vector<std::pair<std::string, ExprPtr>> sets;
@@ -170,6 +175,7 @@ enum class StatementKind {
   kExplain,     // EXPLAIN [ANALYZE] <select>
   kStats,       // STATS: dump the process metrics snapshot
   kResetStats,  // RESET STATS: zero counters/gauges/histograms
+  kAnalyze,     // ANALYZE [table]: collect optimizer statistics
 };
 
 struct Statement {
@@ -181,6 +187,7 @@ struct Statement {
   SelectStmt select;  // also the target of kExplain
   DeleteStmt del;
   UpdateStmt update;
+  AnalyzeStmt analyze_stmt;
   // kExplain: EXPLAIN ANALYZE — execute the query and annotate the plan
   // tree with per-operator actuals instead of printing the bare plan.
   bool analyze = false;

@@ -1,11 +1,13 @@
 #include "sql/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <mutex>
 #include <shared_mutex>
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "relational/serde.h"
 #include "sql/executor.h"
 #include "sql/expr_eval.h"
 #include "sql/parser.h"
@@ -143,8 +145,35 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql,
     case StatementKind::kResetStats:
       common::MetricsRegistry::Global().Reset();
       return QueryResult{};
+    case StatementKind::kAnalyze: {
+      std::unique_lock lock(db_->latch());
+      return ExecuteAnalyze(stmt.analyze_stmt);
+    }
   }
   return Status::Internal("bad statement kind");
+}
+
+Result<QueryResult> SqlEngine::ExecuteAnalyze(const AnalyzeStmt& stmt) {
+  std::vector<std::string> targets;
+  if (stmt.table.empty()) {
+    targets = db_->TableNames();
+  } else {
+    targets.push_back(stmt.table);
+  }
+  QueryResult result;
+  result.schema = rel::Schema({{"table", rel::ValueType::kText, false},
+                               {"rows", rel::ValueType::kInt, false},
+                               {"columns", rel::ValueType::kInt, false}});
+  for (const std::string& name : targets) {
+    XQ_RETURN_IF_ERROR(db_->Analyze(name));
+    const rel::TableStats* stats = db_->StatsFor(name);
+    result.rows.push_back(
+        {Value::Text(name),
+         Value::Int(static_cast<int64_t>(stats->row_count)),
+         Value::Int(static_cast<int64_t>(stats->columns.size()))});
+    ++result.affected;
+  }
+  return result;
 }
 
 Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
@@ -184,20 +213,66 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
   return result;
 }
 
+namespace {
+
+// Marks the chosen plan's fingerprint on the current trace (when one is
+// installed): a zero-duration span named "sql.plan.fp=XXXXXXXX", the CRC32
+// of the rendered plan tree. Lets trace consumers spot plan changes (e.g.
+// after ANALYZE flips a query to the cost-based path) without diffing
+// whole EXPLAIN outputs.
+void LogPlanFingerprint(const PlanNode& plan) {
+  common::Trace* trace = common::Trace::Current();
+  if (trace == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "sql.plan.fp=%08x",
+                rel::Crc32(plan.ToString()));
+  trace->EndSpan(trace->BeginSpan(buf));
+}
+
+}  // namespace
+
 Result<rel::Schema> SqlEngine::ExecuteSelectBatched(
     std::string_view sql, const Executor::BatchSink& sink,
     common::Deadline deadline) {
-  XQ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  static common::Histogram* parse_hist =
+      common::MetricsRegistry::Global().GetHistogram("sql.stage.parse");
+  Statement stmt;
+  {
+    common::TraceSpan span("sql.parse", parse_hist);
+    XQ_ASSIGN_OR_RETURN(stmt, ParseStatement(sql));
+  }
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("ExecuteSelectBatched requires a SELECT");
   }
+  return ExecuteSelectStmtBatched(stmt.select, sink, deadline);
+}
+
+Result<rel::Schema> SqlEngine::ExecuteSelectStmtBatched(
+    const SelectStmt& stmt, const Executor::BatchSink& sink,
+    common::Deadline deadline) {
+  static common::Histogram* plan_hist =
+      common::MetricsRegistry::Global().GetHistogram("sql.stage.plan");
+  static common::Histogram* exec_hist =
+      common::MetricsRegistry::Global().GetHistogram("sql.stage.execute");
   std::shared_lock lock(db_->latch());
-  XQ_ASSIGN_OR_RETURN(PlanPtr plan, planner_.PlanSelect(stmt.select));
+  PlanPtr plan;
+  {
+    common::TraceSpan span("sql.plan", plan_hist);
+    XQ_ASSIGN_OR_RETURN(plan, planner_.PlanSelect(stmt));
+  }
+  LogPlanFingerprint(*plan);
   ExecutorOptions exec_options = options_.executor;
   exec_options.deadline = deadline;
   Executor executor(db_, exec_options);
+  common::TraceSpan span("sql.execute", exec_hist);
   XQ_RETURN_IF_ERROR(executor.ExecuteBatched(*plan, sink));
   return plan->schema;
+}
+
+Result<std::string> SqlEngine::ExplainSelectStmt(const SelectStmt& stmt) {
+  std::shared_lock lock(db_->latch());
+  XQ_ASSIGN_OR_RETURN(PlanPtr plan, planner_.PlanSelect(stmt));
+  return plan->ToString();
 }
 
 Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt) {

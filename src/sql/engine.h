@@ -66,6 +66,19 @@ class SqlEngine {
       std::string_view sql, const Executor::BatchSink& sink,
       common::Deadline deadline = {});
 
+  // Like ExecuteSelectBatched but from an already-built AST: no lexing or
+  // parsing happens on this path. XomatiQ's direct XQ->plan pipeline uses
+  // this for its translated statements (the generated SQL text is kept for
+  // display only).
+  common::Result<rel::Schema> ExecuteSelectStmtBatched(
+      const SelectStmt& stmt, const Executor::BatchSink& sink,
+      common::Deadline deadline = {});
+
+  // Plans a pre-parsed SELECT and returns its EXPLAIN rendering (used by
+  // XomatiQ's EXPLAIN surface to show the final physical plan without
+  // round-tripping through SQL text).
+  common::Result<std::string> ExplainSelectStmt(const SelectStmt& stmt);
+
   // Plans a pre-parsed SELECT (exposed for tests and benchmarks).
   common::Result<PlanPtr> Plan(const SelectStmt& stmt) {
     return planner_.PlanSelect(stmt);
@@ -83,6 +96,7 @@ class SqlEngine {
   common::Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
   common::Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt);
   common::Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt);
+  common::Result<QueryResult> ExecuteAnalyze(const AnalyzeStmt& stmt);
 
   rel::Database* db_;
   EngineOptions options_;

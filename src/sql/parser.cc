@@ -112,6 +112,15 @@ Result<Statement> Parser::ParseStatement() {
     XQ_RETURN_IF_ERROR(ExpectEnd());
     return stmt;
   }
+  if (Peek().IsKeyword("ANALYZE")) {
+    Advance();
+    stmt.kind = StatementKind::kAnalyze;
+    if (Peek().type == TokenType::kIdentifier) {
+      XQ_ASSIGN_OR_RETURN(stmt.analyze_stmt.table, ExpectIdentifier());
+    }
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
   if (Peek().IsKeyword("STATS")) {
     Advance();
     stmt.kind = StatementKind::kStats;

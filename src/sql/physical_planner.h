@@ -1,0 +1,55 @@
+#ifndef XOMATIQ_SQL_PHYSICAL_PLANNER_H_
+#define XOMATIQ_SQL_PHYSICAL_PLANNER_H_
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "sql/logical_plan.h"
+#include "sql/plan.h"
+#include "sql/planner.h"
+#include "sql/stats.h"
+
+namespace xomatiq::sql {
+
+// Lowers a rewritten logical plan to a costed physical plan:
+//
+//   - per-relation access paths (SeqScan / ParallelSeqScan / IndexScan /
+//     KeywordScan) priced against the pushed single-table predicates;
+//   - left-deep join-order search — exact dynamic programming over
+//     relation subsets up to PlannerOptions::dp_join_limit relations,
+//     greedy cheapest-extension beyond — choosing hash join,
+//     index-nested-loop or nested-loop per step;
+//   - every physical node annotated with est_rows/est_cost (rendered by
+//     EXPLAIN next to the ANALYZE actuals).
+//
+// Requires statistics (rel::Database::StatsFor) for every base table and
+// returns an error otherwise; the Planner catches that in kAuto mode and
+// falls back to the rule-based pipeline.
+class CostBasedPlanner {
+ public:
+  CostBasedPlanner(rel::Database* db, const PlannerOptions& options)
+      : db_(db), options_(options) {}
+
+  common::Result<PlanPtr> Lower(const LogicalOp& root);
+
+  // True when the chosen join order differs from FROM order (feeds the
+  // sql.opt.join_reorders counter).
+  bool reordered() const { return reordered_; }
+
+ private:
+  struct RelInfo;
+  struct JoinConjunct;
+  struct JoinStep;
+
+  common::Result<PlanPtr> LowerJoin(const LogicalOp& join);
+  common::Result<PlanPtr> BuildAccessPlan(const LogicalOp& get, RelInfo* rel);
+  void ChooseAccess(const CostModel& cm, const std::string& table_name,
+                    RelInfo* rel);
+
+  rel::Database* db_;
+  const PlannerOptions& options_;
+  bool reordered_ = false;
+};
+
+}  // namespace xomatiq::sql
+
+#endif  // XOMATIQ_SQL_PHYSICAL_PLANNER_H_

@@ -157,6 +157,12 @@ std::string PlanNode::ToString(int indent, bool analyze) const {
     case PlanKind::kDistinct:
       break;
   }
+  if (est_rows >= 0) {
+    char est[64];
+    std::snprintf(est, sizeof est, " (est rows=%.0f cost=%.0f)", est_rows,
+                  est_cost);
+    out += est;
+  }
   if (analyze) out += StatsSuffix(*this);
   out += "\n";
   for (const auto& child : children) {

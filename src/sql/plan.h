@@ -117,6 +117,14 @@ struct PlanNode {
   // kParallelSeqScan worker count (>= 2 when chosen by the planner).
   int parallel_degree = 0;
 
+  // Optimizer estimates, set by the cost-based planner (-1 = not costed;
+  // rule-based plans stay unannotated so their EXPLAIN output is
+  // byte-identical to the pre-optimizer planner). EXPLAIN renders
+  // "(est rows=R cost=C)" when present; EXPLAIN ANALYZE places it beside
+  // the actuals so estimate-vs-actual drift is visible per operator.
+  double est_rows = -1;
+  double est_cost = -1;
+
   // Slot-bound expression programs compiled from the fields above by
   // CompilePlanPrograms (planner.cc); the executor's batched pipeline
   // evaluates these instead of re-walking the AST per row. The ExprPtr

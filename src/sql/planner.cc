@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "sql/expr_eval.h"
+#include "sql/logical_plan.h"
+#include "sql/physical_planner.h"
+#include "sql/rewriter.h"
 
 namespace xomatiq::sql {
 
@@ -15,194 +20,66 @@ using rel::Schema;
 using rel::Value;
 using rel::ValueType;
 
-void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out) {
-  if (expr == nullptr) return;
-  if (expr->kind == ExprKind::kBinary && expr->bin_op == BinaryOp::kAnd) {
-    SplitConjuncts(std::move(expr->left), out);
-    SplitConjuncts(std::move(expr->right), out);
-    return;
+Result<PlanPtr> Planner::PlanSelect(const SelectStmt& stmt) {
+  if (options_.mode == PlannerMode::kAuto ||
+      options_.mode == PlannerMode::kCostBased) {
+    if (AllTablesFresh(stmt)) {
+      auto plan = PlanSelectCostBased(stmt);
+      if (plan.ok()) return plan;
+      if (options_.mode == PlannerMode::kCostBased) return plan;
+      common::MetricsRegistry::Global()
+          .GetCounter("sql.opt.fallback")
+          ->Inc();
+    } else if (options_.mode == PlannerMode::kCostBased) {
+      return Status::InvalidArgument(
+          "cost-based planning requires fresh statistics; run ANALYZE");
+    }
   }
-  out->push_back(std::move(expr));
+  common::MetricsRegistry::Global()
+      .GetCounter("sql.opt.rule_based_plans")
+      ->Inc();
+  return PlanSelectRuleBased(stmt);
 }
 
-namespace {
-
-void CollectColumnRefs(const Expr& e, std::vector<const Expr*>* out) {
-  if (e.kind == ExprKind::kColumnRef) {
-    out->push_back(&e);
-    return;
-  }
-  if (e.left) CollectColumnRefs(*e.left, out);
-  if (e.right) CollectColumnRefs(*e.right, out);
-  if (e.extra) CollectColumnRefs(*e.extra, out);
-  for (const ExprPtr& item : e.list) CollectColumnRefs(*item, out);
-}
-
-// Bare column name (strips any "alias." qualifier).
-std::string BareName(const std::string& name) {
-  size_t dot = name.rfind('.');
-  return dot == std::string::npos ? name : name.substr(dot + 1);
-}
-
-ExprPtr AndAll(std::vector<ExprPtr> conjuncts) {
-  ExprPtr acc;
-  for (ExprPtr& c : conjuncts) {
-    acc = acc == nullptr
-              ? std::move(c)
-              : MakeBinary(BinaryOp::kAnd, std::move(acc), std::move(c));
-  }
-  return acc;
-}
-
-}  // namespace
-
-bool BindableAgainst(const Expr& e, const Schema& schema) {
-  std::vector<const Expr*> refs;
-  CollectColumnRefs(e, &refs);
-  for (const Expr* ref : refs) {
-    if (!schema.FindColumn(ref->column_name).has_value()) return false;
+bool Planner::AllTablesFresh(const SelectStmt& stmt) const {
+  std::vector<const TableRef*> refs;
+  for (const TableRef& t : stmt.from) refs.push_back(&t);
+  for (const JoinClause& j : stmt.joins) refs.push_back(&j.table);
+  if (refs.empty()) return false;
+  for (const TableRef* ref : refs) {
+    const rel::TableStats* stats = db_->StatsFor(ref->table);
+    if (stats == nullptr) return false;
+    uint64_t budget = std::max(
+        options_.stats_stale_min,
+        static_cast<uint64_t>(options_.stats_stale_fraction *
+                              static_cast<double>(stats->row_count)));
+    if (db_->MutationsSinceAnalyze(ref->table) > budget) return false;
   }
   return true;
 }
 
-namespace {
-
-// A single-table predicate decomposed for index matching.
-struct EqPred {
-  std::string bare_column;
-  Value literal;
-  size_t conjunct_index;
-};
-
-struct RangePred {
-  std::string bare_column;
-  std::optional<Value> lo;
-  bool lo_inclusive = true;
-  std::optional<Value> hi;
-  bool hi_inclusive = true;
-  size_t conjunct_index;
-  // True when the range is a superset of the predicate (e.g. the prefix
-  // range of a LIKE): the original conjunct must stay as a filter.
-  bool keep_conjunct = false;
-};
-
-struct ContainsPred {
-  std::string bare_column;
-  std::string keyword;
-  size_t conjunct_index;
-};
-
-// Classifies `e` (already known to bind only against this table) into an
-// index-usable shape, if any.
-void ClassifyPredicate(const Expr& e, size_t conjunct_index,
-                       std::vector<EqPred>* eqs,
-                       std::vector<RangePred>* ranges,
-                       std::vector<ContainsPred>* contains) {
-  if (e.kind == ExprKind::kContains &&
-      e.left->kind == ExprKind::kColumnRef &&
-      e.right->kind == ExprKind::kLiteral &&
-      e.right->value.type() == ValueType::kText) {
-    contains->push_back({BareName(e.left->column_name),
-                         e.right->value.AsText(), conjunct_index});
-    return;
+Result<PlanPtr> Planner::PlanSelectCostBased(const SelectStmt& stmt) {
+  common::Histogram* opt_hist =
+      common::MetricsRegistry::Global().GetHistogram("sql.stage.optimize");
+  common::TraceSpan span("sql.optimize", opt_hist);
+  Binder binder(db_);
+  XQ_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(stmt));
+  XQ_RETURN_IF_ERROR(RewriteLogicalPlan(logical.get()));
+  CostBasedPlanner lowering(db_, options_);
+  XQ_ASSIGN_OR_RETURN(PlanPtr plan, lowering.Lower(*logical));
+  XQ_RETURN_IF_ERROR(CompilePlanPrograms(plan.get()));
+  common::MetricsRegistry::Global()
+      .GetCounter("sql.opt.cost_based_plans")
+      ->Inc();
+  if (lowering.reordered()) {
+    common::MetricsRegistry::Global()
+        .GetCounter("sql.opt.join_reorders")
+        ->Inc();
   }
-  if (e.kind == ExprKind::kBetween && !e.negated &&
-      e.left->kind == ExprKind::kColumnRef &&
-      e.right->kind == ExprKind::kLiteral &&
-      e.extra->kind == ExprKind::kLiteral) {
-    RangePred r;
-    r.bare_column = BareName(e.left->column_name);
-    r.lo = e.right->value;
-    r.hi = e.extra->value;
-    r.conjunct_index = conjunct_index;
-    ranges->push_back(std::move(r));
-    return;
-  }
-  // LIKE with a literal prefix scans the btree range [prefix, prefix+1)
-  // and keeps the LIKE as a residual filter.
-  if (e.kind == ExprKind::kLike && !e.negated &&
-      e.left->kind == ExprKind::kColumnRef &&
-      e.right->kind == ExprKind::kLiteral &&
-      e.right->value.type() == ValueType::kText) {
-    const std::string& pattern = e.right->value.AsText();
-    size_t wildcard = pattern.find_first_of("%_");
-    if (wildcard != std::string::npos && wildcard > 0) {
-      std::string prefix = pattern.substr(0, wildcard);
-      if (static_cast<unsigned char>(prefix.back()) < 0xFF) {
-        std::string upper = prefix;
-        upper.back() = static_cast<char>(upper.back() + 1);
-        RangePred r;
-        r.bare_column = BareName(e.left->column_name);
-        r.lo = Value::Text(prefix);
-        r.hi = Value::Text(upper);
-        r.hi_inclusive = false;
-        r.conjunct_index = conjunct_index;
-        r.keep_conjunct = true;
-        ranges->push_back(std::move(r));
-      }
-    }
-    return;
-  }
-  if (e.kind != ExprKind::kBinary) return;
-  const Expr* col = nullptr;
-  const Expr* lit = nullptr;
-  bool flipped = false;
-  if (e.left->kind == ExprKind::kColumnRef &&
-      e.right->kind == ExprKind::kLiteral) {
-    col = e.left.get();
-    lit = e.right.get();
-  } else if (e.right->kind == ExprKind::kColumnRef &&
-             e.left->kind == ExprKind::kLiteral) {
-    col = e.right.get();
-    lit = e.left.get();
-    flipped = true;
-  } else {
-    return;
-  }
-  if (lit->value.is_null()) return;
-  BinaryOp op = e.bin_op;
-  if (flipped) {
-    switch (op) {
-      case BinaryOp::kLt: op = BinaryOp::kGt; break;
-      case BinaryOp::kLe: op = BinaryOp::kGe; break;
-      case BinaryOp::kGt: op = BinaryOp::kLt; break;
-      case BinaryOp::kGe: op = BinaryOp::kLe; break;
-      default: break;
-    }
-  }
-  std::string bare = BareName(col->column_name);
-  switch (op) {
-    case BinaryOp::kEq:
-      eqs->push_back({bare, lit->value, conjunct_index});
-      break;
-    case BinaryOp::kLt:
-    case BinaryOp::kLe: {
-      RangePred r;
-      r.bare_column = bare;
-      r.hi = lit->value;
-      r.hi_inclusive = op == BinaryOp::kLe;
-      r.conjunct_index = conjunct_index;
-      ranges->push_back(std::move(r));
-      break;
-    }
-    case BinaryOp::kGt:
-    case BinaryOp::kGe: {
-      RangePred r;
-      r.bare_column = bare;
-      r.lo = lit->value;
-      r.lo_inclusive = op == BinaryOp::kGe;
-      r.conjunct_index = conjunct_index;
-      ranges->push_back(std::move(r));
-      break;
-    }
-    default:
-      break;
-  }
+  return plan;
 }
 
-}  // namespace
-
-Result<PlanPtr> Planner::PlanSelect(const SelectStmt& stmt) {
+Result<PlanPtr> Planner::PlanSelectRuleBased(const SelectStmt& stmt) {
   // 1. Table list in FROM order.
   std::vector<TableRef> tables = stmt.from;
   for (const JoinClause& j : stmt.joins) tables.push_back(j.table);
@@ -301,27 +178,38 @@ Result<PlanPtr> Planner::PlanSelect(const SelectStmt& stmt) {
   PlanPtr plan;
   for (size_t added = 0; added < tables.size(); ++added) {
     size_t next = tables.size();
-    if (plan != nullptr) {
+    if (options_.mode == PlannerMode::kFromOrder) {
+      // Reordering disabled: take tables in literal FROM order (the
+      // worst-case baseline the optimizer benches measure against).
       for (size_t i = 0; i < tables.size(); ++i) {
-        if (!placed[i] && links_to_plan(plan->schema, i)) {
+        if (!placed[i]) {
           next = i;
           break;
         }
       }
-      if (next == tables.size()) {
-        // No table connects: the current component is complete.
-        components.push_back(std::move(plan));
-        plan = nullptr;
-      }
-    }
-    if (plan == nullptr) {
-      int best = -1;
-      for (size_t i = 0; i < tables.size(); ++i) {
-        if (!placed[i]) {
-          int score = seed_score(i);
-          if (score > best) {
-            best = score;
+    } else {
+      if (plan != nullptr) {
+        for (size_t i = 0; i < tables.size(); ++i) {
+          if (!placed[i] && links_to_plan(plan->schema, i)) {
             next = i;
+            break;
+          }
+        }
+        if (next == tables.size()) {
+          // No table connects: the current component is complete.
+          components.push_back(std::move(plan));
+          plan = nullptr;
+        }
+      }
+      if (plan == nullptr) {
+        int best = -1;
+        for (size_t i = 0; i < tables.size(); ++i) {
+          if (!placed[i]) {
+            int score = seed_score(i);
+            if (score > best) {
+              best = score;
+              next = i;
+            }
           }
         }
       }

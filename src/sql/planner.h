@@ -7,6 +7,23 @@
 
 namespace xomatiq::sql {
 
+// Which planning pipeline PlanSelect uses.
+enum class PlannerMode {
+  // Cost-based when every referenced table has fresh statistics (see the
+  // staleness knobs below), rule-based otherwise. Any cost-based planning
+  // failure falls back to rule-based, so kAuto never changes which queries
+  // succeed — only which physical plans they get.
+  kAuto,
+  // Always the rule-based FROM-order pipeline (pre-optimizer behavior).
+  kRuleBased,
+  // Always cost-based; planning fails when statistics are missing/stale.
+  kCostBased,
+  // Rule-based with greedy join reordering disabled: tables join in
+  // literal FROM order. The differential tests and bench_optimizer use
+  // this as the worst-case baseline the optimizer is measured against.
+  kFromOrder,
+};
+
 // Planner tuning knobs.
 struct PlannerOptions {
   // A sequential scan over a table with at least this many slots becomes a
@@ -16,19 +33,34 @@ struct PlannerOptions {
   // Worker count for parallel scans: 0 = hardware concurrency. Parallel
   // scans are only chosen when the effective degree is >= 2.
   int parallel_degree = 0;
+
+  PlannerMode mode = PlannerMode::kAuto;
+  // Statistics are "fresh" while the table's mutations since its last
+  // ANALYZE stay within max(stats_stale_min, stats_stale_fraction * rows).
+  uint64_t stats_stale_min = 64;
+  double stats_stale_fraction = 0.2;
+  // Joins of up to this many relations get exact DP join-order search over
+  // left-deep trees; larger joins switch to greedy cheapest-extension.
+  size_t dp_join_limit = 10;
 };
 
-// Rule-based planner. Produces a left-deep physical plan in FROM order:
-//   - single-table predicates choose hash/btree/inverted index access
-//     paths when a matching index exists (equality, single-column range,
-//     CONTAINS keyword), else sequential scan plus filter;
-//   - joins pick index-nested-loop when the inner join column is indexed,
-//     hash join for other equi-joins, nested-loop otherwise;
-//   - GROUP BY / aggregates, HAVING, DISTINCT, ORDER BY, LIMIT layered on
-//     top in standard SQL evaluation order.
+// Query planner. Two pipelines share the surrounding SELECT machinery
+// (aggregation, HAVING, ORDER BY placement, DISTINCT, LIMIT):
+//
+//   - Rule-based (the original planner): left-deep plan built greedily
+//     from FROM order; single-table predicates choose hash/btree/inverted
+//     index access paths when a matching index exists, joins pick
+//     index-nested-loop when the inner join column is indexed, hash join
+//     for other equi-joins, nested-loop otherwise.
+//   - Cost-based (logical_plan.h + stats.h + physical_planner.h): binds
+//     the statement to a logical IR, rewrites it (constant folding,
+//     predicate pushdown), then searches join orders and access paths
+//     with a cardinality/cost model fed by ANALYZE statistics.
+//
 // This is the "meticulous analysis of query plans" surface from §3.2 of
-// the paper: EXPLAIN prints the chosen plan and bench_index_ablation
-// measures the impact of each index choice.
+// the paper: EXPLAIN prints the chosen plan (with estimates when costed)
+// and bench_index_ablation / bench_optimizer measure the impact of index
+// and join-order choices.
 class Planner {
  public:
   explicit Planner(rel::Database* db, PlannerOptions options = {})
@@ -39,6 +71,14 @@ class Planner {
   PlannerOptions& options() { return options_; }
 
  private:
+  // True when every table referenced by `stmt` has statistics within the
+  // staleness bound (false, too, when a table doesn't exist — the
+  // rule-based path then reports the usual error).
+  bool AllTablesFresh(const SelectStmt& stmt) const;
+
+  common::Result<PlanPtr> PlanSelectRuleBased(const SelectStmt& stmt);
+  common::Result<PlanPtr> PlanSelectCostBased(const SelectStmt& stmt);
+
   rel::Database* db_;
   PlannerOptions options_;
 };
@@ -47,13 +87,6 @@ class Planner {
 // slot-bound programs the batched executor evaluates (plan->*_progs).
 // PlanSelect calls this on its result; exposed for hand-built plans.
 common::Status CompilePlanPrograms(PlanNode* plan);
-
-// Splits a boolean expression into top-level AND conjuncts (consumes the
-// expression tree).
-void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out);
-
-// True when every column reference in `e` resolves in `schema`.
-bool BindableAgainst(const Expr& e, const rel::Schema& schema);
 
 }  // namespace xomatiq::sql
 

@@ -1,0 +1,187 @@
+#include "sql/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sql/rewriter.h"
+
+namespace xomatiq::sql {
+
+using rel::ColumnStats;
+using rel::Schema;
+using rel::TableStats;
+using rel::Value;
+
+namespace {
+
+double Clamp(double s) {
+  return std::min(1.0, std::max(CardinalityEstimator::kMinSel, s));
+}
+
+const ColumnStats* ColumnFor(const Expr& col_ref, const Schema& schema,
+                             const TableStats& stats) {
+  if (col_ref.kind != ExprKind::kColumnRef) return nullptr;
+  std::optional<size_t> idx = schema.FindColumn(col_ref.column_name);
+  if (!idx.has_value() || *idx >= stats.columns.size()) return nullptr;
+  return &stats.columns[*idx];
+}
+
+// Fraction of [min, max] below `v` under linear interpolation; nullopt when
+// any endpoint is non-numeric (TEXT ranges fall back to defaults).
+std::optional<double> RangeFraction(const ColumnStats& cs, const Value& v) {
+  auto lo = cs.min.ToNumeric();
+  auto hi = cs.max.ToNumeric();
+  auto x = v.ToNumeric();
+  if (!lo.ok() || !hi.ok() || !x.ok()) return std::nullopt;
+  if (*hi <= *lo) return *x >= *lo ? 1.0 : 0.0;
+  return (*x - *lo) / (*hi - *lo);
+}
+
+double EqSelectivity(const ColumnStats* cs, uint64_t row_count) {
+  if (cs == nullptr || cs->ndv == 0) return CardinalityEstimator::kDefaultEq;
+  double non_null = 1.0;
+  if (row_count > 0) {
+    non_null = 1.0 - cs->null_fraction(row_count);
+  }
+  return non_null / static_cast<double>(cs->ndv);
+}
+
+// col <op> literal range selectivity via min/max interpolation.
+double CmpSelectivity(const ColumnStats* cs, BinaryOp op, const Value& lit) {
+  if (cs == nullptr) return CardinalityEstimator::kDefaultRange;
+  auto frac = RangeFraction(*cs, lit);
+  if (!frac.has_value()) return CardinalityEstimator::kDefaultRange;
+  double below = std::min(1.0, std::max(0.0, *frac));
+  switch (op) {
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      return below;
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return 1.0 - below;
+    default:
+      return CardinalityEstimator::kDefaultRange;
+  }
+}
+
+}  // namespace
+
+double CardinalityEstimator::Selectivity(const Expr& e, const Schema& schema,
+                                         const TableStats& stats) {
+  switch (e.kind) {
+    case ExprKind::kLiteral: {
+      // Folded-constant predicate: TRUE keeps everything, FALSE nothing.
+      if (e.value.is_null()) return kMinSel;
+      auto n = e.value.ToNumeric();
+      if (n.ok()) return *n != 0.0 ? 1.0 : kMinSel;
+      return kDefaultSel;
+    }
+    case ExprKind::kBinary: {
+      if (e.bin_op == BinaryOp::kAnd) {
+        return Clamp(Selectivity(*e.left, schema, stats) *
+                     Selectivity(*e.right, schema, stats));
+      }
+      if (e.bin_op == BinaryOp::kOr) {
+        double s1 = Selectivity(*e.left, schema, stats);
+        double s2 = Selectivity(*e.right, schema, stats);
+        return Clamp(s1 + s2 - s1 * s2);
+      }
+      const Expr* col = nullptr;
+      const Expr* lit = nullptr;
+      bool flipped = false;
+      if (e.left->kind == ExprKind::kColumnRef &&
+          e.right->kind == ExprKind::kLiteral) {
+        col = e.left.get();
+        lit = e.right.get();
+      } else if (e.right->kind == ExprKind::kColumnRef &&
+                 e.left->kind == ExprKind::kLiteral) {
+        col = e.right.get();
+        lit = e.left.get();
+        flipped = true;
+      } else {
+        return kDefaultSel;
+      }
+      BinaryOp op = e.bin_op;
+      if (flipped) {
+        switch (op) {
+          case BinaryOp::kLt: op = BinaryOp::kGt; break;
+          case BinaryOp::kLe: op = BinaryOp::kGe; break;
+          case BinaryOp::kGt: op = BinaryOp::kLt; break;
+          case BinaryOp::kGe: op = BinaryOp::kLe; break;
+          default: break;
+        }
+      }
+      const ColumnStats* cs = ColumnFor(*col, schema, stats);
+      switch (op) {
+        case BinaryOp::kEq:
+          return Clamp(EqSelectivity(cs, stats.row_count));
+        case BinaryOp::kNe:
+          return Clamp(1.0 - EqSelectivity(cs, stats.row_count));
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return Clamp(CmpSelectivity(cs, op, lit->value));
+        default:
+          return kDefaultSel;
+      }
+    }
+    case ExprKind::kUnary: {
+      if (e.un_op == UnaryOp::kNot) {
+        return Clamp(1.0 - Selectivity(*e.left, schema, stats));
+      }
+      return kDefaultSel;
+    }
+    case ExprKind::kIsNull: {
+      const ColumnStats* cs =
+          e.left ? ColumnFor(*e.left, schema, stats) : nullptr;
+      double null_frac = cs != nullptr && stats.row_count > 0
+                             ? cs->null_fraction(stats.row_count)
+                             : kDefaultEq;
+      return Clamp(e.negated ? 1.0 - null_frac : null_frac);
+    }
+    case ExprKind::kBetween: {
+      const ColumnStats* cs = ColumnFor(*e.left, schema, stats);
+      if (cs != nullptr && e.right->kind == ExprKind::kLiteral &&
+          e.extra->kind == ExprKind::kLiteral) {
+        auto lo = RangeFraction(*cs, e.right->value);
+        auto hi = RangeFraction(*cs, e.extra->value);
+        if (lo.has_value() && hi.has_value()) {
+          double s = std::min(1.0, std::max(0.0, *hi)) -
+                     std::min(1.0, std::max(0.0, *lo));
+          s = std::max(0.0, s);
+          return Clamp(e.negated ? 1.0 - s : s);
+        }
+      }
+      return Clamp(e.negated ? 1.0 - kDefaultRange : kDefaultRange);
+    }
+    case ExprKind::kInList: {
+      const ColumnStats* cs = ColumnFor(*e.left, schema, stats);
+      double per = EqSelectivity(cs, stats.row_count);
+      double s = per * static_cast<double>(e.list.size());
+      s = std::min(1.0, s);
+      return Clamp(e.negated ? 1.0 - s : s);
+    }
+    case ExprKind::kLike:
+      return Clamp(e.negated ? 1.0 - kLikeSel : kLikeSel);
+    case ExprKind::kContains:
+      return kContainsSel;
+    default:
+      return kDefaultSel;
+  }
+}
+
+double CardinalityEstimator::EquiJoinSelectivity(const TableStats& left,
+                                                 size_t left_col,
+                                                 const TableStats& right,
+                                                 size_t right_col) {
+  uint64_t ndv_l =
+      left_col < left.columns.size() ? left.columns[left_col].ndv : 0;
+  uint64_t ndv_r =
+      right_col < right.columns.size() ? right.columns[right_col].ndv : 0;
+  uint64_t ndv = std::max(ndv_l, ndv_r);
+  if (ndv == 0) return kDefaultEq;
+  return Clamp(1.0 / static_cast<double>(ndv));
+}
+
+}  // namespace xomatiq::sql

@@ -1,0 +1,65 @@
+#ifndef XOMATIQ_SQL_STATS_H_
+#define XOMATIQ_SQL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "relational/schema.h"
+#include "relational/stats.h"
+#include "sql/ast.h"
+
+namespace xomatiq::sql {
+
+// Per-operation unit costs for the cost-based planner. Units are abstract
+// "row touches": a sequential scan of N rows costs N * seq_row. Absolute
+// values are meaningless; only the ratios steer plan choice, and they are
+// tuned to the batched executor (hash probes cheaper than index probes,
+// index probes far cheaper than rescans, parallel scans amortizing a fixed
+// worker-startup fee).
+struct CostModel {
+  double seq_row = 1.0;          // read one row from a sequential scan
+  double pred_eval = 0.2;        // evaluate one residual predicate on a row
+  double hash_build = 1.5;       // insert one row into a join hash table
+  double hash_probe = 1.2;       // probe the hash table with one row
+  double index_probe = 4.0;      // one hash-index point lookup
+  double btree_descend = 8.0;    // one btree root-to-leaf descent
+  double index_row = 1.5;        // fetch one matching row via an index
+  double keyword_row = 1.5;      // fetch one posting from the inverted index
+  double nl_pair = 0.4;          // evaluate one (outer, inner) pair in NL join
+  double out_row = 0.1;          // emit one row downstream
+  double sort_row_log = 0.3;     // per-row-per-log2(N) sorting cost
+  double parallel_startup = 8000.0;  // fixed fee to fan out scan workers
+};
+
+// Selectivity and row-count estimation from rel::TableStats sketches.
+// Every method degrades gracefully: when the needed column statistic is
+// missing (NULL-only column, non-numeric range, unknown shape), a fixed
+// default selectivity from the estimator constants applies.
+class CardinalityEstimator {
+ public:
+  // Magic selectivities, used when statistics cannot answer precisely.
+  static constexpr double kMinSel = 1e-6;
+  static constexpr double kDefaultEq = 0.05;
+  static constexpr double kDefaultRange = 0.33;
+  static constexpr double kDefaultSel = 0.25;
+  static constexpr double kContainsSel = 0.05;
+  static constexpr double kLikeSel = 0.1;
+
+  // Fraction of `stats` rows satisfying predicate `e`, whose column refs
+  // bind against `schema` (the Get's alias-qualified schema; positions
+  // line up with stats.columns). Clamped to [kMinSel, 1].
+  static double Selectivity(const Expr& e, const rel::Schema& schema,
+                            const rel::TableStats& stats);
+
+  // Selectivity of an equi-join between two columns: 1 / max(ndv_l, ndv_r),
+  // the classic containment assumption. Indices may be SIZE_MAX when a side
+  // failed to resolve (falls back to the larger known NDV or kDefaultEq).
+  static double EquiJoinSelectivity(const rel::TableStats& left,
+                                    size_t left_col,
+                                    const rel::TableStats& right,
+                                    size_t right_col);
+};
+
+}  // namespace xomatiq::sql
+
+#endif  // XOMATIQ_SQL_STATS_H_

@@ -66,22 +66,28 @@ Result<XqResult> XomatiQ::Execute(std::string_view query_text,
   result.collections = translation.collections;
   // Union the disjunct statements with set semantics, preserving the
   // first-seen order. Each statement streams its batches straight into
-  // the result; no per-statement materialization.
+  // the result; no per-statement materialization. Statements run from
+  // their structured ASTs when the translator produced them (the normal
+  // case) — the generated SQL text is never re-lexed or re-parsed here.
   std::set<rel::CompositeKey, rel::CompositeKeyLess> seen;
-  for (const std::string& sql : translation.sql) {
-    XQ_RETURN_IF_ERROR(engine_
-                           .ExecuteSelectBatched(
-                               sql,
-                               [&](rel::RowBatch& batch) {
-                                 for (size_t i = 0; i < batch.size(); ++i) {
-                                   if (seen.insert(batch.row(i)).second) {
-                                     result.rows.push_back(batch.row(i));
-                                   }
-                                 }
-                                 return true;
-                               },
-                               deadline)
-                           .status());
+  const sql::Executor::BatchSink sink = [&](rel::RowBatch& batch) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (seen.insert(batch.row(i)).second) {
+        result.rows.push_back(batch.row(i));
+      }
+    }
+    return true;
+  };
+  for (size_t s = 0; s < translation.sql.size(); ++s) {
+    if (s < translation.stmts.size() && translation.stmts[s] != nullptr) {
+      XQ_RETURN_IF_ERROR(
+          engine_.ExecuteSelectStmtBatched(*translation.stmts[s], sink, deadline)
+              .status());
+    } else {
+      XQ_RETURN_IF_ERROR(
+          engine_.ExecuteSelectBatched(translation.sql[s], sink, deadline)
+              .status());
+    }
   }
   return result;
 }
@@ -89,9 +95,17 @@ Result<XqResult> XomatiQ::Execute(std::string_view query_text,
 Result<std::string> XomatiQ::Explain(std::string_view query_text) {
   XQ_ASSIGN_OR_RETURN(Translation translation, Translate(query_text));
   std::string out;
-  for (const std::string& sql : translation.sql) {
-    XQ_ASSIGN_OR_RETURN(sql::QueryResult qr, engine_.Execute("EXPLAIN " + sql));
-    out += sql + "\n" + qr.explain_text + "\n";
+  for (size_t s = 0; s < translation.sql.size(); ++s) {
+    std::string plan_text;
+    if (s < translation.stmts.size() && translation.stmts[s] != nullptr) {
+      XQ_ASSIGN_OR_RETURN(plan_text,
+                          engine_.ExplainSelectStmt(*translation.stmts[s]));
+    } else {
+      XQ_ASSIGN_OR_RETURN(sql::QueryResult qr,
+                          engine_.Execute("EXPLAIN " + translation.sql[s]));
+      plan_text = qr.explain_text;
+    }
+    out += translation.sql[s] + "\n" + plan_text + "\n";
   }
   return out;
 }

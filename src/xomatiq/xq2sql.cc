@@ -75,6 +75,30 @@ std::string LiteralSql(const Value& v) {
   return v.ToString();
 }
 
+// --- structured-statement helpers -----------------------------------------
+//
+// Every WHERE conjunct the translator emits as text is also built as a
+// sql::Expr, so the final statement can be handed to the engine as an AST
+// (no re-parse of the generated SQL on the execute path).
+
+sql::ExprPtr Col(const std::string& alias, const char* column) {
+  return sql::MakeColumnRef(alias + "." + column);
+}
+
+sql::ExprPtr IntLit(int64_t v) { return sql::MakeLiteral(Value::Int(v)); }
+
+sql::BinaryOp CmpOp(const std::string& op) {
+  if (op == "=") return sql::BinaryOp::kEq;
+  if (op == "!=") return sql::BinaryOp::kNe;
+  if (op == "<") return sql::BinaryOp::kLt;
+  if (op == "<=") return sql::BinaryOp::kLe;
+  if (op == ">") return sql::BinaryOp::kGt;
+  if (op == ">=") return sql::BinaryOp::kGe;
+  // The XQ parser only admits the six operators above; anything else
+  // would already have been rejected upstream.
+  return sql::BinaryOp::kEq;
+}
+
 // --- DNF normalization ------------------------------------------------------
 
 struct Leaf {
@@ -150,8 +174,14 @@ class StatementBuilder {
 
   void AddFrom(const std::string& table, const std::string& alias) {
     from_.push_back(table + " " + alias);
+    from_refs_.push_back({table, alias});
   }
-  void AddWhere(std::string cond) { where_.push_back(std::move(cond)); }
+  // Records one WHERE conjunct in both renderings: `cond` is the SQL text
+  // (display), `expr` the equivalent AST fragment (execution).
+  void AddWhere(std::string cond, sql::ExprPtr expr) {
+    where_.push_back(std::move(cond));
+    where_exprs_.push_back(std::move(expr));
+  }
 
   std::string NewAlias(const char* prefix) {
     return std::string(prefix) + std::to_string(counter_++);
@@ -176,6 +206,11 @@ class StatementBuilder {
   std::string Build(const std::vector<std::string>& select_items,
                     const std::string& order_by) const;
 
+  // Structured counterpart of Build(): moves the accumulated FROM/WHERE
+  // state into a SelectStmt. Call once, after Build().
+  sql::SelectStmt BuildStmt(std::vector<sql::SelectItem> items,
+                            const std::string& order_by);
+
  private:
   // Constrains `alias` to nodes matching `pattern`.
   void AddPathConstraint(const std::string& alias,
@@ -190,6 +225,8 @@ class StatementBuilder {
   const std::vector<PathEntry>& dict_;
   std::vector<std::string> from_;
   std::vector<std::string> where_;
+  std::vector<sql::TableRef> from_refs_;
+  std::vector<sql::ExprPtr> where_exprs_;
   std::map<std::string, VarInfo> vars_;
   int counter_ = 0;
 };
@@ -200,28 +237,43 @@ void StatementBuilder::AddPathConstraint(const std::string& alias,
   if (ids.empty()) {
     // No stored path matches: the statement returns no rows. Emit an
     // always-false constraint so the SQL stays valid.
-    AddWhere(alias + ".path_id = -1");
+    AddWhere(alias + ".path_id = -1",
+             sql::MakeBinary(sql::BinaryOp::kEq, Col(alias, "path_id"),
+                             IntLit(-1)));
     return;
   }
   if (ids.size() == 1) {
-    AddWhere(alias + ".path_id = " + std::to_string(ids[0]));
+    AddWhere(alias + ".path_id = " + std::to_string(ids[0]),
+             sql::MakeBinary(sql::BinaryOp::kEq, Col(alias, "path_id"),
+                             IntLit(ids[0])));
     return;
   }
   std::string in = alias + ".path_id IN (";
+  auto in_expr = std::make_unique<sql::Expr>();
+  in_expr->kind = sql::ExprKind::kInList;
+  in_expr->left = Col(alias, "path_id");
   for (size_t i = 0; i < ids.size(); ++i) {
     if (i > 0) in += ", ";
     in += std::to_string(ids[i]);
+    in_expr->list.push_back(IntLit(ids[i]));
   }
-  AddWhere(in + ")");
+  AddWhere(in + ")", std::move(in_expr));
 }
 
 void StatementBuilder::AddContainment(const std::string& alias,
                                       const std::string& anchor,
                                       bool include_self) {
-  AddWhere(alias + ".doc_id = " + anchor + ".doc_id");
+  AddWhere(alias + ".doc_id = " + anchor + ".doc_id",
+           sql::MakeBinary(sql::BinaryOp::kEq, Col(alias, "doc_id"),
+                           Col(anchor, "doc_id")));
   AddWhere(alias + ".ordinal >" + (include_self ? "=" : "") + " " + anchor +
-           ".ordinal");
-  AddWhere(alias + ".ordinal <= " + anchor + ".end_ordinal");
+               ".ordinal",
+           sql::MakeBinary(
+               include_self ? sql::BinaryOp::kGe : sql::BinaryOp::kGt,
+               Col(alias, "ordinal"), Col(anchor, "ordinal")));
+  AddWhere(alias + ".ordinal <= " + anchor + ".end_ordinal",
+           sql::MakeBinary(sql::BinaryOp::kLe, Col(alias, "ordinal"),
+                           Col(anchor, "end_ordinal")));
 }
 
 Status StatementBuilder::AddBinding(const XqBinding& binding) {
@@ -260,10 +312,16 @@ Status StatementBuilder::AddBinding(const XqBinding& binding) {
   info.binding_steps = binding.steps;
   AddFrom(hounds::kDocumentTable, info.doc_alias);
   AddFrom(hounds::kNodeTable, info.node_alias);
-  AddWhere(info.doc_alias + ".collection = " + SqlQuote(binding.collection));
-  AddWhere(info.node_alias + ".doc_id = " + info.doc_alias + ".doc_id");
+  AddWhere(info.doc_alias + ".collection = " + SqlQuote(binding.collection),
+           sql::MakeBinary(sql::BinaryOp::kEq, Col(info.doc_alias, "collection"),
+                           sql::MakeLiteral(Value::Text(binding.collection))));
+  AddWhere(info.node_alias + ".doc_id = " + info.doc_alias + ".doc_id",
+           sql::MakeBinary(sql::BinaryOp::kEq, Col(info.node_alias, "doc_id"),
+                           Col(info.doc_alias, "doc_id")));
   AddWhere(info.node_alias + ".kind = " +
-           std::to_string(hounds::kKindElement));
+               std::to_string(hounds::kKindElement),
+           sql::MakeBinary(sql::BinaryOp::kEq, Col(info.node_alias, "kind"),
+                           IntLit(hounds::kKindElement)));
   AddPathConstraint(info.node_alias, binding.steps);
   XQ_RETURN_IF_ERROR(EmitPredicates(
       info.node_alias, binding.steps,
@@ -278,7 +336,9 @@ Status StatementBuilder::EmitPredicates(
     const std::vector<XqPredicate>& predicates) {
   for (const XqPredicate& pred : predicates) {
     if (pred.is_position) {
-      AddWhere(node_alias + ".name_pos = " + std::to_string(pred.position));
+      AddWhere(node_alias + ".name_pos = " + std::to_string(pred.position),
+               sql::MakeBinary(sql::BinaryOp::kEq, Col(node_alias, "name_pos"),
+                               IntLit(pred.position)));
       continue;
     }
     std::vector<XqStep> pattern = node_pattern;
@@ -295,7 +355,9 @@ Status StatementBuilder::EmitPredicates(
     }
     std::string value_alias = EmitValueAlias(pred_alias, numeric);
     AddWhere(value_alias + ".value " + pred.op + " " +
-             LiteralSql(pred.literal));
+                 LiteralSql(pred.literal),
+             sql::MakeBinary(CmpOp(pred.op), Col(value_alias, "value"),
+                             sql::MakeLiteral(pred.literal)));
   }
   return Status::OK();
 }
@@ -330,7 +392,9 @@ std::string StatementBuilder::EmitValueAlias(const std::string& node_alias,
                                              bool numeric) {
   std::string alias = NewAlias(numeric ? "num" : "txt");
   AddFrom(numeric ? hounds::kNumberTable : hounds::kTextTable, alias);
-  AddWhere(alias + ".node_id = " + node_alias + ".node_id");
+  AddWhere(alias + ".node_id = " + node_alias + ".node_id",
+           sql::MakeBinary(sql::BinaryOp::kEq, Col(alias, "node_id"),
+                           Col(node_alias, "node_id")));
   return alias;
 }
 
@@ -356,6 +420,29 @@ std::string StatementBuilder::Build(
   }
   if (!order_by.empty()) sql += " ORDER BY " + order_by;
   return sql;
+}
+
+sql::SelectStmt StatementBuilder::BuildStmt(
+    std::vector<sql::SelectItem> items, const std::string& order_by) {
+  sql::SelectStmt stmt;
+  stmt.distinct = true;
+  stmt.items = std::move(items);
+  stmt.from = from_refs_;
+  // Left-associative AND fold, matching how the SQL parser would bracket
+  // the rendered conjunction.
+  for (sql::ExprPtr& e : where_exprs_) {
+    stmt.where = stmt.where == nullptr
+                     ? std::move(e)
+                     : sql::MakeBinary(sql::BinaryOp::kAnd,
+                                       std::move(stmt.where), std::move(e));
+  }
+  where_exprs_.clear();
+  if (!order_by.empty()) {
+    sql::OrderItem item;
+    item.expr = sql::MakeColumnRef(order_by);
+    stmt.order_by.push_back(std::move(item));
+  }
+  return stmt;
 }
 
 }  // namespace
@@ -428,12 +515,16 @@ Result<Translation> Xq2SqlTranslator::Translate(const XQueryAst& ast) {
             bool numeric = op != "=" && op != "!=";
             std::string lv = builder.EmitValueAlias(left_node, numeric);
             std::string rv = builder.EmitValueAlias(right_node, numeric);
-            builder.AddWhere(lv + ".value " + op + " " + rv + ".value");
+            builder.AddWhere(lv + ".value " + op + " " + rv + ".value",
+                             sql::MakeBinary(CmpOp(op), Col(lv, "value"),
+                                             Col(rv, "value")));
           } else {
             bool numeric = cond.right_literal.type() != ValueType::kText;
             std::string lv = builder.EmitValueAlias(left_node, numeric);
-            builder.AddWhere(lv + ".value " + op + " " +
-                             LiteralSql(cond.right_literal));
+            builder.AddWhere(
+                lv + ".value " + op + " " + LiteralSql(cond.right_literal),
+                sql::MakeBinary(CmpOp(op), Col(lv, "value"),
+                                sql::MakeLiteral(cond.right_literal)));
           }
           break;
         }
@@ -450,19 +541,30 @@ Result<Translation> Xq2SqlTranslator::Translate(const XQueryAst& ast) {
             // Subtree keyword search: any text value under the scope node.
             std::string any_node = builder.NewAlias("na");
             builder.AddFrom(hounds::kNodeTable, any_node);
-            builder.AddWhere(any_node + ".doc_id = " + scope_node +
-                             ".doc_id");
-            builder.AddWhere(any_node + ".ordinal >= " + scope_node +
-                             ".ordinal");
-            builder.AddWhere(any_node + ".ordinal <= " + scope_node +
-                             ".end_ordinal");
+            builder.AddWhere(
+                any_node + ".doc_id = " + scope_node + ".doc_id",
+                sql::MakeBinary(sql::BinaryOp::kEq, Col(any_node, "doc_id"),
+                                Col(scope_node, "doc_id")));
+            builder.AddWhere(
+                any_node + ".ordinal >= " + scope_node + ".ordinal",
+                sql::MakeBinary(sql::BinaryOp::kGe, Col(any_node, "ordinal"),
+                                Col(scope_node, "ordinal")));
+            builder.AddWhere(
+                any_node + ".ordinal <= " + scope_node + ".end_ordinal",
+                sql::MakeBinary(sql::BinaryOp::kLe, Col(any_node, "ordinal"),
+                                Col(scope_node, "end_ordinal")));
             text_alias = builder.EmitValueAlias(any_node, /*numeric=*/false);
           } else {
             text_alias =
                 builder.EmitValueAlias(scope_node, /*numeric=*/false);
           }
+          auto contains = std::make_unique<sql::Expr>();
+          contains->kind = sql::ExprKind::kContains;
+          contains->left = Col(text_alias, "value");
+          contains->right = sql::MakeLiteral(Value::Text(cond.keyword));
           builder.AddWhere("CONTAINS(" + text_alias + ".value, " +
-                           SqlQuote(cond.keyword) + ")");
+                               SqlQuote(cond.keyword) + ")",
+                           std::move(contains));
           break;
         }
         case XqCondKind::kOrder: {
@@ -472,9 +574,16 @@ Result<Translation> Xq2SqlTranslator::Translate(const XQueryAst& ast) {
                               builder.EmitPathNode(cond.right_path));
           bool before = cond.op == "BEFORE";
           if (leaf.negated) before = !before;
-          builder.AddWhere(left_node + ".doc_id = " + right_node + ".doc_id");
-          builder.AddWhere(left_node + ".ordinal " + (before ? "<" : ">") +
-                           " " + right_node + ".ordinal");
+          builder.AddWhere(
+              left_node + ".doc_id = " + right_node + ".doc_id",
+              sql::MakeBinary(sql::BinaryOp::kEq, Col(left_node, "doc_id"),
+                              Col(right_node, "doc_id")));
+          builder.AddWhere(
+              left_node + ".ordinal " + (before ? "<" : ">") + " " +
+                  right_node + ".ordinal",
+              sql::MakeBinary(before ? sql::BinaryOp::kLt : sql::BinaryOp::kGt,
+                              Col(left_node, "ordinal"),
+                              Col(right_node, "ordinal")));
           break;
         }
         default:
@@ -484,8 +593,11 @@ Result<Translation> Xq2SqlTranslator::Translate(const XQueryAst& ast) {
 
     // RETURN items.
     std::vector<std::string> select_items;
+    std::vector<sql::SelectItem> stmt_items;
     for (size_t i = 0; i < ast.returns.size(); ++i) {
       const XqReturnItem& item = ast.returns[i];
+      sql::SelectItem si;
+      si.alias = out.column_names[i];
       if (item.path.steps.empty()) {
         const VarInfo* var = builder.FindVar(item.path.var);
         if (var == nullptr) {
@@ -494,15 +606,21 @@ Result<Translation> Xq2SqlTranslator::Translate(const XQueryAst& ast) {
         }
         select_items.push_back(var->doc_alias + ".doc_id AS " +
                                out.column_names[i]);
+        si.expr = Col(var->doc_alias, "doc_id");
+        stmt_items.push_back(std::move(si));
         continue;
       }
       XQ_ASSIGN_OR_RETURN(std::string node, builder.EmitPathNode(item.path));
       std::string value = builder.EmitValueAlias(node, /*numeric=*/false);
       select_items.push_back(value + ".value AS " + out.column_names[i]);
+      si.expr = Col(value, "value");
+      stmt_items.push_back(std::move(si));
     }
 
     std::string order_by = "d_" + ast.bindings.front().var + ".doc_id";
     out.sql.push_back(builder.Build(select_items, order_by));
+    out.stmts.push_back(std::make_shared<sql::SelectStmt>(
+        builder.BuildStmt(std::move(stmt_items), order_by)));
   }
   return out;
 }

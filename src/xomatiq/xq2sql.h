@@ -1,11 +1,13 @@
 #ifndef XOMATIQ_XOMATIQ_XQ2SQL_H_
 #define XOMATIQ_XOMATIQ_XQ2SQL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "datahounds/warehouse.h"
+#include "sql/ast.h"
 #include "xomatiq/xq_ast.h"
 
 namespace xomatiq::xq {
@@ -15,6 +17,13 @@ struct Translation {
   // One SQL statement per disjunct of the WHERE clause's disjunctive
   // normal form; results are unioned (set semantics) by the caller.
   std::vector<std::string> sql;
+  // Structured form of each statement in `sql`, same order. The engine
+  // executes these directly (SqlEngine::ExecuteSelectStmtBatched), so the
+  // hot XQ path never re-lexes or re-parses the generated text; the
+  // strings above are kept for display, logging and caching keys.
+  // shared_ptr because Translation is copied (result cache, XqResult)
+  // while SelectStmt is move-only.
+  std::vector<std::shared_ptr<const sql::SelectStmt>> stmts;
   // Output column names, in RETURN order.
   std::vector<std::string> column_names;
   // Element name of the RETURN constructor ("" = plain item list); the

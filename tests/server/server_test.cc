@@ -178,6 +178,33 @@ TEST_F(ServerTest, StatsOverWireShowsNonzeroCounters) {
   }
 }
 
+TEST_F(ServerTest, XqExplainOverWireShowsPhysicalPlans) {
+  StartServer();
+  auto client = Connect();
+  // EXPLAIN mode renders, per generated SQL statement, the statement text
+  // followed by the physical plan tree the engine will actually run.
+  auto plain = client.Execute(RequestMode::kExplain, kEnzymeIdsXq);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(plain->ok()) << plain->error;
+  EXPECT_EQ(plain->kind, PayloadKind::kText);
+  EXPECT_NE(plain->text.find("SELECT DISTINCT"), std::string::npos)
+      << plain->text;
+  EXPECT_NE(plain->text.find("Distinct"), std::string::npos) << plain->text;
+  EXPECT_NE(plain->text.find("Sort"), std::string::npos) << plain->text;
+  EXPECT_NE(plain->text.find("Scan"), std::string::npos) << plain->text;
+  // Before ANALYZE no estimates appear; after ANALYZE over the same wire
+  // the plans come back costed.
+  EXPECT_EQ(plain->text.find("est rows="), std::string::npos) << plain->text;
+  auto analyze = client.Sql("ANALYZE");
+  ASSERT_TRUE(analyze.ok());
+  ASSERT_TRUE(analyze->ok()) << analyze->error;
+  auto costed = client.Execute(RequestMode::kExplain, kEnzymeIdsXq);
+  ASSERT_TRUE(costed.ok());
+  ASSERT_TRUE(costed->ok()) << costed->error;
+  EXPECT_NE(costed->text.find("est rows="), std::string::npos)
+      << costed->text;
+}
+
 TEST_F(ServerTest, SyncInvalidatesCachedResultsMidRun) {
   StartServer();
   auto client = Connect();

@@ -78,6 +78,35 @@ TEST_F(ObservabilityTest, FlwrQueryEmitsGoldenStageSpans) {
                                }();
 }
 
+TEST_F(ObservabilityTest, DirectXqPathNeverReParsesGeneratedSql) {
+  // The translator hands the engine structured SelectStmt ASTs, so an XQ
+  // execution must plan and execute its SQL ("sql.plan" / "sql.execute"
+  // spans, plus a plan fingerprint) without a single "sql.parse" span —
+  // that span only exists on the SQL-text entry point.
+  common::Trace trace;
+  {
+    common::TraceScope scope(&trace);
+    auto r = xomatiq_->Execute(kFlwrQuery);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  std::vector<std::string> names = trace.SpanNames();
+  auto count = [&](const std::string& name) {
+    return std::count(names.begin(), names.end(), name);
+  };
+  EXPECT_EQ(count("sql.parse"), 0) << [&] {
+    std::string all;
+    for (const auto& n : names) all += n + "\n";
+    return all;
+  }();
+  EXPECT_GT(count("sql.plan"), 0);
+  EXPECT_GT(count("sql.execute"), 0);
+  bool fingerprint_seen = false;
+  for (const std::string& n : names) {
+    if (n.rfind("sql.plan.fp=", 0) == 0) fingerprint_seen = true;
+  }
+  EXPECT_TRUE(fingerprint_seen);
+}
+
 TEST_F(ObservabilityTest, TraceJsonIsWellFormed) {
   common::Trace trace;
   {
