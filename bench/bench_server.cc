@@ -16,6 +16,8 @@
 
 #include "bench_util.h"
 #include "client/client.h"
+#include "common/metrics.h"
+#include "common/query_log.h"
 #include "server/server.h"
 
 namespace {
@@ -34,11 +36,7 @@ struct PhaseResult {
   std::vector<double> latencies_us;
 
   double Percentile(double p) const {
-    if (latencies_us.empty()) return 0;
-    std::vector<double> sorted = latencies_us;
-    std::sort(sorted.begin(), sorted.end());
-    size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
-    return sorted[idx];
+    return common::PercentileOfSamples(latencies_us, p);
   }
 };
 
@@ -180,6 +178,53 @@ int main(int argc, char** argv) {
                     }),
            clients);
     server.Shutdown();
+  }
+
+  {
+    // Ops-plane overhead: the same cached-read workload with the
+    // observability surface fully on (HTTP admin endpoint bound, query
+    // log enabled — the defaults) vs fully off. The delta is the price of
+    // always-on observability on the hottest path the server has.
+    double qps_on = 0, qps_off = 0;
+    {
+      srv::ServerOptions options;
+      options.workers = 4;
+      options.max_queue = 256;
+      options.service.cache = std::make_shared<srv::ResultCache>(512);
+      options.admin_port = 0;  // ephemeral
+      common::QueryLog::Global().set_enabled(true);
+      srv::QueryServer server(fx->warehouse.get(), options);
+      benchutil::Check(server.Start(), "start ops-on server");
+      PhaseResult r = RunPhase(server.port(), clients, seconds, [&](size_t) {
+        return std::pair(srv::RequestMode::kXq, xq_query);
+      });
+      qps_on = r.seconds > 0 ? static_cast<double>(r.requests) / r.seconds : 0;
+      Report(&report, "cached_xq_ops_on", r, clients);
+      server.Shutdown();
+    }
+    {
+      srv::ServerOptions options;
+      options.workers = 4;
+      options.max_queue = 256;
+      options.service.cache = std::make_shared<srv::ResultCache>(512);
+      common::QueryLog::Global().set_enabled(false);
+      srv::QueryServer server(fx->warehouse.get(), options);
+      benchutil::Check(server.Start(), "start ops-off server");
+      PhaseResult r = RunPhase(server.port(), clients, seconds, [&](size_t) {
+        return std::pair(srv::RequestMode::kXq, xq_query);
+      });
+      qps_off = r.seconds > 0 ? static_cast<double>(r.requests) / r.seconds : 0;
+      Report(&report, "cached_xq_ops_off", r, clients);
+      server.Shutdown();
+      common::QueryLog::Global().set_enabled(true);
+    }
+    double overhead_pct =
+        qps_off > 0 ? 100.0 * (qps_off - qps_on) / qps_off : 0;
+    std::printf("%-16s %.2f%% (on %.0f req/s vs off %.0f req/s)\n",
+                "ops_overhead", overhead_pct, qps_on, qps_off);
+    report.Add("ops_plane", {{"qps_ops_on", qps_on},
+                             {"qps_ops_off", qps_off},
+                             {"ops_plane_overhead_pct", overhead_pct}});
   }
 
   {

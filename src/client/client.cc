@@ -8,12 +8,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <thread>
 #include <utility>
 
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace xomatiq::cli {
 
@@ -23,8 +25,29 @@ using common::StatusCode;
 
 namespace {
 
+// Process-unique 64-bit trace ids: a splitmix64 step over a seed mixing
+// the clock with a per-process counter. No coordination with the server
+// is needed — the id only has to be unique among the traces an operator
+// might try to correlate.
+uint64_t GenerateTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t x = static_cast<uint64_t>(
+                   std::chrono::steady_clock::now().time_since_epoch().count())
+               + 0x9e3779b97f4a7c15ULL *
+                     (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x != 0 ? x : 1;  // 0 means "no id" on the wire
+}
+
 // Raw TCP connect; no handshake.
 Result<int> ConnectFd(const std::string& host, uint16_t port) {
+  // No-op unless the caller installed a Trace on this thread (the traced
+  // Execute path does for reconnects; embedders can too).
+  common::TraceSpan span("client.connect");
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
@@ -144,7 +167,9 @@ Client::Client(Client&& other) noexcept
       host_(std::move(other.host_)),
       port_(other.port_),
       features_(other.features_),
-      next_id_(other.next_id_) {}
+      next_id_(other.next_id_),
+      last_trace_json_(std::move(other.last_trace_json_)),
+      last_trace_id_(other.last_trace_id_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -154,6 +179,8 @@ Client& Client::operator=(Client&& other) noexcept {
     port_ = other.port_;
     features_ = other.features_;
     next_id_ = other.next_id_;
+    last_trace_json_ = std::move(other.last_trace_json_);
+    last_trace_id_ = other.last_trace_id_;
   }
   return *this;
 }
@@ -180,27 +207,61 @@ Status Client::Reconnect() {
 
 Result<srv::Response> Client::Execute(srv::RequestMode mode,
                                       std::string_view text,
-                                      const common::QueryOptions& opts) {
+                                      const common::QueryOptions& opts_in) {
   if (fd_ < 0) return Status::IoError("client is closed");
-  srv::Request request;
-  request.id = next_id_++;
-  request.mode = mode;
-  request.text = std::string(text);
-  if (opts != common::QueryOptions{} &&
-      (features_ & srv::kFeatureQueryOptions) != 0) {
-    request.options = opts;
-    request.has_options = true;
+  common::QueryOptions opts = opts_in;
+  // The trace id only goes on the wire when the server ack'd the feature;
+  // a 1.1 server would reject the longer tail as trailing bytes.
+  if ((features_ & srv::kFeatureTraceContext) == 0) {
+    opts.trace_id = 0;
+  } else if (opts.trace && opts.trace_id == 0) {
+    opts.trace_id = GenerateTraceId();
   }
-  XQ_RETURN_IF_ERROR(srv::WriteFrame(fd_, srv::EncodeRequest(request)));
-  while (true) {
-    XQ_ASSIGN_OR_RETURN(std::string frame,
-                        srv::ReadFrame(fd_, srv::kDefaultMaxFrameBytes));
-    XQ_ASSIGN_OR_RETURN(srv::Response response, srv::DecodeResponse(frame));
-    // A session-level error (id 0, e.g. the server timing us out) or a
-    // stale reply for an abandoned request is not ours to swallow.
-    if (response.id == request.id) return response;
-    if (response.id == 0) return response.status();
-  }
+  auto run = [&]() -> Result<srv::Response> {
+    srv::Request request;
+    request.id = next_id_++;
+    request.mode = mode;
+    request.text = std::string(text);
+    if (opts != common::QueryOptions{} &&
+        (features_ & srv::kFeatureQueryOptions) != 0) {
+      request.options = opts;
+      request.has_options = true;
+    }
+    std::string frame_out;
+    {
+      common::TraceSpan span("client.encode");
+      frame_out = srv::EncodeRequest(request);
+    }
+    {
+      common::TraceSpan span("client.send");
+      XQ_RETURN_IF_ERROR(srv::WriteFrame(fd_, frame_out));
+    }
+    // One span for the whole round trip (the server's own spans fill the
+    // gap), plus a decode span per reply frame.
+    common::TraceSpan rtt("client.rtt");
+    while (true) {
+      XQ_ASSIGN_OR_RETURN(std::string frame,
+                          srv::ReadFrame(fd_, srv::kDefaultMaxFrameBytes));
+      common::TraceSpan span("client.decode");
+      XQ_ASSIGN_OR_RETURN(srv::Response response, srv::DecodeResponse(frame));
+      // A session-level error (id 0, e.g. the server timing us out) or a
+      // stale reply for an abandoned request is not ours to swallow.
+      if (response.id == request.id) return response;
+      if (response.id == 0) return response.status();
+    }
+  };
+  if (!opts.trace) return run();
+  // Traced request: record the client's half of the timeline on pid 2 and
+  // keep it for LastTraceJson, even when the attempt fails.
+  common::Trace trace;
+  trace.set_trace_id(opts.trace_id);
+  Result<srv::Response> result = [&] {
+    common::TraceScope scope(&trace);
+    return run();
+  }();
+  last_trace_json_ = trace.ToChromeJson(/*pid=*/2);
+  last_trace_id_ = opts.trace_id;
+  return result;
 }
 
 Result<srv::Response> Client::ExecuteWithRetry(srv::RequestMode mode,

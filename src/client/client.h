@@ -91,6 +91,17 @@ class Client {
   // Feature bits acknowledged by the server's hello.
   uint32_t features() const { return features_; }
 
+  // Chrome trace_event JSON of the client's side of the most recent traced
+  // request (opts.trace set): connect/encode/send/rtt/decode spans on
+  // pid 2, tagged with the trace id that went on the wire. Merge with the
+  // server's half (GET /tracez?id=<last_trace_id> on the admin endpoint)
+  // via common::MergeChromeTraceJson for one cross-process timeline.
+  std::string LastTraceJson() const { return last_trace_json_; }
+  // Trace id of that request (0 = none traced yet, or the server did not
+  // ack kFeatureTraceContext). Client-generated unless the caller supplied
+  // opts.trace_id.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
  private:
   Client(int fd, std::string host, uint16_t port, uint32_t features)
       : fd_(fd), host_(std::move(host)), port_(port), features_(features) {}
@@ -104,6 +115,8 @@ class Client {
   uint16_t port_ = 0;
   uint32_t features_ = 0;
   uint64_t next_id_ = 1;
+  std::string last_trace_json_;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace xomatiq::cli

@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -8,13 +9,33 @@ namespace xomatiq::common {
 namespace {
 
 // Dots and other non-identifier characters are invalid in Prometheus
-// metric names; map them to underscores.
+// metric names; map them to underscores. A metric name must not start
+// with a digit, so such names get a leading underscore.
 std::string PrometheusName(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
     bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
               (c >= '0' && c <= '9') || c == '_' || c == ':';
     if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  if (out.empty()) out = "_";
+  return out;
+}
+
+// Label-value / HELP-text escaping per the exposition format: backslash,
+// double quote and newline must be escaped (HELP additionally has no
+// quoting, but the same escapes are valid there).
+std::string PrometheusEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
   }
   return out;
 }
@@ -48,6 +69,49 @@ size_t Histogram::BucketFor(uint64_t ns) {
 uint64_t Histogram::BucketUpperNs(size_t i) {
   if (i + 1 >= kNumBuckets) return UINT64_MAX;
   return kFirstBucketNs << i;
+}
+
+double Histogram::QuantileFromBuckets(const std::vector<uint64_t>& buckets,
+                                      double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t count = 0;
+  for (uint64_t b : buckets) count += b;
+  if (count == 0) return 0;
+  // Rank of the wanted sample, 1-based; q = 0 asks for the first sample.
+  double rank = std::max(1.0, q * static_cast<double>(count));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (static_cast<double>(cum + buckets[i]) >= rank) {
+      double lower =
+          i == 0 ? 0.0 : static_cast<double>(BucketUpperNs(i - 1));
+      // The overflow bucket has no real upper bound; assume one more
+      // doubling so its interpolation stays finite.
+      double upper = i + 1 >= kNumBuckets
+                         ? 2.0 * static_cast<double>(BucketUpperNs(i - 1))
+                         : static_cast<double>(BucketUpperNs(i));
+      double frac = (rank - static_cast<double>(cum)) /
+                    static_cast<double>(buckets[i]);
+      return lower + frac * (upper - lower);
+    }
+    cum += buckets[i];
+  }
+  return 0;
+}
+
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> buckets(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] = BucketCount(i);
+  return QuantileFromBuckets(buckets, q);
+}
+
+double PercentileOfSamples(const std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -117,21 +181,30 @@ void MetricsRegistry::Reset() {
 
 std::string MetricsSnapshot::ToPrometheusText() const {
   std::string out;
+  auto help = [&](const std::string& pname, const std::string& dotted,
+                  const char* type) {
+    out += "# HELP " + pname + " " + PrometheusEscape(dotted) + "\n";
+    out += "# TYPE " + pname + " ";
+    out += type;
+    out += "\n";
+  };
   for (const auto& [name, value] : counters) {
     std::string pname = PrometheusName(name);
-    out += "# TYPE " + pname + " counter\n" + pname + " ";
+    help(pname, name, "counter");
+    out += pname + " ";
     AppendU64(&out, value);
     out += "\n";
   }
   for (const auto& [name, value] : gauges) {
     std::string pname = PrometheusName(name);
-    out += "# TYPE " + pname + " gauge\n" + pname + " ";
+    help(pname, name, "gauge");
+    out += pname + " ";
     AppendI64(&out, value);
     out += "\n";
   }
   for (const HistogramSample& h : histograms) {
     std::string pname = PrometheusName(h.name);
-    out += "# TYPE " + pname + " histogram\n";
+    help(pname, h.name, "histogram");
     uint64_t cumulative = 0;
     for (size_t i = 0; i < h.buckets.size(); ++i) {
       cumulative += h.buckets[i];
@@ -144,7 +217,7 @@ std::string MetricsSnapshot::ToPrometheusText() const {
         char buf[32];
         std::snprintf(buf, sizeof buf, "%.3f",
                       static_cast<double>(upper) / 1e3);
-        out += buf;
+        out += PrometheusEscape(buf);
       }
       out += "\"} ";
       AppendU64(&out, cumulative);
@@ -153,6 +226,24 @@ std::string MetricsSnapshot::ToPrometheusText() const {
     out += pname + "_sum ";
     AppendU64(&out, h.sum_ns);
     out += "\n" + pname + "_count ";
+    AppendU64(&out, h.count);
+    out += "\n";
+    // Estimated quantiles as a sibling summary family (a histogram family
+    // must not carry quantile samples, so these get their own name).
+    std::string qname = pname + "_quantiles";
+    help(qname, h.name + " estimated quantiles (ns)", "summary");
+    for (double q : {0.5, 0.95, 0.99}) {
+      char label[16];
+      std::snprintf(label, sizeof label, "%g", q);
+      char value[40];
+      std::snprintf(value, sizeof value, "%.1f", h.Quantile(q));
+      out += qname + "{quantile=\"" + PrometheusEscape(label) + "\"} ";
+      out += value;
+      out += "\n";
+    }
+    out += qname + "_sum ";
+    AppendU64(&out, h.sum_ns);
+    out += "\n" + qname + "_count ";
     AppendU64(&out, h.count);
     out += "\n";
   }
@@ -180,6 +271,11 @@ std::string MetricsSnapshot::ToJson() const {
     AppendU64(&out, h.count);
     out += ",\"sum_ns\":";
     AppendU64(&out, h.sum_ns);
+    char quants[96];
+    std::snprintf(quants, sizeof quants,
+                  ",\"p50_ns\":%.1f,\"p95_ns\":%.1f,\"p99_ns\":%.1f",
+                  h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99));
+    out += quants;
     out += ",\"buckets\":[";
     for (size_t b = 0; b < h.buckets.size(); ++b) {
       if (b > 0) out += ",";

@@ -67,6 +67,18 @@ class Histogram {
   // Inclusive upper bound of bucket `i` in ns (UINT64_MAX for the last).
   static uint64_t BucketUpperNs(size_t i);
 
+  // Estimated q-quantile (q in [0,1]) in ns: finds the bucket holding the
+  // q-th ranked sample and interpolates linearly inside it, which over the
+  // power-of-two bucket bounds is log-linear interpolation. Error is
+  // bounded by one bucket width (a factor of 2). 0 when empty.
+  double Quantile(double q) const;
+
+  // The same estimator over an already-copied bucket array (what
+  // MetricsSnapshot holds, so quantiles can be computed off a snapshot
+  // without re-reading live atomics).
+  static double QuantileFromBuckets(const std::vector<uint64_t>& buckets,
+                                    double q);
+
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -89,20 +101,37 @@ struct MetricsSnapshot {
     uint64_t count = 0;
     uint64_t sum_ns = 0;
     std::vector<uint64_t> buckets;  // cumulative-free per-bucket counts
+
+    // Estimated quantile in ns (see Histogram::Quantile).
+    double Quantile(double q) const {
+      return Histogram::QuantileFromBuckets(buckets, q);
+    }
   };
 
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<HistogramSample> histograms;
 
-  // Prometheus text exposition: names with dots mapped to underscores,
-  // histograms emitted as `<name>_count` / `<name>_sum_ns` plus `_bucket`
-  // lines with cumulative `le` labels in microseconds.
+  // Prometheus text exposition: names sanitized to the metric-name charset
+  // (dots and other illegal characters mapped to underscores, a leading
+  // digit prefixed), every family preceded by `# HELP` (the original
+  // dotted name, escaped) and `# TYPE`. Histograms are emitted as
+  // cumulative `_bucket` lines with `le` labels in microseconds plus
+  // `_sum`/`_count`, and additionally as a `<name>_quantiles` summary
+  // carrying the estimated p50/p95/p99 (ns). Label values are escaped per
+  // the exposition format (backslash, quote, newline).
   std::string ToPrometheusText() const;
 
   // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  // Histogram entries include estimated "p50_ns"/"p95_ns"/"p99_ns".
   std::string ToJson() const;
 };
+
+// Exact percentile over raw samples: sorts a copy and indexes at
+// p * (n - 1) (the benches' historical definition, now shared here so
+// bench_server / bench_util and the ops plane agree on the math).
+// p in [0,1]; 0 for an empty sample set.
+double PercentileOfSamples(const std::vector<double>& samples, double p);
 
 // Global name -> metric table. Registration takes a mutex; returned
 // pointers never move or expire, so steady-state access is lock-free.

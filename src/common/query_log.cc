@@ -1,0 +1,172 @@
+#include "common/query_log.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace xomatiq::common {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int64_t WallNowMs() {
+  return static_cast<int64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local QueryLogScope* g_scope = nullptr;
+thread_local QueryLogRecord* g_record = nullptr;
+
+// Copies the newest-first contents of ring `ring` (next write at `head`,
+// logical size = min(total seen, capacity)) into a vector.
+std::vector<QueryLogRecord> SnapshotRing(const std::vector<QueryLogRecord>& ring,
+                                         size_t head, size_t max) {
+  std::vector<QueryLogRecord> out;
+  out.reserve(ring.size());
+  // Slots are only present once written; unwritten slots have id 0.
+  for (size_t i = 0; i < ring.size(); ++i) {
+    size_t idx = (head + ring.size() - 1 - i) % ring.size();
+    if (ring[idx].id == 0) break;
+    out.push_back(ring[idx]);
+    if (max != 0 && out.size() >= max) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryLog& QueryLog::Global() {
+  static auto* log = new QueryLog();
+  return *log;
+}
+
+QueryLog::QueryLog() {
+  recent_.resize(kRecentCapacity);
+  slow_.resize(kSlowCapacity);
+}
+
+void QueryLog::Append(QueryLogRecord rec) {
+  if (!enabled()) return;
+  rec.slow = rec.latency_ns >= slow_threshold_ns();
+  // Fast entries never need the heavyweight captures.
+  if (!rec.slow) {
+    rec.explain.clear();
+    rec.trace_json.clear();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.id = total_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (rec.slow) {
+    slow_[slow_head_] = rec;
+    slow_head_ = (slow_head_ + 1) % slow_.size();
+  }
+  recent_[recent_head_] = std::move(rec);
+  recent_head_ = (recent_head_ + 1) % recent_.size();
+}
+
+std::vector<QueryLogRecord> QueryLog::Recent(size_t max) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotRing(recent_, recent_head_, max);
+}
+
+std::vector<QueryLogRecord> QueryLog::Slow(size_t max) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotRing(slow_, slow_head_, max);
+}
+
+bool QueryLog::ShouldSampleTrace() {
+  if (!enabled()) return false;
+  return sample_tick_.fetch_add(1, std::memory_order_relaxed) %
+             kTraceSampleEvery ==
+         0;
+}
+
+void QueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& r : recent_) r = QueryLogRecord{};
+  for (auto& r : slow_) r = QueryLogRecord{};
+  recent_head_ = slow_head_ = 0;
+  total_.store(0, std::memory_order_relaxed);
+  sample_tick_.store(0, std::memory_order_relaxed);
+}
+
+void AppendQueryLogRecordJson(std::string* out, const QueryLogRecord& rec) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"id\":%llu,\"wall_ms\":%lld,\"latency_us\":%.3f",
+                static_cast<unsigned long long>(rec.id),
+                static_cast<long long>(rec.wall_ms),
+                static_cast<double>(rec.latency_ns) / 1e3);
+  *out += buf;
+  *out += ",\"mode\":";
+  AppendJsonString(out, rec.mode);
+  *out += ",\"text\":";
+  AppendJsonString(out, rec.text);
+  *out += ",\"planner\":";
+  AppendJsonString(out, rec.planner);
+  std::snprintf(buf, sizeof buf,
+                ",\"plan_fp\":\"%08x\",\"est_rows\":%lld,"
+                "\"actual_rows\":%lld,\"ok\":%s,\"cache_hit\":%s,"
+                "\"slow\":%s",
+                rec.plan_fp, static_cast<long long>(rec.est_rows),
+                static_cast<long long>(rec.actual_rows),
+                rec.ok ? "true" : "false", rec.cache_hit ? "true" : "false",
+                rec.slow ? "true" : "false");
+  *out += buf;
+  if (rec.trace_id != 0) {
+    std::snprintf(buf, sizeof buf, ",\"trace_id\":\"%016llx\"",
+                  static_cast<unsigned long long>(rec.trace_id));
+    *out += buf;
+  }
+  if (!rec.ok) {
+    *out += ",\"error\":";
+    AppendJsonString(out, rec.error);
+  }
+  if (!rec.explain.empty()) {
+    *out += ",\"explain\":";
+    AppendJsonString(out, rec.explain);
+  }
+  if (!rec.trace_json.empty()) {
+    // Already JSON — splice verbatim rather than double-encoding.
+    *out += ",\"trace\":";
+    *out += rec.trace_json;
+  }
+  *out += "}";
+}
+
+QueryLogScope::QueryLogScope(std::string_view text, std::string_view mode) {
+  if (g_scope != nullptr) return;        // inner scope: observe only
+  if (!QueryLog::Global().enabled()) return;
+  owner_ = true;
+  g_scope = this;
+  g_record = &rec_;
+  rec_.text = std::string(text.substr(0, QueryLog::kMaxTextBytes));
+  rec_.mode = std::string(mode);
+  rec_.start_ns = SteadyNowNs();
+  rec_.wall_ms = WallNowMs();
+}
+
+QueryLogScope::~QueryLogScope() {
+  if (!owner_) return;
+  rec_.latency_ns = SteadyNowNs() - rec_.start_ns;
+  g_scope = nullptr;
+  g_record = nullptr;
+  QueryLog::Global().Append(std::move(rec_));
+}
+
+QueryLogRecord* QueryLogScope::Current() { return g_record; }
+
+uint64_t QueryLogScope::ElapsedNs() const {
+  if (!owner_) return 0;
+  return SteadyNowNs() - rec_.start_ns;
+}
+
+}  // namespace xomatiq::common

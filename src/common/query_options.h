@@ -49,6 +49,11 @@ struct QueryOptions {
   // Skip the server result cache for this query: neither probe nor
   // install. Reads that must observe the latest warehouse state use this.
   bool bypass_cache = false;
+  // Client-generated cross-process correlation id (0 = none). Carried on
+  // the wire behind kFeatureTraceContext; the server tags its request
+  // trace and query-log record with it so client- and server-side views
+  // of one request can be stitched together.
+  uint64_t trace_id = 0;
 
   bool operator==(const QueryOptions&) const = default;
 };

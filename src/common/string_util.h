@@ -56,6 +56,11 @@ std::vector<std::string> TokenizeKeywords(std::string_view text);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+// Appends `s` to `*out` as a quoted JSON string literal, escaping quotes,
+// backslashes and control characters. One escaper shared by every
+// hand-rolled JSON emitter (traces, query log, admin endpoints).
+void AppendJsonString(std::string* out, std::string_view s);
+
 }  // namespace xomatiq::common
 
 #endif  // XOMATIQ_COMMON_STRING_UTIL_H_

@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
+
+#include "common/string_util.h"
 
 namespace xomatiq::common {
 
@@ -25,26 +28,28 @@ thread_local Trace* g_current_trace = nullptr;
 // practice (one query = one scope), so a plain stack suffices.
 thread_local std::vector<uint32_t> g_span_stack;
 
-// Minimal JSON string escaping for span names.
-void AppendJsonString(std::string* out, const std::string& s) {
-  *out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-  *out += '"';
+// The bracketed contents of a ToChromeJson dump's traceEvents array
+// (empty view when absent or empty).
+std::string_view EventsOf(const std::string& json) {
+  static constexpr char kKey[] = "\"traceEvents\":[";
+  size_t start = json.find(kKey);
+  if (start == std::string::npos) return {};
+  start += sizeof(kKey) - 1;
+  size_t end = json.rfind(']');
+  if (end == std::string::npos || end < start) return {};
+  return std::string_view(json).substr(start, end - start);
+}
+
+// The traceId field of a ToChromeJson dump ("" when absent/zero).
+std::string TraceIdOf(const std::string& json) {
+  static constexpr char kKey[] = "\"traceId\":\"";
+  size_t start = json.find(kKey);
+  if (start == std::string::npos) return "";
+  start += sizeof(kKey) - 1;
+  size_t end = json.find('"', start);
+  if (end == std::string::npos) return "";
+  std::string id = json.substr(start, end - start);
+  return id == std::string(16, '0') ? "" : id;
 }
 
 }  // namespace
@@ -97,9 +102,14 @@ std::vector<std::string> Trace::SpanNames() const {
   return names;
 }
 
-std::string Trace::ToChromeJson() const {
+std::string Trace::ToChromeJson(int pid) const {
   std::vector<Span> snapshot = spans();
-  std::string out = "{\"traceEvents\":[";
+  char idbuf[24];
+  std::snprintf(idbuf, sizeof idbuf, "%016llx",
+                static_cast<unsigned long long>(trace_id()));
+  std::string out = "{\"traceId\":\"";
+  out += idbuf;
+  out += "\",\"traceEvents\":[";
   for (size_t i = 0; i < snapshot.size(); ++i) {
     const Span& s = snapshot[i];
     if (i > 0) out += ",";
@@ -108,13 +118,27 @@ std::string Trace::ToChromeJson() const {
     char buf[160];
     // Complete ("X") events; ts/dur are microseconds per the spec.
     std::snprintf(buf, sizeof buf,
-                  ",\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"ts\":%.3f,"
+                  ",\"ph\":\"X\",\"pid\":%d,\"tid\":%llu,\"ts\":%.3f,"
                   "\"dur\":%.3f,\"args\":{\"id\":%u,\"parent\":%u}}",
-                  static_cast<unsigned long long>(s.thread_id % 1000000),
+                  pid, static_cast<unsigned long long>(s.thread_id % 1000000),
                   static_cast<double>(s.start_ns) / 1e3,
                   static_cast<double>(s.duration_ns) / 1e3, s.id, s.parent);
     out += buf;
   }
+  out += "]}";
+  return out;
+}
+
+std::string MergeChromeTraceJson(const std::string& a, const std::string& b) {
+  std::string_view ea = EventsOf(a);
+  std::string_view eb = EventsOf(b);
+  std::string id = TraceIdOf(a);
+  if (id.empty()) id = TraceIdOf(b);
+  if (id.empty()) id = std::string(16, '0');
+  std::string out = "{\"traceId\":\"" + id + "\",\"traceEvents\":[";
+  out += ea;
+  if (!ea.empty() && !eb.empty()) out += ",";
+  out += eb;
   out += "]}";
   return out;
 }

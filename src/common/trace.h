@@ -48,9 +48,17 @@ class Trace {
   // Span names in begin order — the golden-test view of a pipeline.
   std::vector<std::string> SpanNames() const;
 
-  // Chrome trace_event JSON ({"traceEvents":[...]}), loadable in
-  // chrome://tracing or Perfetto. Timestamps/durations in microseconds.
-  std::string ToChromeJson() const;
+  // Cross-process correlation id (0 = unset). The server tags a request
+  // trace with the id the client put on the wire, so the two Chrome dumps
+  // can be stitched into one timeline (see MergeChromeTraceJson).
+  void set_trace_id(uint64_t id) { trace_id_.store(id, std::memory_order_relaxed); }
+  uint64_t trace_id() const { return trace_id_.load(std::memory_order_relaxed); }
+
+  // Chrome trace_event JSON ({"traceId":"...","traceEvents":[...]}),
+  // loadable in chrome://tracing or Perfetto. Timestamps/durations in
+  // microseconds. `pid` names the emitting process track (convention:
+  // 1 = server, 2 = client), so merged dumps keep distinct rows.
+  std::string ToChromeJson(int pid = 1) const;
 
   // Trace installed for the current thread (nullptr when none).
   static Trace* Current();
@@ -62,7 +70,14 @@ class Trace {
   mutable std::mutex mu_;
   std::vector<Span> spans_;
   uint64_t origin_ns_ = 0;
+  std::atomic<uint64_t> trace_id_{0};
 };
+
+// Splices two ToChromeJson dumps (e.g. client- and server-side views of
+// one request) into a single {"traceId","traceEvents"} document. Inputs
+// must be in the exact shape ToChromeJson emits; an input with no events
+// contributes nothing. The result's traceId is the first nonzero one.
+std::string MergeChromeTraceJson(const std::string& a, const std::string& b);
 
 // RAII install of `trace` as the current thread's trace; restores the
 // previous one (traces nest) on destruction.

@@ -1,0 +1,190 @@
+#include "server/http_admin.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace xomatiq::srv {
+
+using common::Status;
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 4096;
+
+// Sends one complete HTTP/1.0 response; best effort (the scraper may
+// already be gone).
+void WriteHttp(int fd, int code, const char* reason, const char* content_type,
+               std::string_view body) {
+  char header[256];
+  int n = std::snprintf(header, sizeof header,
+                        "HTTP/1.0 %d %s\r\n"
+                        "Content-Type: %s\r\n"
+                        "Content-Length: %zu\r\n"
+                        "Connection: close\r\n\r\n",
+                        code, reason, content_type, body.size());
+  std::string out(header, static_cast<size_t>(n));
+  out += body;
+  size_t done = 0;
+  while (done < out.size()) {
+    ssize_t w = ::send(fd, out.data() + done, out.size() - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    done += static_cast<size_t>(w);
+  }
+}
+
+void WriteError(int fd, int code, const char* reason) {
+  std::string body = std::string(reason) + "\n";
+  WriteHttp(fd, code, reason, "text/plain; charset=utf-8", body);
+}
+
+}  // namespace
+
+HttpAdminServer::HttpAdminServer(AdminHooks hooks, HttpAdminOptions options)
+    : hooks_(std::move(hooks)), options_(std::move(options)) {}
+
+HttpAdminServer::~HttpAdminServer() { Shutdown(); }
+
+Status HttpAdminServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad admin address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void HttpAdminServer::Shutdown() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpAdminServer::ServeLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener was shut down (or unrecoverable)
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.read_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options_.read_timeout_ms / 1000;
+      tv.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    ServeOne(fd);
+    ::close(fd);
+  }
+}
+
+void HttpAdminServer::ServeOne(int fd) {
+  // Read until the end of the request head (or caps / timeout). Bodies are
+  // never read: GET-only.
+  std::string head;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.size() < kMaxRequestBytes) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (head.empty()) return;  // closed without a request
+      break;
+    }
+    head.append(buf, static_cast<size_t>(n));
+  }
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t eol = head.find("\r\n");
+  if (eol == std::string::npos) eol = head.find('\n');
+  if (eol == std::string::npos) {
+    WriteError(fd, 400, "Bad Request");
+    return;
+  }
+  std::string_view line(head.data(), eol);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    WriteError(fd, 400, "Bad Request");
+    return;
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    WriteError(fd, 405, "Method Not Allowed");
+    return;
+  }
+  std::string_view path = target;
+  std::string_view query;
+  if (size_t qpos = target.find('?'); qpos != std::string_view::npos) {
+    path = target.substr(0, qpos);
+    query = target.substr(qpos + 1);
+  }
+  if (path == "/metrics" && hooks_.metrics) {
+    WriteHttp(fd, 200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+              hooks_.metrics());
+  } else if (path == "/healthz" && hooks_.healthz) {
+    auto [healthy, body] = hooks_.healthz();
+    if (healthy) {
+      WriteHttp(fd, 200, "OK", "application/json", body);
+    } else {
+      WriteHttp(fd, 503, "Service Unavailable", "application/json", body);
+    }
+  } else if (path == "/statusz" && hooks_.statusz) {
+    WriteHttp(fd, 200, "OK", "application/json", hooks_.statusz());
+  } else if (path == "/queryz" && hooks_.queryz) {
+    WriteHttp(fd, 200, "OK", "application/json", hooks_.queryz());
+  } else if (path == "/tracez" && hooks_.tracez) {
+    WriteHttp(fd, 200, "OK", "application/json", hooks_.tracez(query));
+  } else if (path == "/") {
+    WriteHttp(fd, 200, "OK", "text/plain; charset=utf-8",
+              "xomatiq admin endpoints:\n"
+              "  /metrics  Prometheus text exposition\n"
+              "  /healthz  liveness + recovery readiness\n"
+              "  /statusz  uptime, sessions, in-flight, queue, cache\n"
+              "  /queryz   recent + slow query log\n"
+              "  /tracez   recent request traces (?id=<16-hex>)\n");
+  } else {
+    WriteError(fd, 404, "Not Found");
+  }
+}
+
+}  // namespace xomatiq::srv

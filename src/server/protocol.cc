@@ -40,6 +40,8 @@ namespace {
 // Option-flag bits in the optional request tail.
 constexpr uint8_t kOptTrace = 1;
 constexpr uint8_t kOptBypassCache = 2;
+// A u64 trace id follows deadline_ms (kFeatureTraceContext peers only).
+constexpr uint8_t kOptTraceId = 4;
 }  // namespace
 
 std::string EncodeHello(const Hello& hello) {
@@ -83,8 +85,10 @@ std::string EncodeRequest(const Request& request) {
     uint8_t flags = 0;
     if (request.options.trace) flags |= kOptTrace;
     if (request.options.bypass_cache) flags |= kOptBypassCache;
+    if (request.options.trace_id != 0) flags |= kOptTraceId;
     w.PutU8(flags);
     w.PutU32(request.options.deadline_ms);
+    if (request.options.trace_id != 0) w.PutU64(request.options.trace_id);
   }
   return w.TakeBuffer();
 }
@@ -106,6 +110,9 @@ Result<Request> DecodeRequest(std::string_view body) {
     XQ_ASSIGN_OR_RETURN(request.options.deadline_ms, r.GetU32());
     request.options.trace = (flags & kOptTrace) != 0;
     request.options.bypass_cache = (flags & kOptBypassCache) != 0;
+    if ((flags & kOptTraceId) != 0) {
+      XQ_ASSIGN_OR_RETURN(request.options.trace_id, r.GetU64());
+    }
     request.has_options = true;
   }
   if (!r.AtEnd()) {

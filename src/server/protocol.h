@@ -18,7 +18,9 @@ namespace xomatiq::srv {
 //   frame    := u32 body_length (little-endian) | body
 //   hello    := "XQWP" | u8 major | u8 minor | u32 feature_bits
 //   request  := u64 request_id | u8 mode | string query_text
-//               | [u8 option_flags | u32 deadline_ms]   (optional tail)
+//               | [u8 option_flags | u32 deadline_ms
+//                  | [u64 trace_id]]                    (optional tail;
+//                    trace_id present iff option_flags has kOptTraceId)
 //   response := u64 request_id | u8 status_code
 //               | string error_message                  (status_code != 0)
 //               | u8 kind | u8 flags | payload          (status_code == 0)
@@ -44,11 +46,17 @@ inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;  // 16 MiB
 
 inline constexpr char kWireMagic[4] = {'X', 'Q', 'W', 'P'};
 inline constexpr uint8_t kProtocolMajor = 1;
-inline constexpr uint8_t kProtocolMinor = 1;
+inline constexpr uint8_t kProtocolMinor = 2;
 
 // Feature bits carried in the hello exchange.
 inline constexpr uint32_t kFeatureQueryOptions = 1u << 0;
-inline constexpr uint32_t kSupportedFeatures = kFeatureQueryOptions;
+// The options tail may carry a client-generated u64 trace id (flagged by
+// kOptTraceId) for cross-process trace correlation. Requires
+// kFeatureQueryOptions; a 1.1 peer never sets kOptTraceId, so the tail
+// stays decodable in both directions.
+inline constexpr uint32_t kFeatureTraceContext = 1u << 1;
+inline constexpr uint32_t kSupportedFeatures =
+    kFeatureQueryOptions | kFeatureTraceContext;
 
 // Hello body — used in both directions (the server's reply carries the
 // negotiated feature intersection).

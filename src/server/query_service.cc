@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/metrics.h"
+#include "common/query_log.h"
 #include "common/trace.h"
 #include "relational/serde.h"
 #include "xml/writer.h"
@@ -73,35 +74,82 @@ QueryService::QueryService(hounds::Warehouse* warehouse,
 std::string QueryService::Handle(const Request& request) {
   static common::Counter* requests =
       common::MetricsRegistry::Global().GetCounter("server.requests");
+  static common::Gauge* inflight =
+      common::MetricsRegistry::Global().GetGauge("server.inflight");
   requests->Inc();
+  inflight->Add(1);
+  // Outermost query-log scope: owns the record for this request; the
+  // engine layers below annotate plan fingerprint / est-vs-actual rows.
+  common::QueryLogScope qlog(request.text, RequestModeName(request.mode));
+  if (common::QueryLogRecord* rec = common::QueryLogScope::Current()) {
+    rec->trace_id = request.options.trace_id;
+  }
   common::QueryOptions opts = request.options;
   if (opts.deadline_ms == 0) opts.deadline_ms = options_.default_deadline_ms;
-  if (!opts.trace) return Dispatch(request, opts);
-  // Traced request: install a per-request Trace for this worker thread,
-  // keep the Chrome JSON for LastTraceJson, and mark the response.
-  common::Trace trace;
+  // Trace when the client asked, and opportunistically for a sampled
+  // slice of ordinary requests so some slow-query-log entries carry a
+  // trace without the operator having planned ahead.
+  const bool sampled = common::QueryLog::Global().ShouldSampleTrace();
   std::string reply;
-  {
-    common::TraceScope scope(&trace);
+  if (!opts.trace && !sampled) {
     reply = Dispatch(request, opts);
+  } else {
+    // Traced request: install a per-request Trace for this worker thread,
+    // keep the Chrome JSON for LastTraceJson / the trace ring, and mark
+    // the response.
+    common::Trace trace;
+    trace.set_trace_id(opts.trace_id);
+    {
+      common::TraceScope scope(&trace);
+      reply = Dispatch(request, opts);
+    }
+    std::string json = trace.ToChromeJson(/*pid=*/1);
+    if (common::QueryLogRecord* rec = common::QueryLogScope::Current()) {
+      rec->trace_json = json;  // dropped on append unless the query is slow
+    }
+    {
+      std::lock_guard lock(trace_mu_);
+      // Only explicit traces update the operator's last-trace slot.
+      if (opts.trace) last_trace_json_ = json;
+      recent_traces_.emplace_front(opts.trace_id, std::move(json));
+      if (recent_traces_.size() > kTraceRingCap) recent_traces_.pop_back();
+    }
+    if (opts.trace) {
+      // Reply layout: u64 id | u8 status | (u8 kind | u8 flags | ...).
+      // Patch the flags byte of OK responses the same way ServeCached does.
+      constexpr size_t kReplyFlags = 8 + kFlagsOffset;
+      if (reply.size() > kReplyFlags && reply[8] == 0) {
+        reply[kReplyFlags] = static_cast<char>(
+            static_cast<uint8_t>(reply[kReplyFlags]) | kFlagTraced);
+      }
+    }
   }
-  {
-    std::lock_guard lock(trace_mu_);
-    last_trace_json_ = trace.ToChromeJson();
+  // Stamp error status on the record (the SQL engine already does this for
+  // its own failures; XQ translation errors and bad modes land here).
+  if (common::QueryLogRecord* rec = common::QueryLogScope::Current()) {
+    if (reply.size() > 8 && reply[8] != 0) rec->ok = false;
   }
-  // Reply layout: u64 id | u8 status | (u8 kind | u8 flags | ...). Patch
-  // the flags byte of OK responses the same way ServeCached does.
-  constexpr size_t kReplyFlags = 8 + kFlagsOffset;
-  if (reply.size() > kReplyFlags && reply[8] == 0) {
-    reply[kReplyFlags] = static_cast<char>(
-        static_cast<uint8_t>(reply[kReplyFlags]) | kFlagTraced);
-  }
+  inflight->Add(-1);
   return reply;
 }
 
 std::string QueryService::LastTraceJson() const {
   std::lock_guard lock(trace_mu_);
   return last_trace_json_;
+}
+
+std::vector<std::pair<uint64_t, std::string>> QueryService::RecentTraces()
+    const {
+  std::lock_guard lock(trace_mu_);
+  return {recent_traces_.begin(), recent_traces_.end()};
+}
+
+std::string QueryService::TraceJsonFor(uint64_t trace_id) const {
+  std::lock_guard lock(trace_mu_);
+  for (const auto& [id, json] : recent_traces_) {
+    if (id == trace_id) return json;
+  }
+  return "";
 }
 
 std::string QueryService::Dispatch(const Request& request,
@@ -162,6 +210,7 @@ std::string QueryService::HandleSql(const Request& request,
                                request.text);
     generation = cache->generation();
     if (std::optional<std::string> body = cache->Lookup(key)) {
+      if (auto* rec = common::QueryLogScope::Current()) rec->cache_hit = true;
       return ServeCached(request.id, *std::move(body));
     }
   }
@@ -206,6 +255,7 @@ std::string QueryService::HandleXq(const Request& request, bool as_xml,
                                request.text);
     generation = cache->generation();
     if (std::optional<std::string> body = cache->Lookup(key)) {
+      if (auto* rec = common::QueryLogScope::Current()) rec->cache_hit = true;
       return ServeCached(request.id, *std::move(body));
     }
   }

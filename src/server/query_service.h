@@ -1,9 +1,12 @@
 #ifndef XOMATIQ_SERVER_QUERY_SERVICE_H_
 #define XOMATIQ_SERVER_QUERY_SERVICE_H_
 
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/query_options.h"
 #include "datahounds/warehouse.h"
@@ -48,8 +51,18 @@ class QueryService {
 
   // Chrome trace_event JSON of the most recent traced request ("" when no
   // request asked for a trace yet). One slot, last-writer-wins: the
-  // diagnosing operator traces one query at a time.
+  // diagnosing operator traces one query at a time. Only explicitly
+  // requested traces land here; sampled traces go to the ring below.
   std::string LastTraceJson() const;
+
+  // Ring of the most recent request traces (requested + sampled), newest
+  // first, as (trace_id, Chrome JSON) pairs. Feeds /tracez.
+  std::vector<std::pair<uint64_t, std::string>> RecentTraces() const;
+
+  // Chrome JSON of the most recent trace tagged `trace_id` ("" when it has
+  // aged out or never existed). Lets a client stitch its half of the
+  // timeline to the server's by the id it put on the wire.
+  std::string TraceJsonFor(uint64_t trace_id) const;
 
   ResultCache* cache() { return options_.cache.get(); }
   xq::XomatiQ* xomatiq() { return &xomatiq_; }
@@ -71,6 +84,9 @@ class QueryService {
   ServiceOptions options_;
   mutable std::mutex trace_mu_;
   std::string last_trace_json_;
+  // Newest-first ring of recent request traces, capped at kTraceRingCap.
+  static constexpr size_t kTraceRingCap = 8;
+  std::deque<std::pair<uint64_t, std::string>> recent_traces_;
 };
 
 }  // namespace xomatiq::srv

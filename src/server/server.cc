@@ -8,10 +8,14 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/fault_injector.h"
 #include "common/metrics.h"
+#include "common/query_log.h"
+#include "common/string_util.h"
 
 namespace xomatiq::srv {
 
@@ -42,7 +46,9 @@ QueryServer::Session::~Session() {
 }
 
 QueryServer::QueryServer(hounds::Warehouse* warehouse, ServerOptions options)
-    : service_(warehouse, options.service), options_(std::move(options)) {}
+    : warehouse_(warehouse),
+      service_(warehouse, options.service),
+      options_(std::move(options)) {}
 
 QueryServer::~QueryServer() { Shutdown(); }
 
@@ -71,8 +77,122 @@ Status QueryServer::Start() {
   port_ = ntohs(addr.sin_port);
   pool_ = std::make_unique<BoundedThreadPool>(options_.workers,
                                               options_.max_queue);
+  start_unix_s_ = static_cast<int64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  start_steady_ns_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  if (options_.admin_port >= 0) {
+    XQ_RETURN_IF_ERROR(StartAdmin());
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
+}
+
+uint16_t QueryServer::admin_port() const {
+  return admin_ != nullptr ? admin_->port() : 0;
+}
+
+Status QueryServer::StartAdmin() {
+  AdminHooks hooks;
+  hooks.metrics = [] {
+    return common::MetricsRegistry::Global().Snapshot().ToPrometheusText();
+  };
+  hooks.healthz = [this]() -> std::pair<bool, std::string> {
+    rel::Database* db = warehouse_->db();
+    bool serving = !stopping_.load(std::memory_order_acquire);
+    std::string body = common::StrFormat(
+        "{\"status\":\"%s\",\"durable\":%s,\"records_recovered\":%zu,"
+        "\"recovered_torn_tail\":%s}",
+        serving ? "ok" : "shutting_down", db->durable() ? "true" : "false",
+        db->records_recovered(),
+        db->recovered_torn_tail() ? "true" : "false");
+    return {serving, std::move(body)};
+  };
+  hooks.statusz = [this] {
+    auto& reg = common::MetricsRegistry::Global();
+    uint64_t now_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    size_t sessions;
+    {
+      std::lock_guard lock(sessions_mu_);
+      sessions = sessions_.size();
+    }
+    uint64_t hits = reg.GetCounter("server.cache.hits")->Value();
+    uint64_t misses = reg.GetCounter("server.cache.misses")->Value();
+    uint64_t lookups = hits + misses;
+    return common::StrFormat(
+        "{\"uptime_s\":%.3f,\"start_unix_s\":%lld,\"port\":%u,"
+        "\"active_sessions\":%zu,\"inflight_requests\":%lld,"
+        "\"pool_queue_depth\":%zu,\"requests\":%llu,"
+        "\"cache_hits\":%llu,\"cache_misses\":%llu,\"cache_hit_rate\":%.4f,"
+        "\"slow_queries\":%zu,\"query_log_total\":%llu}",
+        static_cast<double>(now_ns - start_steady_ns_) / 1e9,
+        static_cast<long long>(start_unix_s_), port_, sessions,
+        static_cast<long long>(reg.GetGauge("server.inflight")->Value()),
+        pool_ != nullptr ? pool_->queue_depth() : 0,
+        static_cast<unsigned long long>(
+            reg.GetCounter("server.requests")->Value()),
+        static_cast<unsigned long long>(hits),
+        static_cast<unsigned long long>(misses),
+        lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                    : 0.0,
+        common::QueryLog::Global().Slow().size(),
+        static_cast<unsigned long long>(common::QueryLog::Global().total()));
+  };
+  hooks.queryz = [] {
+    common::QueryLog& log = common::QueryLog::Global();
+    std::string out = common::StrFormat(
+        "{\"total\":%llu,\"slow_threshold_ms\":%.3f,\"recent\":[",
+        static_cast<unsigned long long>(log.total()),
+        static_cast<double>(log.slow_threshold_ns()) / 1e6);
+    std::vector<common::QueryLogRecord> recent = log.Recent();
+    for (size_t i = 0; i < recent.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendQueryLogRecordJson(&out, recent[i]);
+    }
+    out += "],\"slow\":[";
+    std::vector<common::QueryLogRecord> slow = log.Slow();
+    for (size_t i = 0; i < slow.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendQueryLogRecordJson(&out, slow[i]);
+    }
+    out += "]}";
+    return out;
+  };
+  hooks.tracez = [this](std::string_view query) -> std::string {
+    // ?id=<16-hex>: just that trace's Chrome dump (directly loadable in
+    // chrome://tracing), so a client can fetch its request's server half.
+    if (query.rfind("id=", 0) == 0) {
+      uint64_t id = std::strtoull(std::string(query.substr(3)).c_str(),
+                                  nullptr, 16);
+      std::string json = service_.TraceJsonFor(id);
+      return json.empty() ? std::string("{\"error\":\"no such trace\"}")
+                          : json;
+    }
+    std::string out = "{\"traces\":[";
+    auto traces = service_.RecentTraces();
+    for (size_t i = 0; i < traces.size(); ++i) {
+      if (i > 0) out += ",";
+      out += common::StrFormat(
+          "{\"trace_id\":\"%016llx\",\"trace\":",
+          static_cast<unsigned long long>(traces[i].first));
+      out += traces[i].second;
+      out += "}";
+    }
+    out += "]}";
+    return out;
+  };
+  HttpAdminOptions admin_options;
+  admin_options.host = options_.host;
+  admin_options.port = static_cast<uint16_t>(options_.admin_port);
+  admin_ = std::make_unique<HttpAdminServer>(std::move(hooks), admin_options);
+  return admin_->Start();
 }
 
 void QueryServer::Shutdown() {
@@ -80,6 +200,9 @@ void QueryServer::Shutdown() {
     if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
+  // Stop the admin endpoint first so its hooks never observe the server
+  // mid-teardown.
+  if (admin_ != nullptr) admin_->Shutdown();
   if (listen_fd_ >= 0) {
     // Unblocks accept(); the fd itself is closed after the thread exits.
     ::shutdown(listen_fd_, SHUT_RDWR);

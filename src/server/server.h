@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "datahounds/warehouse.h"
+#include "server/http_admin.h"
 #include "server/query_service.h"
 #include "server/thread_pool.h"
 
@@ -26,6 +27,10 @@ struct ServerOptions {
   // SO_RCVTIMEO on accepted sockets: a client that stalls mid-frame for
   // longer than this is timed out and disconnected. 0 disables the guard.
   int read_timeout_ms = 5000;
+  // Embedded HTTP admin endpoint (/metrics /healthz /statusz /queryz
+  // /tracez): -1 disables it, 0 binds an ephemeral port (read it from
+  // admin_port()), >0 binds that port on `host`.
+  int admin_port = -1;
   ServiceOptions service;
 };
 
@@ -61,6 +66,9 @@ class QueryServer {
   // Bound port (after Start()).
   uint16_t port() const { return port_; }
 
+  // Bound admin-endpoint port (0 when the admin server is disabled).
+  uint16_t admin_port() const;
+
   QueryService* service() { return &service_; }
 
  private:
@@ -77,13 +85,20 @@ class QueryServer {
   void AcceptLoop();
   void SessionLoop(std::shared_ptr<Session> session);
 
+  // Builds the AdminHooks closures over this server's state.
+  common::Status StartAdmin();
+
+  hounds::Warehouse* warehouse_;
   QueryService service_;
   ServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::unique_ptr<BoundedThreadPool> pool_;
+  std::unique_ptr<HttpAdminServer> admin_;
   std::thread accept_thread_;
+  int64_t start_unix_s_ = 0;      // wall-clock second Start() succeeded
+  uint64_t start_steady_ns_ = 0;  // steady clock at Start(), for uptime
 
   std::mutex sessions_mu_;
   uint64_t next_session_id_ = 1;

@@ -1,7 +1,7 @@
 // xomatiq_server: the XomatiQ query service over TCP.
 //
 //   xomatiq_server [--port N] [--workers N] [--queue N] [--cache N]
-//                  [--db DIR] [--demo N]
+//                  [--db DIR] [--demo N] [--admin-port N] [--slow-ms MS]
 //
 // Serves SQL and XomatiQ queries against one shared warehouse. --db opens
 // (or creates) a durable database directory; without it the server runs
@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "common/query_log.h"
 #include "datagen/corpus.h"
 #include "datahounds/warehouse.h"
 #include "relational/database.h"
@@ -91,10 +92,16 @@ int main(int argc, char** argv) {
       db_dir = next("--db");
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = static_cast<size_t>(std::atoi(next("--demo")));
+    } else if (std::strcmp(argv[i], "--admin-port") == 0) {
+      options.admin_port = std::atoi(next("--admin-port"));
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0) {
+      xomatiq::common::QueryLog::Global().set_slow_threshold_ns(
+          static_cast<uint64_t>(std::atof(next("--slow-ms")) * 1e6));
     } else {
       std::fprintf(stderr,
                    "usage: xomatiq_server [--port N] [--workers N] "
-                   "[--queue N] [--cache N] [--db DIR] [--demo N]\n");
+                   "[--queue N] [--cache N] [--db DIR] [--demo N] "
+                   "[--admin-port N] [--slow-ms MS]\n");
       return 2;
     }
   }
@@ -132,6 +139,11 @@ int main(int argc, char** argv) {
               "cache %zu)\n",
               options.host.c_str(), server.port(), options.workers,
               options.max_queue, cache_capacity);
+  if (server.admin_port() != 0) {
+    std::printf("admin endpoint on http://%s:%u/ "
+                "(/metrics /healthz /statusz /queryz /tracez)\n",
+                options.host.c_str(), server.admin_port());
+  }
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);

@@ -175,6 +175,7 @@ enum class StatementKind {
   kExplain,     // EXPLAIN [ANALYZE] <select>
   kStats,       // STATS: dump the process metrics snapshot
   kResetStats,  // RESET STATS: zero counters/gauges/histograms
+  kSlowQueries,  // SLOW QUERIES: dump the slow-query log
   kAnalyze,     // ANALYZE [table]: collect optimizer statistics
 };
 

@@ -1,11 +1,14 @@
 #include "sql/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <shared_mutex>
 
 #include "common/metrics.h"
+#include "common/query_log.h"
+#include "common/string_util.h"
 #include "common/trace.h"
 #include "relational/serde.h"
 #include "sql/executor.h"
@@ -60,15 +63,108 @@ std::string QueryResult::ToTable() const {
   return out;
 }
 
+namespace {
+
+uint64_t EngineNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Marks the chosen plan's fingerprint on the current trace (when one is
+// installed): a zero-duration span named "sql.plan.fp=XXXXXXXX", the CRC32
+// of the rendered plan tree. Lets trace consumers spot plan changes (e.g.
+// after ANALYZE flips a query to the cost-based path) without diffing
+// whole EXPLAIN outputs. The same fingerprint, planner mode and root
+// estimate also annotate the in-flight query-log record.
+void LogPlanFingerprint(const PlanNode& plan) {
+  common::Trace* trace = common::Trace::Current();
+  common::QueryLogRecord* rec = common::QueryLogScope::Current();
+  if (trace == nullptr && rec == nullptr) return;
+  uint32_t fp = rel::Crc32(plan.ToString());
+  if (trace != nullptr) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "sql.plan.fp=%08x", fp);
+    trace->EndSpan(trace->BeginSpan(buf));
+  }
+  if (rec != nullptr) {
+    rec->plan_fp = fp;
+    // est_rows >= 0 iff the cost-based planner annotated the tree
+    // (rule-based plans stay uncosted by design).
+    rec->planner = plan.est_rows >= 0 ? "cost" : "rule";
+    rec->est_rows =
+        plan.est_rows >= 0 ? static_cast<int64_t>(plan.est_rows) : -1;
+  }
+}
+
+// After execution: if the query has already crossed the slow threshold,
+// capture its EXPLAIN ANALYZE rendering into the armed query-log record
+// while the plan (and its per-operator actuals) is still alive. Callers
+// enable stats collection whenever a record is armed, so the rendering
+// carries real actuals.
+void MaybeCaptureSlowPlan(const PlanNode& plan) {
+  common::QueryLogRecord* rec = common::QueryLogScope::Current();
+  if (rec == nullptr) return;
+  uint64_t elapsed = EngineNowNs() - rec->start_ns;
+  if (elapsed < common::QueryLog::Global().slow_threshold_ns()) return;
+  rec->explain = plan.ToString(0, /*analyze=*/true);
+}
+
+// Text rendering of the slow-query ring for the SLOW QUERIES statement
+// (/queryz serves the JSON view of the same records).
+std::string RenderSlowQueries() {
+  common::QueryLog& log = common::QueryLog::Global();
+  std::vector<common::QueryLogRecord> slow = log.Slow();
+  std::string out = common::StrFormat(
+      "%zu slow quer%s (threshold %.3f ms, newest first)\n", slow.size(),
+      slow.size() == 1 ? "y" : "ies",
+      static_cast<double>(log.slow_threshold_ns()) / 1e6);
+  for (const common::QueryLogRecord& rec : slow) {
+    out += common::StrFormat(
+        "-- #%llu  %.3f ms  mode=%s planner=%s fp=%08x est_rows=%lld "
+        "actual_rows=%lld cached=%s status=%s\n",
+        static_cast<unsigned long long>(rec.id),
+        static_cast<double>(rec.latency_ns) / 1e6, rec.mode.c_str(),
+        rec.planner.empty() ? "-" : rec.planner.c_str(), rec.plan_fp,
+        static_cast<long long>(rec.est_rows),
+        static_cast<long long>(rec.actual_rows),
+        rec.cache_hit ? "yes" : "no", rec.ok ? "ok" : rec.error.c_str());
+    out += rec.text + "\n";
+    if (!rec.explain.empty()) out += rec.explain;
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<QueryResult> SqlEngine::Execute(std::string_view sql,
                                        const common::QueryOptions& opts) {
   // Registered once; the registry hands back stable pointers, so the hot
   // path is one atomic add plus the histogram record.
   static common::Counter* queries =
       common::MetricsRegistry::Global().GetCounter("sql.queries");
+  queries->Inc();
+  // Owns the query-log record when the engine is the outermost layer
+  // (embedded use); under QueryService the service's scope owns it and
+  // this one is a no-op observer.
+  common::QueryLogScope qlog(sql, "sql");
+  Result<QueryResult> result = ExecuteImpl(sql, opts);
+  if (common::QueryLogRecord* rec = common::QueryLogScope::Current()) {
+    if (!result.ok()) {
+      rec->ok = false;
+      rec->error = result.status().message();
+    } else if (rec->actual_rows < 0) {
+      rec->actual_rows = static_cast<int64_t>(result->rows.size());
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> SqlEngine::ExecuteImpl(std::string_view sql,
+                                           const common::QueryOptions& opts) {
   static common::Histogram* parse_hist =
       common::MetricsRegistry::Global().GetHistogram("sql.stage.parse");
-  queries->Inc();
   // The relative budget becomes absolute exactly once, here, so parsing
   // and planning draw from the same clock as execution.
   common::Deadline deadline = common::Deadline::After(opts.deadline_ms);
@@ -145,6 +241,11 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql,
     case StatementKind::kResetStats:
       common::MetricsRegistry::Global().Reset();
       return QueryResult{};
+    case StatementKind::kSlowQueries: {
+      QueryResult result;
+      result.explain_text = RenderSlowQueries();
+      return result;
+    }
     case StatementKind::kAnalyze: {
       std::unique_lock lock(db_->latch());
       return ExecuteAnalyze(stmt.analyze_stmt);
@@ -188,6 +289,7 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
     common::TraceSpan span("sql.plan", plan_hist);
     XQ_ASSIGN_OR_RETURN(plan, planner_.PlanSelect(stmt));
   }
+  LogPlanFingerprint(*plan);
   QueryResult result;
   result.schema = plan->schema;
   if (explain_only) {
@@ -196,7 +298,12 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
   }
   ExecutorOptions exec_options = options_.executor;
   exec_options.deadline = deadline;
-  if (analyze) {
+  // Collect per-operator actuals whenever a query-log record is armed, so
+  // a query that turns out slow can capture a fully annotated EXPLAIN
+  // ANALYZE tree after the fact (stats cannot be gathered retroactively;
+  // the per-batch counting overhead is noise).
+  bool log_armed = common::QueryLogScope::Current() != nullptr;
+  if (analyze || log_armed) {
     exec_options.collect_stats = true;
     plan->ClearStats();
   }
@@ -205,6 +312,10 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
     common::TraceSpan span("sql.execute", exec_hist);
     XQ_ASSIGN_OR_RETURN(result.rows, executor.ExecuteToVector(*plan));
   }
+  if (common::QueryLogRecord* rec = common::QueryLogScope::Current()) {
+    rec->actual_rows = static_cast<int64_t>(result.rows.size());
+  }
+  MaybeCaptureSlowPlan(*plan);
   if (analyze) {
     // EXPLAIN ANALYZE returns the annotated tree, not the result rows.
     result.explain_text = plan->ToString(0, /*analyze=*/true);
@@ -212,24 +323,6 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
   }
   return result;
 }
-
-namespace {
-
-// Marks the chosen plan's fingerprint on the current trace (when one is
-// installed): a zero-duration span named "sql.plan.fp=XXXXXXXX", the CRC32
-// of the rendered plan tree. Lets trace consumers spot plan changes (e.g.
-// after ANALYZE flips a query to the cost-based path) without diffing
-// whole EXPLAIN outputs.
-void LogPlanFingerprint(const PlanNode& plan) {
-  common::Trace* trace = common::Trace::Current();
-  if (trace == nullptr) return;
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "sql.plan.fp=%08x",
-                rel::Crc32(plan.ToString()));
-  trace->EndSpan(trace->BeginSpan(buf));
-}
-
-}  // namespace
 
 Result<rel::Schema> SqlEngine::ExecuteSelectBatched(
     std::string_view sql, const Executor::BatchSink& sink,
@@ -263,9 +356,20 @@ Result<rel::Schema> SqlEngine::ExecuteSelectStmtBatched(
   LogPlanFingerprint(*plan);
   ExecutorOptions exec_options = options_.executor;
   exec_options.deadline = deadline;
+  bool log_armed = common::QueryLogScope::Current() != nullptr;
+  if (log_armed) {
+    exec_options.collect_stats = true;
+    plan->ClearStats();
+  }
   Executor executor(db_, exec_options);
-  common::TraceSpan span("sql.execute", exec_hist);
-  XQ_RETURN_IF_ERROR(executor.ExecuteBatched(*plan, sink));
+  {
+    common::TraceSpan span("sql.execute", exec_hist);
+    XQ_RETURN_IF_ERROR(executor.ExecuteBatched(*plan, sink));
+  }
+  if (common::QueryLogRecord* rec = common::QueryLogScope::Current()) {
+    rec->actual_rows = static_cast<int64_t>(plan->stats.rows_out);
+  }
+  MaybeCaptureSlowPlan(*plan);
   return plan->schema;
 }
 

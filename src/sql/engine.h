@@ -87,6 +87,10 @@ class SqlEngine {
   rel::Database* db() { return db_; }
 
  private:
+  // Execute minus the query-log bookkeeping (the public wrapper owns the
+  // QueryLogScope and stamps status/row counts on the record).
+  common::Result<QueryResult> ExecuteImpl(std::string_view sql,
+                                          const common::QueryOptions& opts);
   // `analyze` = EXPLAIN ANALYZE: execute with per-operator stats
   // collection and return the annotated plan tree instead of the rows.
   common::Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,

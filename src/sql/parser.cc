@@ -127,6 +127,16 @@ Result<Statement> Parser::ParseStatement() {
     XQ_RETURN_IF_ERROR(ExpectEnd());
     return stmt;
   }
+  if (Peek().IsKeyword("SLOW")) {
+    Advance();
+    if (!Peek().IsKeyword("QUERIES")) {
+      return Status::ParseError("expected QUERIES after SLOW");
+    }
+    Advance();
+    stmt.kind = StatementKind::kSlowQueries;
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
   if (Peek().IsKeyword("RESET")) {
     Advance();
     if (!Peek().IsKeyword("STATS")) {

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/metrics.h"
+#include "common/query_log.h"
 #include "common/trace.h"
 #include "xomatiq/tagger.h"
 #include "xomatiq/xq_parser.h"
@@ -54,6 +55,10 @@ Result<XqResult> XomatiQ::Execute(std::string_view query_text,
       common::MetricsRegistry::Global().GetCounter("xq.queries");
   static common::Histogram* exec_hist = StageHist("xq.stage.execute");
   queries->Inc();
+  // Outermost query-log scope for embedded XQuery use; under QueryService
+  // the service's scope owns the record instead. Engine layers below
+  // annotate plan fingerprint / est-vs-actual rows on whichever is armed.
+  common::QueryLogScope qlog(query_text, "xquery");
   // One absolute deadline for the whole query: parsing, translation and
   // every generated SQL disjunct share the same budget.
   common::Deadline deadline = common::Deadline::After(opts.deadline_ms);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -175,6 +177,133 @@ TEST(MetricsSnapshotTest, JsonFormat) {
   EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
   EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
   EXPECT_NE(json.find("\"test.json.counter\":9"), std::string::npos);
+}
+
+TEST(HistogramTest, QuantileEstimatesTrackRecordedValues) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0);  // empty histogram
+  for (int i = 0; i < 100; ++i) h.Record(100'000);
+  // All mass sits in one bucket; the estimate must stay inside its
+  // [65536, 131072) bounds.
+  double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 65536.0);
+  EXPECT_LE(p50, 131072.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.95));
+  EXPECT_LE(h.Quantile(0.95), h.Quantile(0.99));
+}
+
+TEST(HistogramTest, QuantileFromBucketsInterpolatesWithinBucket) {
+  std::vector<uint64_t> buckets(Histogram::kNumBuckets, 0);
+  EXPECT_EQ(Histogram::QuantileFromBuckets(buckets, 0.5), 0);
+  // 100 samples in bucket 1, i.e. [1024, 2048): the 25th-percentile rank
+  // lands a quarter of the way into the bucket under linear interpolation.
+  buckets[1] = 100;
+  EXPECT_NEAR(Histogram::QuantileFromBuckets(buckets, 0.25),
+              1024.0 + 0.25 * 1024.0, 16.0);
+  EXPECT_NEAR(Histogram::QuantileFromBuckets(buckets, 1.0), 2048.0, 16.0);
+}
+
+TEST(MetricsTest, PercentileOfSamplesSelectsFromSortedOrder) {
+  EXPECT_EQ(PercentileOfSamples({}, 0.5), 0);
+  std::vector<double> s{5, 1, 9, 3, 7};
+  EXPECT_EQ(PercentileOfSamples(s, 0.0), 1);
+  EXPECT_EQ(PercentileOfSamples(s, 0.5), 5);
+  EXPECT_EQ(PercentileOfSamples(s, 1.0), 9);
+}
+
+TEST(MetricsSnapshotTest, PrometheusSanitizesNamesAndEscapesHelp) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.prom/weird-name")->Inc();
+  reg.GetCounter("test.prom.esc\\slash")->Inc();
+  std::string text = reg.Snapshot().ToPrometheusText();
+  // Non-identifier characters map to underscores in the metric name; the
+  // HELP text keeps the original dotted name.
+  EXPECT_NE(text.find("# HELP test_prom_weird_name test.prom/weird-name"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_weird_name counter"),
+            std::string::npos);
+  // A backslash in the HELP text is escaped per the exposition format.
+  EXPECT_NE(text.find("test.prom.esc\\\\slash"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, PrometheusQuantilesAreASiblingSummaryFamily) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram* h = reg.GetHistogram("test.prom.qhist");
+  h->Reset();
+  for (int i = 0; i < 10; ++i) h->Record(100'000);
+  std::string text = reg.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE test_prom_qhist_quantiles summary"),
+            std::string::npos);
+  for (const char* q : {"0.5", "0.95", "0.99"}) {
+    EXPECT_NE(text.find(std::string("test_prom_qhist_quantiles{quantile=\"") +
+                        q + "\"} "),
+              std::string::npos)
+        << q;
+  }
+  EXPECT_NE(text.find("test_prom_qhist_quantiles_count 10"),
+            std::string::npos);
+  // A histogram family must not carry quantile samples itself — that is
+  // the whole reason the summary gets a sibling name.
+  EXPECT_EQ(text.find("test_prom_qhist{quantile"), std::string::npos);
+}
+
+// Line-level validity of the whole exposition: every line is either a
+// HELP/TYPE comment or `name[{labels}] value` with a numeric value.
+TEST(MetricsSnapshotTest, PrometheusExpositionIsWellFormedLineByLine) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.prom.valid.counter")->Inc(5);
+  reg.GetGauge("test.prom.valid.gauge")->Set(-3);
+  reg.GetHistogram("test.prom.valid.hist")->Record(4096);
+  std::string text = reg.Snapshot().ToPrometheusText();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  auto is_name_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == ':';
+  };
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "unterminated line";
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    ASSERT_FALSE(line.empty());
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+    // Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+    size_t i = 0;
+    ASSERT_TRUE(is_name_char(line[0]) && !(line[0] >= '0' && line[0] <= '9'))
+        << line;
+    while (i < line.size() && is_name_char(line[i])) ++i;
+    // Optional label set: braces with balanced quotes.
+    if (i < line.size() && line[i] == '{') {
+      size_t close = line.find('}', i);
+      ASSERT_NE(close, std::string::npos) << line;
+      i = close + 1;
+    }
+    ASSERT_LT(i, line.size()) << line;
+    ASSERT_EQ(line[i], ' ') << line;
+    // The remainder must parse fully as a number.
+    char* parse_end = nullptr;
+    std::string value = line.substr(i + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    std::strtod(value.c_str(), &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << "trailing garbage in: " << line;
+  }
+}
+
+TEST(MetricsSnapshotTest, JsonIncludesQuantileEstimates) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram* h = reg.GetHistogram("test.json.qhist");
+  h->Reset();
+  h->Record(2048);
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"p50_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\":"), std::string::npos);
 }
 
 TEST(ScopedLatencyTest, RecordsOnExitAndStopDisarms) {

@@ -1,0 +1,332 @@
+// Query-log ring semantics (wrap-around, slow-ring survival, truncation),
+// scope ownership across nesting, concurrent writers vs readers (run under
+// TSan in CI), and the SQL engine's est-vs-actual annotations for both
+// rule-based and cost-based plans.
+
+#include "common/query_log.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sql/engine.h"
+
+namespace xomatiq::common {
+namespace {
+
+QueryLogRecord MakeRecord(const std::string& text, uint64_t latency_ns) {
+  QueryLogRecord rec;
+  rec.text = text;
+  rec.mode = "sql";
+  rec.latency_ns = latency_ns;
+  return rec;
+}
+
+// The global log is shared by every test in this binary; each test resets
+// it and restores the default threshold on the way out.
+class QueryLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    QueryLog::Global().set_enabled(true);
+    QueryLog::Global().set_slow_threshold_ns(QueryLog::kDefaultSlowThresholdNs);
+    QueryLog::Global().Clear();
+  }
+  void TearDown() override {
+    QueryLog::Global().set_enabled(true);
+    QueryLog::Global().set_slow_threshold_ns(QueryLog::kDefaultSlowThresholdNs);
+    QueryLog::Global().Clear();
+  }
+};
+
+TEST_F(QueryLogTest, RingWrapKeepsNewestAndTotalKeepsCounting) {
+  QueryLog& log = QueryLog::Global();
+  const size_t n = QueryLog::kRecentCapacity + 44;
+  for (size_t i = 0; i < n; ++i) {
+    log.Append(MakeRecord("q" + std::to_string(i), /*latency_ns=*/1));
+  }
+  EXPECT_EQ(log.total(), n);
+  std::vector<QueryLogRecord> recent = log.Recent();
+  ASSERT_EQ(recent.size(), QueryLog::kRecentCapacity);
+  // Newest first; ids are the append sequence numbers.
+  EXPECT_EQ(recent.front().id, n);
+  EXPECT_EQ(recent.front().text, "q" + std::to_string(n - 1));
+  EXPECT_EQ(recent.back().id, n - QueryLog::kRecentCapacity + 1);
+  // max caps the snapshot from the newest end.
+  EXPECT_EQ(log.Recent(3).size(), 3u);
+  EXPECT_EQ(log.Recent(3).front().id, n);
+}
+
+TEST_F(QueryLogTest, SlowRingSurvivesFastQueryFlood) {
+  QueryLog& log = QueryLog::Global();
+  log.set_slow_threshold_ns(1000);
+  QueryLogRecord slow = MakeRecord("the slow one", /*latency_ns=*/5000);
+  slow.explain = "SeqScan t (rows=9)";
+  log.Append(std::move(slow));
+  // Flood with enough fast queries to lap the recent ring twice.
+  for (size_t i = 0; i < 2 * QueryLog::kRecentCapacity; ++i) {
+    log.Append(MakeRecord("fast", /*latency_ns=*/1));
+  }
+  // The slow entry has been evicted from Recent() but not from Slow().
+  for (const QueryLogRecord& rec : log.Recent()) {
+    EXPECT_NE(rec.text, "the slow one");
+  }
+  std::vector<QueryLogRecord> slow_ring = log.Slow();
+  ASSERT_EQ(slow_ring.size(), 1u);
+  EXPECT_EQ(slow_ring[0].text, "the slow one");
+  EXPECT_TRUE(slow_ring[0].slow);
+  EXPECT_EQ(slow_ring[0].explain, "SeqScan t (rows=9)");
+}
+
+TEST_F(QueryLogTest, FastEntriesDropHeavyweightCaptures) {
+  QueryLog& log = QueryLog::Global();
+  log.set_slow_threshold_ns(1'000'000'000);
+  QueryLogRecord fast = MakeRecord("quick", /*latency_ns=*/10);
+  fast.explain = "would be wasted memory";
+  fast.trace_json = "{}";
+  log.Append(std::move(fast));
+  std::vector<QueryLogRecord> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_FALSE(recent[0].slow);
+  EXPECT_TRUE(recent[0].explain.empty());
+  EXPECT_TRUE(recent[0].trace_json.empty());
+  EXPECT_TRUE(log.Slow().empty());
+}
+
+TEST_F(QueryLogTest, DisabledLogIgnoresAppendsAndScopesDoNotArm) {
+  QueryLog& log = QueryLog::Global();
+  log.set_enabled(false);
+  log.Append(MakeRecord("dropped", 1));
+  EXPECT_EQ(log.total(), 0u);
+  EXPECT_TRUE(log.Recent().empty());
+  {
+    QueryLogScope scope("SELECT 1", "sql");
+    EXPECT_FALSE(scope.armed());
+    EXPECT_EQ(QueryLogScope::Current(), nullptr);
+    EXPECT_EQ(scope.ElapsedNs(), 0u);
+  }
+  EXPECT_EQ(log.total(), 0u);
+  EXPECT_FALSE(log.ShouldSampleTrace());
+}
+
+TEST_F(QueryLogTest, OutermostScopeOwnsRecordAndInnerScopesObserve) {
+  QueryLog& log = QueryLog::Global();
+  {
+    QueryLogScope outer("SELECT * FROM t", "sql");
+    ASSERT_TRUE(outer.armed());
+    QueryLogRecord* rec = QueryLogScope::Current();
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->text, "SELECT * FROM t");
+    EXPECT_EQ(rec->mode, "sql");
+    {
+      QueryLogScope inner("inner text must not win", "xquery");
+      EXPECT_FALSE(inner.armed());
+      // Same record all the way down the stack.
+      EXPECT_EQ(QueryLogScope::Current(), rec);
+    }
+    // The inner scope's destruction must not append or disown the record.
+    EXPECT_EQ(log.total(), 0u);
+    EXPECT_EQ(QueryLogScope::Current(), rec);
+    rec->plan_fp = 0xabcd1234;
+    rec->est_rows = 10;
+    rec->actual_rows = 7;
+  }
+  EXPECT_EQ(QueryLogScope::Current(), nullptr);
+  std::vector<QueryLogRecord> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].text, "SELECT * FROM t");
+  EXPECT_EQ(recent[0].plan_fp, 0xabcd1234u);
+  EXPECT_EQ(recent[0].est_rows, 10);
+  EXPECT_EQ(recent[0].actual_rows, 7);
+  EXPECT_GT(recent[0].latency_ns, 0u);
+  EXPECT_GT(recent[0].wall_ms, 0);
+}
+
+TEST_F(QueryLogTest, TextTruncatedToCap) {
+  QueryLog& log = QueryLog::Global();
+  std::string huge(3 * QueryLog::kMaxTextBytes, 'x');
+  { QueryLogScope scope(huge, "sql"); }
+  std::vector<QueryLogRecord> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].text.size(), QueryLog::kMaxTextBytes);
+}
+
+TEST_F(QueryLogTest, TraceSamplingFiresEveryNth) {
+  QueryLog& log = QueryLog::Global();
+  EXPECT_TRUE(log.ShouldSampleTrace());  // tick 0
+  for (uint64_t i = 1; i < QueryLog::kTraceSampleEvery; ++i) {
+    EXPECT_FALSE(log.ShouldSampleTrace()) << "tick " << i;
+  }
+  EXPECT_TRUE(log.ShouldSampleTrace());  // tick kTraceSampleEvery
+}
+
+// Many writer threads (each running full scopes, which exercises the
+// thread_local ownership) against concurrent snapshot readers. Run under
+// TSan in CI; the invariant here is losslessness of total() and that
+// snapshots always see fully-formed records.
+TEST_F(QueryLogTest, ConcurrentScopesAndReadersAreLossless) {
+  QueryLog& log = QueryLog::Global();
+  log.set_slow_threshold_ns(0);  // everything also lands in the slow ring
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const QueryLogRecord& rec : log.Recent()) {
+        // A snapshot must never expose a half-written record.
+        EXPECT_NE(rec.id, 0u);
+        EXPECT_FALSE(rec.text.empty());
+      }
+      log.Slow(8);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kIters; ++i) {
+        QueryLogScope scope("w" + std::to_string(t), "sql");
+        QueryLogRecord* rec = QueryLogScope::Current();
+        ASSERT_NE(rec, nullptr);
+        rec->actual_rows = i;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(log.total(), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(log.Recent().size(), QueryLog::kRecentCapacity);
+}
+
+TEST_F(QueryLogTest, JsonRenderingEscapesAndEmitsOptionalFields) {
+  QueryLogRecord rec;
+  rec.id = 7;
+  rec.text = "SELECT \"a\"\nFROM t";
+  rec.mode = "sql";
+  rec.planner = "cost";
+  rec.plan_fp = 0xdeadbeef;
+  rec.est_rows = 12;
+  rec.actual_rows = 9;
+  rec.latency_ns = 1500;
+  rec.ok = false;
+  rec.error = "boom";
+  rec.slow = true;
+  rec.explain = "SeqScan";
+  rec.trace_id = 0x1234;
+  rec.trace_json = "{\"traceEvents\":[]}";
+  std::string out;
+  AppendQueryLogRecordJson(&out, rec);
+  EXPECT_NE(out.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(out.find("\\\"a\\\"\\nFROM t"), std::string::npos);
+  EXPECT_NE(out.find("\"planner\":\"cost\""), std::string::npos);
+  EXPECT_NE(out.find("\"plan_fp\":\"deadbeef\""), std::string::npos);
+  EXPECT_NE(out.find("\"est_rows\":12"), std::string::npos);
+  EXPECT_NE(out.find("\"actual_rows\":9"), std::string::npos);
+  EXPECT_NE(out.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(out.find("\"error\":\"boom\""), std::string::npos);
+  EXPECT_NE(out.find("\"explain\":\"SeqScan\""), std::string::npos);
+  EXPECT_NE(out.find("\"trace_id\":\"0000000000001234\""), std::string::npos);
+  // The sampled trace splices in as raw JSON, not a double-encoded string.
+  EXPECT_NE(out.find("\"trace\":{\"traceEvents\":[]}"), std::string::npos);
+  // Optional fields stay out when absent.
+  std::string minimal;
+  AppendQueryLogRecordJson(&minimal, MakeRecord("q", 1));
+  EXPECT_EQ(minimal.find("\"error\""), std::string::npos);
+  EXPECT_EQ(minimal.find("\"explain\""), std::string::npos);
+  EXPECT_EQ(minimal.find("\"trace_id\""), std::string::npos);
+}
+
+// The engine annotates whatever record is current: plan fingerprint,
+// planner pipeline, and est-vs-actual rows. Rule-based plans carry no
+// estimate (est_rows = -1); cost-based plans (post-ANALYZE) do.
+class EngineAnnotationTest : public QueryLogTest {
+ protected:
+  void SetUp() override {
+    QueryLogTest::SetUp();
+    db_ = rel::Database::OpenInMemory();
+    engine_ = std::make_unique<sql::SqlEngine>(db_.get());
+    ASSERT_TRUE(engine_->Execute("CREATE TABLE t (id INT, grp INT)").ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(engine_
+                      ->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                ", " + std::to_string(i % 10) + ")")
+                      .ok());
+    }
+    QueryLog::Global().Clear();
+  }
+
+  QueryLogRecord Newest() {
+    std::vector<QueryLogRecord> recent = QueryLog::Global().Recent(1);
+    EXPECT_EQ(recent.size(), 1u);
+    return recent.empty() ? QueryLogRecord{} : recent[0];
+  }
+
+  std::unique_ptr<rel::Database> db_;
+  std::unique_ptr<sql::SqlEngine> engine_;
+};
+
+TEST_F(EngineAnnotationTest, RuleBasedPlanLogsFingerprintAndActualRows) {
+  // No ANALYZE yet: kAuto falls back to the rule-based pipeline.
+  auto r = engine_->Execute("SELECT * FROM t WHERE id < 25");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 25u);
+  QueryLogRecord rec = Newest();
+  EXPECT_EQ(rec.mode, "sql");
+  EXPECT_EQ(rec.planner, "rule");
+  EXPECT_NE(rec.plan_fp, 0u);
+  EXPECT_EQ(rec.est_rows, -1);
+  EXPECT_EQ(rec.actual_rows, 25);
+  EXPECT_TRUE(rec.ok);
+}
+
+TEST_F(EngineAnnotationTest, CostBasedPlanLogsEstimateVsActual) {
+  ASSERT_TRUE(engine_->Execute("ANALYZE").ok());
+  QueryLog::Global().Clear();
+  auto r = engine_->Execute("SELECT * FROM t WHERE id < 25");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 25u);
+  QueryLogRecord rec = Newest();
+  EXPECT_EQ(rec.planner, "cost");
+  EXPECT_NE(rec.plan_fp, 0u);
+  EXPECT_GE(rec.est_rows, 0);
+  EXPECT_EQ(rec.actual_rows, 25);
+}
+
+TEST_F(EngineAnnotationTest, FailedQueryLogsErrorStatus) {
+  auto r = engine_->Execute("SELECT * FROM no_such_table");
+  ASSERT_FALSE(r.ok());
+  QueryLogRecord rec = Newest();
+  EXPECT_FALSE(rec.ok);
+  EXPECT_FALSE(rec.error.empty());
+}
+
+TEST_F(EngineAnnotationTest, SlowThresholdCapturesExplainAnalyze) {
+  QueryLog::Global().set_slow_threshold_ns(0);  // every query is "slow"
+  ASSERT_TRUE(engine_->Execute("SELECT * FROM t WHERE id < 5").ok());
+  std::vector<QueryLogRecord> slow = QueryLog::Global().Slow();
+  ASSERT_FALSE(slow.empty());
+  // The capture is the EXPLAIN ANALYZE rendering: operators plus actual
+  // row counts from the instrumented run.
+  EXPECT_NE(slow[0].explain.find("actual rows="), std::string::npos)
+      << slow[0].explain;
+  EXPECT_TRUE(slow[0].slow);
+}
+
+TEST_F(EngineAnnotationTest, SlowQueriesStatementRendersTheLog) {
+  QueryLog::Global().set_slow_threshold_ns(0);
+  ASSERT_TRUE(engine_->Execute("SELECT * FROM t WHERE grp = 3").ok());
+  auto r = engine_->Execute("SLOW QUERIES");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+  EXPECT_NE(r->explain_text.find("slow quer"), std::string::npos)
+      << r->explain_text;
+  EXPECT_NE(r->explain_text.find("SELECT * FROM t WHERE grp = 3"),
+            std::string::npos)
+      << r->explain_text;
+  EXPECT_NE(r->explain_text.find("planner="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xomatiq::common

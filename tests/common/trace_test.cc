@@ -111,5 +111,67 @@ TEST(TraceTest, ChromeJsonWellFormed) {
   EXPECT_EQ(brackets, 0);
 }
 
+TEST(TraceTest, ChromeJsonCarriesTraceIdAndPid) {
+  Trace trace;
+  trace.set_trace_id(0xabcULL);
+  {
+    TraceScope scope(&trace);
+    TraceSpan span("stage");
+  }
+  std::string json = trace.ToChromeJson(/*pid=*/2);
+  EXPECT_NE(json.find("\"traceId\":\"0000000000000abc\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  // Default pid is the server's.
+  EXPECT_NE(trace.ToChromeJson().find("\"pid\":1"), std::string::npos);
+}
+
+TEST(TraceTest, MergeChromeTraceJsonStitchesBothTimelines) {
+  Trace client;
+  client.set_trace_id(0x77);
+  {
+    TraceScope scope(&client);
+    TraceSpan span("client.rtt");
+  }
+  Trace server;
+  server.set_trace_id(0x77);
+  {
+    TraceScope scope(&server);
+    TraceSpan span("server.handle");
+  }
+  std::string merged =
+      MergeChromeTraceJson(client.ToChromeJson(2), server.ToChromeJson(1));
+  EXPECT_NE(merged.find("\"traceId\":\"0000000000000077\""),
+            std::string::npos)
+      << merged;
+  EXPECT_NE(merged.find("client.rtt"), std::string::npos);
+  EXPECT_NE(merged.find("server.handle"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":2"), std::string::npos);
+  // The merge is itself a loadable Chrome dump: one traceEvents array,
+  // not two concatenated documents.
+  EXPECT_EQ(merged.find("\"traceEvents\""),
+            merged.rfind("\"traceEvents\""));
+}
+
+TEST(TraceTest, MergeTakesFirstNonZeroTraceId) {
+  Trace anon;  // never tagged
+  {
+    TraceScope scope(&anon);
+    TraceSpan span("a");
+  }
+  Trace tagged;
+  tagged.set_trace_id(0x5);
+  {
+    TraceScope scope(&tagged);
+    TraceSpan span("b");
+  }
+  std::string merged =
+      MergeChromeTraceJson(anon.ToChromeJson(), tagged.ToChromeJson());
+  EXPECT_NE(merged.find("\"traceId\":\"0000000000000005\""),
+            std::string::npos)
+      << merged;
+}
+
 }  // namespace
 }  // namespace xomatiq::common

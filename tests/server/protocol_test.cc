@@ -29,6 +29,40 @@ TEST(ProtocolTest, RequestRoundTrip) {
   EXPECT_EQ(decoded->text, request.text);
 }
 
+TEST(ProtocolTest, OptionsTraceIdRoundTrip) {
+  Request request;
+  request.id = 3;
+  request.mode = RequestMode::kSql;
+  request.text = "SELECT 1";
+  request.has_options = true;
+  request.options.trace = true;
+  request.options.deadline_ms = 250;
+  request.options.trace_id = 0xfeedfacecafebeefULL;
+  std::string with_id = EncodeRequest(request);
+  auto decoded = DecodeRequest(with_id);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->has_options);
+  EXPECT_TRUE(decoded->options.trace);
+  EXPECT_EQ(decoded->options.deadline_ms, 250u);
+  EXPECT_EQ(decoded->options.trace_id, 0xfeedfacecafebeefULL);
+  // Without an id the options tail keeps its pre-trace-context shape —
+  // exactly 8 bytes shorter — so 1.1 decoders still accept it.
+  request.options.trace_id = 0;
+  std::string without_id = EncodeRequest(request);
+  EXPECT_EQ(without_id.size() + 8, with_id.size());
+  auto decoded_plain = DecodeRequest(without_id);
+  ASSERT_TRUE(decoded_plain.ok());
+  EXPECT_EQ(decoded_plain->options.trace_id, 0u);
+}
+
+TEST(ProtocolTest, HelloAdvertisesTraceContextFeature) {
+  Hello hello;
+  EXPECT_NE(kSupportedFeatures & kFeatureTraceContext, 0u);
+  auto decoded = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->features, hello.features);
+}
+
 TEST(ProtocolTest, RowsResponseRoundTrip) {
   Response response;
   response.id = 7;
