@@ -1,0 +1,267 @@
+// Replication benchmark: read-throughput scale-up as read replicas are
+// added behind a ClusterClient, and replication lag while a writer floods
+// the primary. Writes BENCH_replication.json.
+//
+//   bench_replication [corpus_n] [clients] [seconds_per_phase]
+//
+// Phases:
+//   reads_0_replicas .. reads_2_replicas
+//       closed-loop uncached reads through a ClusterClient against the
+//       primary alone, then with one and two streaming replicas — the
+//       scale-up is the case for WAL shipping.
+//   write_lag
+//       one writer inserting at full speed on the primary while a replica
+//       tails; samples applied-vs-durable lag and times final catch-up.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "client/client.h"
+#include "client/cluster_client.h"
+#include "replication/repl_server.h"
+#include "replication/replica.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace xomatiq;
+using benchutil::JsonReport;
+using Clock = std::chrono::steady_clock;
+
+// One read replica: database streaming from the primary plus a read-only
+// query server wired the way server_main wires one.
+struct Replica {
+  std::unique_ptr<rel::Database> db;
+  std::unique_ptr<repl::ReplicaApplier> applier;
+  std::unique_ptr<hounds::Warehouse> warehouse;
+  std::unique_ptr<srv::QueryServer> server;
+
+  ~Replica() {
+    if (server != nullptr) server->Shutdown();
+    if (applier != nullptr) applier->Shutdown();
+  }
+};
+
+std::unique_ptr<Replica> StartReplica(uint16_t primary_repl_port) {
+  auto replica = std::make_unique<Replica>();
+  replica->db = rel::Database::OpenInMemory();
+  repl::ReplicaApplierOptions ropts;
+  ropts.primary_port = primary_repl_port;
+  replica->applier =
+      std::make_unique<repl::ReplicaApplier>(replica->db.get(), ropts);
+  benchutil::Check(replica->applier->Start(), "start applier");
+  benchutil::Check(replica->applier->WaitUntilCaughtUp(60000), "catch up");
+  replica->warehouse = benchutil::Unwrap(
+      hounds::Warehouse::Open(replica->db.get()), "replica warehouse");
+  srv::ServerOptions options;
+  options.workers = 4;
+  options.max_queue = 256;
+  options.service.read_only = true;
+  repl::ReplicaApplier* applier = replica->applier.get();
+  options.service.wait_for_lsn = [applier](uint64_t lsn, uint32_t budget) {
+    return applier->WaitForLsn(lsn, budget);
+  };
+  replica->server = std::make_unique<srv::QueryServer>(
+      replica->warehouse.get(), options);
+  benchutil::Check(replica->server->Start(), "start replica server");
+  return replica;
+}
+
+struct PhaseResult {
+  size_t requests = 0;
+  size_t errors = 0;
+  size_t replica_served = 0;
+  size_t fallbacks = 0;
+  double seconds = 0;
+};
+
+// Closed-loop uncached reads through per-thread ClusterClients.
+PhaseResult RunReadPhase(const cli::ClusterOptions& copts, size_t clients,
+                         double seconds) {
+  std::atomic<bool> stop{false};
+  std::vector<PhaseResult> per_client(clients);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      cli::ClusterClient cluster(copts);
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Distinct text every request defeats result caches, so the
+        // measured scale-up is engine capacity, not cache hits.
+        std::string sql =
+            "SELECT COUNT(*) FROM xml_node WHERE node_id <> -" +
+            std::to_string(c * 1000000 + ++i);
+        auto response = cluster.Execute(srv::RequestMode::kSql, sql);
+        PhaseResult& r = per_client[c];
+        ++r.requests;
+        if (!response.ok() || !response->ok()) ++r.errors;
+      }
+      per_client[c].replica_served = cluster.stats().replica_requests;
+      per_client[c].fallbacks = cluster.stats().replica_fallbacks;
+    });
+  }
+  auto start = Clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(seconds * 1000)));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  PhaseResult total;
+  total.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  for (const PhaseResult& r : per_client) {
+    total.requests += r.requests;
+    total.errors += r.errors;
+    total.replica_served += r.replica_served;
+    total.fallbacks += r.fallbacks;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = argc > 1 ? static_cast<size_t>(std::atol(argv[1])) : 300;
+  size_t clients = argc > 2 ? static_cast<size_t>(std::atol(argv[2])) : 8;
+  double seconds = argc > 3 ? std::atof(argv[3]) : 2.0;
+
+  auto* fx = benchutil::GetWarehouse(n);
+  JsonReport report("BENCH_replication.json");
+
+  // Primary: writable query server plus the WAL shipper.
+  srv::ServerOptions primary_options;
+  primary_options.workers = 4;
+  primary_options.max_queue = 256;
+  srv::QueryServer primary(fx->warehouse.get(), primary_options);
+  benchutil::Check(primary.Start(), "start primary");
+  repl::ReplicationServer shipper(fx->db.get());
+  benchutil::Check(shipper.Start(), "start shipper");
+
+  std::vector<std::unique_ptr<Replica>> replicas;
+  replicas.push_back(StartReplica(shipper.port()));
+  replicas.push_back(StartReplica(shipper.port()));
+  std::printf("bench_replication: corpus n=%zu, %zu clients, %.1fs/phase, "
+              "primary %u, replicas %u %u\n\n",
+              n, clients, seconds, primary.port(),
+              replicas[0]->server->port(), replicas[1]->server->port());
+
+  // --- read scale-up: 0, 1, 2 replicas behind the same client fleet ---
+  std::vector<double> qps_by_replicas;
+  for (size_t nreplicas = 0; nreplicas <= 2; ++nreplicas) {
+    cli::ClusterOptions copts;
+    copts.primary = {"127.0.0.1", primary.port()};
+    for (size_t i = 0; i < nreplicas; ++i) {
+      copts.replicas.push_back({"127.0.0.1", replicas[i]->server->port()});
+    }
+    PhaseResult r = RunReadPhase(copts, clients, seconds);
+    double qps =
+        r.seconds > 0 ? static_cast<double>(r.requests) / r.seconds : 0;
+    qps_by_replicas.push_back(qps);
+    std::string name =
+        "reads_" + std::to_string(nreplicas) + "_replicas";
+    std::printf("%-18s %8zu req %9.0f req/s  replica-served %5.1f%%  "
+                "fallbacks %zu  errors %zu\n",
+                name.c_str(), r.requests, qps,
+                r.requests ? 100.0 * static_cast<double>(r.replica_served) /
+                                 static_cast<double>(r.requests)
+                           : 0,
+                r.fallbacks, r.errors);
+    report.Add(name,
+               {{"replicas", static_cast<double>(nreplicas)},
+                {"clients", static_cast<double>(clients)},
+                {"requests", static_cast<double>(r.requests)},
+                {"qps", qps},
+                {"replica_served_fraction",
+                 r.requests ? static_cast<double>(r.replica_served) /
+                                  static_cast<double>(r.requests)
+                            : 0},
+                {"fallbacks", static_cast<double>(r.fallbacks)},
+                {"errors", static_cast<double>(r.errors)}});
+  }
+  report.Add("read_scaleup",
+             {{"qps_0_replicas", qps_by_replicas[0]},
+              {"qps_1_replica", qps_by_replicas[1]},
+              {"qps_2_replicas", qps_by_replicas[2]},
+              {"scaleup_1_replica",
+               qps_by_replicas[0] > 0
+                   ? qps_by_replicas[1] / qps_by_replicas[0]
+                   : 0},
+              {"scaleup_2_replicas",
+               qps_by_replicas[0] > 0
+                   ? qps_by_replicas[2] / qps_by_replicas[0]
+                   : 0}});
+
+  // --- replication lag under write load ---
+  {
+    cli::Client writer = benchutil::Unwrap(
+        cli::Client::Connect("127.0.0.1", primary.port()), "writer");
+    auto ddl = writer.Sql("CREATE TABLE bench_lag (k INT)");
+    benchutil::Check(ddl.ok() ? ddl->status() : ddl.status(),
+                     "create bench_lag");
+    repl::ReplicaApplier* applier = replicas[0]->applier.get();
+    std::atomic<bool> stop{false};
+    std::vector<double> lag_samples;
+    std::thread sampler([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        lag_samples.push_back(
+            static_cast<double>(applier->status().lag_records));
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+    size_t writes = 0, write_errors = 0;
+    auto start = Clock::now();
+    while (std::chrono::duration<double>(Clock::now() - start).count() <
+           seconds) {
+      auto response = writer.Sql("INSERT INTO bench_lag VALUES (" +
+                                 std::to_string(writes) + ")");
+      if (!response.ok() || !response->ok()) {
+        ++write_errors;
+      }
+      ++writes;
+    }
+    double write_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    stop.store(true);
+    sampler.join();
+
+    auto catchup_start = Clock::now();
+    bool caught_up =
+        applier->WaitForLsn(fx->db->durable_lsn(), /*timeout_ms=*/60000);
+    double catchup_ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - catchup_start)
+                            .count();
+    double max_lag = 0, sum_lag = 0;
+    for (double lag : lag_samples) {
+      max_lag = std::max(max_lag, lag);
+      sum_lag += lag;
+    }
+    double mean_lag =
+        lag_samples.empty() ? 0 : sum_lag / static_cast<double>(lag_samples.size());
+    double wps = write_seconds > 0
+                     ? static_cast<double>(writes) / write_seconds
+                     : 0;
+    std::printf("\n%-18s %8zu writes %7.0f writes/s  lag mean %.1f max %.0f "
+                "records  catch-up %.1fms  caught_up %s  errors %zu\n",
+                "write_lag", writes, wps, mean_lag, max_lag, catchup_ms,
+                caught_up ? "yes" : "NO", write_errors);
+    report.Add("write_lag", {{"writes", static_cast<double>(writes)},
+                             {"writes_per_s", wps},
+                             {"mean_lag_records", mean_lag},
+                             {"max_lag_records", max_lag},
+                             {"catchup_ms", catchup_ms},
+                             {"caught_up", caught_up ? 1.0 : 0.0},
+                             {"errors", static_cast<double>(write_errors)}});
+  }
+
+  replicas.clear();
+  shipper.Shutdown();
+  primary.Shutdown();
+  if (!report.Write()) return 1;
+  std::printf("\nwrote BENCH_replication.json\n");
+  return 0;
+}

@@ -95,43 +95,9 @@ bool IsTransportError(StatusCode code) {
          code == StatusCode::kNotFound || code == StatusCode::kTimeout;
 }
 
-// Backoff schedule shared by connect and execute retries. Returns false
-// when the policy's deadline would be exceeded by waiting.
-class Backoff {
- public:
-  explicit Backoff(const RetryPolicy& policy)
-      : policy_(policy),
-        rng_(policy.seed),
-        deadline_(policy.deadline_ms == 0
-                      ? std::chrono::steady_clock::time_point::max()
-                      : std::chrono::steady_clock::now() +
-                            std::chrono::milliseconds(policy.deadline_ms)) {}
-
-  bool Expired() const { return std::chrono::steady_clock::now() >= deadline_; }
-
-  // Sleeps for the next jittered exponential delay; false when the
-  // deadline cuts the wait (nothing further should be attempted).
-  bool SleepBeforeRetry(int attempt) {
-    uint64_t nominal = policy_.initial_backoff_ms;
-    for (int i = 0; i < attempt && nominal < policy_.max_backoff_ms; ++i) {
-      nominal *= 2;
-    }
-    nominal = std::min<uint64_t>(nominal, policy_.max_backoff_ms);
-    // Jitter in [0.5, 1.0) de-synchronizes clients retrying after one
-    // shared failure (the thundering-herd guard).
-    auto delay = std::chrono::milliseconds(static_cast<uint64_t>(
-        static_cast<double>(nominal) * (0.5 + 0.5 * rng_.NextDouble())));
-    auto now = std::chrono::steady_clock::now();
-    if (now + delay >= deadline_) return false;
-    std::this_thread::sleep_for(delay);
-    return true;
-  }
-
- private:
-  const RetryPolicy policy_;
-  common::Rng rng_;
-  const std::chrono::steady_clock::time_point deadline_;
-};
+// The shared backoff schedule (common/backoff.h) drives both connect and
+// execute retries.
+using common::Backoff;
 
 }  // namespace
 
@@ -217,6 +183,9 @@ Result<srv::Response> Client::Execute(srv::RequestMode mode,
   } else if (opts.trace && opts.trace_id == 0) {
     opts.trace_id = GenerateTraceId();
   }
+  // Same discipline for the 1.3 consistency token: a pre-LSN server would
+  // choke on the extra tail field.
+  if ((features_ & srv::kFeatureLsn) == 0) opts.min_lsn = 0;
   auto run = [&]() -> Result<srv::Response> {
     srv::Request request;
     request.id = next_id_++;

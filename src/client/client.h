@@ -5,26 +5,17 @@
 #include <string>
 #include <string_view>
 
+#include "common/backoff.h"
 #include "common/query_options.h"
 #include "common/result.h"
 #include "server/protocol.h"
 
 namespace xomatiq::cli {
 
-// Resilience knobs for ConnectWithRetry / ExecuteWithRetry. Backoff is
-// exponential (initial_backoff_ms doubling up to max_backoff_ms) with
-// seeded jitter in [0.5, 1.0) of the nominal delay, all capped by an
-// overall deadline — a dead server costs at most deadline_ms, not
-// max_attempts full timeouts.
-struct RetryPolicy {
-  int max_attempts = 4;
-  uint32_t initial_backoff_ms = 10;
-  uint32_t max_backoff_ms = 1000;
-  // Overall budget across every attempt and backoff sleep (0 = no cap).
-  uint32_t deadline_ms = 5000;
-  // Jitter rng seed; a fixed seed gives a replayable retry schedule.
-  uint64_t seed = 42;
-};
+// Resilience knobs for ConnectWithRetry / ExecuteWithRetry; shared with
+// the replica applier's reconnect loop (see common/backoff.h for the
+// schedule semantics).
+using RetryPolicy = common::RetryPolicy;
 
 // Blocking client for the xomatiq_server wire protocol: one TCP
 // connection, one outstanding request at a time. Transport failures

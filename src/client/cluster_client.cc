@@ -1,0 +1,107 @@
+#include "client/cluster_client.h"
+
+#include <utility>
+
+namespace xomatiq::cli {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+// Mirrors the server's own routing keyword scan (query_service.cc):
+// statements the primary must execute.
+bool IsWriteStatement(std::string_view text) {
+  size_t i = text.find_first_not_of(" \t\r\n");
+  std::string word;
+  for (; i != std::string_view::npos && i < text.size(); ++i) {
+    char c = text[i];
+    if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))) break;
+    if (c >= 'A' && c <= 'Z') c += 'a' - 'A';
+    word.push_back(c);
+  }
+  return word == "insert" || word == "update" || word == "delete" ||
+         word == "create" || word == "drop" || word == "analyze";
+}
+
+}  // namespace
+
+ClusterClient::ClusterClient(ClusterOptions options)
+    : options_(std::move(options)),
+      replicas_(options_.replicas.size()) {}
+
+Result<srv::Response> ClusterClient::Execute(srv::RequestMode mode,
+                                             std::string_view text,
+                                             const common::QueryOptions& opts) {
+  if (mode == srv::RequestMode::kSql && IsWriteStatement(text)) {
+    return Write(mode, text, opts);
+  }
+  return Read(mode, text, opts);
+}
+
+Result<srv::Response> ClusterClient::OnPrimary(
+    srv::RequestMode mode, std::string_view text,
+    const common::QueryOptions& opts) {
+  if (!primary_.has_value()) {
+    Result<Client> c = Client::ConnectWithRetry(
+        options_.primary.host, options_.primary.port, options_.retry);
+    if (!c.ok()) return c.status();
+    primary_.emplace(std::move(c).value());
+  }
+  Result<srv::Response> response =
+      primary_->ExecuteWithRetry(mode, text, opts, options_.retry);
+  if (!response.ok()) primary_.reset();  // transport failure: reconnect next time
+  else ++stats_.primary_requests;
+  return response;
+}
+
+Result<srv::Response> ClusterClient::Write(srv::RequestMode mode,
+                                           std::string_view text,
+                                           const common::QueryOptions& opts) {
+  Result<srv::Response> response = OnPrimary(mode, text, opts);
+  if (response.ok() && response->ok() && response->lsn > last_write_lsn_) {
+    last_write_lsn_ = response->lsn;
+  }
+  return response;
+}
+
+Result<srv::Response> ClusterClient::Read(srv::RequestMode mode,
+                                          std::string_view text,
+                                          const common::QueryOptions& opts) {
+  common::QueryOptions read_opts = opts;
+  if (read_opts.min_lsn == 0) read_opts.min_lsn = last_write_lsn_;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    size_t slot = (rr_next_ + i) % replicas_.size();
+    std::optional<Client>& replica = replicas_[slot];
+    if (!replica.has_value()) {
+      Result<Client> c =
+          Client::ConnectWithRetry(options_.replicas[slot].host,
+                                   options_.replicas[slot].port,
+                                   options_.retry);
+      if (!c.ok()) continue;  // unreachable replica: try the next one
+      replica.emplace(std::move(c).value());
+    }
+    Result<srv::Response> response = replica->Execute(mode, text, read_opts);
+    if (!response.ok()) {
+      // Transport failure: drop the connection, read elsewhere.
+      replica.reset();
+      ++stats_.replica_fallbacks;
+      continue;
+    }
+    if (response->code == StatusCode::kLagging ||
+        response->code == StatusCode::kReadOnly) {
+      // The replica cannot serve this (yet); its connection is healthy.
+      ++stats_.replica_fallbacks;
+      continue;
+    }
+    rr_next_ = (slot + 1) % replicas_.size();
+    ++stats_.replica_requests;
+    return response;
+  }
+  // No replica could serve: the primary always can (its applied LSN is by
+  // definition >= any commit LSN it handed out).
+  return OnPrimary(mode, text, read_opts);
+}
+
+}  // namespace xomatiq::cli

@@ -1,0 +1,77 @@
+#ifndef XOMATIQ_COMMON_BACKOFF_H_
+#define XOMATIQ_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace xomatiq::common {
+
+// Resilience knobs shared by the client's ConnectWithRetry /
+// ExecuteWithRetry and the replica applier's reconnect loop. Backoff is
+// exponential (initial_backoff_ms doubling up to max_backoff_ms) with
+// seeded jitter in [0.5, 1.0) of the nominal delay, all capped by an
+// overall deadline — a dead server costs at most deadline_ms, not
+// max_attempts full timeouts.
+struct RetryPolicy {
+  int max_attempts = 4;
+  uint32_t initial_backoff_ms = 10;
+  uint32_t max_backoff_ms = 1000;
+  // Overall budget across every attempt and backoff sleep (0 = no cap).
+  uint32_t deadline_ms = 5000;
+  // Jitter rng seed; a fixed seed gives a replayable retry schedule.
+  uint64_t seed = 42;
+};
+
+// Backoff schedule over a RetryPolicy. Returns false from
+// SleepBeforeRetry when the policy's deadline would be exceeded by
+// waiting. Callers that must stay interruptible (the replica applier
+// waits on a condition variable instead of sleeping) use NextDelay and
+// wait however they like.
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy)
+      : policy_(policy),
+        rng_(policy.seed),
+        deadline_(policy.deadline_ms == 0
+                      ? std::chrono::steady_clock::time_point::max()
+                      : std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(policy.deadline_ms)) {}
+
+  bool Expired() const { return std::chrono::steady_clock::now() >= deadline_; }
+
+  // The next jittered exponential delay for retry number `attempt`
+  // (0-based). Jitter in [0.5, 1.0) de-synchronizes clients retrying
+  // after one shared failure (the thundering-herd guard).
+  std::chrono::milliseconds NextDelay(int attempt) {
+    uint64_t nominal = policy_.initial_backoff_ms;
+    for (int i = 0; i < attempt && nominal < policy_.max_backoff_ms; ++i) {
+      nominal *= 2;
+    }
+    nominal = std::min<uint64_t>(nominal, policy_.max_backoff_ms);
+    return std::chrono::milliseconds(static_cast<uint64_t>(
+        static_cast<double>(nominal) * (0.5 + 0.5 * rng_.NextDouble())));
+  }
+
+  // Sleeps for the next jittered exponential delay; false when the
+  // deadline cuts the wait (nothing further should be attempted).
+  bool SleepBeforeRetry(int attempt) {
+    auto delay = NextDelay(attempt);
+    auto now = std::chrono::steady_clock::now();
+    if (now + delay >= deadline_) return false;
+    std::this_thread::sleep_for(delay);
+    return true;
+  }
+
+ private:
+  const RetryPolicy policy_;
+  Rng rng_;
+  const std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace xomatiq::common
+
+#endif  // XOMATIQ_COMMON_BACKOFF_H_

@@ -1,0 +1,41 @@
+#include "common/net.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace xomatiq::net {
+
+using common::Status;
+
+Status WriteAll(int fd, std::string_view data) {
+  size_t done = 0;
+  bool is_socket = true;
+  while (done < data.size()) {
+    ssize_t n;
+    if (is_socket) {
+      n = ::send(fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        // Pipe or regular file (tests drive the framing over pipes):
+        // write(2) from here on. EPIPE on a pipe raises SIGPIPE, which
+        // every long-running binary in this repo leaves at SIG_IGN or
+        // handles; sockets — the production path — never signal.
+        is_socket = false;
+        continue;
+      }
+    } else {
+      n = ::write(fd, data.data() + done, data.size() - done);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string(is_socket ? "send: " : "write: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace xomatiq::net

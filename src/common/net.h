@@ -1,0 +1,21 @@
+#ifndef XOMATIQ_COMMON_NET_H_
+#define XOMATIQ_COMMON_NET_H_
+
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xomatiq::net {
+
+// Writes all of `data` to `fd`, looping over short writes and retrying
+// EINTR. Sockets are written with send(MSG_NOSIGNAL) so a dead peer
+// surfaces as an IoError carrying EPIPE instead of killing the process
+// with SIGPIPE; non-socket fds (pipes in tests) transparently fall back
+// to write(2). Every long-lived stream in the repo — query-service
+// response frames, HTTP admin replies, the replication ship path — goes
+// through here so the EPIPE/short-write handling exists exactly once.
+common::Status WriteAll(int fd, std::string_view data);
+
+}  // namespace xomatiq::net
+
+#endif  // XOMATIQ_COMMON_NET_H_

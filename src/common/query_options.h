@@ -54,6 +54,12 @@ struct QueryOptions {
   // trace and query-log record with it so client- and server-side views
   // of one request can be stitched together.
   uint64_t trace_id = 0;
+  // Read-your-writes consistency token (0 = none). Carried on the wire
+  // behind kFeatureLsn; a read replica whose applied LSN is below this
+  // waits briefly for replication to catch up and answers kLagging if it
+  // does not — the client then retries against the primary. Meaningless
+  // on a primary, which is by definition current.
+  uint64_t min_lsn = 0;
 
   bool operator==(const QueryOptions&) const = default;
 };

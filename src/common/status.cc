@@ -30,6 +30,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Overloaded";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
+    case StatusCode::kLagging:
+      return "Lagging";
   }
   return "Unknown";
 }

@@ -26,12 +26,15 @@ enum class StatusCode {
   // Service-layer codes (src/server): admission control and socket I/O.
   kOverloaded,  // bounded admission queue full; retry later
   kTimeout,     // peer too slow (mid-frame read deadline expired)
+  // Replication codes (src/replication): read-replica request routing.
+  kReadOnly,    // replica rejects DML/DDL; retry against the primary
+  kLagging,     // replica behind the requested min_lsn; read elsewhere
 };
 
 // Largest valid StatusCode value; used to bounds-check codes read off the
 // wire before casting.
 inline constexpr uint8_t kMaxStatusCode =
-    static_cast<uint8_t>(StatusCode::kTimeout);
+    static_cast<uint8_t>(StatusCode::kLagging);
 
 // Returns a stable human-readable name for `code` (e.g. "ParseError").
 std::string_view StatusCodeName(StatusCode code);
@@ -86,6 +89,12 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
+  }
+  static Status Lagging(std::string msg) {
+    return Status(StatusCode::kLagging, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -27,7 +27,10 @@ enum class Op : uint8_t {
   kSetStats = 8,
 };
 
-constexpr char kSnapshotMagic[] = "XQSNAP1";
+// v2 prepends the base LSN to the snapshot body; v1 snapshots (no LSN,
+// base 0) are still readable so pre-LSN directories open cleanly.
+constexpr char kSnapshotMagic[] = "XQSNAP2";
+constexpr char kSnapshotMagicV1[] = "XQSNAP1";
 constexpr char kSnapshotFile[] = "snapshot.db";
 constexpr char kWalFile[] = "wal.log";
 
@@ -124,14 +127,40 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   common::MetricsRegistry::Global()
       .GetCounter("rel.recovery.records")
       ->Inc(*replayed);
+  // LSNs are positional: record N of the WAL carries snapshot base + N,
+  // so recovery lands the counter exactly where the crashed process left
+  // it (minus any discarded torn tail, which was never acknowledged).
+  db->PublishLsn(db->last_lsn_.load(std::memory_order_relaxed) + *replayed);
   XQ_ASSIGN_OR_RETURN(db->wal_,
                       WriteAheadLog::Open(dir + "/" + kWalFile, options.wal));
+  db->wal_->set_next_lsn(db->last_lsn_.load(std::memory_order_relaxed) + 1);
   return db;
 }
 
+void Database::PublishLsn(uint64_t lsn) {
+  last_lsn_.store(lsn, std::memory_order_release);
+  static common::Gauge* durable_gauge =
+      common::MetricsRegistry::Global().GetGauge("rel.wal.durable_lsn");
+  static common::Gauge* applied_gauge =
+      common::MetricsRegistry::Global().GetGauge("rel.wal.applied_lsn");
+  durable_gauge->Set(static_cast<int64_t>(lsn));
+  applied_gauge->Set(static_cast<int64_t>(lsn));
+}
+
 Status Database::Log(std::string_view payload) {
-  if (wal_ == nullptr || replaying_) return Status::OK();
-  return wal_->Append(payload);
+  if (replaying_) return Status::OK();
+  if (wal_ != nullptr) {
+    XQ_RETURN_IF_ERROR(wal_->Append(payload));
+    PublishLsn(wal_->last_lsn());
+  } else {
+    // Volatile database: the in-memory apply is the commit point, so the
+    // LSN advances here (replication from an in-memory primary works).
+    PublishLsn(last_lsn_.load(std::memory_order_relaxed) + 1);
+  }
+  if (wal_sink_) {
+    wal_sink_(last_lsn_.load(std::memory_order_relaxed), payload);
+  }
+  return Status::OK();
 }
 
 common::MetricsSnapshot Database::MetricsSnapshot() {
@@ -591,10 +620,61 @@ Status Database::ReplayRecord(std::string_view payload) {
   return Status::Corruption("bad WAL op tag " + std::to_string(tag));
 }
 
+Result<Database::WalRecordSummary> Database::SummarizeWalRecord(
+    std::string_view payload) {
+  BinaryReader r(payload);
+  WalRecordSummary s;
+  XQ_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  switch (static_cast<Op>(tag)) {
+    case Op::kCreateTable:
+    case Op::kDropTable: {
+      XQ_ASSIGN_OR_RETURN(s.table, r.GetString());
+      return s;
+    }
+    case Op::kCreateIndex: {
+      XQ_ASSIGN_OR_RETURN(IndexDef def, DecodeIndexDef(&r));
+      s.table = def.table;
+      return s;
+    }
+    case Op::kDropIndex:
+      return s;  // only the index name is recorded; no single table
+    case Op::kInsert: {
+      s.is_dml = true;
+      s.is_insert_or_update = true;
+      XQ_ASSIGN_OR_RETURN(s.table, r.GetString());
+      XQ_ASSIGN_OR_RETURN(s.tuple, DecodeTuple(&r));
+      return s;
+    }
+    case Op::kDelete: {
+      s.is_dml = true;
+      XQ_ASSIGN_OR_RETURN(s.table, r.GetString());
+      XQ_ASSIGN_OR_RETURN(s.row, r.GetU64());
+      s.has_row = true;
+      return s;
+    }
+    case Op::kUpdate: {
+      s.is_dml = true;
+      s.is_insert_or_update = true;
+      XQ_ASSIGN_OR_RETURN(s.table, r.GetString());
+      XQ_ASSIGN_OR_RETURN(s.row, r.GetU64());
+      s.has_row = true;
+      XQ_ASSIGN_OR_RETURN(s.tuple, DecodeTuple(&r));
+      return s;
+    }
+    case Op::kSetStats: {
+      s.is_stats = true;
+      XQ_ASSIGN_OR_RETURN(s.table, r.GetString());
+      return s;
+    }
+  }
+  return Status::Corruption("bad WAL op tag " + std::to_string(tag));
+}
+
 // --- snapshots ---------------------------------------------------------
 
-Status Database::WriteSnapshot(const std::string& path) const {
-  BinaryWriter body;
+void Database::EncodeStateBody(BinaryWriter* body_ptr) const {
+  BinaryWriter& body = *body_ptr;
+  body.PutU64(last_lsn_.load(std::memory_order_acquire));
   body.PutU32(static_cast<uint32_t>(tables_.size()));
   for (const auto& [name, info] : tables_) {
     body.PutString(name);
@@ -620,6 +700,17 @@ Status Database::WriteSnapshot(const std::string& path) const {
       body.PutU64(info.mutations_since_analyze);
     }
   }
+}
+
+std::string Database::EncodeState() const {
+  BinaryWriter body;
+  EncodeStateBody(&body);
+  return body.TakeBuffer();
+}
+
+Status Database::WriteSnapshot(const std::string& path) const {
+  BinaryWriter body;
+  EncodeStateBody(&body);
   BinaryWriter file;
   file.PutString(kSnapshotMagic);
   file.PutU32(Crc32(body.buffer()));
@@ -650,7 +741,8 @@ Status Database::LoadSnapshot(const std::string& path) {
                    std::istreambuf_iterator<char>());
   BinaryReader file(data);
   XQ_ASSIGN_OR_RETURN(std::string magic, file.GetString());
-  if (magic != kSnapshotMagic) {
+  const bool v1 = magic == kSnapshotMagicV1;
+  if (magic != kSnapshotMagic && !v1) {
     return Status::Corruption("bad snapshot magic in " + path);
   }
   XQ_ASSIGN_OR_RETURN(uint32_t crc, file.GetU32());
@@ -659,6 +751,19 @@ Status Database::LoadSnapshot(const std::string& path) {
     return Status::Corruption("snapshot checksum mismatch in " + path);
   }
   BinaryReader r(body);
+  uint64_t base_lsn = 0;
+  XQ_RETURN_IF_ERROR(DecodeStateBody(&r, /*has_lsn=*/!v1, &base_lsn));
+  last_lsn_.store(base_lsn, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Database::DecodeStateBody(BinaryReader* r_ptr, bool has_lsn,
+                                 uint64_t* base_lsn) {
+  BinaryReader& r = *r_ptr;
+  *base_lsn = 0;
+  if (has_lsn) {
+    XQ_ASSIGN_OR_RETURN(*base_lsn, r.GetU64());
+  }
   XQ_ASSIGN_OR_RETURN(uint32_t ntables, r.GetU32());
   for (uint32_t t = 0; t < ntables; ++t) {
     XQ_ASSIGN_OR_RETURN(std::string name, r.GetString());
@@ -695,6 +800,38 @@ Status Database::Checkpoint() {
   if (wal_ == nullptr) return Status::OK();
   XQ_RETURN_IF_ERROR(WriteSnapshot(dir_ + "/" + kSnapshotFile));
   return wal_->Reset();
+}
+
+// --- replication -------------------------------------------------------
+
+Result<uint64_t> Database::InstallReplicaState(std::string_view state_body) {
+  tables_.clear();
+  BinaryReader r(state_body);
+  uint64_t base_lsn = 0;
+  XQ_RETURN_IF_ERROR(DecodeStateBody(&r, /*has_lsn=*/true, &base_lsn));
+  PublishLsn(base_lsn);
+  if (wal_ != nullptr) {
+    // Persist the bootstrap as a checkpoint: a replica restart recovers
+    // from the installed snapshot plus whatever it applied after, instead
+    // of whatever stale state the directory held before.
+    wal_->set_next_lsn(base_lsn + 1);
+    XQ_RETURN_IF_ERROR(Checkpoint());
+  }
+  return base_lsn;
+}
+
+Status Database::ApplyReplicated(uint64_t lsn, std::string_view payload) {
+  const uint64_t expected = last_lsn_.load(std::memory_order_relaxed) + 1;
+  if (lsn != expected) {
+    return Status::Corruption("replication lsn gap: got " +
+                              std::to_string(lsn) + ", expected " +
+                              std::to_string(expected));
+  }
+  XQ_RETURN_IF_ERROR(ReplayRecord(payload));
+  // Re-log locally: advances the LSN to exactly `lsn`, makes the record
+  // durable on durable replicas, and feeds any chained sink (cascading
+  // replication falls out for free).
+  return Log(payload);
 }
 
 }  // namespace xomatiq::rel

@@ -1,6 +1,8 @@
 #ifndef XOMATIQ_RELATIONAL_DATABASE_H_
 #define XOMATIQ_RELATIONAL_DATABASE_H_
 
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -18,6 +20,9 @@
 #include "relational/wal.h"
 
 namespace xomatiq::rel {
+
+class BinaryReader;
+class BinaryWriter;
 
 enum class IndexKind : uint8_t {
   kBTree = 0,    // ordered; equality, range and prefix scans
@@ -144,6 +149,68 @@ class Database {
   // True when Open discarded a torn/corrupt WAL tail during recovery.
   bool recovered_torn_tail() const { return recovered_torn_tail_; }
 
+  // --- log sequence numbers (replication) ---
+  // Every logged record carries a monotonic LSN; recovery restores the
+  // counter to (snapshot base + records replayed), so numbering is stable
+  // across restarts and checkpoints. Under the apply-then-log discipline
+  // the two views coincide by construction: a record is applied and made
+  // durable inside one exclusive latch acquisition.
+  //
+  // LSN of the last record applied to the in-memory state. On a replica
+  // this is the replication position to resume from.
+  uint64_t applied_lsn() const {
+    return last_lsn_.load(std::memory_order_acquire);
+  }
+  // LSN of the last record made durable in the local WAL (for volatile
+  // databases the in-memory apply is the commit point, so the same
+  // counter serves).
+  uint64_t durable_lsn() const {
+    return last_lsn_.load(std::memory_order_acquire);
+  }
+
+  // Observer for freshly logged records, invoked as (lsn, payload) after
+  // each successful Log while the writer still holds the statement latch
+  // exclusively. The sink must be cheap and non-blocking (the replication
+  // server's sink copies the record into its ring and signals a condvar);
+  // it must not call back into the database. Pass nullptr to detach.
+  using WalSink = std::function<void(uint64_t, std::string_view)>;
+  void SetWalSink(WalSink sink) { wal_sink_ = std::move(sink); }
+
+  // --- replication (caller holds latch() exclusively) ---
+  // Serialized full state (same body a snapshot stores, including the
+  // current LSN) for bootstrapping a cold replica. Caller holds latch()
+  // at least shared, which blocks writers, so the body is a consistent
+  // cut at exactly applied_lsn().
+  std::string EncodeState() const;
+
+  // Replaces this database's entire state with a primary's EncodeState()
+  // body; returns the embedded base LSN. Durable replicas checkpoint
+  // immediately so a restart resumes from the installed state instead of
+  // a stale local snapshot. On failure the catalog may be left empty —
+  // the applier discards the connection and re-bootstraps.
+  common::Result<uint64_t> InstallReplicaState(std::string_view state_body);
+
+  // Applies one shipped WAL record, which must carry exactly
+  // applied_lsn() + 1 (gaps mean a broken stream and return Corruption).
+  // The record is re-logged to the local WAL, so a replica's directory
+  // recovers like a primary's.
+  common::Status ApplyReplicated(uint64_t lsn, std::string_view payload);
+
+  // Decoded header of one WAL record, for observers that must know what a
+  // record touches without applying it (the replica applier maps shipped
+  // records to result-cache invalidations this way).
+  struct WalRecordSummary {
+    bool is_dml = false;              // insert / delete / update
+    bool is_insert_or_update = false; // `tuple` holds the stored row
+    bool is_stats = false;            // ANALYZE output; touches no data
+    std::string table;                // empty when no single table applies
+    std::optional<Tuple> tuple;
+    RowId row = 0;                    // valid when has_row
+    bool has_row = false;             // delete / update carry a row id
+  };
+  static common::Result<WalRecordSummary> SummarizeWalRecord(
+      std::string_view payload);
+
   // --- concurrency ---
   // Statement-level reader/writer latch; see the class comment for who
   // acquires it and when. Returned reference is valid for the database's
@@ -184,6 +251,13 @@ class Database {
   common::Status ReplayRecord(std::string_view payload);
   common::Status LoadSnapshot(const std::string& path);
   common::Status WriteSnapshot(const std::string& path) const;
+  // Shared body serde: snapshots and replication bootstrap use one
+  // format. `has_lsn` distinguishes the v2 layout (leading u64 base LSN)
+  // from legacy v1 snapshots; *base_lsn receives the embedded value.
+  void EncodeStateBody(BinaryWriter* body) const;
+  common::Status DecodeStateBody(BinaryReader* r, bool has_lsn,
+                                 uint64_t* base_lsn);
+  void PublishLsn(uint64_t lsn);
 
   static common::Status BuildIndex(const Table& table, IndexEntry* entry);
   common::Status IndexInsert(TableInfo* info, RowId row, const Tuple& tuple);
@@ -196,6 +270,10 @@ class Database {
   size_t records_recovered_ = 0;
   bool recovered_torn_tail_ = false;
   bool replaying_ = false;
+  // Atomic so the service layer can stamp responses with the commit LSN
+  // without taking the latch; mutations happen under the exclusive latch.
+  std::atomic<uint64_t> last_lsn_{0};
+  WalSink wal_sink_;
 };
 
 }  // namespace xomatiq::rel

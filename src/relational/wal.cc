@@ -63,6 +63,7 @@ Status WriteAheadLog::Append(std::string_view payload) {
     return Status::IoError("WAL fsync failed at " + path_);
   }
   bytes_written_ += header.size() + payload.size();
+  ++next_lsn_;  // the record is durable; it owns this LSN
   static common::Counter* appends =
       common::MetricsRegistry::Global().GetCounter("rel.wal.appends");
   static common::Counter* bytes =

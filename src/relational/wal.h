@@ -1,6 +1,7 @@
 #ifndef XOMATIQ_RELATIONAL_WAL_H_
 #define XOMATIQ_RELATIONAL_WAL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -28,7 +29,17 @@ struct WalOptions {
 // Append-only write-ahead log. Each record is framed as
 // [u32 payload_len][u32 crc32c(payload)][payload]; recovery replays records
 // in order and stops cleanly at the first truncated or corrupt frame
-// (torn-write tolerance). Fault-injection points (common::FaultInjector):
+// (torn-write tolerance).
+//
+// LSNs: every appended record carries a monotonic log sequence number,
+// assigned at append time from the counter seeded by set_next_lsn. The
+// on-disk frame format is unchanged — a record's LSN is implicit in its
+// position (snapshot base LSN + 1-based record index), which is what lets
+// recovery and replication agree on numbering without rewriting the log.
+// The counter survives Reset(): a checkpoint truncates the file but LSNs
+// keep climbing for the database's lifetime.
+//
+// Fault-injection points (common::FaultInjector):
 //   wal.append.before  fail before any byte is written
 //   wal.append.torn    write a partial frame, then fail (simulated crash
 //                      mid-write; the torn tail must be discarded on
@@ -67,6 +78,12 @@ class WriteAheadLog {
   const std::string& path() const { return path_; }
   uint64_t bytes_written() const { return bytes_written_; }
 
+  // Seeds the LSN counter: the next successful Append is numbered `lsn`.
+  // Database::Open calls this with (snapshot base + records replayed + 1).
+  void set_next_lsn(uint64_t lsn) { next_lsn_ = lsn; }
+  // LSN assigned to the most recent successful Append (0 = none yet).
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+
  private:
   WriteAheadLog(std::string path, std::FILE* file, WalOptions options)
       : path_(std::move(path)), file_(file), options_(options) {}
@@ -75,6 +92,7 @@ class WriteAheadLog {
   std::FILE* file_ = nullptr;
   WalOptions options_;
   uint64_t bytes_written_ = 0;
+  uint64_t next_lsn_ = 1;
 };
 
 }  // namespace xomatiq::rel

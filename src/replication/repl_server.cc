@@ -1,0 +1,356 @@
+#include "replication/repl_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "server/protocol.h"
+
+namespace xomatiq::repl {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+uint64_t NowUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// How many tail records one ring pass hands to the socket before
+// re-checking for shutdown / newer records.
+constexpr size_t kShipBatch = 64;
+
+}  // namespace
+
+ReplicationServer::ReplicationServer(rel::Database* db,
+                                     ReplicationServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+ReplicationServer::~ReplicationServer() { Shutdown(); }
+
+Status ReplicationServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad replication address: " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  // Attach the sink under the exclusive latch: writers invoke it while
+  // holding the same latch, so this is the only safe publication point.
+  {
+    std::unique_lock<std::shared_mutex> lk(db_->latch());
+    db_->SetWalSink(
+        [this](uint64_t lsn, std::string_view payload) {
+          OnRecord(lsn, payload);
+        });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ReplicationServer::Shutdown() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Unblock everything that could hold a latch or a lock before touching
+  // the database: session threads may be mid-send under the shared latch,
+  // and a stuck replica socket would otherwise park them there forever.
+  ring_cv_.notify_all();
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::unique_lock<std::shared_mutex> lk(db_->latch());
+    db_->SetWalSink(nullptr);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    threads.swap(session_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ReplicationServer::OnRecord(uint64_t lsn, std::string_view payload) {
+  std::lock_guard<std::mutex> lk(ring_mu_);
+  ring_.emplace_back(lsn, std::string(payload));
+  ring_bytes_ += payload.size();
+  while (ring_.size() > options_.ring_max_records ||
+         (ring_bytes_ > options_.ring_max_bytes && ring_.size() > 1)) {
+    ring_bytes_ -= ring_.front().second.size();
+    ring_.pop_front();
+  }
+  ring_cv_.notify_all();
+}
+
+void ReplicationServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or unrecoverable)
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    session_fds_.push_back(fd);
+    session_threads_.emplace_back([this, fd] { SessionLoop(fd); });
+  }
+}
+
+namespace {
+
+Status SendMsg(int fd, const ReplMsg& msg, std::atomic<uint64_t>* bytes) {
+  std::string body = EncodeReplMsg(msg);
+  // Damage-in-flight injection: flip the last byte after the CRC was
+  // computed, so the replica's integrity check must catch it.
+  if (!body.empty() &&
+      common::FaultInjector::Global().ShouldFail("repl.ship.corrupt")) {
+    body.back() = static_cast<char>(body.back() ^ 0xff);
+  }
+  Status st = srv::WriteFrame(fd, body);
+  if (st.ok() && bytes != nullptr) {
+    *bytes += body.size() + 4;
+    static common::Counter* bytes_ctr =
+        common::MetricsRegistry::Global().GetCounter("repl.bytes_shipped");
+    bytes_ctr->Inc(body.size() + 4);
+  }
+  return st;
+}
+
+}  // namespace
+
+Result<uint64_t> ReplicationServer::SendSnapshot(int fd) {
+  ReplMsg msg;
+  msg.type = ReplMsgType::kSnapshot;
+  {
+    // Shared latch blocks writers, so the encoded body is a consistent
+    // cut at exactly the durable LSN read here.
+    std::shared_lock<std::shared_mutex> lk(db_->latch());
+    msg.lsn = db_->durable_lsn();
+    msg.payload = db_->EncodeState();
+  }
+  msg.send_unix_ms = NowUnixMs();
+  XQ_RETURN_IF_ERROR(SendMsg(fd, msg, &bytes_shipped_));
+  snapshots_shipped_.fetch_add(1, std::memory_order_relaxed);
+  static common::Counter* snapshots =
+      common::MetricsRegistry::Global().GetCounter("repl.snapshots_shipped");
+  snapshots->Inc();
+  return msg.lsn;
+}
+
+void ReplicationServer::SessionLoop(int fd) {
+  static common::Counter* records_ctr =
+      common::MetricsRegistry::Global().GetCounter("repl.records_shipped");
+  static common::Gauge* replicas_gauge =
+      common::MetricsRegistry::Global().GetGauge("repl.replicas_connected");
+
+  replicas_gauge->Set(static_cast<int64_t>(++replicas_connected_));
+
+  // The replica opens with its hello; everything after that flows our way.
+  bool hello_ok = false;
+  uint64_t cursor = 0;
+  if (Result<std::string> frame = srv::ReadFrame(fd, 4096); frame.ok()) {
+    if (Result<ReplHello> hello = DecodeReplHello(*frame); hello.ok()) {
+      if (hello->major == kReplMajor) {
+        hello_ok = true;
+        cursor = hello->start_lsn;
+      } else {
+        ReplMsg err;
+        err.type = ReplMsgType::kError;
+        err.send_unix_ms = NowUnixMs();
+        err.payload = common::StrFormat(
+            "unsupported replication protocol %u.%u (primary speaks %u.%u)",
+            hello->major, hello->minor, kReplMajor, kReplMinor);
+        (void)SendMsg(fd, err, nullptr);
+      }
+    }
+  }
+
+  if (hello_ok) {
+    uint64_t durable = db_->durable_lsn();
+    if (cursor > durable) {
+      // The replica has records this primary never wrote (it is talking to
+      // the wrong primary, or the primary lost its directory). Refuse
+      // rather than ship a diverging stream.
+      ReplMsg err;
+      err.type = ReplMsgType::kError;
+      err.lsn = durable;
+      err.send_unix_ms = NowUnixMs();
+      err.payload = common::StrFormat(
+          "replica at lsn %llu is ahead of primary at lsn %llu",
+          static_cast<unsigned long long>(cursor),
+          static_cast<unsigned long long>(durable));
+      (void)SendMsg(fd, err, nullptr);
+      hello_ok = false;
+    }
+  }
+
+  if (hello_ok) {
+    bool need_snapshot;
+    {
+      std::lock_guard<std::mutex> lk(ring_mu_);
+      need_snapshot = ring_.empty()
+                          ? cursor < db_->durable_lsn()
+                          : cursor + 1 < ring_.front().first;
+    }
+    if (need_snapshot) {
+      if (Result<uint64_t> base = SendSnapshot(fd); base.ok()) {
+        cursor = *base;
+      } else {
+        hello_ok = false;
+      }
+    }
+  }
+
+  auto last_send = std::chrono::steady_clock::now();
+  std::vector<std::pair<uint64_t, std::string>> batch;
+  while (hello_ok && !stopping_.load(std::memory_order_acquire)) {
+    bool fell_behind = false;
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lk(ring_mu_);
+      ring_cv_.wait_for(
+          lk, std::chrono::milliseconds(options_.heartbeat_ms), [&] {
+            return stopping_.load(std::memory_order_acquire) ||
+                   (!ring_.empty() && ring_.back().first > cursor);
+          });
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (!ring_.empty() && ring_.back().first > cursor) {
+        if (cursor + 1 < ring_.front().first) {
+          // This replica is slower than the ring's retention: start over
+          // from a fresh snapshot instead of erroring out.
+          fell_behind = true;
+        } else {
+          for (const auto& [lsn, rec] : ring_) {
+            if (lsn <= cursor) continue;
+            batch.emplace_back(lsn, rec);
+            if (batch.size() >= kShipBatch) break;
+          }
+        }
+      }
+    }
+    if (fell_behind) {
+      Result<uint64_t> base = SendSnapshot(fd);
+      if (!base.ok()) break;
+      cursor = *base;
+      last_send = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (!batch.empty()) {
+      bool write_failed = false;
+      for (auto& [lsn, rec] : batch) {
+        ReplMsg msg;
+        msg.type = ReplMsgType::kRecord;
+        msg.lsn = lsn;
+        msg.send_unix_ms = NowUnixMs();
+        msg.payload = std::move(rec);
+        if (!SendMsg(fd, msg, &bytes_shipped_).ok()) {
+          write_failed = true;
+          break;
+        }
+        cursor = lsn;
+        records_shipped_.fetch_add(1, std::memory_order_relaxed);
+        records_ctr->Inc();
+      }
+      if (write_failed) break;
+      last_send = std::chrono::steady_clock::now();
+    } else {
+      auto now = std::chrono::steady_clock::now();
+      if (now - last_send >=
+          std::chrono::milliseconds(options_.heartbeat_ms)) {
+        ReplMsg hb;
+        hb.type = ReplMsgType::kHeartbeat;
+        hb.lsn = db_->durable_lsn();
+        hb.send_unix_ms = NowUnixMs();
+        if (!SendMsg(fd, hb, &bytes_shipped_).ok()) break;
+        last_send = now;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    session_fds_.erase(
+        std::remove(session_fds_.begin(), session_fds_.end(), fd),
+        session_fds_.end());
+    ::close(fd);
+  }
+  replicas_gauge->Set(static_cast<int64_t>(--replicas_connected_));
+}
+
+ReplicationServer::Stats ReplicationServer::stats() const {
+  Stats s;
+  s.replicas_connected = replicas_connected_.load(std::memory_order_relaxed);
+  s.records_shipped = records_shipped_.load(std::memory_order_relaxed);
+  s.bytes_shipped = bytes_shipped_.load(std::memory_order_relaxed);
+  s.snapshots_shipped = snapshots_shipped_.load(std::memory_order_relaxed);
+  s.durable_lsn = db_->durable_lsn();
+  std::lock_guard<std::mutex> lk(ring_mu_);
+  s.ring_records = ring_.size();
+  s.ring_bytes = ring_bytes_;
+  return s;
+}
+
+std::string ReplicationServer::StatuszJson() const {
+  Stats s = stats();
+  return common::StrFormat(
+      "{\"role\":\"primary\",\"port\":%u,\"replicas_connected\":%zu,"
+      "\"durable_lsn\":%llu,\"records_shipped\":%llu,"
+      "\"bytes_shipped\":%llu,\"snapshots_shipped\":%llu,"
+      "\"ring_records\":%zu,\"ring_bytes\":%zu}",
+      port_, s.replicas_connected,
+      static_cast<unsigned long long>(s.durable_lsn),
+      static_cast<unsigned long long>(s.records_shipped),
+      static_cast<unsigned long long>(s.bytes_shipped),
+      static_cast<unsigned long long>(s.snapshots_shipped), s.ring_records,
+      s.ring_bytes);
+}
+
+}  // namespace xomatiq::repl

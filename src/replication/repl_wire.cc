@@ -1,0 +1,88 @@
+#include "replication/repl_wire.h"
+
+#include <cstring>
+
+#include "relational/serde.h"
+
+namespace xomatiq::repl {
+
+using common::Result;
+using common::Status;
+using rel::BinaryReader;
+using rel::BinaryWriter;
+
+std::string_view ReplMsgTypeName(ReplMsgType type) {
+  switch (type) {
+    case ReplMsgType::kSnapshot:
+      return "SNAPSHOT";
+    case ReplMsgType::kRecord:
+      return "RECORD";
+    case ReplMsgType::kHeartbeat:
+      return "HEARTBEAT";
+    case ReplMsgType::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::string EncodeReplHello(const ReplHello& hello) {
+  std::string out(kReplMagic, sizeof(kReplMagic));
+  BinaryWriter w;
+  w.PutU8(hello.major);
+  w.PutU8(hello.minor);
+  w.PutU64(hello.start_lsn);
+  out += w.TakeBuffer();
+  return out;
+}
+
+Result<ReplHello> DecodeReplHello(std::string_view body) {
+  if (body.size() < sizeof(kReplMagic) ||
+      std::memcmp(body.data(), kReplMagic, sizeof(kReplMagic)) != 0) {
+    return Status::InvalidArgument("not a replication hello (bad magic)");
+  }
+  BinaryReader r(body.substr(sizeof(kReplMagic)));
+  ReplHello hello;
+  XQ_ASSIGN_OR_RETURN(hello.major, r.GetU8());
+  XQ_ASSIGN_OR_RETURN(hello.minor, r.GetU8());
+  XQ_ASSIGN_OR_RETURN(hello.start_lsn, r.GetU64());
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after replication hello");
+  }
+  return hello;
+}
+
+std::string EncodeReplMsg(const ReplMsg& msg) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(msg.type));
+  w.PutU64(msg.lsn);
+  w.PutU64(msg.send_unix_ms);
+  w.PutU32(rel::Crc32(msg.payload));
+  w.PutString(msg.payload);
+  return w.TakeBuffer();
+}
+
+Result<ReplMsg> DecodeReplMsg(std::string_view body) {
+  BinaryReader r(body);
+  ReplMsg msg;
+  XQ_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  if (type == 0 || type > kMaxReplMsgType) {
+    return Status::Corruption("bad replication message type " +
+                              std::to_string(type));
+  }
+  msg.type = static_cast<ReplMsgType>(type);
+  XQ_ASSIGN_OR_RETURN(msg.lsn, r.GetU64());
+  XQ_ASSIGN_OR_RETURN(msg.send_unix_ms, r.GetU64());
+  XQ_ASSIGN_OR_RETURN(uint32_t crc, r.GetU32());
+  XQ_ASSIGN_OR_RETURN(msg.payload, r.GetString());
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after replication message");
+  }
+  if (rel::Crc32(msg.payload) != crc) {
+    return Status::Corruption("replication payload crc mismatch (" +
+                              std::string(ReplMsgTypeName(msg.type)) +
+                              " lsn " + std::to_string(msg.lsn) + ")");
+  }
+  return msg;
+}
+
+}  // namespace xomatiq::repl

@@ -10,6 +10,8 @@
 
 #include <cstring>
 
+#include "common/net.h"
+
 namespace xomatiq::srv {
 
 using common::Status;
@@ -31,15 +33,7 @@ void WriteHttp(int fd, int code, const char* reason, const char* content_type,
                         code, reason, content_type, body.size());
   std::string out(header, static_cast<size_t>(n));
   out += body;
-  size_t done = 0;
-  while (done < out.size()) {
-    ssize_t w = ::send(fd, out.data() + done, out.size() - done, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return;
-    }
-    done += static_cast<size_t>(w);
-  }
+  (void)net::WriteAll(fd, out);
 }
 
 void WriteError(int fd, int code, const char* reason) {

@@ -6,6 +6,7 @@
 
 #include <cstring>
 
+#include "common/net.h"
 #include "relational/serde.h"
 
 namespace xomatiq::srv {
@@ -42,6 +43,8 @@ constexpr uint8_t kOptTrace = 1;
 constexpr uint8_t kOptBypassCache = 2;
 // A u64 trace id follows deadline_ms (kFeatureTraceContext peers only).
 constexpr uint8_t kOptTraceId = 4;
+// A u64 min_lsn consistency token follows (kFeatureLsn peers only).
+constexpr uint8_t kOptMinLsn = 8;
 }  // namespace
 
 std::string EncodeHello(const Hello& hello) {
@@ -86,9 +89,11 @@ std::string EncodeRequest(const Request& request) {
     if (request.options.trace) flags |= kOptTrace;
     if (request.options.bypass_cache) flags |= kOptBypassCache;
     if (request.options.trace_id != 0) flags |= kOptTraceId;
+    if (request.options.min_lsn != 0) flags |= kOptMinLsn;
     w.PutU8(flags);
     w.PutU32(request.options.deadline_ms);
     if (request.options.trace_id != 0) w.PutU64(request.options.trace_id);
+    if (request.options.min_lsn != 0) w.PutU64(request.options.min_lsn);
   }
   return w.TakeBuffer();
 }
@@ -113,6 +118,9 @@ Result<Request> DecodeRequest(std::string_view body) {
     if ((flags & kOptTraceId) != 0) {
       XQ_ASSIGN_OR_RETURN(request.options.trace_id, r.GetU64());
     }
+    if ((flags & kOptMinLsn) != 0) {
+      XQ_ASSIGN_OR_RETURN(request.options.min_lsn, r.GetU64());
+    }
     request.has_options = true;
   }
   if (!r.AtEnd()) {
@@ -129,7 +137,9 @@ std::string EncodeResponseBody(const Response& response) {
     return w.TakeBuffer();
   }
   w.PutU8(static_cast<uint8_t>(response.kind));
-  w.PutU8(response.flags);
+  uint8_t flags = response.flags;
+  if (response.lsn != 0) flags |= kFlagLsn;
+  w.PutU8(flags);
   if (response.kind == PayloadKind::kRows) {
     w.PutU32(static_cast<uint32_t>(response.columns.size()));
     for (const std::string& col : response.columns) w.PutString(col);
@@ -138,6 +148,9 @@ std::string EncodeResponseBody(const Response& response) {
   } else {
     w.PutString(response.text);
   }
+  // Trailing position keeps cached bodies patchable: the cache rewrites
+  // only the flags byte, never this field's offset.
+  if (response.lsn != 0) w.PutU64(response.lsn);
   return w.TakeBuffer();
 }
 
@@ -189,6 +202,9 @@ Result<Response> DecodeResponse(std::string_view body) {
     }
   } else {
     XQ_ASSIGN_OR_RETURN(response.text, r.GetString());
+  }
+  if ((response.flags & kFlagLsn) != 0) {
+    XQ_ASSIGN_OR_RETURN(response.lsn, r.GetU64());
   }
   if (!r.AtEnd()) {
     return Status::Corruption("trailing bytes after response");
@@ -243,16 +259,7 @@ Status WriteFrame(int fd, std::string_view body) {
   std::memcpy(header, &len, 4);
   std::string buf(header, 4);
   buf.append(body);
-  size_t done = 0;
-  while (done < buf.size()) {
-    ssize_t n = ::send(fd, buf.data() + done, buf.size() - done, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("send: ") + std::strerror(errno));
-    }
-    done += static_cast<size_t>(n);
-  }
-  return Status::OK();
+  return net::WriteAll(fd, buf);
 }
 
 Result<std::string> ReadFrame(int fd, size_t max_bytes) {

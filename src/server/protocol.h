@@ -19,11 +19,14 @@ namespace xomatiq::srv {
 //   hello    := "XQWP" | u8 major | u8 minor | u32 feature_bits
 //   request  := u64 request_id | u8 mode | string query_text
 //               | [u8 option_flags | u32 deadline_ms
-//                  | [u64 trace_id]]                    (optional tail;
-//                    trace_id present iff option_flags has kOptTraceId)
+//                  | [u64 trace_id]                     (iff kOptTraceId)
+//                  | [u64 min_lsn]]                     (iff kOptMinLsn;
+//                    optional tail, flags gate each extra field)
 //   response := u64 request_id | u8 status_code
 //               | string error_message                  (status_code != 0)
-//               | u8 kind | u8 flags | payload          (status_code == 0)
+//               | u8 kind | u8 flags | payload
+//               | [u64 lsn]                             (status_code == 0;
+//                    lsn present iff flags has kFlagLsn)
 //   payload  := rows: u32 ncols | ncols * string
 //                     | u32 nrows | nrows * tuple       (kind == kRows)
 //            := string                                  (kind == kText/kXml)
@@ -46,7 +49,7 @@ inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;  // 16 MiB
 
 inline constexpr char kWireMagic[4] = {'X', 'Q', 'W', 'P'};
 inline constexpr uint8_t kProtocolMajor = 1;
-inline constexpr uint8_t kProtocolMinor = 2;
+inline constexpr uint8_t kProtocolMinor = 3;
 
 // Feature bits carried in the hello exchange.
 inline constexpr uint32_t kFeatureQueryOptions = 1u << 0;
@@ -55,8 +58,14 @@ inline constexpr uint32_t kFeatureQueryOptions = 1u << 0;
 // kFeatureQueryOptions; a 1.1 peer never sets kOptTraceId, so the tail
 // stays decodable in both directions.
 inline constexpr uint32_t kFeatureTraceContext = 1u << 1;
+// 1.3: LSN-aware sessions. The options tail may carry a u64 min_lsn
+// read-your-writes token (flagged by kOptMinLsn), and OK responses carry
+// the database LSN observed by the request as a trailing u64 (flagged by
+// kFlagLsn) — the commit LSN for writes, the serving position for reads.
+// Requires kFeatureQueryOptions for the request side.
+inline constexpr uint32_t kFeatureLsn = 1u << 2;
 inline constexpr uint32_t kSupportedFeatures =
-    kFeatureQueryOptions | kFeatureTraceContext;
+    kFeatureQueryOptions | kFeatureTraceContext | kFeatureLsn;
 
 // Hello body — used in both directions (the server's reply carries the
 // negotiated feature intersection).
@@ -107,6 +116,7 @@ inline constexpr uint8_t kMaxPayloadKind =
 // Response flag bits.
 inline constexpr uint8_t kFlagCached = 1;  // served from the result cache
 inline constexpr uint8_t kFlagTraced = 2;  // a query trace was recorded
+inline constexpr uint8_t kFlagLsn = 4;     // trailing u64 LSN present
 
 // Byte offset of the flags byte inside an OK response *body* (the part
 // after the request id): [0]=status, [1]=kind, [2]=flags. The result cache
@@ -122,6 +132,12 @@ struct Response {
   std::vector<std::string> columns;  // kRows
   std::vector<rel::Tuple> rows;      // kRows
   std::string text;                  // kText / kXml
+  // Database LSN observed by this request (0 = server did not attach
+  // one). For DML this is the commit LSN — feed it back as min_lsn on a
+  // subsequent replica read for read-your-writes. Encoded as the trailing
+  // u64 behind kFlagLsn, after the payload, so the result cache's stored
+  // bodies (which patch only the flags byte) stay valid.
+  uint64_t lsn = 0;
 
   bool ok() const { return code == common::StatusCode::kOk; }
   bool cached() const { return (flags & kFlagCached) != 0; }

@@ -158,6 +158,31 @@ std::string QueryService::Dispatch(const Request& request,
       common::MetricsRegistry::Global().GetHistogram(
           "server.request_latency_us");
   common::TraceSpan span("server.request", latency);
+  // Read-your-writes gate: a data read carrying a min_lsn token must not
+  // observe state older than that position. Wait briefly for replication
+  // to catch up, then refuse with kLagging (the client reads elsewhere).
+  if (opts.min_lsn != 0 &&
+      (request.mode == RequestMode::kSql || request.mode == RequestMode::kXq ||
+       request.mode == RequestMode::kXqXml)) {
+    uint64_t applied = warehouse_->db()->applied_lsn();
+    if (applied < opts.min_lsn) {
+      bool reached =
+          options_.wait_for_lsn != nullptr &&
+          options_.wait_for_lsn(opts.min_lsn, options_.min_lsn_wait_ms);
+      if (!reached) {
+        static common::Counter* lagging =
+            common::MetricsRegistry::Global().GetCounter(
+                "server.lagging_rejected");
+        lagging->Inc();
+        return EncodeErrorResponse(
+            request.id,
+            Status::Lagging("replica at lsn " +
+                            std::to_string(warehouse_->db()->applied_lsn()) +
+                            " behind requested min_lsn " +
+                            std::to_string(opts.min_lsn)));
+      }
+    }
+  }
   switch (request.mode) {
     case RequestMode::kSql:
       return HandleSql(request, opts);
@@ -201,6 +226,15 @@ std::string QueryService::HandleSql(const Request& request,
                                     const common::QueryOptions& opts) {
   ResultCache* cache = options_.cache.get();
   const std::string keyword = FirstKeyword(request.text);
+  if (options_.read_only && (IsMutation(keyword) || keyword == "analyze")) {
+    static common::Counter* rejected =
+        common::MetricsRegistry::Global().GetCounter(
+            "server.read_only_rejected");
+    rejected->Inc();
+    return EncodeErrorResponse(
+        request.id, Status::ReadOnly("replica is read-only; send " +
+                                     keyword + " to the primary"));
+  }
   const bool cacheable =
       cache != nullptr && keyword == "select" && !opts.bypass_cache;
   std::string key;
@@ -232,6 +266,10 @@ std::string QueryService::HandleSql(const Request& request,
     response.kind = PayloadKind::kText;
     response.text = "OK (" + std::to_string(result->affected) + " rows)";
   }
+  // Commit LSN for writes, serving position for reads. A cached body keeps
+  // the LSN it was built at — older, but the result is still exactly what
+  // that position held (the cache would have evicted it otherwise).
+  response.lsn = warehouse_->db()->durable_lsn();
   std::string body = EncodeResponseBody(response);
   if (cacheable) {
     // SQL entries carry no collection tags: table-level dependencies are
@@ -271,6 +309,7 @@ std::string QueryService::HandleXq(const Request& request, bool as_xml,
     response.columns = std::move(result->columns);
     response.rows = std::move(result->rows);
   }
+  response.lsn = warehouse_->db()->durable_lsn();
   std::string body = EncodeResponseBody(response);
   if (use_cache) {
     cache->Insert(key, body, std::move(result->collections), generation);

@@ -2,6 +2,7 @@
 #define XOMATIQ_SERVER_QUERY_SERVICE_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -28,6 +29,21 @@ struct ServiceOptions {
   // (0 = none). A request's explicit deadline always wins, even if longer:
   // the knob is a default, not a cap.
   uint32_t default_deadline_ms = 0;
+  // Replica mode: SQL mutations (and ANALYZE) are rejected with a typed
+  // kReadOnly status telling the client to retry against the primary.
+  // Replicated writes bypass this service entirely (the applier writes
+  // straight to the database), so the flag fully fences user writes.
+  bool read_only = false;
+  // Read-your-writes support: called as (min_lsn, budget_ms) when a
+  // request carries a min_lsn the database has not reached; returns true
+  // once applied_lsn >= min_lsn, false on timeout (the request is then
+  // refused with kLagging so the client can bounce to the primary).
+  // Unset = never wait; a stale read is refused immediately. Wired to
+  // ReplicaApplier::WaitForLsn on replicas.
+  std::function<bool(uint64_t, uint32_t)> wait_for_lsn;
+  // Budget handed to wait_for_lsn. Short by design: a replica briefly
+  // riding out replication lag is useful, a replica stalling reads is not.
+  uint32_t min_lsn_wait_ms = 100;
 };
 
 // Transport-independent request handler: one instance per server, shared

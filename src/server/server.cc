@@ -104,13 +104,24 @@ Status QueryServer::StartAdmin() {
   hooks.healthz = [this]() -> std::pair<bool, std::string> {
     rel::Database* db = warehouse_->db();
     bool serving = !stopping_.load(std::memory_order_acquire);
+    // A replica that is disconnected / never caught up / stale answers 503
+    // so load balancers stop routing reads at it; the primary has no
+    // replica_ready hook and is unaffected.
+    bool replica_ready =
+        options_.replica_ready == nullptr || options_.replica_ready();
+    const char* status = !serving ? "shutting_down"
+                         : !replica_ready ? "replica_stale"
+                                          : "ok";
     std::string body = common::StrFormat(
         "{\"status\":\"%s\",\"durable\":%s,\"records_recovered\":%zu,"
-        "\"recovered_torn_tail\":%s}",
-        serving ? "ok" : "shutting_down", db->durable() ? "true" : "false",
-        db->records_recovered(),
-        db->recovered_torn_tail() ? "true" : "false");
-    return {serving, std::move(body)};
+        "\"recovered_torn_tail\":%s,\"durable_lsn\":%llu,"
+        "\"applied_lsn\":%llu,\"replica_ready\":%s}",
+        status, db->durable() ? "true" : "false", db->records_recovered(),
+        db->recovered_torn_tail() ? "true" : "false",
+        static_cast<unsigned long long>(db->durable_lsn()),
+        static_cast<unsigned long long>(db->applied_lsn()),
+        replica_ready ? "true" : "false");
+    return {serving && replica_ready, std::move(body)};
   };
   hooks.statusz = [this] {
     auto& reg = common::MetricsRegistry::Global();
@@ -126,12 +137,13 @@ Status QueryServer::StartAdmin() {
     uint64_t hits = reg.GetCounter("server.cache.hits")->Value();
     uint64_t misses = reg.GetCounter("server.cache.misses")->Value();
     uint64_t lookups = hits + misses;
-    return common::StrFormat(
+    std::string out = common::StrFormat(
         "{\"uptime_s\":%.3f,\"start_unix_s\":%lld,\"port\":%u,"
         "\"active_sessions\":%zu,\"inflight_requests\":%lld,"
         "\"pool_queue_depth\":%zu,\"requests\":%llu,"
         "\"cache_hits\":%llu,\"cache_misses\":%llu,\"cache_hit_rate\":%.4f,"
-        "\"slow_queries\":%zu,\"query_log_total\":%llu}",
+        "\"slow_queries\":%zu,\"query_log_total\":%llu,"
+        "\"durable_lsn\":%llu,\"applied_lsn\":%llu",
         static_cast<double>(now_ns - start_steady_ns_) / 1e9,
         static_cast<long long>(start_unix_s_), port_, sessions,
         static_cast<long long>(reg.GetGauge("server.inflight")->Value()),
@@ -143,7 +155,14 @@ Status QueryServer::StartAdmin() {
         lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
                     : 0.0,
         common::QueryLog::Global().Slow().size(),
-        static_cast<unsigned long long>(common::QueryLog::Global().total()));
+        static_cast<unsigned long long>(common::QueryLog::Global().total()),
+        static_cast<unsigned long long>(warehouse_->db()->durable_lsn()),
+        static_cast<unsigned long long>(warehouse_->db()->applied_lsn()));
+    if (options_.replication_statusz != nullptr) {
+      out += ",\"replication\":" + options_.replication_statusz();
+    }
+    out += "}";
+    return out;
   };
   hooks.queryz = [] {
     common::QueryLog& log = common::QueryLog::Global();

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,6 +33,14 @@ struct ServerOptions {
   // admin_port()), >0 binds that port on `host`.
   int admin_port = -1;
   ServiceOptions service;
+  // Replication wiring, set by the embedder (server_main / tests) so this
+  // library never links the replication one:
+  //  - replication_statusz returns the JSON object shown as /statusz's
+  //    "replication" section (primary shipper or replica applier stats);
+  //  - replica_ready gates /healthz on a replica: false (HTTP 503) while
+  //    the applier is disconnected, never caught up, or stale.
+  std::function<std::string()> replication_statusz;
+  std::function<bool()> replica_ready;
 };
 
 // Multi-threaded TCP front end for one Database/Warehouse/XomatiQ stack.

@@ -2,12 +2,22 @@
 //
 //   xomatiq_server [--port N] [--workers N] [--queue N] [--cache N]
 //                  [--db DIR] [--demo N] [--admin-port N] [--slow-ms MS]
+//                  [--replication-port N | --replica-of HOST:PORT]
 //
 // Serves SQL and XomatiQ queries against one shared warehouse. --db opens
 // (or creates) a durable database directory; without it the server runs
 // in-memory. --demo N loads a deterministic N-entry synthetic corpus
 // (ENZYME + Swiss-Prot + EMBL collections) so the shell has something to
 // query out of the box. Connect with xomatiq_shell.
+//
+// Replication (see DESIGN.md "Replication"):
+//   --replication-port N   act as a primary: ship WAL records to any
+//                          replica that connects on port N.
+//   --replica-of H:P       act as a read replica of the primary whose
+//                          replication port is H:P — bootstrap from a
+//                          snapshot, tail the WAL, reject writes with a
+//                          typed READ_ONLY error, and honor min_lsn
+//                          read-your-writes tokens.
 
 #include <csignal>
 #include <cstdio>
@@ -20,6 +30,8 @@
 #include "datagen/corpus.h"
 #include "datahounds/warehouse.h"
 #include "relational/database.h"
+#include "replication/repl_server.h"
+#include "replication/replica.h"
 #include "server/server.h"
 
 namespace {
@@ -72,6 +84,8 @@ int main(int argc, char** argv) {
   std::string db_dir;
   size_t demo = 0;
   size_t cache_capacity = 256;
+  int replication_port = -1;        // >= 0: primary, ship WAL on this port
+  std::string replica_of;           // "host:port": replica of that primary
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -97,14 +111,26 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--slow-ms") == 0) {
       xomatiq::common::QueryLog::Global().set_slow_threshold_ns(
           static_cast<uint64_t>(std::atof(next("--slow-ms")) * 1e6));
+    } else if (std::strcmp(argv[i], "--replication-port") == 0) {
+      replication_port = std::atoi(next("--replication-port"));
+    } else if (std::strcmp(argv[i], "--replica-of") == 0) {
+      replica_of = next("--replica-of");
     } else {
       std::fprintf(stderr,
                    "usage: xomatiq_server [--port N] [--workers N] "
                    "[--queue N] [--cache N] [--db DIR] [--demo N] "
-                   "[--admin-port N] [--slow-ms MS]\n");
+                   "[--admin-port N] [--slow-ms MS] "
+                   "[--replication-port N | --replica-of HOST:PORT]\n");
       return 2;
     }
   }
+  if (replication_port >= 0 && !replica_of.empty()) {
+    std::fprintf(stderr,
+                 "--replication-port and --replica-of are exclusive: a node "
+                 "is a primary or a replica, not both\n");
+    return 2;
+  }
+  const bool is_replica = !replica_of.empty();
 
   std::unique_ptr<rel::Database> db;
   if (db_dir.empty()) {
@@ -118,27 +144,111 @@ int main(int argc, char** argv) {
     }
     db = std::move(opened).value();
   }
+
+  // Replica bring-up must precede Warehouse::Open: the warehouse would
+  // create its schema locally (local WAL records, diverging LSNs) when the
+  // catalog is empty, whereas the applier installs the primary's state
+  // verbatim and the warehouse then just finds it.
+  std::unique_ptr<repl::ReplicaApplier> applier;
+  std::shared_ptr<srv::ResultCache> cache;
+  if (cache_capacity > 0) {
+    cache = std::make_shared<srv::ResultCache>(cache_capacity);
+  }
+  if (is_replica) {
+    size_t colon = replica_of.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--replica-of wants HOST:PORT, got %s\n",
+                   replica_of.c_str());
+      return 2;
+    }
+    repl::ReplicaApplierOptions ropts;
+    ropts.primary_host = replica_of.substr(0, colon);
+    ropts.primary_port =
+        static_cast<uint16_t>(std::atoi(replica_of.c_str() + colon + 1));
+    if (cache != nullptr) {
+      std::weak_ptr<srv::ResultCache> weak = cache;
+      ropts.invalidate = [weak](const std::string& collection) {
+        auto c = weak.lock();
+        if (c == nullptr) return;
+        if (collection.empty()) {
+          c->Clear();
+        } else {
+          c->Invalidate(collection);
+        }
+      };
+    }
+    applier = std::make_unique<repl::ReplicaApplier>(db.get(), ropts);
+    if (auto status = applier->Start(); !status.ok()) {
+      std::fprintf(stderr, "replica start: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("replica of %s: catching up...\n", replica_of.c_str());
+    if (auto status = applier->WaitUntilCaughtUp(/*timeout_ms=*/60000);
+        !status.ok()) {
+      std::fprintf(stderr, "replica catch-up: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("caught up at lsn %llu\n",
+                static_cast<unsigned long long>(applier->applied_lsn()));
+  }
+
   auto warehouse = hounds::Warehouse::Open(db.get());
   if (!warehouse.ok()) {
     std::fprintf(stderr, "open warehouse: %s\n",
                  warehouse.status().ToString().c_str());
     return 1;
   }
-  if (demo > 0) LoadDemo(warehouse->get(), demo);
-
-  if (cache_capacity > 0) {
-    options.service.cache =
-        std::make_shared<srv::ResultCache>(cache_capacity);
+  if (demo > 0) {
+    if (is_replica) {
+      std::fprintf(stderr, "--demo is a write; load it on the primary\n");
+      return 2;
+    }
+    LoadDemo(warehouse->get(), demo);
   }
+
+  options.service.cache = cache;
+  std::unique_ptr<repl::ReplicationServer> shipper;
+  if (replication_port >= 0) {
+    repl::ReplicationServerOptions sopts;
+    sopts.host = options.host;
+    sopts.port = static_cast<uint16_t>(replication_port);
+    shipper = std::make_unique<repl::ReplicationServer>(db.get(), sopts);
+    if (auto status = shipper->Start(); !status.ok()) {
+      std::fprintf(stderr, "replication start: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    options.replication_statusz = [s = shipper.get()] {
+      return s->StatuszJson();
+    };
+  }
+  if (is_replica) {
+    options.service.read_only = true;
+    options.service.wait_for_lsn = [a = applier.get()](uint64_t lsn,
+                                                       uint32_t budget_ms) {
+      return a->WaitForLsn(lsn, budget_ms);
+    };
+    options.replication_statusz = [a = applier.get()] {
+      return a->StatuszJson();
+    };
+    options.replica_ready = [a = applier.get()] { return a->ready(); };
+  }
+
   srv::QueryServer server(warehouse->get(), options);
   if (auto status = server.Start(); !status.ok()) {
     std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
     return 1;
   }
   std::printf("xomatiq_server listening on %s:%u (%zu workers, queue %zu, "
-              "cache %zu)\n",
+              "cache %zu)%s\n",
               options.host.c_str(), server.port(), options.workers,
-              options.max_queue, cache_capacity);
+              options.max_queue, cache_capacity,
+              is_replica ? " [read-only replica]" : "");
+  if (shipper != nullptr) {
+    std::printf("shipping WAL to replicas on %s:%u\n", options.host.c_str(),
+                shipper->port());
+  }
   if (server.admin_port() != 0) {
     std::printf("admin endpoint on http://%s:%u/ "
                 "(/metrics /healthz /statusz /queryz /tracez)\n",
@@ -153,5 +263,7 @@ int main(int argc, char** argv) {
   }
   std::printf("shutting down (draining in-flight queries)\n");
   server.Shutdown();
+  if (shipper != nullptr) shipper->Shutdown();
+  if (applier != nullptr) applier->Shutdown();
   return 0;
 }

@@ -177,6 +177,7 @@ enum class StatementKind {
   kResetStats,  // RESET STATS: zero counters/gauges/histograms
   kSlowQueries,  // SLOW QUERIES: dump the slow-query log
   kAnalyze,     // ANALYZE [table]: collect optimizer statistics
+  kWalStatus,   // WAL STATUS: durability state and LSN positions
 };
 
 struct Statement {

@@ -250,6 +250,28 @@ Result<QueryResult> SqlEngine::ExecuteImpl(std::string_view sql,
       std::unique_lock lock(db_->latch());
       return ExecuteAnalyze(stmt.analyze_stmt);
     }
+    case StatementKind::kWalStatus: {
+      // Field/value rows so shells and scripts can read one position
+      // without parsing the metrics dump. Shared latch: LSNs and WAL
+      // byte counts must come from one quiescent instant.
+      std::shared_lock lock(db_->latch());
+      QueryResult result;
+      result.schema =
+          rel::Schema({{"field", rel::ValueType::kText, false},
+                       {"value", rel::ValueType::kText, false}});
+      auto add = [&result](const char* field, std::string value) {
+        result.rows.push_back(
+            {Value::Text(field), Value::Text(std::move(value))});
+      };
+      add("durable", db_->durable() ? "true" : "false");
+      add("durable_lsn", std::to_string(db_->durable_lsn()));
+      add("applied_lsn", std::to_string(db_->applied_lsn()));
+      add("wal_bytes", std::to_string(db_->wal_bytes()));
+      add("records_recovered", std::to_string(db_->records_recovered()));
+      add("recovered_torn_tail",
+          db_->recovered_torn_tail() ? "true" : "false");
+      return result;
+    }
   }
   return Status::Internal("bad statement kind");
 }

@@ -31,7 +31,7 @@ const std::unordered_set<std::string>& Keywords() {
       "VARCHAR","PRIMARY","KEY",      "COUNT",  "MIN",    "MAX",     "SUM",
       "AVG",    "EXPLAIN","BTREE",    "HASH",   "INVERTED","DROP",   "TRUE",
       "FALSE",  "CAST",   "LOWER",    "UPPER",  "LENGTH", "ANALYZE",
-      "STATS",  "RESET",   "SLOW",    "QUERIES",
+      "STATS",  "RESET",   "SLOW",    "QUERIES", "WAL",    "STATUS",
   };
   return *kKeywords;
 }

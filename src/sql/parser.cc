@@ -137,6 +137,16 @@ Result<Statement> Parser::ParseStatement() {
     XQ_RETURN_IF_ERROR(ExpectEnd());
     return stmt;
   }
+  if (Peek().IsKeyword("WAL")) {
+    Advance();
+    if (!Peek().IsKeyword("STATUS")) {
+      return Status::ParseError("expected STATUS after WAL");
+    }
+    Advance();
+    stmt.kind = StatementKind::kWalStatus;
+    XQ_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
   if (Peek().IsKeyword("RESET")) {
     Advance();
     if (!Peek().IsKeyword("STATS")) {

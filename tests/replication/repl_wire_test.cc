@@ -1,0 +1,101 @@
+// XQRP wire-format tests: hello and message roundtrips, the per-payload
+// CRC catching in-flight damage, and rejection of malformed frames.
+
+#include "replication/repl_wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace xomatiq::repl {
+namespace {
+
+using common::StatusCode;
+
+TEST(ReplWireTest, HelloRoundtrip) {
+  ReplHello hello;
+  hello.start_lsn = 12345;
+  auto decoded = DecodeReplHello(EncodeReplHello(hello));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->major, kReplMajor);
+  EXPECT_EQ(decoded->minor, kReplMinor);
+  EXPECT_EQ(decoded->start_lsn, 12345u);
+}
+
+TEST(ReplWireTest, HelloRejectsBadMagic) {
+  std::string body = EncodeReplHello(ReplHello{});
+  body[0] = 'Y';
+  auto decoded = DecodeReplHello(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReplWireTest, HelloRejectsTrailingBytes) {
+  std::string body = EncodeReplHello(ReplHello{}) + "x";
+  EXPECT_EQ(DecodeReplHello(body).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ReplWireTest, MessageRoundtripAllTypes) {
+  for (ReplMsgType type :
+       {ReplMsgType::kSnapshot, ReplMsgType::kRecord, ReplMsgType::kHeartbeat,
+        ReplMsgType::kError}) {
+    ReplMsg msg;
+    msg.type = type;
+    msg.lsn = 777;
+    msg.send_unix_ms = 1700000000123;
+    msg.payload = type == ReplMsgType::kHeartbeat ? "" : "some payload";
+    auto decoded = DecodeReplMsg(EncodeReplMsg(msg));
+    ASSERT_TRUE(decoded.ok())
+        << ReplMsgTypeName(type) << ": " << decoded.status().ToString();
+    EXPECT_EQ(decoded->type, type);
+    EXPECT_EQ(decoded->lsn, 777u);
+    EXPECT_EQ(decoded->send_unix_ms, 1700000000123u);
+    EXPECT_EQ(decoded->payload, msg.payload);
+  }
+}
+
+TEST(ReplWireTest, CrcCatchesPayloadDamage) {
+  ReplMsg msg;
+  msg.type = ReplMsgType::kRecord;
+  msg.lsn = 9;
+  msg.payload = "the record bytes";
+  std::string body = EncodeReplMsg(msg);
+  body.back() = static_cast<char>(body.back() ^ 0xff);  // damage the payload
+  auto decoded = DecodeReplMsg(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ReplWireTest, CrcCatchesHeaderDamage) {
+  ReplMsg msg;
+  msg.type = ReplMsgType::kRecord;
+  msg.lsn = 9;
+  msg.payload = "payload";
+  std::string body = EncodeReplMsg(msg);
+  // Flip a bit inside the stored CRC itself.
+  body[1 + 8 + 8] = static_cast<char>(body[1 + 8 + 8] ^ 0x01);
+  EXPECT_FALSE(DecodeReplMsg(body).ok());
+}
+
+TEST(ReplWireTest, RejectsBadType) {
+  ReplMsg msg;
+  msg.type = ReplMsgType::kRecord;
+  msg.payload = "p";
+  std::string body = EncodeReplMsg(msg);
+  body[0] = 99;
+  EXPECT_EQ(DecodeReplMsg(body).status().code(), StatusCode::kCorruption);
+  body[0] = 0;
+  EXPECT_EQ(DecodeReplMsg(body).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ReplWireTest, RejectsTruncatedAndTrailing) {
+  ReplMsg msg;
+  msg.type = ReplMsgType::kRecord;
+  msg.payload = "p";
+  std::string body = EncodeReplMsg(msg);
+  EXPECT_FALSE(DecodeReplMsg(body.substr(0, body.size() - 1)).ok());
+  EXPECT_FALSE(DecodeReplMsg(body + "z").ok());
+}
+
+}  // namespace
+}  // namespace xomatiq::repl

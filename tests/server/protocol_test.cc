@@ -55,6 +55,77 @@ TEST(ProtocolTest, OptionsTraceIdRoundTrip) {
   EXPECT_EQ(decoded_plain->options.trace_id, 0u);
 }
 
+TEST(ProtocolTest, OptionsMinLsnRoundTrip) {
+  Request request;
+  request.id = 4;
+  request.mode = RequestMode::kSql;
+  request.text = "SELECT COUNT(*) FROM kv";
+  request.has_options = true;
+  request.options.min_lsn = 0x1000000001ULL;
+  std::string with_lsn = EncodeRequest(request);
+  auto decoded = DecodeRequest(with_lsn);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->has_options);
+  EXPECT_EQ(decoded->options.min_lsn, 0x1000000001ULL);
+  // Without a token the tail keeps its pre-1.3 shape — exactly 8 bytes
+  // shorter — so 1.2 decoders still accept it.
+  request.options.min_lsn = 0;
+  std::string without_lsn = EncodeRequest(request);
+  EXPECT_EQ(without_lsn.size() + 8, with_lsn.size());
+  auto decoded_plain = DecodeRequest(without_lsn);
+  ASSERT_TRUE(decoded_plain.ok());
+  EXPECT_EQ(decoded_plain->options.min_lsn, 0u);
+}
+
+TEST(ProtocolTest, ResponseLsnRoundTrip) {
+  Response response;
+  response.id = 11;
+  response.kind = PayloadKind::kRows;
+  response.columns = {"n"};
+  response.rows.push_back({rel::Value::Int(5)});
+  response.flags = kFlagLsn;
+  response.lsn = 987654321;
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->lsn, 987654321u);
+  ASSERT_EQ(decoded->rows.size(), 1u);
+  EXPECT_EQ(decoded->rows[0][0].AsInt(), 5);
+  // No flag, no trailing u64 — a 1.2 response decodes with lsn 0.
+  response.flags = 0;
+  response.lsn = 0;
+  auto decoded_plain = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded_plain.ok());
+  EXPECT_EQ(decoded_plain->lsn, 0u);
+}
+
+TEST(ProtocolTest, LsnTrailsPayloadSoCachedBodiesStayPatchable) {
+  // The trailing LSN sits AFTER the payload, so the result cache's
+  // flags-byte patching (previous test) remains valid for LSN-stamped
+  // bodies: byte kFlagsOffset is still the flags byte.
+  Response response;
+  response.id = 12;
+  response.kind = PayloadKind::kText;
+  response.text = "payload";
+  std::string plain = EncodeResponseBody(response);
+  response.flags = kFlagLsn;
+  response.lsn = 42;
+  std::string stamped = EncodeResponseBody(response);
+  EXPECT_EQ(stamped.size(), plain.size() + 8);
+  EXPECT_EQ(stamped[kFlagsOffset] & kFlagLsn, kFlagLsn);
+  stamped[kFlagsOffset] |= kFlagCached;
+  std::string framed = EncodeResponse(response);
+  framed[8 + kFlagsOffset] |= kFlagCached;
+  auto decoded = DecodeResponse(framed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->cached());
+  EXPECT_EQ(decoded->lsn, 42u);
+  EXPECT_EQ(decoded->text, "payload");
+}
+
+TEST(ProtocolTest, HelloAdvertisesLsnFeature) {
+  EXPECT_NE(kSupportedFeatures & kFeatureLsn, 0u);
+}
+
 TEST(ProtocolTest, HelloAdvertisesTraceContextFeature) {
   Hello hello;
   EXPECT_NE(kSupportedFeatures & kFeatureTraceContext, 0u);

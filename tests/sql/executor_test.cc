@@ -473,5 +473,29 @@ TEST_F(ExecutorTest, StatsCommandDumpsAndResetsRegistry) {
   EXPECT_TRUE(after.explain_text.empty());
 }
 
+TEST_F(ExecutorTest, WalStatusReportsLsnPositions) {
+  QueryResult r = Query("WAL STATUS");
+  ASSERT_EQ(r.rows.size(), 6u);
+  bool saw_durable_lsn = false, saw_applied_lsn = false;
+  for (const Tuple& row : r.rows) {
+    const std::string field = row[0].AsText();
+    if (field == "durable_lsn" || field == "applied_lsn") {
+      saw_durable_lsn |= field == "durable_lsn";
+      saw_applied_lsn |= field == "applied_lsn";
+      // 6 inserts + CREATE TABLE, and in-memory apply == durable.
+      EXPECT_EQ(row[1].AsText(), std::to_string(db_->durable_lsn()));
+    }
+    if (field == "durable") {
+      EXPECT_EQ(row[1].AsText(), "false");
+    }
+  }
+  EXPECT_TRUE(saw_durable_lsn);
+  EXPECT_TRUE(saw_applied_lsn);
+  // Another statement advances the reported position.
+  Run("INSERT INTO t VALUES (6, 3, 'omega', 6.0)");
+  QueryResult after = Query("wal status");  // case-insensitive
+  EXPECT_EQ(after.rows[1][1].AsText(), std::to_string(db_->durable_lsn()));
+}
+
 }  // namespace
 }  // namespace xomatiq::sql
