@@ -98,7 +98,7 @@ PhaseResult RunReadPhase(const cli::ClusterOptions& copts, size_t clients,
         std::string sql =
             "SELECT COUNT(*) FROM xml_node WHERE node_id <> -" +
             std::to_string(c * 1000000 + ++i);
-        auto response = cluster.Execute(srv::RequestMode::kSql, sql);
+        auto response = cluster.Execute(common::QueryRequest::Sql(sql));
         PhaseResult& r = per_client[c];
         ++r.requests;
         if (!response.ok() || !response->ok()) ++r.errors;

@@ -171,11 +171,12 @@ Status Client::Reconnect() {
   return Status::OK();
 }
 
-Result<srv::Response> Client::Execute(srv::RequestMode mode,
-                                      std::string_view text,
-                                      const common::QueryOptions& opts_in) {
+Result<srv::Response> Client::Execute(const common::QueryRequest& req) {
   if (fd_ < 0) return Status::IoError("client is closed");
-  common::QueryOptions opts = opts_in;
+  // QueryMode mirrors RequestMode value-for-value (see query_request.h).
+  const srv::RequestMode mode = static_cast<srv::RequestMode>(req.mode);
+  const std::string& text = req.text;
+  common::QueryOptions opts = req.options;
   // The trace id only goes on the wire when the server ack'd the feature;
   // a 1.1 server would reject the longer tail as trailing bytes.
   if ((features_ & srv::kFeatureTraceContext) == 0) {
@@ -190,7 +191,7 @@ Result<srv::Response> Client::Execute(srv::RequestMode mode,
     srv::Request request;
     request.id = next_id_++;
     request.mode = mode;
-    request.text = std::string(text);
+    request.text = text;
     if (opts != common::QueryOptions{} &&
         (features_ & srv::kFeatureQueryOptions) != 0) {
       request.options = opts;
@@ -233,9 +234,7 @@ Result<srv::Response> Client::Execute(srv::RequestMode mode,
   return result;
 }
 
-Result<srv::Response> Client::ExecuteWithRetry(srv::RequestMode mode,
-                                               std::string_view text,
-                                               const common::QueryOptions& opts,
+Result<srv::Response> Client::ExecuteWithRetry(const common::QueryRequest& req,
                                                const RetryPolicy& policy) {
   Backoff backoff(policy);
   Status last = Status::IoError("no execute attempts made");
@@ -249,7 +248,7 @@ Result<srv::Response> Client::ExecuteWithRetry(srv::RequestMode mode,
         continue;
       }
     }
-    auto response = Execute(mode, text, opts);
+    auto response = Execute(req);
     if (response.ok()) {
       // Server-side OVERLOADED is explicit pushback: back off and resend
       // on the same (healthy) connection. Any other server error is the

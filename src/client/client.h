@@ -7,6 +7,7 @@
 
 #include "common/backoff.h"
 #include "common/query_options.h"
+#include "common/query_request.h"
 #include "common/result.h"
 #include "server/protocol.h"
 
@@ -55,27 +56,42 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  common::Result<srv::Response> Execute(srv::RequestMode mode,
-                                        std::string_view text,
-                                        const common::QueryOptions& opts);
-  common::Result<srv::Response> Execute(srv::RequestMode mode,
-                                        std::string_view text) {
-    return Execute(mode, text, common::QueryOptions{});
-  }
+  // Primary entry point: one request, fully described. req.read_epoch is
+  // an engine-side field and never goes on the wire — snapshot scoping is
+  // the server Session's job.
+  common::Result<srv::Response> Execute(const common::QueryRequest& req);
 
   // Execute with deadline-capped retries (see class comment for the
   // at-least-once caveat). Retries: transport errors (reconnect first) and
   // kOverloaded responses. Any other server-side error returns immediately.
   common::Result<srv::Response> ExecuteWithRetry(
+      const common::QueryRequest& req, const RetryPolicy& policy = {});
+
+  // Back-compat shims over the QueryRequest entry points. QueryMode
+  // mirrors srv::RequestMode value-for-value, so the cast is exact.
+  [[deprecated("pass a common::QueryRequest instead")]]
+  common::Result<srv::Response> Execute(srv::RequestMode mode,
+                                        std::string_view text,
+                                        const common::QueryOptions& opts) {
+    return Execute(MakeRequest(mode, text, opts));
+  }
+  common::Result<srv::Response> Execute(srv::RequestMode mode,
+                                        std::string_view text) {
+    return Execute(MakeRequest(mode, text, {}));
+  }
+  [[deprecated("pass a common::QueryRequest instead")]]
+  common::Result<srv::Response> ExecuteWithRetry(
       srv::RequestMode mode, std::string_view text,
-      const common::QueryOptions& opts = {}, const RetryPolicy& policy = {});
+      const common::QueryOptions& opts = {}, const RetryPolicy& policy = {}) {
+    return ExecuteWithRetry(MakeRequest(mode, text, opts), policy);
+  }
 
   // Shorthands.
   common::Result<srv::Response> Sql(std::string_view text) {
-    return Execute(srv::RequestMode::kSql, text);
+    return Execute(common::QueryRequest::Sql(std::string(text)));
   }
   common::Result<srv::Response> Xq(std::string_view text) {
-    return Execute(srv::RequestMode::kXq, text);
+    return Execute(common::QueryRequest::Xq(std::string(text)));
   }
 
   int fd() const { return fd_; }
@@ -96,6 +112,16 @@ class Client {
  private:
   Client(int fd, std::string host, uint16_t port, uint32_t features)
       : fd_(fd), host_(std::move(host)), port_(port), features_(features) {}
+
+  static common::QueryRequest MakeRequest(srv::RequestMode mode,
+                                          std::string_view text,
+                                          const common::QueryOptions& opts) {
+    common::QueryRequest req;
+    req.mode = static_cast<common::QueryMode>(mode);
+    req.text = std::string(text);
+    req.options = opts;
+    return req;
+  }
 
   // Tears down the socket and redoes Connect (including the handshake)
   // against the remembered endpoint.

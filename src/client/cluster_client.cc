@@ -31,18 +31,15 @@ ClusterClient::ClusterClient(ClusterOptions options)
     : options_(std::move(options)),
       replicas_(options_.replicas.size()) {}
 
-Result<srv::Response> ClusterClient::Execute(srv::RequestMode mode,
-                                             std::string_view text,
-                                             const common::QueryOptions& opts) {
-  if (mode == srv::RequestMode::kSql && IsWriteStatement(text)) {
-    return Write(mode, text, opts);
+Result<srv::Response> ClusterClient::Execute(const common::QueryRequest& req) {
+  if (req.mode == common::QueryMode::kSql && IsWriteStatement(req.text)) {
+    return Write(req);
   }
-  return Read(mode, text, opts);
+  return Read(req);
 }
 
 Result<srv::Response> ClusterClient::OnPrimary(
-    srv::RequestMode mode, std::string_view text,
-    const common::QueryOptions& opts) {
+    const common::QueryRequest& req) {
   if (!primary_.has_value()) {
     Result<Client> c = Client::ConnectWithRetry(
         options_.primary.host, options_.primary.port, options_.retry);
@@ -50,27 +47,23 @@ Result<srv::Response> ClusterClient::OnPrimary(
     primary_.emplace(std::move(c).value());
   }
   Result<srv::Response> response =
-      primary_->ExecuteWithRetry(mode, text, opts, options_.retry);
+      primary_->ExecuteWithRetry(req, options_.retry);
   if (!response.ok()) primary_.reset();  // transport failure: reconnect next time
   else ++stats_.primary_requests;
   return response;
 }
 
-Result<srv::Response> ClusterClient::Write(srv::RequestMode mode,
-                                           std::string_view text,
-                                           const common::QueryOptions& opts) {
-  Result<srv::Response> response = OnPrimary(mode, text, opts);
+Result<srv::Response> ClusterClient::Write(const common::QueryRequest& req) {
+  Result<srv::Response> response = OnPrimary(req);
   if (response.ok() && response->ok() && response->lsn > last_write_lsn_) {
     last_write_lsn_ = response->lsn;
   }
   return response;
 }
 
-Result<srv::Response> ClusterClient::Read(srv::RequestMode mode,
-                                          std::string_view text,
-                                          const common::QueryOptions& opts) {
-  common::QueryOptions read_opts = opts;
-  if (read_opts.min_lsn == 0) read_opts.min_lsn = last_write_lsn_;
+Result<srv::Response> ClusterClient::Read(const common::QueryRequest& req) {
+  common::QueryRequest read_req = req;
+  if (read_req.options.min_lsn == 0) read_req.options.min_lsn = last_write_lsn_;
   for (size_t i = 0; i < replicas_.size(); ++i) {
     size_t slot = (rr_next_ + i) % replicas_.size();
     std::optional<Client>& replica = replicas_[slot];
@@ -82,7 +75,7 @@ Result<srv::Response> ClusterClient::Read(srv::RequestMode mode,
       if (!c.ok()) continue;  // unreachable replica: try the next one
       replica.emplace(std::move(c).value());
     }
-    Result<srv::Response> response = replica->Execute(mode, text, read_opts);
+    Result<srv::Response> response = replica->Execute(read_req);
     if (!response.ok()) {
       // Transport failure: drop the connection, read elsewhere.
       replica.reset();
@@ -101,7 +94,7 @@ Result<srv::Response> ClusterClient::Read(srv::RequestMode mode,
   }
   // No replica could serve: the primary always can (its applied LSN is by
   // definition >= any commit LSN it handed out).
-  return OnPrimary(mode, text, read_opts);
+  return OnPrimary(read_req);
 }
 
 }  // namespace xomatiq::cli

@@ -1,6 +1,8 @@
 #include "datahounds/shredder.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/string_util.h"
 #include "datahounds/generic_schema.h"
@@ -217,25 +219,38 @@ namespace {
 
 // Rows of `table` whose `node_id` column equals `node_id`; uses the hash
 // index when present, else scans (keeps working mid index ablation).
+// `epoch` is the snapshot epoch for reader context (kEpochMax in writer
+// context). Indexes are single-version: probes copy RowIds under the
+// entry's shared latch, then fetch visible tuples and re-verify the key.
 Result<std::vector<Tuple>> RowsForNode(rel::Database* db,
                                        const std::string& table,
                                        const std::string& index_name,
-                                       int64_t node_id) {
+                                       int64_t node_id, uint64_t epoch) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* t, db->GetTable(table));
   std::vector<Tuple> rows;
   const rel::IndexEntry* idx = db->FindIndexByName(index_name);
   if (idx != nullptr) {
-    const std::vector<RowId>* found =
-        idx->hash->Lookup({Value::Int(node_id)});
-    if (found != nullptr) {
-      for (RowId row : *found) {
-        XQ_ASSIGN_OR_RETURN(const Tuple* tuple, t->Get(row));
-        rows.push_back(*tuple);
+    std::vector<RowId> row_ids;
+    {
+      std::shared_lock lk(idx->latch);
+      const std::vector<RowId>* found =
+          idx->hash->Lookup({Value::Int(node_id)});
+      if (found != nullptr) row_ids = *found;
+    }
+    for (RowId row : row_ids) {
+      auto tuple = t->Get(row, epoch);
+      if (!tuple.ok()) {
+        // Not visible at this snapshot (inserted later / reclaimed): the
+        // index is single-version, so skip rather than fail.
+        if (tuple.status().code() == common::StatusCode::kNotFound) continue;
+        return tuple.status();
       }
+      if ((**tuple)[kValueNodeId].AsInt() != node_id) continue;
+      rows.push_back(**tuple);
     }
     return rows;
   }
-  t->Scan([&](RowId, const Tuple& tuple) {
+  t->Scan(epoch, [&](RowId, const Tuple& tuple) {
     if (tuple[kValueNodeId].AsInt() == node_id) rows.push_back(tuple);
     return true;
   });
@@ -264,30 +279,38 @@ Result<std::vector<RowId>> RowIdsForNode(rel::Database* db,
 }
 
 // (RowId, tuple) of all xml_node rows of `doc_id`, ordered by ordinal.
+// `epoch` as in RowsForNode.
 Result<std::vector<std::pair<RowId, Tuple>>> DocNodes(rel::Database* db,
-                                                      int64_t doc_id) {
+                                                      int64_t doc_id,
+                                                      uint64_t epoch) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* nodes, db->GetTable(kNodeTable));
   std::vector<std::pair<RowId, Tuple>> out;
   const rel::IndexEntry* idx = db->FindIndexByName("idx_node_doc_ord");
-  common::Status status;
   if (idx != nullptr) {
-    idx->btree->ScanPrefix(
-        {Value::Int(doc_id)},
-        [&](const rel::CompositeKey&, const std::vector<RowId>& rows) {
-          for (RowId row : rows) {
-            auto tuple = nodes->Get(row);
-            if (!tuple.ok()) {
-              status = tuple.status();
-              return false;
-            }
-            out.emplace_back(row, **tuple);
-          }
-          return true;
-        });
-    XQ_RETURN_IF_ERROR(status);
+    // Collect RowIds (already in ordinal order) under the shared entry
+    // latch, then fetch: the latch is never held across heap reads.
+    std::vector<RowId> row_ids;
+    {
+      std::shared_lock lk(idx->latch);
+      idx->btree->ScanPrefix(
+          {Value::Int(doc_id)},
+          [&](const rel::CompositeKey&, const std::vector<RowId>& rows) {
+            row_ids.insert(row_ids.end(), rows.begin(), rows.end());
+            return true;
+          });
+    }
+    for (RowId row : row_ids) {
+      auto tuple = nodes->Get(row, epoch);
+      if (!tuple.ok()) {
+        if (tuple.status().code() == common::StatusCode::kNotFound) continue;
+        return tuple.status();
+      }
+      if ((**tuple)[kNodeDocId].AsInt() != doc_id) continue;
+      out.emplace_back(row, **tuple);
+    }
     return out;
   }
-  nodes->Scan([&](RowId row, const Tuple& tuple) {
+  nodes->Scan(epoch, [&](RowId row, const Tuple& tuple) {
     if (tuple[kNodeDocId].AsInt() == doc_id) out.emplace_back(row, tuple);
     return true;
   });
@@ -300,7 +323,7 @@ Result<std::vector<std::pair<RowId, Tuple>>> DocNodes(rel::Database* db,
 }  // namespace
 
 Status Shredder::DeleteDocument(int64_t doc_id) {
-  XQ_ASSIGN_OR_RETURN(auto nodes, DocNodes(db_, doc_id));
+  XQ_ASSIGN_OR_RETURN(auto nodes, DocNodes(db_, doc_id, rel::kEpochMax));
   for (const auto& [row, tuple] : nodes) {
     int64_t node_id = tuple[kNodeNodeId].AsInt();
     for (const auto& [table, index] :
@@ -332,16 +355,17 @@ Status Shredder::DeleteDocument(int64_t doc_id) {
   return Status::OK();
 }
 
-Result<XmlDocument> Shredder::ReconstructDocument(int64_t doc_id) {
+Result<XmlDocument> Shredder::ReconstructDocument(int64_t doc_id,
+                                                  uint64_t epoch) {
   // Reverse name dictionary.
   std::unordered_map<int64_t, std::string> names;
   XQ_ASSIGN_OR_RETURN(const rel::Table* name_table, db_->GetTable(kNameTable));
-  name_table->Scan([&](RowId, const Tuple& t) {
+  name_table->Scan(epoch, [&](RowId, const Tuple& t) {
     names[t[0].AsInt()] = t[1].AsText();
     return true;
   });
 
-  XQ_ASSIGN_OR_RETURN(auto rows, DocNodes(db_, doc_id));
+  XQ_ASSIGN_OR_RETURN(auto rows, DocNodes(db_, doc_id, epoch));
   if (rows.empty()) {
     return Status::NotFound("no document with id " + std::to_string(doc_id));
   }
@@ -365,7 +389,7 @@ Result<XmlDocument> Shredder::ReconstructDocument(int64_t doc_id) {
       }
       XQ_ASSIGN_OR_RETURN(
           std::vector<Tuple> values,
-          RowsForNode(db_, kTextTable, "idx_text_node", node_id));
+          RowsForNode(db_, kTextTable, "idx_text_node", node_id, epoch));
       std::string value;
       if (!values.empty()) value = values.front()[kValueValue].AsText();
       parent_it->second->AddAttribute(name, std::move(value));
@@ -386,14 +410,14 @@ Result<XmlDocument> Shredder::ReconstructDocument(int64_t doc_id) {
     // Leaf value, if any: exact text from xml_text, or sequence residues.
     XQ_ASSIGN_OR_RETURN(
         std::vector<Tuple> text_rows,
-        RowsForNode(db_, kTextTable, "idx_text_node", node_id));
+        RowsForNode(db_, kTextTable, "idx_text_node", node_id, epoch));
     if (!text_rows.empty()) {
       element->AddText(text_rows.front()[kValueValue].AsText());
       continue;
     }
     XQ_ASSIGN_OR_RETURN(
         std::vector<Tuple> seq_rows,
-        RowsForNode(db_, kSequenceTable, "idx_sequence_node", node_id));
+        RowsForNode(db_, kSequenceTable, "idx_sequence_node", node_id, epoch));
     if (!seq_rows.empty()) {
       element->AddText(seq_rows.front()[kSeqResidues].AsText());
     }

@@ -54,8 +54,11 @@ class Shredder {
   common::Status DeleteDocument(int64_t doc_id);
 
   // Rebuilds the full document from tuples, order preserved
-  // (Relation2XML's "expensive reconstruction" path, §3.3).
-  common::Result<xml::XmlDocument> ReconstructDocument(int64_t doc_id);
+  // (Relation2XML's "expensive reconstruction" path, §3.3). `epoch` is
+  // the snapshot epoch reads evaluate against (kEpochMax = latest, for
+  // writer/single-threaded contexts); the caller owns the snapshot.
+  common::Result<xml::XmlDocument> ReconstructDocument(
+      int64_t doc_id, uint64_t epoch = rel::kEpochMax);
 
   int64_t next_doc_id() const { return next_doc_id_; }
 

@@ -42,8 +42,11 @@ void Warehouse::Subscribe(std::function<void(const ChangeEvent&)> callback) {
 }
 
 void Warehouse::Fire(const ChangeEvent& event) {
-  // Copy the list so callbacks run without mu_ held (they still run under
-  // the exclusive database latch of the surrounding load/sync).
+  // Copy the list so callbacks run without mu_ held. Load/sync defer the
+  // Fire calls through their WriteGuard, so by the time a callback runs
+  // the batch's epoch is published and the write latch released — the
+  // callback may query the warehouse (and will see the change) or load
+  // more data without deadlocking.
   std::vector<std::function<void(const ChangeEvent&)>> subscribers;
   {
     std::shared_lock lock(mu_);
@@ -54,8 +57,8 @@ void Warehouse::Fire(const ChangeEvent& event) {
 
 common::Result<xml::XmlDocument> Warehouse::ReconstructDocument(
     int64_t doc_id) {
-  std::shared_lock latch(db_->latch());
-  return shredder_->ReconstructDocument(doc_id);
+  rel::Snapshot snap = db_->BeginSnapshot();
+  return shredder_->ReconstructDocument(doc_id, snap.epoch());
 }
 
 Status Warehouse::LoadCollectionsFromCatalog() {
@@ -89,7 +92,7 @@ Status Warehouse::LoadCollectionsFromCatalog() {
 
 Status Warehouse::RegisterCollection(const std::string& collection,
                                      const XmlTransformer& transformer) {
-  std::unique_lock latch(db_->latch());
+  rel::WriteGuard guard(db_);
   return RegisterCollectionLocked(collection, transformer);
 }
 
@@ -133,7 +136,7 @@ std::vector<std::string> Warehouse::CollectionNames() const {
 Result<int64_t> Warehouse::LoadDocument(const std::string& collection,
                                         const xml::XmlDocument& doc,
                                         const std::string& uri) {
-  std::unique_lock latch(db_->latch());
+  rel::WriteGuard guard(db_);
   const Collection* c = FindCollection(collection);
   if (c == nullptr) {
     return Status::NotFound("collection not registered: " + collection);
@@ -147,15 +150,17 @@ Result<int64_t> Warehouse::LoadDocument(const std::string& collection,
 }
 
 Status Warehouse::RemoveDocument(int64_t doc_id) {
-  std::unique_lock latch(db_->latch());
+  rel::WriteGuard guard(db_);
   return shredder_->DeleteDocument(doc_id);
 }
 
 Result<Warehouse::LoadStats> Warehouse::LoadSource(
     const std::string& collection, const XmlTransformer& transformer,
     std::string_view raw) {
-  // Exclusive for the whole load: queries either see none or all of it.
-  std::unique_lock latch(db_->latch());
+  // One write batch for the whole load: snapshots taken before the guard
+  // releases see none of it, snapshots taken after see all of it.
+  // Concurrent readers are NOT blocked — they read at their own epoch.
+  rel::WriteGuard guard(db_);
   XQ_RETURN_IF_ERROR(RegisterCollectionLocked(collection, transformer));
   const Collection* c = FindCollection(collection);
   static common::Histogram* transform_hist =
@@ -189,7 +194,12 @@ Result<Warehouse::LoadStats> Warehouse::LoadSource(
     stats.text_values += s.text_values;
     stats.numeric_values += s.numeric_values;
     stats.sequence_values += s.sequence_values;
-    Fire({ChangeEvent::Kind::kAdded, collection, doc.uri, s.doc_id});
+    // Deferred past epoch publish + latch release: subscribers observe a
+    // database state that already contains the document they are told
+    // about, and may re-enter the warehouse safely.
+    guard.Defer([this, collection, uri = doc.uri, id = s.doc_id] {
+      Fire({ChangeEvent::Kind::kAdded, collection, uri, id});
+    });
   }
   return stats;
 }
@@ -197,8 +207,12 @@ Result<Warehouse::LoadStats> Warehouse::LoadSource(
 Result<UpdateStats> Warehouse::SyncSource(const std::string& collection,
                                           const XmlTransformer& transformer,
                                           std::string_view raw) {
-  // Exclusive across diff + apply; ChangeEvents fire under this latch.
-  std::unique_lock latch(db_->latch());
+  // One write batch across diff + apply. ChangeEvents used to fire while
+  // the exclusive latch was held — a subscriber that queried back
+  // deadlocked, and one that cached responses could capture a state
+  // where the event's document was not yet query-visible. They are now
+  // deferred past epoch publish and latch release.
+  rel::WriteGuard guard(db_);
   XQ_RETURN_IF_ERROR(RegisterCollectionLocked(collection, transformer));
   const Collection* c = FindCollection(collection);
   XQ_ASSIGN_OR_RETURN(std::vector<TransformedDocument> docs,
@@ -229,7 +243,9 @@ Result<UpdateStats> Warehouse::SyncSource(const std::string& collection,
           shredder_->ShredDocument(doc.document, collection, doc.uri,
                                    c->sequence_elements, hash));
       ++stats.added;
-      Fire({ChangeEvent::Kind::kAdded, collection, doc.uri, s.doc_id});
+      guard.Defer([this, collection, uri = doc.uri, id = s.doc_id] {
+        Fire({ChangeEvent::Kind::kAdded, collection, uri, id});
+      });
       continue;
     }
     auto [doc_id, old_hash] = it->second;
@@ -244,7 +260,9 @@ Result<UpdateStats> Warehouse::SyncSource(const std::string& collection,
         shredder_->ShredDocument(doc.document, collection, doc.uri,
                                  c->sequence_elements, hash));
     ++stats.updated;
-    Fire({ChangeEvent::Kind::kUpdated, collection, doc.uri, s.doc_id});
+    guard.Defer([this, collection, uri = doc.uri, id = s.doc_id] {
+      Fire({ChangeEvent::Kind::kUpdated, collection, uri, id});
+    });
   }
   // Entries no longer present remotely ("without any information being
   // left out or added twice", §2).
@@ -252,17 +270,19 @@ Result<UpdateStats> Warehouse::SyncSource(const std::string& collection,
     XQ_FAULT_POINT("hounds.sync.apply");
     XQ_RETURN_IF_ERROR(shredder_->DeleteDocument(info.first));
     ++stats.removed;
-    Fire({ChangeEvent::Kind::kRemoved, collection, uri, info.first});
+    guard.Defer([this, collection, uri, id = info.first] {
+      Fire({ChangeEvent::Kind::kRemoved, collection, uri, id});
+    });
   }
   return stats;
 }
 
 Result<std::vector<int64_t>> Warehouse::DocumentsIn(
     const std::string& collection) const {
-  std::shared_lock latch(db_->latch());
+  rel::Snapshot snap = db_->BeginSnapshot();
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(kDocumentTable));
   std::vector<int64_t> ids;
-  table->Scan([&](RowId, const Tuple& t) {
+  table->Scan(snap.epoch(), [&](RowId, const Tuple& t) {
     if (t[1].AsText() == collection) ids.push_back(t[0].AsInt());
     return true;
   });
@@ -271,19 +291,27 @@ Result<std::vector<int64_t>> Warehouse::DocumentsIn(
 }
 
 Result<int64_t> Warehouse::FindDocument(const std::string& uri) const {
-  std::shared_lock latch(db_->latch());
+  rel::Snapshot snap = db_->BeginSnapshot();
   const rel::IndexEntry* idx = db_->FindIndexByName("idx_doc_uri");
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(kDocumentTable));
   if (idx != nullptr) {
-    const std::vector<RowId>* rows = idx->hash->Lookup({Value::Text(uri)});
-    if (rows == nullptr || rows->empty()) {
-      return Status::NotFound("no document with uri " + uri);
+    // Copy the postings under the shared entry latch, then fetch at the
+    // snapshot epoch and re-verify the key (the index is single-version).
+    std::vector<RowId> row_ids;
+    {
+      std::shared_lock lk(idx->latch);
+      const std::vector<RowId>* rows = idx->hash->Lookup({Value::Text(uri)});
+      if (rows != nullptr) row_ids = *rows;
     }
-    XQ_ASSIGN_OR_RETURN(const Tuple* tuple, table->Get(rows->front()));
-    return (*tuple)[0].AsInt();
+    for (RowId row : row_ids) {
+      auto tuple = table->Get(row, snap.epoch());
+      if (!tuple.ok()) continue;  // not visible at this snapshot
+      if ((**tuple)[2].AsText() == uri) return (**tuple)[0].AsInt();
+    }
+    return Status::NotFound("no document with uri " + uri);
   }
   int64_t found = -1;
-  table->Scan([&](RowId, const Tuple& t) {
+  table->Scan(snap.epoch(), [&](RowId, const Tuple& t) {
     if (t[2].AsText() == uri) {
       found = t[0].AsInt();
       return false;

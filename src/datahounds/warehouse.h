@@ -40,21 +40,25 @@ struct UpdateStats {
 // XML-Transformers, validates against the per-source DTD, shreds, and
 // keeps collections fresh via content-hash diffing with change triggers.
 //
-// Thread-safety / locking rules:
+// Thread-safety / locking rules (MVCC-lite; DESIGN.md "Concurrency &
+// snapshots"):
 //   - Mutating entry points (LoadSource, SyncSource, LoadDocument,
-//     RemoveDocument) hold the database statement latch EXCLUSIVELY for
-//     their whole run, so concurrent engine SELECTs never observe a
-//     half-applied load. Read entry points (DocumentsIn, FindDocument,
-//     ReconstructDocument) hold it shared.
+//     RemoveDocument) run under one rel::WriteGuard each: the whole load
+//     or sync commits as ONE write batch, whose epoch publishes on guard
+//     release. Concurrent snapshot readers are never blocked and never
+//     observe a half-applied load — they read at their own epoch.
+//   - Read entry points (DocumentsIn, FindDocument, ReconstructDocument)
+//     pin a rel::Snapshot and read latch-free at its epoch, fully
+//     concurrent with an in-flight sync.
 //   - The collection map and trigger-subscriber list are guarded by their
-//     own shared_mutex (`mu_`), always acquired AFTER the database latch,
+//     own shared_mutex (`mu_`), always acquired AFTER the write latch,
 //     never while waiting on it — the two form a fixed order.
 //   - Collections are never erased, so a Collection* from FindCollection
 //     stays valid (and immutable) for the warehouse's lifetime.
-//   - ChangeEvent callbacks run on the syncing thread while the database
-//     latch is held exclusively: they must not issue queries back into the
-//     same database (the result-cache invalidation hook is the intended
-//     shape of subscriber).
+//   - ChangeEvent callbacks run on the syncing thread AFTER the batch's
+//     epoch is published and the write latch released (WriteGuard::Defer):
+//     a subscriber may query back into the database — and is guaranteed
+//     to see the change it is being told about.
 class Warehouse {
  public:
   // `db` must outlive the warehouse. Creates the generic schema and
@@ -128,13 +132,13 @@ class Warehouse {
 
   void Fire(const ChangeEvent& event);
   common::Status LoadCollectionsFromCatalog();
-  // RegisterCollection body; caller must hold db()->latch() exclusively.
+  // RegisterCollection body; caller must hold a rel::WriteGuard.
   common::Status RegisterCollectionLocked(const std::string& collection,
                                           const XmlTransformer& transformer);
 
   rel::Database* db_;
   std::unique_ptr<Shredder> shredder_;
-  // Guards collections_ and subscribers_; acquired after db_->latch() when
+  // Guards collections_ and subscribers_; acquired after the write latch when
   // both are needed (see class comment).
   mutable std::shared_mutex mu_;
   std::map<std::string, Collection> collections_;

@@ -1,11 +1,14 @@
 #include "relational/database.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 
 #include "common/fault_injector.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
 #include "relational/serde.h"
 
 namespace xomatiq::rel {
@@ -26,6 +29,11 @@ enum class Op : uint8_t {
   kUpdate = 7,
   kSetStats = 8,
 };
+
+bool IsDdlOp(uint8_t tag) {
+  return tag >= static_cast<uint8_t>(Op::kCreateTable) &&
+         tag <= static_cast<uint8_t>(Op::kDropIndex);
+}
 
 // v2 prepends the base LSN to the snapshot body; v1 snapshots (no LSN,
 // base 0) are still readable so pre-LSN directories open cleanly.
@@ -74,6 +82,12 @@ bool ExtractKey(const IndexEntry& entry, const Tuple& tuple,
   return true;
 }
 
+common::Gauge* GarbageGauge() {
+  static common::Gauge* g =
+      common::MetricsRegistry::Global().GetGauge("rel.mvcc.garbage_versions");
+  return g;
+}
+
 }  // namespace
 
 std::string_view IndexKindName(IndexKind kind) {
@@ -88,7 +102,11 @@ std::string_view IndexKindName(IndexKind kind) {
   return "?";
 }
 
-Database::~Database() = default;
+Database::~Database() {
+  for (RetiredVersions& batch : retired_) {
+    for (RowVersion* chain : batch.chains) Table::FreeChain(chain);
+  }
+}
 
 std::unique_ptr<Database> Database::OpenInMemory() {
   return std::unique_ptr<Database>(new Database());
@@ -134,6 +152,21 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   XQ_ASSIGN_OR_RETURN(db->wal_,
                       WriteAheadLog::Open(dir + "/" + kWalFile, options.wal));
   db->wal_->set_next_lsn(db->last_lsn_.load(std::memory_order_relaxed) + 1);
+  // Recovery stamped every restored/replayed row with epoch 1 (the WAL
+  // carries no epochs); publish it so the first snapshot sees the full
+  // recovered state. A row inserted and later deleted during replay ends
+  // up (insert=1, delete=1): visible nowhere, exactly as before the crash.
+  db->committed_epoch_.store(1, std::memory_order_release);
+  // Replayed deletes/updates queued deferred index erases; no snapshot
+  // can exist yet, so flush them now — the indexes reopen exactly as
+  // tight as an eager-erase build.
+  for (const RetiredIndexKeys& e : db->retired_index_) {
+    db->EraseRetiredIndexKeys(e);
+  }
+  db->retired_index_.clear();
+  db->batch_dirty_ = false;
+  db->committed_lsn_.store(db->last_lsn_.load(std::memory_order_relaxed),
+                           std::memory_order_release);
   return db;
 }
 
@@ -167,15 +200,155 @@ common::MetricsSnapshot Database::MetricsSnapshot() {
   return common::MetricsRegistry::Global().Snapshot();
 }
 
+// --- epochs & snapshots ------------------------------------------------
+
+Snapshot Database::BeginSnapshot() const {
+  // Barrier first, registry second: once the shared DDL hold is in place
+  // no catalog surgery can run, and the epoch read under snap_mu_ is the
+  // one reclamation will respect as its low-water mark.
+  ddl_latch_.lock_shared();
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> reg(snap_mu_);
+    epoch = committed_epoch_.load(std::memory_order_acquire);
+    live_snapshots_.insert(epoch);
+  }
+  static common::Counter* begun =
+      common::MetricsRegistry::Global().GetCounter("rel.mvcc.snapshots");
+  begun->Inc();
+  return Snapshot(this, epoch);
+}
+
+void Database::ReleaseSnapshot(uint64_t epoch) const {
+  {
+    std::lock_guard<std::mutex> reg(snap_mu_);
+    auto it = live_snapshots_.find(epoch);
+    if (it != live_snapshots_.end()) live_snapshots_.erase(it);
+  }
+  ddl_latch_.unlock_shared();
+}
+
+void Snapshot::Release() {
+  if (db_ != nullptr) {
+    db_->ReleaseSnapshot(epoch_);
+    db_ = nullptr;
+  }
+}
+
+uint64_t Database::garbage_versions() const {
+  uint64_t total = retired_count_.load(std::memory_order_acquire);
+  for (const auto& [name, info] : tables_) {
+    total += info.table->garbage_versions();
+  }
+  return total;
+}
+
+void Database::FinishWriteBatch() {
+  if (batch_dirty_) {
+    batch_dirty_ = false;
+    committed_epoch_.fetch_add(1, std::memory_order_release);
+    static common::Counter* epochs =
+        common::MetricsRegistry::Global().GetCounter("rel.mvcc.epochs");
+    epochs->Inc();
+    bool reclaim_due = retired_count_.load(std::memory_order_relaxed) > 0 ||
+                       !retired_index_.empty();
+    if (!reclaim_due) {
+      for (const auto& [name, info] : tables_) {
+        uint64_t threshold =
+            std::max<uint64_t>(256, info.table->num_slots() / 8);
+        if (info.table->garbage_versions() >= threshold) {
+          reclaim_due = true;
+          break;
+        }
+      }
+    }
+    if (reclaim_due) ReclaimVersions();
+    GarbageGauge()->Set(static_cast<int64_t>(garbage_versions()));
+  }
+  // Published AFTER the epoch: a waiter that observes committed_lsn() >= L
+  // and then begins a snapshot is guaranteed to see record L's rows.
+  committed_lsn_.store(last_lsn_.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+}
+
+void Database::ReclaimVersions() {
+  // snap_mu_ held across the unlink stores: a snapshot registered after
+  // this pass synchronizes-with it and can only observe the cut chains;
+  // snapshots registered before are in the registry, so either their
+  // epoch holds the low-water mark down or (epoch >= low_water) the
+  // traversal invariant keeps them above the cut. Freeing is deferred
+  // until every snapshot from before the pass is gone.
+  std::lock_guard<std::mutex> reg(snap_mu_);
+  uint64_t committed = committed_epoch_.load(std::memory_order_relaxed);
+  uint64_t low_water =
+      live_snapshots_.empty() ? committed : *live_snapshots_.begin();
+  RetiredVersions batch;
+  batch.retire_epoch = committed;
+  for (auto& [name, info] : tables_) {
+    if (info.table->garbage_versions() == 0) continue;
+    batch.count += info.table->ReclaimSlots(low_water, &batch.chains);
+  }
+  static common::Counter* passes =
+      common::MetricsRegistry::Global().GetCounter("rel.mvcc.reclaim_passes");
+  passes->Inc();
+  if (batch.count > 0) {
+    retired_count_.fetch_add(batch.count, std::memory_order_release);
+    retired_.push_back(std::move(batch));
+  }
+  // Free retired batches no live snapshot can still be inside: every
+  // snapshot registered before the batch's unlink pass had epoch <=
+  // retire_epoch, so min live epoch > retire_epoch proves they are gone.
+  uint64_t min_live =
+      live_snapshots_.empty() ? kEpochMax : *live_snapshots_.begin();
+  uint64_t freed = 0;
+  auto keep = retired_.begin();
+  for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+    if (it->retire_epoch < min_live) {
+      for (RowVersion* chain : it->chains) Table::FreeChain(chain);
+      freed += it->count;
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  retired_.erase(keep, retired_.end());
+  // Erase index entries of retired versions no snapshot can still read:
+  // a version retired at epoch e is invisible at every epoch >= e, so
+  // low_water >= e (and new snapshots pinning >= committed >= e) proves
+  // no index-driven plan needs its entry anymore.
+  auto kept_idx = retired_index_.begin();
+  for (auto it = retired_index_.begin(); it != retired_index_.end(); ++it) {
+    if (it->retire_epoch <= low_water) {
+      EraseRetiredIndexKeys(*it);
+    } else {
+      if (kept_idx != it) *kept_idx = std::move(*it);
+      ++kept_idx;
+    }
+  }
+  retired_index_.erase(kept_idx, retired_index_.end());
+  if (freed > 0) {
+    retired_count_.fetch_sub(freed, std::memory_order_release);
+    static common::Counter* reclaimed =
+        common::MetricsRegistry::Global().GetCounter(
+            "rel.mvcc.reclaimed_versions");
+    reclaimed->Inc(freed);
+  }
+}
+
 // --- DDL -------------------------------------------------------------
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
-  XQ_RETURN_IF_ERROR(CreateTableInternal(name, schema));
+  {
+    std::unique_lock<std::shared_mutex> barrier(ddl_latch_);
+    XQ_RETURN_IF_ERROR(CreateTableInternal(name, schema));
+  }
   BinaryWriter w;
   w.PutU8(static_cast<uint8_t>(Op::kCreateTable));
   w.PutString(name);
   EncodeSchema(schema, &w);
-  return Log(w.buffer());
+  XQ_RETURN_IF_ERROR(Log(w.buffer()));
+  if (guard_depth_ == 0) FinishWriteBatch();
+  return Status::OK();
 }
 
 Status Database::CreateTableInternal(const std::string& name, Schema schema) {
@@ -185,33 +358,50 @@ Status Database::CreateTableInternal(const std::string& name, Schema schema) {
   if (schema.size() == 0) {
     return Status::InvalidArgument("table needs at least one column: " + name);
   }
-  TableInfo info;
+  // TableInfo is pinned in the map (atomic member: not movable), so it is
+  // built in place.
+  TableInfo& info = tables_[name];
   info.table = std::make_unique<Table>(name, std::move(schema));
-  tables_.emplace(name, std::move(info));
   return Status::OK();
 }
 
 Status Database::DropTable(const std::string& name) {
-  XQ_RETURN_IF_ERROR(DropTableInternal(name));
+  {
+    std::unique_lock<std::shared_mutex> barrier(ddl_latch_);
+    XQ_RETURN_IF_ERROR(DropTableInternal(name));
+  }
   BinaryWriter w;
   w.PutU8(static_cast<uint8_t>(Op::kDropTable));
   w.PutString(name);
-  return Log(w.buffer());
+  XQ_RETURN_IF_ERROR(Log(w.buffer()));
+  if (guard_depth_ == 0) FinishWriteBatch();
+  return Status::OK();
 }
 
 Status Database::DropTableInternal(const std::string& name) {
   if (tables_.erase(name) == 0) {
     return Status::NotFound("no such table: " + name);
   }
+  // Pending deferred index erases for this table are void — and must not
+  // fire against a later table of the same name.
+  retired_index_.erase(
+      std::remove_if(retired_index_.begin(), retired_index_.end(),
+                     [&](const RetiredIndexKeys& e) { return e.table == name; }),
+      retired_index_.end());
   return Status::OK();
 }
 
 Status Database::CreateIndex(const IndexDef& def) {
-  XQ_RETURN_IF_ERROR(CreateIndexInternal(def));
+  {
+    std::unique_lock<std::shared_mutex> barrier(ddl_latch_);
+    XQ_RETURN_IF_ERROR(CreateIndexInternal(def));
+  }
   BinaryWriter w;
   w.PutU8(static_cast<uint8_t>(Op::kCreateIndex));
   EncodeIndexDef(def, &w);
-  return Log(w.buffer());
+  XQ_RETURN_IF_ERROR(Log(w.buffer()));
+  if (guard_depth_ == 0) FinishWriteBatch();
+  return Status::OK();
 }
 
 Status Database::CreateIndexInternal(const IndexDef& def) {
@@ -258,6 +448,8 @@ Status Database::CreateIndexInternal(const IndexDef& def) {
 }
 
 Status Database::BuildIndex(const Table& table, IndexEntry* entry) {
+  // The entry is not yet published in the catalog, so no latching; the
+  // build reads the heap at latest (writer context).
   Status status;
   CompositeKey key;
   table.Scan([&](RowId row, const Tuple& tuple) {
@@ -293,11 +485,16 @@ Status Database::BuildIndex(const Table& table, IndexEntry* entry) {
 }
 
 Status Database::DropIndex(const std::string& index_name) {
-  XQ_RETURN_IF_ERROR(DropIndexInternal(index_name));
+  {
+    std::unique_lock<std::shared_mutex> barrier(ddl_latch_);
+    XQ_RETURN_IF_ERROR(DropIndexInternal(index_name));
+  }
   BinaryWriter w;
   w.PutU8(static_cast<uint8_t>(Op::kDropIndex));
   w.PutString(index_name);
-  return Log(w.buffer());
+  XQ_RETURN_IF_ERROR(Log(w.buffer()));
+  if (guard_depth_ == 0) FinishWriteBatch();
+  return Status::OK();
 }
 
 Status Database::DropIndexInternal(const std::string& index_name) {
@@ -315,7 +512,9 @@ Status Database::DropIndexInternal(const std::string& index_name) {
 // --- DML -------------------------------------------------------------
 // Apply-then-log: a record reaches the WAL only after the in-memory apply
 // succeeded, so replay never hits validation errors; the flush in
-// WriteAheadLog::Append is the commit point.
+// WriteAheadLog::Append is the commit point. Rows are stamped with
+// write_epoch(); they become snapshot-visible when the enclosing
+// WriteGuard (or this method itself, when called guard-less) publishes.
 
 Result<RowId> Database::Insert(const std::string& table, Tuple tuple) {
   XQ_ASSIGN_OR_RETURN(RowId row, InsertInternal(table, std::move(tuple)));
@@ -326,6 +525,7 @@ Result<RowId> Database::Insert(const std::string& table, Tuple tuple) {
   w.PutString(table);
   EncodeTuple(*stored, &w);
   XQ_RETURN_IF_ERROR(Log(w.buffer()));
+  if (guard_depth_ == 0) FinishWriteBatch();
   return row;
 }
 
@@ -333,47 +533,81 @@ Result<RowId> Database::InsertInternal(const std::string& table, Tuple tuple) {
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no such table: " + table);
   TableInfo& info = it->second;
-  XQ_ASSIGN_OR_RETURN(RowId row, info.table->Insert(std::move(tuple)));
+  XQ_ASSIGN_OR_RETURN(RowId row,
+                      info.table->Insert(std::move(tuple), write_epoch()));
   XQ_ASSIGN_OR_RETURN(const Tuple* stored, info.table->Get(row));
   Status s = IndexInsert(&info, row, *stored);
   if (!s.ok()) {
     // Unique violation: undo the heap insert; IndexInsert checks
     // constraints before touching any index so nothing else to undo.
-    (void)info.table->Delete(row);
+    (void)info.table->Delete(row, write_epoch());
     return s;
   }
-  ++info.mutations_since_analyze;
+  MarkDirty();
+  info.mutations_since_analyze.fetch_add(1, std::memory_order_relaxed);
   return row;
 }
 
 Status Database::IndexInsert(TableInfo* info, RowId row, const Tuple& tuple) {
   CompositeKey key;
-  // Pass 1: unique pre-checks, no mutation.
+  CompositeKey cur_key;
+  // Pass 1: unique pre-checks, no mutation (shared: probes may overlap).
+  // Entries may be stale (erasure is deferred until reclamation), so a
+  // candidate only counts as a duplicate when its row's CURRENT version
+  // is live and still owns the key. The row being written is excluded:
+  // an update that keeps its unique key must not collide with itself.
   for (const auto& entry : info->indexes) {
     if (!entry->def.unique) continue;
     if (!ExtractKey(*entry, tuple, &key)) continue;
-    bool dup = false;
-    if (entry->btree) {
-      dup = !entry->btree->Lookup(key).empty();
-    } else if (entry->hash) {
-      dup = entry->hash->Lookup(key) != nullptr;
+    std::vector<RowId> candidates;
+    {
+      std::shared_lock<std::shared_mutex> idx_lock(entry->latch);
+      if (entry->btree) {
+        candidates = entry->btree->Lookup(key);
+      } else if (entry->hash) {
+        if (const std::vector<RowId>* rows = entry->hash->Lookup(key)) {
+          candidates = *rows;
+        }
+      }
     }
-    if (dup) {
-      return Status::ConstraintViolation(
-          "unique index " + entry->def.name + " violated by key (" +
-          TupleToString(key) + ")");
+    for (RowId r : candidates) {
+      if (r == row) continue;
+      auto cur = info->table->Get(r);
+      if (!cur.ok()) continue;  // stale entry: row no longer live
+      if (!ExtractKey(*entry, **cur, &cur_key)) continue;
+      if (cur_key == key) {
+        return Status::ConstraintViolation(
+            "unique index " + entry->def.name + " violated by key (" +
+            TupleToString(key) + ")");
+      }
     }
   }
-  // Pass 2: insert everywhere.
+  // Pass 2: insert everywhere, idempotently per (key, row) — an update
+  // whose key did not change re-presents an entry that is already there.
   for (const auto& entry : info->indexes) {
+    std::unique_lock<std::shared_mutex> idx_lock(entry->latch);
     switch (entry->def.kind) {
       case IndexKind::kBTree:
-        if (ExtractKey(*entry, tuple, &key)) entry->btree->Insert(key, row);
+        if (ExtractKey(*entry, tuple, &key)) {
+          std::vector<RowId> present = entry->btree->Lookup(key);
+          if (std::find(present.begin(), present.end(), row) ==
+              present.end()) {
+            entry->btree->Insert(key, row);
+          }
+        }
         break;
       case IndexKind::kHash:
-        if (ExtractKey(*entry, tuple, &key)) entry->hash->Insert(key, row);
+        if (ExtractKey(*entry, tuple, &key)) {
+          const std::vector<RowId>* present = entry->hash->Lookup(key);
+          if (present == nullptr ||
+              std::find(present->begin(), present->end(), row) ==
+                  present->end()) {
+            entry->hash->Insert(key, row);
+          }
+        }
         break;
       case IndexKind::kInverted: {
+        // InvertedIndex::Add is already idempotent per (token, row).
         const Value& v = tuple[entry->column_indexes[0]];
         if (!v.is_null()) entry->inverted->Add(row, v.AsText());
         break;
@@ -383,19 +617,50 @@ Status Database::IndexInsert(TableInfo* info, RowId row, const Tuple& tuple) {
   return Status::OK();
 }
 
-void Database::IndexErase(TableInfo* info, RowId row, const Tuple& tuple) {
+void Database::EraseRetiredIndexKeys(const RetiredIndexKeys& e) {
+  auto it = tables_.find(e.table);
+  if (it == tables_.end()) return;  // table dropped meanwhile
+  TableInfo& info = it->second;
+  // The row's current version, if live at latest: any key it still owns
+  // must survive this erase (an A->B->A value cycle retires an A-keyed
+  // version while the live head is A-keyed again).
+  const Tuple* cur = nullptr;
+  if (auto cur_r = info.table->Get(e.row); cur_r.ok()) cur = *cur_r;
   CompositeKey key;
-  for (const auto& entry : info->indexes) {
+  CompositeKey cur_key;
+  for (const auto& entry : info.indexes) {
     switch (entry->def.kind) {
       case IndexKind::kBTree:
-        if (ExtractKey(*entry, tuple, &key)) entry->btree->Erase(key, row);
+      case IndexKind::kHash: {
+        if (!ExtractKey(*entry, e.tuple, &key)) break;
+        if (cur != nullptr && ExtractKey(*entry, *cur, &cur_key) &&
+            cur_key == key) {
+          break;  // live head still owns this key
+        }
+        std::unique_lock<std::shared_mutex> idx_lock(entry->latch);
+        if (entry->btree) entry->btree->Erase(key, e.row);
+        if (entry->hash) entry->hash->Erase(key, e.row);
         break;
-      case IndexKind::kHash:
-        if (ExtractKey(*entry, tuple, &key)) entry->hash->Erase(key, row);
-        break;
+      }
       case IndexKind::kInverted: {
-        const Value& v = tuple[entry->column_indexes[0]];
-        if (!v.is_null()) entry->inverted->Remove(row, v.AsText());
+        const Value& v = e.tuple[entry->column_indexes[0]];
+        if (v.is_null()) break;
+        // Token-granular guard: drop only tokens of the retired text the
+        // live head's text does not also contain.
+        std::set<std::string> keep;
+        if (cur != nullptr) {
+          const Value& cv = (*cur)[entry->column_indexes[0]];
+          if (!cv.is_null()) {
+            for (std::string& t : common::TokenizeKeywords(cv.AsText())) {
+              keep.insert(std::move(t));
+            }
+          }
+        }
+        std::unique_lock<std::shared_mutex> idx_lock(entry->latch);
+        for (const std::string& t : common::TokenizeKeywords(v.AsText())) {
+          // A single already-normalized token re-tokenizes to itself.
+          if (keep.count(t) == 0) entry->inverted->Remove(e.row, t);
+        }
         break;
       }
     }
@@ -408,7 +673,9 @@ Status Database::Delete(const std::string& table, RowId row) {
   w.PutU8(static_cast<uint8_t>(Op::kDelete));
   w.PutString(table);
   w.PutU64(row);
-  return Log(w.buffer());
+  XQ_RETURN_IF_ERROR(Log(w.buffer()));
+  if (guard_depth_ == 0) FinishWriteBatch();
+  return Status::OK();
 }
 
 Status Database::DeleteInternal(const std::string& table, RowId row) {
@@ -416,9 +683,13 @@ Status Database::DeleteInternal(const std::string& table, RowId row) {
   if (it == tables_.end()) return Status::NotFound("no such table: " + table);
   TableInfo& info = it->second;
   XQ_ASSIGN_OR_RETURN(const Tuple* tuple, info.table->Get(row));
-  IndexErase(&info, row, *tuple);
-  XQ_RETURN_IF_ERROR(info.table->Delete(row));
-  ++info.mutations_since_analyze;
+  Tuple saved = *tuple;
+  XQ_RETURN_IF_ERROR(info.table->Delete(row, write_epoch()));
+  // Index entries stay until reclamation: a pinned snapshot below this
+  // epoch must still find the row through index-driven plans.
+  retired_index_.push_back({table, row, std::move(saved), write_epoch()});
+  MarkDirty();
+  info.mutations_since_analyze.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -431,7 +702,9 @@ Status Database::Update(const std::string& table, RowId row, Tuple tuple) {
   w.PutString(table);
   w.PutU64(row);
   EncodeTuple(*stored, &w);
-  return Log(w.buffer());
+  XQ_RETURN_IF_ERROR(Log(w.buffer()));
+  if (guard_depth_ == 0) FinishWriteBatch();
+  return Status::OK();
 }
 
 Status Database::UpdateInternal(const std::string& table, RowId row,
@@ -441,21 +714,25 @@ Status Database::UpdateInternal(const std::string& table, RowId row,
   TableInfo& info = it->second;
   XQ_ASSIGN_OR_RETURN(const Tuple* old_tuple, info.table->Get(row));
   Tuple saved = *old_tuple;
-  IndexErase(&info, row, saved);
-  Status s = info.table->Update(row, std::move(tuple));
-  if (!s.ok()) {
-    XQ_RETURN_IF_ERROR(IndexInsert(&info, row, saved));
-    return s;
-  }
+  Status s = info.table->Update(row, std::move(tuple), write_epoch());
+  if (!s.ok()) return s;  // nothing applied, indexes untouched
   XQ_ASSIGN_OR_RETURN(const Tuple* stored, info.table->Get(row));
   s = IndexInsert(&info, row, *stored);
   if (!s.ok()) {
-    // Unique violation against the new value: restore the old row.
-    XQ_RETURN_IF_ERROR(info.table->Update(row, saved));
-    XQ_RETURN_IF_ERROR(IndexInsert(&info, row, saved));
+    // Unique violation against the new value: restore the old row (one
+    // more version — snapshot readers in between see the epoch-stamped
+    // intermediate as deleted, never half-applied). The old index
+    // entries were never erased, so the indexes already match the
+    // restored head.
+    XQ_RETURN_IF_ERROR(info.table->Update(row, saved, write_epoch()));
+    MarkDirty();
     return s;
   }
-  ++info.mutations_since_analyze;
+  // The superseded version's keys are erased lazily at reclamation; the
+  // per-index guard there keeps any key the new head still shares.
+  retired_index_.push_back({table, row, std::move(saved), write_epoch()});
+  MarkDirty();
+  info.mutations_since_analyze.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -473,7 +750,9 @@ Status Database::Analyze(const std::string& table) {
   w.PutU8(static_cast<uint8_t>(Op::kSetStats));
   w.PutString(table);
   EncodeTableStats(stats, &w);
-  return Log(w.buffer());
+  XQ_RETURN_IF_ERROR(Log(w.buffer()));
+  if (guard_depth_ == 0) FinishWriteBatch();
+  return Status::OK();
 }
 
 Status Database::SetStatsInternal(const std::string& table, TableStats stats) {
@@ -482,11 +761,14 @@ Status Database::SetStatsInternal(const std::string& table, TableStats stats) {
   if (stats.columns.size() != it->second.table->schema().size()) {
     return Status::Corruption("stats column count mismatch for " + table);
   }
-  it->second.stats = std::move(stats);
-  it->second.mutations_since_analyze = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    it->second.stats = std::make_shared<const TableStats>(std::move(stats));
+  }
+  it->second.mutations_since_analyze.store(0, std::memory_order_relaxed);
   size_t with_stats = 0;
   for (const auto& [name, info] : tables_) {
-    if (info.stats.has_value()) ++with_stats;
+    if (info.stats != nullptr) ++with_stats;
   }
   common::MetricsRegistry::Global()
       .GetGauge("rel.stats.tables_with_stats")
@@ -494,15 +776,19 @@ Status Database::SetStatsInternal(const std::string& table, TableStats stats) {
   return Status::OK();
 }
 
-const TableStats* Database::StatsFor(const std::string& table) const {
+std::shared_ptr<const TableStats> Database::StatsFor(
+    const std::string& table) const {
   auto it = tables_.find(table);
-  if (it == tables_.end() || !it->second.stats.has_value()) return nullptr;
-  return &*it->second.stats;
+  if (it == tables_.end()) return nullptr;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return it->second.stats;
 }
 
 uint64_t Database::MutationsSinceAnalyze(const std::string& table) const {
   auto it = tables_.find(table);
-  return it == tables_.end() ? 0 : it->second.mutations_since_analyze;
+  return it == tables_.end() ? 0
+                             : it->second.mutations_since_analyze.load(
+                                   std::memory_order_relaxed);
 }
 
 // --- lookup ----------------------------------------------------------
@@ -679,7 +965,9 @@ void Database::EncodeStateBody(BinaryWriter* body_ptr) const {
   for (const auto& [name, info] : tables_) {
     body.PutString(name);
     EncodeSchema(info.table->schema(), &body);
-    // Persist every slot (including tombstones) so RowIds survive.
+    // Persist every slot (including tombstones) so RowIds survive. Only
+    // the latest committed version of each slot is written: epochs and
+    // superseded versions are runtime state and restart at 1 on Open.
     size_t slots = info.table->num_slots();
     body.PutU64(slots);
     for (RowId row = 0; row < slots; ++row) {
@@ -694,10 +982,16 @@ void Database::EncodeStateBody(BinaryWriter* body_ptr) const {
     for (const auto& entry : info.indexes) {
       EncodeIndexDef(entry->def, &body);
     }
-    body.PutU8(info.stats.has_value() ? 1 : 0);
-    if (info.stats.has_value()) {
-      EncodeTableStats(*info.stats, &body);
-      body.PutU64(info.mutations_since_analyze);
+    std::shared_ptr<const TableStats> stats;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats = info.stats;
+    }
+    body.PutU8(stats != nullptr ? 1 : 0);
+    if (stats != nullptr) {
+      EncodeTableStats(*stats, &body);
+      body.PutU64(
+          info.mutations_since_analyze.load(std::memory_order_relaxed));
     }
   }
 }
@@ -775,9 +1069,9 @@ Status Database::DecodeStateBody(BinaryReader* r_ptr, bool has_lsn,
       XQ_ASSIGN_OR_RETURN(uint8_t live, r.GetU8());
       if (live != 0) {
         XQ_ASSIGN_OR_RETURN(Tuple tuple, DecodeTuple(&r));
-        table->RestoreSlot(std::move(tuple), /*live=*/true);
+        table->RestoreSlot(std::move(tuple), /*live=*/true, write_epoch());
       } else {
-        table->RestoreSlot(Tuple{}, /*live=*/false);
+        table->RestoreSlot(Tuple{}, /*live=*/false, write_epoch());
       }
     }
     XQ_ASSIGN_OR_RETURN(uint32_t nindexes, r.GetU32());
@@ -789,8 +1083,9 @@ Status Database::DecodeStateBody(BinaryReader* r_ptr, bool has_lsn,
     if (has_stats != 0) {
       XQ_ASSIGN_OR_RETURN(TableStats stats, DecodeTableStats(&r));
       XQ_RETURN_IF_ERROR(SetStatsInternal(name, std::move(stats)));
-      XQ_ASSIGN_OR_RETURN(tables_.find(name)->second.mutations_since_analyze,
-                          r.GetU64());
+      XQ_ASSIGN_OR_RETURN(uint64_t mutations, r.GetU64());
+      tables_.find(name)->second.mutations_since_analyze.store(
+          mutations, std::memory_order_relaxed);
     }
   }
   return Status::OK();
@@ -805,11 +1100,19 @@ Status Database::Checkpoint() {
 // --- replication -------------------------------------------------------
 
 Result<uint64_t> Database::InstallReplicaState(std::string_view state_body) {
-  tables_.clear();
-  BinaryReader r(state_body);
   uint64_t base_lsn = 0;
-  XQ_RETURN_IF_ERROR(DecodeStateBody(&r, /*has_lsn=*/true, &base_lsn));
+  {
+    // Catalog surgery: wait out every live snapshot, then rebuild.
+    std::unique_lock<std::shared_mutex> barrier(ddl_latch_);
+    tables_.clear();
+    BinaryReader r(state_body);
+    XQ_RETURN_IF_ERROR(DecodeStateBody(&r, /*has_lsn=*/true, &base_lsn));
+  }
   PublishLsn(base_lsn);
+  // The installed rows were stamped at write_epoch(): the epoch counter
+  // keeps rising monotonically across a bootstrap, so result-cache
+  // entries keyed on older epochs can never alias the new state.
+  MarkDirty();
   if (wal_ != nullptr) {
     // Persist the bootstrap as a checkpoint: a replica restart recovers
     // from the installed snapshot plus whatever it applied after, instead
@@ -817,6 +1120,7 @@ Result<uint64_t> Database::InstallReplicaState(std::string_view state_body) {
     wal_->set_next_lsn(base_lsn + 1);
     XQ_RETURN_IF_ERROR(Checkpoint());
   }
+  if (guard_depth_ == 0) FinishWriteBatch();
   return base_lsn;
 }
 
@@ -827,11 +1131,24 @@ Status Database::ApplyReplicated(uint64_t lsn, std::string_view payload) {
                               std::to_string(lsn) + ", expected " +
                               std::to_string(expected));
   }
-  XQ_RETURN_IF_ERROR(ReplayRecord(payload));
+  {
+    // Shipped DDL records mutate the catalog: take the snapshot barrier
+    // the way the public DDL entry points do. (DML records stamp
+    // versions and need no barrier.)
+    std::unique_lock<std::shared_mutex> barrier;
+    if (!payload.empty() &&
+        IsDdlOp(static_cast<uint8_t>(static_cast<unsigned char>(payload[0])))) {
+      barrier = std::unique_lock<std::shared_mutex>(ddl_latch_);
+    }
+    XQ_RETURN_IF_ERROR(ReplayRecord(payload));
+  }
+  MarkDirty();
   // Re-log locally: advances the LSN to exactly `lsn`, makes the record
   // durable on durable replicas, and feeds any chained sink (cascading
   // replication falls out for free).
-  return Log(payload);
+  XQ_RETURN_IF_ERROR(Log(payload));
+  if (guard_depth_ == 0) FinishWriteBatch();
+  return Status::OK();
 }
 
 }  // namespace xomatiq::rel

@@ -1,0 +1,65 @@
+#ifndef XOMATIQ_RELATIONAL_SNAPSHOT_H_
+#define XOMATIQ_RELATIONAL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace xomatiq::rel {
+
+class Database;
+
+// RAII read snapshot: a pinned committed epoch plus a shared hold on the
+// database's DDL barrier. While a Snapshot is alive,
+//   - every read made at epoch() sees exactly the state as of the last
+//     write batch committed before BeginSnapshot — concurrent DML, sync
+//     and replica apply are invisible to it;
+//   - version reclamation keeps its low-water mark at or below epoch(),
+//     so tuple pointers obtained from reads at this epoch stay valid;
+//   - catalog-shape DDL (CREATE/DROP TABLE or INDEX, replica bootstrap)
+//     blocks until release, so Table* / IndexEntry* stay valid too.
+//
+// Snapshots are cheap (one mutex-protected registry insert plus a shared
+// latch) but hold reclamation back and stall DDL: scope them to one
+// statement or one request, not to a connection's lifetime.
+//
+// Thread-affine: release on the thread that called BeginSnapshot (the
+// shared DDL latch is owned per-thread). Never begin a snapshot while
+// holding one on the same thread if DDL may run concurrently, and never
+// hold one across a WriteGuard that performs DDL — both can deadlock on
+// the DDL barrier.
+class Snapshot {
+ public:
+  Snapshot() = default;
+  Snapshot(Snapshot&& other) noexcept
+      : db_(std::exchange(other.db_, nullptr)), epoch_(other.epoch_) {}
+  Snapshot& operator=(Snapshot&& other) noexcept {
+    if (this != &other) {
+      Release();
+      db_ = std::exchange(other.db_, nullptr);
+      epoch_ = other.epoch_;
+    }
+    return *this;
+  }
+  ~Snapshot() { Release(); }
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  // The pinned committed epoch; pass to Table reads / ExecutorOptions.
+  uint64_t epoch() const { return epoch_; }
+  bool valid() const { return db_ != nullptr; }
+
+  // Early release (destructor equivalent); the handle becomes invalid.
+  void Release();
+
+ private:
+  friend class Database;
+  Snapshot(const Database* db, uint64_t epoch) : db_(db), epoch_(epoch) {}
+
+  const Database* db_ = nullptr;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace xomatiq::rel
+
+#endif  // XOMATIQ_RELATIONAL_SNAPSHOT_H_

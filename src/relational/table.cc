@@ -33,6 +33,23 @@ common::Counter* RowsFetchedCounter() {
 
 }  // namespace
 
+Table::~Table() {
+  // Readers are excluded by the time a table is destroyed (DDL holds the
+  // snapshot barrier), so plain walks are fine here.
+  uint64_t slots = num_slots_.load(std::memory_order_relaxed);
+  for (uint64_t s = 0; s < slots; ++s) {
+    FreeChain(SlotRef(s).load(std::memory_order_relaxed));
+  }
+}
+
+void Table::FreeChain(RowVersion* head) {
+  while (head != nullptr) {
+    RowVersion* prev = head->prev.load(std::memory_order_relaxed);
+    delete head;
+    head = prev;
+  }
+}
+
 Status Table::ValidateAndCoerce(Tuple* tuple) const {
   if (tuple->size() != schema_.size()) {
     return Status::InvalidArgument(
@@ -58,72 +75,190 @@ Status Table::ValidateAndCoerce(Tuple* tuple) const {
   return Status::OK();
 }
 
-Result<RowId> Table::Insert(Tuple tuple) {
+std::atomic<RowVersion*>& Table::SlotRef(uint64_t slot) const {
+  std::atomic<Chunk*>* dir = dir_.load(std::memory_order_acquire);
+  Chunk* chunk = dir[slot >> kChunkShift].load(std::memory_order_acquire);
+  return chunk->slots[slot & (kChunkSize - 1)];
+}
+
+RowId Table::AppendSlot(RowVersion* version) {
+  uint64_t slot = num_slots_.load(std::memory_order_relaxed);
+  size_t chunk_index = static_cast<size_t>(slot >> kChunkShift);
+  if (chunk_index >= chunks_.size()) {
+    if (chunk_index >= dir_capacity_) {
+      size_t cap = dir_capacity_ == 0 ? 8 : dir_capacity_ * 2;
+      auto fresh = std::make_unique<std::atomic<Chunk*>[]>(cap);
+      for (size_t i = 0; i < chunks_.size(); ++i) {
+        fresh[i].store(chunks_[i].get(), std::memory_order_relaxed);
+      }
+      for (size_t i = chunks_.size(); i < cap; ++i) {
+        fresh[i].store(nullptr, std::memory_order_relaxed);
+      }
+      dir_.store(fresh.get(), std::memory_order_release);
+      dir_capacity_ = cap;
+      dir_storage_.push_back(std::move(fresh));
+    }
+    chunks_.push_back(std::make_unique<Chunk>());
+    std::atomic<Chunk*>* dir = dir_.load(std::memory_order_relaxed);
+    dir[chunk_index].store(chunks_.back().get(), std::memory_order_release);
+  }
+  SlotRef(slot).store(version, std::memory_order_release);
+  // Publishing the count last is what lets readers index slot < n without
+  // any further checks: the directory, chunk and head stores above are
+  // all visible once this release store is observed.
+  num_slots_.store(slot + 1, std::memory_order_release);
+  return static_cast<RowId>(slot);
+}
+
+Result<RowId> Table::Insert(Tuple tuple, uint64_t epoch) {
   XQ_RETURN_IF_ERROR(ValidateAndCoerce(&tuple));
-  RowId row = rows_.size();
-  rows_.push_back(std::move(tuple));
-  deleted_.push_back(false);
-  ++live_count_;
+  auto* v = new RowVersion{std::move(tuple), epoch, kEpochMax, nullptr};
+  RowId row = AppendSlot(v);
+  live_count_.fetch_add(1, std::memory_order_release);
   return row;
 }
 
-Result<const Tuple*> Table::Get(RowId row) const {
-  if (!IsLive(row)) {
+RowId Table::RestoreSlot(Tuple tuple, bool live, uint64_t epoch) {
+  if (!live) {
+    // Dead slot: empty chain. The slot still occupies a RowId so later
+    // slots keep their positions.
+    return AppendSlot(nullptr);
+  }
+  auto* v = new RowVersion{std::move(tuple), epoch, kEpochMax, nullptr};
+  RowId row = AppendSlot(v);
+  live_count_.fetch_add(1, std::memory_order_release);
+  return row;
+}
+
+RowVersion* Table::Head(RowId row) const {
+  if (row >= num_slots_.load(std::memory_order_acquire)) return nullptr;
+  return SlotRef(row).load(std::memory_order_acquire);
+}
+
+const RowVersion* Table::VisibleVersion(RowId row, uint64_t epoch) const {
+  const RowVersion* v = Head(row);
+  while (v != nullptr && v->insert_epoch > epoch) {
+    v = v->prev.load(std::memory_order_acquire);
+  }
+  if (v == nullptr) return nullptr;
+  // A live version carries delete_epoch == kEpochMax; it must stay
+  // visible even when reading at kEpochMax itself (the writer-context
+  // "latest" view), where the strict > test alone would reject it.
+  const uint64_t del = v->delete_epoch.load(std::memory_order_acquire);
+  return (del == kEpochMax || del > epoch) ? v : nullptr;
+}
+
+Result<const Tuple*> Table::Get(RowId row, uint64_t epoch) const {
+  const RowVersion* v = VisibleVersion(row, epoch);
+  if (v == nullptr) {
     return Status::NotFound("row " + std::to_string(row) + " not live in " +
                             name_);
   }
   RowsFetchedCounter()->Inc();
-  return &rows_[static_cast<size_t>(row)];
+  return &v->tuple;
 }
 
-Status Table::Delete(RowId row) {
-  if (!IsLive(row)) {
+Status Table::Delete(RowId row, uint64_t epoch) {
+  RowVersion* head = Head(row);
+  if (head == nullptr ||
+      head->delete_epoch.load(std::memory_order_relaxed) != kEpochMax) {
     return Status::NotFound("row " + std::to_string(row) + " not live in " +
                             name_);
   }
-  size_t slot = static_cast<size_t>(row);
-  deleted_[slot] = true;
-  rows_[slot].clear();
-  rows_[slot].shrink_to_fit();
-  --live_count_;
+  head->delete_epoch.store(epoch, std::memory_order_release);
+  live_count_.fetch_sub(1, std::memory_order_release);
+  garbage_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
-Status Table::Update(RowId row, Tuple tuple) {
-  if (!IsLive(row)) {
+Status Table::Update(RowId row, Tuple tuple, uint64_t epoch) {
+  RowVersion* head = Head(row);
+  if (head == nullptr ||
+      head->delete_epoch.load(std::memory_order_relaxed) != kEpochMax) {
     return Status::NotFound("row " + std::to_string(row) + " not live in " +
                             name_);
   }
   XQ_RETURN_IF_ERROR(ValidateAndCoerce(&tuple));
-  rows_[static_cast<size_t>(row)] = std::move(tuple);
+  auto* fresh = new RowVersion{std::move(tuple), epoch, kEpochMax, head};
+  // Supersede before publishing the new head: a reader that loads the old
+  // head sees delete_epoch == epoch (> its pinned epoch, so still
+  // visible); a reader that loads the new head walks to the old one only
+  // when pinned below `epoch`, and the invariant
+  // prev->delete_epoch == cur->insert_epoch holds either way.
+  head->delete_epoch.store(epoch, std::memory_order_release);
+  SlotRef(row).store(fresh, std::memory_order_release);
+  garbage_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
-RowId Table::RestoreSlot(Tuple tuple, bool live) {
-  RowId row = rows_.size();
-  rows_.push_back(std::move(tuple));
-  deleted_.push_back(!live);
-  if (live) ++live_count_;
-  return row;
-}
-
-void Table::Scan(const std::function<bool(RowId, const Tuple&)>& visit) const {
-  ScanPartition(0, static_cast<RowId>(rows_.size()), visit);
+void Table::Scan(uint64_t epoch,
+                 const std::function<bool(RowId, const Tuple&)>& visit) const {
+  ScanPartition(epoch, 0, static_cast<RowId>(num_slots()), visit);
 }
 
 void Table::ScanPartition(
-    RowId first_slot, RowId last_slot,
+    uint64_t epoch, RowId first_slot, RowId last_slot,
     const std::function<bool(RowId, const Tuple&)>& visit) const {
-  RowId end = std::min(last_slot, static_cast<RowId>(rows_.size()));
+  RowId end = std::min(last_slot, static_cast<RowId>(num_slots()));
   uint64_t visited = 0;
   for (RowId row = first_slot; row < end; ++row) {
-    size_t slot = static_cast<size_t>(row);
-    if (deleted_[slot]) continue;
+    const RowVersion* v = VisibleVersion(row, epoch);
+    if (v == nullptr) continue;
     ++visited;
-    if (!visit(row, rows_[slot])) break;
+    if (!visit(row, v->tuple)) break;
   }
   ScansCounter()->Inc();
   RowsScannedCounter()->Inc(visited);
+}
+
+uint64_t Table::ReclaimSlots(uint64_t low_water,
+                             std::vector<RowVersion*>* retired) {
+  uint64_t unlinked = 0;
+  uint64_t slots = num_slots_.load(std::memory_order_relaxed);
+  for (uint64_t s = 0; s < slots; ++s) {
+    std::atomic<RowVersion*>& slot = SlotRef(s);
+    RowVersion* head = slot.load(std::memory_order_relaxed);
+    if (head == nullptr) continue;
+    if (head->delete_epoch.load(std::memory_order_relaxed) <= low_water) {
+      // The whole chain is invisible to every live and future snapshot:
+      // the slot becomes a dead slot. (Chains are delete-epoch-monotone
+      // newest to oldest, so one qualifying version qualifies its tail.)
+      slot.store(nullptr, std::memory_order_release);
+      for (RowVersion* v = head; v != nullptr;
+           v = v->prev.load(std::memory_order_relaxed)) {
+        ++unlinked;
+      }
+      retired->push_back(head);
+      continue;
+    }
+    RowVersion* cur = head;
+    while (RowVersion* prev = cur->prev.load(std::memory_order_relaxed)) {
+      if (prev->delete_epoch.load(std::memory_order_relaxed) <= low_water) {
+        cur->prev.store(nullptr, std::memory_order_release);
+        for (RowVersion* v = prev; v != nullptr;
+             v = v->prev.load(std::memory_order_relaxed)) {
+          ++unlinked;
+        }
+        retired->push_back(prev);
+        break;
+      }
+      cur = prev;
+    }
+  }
+  garbage_.fetch_sub(unlinked, std::memory_order_release);
+  return unlinked;
+}
+
+uint64_t Table::CountVersions() const {
+  uint64_t total = 0;
+  uint64_t slots = num_slots_.load(std::memory_order_relaxed);
+  for (uint64_t s = 0; s < slots; ++s) {
+    for (const RowVersion* v = SlotRef(s).load(std::memory_order_relaxed);
+         v != nullptr; v = v->prev.load(std::memory_order_relaxed)) {
+      ++total;
+    }
+  }
+  return total;
 }
 
 }  // namespace xomatiq::rel

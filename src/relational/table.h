@@ -1,7 +1,11 @@
 #ifndef XOMATIQ_RELATIONAL_TABLE_H_
 #define XOMATIQ_RELATIONAL_TABLE_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,14 +15,52 @@
 
 namespace xomatiq::rel {
 
-// Heap table: rows addressed by RowId (slot number). Deleted slots are
-// tombstoned, not compacted, so RowIds stay stable for indexes. Type and
-// NOT NULL checks happen on insert (with implicit numeric/text coercion,
-// like a permissive commercial engine).
+// Epoch used for "latest" reads: a writer (or any caller holding the
+// database write latch) reads at kEpochMax so it sees its own in-batch,
+// not-yet-published writes. Snapshot readers use the epoch captured by
+// rel::Snapshot instead.
+inline constexpr uint64_t kEpochMax = UINT64_MAX;
+
+// One immutable row version. A slot holds a newest-first singly linked
+// chain of versions; `tuple` and `insert_epoch` never change after the
+// version is published, `delete_epoch` is written exactly once (by the
+// writer that deletes or supersedes the version) and `prev` is only ever
+// cut (never retargeted) by reclamation.
+//
+// Visibility: a version is visible to a read at epoch E iff
+//   insert_epoch <= E && delete_epoch > E.
+// Chains keep the invariant prev->delete_epoch == cur->insert_epoch, so a
+// reader walking from the head stops at the first version with
+// insert_epoch <= E and never dereferences anything older — which is what
+// makes epoch-based reclamation of the tail safe while reads are in
+// flight (see Database::ReclaimVersions).
+struct RowVersion {
+  Tuple tuple;
+  uint64_t insert_epoch = 0;
+  std::atomic<uint64_t> delete_epoch{kEpochMax};
+  std::atomic<RowVersion*> prev{nullptr};
+};
+
+// Heap table: rows addressed by RowId (slot number). A slot is never
+// recycled — deletion stamps the newest version's delete_epoch and an
+// update pushes a new version onto the same slot — so RowIds stay stable
+// for indexes, snapshots and the WAL. Type and NOT NULL checks happen on
+// insert (with implicit numeric/text coercion, like a permissive
+// commercial engine).
+//
+// Concurrency: mutators (Insert/Delete/Update/RestoreSlot/ReclaimSlots)
+// must be serialized externally — in practice by the database write latch.
+// Readers (Get/IsLive/Scan/ScanPartition at an explicit epoch) are
+// latch-free: slot storage is a chunk directory published with
+// release/acquire atomics and grows without ever moving existing slots,
+// and version chains are immutable except for the single delete_epoch
+// store. A reader is safe as long as the epoch it reads at is pinned by a
+// live rel::Snapshot (which holds reclamation's low-water mark down).
 class Table {
  public:
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
+  ~Table();
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
@@ -26,50 +68,120 @@ class Table {
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
 
-  // Validates/coerces `tuple` against the schema and appends it.
-  common::Result<RowId> Insert(Tuple tuple);
+  // Validates/coerces `tuple` against the schema and appends it, stamped
+  // with insert_epoch = `epoch` (the writer's in-flight epoch).
+  common::Result<RowId> Insert(Tuple tuple, uint64_t epoch);
 
-  // Fetches a live row; NotFound for deleted/out-of-range slots.
-  common::Result<const Tuple*> Get(RowId row) const;
-  // Bounds-checked: RowId is 64-bit while slot counts are size_t, so the
-  // comparison is done in RowId width to stay exact on 32-bit size_t.
-  bool IsLive(RowId row) const {
-    return row < static_cast<RowId>(rows_.size()) &&
-           !deleted_[static_cast<size_t>(row)];
+  // Fetches the row version visible at `epoch`; NotFound when no version
+  // is visible (deleted, not yet inserted, or out of range).
+  common::Result<const Tuple*> Get(RowId row, uint64_t epoch = kEpochMax)
+      const;
+  bool IsLive(RowId row, uint64_t epoch = kEpochMax) const {
+    return VisibleVersion(row, epoch) != nullptr;
   }
 
-  // Tombstones a live row.
-  common::Status Delete(RowId row);
+  // Stamps the newest version's delete_epoch = `epoch`. NotFound when the
+  // row is not live at latest.
+  common::Status Delete(RowId row, uint64_t epoch);
 
-  // Replaces a live row in place (re-validated).
-  common::Status Update(RowId row, Tuple tuple);
+  // Pushes a new version (re-validated) onto the slot and supersedes the
+  // old one (old.delete_epoch = new.insert_epoch = `epoch`). Readers
+  // pinned below `epoch` keep seeing the old version.
+  common::Status Update(RowId row, Tuple tuple, uint64_t epoch);
 
-  // Visits live rows in RowId order; visitor returns false to stop.
-  void Scan(const std::function<bool(RowId, const Tuple&)>& visit) const;
+  // Visits rows visible at `epoch` in RowId order; visitor returns false
+  // to stop. The no-epoch overloads read at latest (kEpochMax) and exist
+  // for writer-context callers (index build, ANALYZE, state encode).
+  void Scan(uint64_t epoch,
+            const std::function<bool(RowId, const Tuple&)>& visit) const;
+  void Scan(const std::function<bool(RowId, const Tuple&)>& visit) const {
+    Scan(kEpochMax, visit);
+  }
 
-  // Visits live rows with first_slot <= RowId < last_slot in RowId order;
-  // bounds are clamped to [0, num_slots()). Contiguous partitions cover
-  // the table exactly once, so parallel scan workers can each take a
-  // disjoint slot range and the concatenation preserves RowId order.
-  void ScanPartition(RowId first_slot, RowId last_slot,
+  // Visits visible rows with first_slot <= RowId < last_slot in RowId
+  // order; bounds are clamped to [0, num_slots()). Contiguous partitions
+  // cover the table exactly once, so parallel scan workers can each take
+  // a disjoint slot range and the concatenation preserves RowId order.
+  void ScanPartition(uint64_t epoch, RowId first_slot, RowId last_slot,
                      const std::function<bool(RowId, const Tuple&)>& visit)
       const;
+  void ScanPartition(RowId first_slot, RowId last_slot,
+                     const std::function<bool(RowId, const Tuple&)>& visit)
+      const {
+    ScanPartition(kEpochMax, first_slot, last_slot, visit);
+  }
 
   // Appends a slot verbatim during snapshot restore; skips validation so
-  // tombstoned slots keep their positions and RowIds stay stable.
-  RowId RestoreSlot(Tuple tuple, bool live);
+  // tombstoned slots keep their positions and RowIds stay stable. A dead
+  // slot is restored with an empty version chain.
+  RowId RestoreSlot(Tuple tuple, bool live, uint64_t epoch);
 
-  size_t num_live_rows() const { return live_count_; }
-  size_t num_slots() const { return rows_.size(); }
+  // Unlinks every version whose delete_epoch <= low_water (invisible to
+  // all live and future snapshots) and appends the detached sub-chains to
+  // `retired`; freeing them is the caller's job once no reader registered
+  // before the unlink can still hold a pointer into them (the database
+  // defers the delete behind the snapshot registry). Returns the number
+  // of versions unlinked. Caller must hold the write latch AND the
+  // snapshot-registry mutex (the registry mutex is what orders later
+  // snapshot registrations after the unlink stores).
+  uint64_t ReclaimSlots(uint64_t low_water, std::vector<RowVersion*>* retired);
+
+  // Rows visible at latest (maintained by the mutators; atomic so the
+  // planner reads it latch-free).
+  size_t num_live_rows() const {
+    return live_count_.load(std::memory_order_acquire);
+  }
+  // Published slot count; readers never touch slots at or above it.
+  size_t num_slots() const {
+    return static_cast<size_t>(num_slots_.load(std::memory_order_acquire));
+  }
+  // Superseded/deleted versions not yet reclaimed (reclamation trigger and
+  // the rel.mvcc.garbage_versions gauge feed off this).
+  uint64_t garbage_versions() const {
+    return garbage_.load(std::memory_order_acquire);
+  }
+  // Total versions reachable from the slots (test/debug introspection;
+  // writer context only — it walks chains non-atomically).
+  uint64_t CountVersions() const;
+
+  // Frees a chain detached by ReclaimSlots (newest-to-oldest walk).
+  static void FreeChain(RowVersion* head);
 
  private:
+  // 1024 slots per chunk: slot addresses never move as the table grows,
+  // which is what lets readers hold Tuple pointers across growth.
+  static constexpr size_t kChunkShift = 10;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+  struct Chunk {
+    std::array<std::atomic<RowVersion*>, kChunkSize> slots{};
+  };
+
   common::Status ValidateAndCoerce(Tuple* tuple) const;
+  // First version of `row`'s chain visible at `epoch`; nullptr when none.
+  const RowVersion* VisibleVersion(RowId row, uint64_t epoch) const;
+  // Newest version of a slot (writer context).
+  RowVersion* Head(RowId row) const;
+  std::atomic<RowVersion*>& SlotRef(uint64_t slot) const;
+  // Appends a fresh version in a new slot (storage growth, head install,
+  // slot-count publish).
+  RowId AppendSlot(RowVersion* version);
 
   std::string name_;
   Schema schema_;
-  std::vector<Tuple> rows_;
-  std::vector<bool> deleted_;
-  size_t live_count_ = 0;
+
+  // Chunk directory: an atomic pointer to an array of atomic chunk
+  // pointers. Growth allocates a larger array, copies the chunk pointers
+  // and republishes; superseded arrays are parked in dir_storage_ until
+  // destruction so readers holding the old directory stay valid (the
+  // doubling schedule bounds the waste at ~one extra pointer per chunk).
+  std::atomic<std::atomic<Chunk*>*> dir_{nullptr};
+  size_t dir_capacity_ = 0;  // writer-only
+  std::vector<std::unique_ptr<std::atomic<Chunk*>[]>> dir_storage_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;  // writer-only ownership
+
+  std::atomic<uint64_t> num_slots_{0};
+  std::atomic<size_t> live_count_{0};
+  std::atomic<uint64_t> garbage_{0};
 };
 
 }  // namespace xomatiq::rel

@@ -67,10 +67,11 @@ Status ReplicationServer::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
-  // Attach the sink under the exclusive latch: writers invoke it while
-  // holding the same latch, so this is the only safe publication point.
+  // Attach the sink under the exclusive write latch: writers invoke it
+  // while holding the same latch, so this is the only safe publication
+  // point (WriteGuard publishes nothing here — no rows are stamped).
   {
-    std::unique_lock<std::shared_mutex> lk(db_->latch());
+    rel::WriteGuard guard(db_);
     db_->SetWalSink(
         [this](uint64_t lsn, std::string_view payload) {
           OnRecord(lsn, payload);
@@ -96,7 +97,7 @@ void ReplicationServer::Shutdown() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::unique_lock<std::shared_mutex> lk(db_->latch());
+    rel::WriteGuard guard(db_);
     db_->SetWalSink(nullptr);
   }
   std::vector<std::thread> threads;

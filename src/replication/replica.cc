@@ -306,7 +306,9 @@ Status ReplicaApplier::HandleSnapshot(const ReplMsg& msg) {
       common::MetricsRegistry::Global().GetHistogram("repl.snapshot_install");
   {
     common::TraceSpan span("repl.snapshot_install", install_hist);
-    std::unique_lock<std::shared_mutex> latch(db_->latch());
+    // WriteGuard: the installed state publishes as one epoch; snapshot
+    // readers on the replica flip atomically from old to new state.
+    rel::WriteGuard guard(db_);
     XQ_RETURN_IF_ERROR(db_->InstallReplicaState(msg.payload).status());
   }
   if (options_.invalidate) options_.invalidate("");
@@ -337,7 +339,10 @@ Status ReplicaApplier::HandleRecord(const ReplMsg& msg) {
       rel::Database::SummarizeWalRecord(msg.payload);
   {
     common::TraceSpan span("repl.apply", apply_hist);
-    std::unique_lock<std::shared_mutex> latch(db_->latch());
+    // WriteGuard: replica reads run under snapshots, so each applied
+    // record becomes visible atomically on guard release — concurrent
+    // with, never blocking, replica-side readers.
+    rel::WriteGuard guard(db_);
     if (!summary.ok()) {
       invalidation = "";  // unknown record shape: evict everything
     } else if (summary->is_stats) {

@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "common/query_log.h"
+#include "common/query_request.h"
 #include "common/trace.h"
 #include "relational/serde.h"
 #include "xml/writer.h"
@@ -17,23 +18,6 @@ using common::Result;
 using common::Status;
 
 namespace {
-
-std::string FirstKeyword(std::string_view text) {
-  size_t i = text.find_first_not_of(" \t\r\n");
-  std::string word;
-  for (; i != std::string_view::npos && i < text.size(); ++i) {
-    char c = text[i];
-    if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))) break;
-    if (c >= 'A' && c <= 'Z') c += 'a' - 'A';
-    word.push_back(c);
-  }
-  return word;
-}
-
-bool IsMutation(std::string_view keyword) {
-  return keyword == "insert" || keyword == "update" || keyword == "delete" ||
-         keyword == "create" || keyword == "drop";
-}
 
 // Serves a cached body under `id`, marking it as a cache hit by patching
 // the single flags byte — the rows themselves are reused verbatim.
@@ -56,11 +40,30 @@ std::string Finish(uint64_t id, std::string body) {
 
 }  // namespace
 
+std::string FirstSqlKeyword(std::string_view text) {
+  size_t i = text.find_first_not_of(" \t\r\n");
+  std::string word;
+  for (; i != std::string_view::npos && i < text.size(); ++i) {
+    char c = text[i];
+    if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))) break;
+    if (c >= 'A' && c <= 'Z') c += 'a' - 'A';
+    word.push_back(c);
+  }
+  return word;
+}
+
+bool IsSqlMutation(std::string_view keyword) {
+  return keyword == "insert" || keyword == "update" || keyword == "delete" ||
+         keyword == "create" || keyword == "drop";
+}
+
 QueryService::QueryService(hounds::Warehouse* warehouse,
                            ServiceOptions options)
     : warehouse_(warehouse),
       xomatiq_(warehouse),
       options_(std::move(options)) {
+  // Session id 0 = the internal "sessionless" session behind Handle().
+  default_session_ = std::shared_ptr<Session>(new Session(this, 0));
   if (options_.cache != nullptr) {
     // Weak capture: the subscription is never removed (see
     // Warehouse::Subscribe), but the cache may be dropped first.
@@ -71,66 +74,15 @@ QueryService::QueryService(hounds::Warehouse* warehouse,
   }
 }
 
+QueryService::~QueryService() = default;
+
+std::shared_ptr<Session> QueryService::StartSession() {
+  uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::shared_ptr<Session>(new Session(this, id));
+}
+
 std::string QueryService::Handle(const Request& request) {
-  static common::Counter* requests =
-      common::MetricsRegistry::Global().GetCounter("server.requests");
-  static common::Gauge* inflight =
-      common::MetricsRegistry::Global().GetGauge("server.inflight");
-  requests->Inc();
-  inflight->Add(1);
-  // Outermost query-log scope: owns the record for this request; the
-  // engine layers below annotate plan fingerprint / est-vs-actual rows.
-  common::QueryLogScope qlog(request.text, RequestModeName(request.mode));
-  if (common::QueryLogRecord* rec = common::QueryLogScope::Current()) {
-    rec->trace_id = request.options.trace_id;
-  }
-  common::QueryOptions opts = request.options;
-  if (opts.deadline_ms == 0) opts.deadline_ms = options_.default_deadline_ms;
-  // Trace when the client asked, and opportunistically for a sampled
-  // slice of ordinary requests so some slow-query-log entries carry a
-  // trace without the operator having planned ahead.
-  const bool sampled = common::QueryLog::Global().ShouldSampleTrace();
-  std::string reply;
-  if (!opts.trace && !sampled) {
-    reply = Dispatch(request, opts);
-  } else {
-    // Traced request: install a per-request Trace for this worker thread,
-    // keep the Chrome JSON for LastTraceJson / the trace ring, and mark
-    // the response.
-    common::Trace trace;
-    trace.set_trace_id(opts.trace_id);
-    {
-      common::TraceScope scope(&trace);
-      reply = Dispatch(request, opts);
-    }
-    std::string json = trace.ToChromeJson(/*pid=*/1);
-    if (common::QueryLogRecord* rec = common::QueryLogScope::Current()) {
-      rec->trace_json = json;  // dropped on append unless the query is slow
-    }
-    {
-      std::lock_guard lock(trace_mu_);
-      // Only explicit traces update the operator's last-trace slot.
-      if (opts.trace) last_trace_json_ = json;
-      recent_traces_.emplace_front(opts.trace_id, std::move(json));
-      if (recent_traces_.size() > kTraceRingCap) recent_traces_.pop_back();
-    }
-    if (opts.trace) {
-      // Reply layout: u64 id | u8 status | (u8 kind | u8 flags | ...).
-      // Patch the flags byte of OK responses the same way ServeCached does.
-      constexpr size_t kReplyFlags = 8 + kFlagsOffset;
-      if (reply.size() > kReplyFlags && reply[8] == 0) {
-        reply[kReplyFlags] = static_cast<char>(
-            static_cast<uint8_t>(reply[kReplyFlags]) | kFlagTraced);
-      }
-    }
-  }
-  // Stamp error status on the record (the SQL engine already does this for
-  // its own failures; XQ translation errors and bad modes land here).
-  if (common::QueryLogRecord* rec = common::QueryLogScope::Current()) {
-    if (reply.size() > 8 && reply[8] != 0) rec->ok = false;
-  }
-  inflight->Add(-1);
-  return reply;
+  return default_session_->Handle(request);
 }
 
 std::string QueryService::LastTraceJson() const {
@@ -152,44 +104,29 @@ std::string QueryService::TraceJsonFor(uint64_t trace_id) const {
   return "";
 }
 
+void QueryService::RecordTrace(bool explicit_trace, uint64_t trace_id,
+                               std::string json) {
+  std::lock_guard lock(trace_mu_);
+  // Only explicit traces update the operator's last-trace slot.
+  if (explicit_trace) last_trace_json_ = json;
+  recent_traces_.emplace_front(trace_id, std::move(json));
+  if (recent_traces_.size() > kTraceRingCap) recent_traces_.pop_back();
+}
+
 std::string QueryService::Dispatch(const Request& request,
-                                   const common::QueryOptions& opts) {
+                                   const common::QueryOptions& opts,
+                                   std::optional<uint64_t> read_epoch) {
   static common::Histogram* latency =
       common::MetricsRegistry::Global().GetHistogram(
           "server.request_latency_us");
   common::TraceSpan span("server.request", latency);
-  // Read-your-writes gate: a data read carrying a min_lsn token must not
-  // observe state older than that position. Wait briefly for replication
-  // to catch up, then refuse with kLagging (the client reads elsewhere).
-  if (opts.min_lsn != 0 &&
-      (request.mode == RequestMode::kSql || request.mode == RequestMode::kXq ||
-       request.mode == RequestMode::kXqXml)) {
-    uint64_t applied = warehouse_->db()->applied_lsn();
-    if (applied < opts.min_lsn) {
-      bool reached =
-          options_.wait_for_lsn != nullptr &&
-          options_.wait_for_lsn(opts.min_lsn, options_.min_lsn_wait_ms);
-      if (!reached) {
-        static common::Counter* lagging =
-            common::MetricsRegistry::Global().GetCounter(
-                "server.lagging_rejected");
-        lagging->Inc();
-        return EncodeErrorResponse(
-            request.id,
-            Status::Lagging("replica at lsn " +
-                            std::to_string(warehouse_->db()->applied_lsn()) +
-                            " behind requested min_lsn " +
-                            std::to_string(opts.min_lsn)));
-      }
-    }
-  }
   switch (request.mode) {
     case RequestMode::kSql:
-      return HandleSql(request, opts);
+      return HandleSql(request, opts, read_epoch);
     case RequestMode::kXq:
-      return HandleXq(request, /*as_xml=*/false, opts);
+      return HandleXq(request, /*as_xml=*/false, opts, read_epoch);
     case RequestMode::kXqXml:
-      return HandleXq(request, /*as_xml=*/true, opts);
+      return HandleXq(request, /*as_xml=*/true, opts, read_epoch);
     case RequestMode::kExplain: {
       Result<std::string> text = xomatiq_.Explain(request.text);
       if (!text.ok()) return EncodeErrorResponse(request.id, text.status());
@@ -223,10 +160,11 @@ std::string QueryService::Dispatch(const Request& request,
 }
 
 std::string QueryService::HandleSql(const Request& request,
-                                    const common::QueryOptions& opts) {
+                                    const common::QueryOptions& opts,
+                                    std::optional<uint64_t> read_epoch) {
   ResultCache* cache = options_.cache.get();
-  const std::string keyword = FirstKeyword(request.text);
-  if (options_.read_only && (IsMutation(keyword) || keyword == "analyze")) {
+  const std::string keyword = FirstSqlKeyword(request.text);
+  if (options_.read_only && (IsSqlMutation(keyword) || keyword == "analyze")) {
     static common::Counter* rejected =
         common::MetricsRegistry::Global().GetCounter(
             "server.read_only_rejected");
@@ -235,21 +173,24 @@ std::string QueryService::HandleSql(const Request& request,
         request.id, Status::ReadOnly("replica is read-only; send " +
                                      keyword + " to the primary"));
   }
-  const bool cacheable =
-      cache != nullptr && keyword == "select" && !opts.bypass_cache;
+  // Cache entries are keyed on the pinned snapshot epoch, so a hit is
+  // byte-exact for the cut this request reads (no epoch = no caching).
+  const bool cacheable = cache != nullptr && keyword == "select" &&
+                         !opts.bypass_cache && read_epoch.has_value();
   std::string key;
   uint64_t generation = 0;
   if (cacheable) {
     key = ResultCache::MakeKey(static_cast<uint8_t>(request.mode),
-                               request.text);
+                               request.text, *read_epoch);
     generation = cache->generation();
     if (std::optional<std::string> body = cache->Lookup(key)) {
       if (auto* rec = common::QueryLogScope::Current()) rec->cache_hit = true;
       return ServeCached(request.id, *std::move(body));
     }
   }
-  Result<sql::QueryResult> result =
-      xomatiq_.engine()->Execute(request.text, opts);
+  common::QueryRequest qreq = common::QueryRequest::Sql(request.text, opts);
+  qreq.read_epoch = read_epoch;  // the Session owns the pinning Snapshot
+  Result<sql::QueryResult> result = xomatiq_.engine()->Execute(qreq);
   if (!result.ok()) return EncodeErrorResponse(request.id, result.status());
   Response response;
   response.id = request.id;
@@ -275,7 +216,7 @@ std::string QueryService::HandleSql(const Request& request,
     // SQL entries carry no collection tags: table-level dependencies are
     // not tracked, so they die on any warehouse change.
     cache->Insert(key, body, /*tags=*/{}, generation);
-  } else if (cache != nullptr && IsMutation(keyword)) {
+  } else if (cache != nullptr && IsSqlMutation(keyword)) {
     // A write went through this service; everything cached may be stale.
     cache->Clear();
   }
@@ -283,21 +224,28 @@ std::string QueryService::HandleSql(const Request& request,
 }
 
 std::string QueryService::HandleXq(const Request& request, bool as_xml,
-                                   const common::QueryOptions& opts) {
+                                   const common::QueryOptions& opts,
+                                   std::optional<uint64_t> read_epoch) {
   ResultCache* cache = options_.cache.get();
-  const bool use_cache = cache != nullptr && !opts.bypass_cache;
+  const bool use_cache =
+      cache != nullptr && !opts.bypass_cache && read_epoch.has_value();
   std::string key;
   uint64_t generation = 0;
   if (use_cache) {
     key = ResultCache::MakeKey(static_cast<uint8_t>(request.mode),
-                               request.text);
+                               request.text, *read_epoch);
     generation = cache->generation();
     if (std::optional<std::string> body = cache->Lookup(key)) {
       if (auto* rec = common::QueryLogScope::Current()) rec->cache_hit = true;
       return ServeCached(request.id, *std::move(body));
     }
   }
-  Result<xq::XqResult> result = xomatiq_.Execute(request.text, opts);
+  common::QueryRequest qreq;
+  qreq.mode = as_xml ? common::QueryMode::kXqXml : common::QueryMode::kXq;
+  qreq.text = request.text;
+  qreq.options = opts;
+  qreq.read_epoch = read_epoch;  // the Session owns the pinning Snapshot
+  Result<xq::XqResult> result = xomatiq_.Execute(qreq);
   if (!result.ok()) return EncodeErrorResponse(request.id, result.status());
   Response response;
   response.id = request.id;

@@ -1,10 +1,13 @@
 #ifndef XOMATIQ_SERVER_QUERY_SERVICE_H_
 #define XOMATIQ_SERVER_QUERY_SERVICE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,6 +16,7 @@
 #include "datahounds/warehouse.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
+#include "server/session.h"
 #include "xomatiq/xomatiq.h"
 
 namespace xomatiq::srv {
@@ -36,7 +40,7 @@ struct ServiceOptions {
   bool read_only = false;
   // Read-your-writes support: called as (min_lsn, budget_ms) when a
   // request carries a min_lsn the database has not reached; returns true
-  // once applied_lsn >= min_lsn, false on timeout (the request is then
+  // once the position is visible, false on timeout (the request is then
   // refused with kLagging so the client can bounce to the primary).
   // Unset = never wait; a stale read is refused immediately. Wired to
   // ReplicaApplier::WaitForLsn on replicas.
@@ -46,23 +50,33 @@ struct ServiceOptions {
   uint32_t min_lsn_wait_ms = 100;
 };
 
+// SQL keyword helpers shared by the service and Session: the first
+// leading identifier of `text`, lowercased ("" when it opens with
+// something else), and whether that keyword mutates.
+std::string FirstSqlKeyword(std::string_view text);
+bool IsSqlMutation(std::string_view keyword);
+
 // Transport-independent request handler: one instance per server, shared
-// by every session/worker. Maps a decoded Request to a fully encoded
-// response frame body (request id + response body).
+// by every connection. Per-request orchestration (query-log scope, trace,
+// min_lsn gate, snapshot pin) lives in Session; this class owns what is
+// genuinely shared — the engine stack, the result cache, the trace ring —
+// plus the mode dispatch.
 //
-// Thread-safety: Handle() may run on many worker threads at once. The
-// underlying SqlEngine takes the database statement latch per statement
-// (shared for reads, exclusive for writes); the cache has its own leaf
-// mutex. Handle() itself keeps no mutable per-request state.
+// Thread-safety: Dispatch may run on many worker threads at once. Reads
+// run against pinned snapshots (no latch); writes serialize on the
+// database write latch via the engine's WriteGuard; the cache has its own
+// leaf mutex. No mutable per-request state is kept here.
 class QueryService {
  public:
   QueryService(hounds::Warehouse* warehouse, ServiceOptions options = {});
+  ~QueryService();
 
-  // Never throws and never fails: any error becomes an encoded error
-  // response carrying the request id. Request options are honored here:
-  // deadline (request's own, else the service default) flows to the
-  // engine, bypass_cache skips both cache probe and install, trace wraps
-  // the request in a Trace whose Chrome JSON LastTraceJson() returns.
+  // Opens a logical session. The server creates one per accepted wire
+  // connection; its Handle() is the request entry point.
+  std::shared_ptr<Session> StartSession();
+
+  // Back-compat one-shot entry point: routes through an internal
+  // "sessionless" Session (id 0). Same semantics as Session::Handle.
   std::string Handle(const Request& request);
 
   // Chrome trace_event JSON of the most recent traced request ("" when no
@@ -84,20 +98,29 @@ class QueryService {
   xq::XomatiQ* xomatiq() { return &xomatiq_; }
 
  private:
+  friend class Session;
+
   // The mode dispatch, with the effective (defaulted) options applied.
+  // `read_epoch` is the snapshot epoch the owning Session pinned for this
+  // request (nullopt for mutations and non-data modes).
   std::string Dispatch(const Request& request,
-                       const common::QueryOptions& opts);
-  // Cache-aware execution shared by the SQL and XQ paths: probe with
-  // `key` (empty = uncacheable), else run `execute` and install the
-  // encoded body tagged with the collections it read.
+                       const common::QueryOptions& opts,
+                       std::optional<uint64_t> read_epoch);
   std::string HandleSql(const Request& request,
-                        const common::QueryOptions& opts);
+                        const common::QueryOptions& opts,
+                        std::optional<uint64_t> read_epoch);
   std::string HandleXq(const Request& request, bool as_xml,
-                       const common::QueryOptions& opts);
+                       const common::QueryOptions& opts,
+                       std::optional<uint64_t> read_epoch);
+  // Stores a finished request trace: the ring always, the operator's
+  // last-trace slot only when the client explicitly asked.
+  void RecordTrace(bool explicit_trace, uint64_t trace_id, std::string json);
 
   hounds::Warehouse* warehouse_;
   xq::XomatiQ xomatiq_;
   ServiceOptions options_;
+  std::atomic<uint64_t> next_session_id_{1};
+  std::shared_ptr<Session> default_session_;
   mutable std::mutex trace_mu_;
   std::string last_trace_json_;
   // Newest-first ring of recent request traces, capped at kTraceRingCap.

@@ -31,10 +31,13 @@ struct CacheMetrics {
 
 }  // namespace
 
-std::string ResultCache::MakeKey(uint8_t mode, std::string_view query_text) {
+std::string ResultCache::MakeKey(uint8_t mode, std::string_view query_text,
+                                 uint64_t epoch) {
   std::string key;
-  key.reserve(query_text.size() + 2);
+  key.reserve(query_text.size() + 24);
   key.push_back(static_cast<char>('0' + mode));
+  key.push_back('@');
+  key += std::to_string(epoch);
   key.push_back(':');
   bool pending_space = false;
   for (char c : query_text) {

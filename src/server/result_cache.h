@@ -36,11 +36,18 @@ class ResultCache {
  public:
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
-  // Whitespace-collapsed query text prefixed by the mode tag, so
-  // "SELECT  *\nFROM t" and "select * from t" share an entry only when
-  // byte-identical after normalization (case is preserved: string
-  // literals are case-sensitive).
-  static std::string MakeKey(uint8_t mode, std::string_view query_text);
+  // Whitespace-collapsed query text prefixed by the mode tag and the
+  // snapshot epoch the query reads at, so "SELECT  *\nFROM t" and
+  // "select * from t" share an entry only when byte-identical after
+  // normalization (case is preserved: string literals are
+  // case-sensitive) AND pinned to the same committed epoch. Epoch keying
+  // makes a hit byte-exact for the snapshot the request would otherwise
+  // execute against; entries for superseded epochs age out via LRU (and
+  // via tag/generation invalidation, which still fires on every change).
+  // Epochs never alias across a replica snapshot install — the epoch
+  // counter is kept monotone.
+  static std::string MakeKey(uint8_t mode, std::string_view query_text,
+                             uint64_t epoch);
 
   uint64_t generation() const {
     return generation_.load(std::memory_order_acquire);

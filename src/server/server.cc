@@ -41,7 +41,7 @@ struct ServerMetrics {
 
 }  // namespace
 
-QueryServer::Session::~Session() {
+QueryServer::Conn::~Conn() {
   if (fd >= 0) ::close(fd);
 }
 
@@ -232,11 +232,11 @@ void QueryServer::Shutdown() {
     listen_fd_ = -1;
   }
   {
-    // Half-close live sessions: readers see EOF and exit, while sockets
-    // stay writable for responses still in flight.
+    // Half-close live connections: readers see EOF and exit, while
+    // sockets stay writable for responses still in flight.
     std::lock_guard lock(sessions_mu_);
-    for (auto& [id, session] : sessions_) {
-      ::shutdown(session->fd, SHUT_RD);
+    for (auto& [id, conn] : sessions_) {
+      ::shutdown(conn->fd, SHUT_RD);
     }
   }
   if (pool_ != nullptr) pool_->Drain();
@@ -265,27 +265,27 @@ void QueryServer::AcceptLoop() {
       tv.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
       ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     }
-    auto session = std::make_shared<Session>();
-    session->fd = fd;
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->session = service_.StartSession();
     ServerMetrics::Get().connections->Inc();
     std::lock_guard lock(sessions_mu_);
     if (stopping_.load(std::memory_order_acquire)) {
-      return;  // raced with Shutdown; ~Session closes the socket
+      return;  // raced with Shutdown; ~Conn closes the socket
     }
-    session->id = next_session_id_++;
-    sessions_[session->id] = session;
+    conn->id = next_session_id_++;
+    sessions_[conn->id] = conn;
     ServerMetrics::Get().active_sessions->Set(
         static_cast<int64_t>(sessions_.size()));
-    session_threads_.emplace_back(
-        [this, session] { SessionLoop(session); });
+    session_threads_.emplace_back([this, conn] { SessionLoop(conn); });
   }
 }
 
-void QueryServer::SessionLoop(std::shared_ptr<Session> session) {
+void QueryServer::SessionLoop(std::shared_ptr<Conn> conn) {
   bool first_frame = true;
   while (true) {
     common::Result<std::string> frame =
-        ReadFrame(session->fd, options_.max_frame_bytes);
+        ReadFrame(conn->fd, options_.max_frame_bytes);
     if (frame.ok()) {
       // Fault point server.session.read: fail a successfully read frame
       // as if the socket read itself had failed.
@@ -299,8 +299,8 @@ void QueryServer::SessionLoop(std::shared_ptr<Session> session) {
         // Timeout / oversized / corrupt: tell the peer why (best effort —
         // it may already be gone), then drop the connection.
         std::string reply = EncodeErrorResponse(0, frame.status());
-        std::lock_guard lock(session->write_mu);
-        WriteFrame(session->fd, reply);
+        std::lock_guard lock(conn->write_mu);
+        WriteFrame(conn->fd, reply);
       }
       break;
     }
@@ -310,8 +310,8 @@ void QueryServer::SessionLoop(std::shared_ptr<Session> session) {
         common::Result<Hello> hello = DecodeHello(*frame);
         if (!hello.ok()) {
           std::string reply = EncodeErrorResponse(0, hello.status());
-          std::lock_guard lock(session->write_mu);
-          WriteFrame(session->fd, reply);
+          std::lock_guard lock(conn->write_mu);
+          WriteFrame(conn->fd, reply);
           break;
         }
         if (hello->major != kProtocolMajor) {
@@ -321,15 +321,15 @@ void QueryServer::SessionLoop(std::shared_ptr<Session> session) {
                      std::to_string(hello->major) + " not supported (server " +
                      std::to_string(kProtocolMajor) + "." +
                      std::to_string(kProtocolMinor) + ")"));
-          std::lock_guard lock(session->write_mu);
-          WriteFrame(session->fd, reply);
+          std::lock_guard lock(conn->write_mu);
+          WriteFrame(conn->fd, reply);
           break;
         }
         Hello ack;
         ack.features = hello->features & kSupportedFeatures;
         std::string reply = EncodeHello(ack);
-        std::lock_guard lock(session->write_mu);
-        if (!WriteFrame(session->fd, reply).ok()) break;
+        std::lock_guard lock(conn->write_mu);
+        if (!WriteFrame(conn->fd, reply).ok()) break;
         continue;
       }
       // No magic: a legacy client's bare request — fall through and treat
@@ -338,35 +338,35 @@ void QueryServer::SessionLoop(std::shared_ptr<Session> session) {
     common::Result<Request> request = DecodeRequest(*frame);
     if (!request.ok()) {
       std::string reply = EncodeErrorResponse(0, request.status());
-      std::lock_guard lock(session->write_mu);
-      WriteFrame(session->fd, reply);
+      std::lock_guard lock(conn->write_mu);
+      WriteFrame(conn->fd, reply);
       break;  // framing is suspect; don't trust subsequent bytes
     }
     const uint64_t id = request->id;
     bool admitted = pool_->TryEnqueue(
-        [this, session, request = *std::move(request)] {
-          std::string reply = service_.Handle(request);
+        [conn, request = *std::move(request)] {
+          std::string reply = conn->session->Handle(request);
           // Fault point server.session.write: drop the response and sever
           // the connection, as a worker crashing between execution and
           // reply would; the client's retry layer must reconnect+resend.
           if (common::FaultInjector::Global().ShouldFail(
                   "server.session.write")) {
-            ::shutdown(session->fd, SHUT_RDWR);
+            ::shutdown(conn->fd, SHUT_RDWR);
             return;
           }
-          std::lock_guard lock(session->write_mu);
-          WriteFrame(session->fd, reply);
+          std::lock_guard lock(conn->write_mu);
+          WriteFrame(conn->fd, reply);
         });
     if (!admitted) {
       ServerMetrics::Get().rejected->Inc();
       std::string reply = EncodeErrorResponse(
           id, Status::Overloaded("admission queue full; retry later"));
-      std::lock_guard lock(session->write_mu);
-      if (!WriteFrame(session->fd, reply).ok()) break;
+      std::lock_guard lock(conn->write_mu);
+      if (!WriteFrame(conn->fd, reply).ok()) break;
     }
   }
   std::lock_guard lock(sessions_mu_);
-  sessions_.erase(session->id);
+  sessions_.erase(conn->id);
   ServerMetrics::Get().active_sessions->Set(
       static_cast<int64_t>(sessions_.size()));
 }

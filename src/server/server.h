@@ -47,10 +47,11 @@ struct ServerOptions {
 //
 // Threading model (see DESIGN.md "Service layer"):
 //   - one accept thread;
-//   - one reader thread per session, which decodes frames and enqueues
+//   - one reader thread per connection, which decodes frames and enqueues
 //     request tasks on the shared BoundedThreadPool;
-//   - `workers` pool threads execute requests and write responses back,
-//     serialized per-session by Session::write_mu.
+//   - `workers` pool threads execute requests through the connection's
+//     logical srv::Session and write responses back, serialized
+//     per-connection by Conn::write_mu.
 // When the admission queue is full the reader answers OVERLOADED inline —
 // the server never queues without bound and never blocks the socket read
 // loop on the engine.
@@ -81,18 +82,21 @@ class QueryServer {
   QueryService* service() { return &service_; }
 
  private:
-  // Shared by the reader thread and any worker running one of the
-  // session's requests; the last owner closes the socket, so a response
-  // can still be written after the reader exited.
-  struct Session {
+  // One wire connection: shared by the reader thread and any worker
+  // running one of its requests; the last owner closes the socket, so a
+  // response can still be written after the reader exited. `session` is
+  // the logical srv::Session the requests execute through (snapshot
+  // acquisition, query-log scope, trace propagation).
+  struct Conn {
     uint64_t id = 0;
     int fd = -1;
     std::mutex write_mu;  // serializes response frames on this socket
-    ~Session();
+    std::shared_ptr<Session> session;
+    ~Conn();
   };
 
   void AcceptLoop();
-  void SessionLoop(std::shared_ptr<Session> session);
+  void SessionLoop(std::shared_ptr<Conn> conn);
 
   // Builds the AdminHooks closures over this server's state.
   common::Status StartAdmin();
@@ -111,9 +115,9 @@ class QueryServer {
 
   std::mutex sessions_mu_;
   uint64_t next_session_id_ = 1;
-  // Sessions still reading; a session removes itself when its reader
-  // exits. Shutdown half-closes whatever is left.
-  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  // Connections still reading; a connection removes itself when its
+  // reader exits. Shutdown half-closes whatever is left.
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> sessions_;
   std::vector<std::thread> session_threads_;
 };
 

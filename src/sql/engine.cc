@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 
 #include "common/metrics.h"
@@ -138,8 +140,12 @@ std::string RenderSlowQueries() {
 
 }  // namespace
 
-Result<QueryResult> SqlEngine::Execute(std::string_view sql,
-                                       const common::QueryOptions& opts) {
+Result<QueryResult> SqlEngine::Execute(const common::QueryRequest& req) {
+  if (req.mode != common::QueryMode::kSql) {
+    return Status::InvalidArgument(
+        std::string("SqlEngine::Execute requires mode=sql, got ") +
+        std::string(common::QueryModeName(req.mode)));
+  }
   // Registered once; the registry hands back stable pointers, so the hot
   // path is one atomic add plus the histogram record.
   static common::Counter* queries =
@@ -148,8 +154,9 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql,
   // Owns the query-log record when the engine is the outermost layer
   // (embedded use); under QueryService the service's scope owns it and
   // this one is a no-op observer.
-  common::QueryLogScope qlog(sql, "sql");
-  Result<QueryResult> result = ExecuteImpl(sql, opts);
+  common::QueryLogScope qlog(req.text, "sql");
+  Result<QueryResult> result =
+      ExecuteImpl(req.text, req.options, req.read_epoch);
   if (common::QueryLogRecord* rec = common::QueryLogScope::Current()) {
     if (!result.ok()) {
       rec->ok = false;
@@ -161,8 +168,9 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql,
   return result;
 }
 
-Result<QueryResult> SqlEngine::ExecuteImpl(std::string_view sql,
-                                           const common::QueryOptions& opts) {
+Result<QueryResult> SqlEngine::ExecuteImpl(
+    std::string_view sql, const common::QueryOptions& opts,
+    std::optional<uint64_t> read_epoch) {
   static common::Histogram* parse_hist =
       common::MetricsRegistry::Global().GetHistogram("sql.stage.parse");
   // The relative budget becomes absolute exactly once, here, so parsing
@@ -173,16 +181,24 @@ Result<QueryResult> SqlEngine::ExecuteImpl(std::string_view sql,
     common::TraceSpan span("sql.parse", parse_hist);
     XQ_ASSIGN_OR_RETURN(stmt, ParseStatement(sql));
   }
-  // Statement-level latching (see rel::Database::latch()): readers share,
-  // writers exclude. Parsing happens above without the latch; the lock is
-  // held for exactly the span that touches catalog or heap state.
+  // Statement-level concurrency (see rel::Database): SELECT / EXPLAIN
+  // pin a snapshot epoch and run latch-free; DML / DDL / ANALYZE take the
+  // write latch through rel::WriteGuard, which publishes the statement's
+  // epoch as one batch on release. Parsing happens above with neither. A
+  // caller-supplied read token (`read_epoch`) replaces snapshot
+  // acquisition: the caller owns a live rel::Snapshot at that epoch.
+  auto pin_read = [&](rel::Snapshot* snap) -> uint64_t {
+    if (read_epoch.has_value()) return *read_epoch;
+    *snap = db_->BeginSnapshot();
+    return snap->epoch();
+  };
   switch (stmt.kind) {
     case StatementKind::kCreateTable: {
       std::vector<rel::Column> cols;
       for (const ColumnDefAst& c : stmt.create_table.columns) {
         cols.push_back({c.name, c.type, c.not_null});
       }
-      std::unique_lock lock(db_->latch());
+      rel::WriteGuard guard(db_);
       XQ_RETURN_IF_ERROR(db_->CreateTable(stmt.create_table.table,
                                           rel::Schema(std::move(cols))));
       return QueryResult{};
@@ -194,12 +210,12 @@ Result<QueryResult> SqlEngine::ExecuteImpl(std::string_view sql,
       def.columns = stmt.create_index.columns;
       def.kind = stmt.create_index.kind;
       def.unique = stmt.create_index.unique;
-      std::unique_lock lock(db_->latch());
+      rel::WriteGuard guard(db_);
       XQ_RETURN_IF_ERROR(db_->CreateIndex(def));
       return QueryResult{};
     }
     case StatementKind::kDrop: {
-      std::unique_lock lock(db_->latch());
+      rel::WriteGuard guard(db_);
       if (stmt.drop.is_table) {
         XQ_RETURN_IF_ERROR(db_->DropTable(stmt.drop.name));
       } else {
@@ -208,28 +224,30 @@ Result<QueryResult> SqlEngine::ExecuteImpl(std::string_view sql,
       return QueryResult{};
     }
     case StatementKind::kInsert: {
-      std::unique_lock lock(db_->latch());
+      rel::WriteGuard guard(db_);
       return ExecuteInsert(stmt.insert);
     }
     case StatementKind::kSelect: {
-      std::shared_lock lock(db_->latch());
+      rel::Snapshot snap;
+      uint64_t epoch = pin_read(&snap);
       return ExecuteSelect(stmt.select, /*explain_only=*/false,
-                           /*analyze=*/false, deadline);
+                           /*analyze=*/false, deadline, epoch);
     }
     case StatementKind::kExplain: {
       // Plain EXPLAIN prints the plan without running it; EXPLAIN ANALYZE
       // runs the query with stats collection and prints the same tree
       // annotated with per-operator actuals.
-      std::shared_lock lock(db_->latch());
+      rel::Snapshot snap;
+      uint64_t epoch = pin_read(&snap);
       return ExecuteSelect(stmt.select, /*explain_only=*/!stmt.analyze,
-                           /*analyze=*/stmt.analyze, deadline);
+                           /*analyze=*/stmt.analyze, deadline, epoch);
     }
     case StatementKind::kDelete: {
-      std::unique_lock lock(db_->latch());
+      rel::WriteGuard guard(db_);
       return ExecuteDelete(stmt.del);
     }
     case StatementKind::kUpdate: {
-      std::unique_lock lock(db_->latch());
+      rel::WriteGuard guard(db_);
       return ExecuteUpdate(stmt.update);
     }
     case StatementKind::kStats: {
@@ -247,13 +265,14 @@ Result<QueryResult> SqlEngine::ExecuteImpl(std::string_view sql,
       return result;
     }
     case StatementKind::kAnalyze: {
-      std::unique_lock lock(db_->latch());
+      rel::WriteGuard guard(db_);
       return ExecuteAnalyze(stmt.analyze_stmt);
     }
     case StatementKind::kWalStatus: {
       // Field/value rows so shells and scripts can read one position
-      // without parsing the metrics dump. Shared latch: LSNs and WAL
-      // byte counts must come from one quiescent instant.
+      // without parsing the metrics dump. Shared latch (not a snapshot:
+      // this reads WAL positions, not the heap): LSNs and WAL byte
+      // counts must come from one writer-quiescent instant.
       std::shared_lock lock(db_->latch());
       QueryResult result;
       result.schema =
@@ -266,6 +285,7 @@ Result<QueryResult> SqlEngine::ExecuteImpl(std::string_view sql,
       add("durable", db_->durable() ? "true" : "false");
       add("durable_lsn", std::to_string(db_->durable_lsn()));
       add("applied_lsn", std::to_string(db_->applied_lsn()));
+      add("committed_lsn", std::to_string(db_->committed_lsn()));
       add("wal_bytes", std::to_string(db_->wal_bytes()));
       add("records_recovered", std::to_string(db_->records_recovered()));
       add("recovered_torn_tail",
@@ -289,7 +309,7 @@ Result<QueryResult> SqlEngine::ExecuteAnalyze(const AnalyzeStmt& stmt) {
                                {"columns", rel::ValueType::kInt, false}});
   for (const std::string& name : targets) {
     XQ_RETURN_IF_ERROR(db_->Analyze(name));
-    const rel::TableStats* stats = db_->StatsFor(name);
+    std::shared_ptr<const rel::TableStats> stats = db_->StatsFor(name);
     result.rows.push_back(
         {Value::Text(name),
          Value::Int(static_cast<int64_t>(stats->row_count)),
@@ -301,7 +321,8 @@ Result<QueryResult> SqlEngine::ExecuteAnalyze(const AnalyzeStmt& stmt) {
 
 Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
                                              bool explain_only, bool analyze,
-                                             common::Deadline deadline) {
+                                             common::Deadline deadline,
+                                             uint64_t epoch) {
   static common::Histogram* plan_hist =
       common::MetricsRegistry::Global().GetHistogram("sql.stage.plan");
   static common::Histogram* exec_hist =
@@ -320,6 +341,7 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
   }
   ExecutorOptions exec_options = options_.executor;
   exec_options.deadline = deadline;
+  exec_options.snapshot_epoch = epoch;
   // Collect per-operator actuals whenever a query-log record is armed, so
   // a query that turns out slow can capture a fully annotated EXPLAIN
   // ANALYZE tree after the fact (stats cannot be gathered retroactively;
@@ -346,9 +368,11 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
   return result;
 }
 
-Result<rel::Schema> SqlEngine::ExecuteSelectBatched(
-    std::string_view sql, const Executor::BatchSink& sink,
-    common::Deadline deadline) {
+namespace {
+
+// Shared front half of both ExecuteSelectBatched overloads: parse and
+// insist on a SELECT.
+Result<Statement> ParseSelectOnly(std::string_view sql) {
   static common::Histogram* parse_hist =
       common::MetricsRegistry::Global().GetHistogram("sql.stage.parse");
   Statement stmt;
@@ -359,17 +383,47 @@ Result<rel::Schema> SqlEngine::ExecuteSelectBatched(
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("ExecuteSelectBatched requires a SELECT");
   }
+  return stmt;
+}
+
+}  // namespace
+
+Result<rel::Schema> SqlEngine::ExecuteSelectBatched(
+    const common::QueryRequest& req, const Executor::BatchSink& sink) {
+  if (req.mode != common::QueryMode::kSql) {
+    return Status::InvalidArgument(
+        "ExecuteSelectBatched requires mode=sql");
+  }
+  XQ_ASSIGN_OR_RETURN(Statement stmt, ParseSelectOnly(req.text));
+  return ExecuteSelectStmtBatched(
+      stmt.select, sink, common::Deadline::After(req.options.deadline_ms),
+      req.read_epoch);
+}
+
+Result<rel::Schema> SqlEngine::ExecuteSelectBatched(
+    std::string_view sql, const Executor::BatchSink& sink,
+    common::Deadline deadline) {
+  XQ_ASSIGN_OR_RETURN(Statement stmt, ParseSelectOnly(sql));
   return ExecuteSelectStmtBatched(stmt.select, sink, deadline);
 }
 
 Result<rel::Schema> SqlEngine::ExecuteSelectStmtBatched(
     const SelectStmt& stmt, const Executor::BatchSink& sink,
-    common::Deadline deadline) {
+    common::Deadline deadline, std::optional<uint64_t> read_epoch) {
   static common::Histogram* plan_hist =
       common::MetricsRegistry::Global().GetHistogram("sql.stage.plan");
   static common::Histogram* exec_hist =
       common::MetricsRegistry::Global().GetHistogram("sql.stage.execute");
-  std::shared_lock lock(db_->latch());
+  // Pin a snapshot unless the caller already owns one and passed its
+  // epoch (XomatiQ evaluates all disjuncts of one query at one epoch).
+  rel::Snapshot snap;
+  uint64_t epoch;
+  if (read_epoch.has_value()) {
+    epoch = *read_epoch;
+  } else {
+    snap = db_->BeginSnapshot();
+    epoch = snap.epoch();
+  }
   PlanPtr plan;
   {
     common::TraceSpan span("sql.plan", plan_hist);
@@ -378,6 +432,7 @@ Result<rel::Schema> SqlEngine::ExecuteSelectStmtBatched(
   LogPlanFingerprint(*plan);
   ExecutorOptions exec_options = options_.executor;
   exec_options.deadline = deadline;
+  exec_options.snapshot_epoch = epoch;
   bool log_armed = common::QueryLogScope::Current() != nullptr;
   if (log_armed) {
     exec_options.collect_stats = true;
@@ -396,7 +451,9 @@ Result<rel::Schema> SqlEngine::ExecuteSelectStmtBatched(
 }
 
 Result<std::string> SqlEngine::ExplainSelectStmt(const SelectStmt& stmt) {
-  std::shared_lock lock(db_->latch());
+  // Planning reads catalog shape and stats; a snapshot's shared DDL hold
+  // keeps both stable without touching the write latch.
+  rel::Snapshot snap = db_->BeginSnapshot();
   XQ_ASSIGN_OR_RETURN(PlanPtr plan, planner_.PlanSelect(stmt));
   return plan->ToString();
 }

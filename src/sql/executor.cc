@@ -5,10 +5,12 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/string_util.h"
 #include "sql/expr_eval.h"
 #include "sql/planner.h"
 
@@ -201,12 +203,119 @@ Tuple Concat(const Tuple& left, const Tuple& right) {
   return combined;
 }
 
-// Streams the live tuples behind `rows` into the emitter; false on stop.
+// Re-check callback for index-sourced rows. Indexes are single-version
+// (latest keys only), so under a snapshot read a probe may return RowIds
+// whose version visible at the epoch no longer satisfies the probed
+// predicate — the row was updated after the snapshot. Null = no re-check
+// (writer context, where index and heap mutate under one latch).
+using RowVerify = std::function<bool(const Tuple&)>;
+
+// Equality/prefix probe re-check: the visible tuple's indexed columns must
+// still equal the probed key prefix.
+RowVerify MakeEqVerify(const rel::IndexEntry& entry, const CompositeKey& key,
+                       uint64_t epoch) {
+  if (epoch == rel::kEpochMax) return nullptr;
+  return [&entry, &key](const Tuple& tuple) {
+    for (size_t k = 0; k < key.size(); ++k) {
+      const Value& v = tuple[entry.column_indexes[k]];
+      if (v.is_null() || Value::Compare(v, key[k]) != 0) return false;
+    }
+    return true;
+  };
+}
+
+// Range probe re-check against the plan's lo/hi bounds.
+RowVerify MakeRangeVerify(const rel::IndexEntry& entry, const PlanNode& plan,
+                          uint64_t epoch) {
+  if (epoch == rel::kEpochMax) return nullptr;
+  return [&entry, &plan](const Tuple& tuple) {
+    const Value& v = tuple[entry.column_indexes[0]];
+    if (v.is_null()) return false;
+    if (plan.lo.has_value()) {
+      int c = Value::Compare(v, *plan.lo);
+      if (c < 0 || (c == 0 && !plan.lo_inclusive)) return false;
+    }
+    if (plan.hi.has_value()) {
+      int c = Value::Compare(v, *plan.hi);
+      if (c > 0 || (c == 0 && !plan.hi_inclusive)) return false;
+    }
+    return true;
+  };
+}
+
+// Keyword probe re-check: the visible text must still contain every token
+// of the phrase (same AND-over-tokens semantics as InvertedIndex).
+RowVerify MakeKeywordVerify(const rel::IndexEntry& entry,
+                            const std::string& phrase, uint64_t epoch) {
+  if (epoch == rel::kEpochMax) return nullptr;
+  return [&entry, want = common::TokenizeKeywords(phrase)](
+             const Tuple& tuple) {
+    const Value& v = tuple[entry.column_indexes[0]];
+    if (v.is_null()) return false;
+    std::vector<std::string> have = common::TokenizeKeywords(v.AsText());
+    for (const std::string& w : want) {
+      if (std::find(have.begin(), have.end(), w) == have.end()) return false;
+    }
+    return true;
+  };
+}
+
+// RowIds matched by `plan`'s index probe, collected under the entry's
+// shared latch so concurrent maintenance cannot rebalance the structure
+// mid-walk. Collected, not streamed: the latch is held for the index walk
+// only, never across heap fetches or sink calls.
+std::vector<RowId> CollectIndexMatches(const PlanNode& plan,
+                                       const rel::IndexEntry& entry) {
+  std::vector<RowId> matches;
+  std::shared_lock<std::shared_mutex> lock(entry.latch);
+  if (!plan.eq_key.empty()) {
+    if (entry.def.kind == rel::IndexKind::kHash) {
+      const std::vector<RowId>* rows = entry.hash->Lookup(plan.eq_key);
+      if (rows != nullptr) matches = *rows;
+    } else if (plan.eq_key.size() == entry.def.columns.size()) {
+      matches = entry.btree->Lookup(plan.eq_key);
+    } else {
+      entry.btree->ScanPrefix(
+          plan.eq_key,
+          [&](const CompositeKey&, const std::vector<RowId>& rows) {
+            matches.insert(matches.end(), rows.begin(), rows.end());
+            return true;
+          });
+    }
+    return matches;
+  }
+  std::optional<rel::BTreeIndex::Bound> lo, hi;
+  if (plan.lo.has_value()) {
+    lo = rel::BTreeIndex::Bound{{*plan.lo}, plan.lo_inclusive};
+  }
+  if (plan.hi.has_value()) {
+    hi = rel::BTreeIndex::Bound{{*plan.hi}, plan.hi_inclusive};
+  }
+  entry.btree->Scan(lo, hi,
+                    [&](const CompositeKey&, const std::vector<RowId>& rows) {
+                      matches.insert(matches.end(), rows.begin(), rows.end());
+                      return true;
+                    });
+  return matches;
+}
+
+// Streams the tuples visible at `epoch` behind `rows` into the emitter;
+// false on stop. Rows with no visible version are skipped, not errors:
+// the (single-version) index runs ahead of the snapshot.
 Result<bool> EmitRowIds(const rel::Table& table, const std::vector<RowId>& rows,
-                        BatchEmitter* em) {
+                        uint64_t epoch, const RowVerify& verify,
+                        const common::Deadline& deadline, BatchEmitter* em) {
+  uint64_t probe = 0;
   for (RowId row : rows) {
-    auto tuple = table.Get(row);
-    if (!tuple.ok()) return tuple.status();
+    if (deadline.set() && (++probe & 1023) == 0 && deadline.expired()) {
+      return Status::Timeout("query deadline exceeded");
+    }
+    auto tuple = table.Get(row, epoch);
+    if (!tuple.ok()) {
+      if (tuple.status().code() == common::StatusCode::kNotFound) continue;
+      return tuple.status();
+    }
+    if (verify && !verify(**tuple)) continue;
     if (!em->PushRef(*tuple, row)) return false;
   }
   return true;
@@ -321,7 +430,7 @@ Status Executor::ExecScanB(const PlanNode& plan, const BatchSink& sink,
                            int64_t budget) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
   BatchEmitter em(options_.batch_capacity, sink, budget);
-  table->Scan([&](RowId row, const Tuple& tuple) {
+  table->Scan(options_.snapshot_epoch, [&](RowId row, const Tuple& tuple) {
     if (DeadlineHit()) return false;
     return em.PushRef(&tuple, row);
   });
@@ -417,9 +526,11 @@ Status Executor::ExecParallelScanB(const PlanNode& plan, const BatchSink& sink,
   std::vector<std::thread> workers;
   workers.reserve(degree);
   const common::Deadline deadline = options_.deadline;
+  const uint64_t epoch = options_.snapshot_epoch;
   for (size_t w = 0; w < degree; ++w) {
     workers.emplace_back([table, capacity, per_worker, slots, w, pred,
-                          deadline, partition_rows, queue = queues[w].get(),
+                          deadline, epoch, partition_rows,
+                          queue = queues[w].get(),
                           status = &worker_status[w]] {
       RowId first = static_cast<RowId>(std::min(w * per_worker, slots));
       RowId last = static_cast<RowId>(std::min((w + 1) * per_worker, slots));
@@ -427,7 +538,8 @@ Status Executor::ExecParallelScanB(const PlanNode& plan, const BatchSink& sink,
       EvalScratch scratch;
       uint64_t emitted = 0;
       uint64_t probe = 0;
-      table->ScanPartition(first, last, [&](RowId row, const Tuple& tuple) {
+      table->ScanPartition(epoch, first, last,
+                           [&](RowId row, const Tuple& tuple) {
         if (deadline.set() && (++probe & 1023) == 0 && deadline.expired()) {
           *status = Status::Timeout("query deadline exceeded");
           return false;
@@ -482,72 +594,33 @@ Status Executor::ExecIndexScanB(const PlanNode& plan, const BatchSink& sink,
                                 int64_t budget) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
   const rel::IndexEntry& entry = *plan.index;
+  const uint64_t epoch = options_.snapshot_epoch;
+  std::vector<RowId> matches = CollectIndexMatches(plan, entry);
+  RowVerify verify = plan.eq_key.empty()
+                         ? MakeRangeVerify(entry, plan, epoch)
+                         : MakeEqVerify(entry, plan.eq_key, epoch);
   BatchEmitter em(options_.batch_capacity, sink, budget);
-  if (!plan.eq_key.empty()) {
-    if (entry.def.kind == rel::IndexKind::kHash) {
-      const std::vector<RowId>* rows = entry.hash->Lookup(plan.eq_key);
-      if (rows != nullptr) {
-        XQ_ASSIGN_OR_RETURN(bool more, EmitRowIds(*table, *rows, &em));
-        (void)more;
-      }
-      em.Flush();
-      return Status::OK();
-    }
-    if (plan.eq_key.size() == entry.def.columns.size()) {
-      std::vector<RowId> rows = entry.btree->Lookup(plan.eq_key);
-      XQ_ASSIGN_OR_RETURN(bool more, EmitRowIds(*table, rows, &em));
-      (void)more;
-      em.Flush();
-      return Status::OK();
-    }
-    Status status;
-    entry.btree->ScanPrefix(
-        plan.eq_key, [&](const CompositeKey&, const std::vector<RowId>& rows) {
-          if (DeadlineHit()) {
-            status = DeadlineStatus();
-            return false;
-          }
-          auto more = EmitRowIds(*table, rows, &em);
-          if (!more.ok()) {
-            status = more.status();
-            return false;
-          }
-          return *more;
-        });
-    if (status.ok()) em.Flush();
-    return status;
-  }
-  std::optional<rel::BTreeIndex::Bound> lo, hi;
-  if (plan.lo.has_value()) {
-    lo = rel::BTreeIndex::Bound{{*plan.lo}, plan.lo_inclusive};
-  }
-  if (plan.hi.has_value()) {
-    hi = rel::BTreeIndex::Bound{{*plan.hi}, plan.hi_inclusive};
-  }
-  Status status;
-  entry.btree->Scan(lo, hi,
-                    [&](const CompositeKey&, const std::vector<RowId>& rows) {
-                      if (DeadlineHit()) {
-                        status = DeadlineStatus();
-                        return false;
-                      }
-                      auto more = EmitRowIds(*table, rows, &em);
-                      if (!more.ok()) {
-                        status = more.status();
-                        return false;
-                      }
-                      return *more;
-                    });
-  if (status.ok()) em.Flush();
-  return status;
+  XQ_ASSIGN_OR_RETURN(bool more, EmitRowIds(*table, matches, epoch, verify,
+                                            options_.deadline, &em));
+  (void)more;
+  em.Flush();
+  return Status::OK();
 }
 
 Status Executor::ExecKeywordScanB(const PlanNode& plan, const BatchSink& sink,
                                   int64_t budget) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
-  std::vector<RowId> rows = plan.index->inverted->LookupAll(plan.keyword);
+  const rel::IndexEntry& entry = *plan.index;
+  const uint64_t epoch = options_.snapshot_epoch;
+  std::vector<RowId> rows;
+  {
+    std::shared_lock<std::shared_mutex> lock(entry.latch);
+    rows = entry.inverted->LookupAll(plan.keyword);
+  }
+  RowVerify verify = MakeKeywordVerify(entry, plan.keyword, epoch);
   BatchEmitter em(options_.batch_capacity, sink, budget);
-  XQ_ASSIGN_OR_RETURN(bool more, EmitRowIds(*table, rows, &em));
+  XQ_ASSIGN_OR_RETURN(bool more, EmitRowIds(*table, rows, epoch, verify,
+                                            options_.deadline, &em));
   (void)more;
   em.Flush();
   return Status::OK();
@@ -566,7 +639,7 @@ Status Executor::ExecFilterB(const PlanNode& plan, const BatchSink& sink) {
     BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
     EvalScratch fused_scratch;
     Status status;
-    table->Scan([&](RowId row, const Tuple& tuple) {
+    table->Scan(options_.snapshot_epoch, [&](RowId row, const Tuple& tuple) {
       auto v = prog.EvalRowRef(tuple, &fused_scratch);
       if (!v.ok()) {
         status = v.status();
@@ -795,11 +868,12 @@ Status Executor::ExecIndexNLJoinB(const PlanNode& plan,
                                   const CompiledExpr* residual) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
   const rel::IndexEntry& entry = *plan.index;
+  const uint64_t epoch = options_.snapshot_epoch;
   BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
   EvalScratch scratch;
   Status inner_status;
   CompositeKey key;            // reused across rows
-  std::vector<RowId> fetched;  // reused btree-lookup buffer
+  std::vector<RowId> fetched;  // reused index-probe buffer
   std::vector<int> key_slots = SingleSlots(plan.outer_key_progs);
   XQ_RETURN_IF_ERROR(ExecB(
       *plan.children[0],
@@ -836,28 +910,33 @@ Status Executor::ExecIndexNLJoinB(const PlanNode& plan,
               if (cast.ok()) key[k] = std::move(*cast);
             }
           }
-          const std::vector<RowId>* rows = nullptr;
-          if (entry.def.kind == rel::IndexKind::kHash) {
-            rows = entry.hash->Lookup(key);
-            if (rows == nullptr) continue;
-          } else if (key.size() == entry.def.columns.size()) {
-            fetched = entry.btree->Lookup(key);
-            rows = &fetched;
-          } else {
-            fetched.clear();
-            entry.btree->ScanPrefix(
-                key, [&](const CompositeKey&, const std::vector<RowId>& r) {
-                  fetched.insert(fetched.end(), r.begin(), r.end());
-                  return true;
-                });
-            rows = &fetched;
+          fetched.clear();
+          {
+            std::shared_lock<std::shared_mutex> idx_lock(entry.latch);
+            if (entry.def.kind == rel::IndexKind::kHash) {
+              const std::vector<RowId>* rows = entry.hash->Lookup(key);
+              if (rows != nullptr) fetched = *rows;
+            } else if (key.size() == entry.def.columns.size()) {
+              fetched = entry.btree->Lookup(key);
+            } else {
+              entry.btree->ScanPrefix(
+                  key, [&](const CompositeKey&, const std::vector<RowId>& r) {
+                    fetched.insert(fetched.end(), r.begin(), r.end());
+                    return true;
+                  });
+            }
           }
-          for (RowId row : *rows) {
-            auto tuple = table->Get(row);
+          RowVerify verify = MakeEqVerify(entry, key, epoch);
+          for (RowId row : fetched) {
+            auto tuple = table->Get(row, epoch);
             if (!tuple.ok()) {
+              if (tuple.status().code() == common::StatusCode::kNotFound) {
+                continue;  // invisible at the snapshot epoch
+              }
               inner_status = tuple.status();
               return false;
             }
+            if (verify && !verify(**tuple)) continue;
             if (residual != nullptr) {
               auto pass = PairPasses(*residual, outer, **tuple, &scratch);
               if (!pass.ok()) {
@@ -1089,18 +1168,25 @@ Result<std::vector<Tuple>> Executor::CollectRows(const PlanNode& plan) {
 
 Status Executor::ExecScanRow(const PlanNode& plan, const RowSink& sink) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
-  table->Scan([&](RowId, const Tuple& tuple) { return sink(tuple); });
+  table->Scan(options_.snapshot_epoch,
+              [&](RowId, const Tuple& tuple) { return sink(tuple); });
   return Status::OK();
 }
 
 namespace {
 
-// Emits the live tuples behind `rows` into `sink`; returns false on stop.
+// Emits the tuples visible at `epoch` behind `rows` into `sink`; returns
+// false on stop. Same skip/re-verify semantics as the batched EmitRowIds.
 Result<bool> EmitRows(const rel::Table& table, const std::vector<RowId>& rows,
+                      uint64_t epoch, const RowVerify& verify,
                       const Executor::RowSink& sink) {
   for (RowId row : rows) {
-    auto tuple = table.Get(row);
-    if (!tuple.ok()) return tuple.status();
+    auto tuple = table.Get(row, epoch);
+    if (!tuple.ok()) {
+      if (tuple.status().code() == common::StatusCode::kNotFound) continue;
+      return tuple.status();
+    }
+    if (verify && !verify(**tuple)) continue;
     if (!sink(**tuple)) return false;
   }
   return true;
@@ -1111,60 +1197,29 @@ Result<bool> EmitRows(const rel::Table& table, const std::vector<RowId>& rows,
 Status Executor::ExecIndexScanRow(const PlanNode& plan, const RowSink& sink) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
   const rel::IndexEntry& entry = *plan.index;
-  if (!plan.eq_key.empty()) {
-    if (entry.def.kind == rel::IndexKind::kHash) {
-      const std::vector<RowId>* rows = entry.hash->Lookup(plan.eq_key);
-      if (rows != nullptr) {
-        XQ_ASSIGN_OR_RETURN(bool more, EmitRows(*table, *rows, sink));
-        (void)more;
-      }
-      return Status::OK();
-    }
-    // BTree: exact when the key covers all columns, else prefix scan.
-    if (plan.eq_key.size() == entry.def.columns.size()) {
-      std::vector<RowId> rows = entry.btree->Lookup(plan.eq_key);
-      XQ_ASSIGN_OR_RETURN(bool more, EmitRows(*table, rows, sink));
-      (void)more;
-      return Status::OK();
-    }
-    Status status;
-    entry.btree->ScanPrefix(
-        plan.eq_key, [&](const CompositeKey&, const std::vector<RowId>& rows) {
-          auto more = EmitRows(*table, rows, sink);
-          if (!more.ok()) {
-            status = more.status();
-            return false;
-          }
-          return *more;
-        });
-    return status;
-  }
-  // Range scan on the first column of a single-column btree.
-  std::optional<rel::BTreeIndex::Bound> lo, hi;
-  if (plan.lo.has_value()) {
-    lo = rel::BTreeIndex::Bound{{*plan.lo}, plan.lo_inclusive};
-  }
-  if (plan.hi.has_value()) {
-    hi = rel::BTreeIndex::Bound{{*plan.hi}, plan.hi_inclusive};
-  }
-  Status status;
-  entry.btree->Scan(lo, hi,
-                    [&](const CompositeKey&, const std::vector<RowId>& rows) {
-                      auto more = EmitRows(*table, rows, sink);
-                      if (!more.ok()) {
-                        status = more.status();
-                        return false;
-                      }
-                      return *more;
-                    });
-  return status;
+  const uint64_t epoch = options_.snapshot_epoch;
+  std::vector<RowId> matches = CollectIndexMatches(plan, entry);
+  RowVerify verify = plan.eq_key.empty()
+                         ? MakeRangeVerify(entry, plan, epoch)
+                         : MakeEqVerify(entry, plan.eq_key, epoch);
+  XQ_ASSIGN_OR_RETURN(bool more,
+                      EmitRows(*table, matches, epoch, verify, sink));
+  (void)more;
+  return Status::OK();
 }
 
 Status Executor::ExecKeywordScanRow(const PlanNode& plan,
                                     const RowSink& sink) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
-  std::vector<RowId> rows = plan.index->inverted->LookupAll(plan.keyword);
-  XQ_ASSIGN_OR_RETURN(bool more, EmitRows(*table, rows, sink));
+  const rel::IndexEntry& entry = *plan.index;
+  const uint64_t epoch = options_.snapshot_epoch;
+  std::vector<RowId> rows;
+  {
+    std::shared_lock<std::shared_mutex> lock(entry.latch);
+    rows = entry.inverted->LookupAll(plan.keyword);
+  }
+  RowVerify verify = MakeKeywordVerify(entry, plan.keyword, epoch);
+  XQ_ASSIGN_OR_RETURN(bool more, EmitRows(*table, rows, epoch, verify, sink));
   (void)more;
   return Status::OK();
 }
@@ -1277,6 +1332,7 @@ Status Executor::ExecIndexNLJoinRow(const PlanNode& plan,
                                     const RowSink& sink) {
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
   const rel::IndexEntry& entry = *plan.index;
+  const uint64_t epoch = options_.snapshot_epoch;
   Status inner_status;
   XQ_RETURN_IF_ERROR(
       ExecuteRowAtATime(*plan.children[0], [&](const Tuple& outer) {
@@ -1300,24 +1356,32 @@ Status Executor::ExecIndexNLJoinRow(const PlanNode& plan,
           }
         }
         std::vector<RowId> rows;
-        if (entry.def.kind == rel::IndexKind::kHash) {
-          const std::vector<RowId>* found = entry.hash->Lookup(key);
-          if (found != nullptr) rows = *found;
-        } else if (key.size() == entry.def.columns.size()) {
-          rows = entry.btree->Lookup(key);
-        } else {
-          entry.btree->ScanPrefix(
-              key, [&](const CompositeKey&, const std::vector<RowId>& r) {
-                rows.insert(rows.end(), r.begin(), r.end());
-                return true;
-              });
+        {
+          std::shared_lock<std::shared_mutex> idx_lock(entry.latch);
+          if (entry.def.kind == rel::IndexKind::kHash) {
+            const std::vector<RowId>* found = entry.hash->Lookup(key);
+            if (found != nullptr) rows = *found;
+          } else if (key.size() == entry.def.columns.size()) {
+            rows = entry.btree->Lookup(key);
+          } else {
+            entry.btree->ScanPrefix(
+                key, [&](const CompositeKey&, const std::vector<RowId>& r) {
+                  rows.insert(rows.end(), r.begin(), r.end());
+                  return true;
+                });
+          }
         }
+        RowVerify verify = MakeEqVerify(entry, key, epoch);
         for (RowId row : rows) {
-          auto tuple = table->Get(row);
+          auto tuple = table->Get(row, epoch);
           if (!tuple.ok()) {
+            if (tuple.status().code() == common::StatusCode::kNotFound) {
+              continue;  // invisible at the snapshot epoch
+            }
             inner_status = tuple.status();
             return false;
           }
+          if (verify && !verify(**tuple)) continue;
           Tuple combined = outer;
           combined.insert(combined.end(), (*tuple)->begin(), (*tuple)->end());
           if (!sink(combined)) return false;

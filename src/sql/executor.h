@@ -30,6 +30,14 @@ struct ExecutorOptions {
   // reuse a plan should ClearStats() first; the executor only accumulates
   // (join inner sides re-enter the same nodes within one query).
   bool collect_stats = false;
+  // Epoch every heap read evaluates visibility against. The default
+  // (rel::kEpochMax, "latest") is writer context: reads see all stamped
+  // rows including the in-flight batch. Snapshot readers pass the epoch
+  // of a live rel::Snapshot — the caller owns the snapshot and must keep
+  // it alive for the whole execution; the executor only consumes the
+  // number. Index probes additionally re-verify the probed predicate
+  // against the visible tuple (indexes are single-version).
+  uint64_t snapshot_epoch = rel::kEpochMax;
 };
 
 // Plan executor. The primary pipeline is batched: operators produce and

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <thread>
 
 #include "sql/expr_eval.h"
@@ -50,7 +51,7 @@ void CollectRefs(const Expr& e, std::vector<const Expr*>* out) {
 struct CostBasedPlanner::RelInfo {
   const LogicalOp* get = nullptr;
   const rel::Table* table = nullptr;
-  const TableStats* stats = nullptr;
+  std::shared_ptr<const TableStats> stats;
   double base_rows = 1;      // max(1, row_count): keeps ratios finite
   double filtered_rows = 1;  // after every pushed conjunct
   std::vector<double> pushed_sel;

@@ -1,6 +1,7 @@
 #include "sql/planner.h"
 
 #include <algorithm>
+#include <memory>
 #include <thread>
 
 #include "common/metrics.h"
@@ -47,7 +48,7 @@ bool Planner::AllTablesFresh(const SelectStmt& stmt) const {
   for (const JoinClause& j : stmt.joins) refs.push_back(&j.table);
   if (refs.empty()) return false;
   for (const TableRef* ref : refs) {
-    const rel::TableStats* stats = db_->StatsFor(ref->table);
+    std::shared_ptr<const rel::TableStats> stats = db_->StatsFor(ref->table);
     if (stats == nullptr) return false;
     uint64_t budget = std::max(
         options_.stats_stale_min,

@@ -38,6 +38,14 @@ std::string XqResult::ToTable() const {
 }
 
 Result<Translation> XomatiQ::Translate(std::string_view query_text) {
+  // Standalone translation (inspection surface): pin its own snapshot so
+  // the path-dictionary scan reads a committed cut.
+  rel::Snapshot snap = warehouse_->db()->BeginSnapshot();
+  return TranslateAt(query_text, snap.epoch());
+}
+
+Result<Translation> XomatiQ::TranslateAt(std::string_view query_text,
+                                         uint64_t read_epoch) {
   static common::Histogram* parse_hist = StageHist("xq.stage.parse");
   static common::Histogram* translate_hist = StageHist("xq.stage.translate");
   XQueryAst ast;
@@ -46,11 +54,16 @@ Result<Translation> XomatiQ::Translate(std::string_view query_text) {
     XQ_ASSIGN_OR_RETURN(ast, ParseXQuery(query_text));
   }
   common::TraceSpan span("xq.translate", translate_hist);
-  return translator_.Translate(ast);
+  return translator_.Translate(ast, read_epoch);
 }
 
-Result<XqResult> XomatiQ::Execute(std::string_view query_text,
-                                  const common::QueryOptions& opts) {
+Result<XqResult> XomatiQ::Execute(const common::QueryRequest& req) {
+  if (req.mode != common::QueryMode::kXq &&
+      req.mode != common::QueryMode::kXqXml) {
+    return Status::InvalidArgument(
+        std::string("XomatiQ::Execute requires mode=xq or xq-xml, got ") +
+        std::string(common::QueryModeName(req.mode)));
+  }
   static common::Counter* queries =
       common::MetricsRegistry::Global().GetCounter("xq.queries");
   static common::Histogram* exec_hist = StageHist("xq.stage.execute");
@@ -58,11 +71,22 @@ Result<XqResult> XomatiQ::Execute(std::string_view query_text,
   // Outermost query-log scope for embedded XQuery use; under QueryService
   // the service's scope owns the record instead. Engine layers below
   // annotate plan fingerprint / est-vs-actual rows on whichever is armed.
-  common::QueryLogScope qlog(query_text, "xquery");
+  common::QueryLogScope qlog(req.text, "xquery");
   // One absolute deadline for the whole query: parsing, translation and
   // every generated SQL disjunct share the same budget.
-  common::Deadline deadline = common::Deadline::After(opts.deadline_ms);
-  XQ_ASSIGN_OR_RETURN(Translation translation, Translate(query_text));
+  common::Deadline deadline = common::Deadline::After(req.options.deadline_ms);
+  // ONE snapshot for the whole query: the path-dictionary translation and
+  // every disjunct statement read the same committed cut, so a
+  // multi-disjunct union can never mix pre- and post-sync states.
+  rel::Snapshot snap;
+  uint64_t epoch;
+  if (req.read_epoch.has_value()) {
+    epoch = *req.read_epoch;
+  } else {
+    snap = warehouse_->db()->BeginSnapshot();
+    epoch = snap.epoch();
+  }
+  XQ_ASSIGN_OR_RETURN(Translation translation, TranslateAt(req.text, epoch));
   common::TraceSpan span("xq.execute", exec_hist);
   XqResult result;
   result.columns = translation.column_names;
@@ -85,13 +109,17 @@ Result<XqResult> XomatiQ::Execute(std::string_view query_text,
   };
   for (size_t s = 0; s < translation.sql.size(); ++s) {
     if (s < translation.stmts.size() && translation.stmts[s] != nullptr) {
-      XQ_RETURN_IF_ERROR(
-          engine_.ExecuteSelectStmtBatched(*translation.stmts[s], sink, deadline)
-              .status());
+      XQ_RETURN_IF_ERROR(engine_
+                             .ExecuteSelectStmtBatched(*translation.stmts[s],
+                                                       sink, deadline, epoch)
+                             .status());
     } else {
-      XQ_RETURN_IF_ERROR(
-          engine_.ExecuteSelectBatched(translation.sql[s], sink, deadline)
-              .status());
+      // Text fallback (translator produced SQL without an AST): parse via
+      // the engine, still at this query's epoch.
+      common::QueryRequest sub = common::QueryRequest::Sql(translation.sql[s]);
+      sub.options = req.options;
+      sub.read_epoch = epoch;
+      XQ_RETURN_IF_ERROR(engine_.ExecuteSelectBatched(sub, sink).status());
     }
   }
   return result;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/query_options.h"
+#include "common/query_request.h"
 #include "common/result.h"
 #include "datahounds/warehouse.h"
 #include "sql/engine.h"
@@ -42,14 +43,25 @@ class XomatiQ {
         engine_(warehouse->db()),
         translator_(warehouse) {}
 
-  // Parses, translates and runs a query. The deadline in `opts` is made
-  // absolute once at entry, so every generated SQL statement of a
-  // multi-disjunct query draws down one shared budget; expiry surfaces as
-  // kTimeout. Trace/cache options are consumed by the server layer.
-  common::Result<XqResult> Execute(std::string_view query_text,
-                                   const common::QueryOptions& opts);
+  // Parses, translates and runs a query (req.mode must be kXq or kXqXml;
+  // XML re-tagging itself is ResultsAsXml, applied by the caller). The
+  // deadline in `req.options` is made absolute once at entry, so every
+  // generated SQL statement of a multi-disjunct query draws down one
+  // shared budget; expiry surfaces as kTimeout. The whole query —
+  // path-dictionary translation and every disjunct — runs against ONE
+  // snapshot epoch: `req.read_epoch` when the caller owns a snapshot,
+  // else one acquired here. Trace/cache options are consumed by the
+  // server layer.
+  common::Result<XqResult> Execute(const common::QueryRequest& req);
+
+  // Shorthand for embedded/test use: Execute with default options.
   common::Result<XqResult> Execute(std::string_view query_text) {
-    return Execute(query_text, common::QueryOptions{});
+    return Execute(common::QueryRequest::Xq(std::string(query_text)));
+  }
+  [[deprecated("pass a common::QueryRequest instead")]]  //
+  common::Result<XqResult>
+  Execute(std::string_view query_text, const common::QueryOptions& opts) {
+    return Execute(common::QueryRequest::Xq(std::string(query_text), opts));
   }
 
   // Translation only (inspect the generated SQL).
@@ -75,6 +87,11 @@ class XomatiQ {
   sql::SqlEngine* engine() { return &engine_; }
 
  private:
+  // Translate with the path-dictionary scan pinned at `read_epoch` (the
+  // epoch the translated statements will run at).
+  common::Result<Translation> TranslateAt(std::string_view query_text,
+                                          uint64_t read_epoch);
+
   hounds::Warehouse* warehouse_;
   sql::SqlEngine engine_;
   Xq2SqlTranslator translator_;

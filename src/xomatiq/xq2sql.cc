@@ -447,7 +447,8 @@ sql::SelectStmt StatementBuilder::BuildStmt(
 
 }  // namespace
 
-Result<Translation> Xq2SqlTranslator::Translate(const XQueryAst& ast) {
+Result<Translation> Xq2SqlTranslator::Translate(const XQueryAst& ast,
+                                                uint64_t read_epoch) {
   if (ast.bindings.empty()) {
     return Status::InvalidArgument("query has no FOR bindings");
   }
@@ -458,14 +459,13 @@ Result<Translation> Xq2SqlTranslator::Translate(const XQueryAst& ast) {
     }
   }
 
-  // Load the path dictionary once per translation. Shared latch: the
-  // dictionary scan must not race a concurrent warehouse load appending
-  // new paths (see rel::Database::latch()).
-  std::shared_lock latch(warehouse_->db()->latch());
+  // Load the path dictionary once per translation, at the caller's
+  // snapshot epoch: a concurrent warehouse load appending new paths is
+  // invisible here exactly as it is to the translated statements' reads.
   std::vector<PathEntry> dict;
   XQ_ASSIGN_OR_RETURN(const rel::Table* path_table,
                       warehouse_->db()->GetTable(hounds::kPathTable));
-  path_table->Scan([&](rel::RowId, const rel::Tuple& t) {
+  path_table->Scan(read_epoch, [&](rel::RowId, const rel::Tuple& t) {
     dict.push_back({t[0].AsInt(), SplitPath(t[1].AsText())});
     return true;
   });

@@ -63,7 +63,12 @@ class Xq2SqlTranslator {
   explicit Xq2SqlTranslator(hounds::Warehouse* warehouse)
       : warehouse_(warehouse) {}
 
-  common::Result<Translation> Translate(const XQueryAst& ast);
+  // `read_epoch` pins the path-dictionary scan to the caller's snapshot
+  // (the same epoch the translated statements will execute at), so a
+  // translation never sees paths from a warehouse load that its reads
+  // won't. The default (latest) is for writer/single-threaded contexts.
+  common::Result<Translation> Translate(const XQueryAst& ast,
+                                        uint64_t read_epoch = rel::kEpochMax);
 
  private:
   hounds::Warehouse* warehouse_;

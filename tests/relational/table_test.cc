@@ -5,6 +5,8 @@
 namespace xomatiq::rel {
 namespace {
 
+constexpr uint64_t kW = 1;  // writer epoch for standalone-Table tests
+
 Table MakeTable() {
   return Table("t", Schema({{"id", ValueType::kInt, true},
                             {"name", ValueType::kText, false}}));
@@ -12,8 +14,8 @@ Table MakeTable() {
 
 TEST(TableTest, InsertGetScan) {
   Table t = MakeTable();
-  auto r1 = t.Insert({Value::Int(1), Value::Text("a")});
-  auto r2 = t.Insert({Value::Int(2), Value::Text("b")});
+  auto r1 = t.Insert({Value::Int(1), Value::Text("a")}, kW);
+  auto r2 = t.Insert({Value::Int(2), Value::Text("b")}, kW);
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(*r1, 0u);
@@ -26,60 +28,60 @@ TEST(TableTest, InsertGetScan) {
 
 TEST(TableTest, ArityMismatchRejected) {
   Table t = MakeTable();
-  EXPECT_FALSE(t.Insert({Value::Int(1)}).ok());
+  EXPECT_FALSE(t.Insert({Value::Int(1)}, kW).ok());
   EXPECT_FALSE(
-      t.Insert({Value::Int(1), Value::Text("a"), Value::Int(3)}).ok());
+      t.Insert({Value::Int(1), Value::Text("a"), Value::Int(3)}, kW).ok());
 }
 
 TEST(TableTest, NotNullEnforced) {
   Table t = MakeTable();
-  EXPECT_FALSE(t.Insert({Value::Null(), Value::Text("a")}).ok());
-  EXPECT_TRUE(t.Insert({Value::Int(1), Value::Null()}).ok());
+  EXPECT_FALSE(t.Insert({Value::Null(), Value::Text("a")}, kW).ok());
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::Null()}, kW).ok());
 }
 
 TEST(TableTest, TypeCoercionOnInsert) {
   Table t = MakeTable();
   // TEXT "7" coerces into the INT column; INT 5 coerces into TEXT.
-  auto r = t.Insert({Value::Text("7"), Value::Int(5)});
+  auto r = t.Insert({Value::Text("7"), Value::Int(5)}, kW);
   ASSERT_TRUE(r.ok());
   auto row = t.Get(*r);
   EXPECT_EQ((**row)[0].AsInt(), 7);
   EXPECT_EQ((**row)[1].AsText(), "5");
-  EXPECT_FALSE(t.Insert({Value::Text("abc"), Value::Null()}).ok());
+  EXPECT_FALSE(t.Insert({Value::Text("abc"), Value::Null()}, kW).ok());
 }
 
 TEST(TableTest, DeleteTombstonesKeepRowIdsStable) {
   Table t = MakeTable();
-  RowId a = *t.Insert({Value::Int(1), Value::Null()});
-  RowId b = *t.Insert({Value::Int(2), Value::Null()});
-  ASSERT_TRUE(t.Delete(a).ok());
+  RowId a = *t.Insert({Value::Int(1), Value::Null()}, kW);
+  RowId b = *t.Insert({Value::Int(2), Value::Null()}, kW);
+  ASSERT_TRUE(t.Delete(a, kW).ok());
   EXPECT_FALSE(t.IsLive(a));
   EXPECT_TRUE(t.IsLive(b));
   EXPECT_EQ(t.num_live_rows(), 1u);
   EXPECT_EQ(t.num_slots(), 2u);
   EXPECT_FALSE(t.Get(a).ok());
-  EXPECT_FALSE(t.Delete(a).ok());  // double delete
+  EXPECT_FALSE(t.Delete(a, kW).ok());  // double delete
   // New inserts use fresh slots, not the tombstone.
-  RowId c = *t.Insert({Value::Int(3), Value::Null()});
+  RowId c = *t.Insert({Value::Int(3), Value::Null()}, kW);
   EXPECT_EQ(c, 2u);
 }
 
 TEST(TableTest, UpdateValidates) {
   Table t = MakeTable();
-  RowId a = *t.Insert({Value::Int(1), Value::Text("x")});
-  ASSERT_TRUE(t.Update(a, {Value::Int(9), Value::Text("y")}).ok());
+  RowId a = *t.Insert({Value::Int(1), Value::Text("x")}, kW);
+  ASSERT_TRUE(t.Update(a, {Value::Int(9), Value::Text("y")}, kW).ok());
   EXPECT_EQ((**t.Get(a))[0].AsInt(), 9);
-  EXPECT_FALSE(t.Update(a, {Value::Null(), Value::Null()}).ok());
-  EXPECT_FALSE(t.Update(99, {Value::Int(1), Value::Null()}).ok());
+  EXPECT_FALSE(t.Update(a, {Value::Null(), Value::Null()}, kW).ok());
+  EXPECT_FALSE(t.Update(99, {Value::Int(1), Value::Null()}, kW).ok());
 }
 
 TEST(TableTest, ScanSkipsDeletedAndStopsEarly) {
   Table t = MakeTable();
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Null()}).ok());
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Null()}, kW).ok());
   }
-  ASSERT_TRUE(t.Delete(3).ok());
-  ASSERT_TRUE(t.Delete(7).ok());
+  ASSERT_TRUE(t.Delete(3, kW).ok());
+  ASSERT_TRUE(t.Delete(7, kW).ok());
   std::vector<int64_t> seen;
   t.Scan([&](RowId, const Tuple& tuple) {
     seen.push_back(tuple[0].AsInt());
@@ -91,11 +93,11 @@ TEST(TableTest, ScanSkipsDeletedAndStopsEarly) {
 TEST(TableTest, ScanPartitionCoversTableExactlyOnce) {
   Table t = MakeTable();
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Null()}).ok());
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Null()}, kW).ok());
   }
-  ASSERT_TRUE(t.Delete(0).ok());
-  ASSERT_TRUE(t.Delete(4).ok());
-  ASSERT_TRUE(t.Delete(9).ok());
+  ASSERT_TRUE(t.Delete(0, kW).ok());
+  ASSERT_TRUE(t.Delete(4, kW).ok());
+  ASSERT_TRUE(t.Delete(9, kW).ok());
   // Contiguous partitions (including one that is all tombstones and one
   // that is empty) concatenate to exactly the serial scan.
   std::vector<int64_t> expect;
@@ -117,7 +119,7 @@ TEST(TableTest, ScanPartitionCoversTableExactlyOnce) {
 TEST(TableTest, ScanPartitionClampsBoundsAndStopsEarly) {
   Table t = MakeTable();
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Null()}).ok());
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Null()}, kW).ok());
   }
   // Bounds beyond the table clamp; an inverted/empty range visits nothing.
   std::vector<int64_t> seen;
@@ -143,9 +145,9 @@ TEST(TableTest, ScanPartitionClampsBoundsAndStopsEarly) {
 
 TEST(TableTest, RestoreSlotPreservesTombstones) {
   Table t = MakeTable();
-  t.RestoreSlot({Value::Int(1), Value::Null()}, true);
-  t.RestoreSlot({}, false);
-  t.RestoreSlot({Value::Int(3), Value::Null()}, true);
+  t.RestoreSlot({Value::Int(1), Value::Null()}, true, kW);
+  t.RestoreSlot({}, false, kW);
+  t.RestoreSlot({Value::Int(3), Value::Null()}, true, kW);
   EXPECT_EQ(t.num_slots(), 3u);
   EXPECT_EQ(t.num_live_rows(), 2u);
   EXPECT_FALSE(t.IsLive(1));

@@ -428,8 +428,7 @@ TEST_F(ReplicationTest, MinLsnWaitsForCatchUpOrRefusesLagging) {
   common::QueryOptions opts;
   opts.min_lsn = commit_lsn;
   auto lagging =
-      client.Execute(srv::RequestMode::kSql, "SELECT COUNT(*) FROM kv",
-                     opts);
+      client.Execute(common::QueryRequest::Sql("SELECT COUNT(*) FROM kv", opts));
   ASSERT_TRUE(lagging.ok()) << lagging.status().ToString();
   EXPECT_EQ(lagging->code, StatusCode::kLagging);
 
@@ -440,8 +439,7 @@ TEST_F(ReplicationTest, MinLsnWaitsForCatchUpOrRefusesLagging) {
     replica.applier->PauseApply(false);
   });
   auto served =
-      client.Execute(srv::RequestMode::kSql, "SELECT COUNT(*) FROM kv",
-                     opts);
+      client.Execute(common::QueryRequest::Sql("SELECT COUNT(*) FROM kv", opts));
   unpause.join();
   ASSERT_TRUE(served.ok()) << served.status().ToString();
   ASSERT_TRUE(served->ok()) << served->error;
@@ -494,8 +492,7 @@ TEST_F(ReplicationTest, ClusterClientSplitsReadsAndWrites) {
 
   // A write misrouted through Read() is refused by the replica with
   // kReadOnly and lands on the primary.
-  auto misrouted = cluster.Read(srv::RequestMode::kSql,
-                                "INSERT INTO kv VALUES (100)");
+  auto misrouted = cluster.Read(common::QueryRequest::Sql("INSERT INTO kv VALUES (100)"));
   ASSERT_TRUE(misrouted.ok() && misrouted->ok())
       << misrouted.status().ToString();
   EXPECT_GE(cluster.stats().replica_fallbacks, 2u);

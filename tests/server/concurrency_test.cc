@@ -101,7 +101,9 @@ TEST(ConcurrencyTest, ReadersProceedWhileWriterSyncs) {
 TEST(ConcurrencyTest, QueryServiceParallelMixedModes) {
   Stack stack;
   auto cache = std::make_shared<ResultCache>(64);
-  QueryService service(stack.warehouse.get(), {cache, false});
+  ServiceOptions service_options;
+  service_options.cache = cache;
+  QueryService service(stack.warehouse.get(), service_options);
   std::atomic<int> bad{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
@@ -141,7 +143,9 @@ TEST(ConcurrencyTest, QueryServiceParallelMixedModes) {
 TEST(ConcurrencyTest, CacheInvalidationRacesWithQueries) {
   Stack stack;
   auto cache = std::make_shared<ResultCache>(64);
-  QueryService service(stack.warehouse.get(), {cache, false});
+  ServiceOptions service_options;
+  service_options.cache = cache;
+  QueryService service(stack.warehouse.get(), service_options);
   std::atomic<bool> stop{false};
   std::vector<std::thread> readers;
   for (int t = 0; t < 4; ++t) {

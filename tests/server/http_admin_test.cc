@@ -221,7 +221,7 @@ TEST_F(HttpAdminTest, TracedRequestMergesIntoOneCrossProcessTimeline) {
   ASSERT_NE(client.features() & kFeatureTraceContext, 0u);
   common::QueryOptions opts;
   opts.trace = true;
-  auto response = client.Execute(RequestMode::kXq, kEnzymeIdsXq, opts);
+  auto response = client.Execute(common::QueryRequest::Xq(kEnzymeIdsXq, opts));
   ASSERT_TRUE(response.ok());
   ASSERT_TRUE(response->ok());
 

@@ -19,15 +19,26 @@ common::Counter* Misses() {
 }
 
 TEST(ResultCacheTest, MakeKeyNormalizesWhitespace) {
-  EXPECT_EQ(ResultCache::MakeKey(0, "SELECT  *\n FROM\tt"),
-            ResultCache::MakeKey(0, "SELECT * FROM t"));
-  EXPECT_EQ(ResultCache::MakeKey(0, "  SELECT 1  "),
-            ResultCache::MakeKey(0, "SELECT 1"));
+  EXPECT_EQ(ResultCache::MakeKey(0, "SELECT  *\n FROM\tt", 7),
+            ResultCache::MakeKey(0, "SELECT * FROM t", 7));
+  EXPECT_EQ(ResultCache::MakeKey(0, "  SELECT 1  ", 7),
+            ResultCache::MakeKey(0, "SELECT 1", 7));
   // Case is preserved and modes do not collide.
-  EXPECT_NE(ResultCache::MakeKey(0, "select 1"),
-            ResultCache::MakeKey(0, "SELECT 1"));
-  EXPECT_NE(ResultCache::MakeKey(0, "SELECT 1"),
-            ResultCache::MakeKey(1, "SELECT 1"));
+  EXPECT_NE(ResultCache::MakeKey(0, "select 1", 7),
+            ResultCache::MakeKey(0, "SELECT 1", 7));
+  EXPECT_NE(ResultCache::MakeKey(0, "SELECT 1", 7),
+            ResultCache::MakeKey(1, "SELECT 1", 7));
+}
+
+TEST(ResultCacheTest, MakeKeySeparatesSnapshotEpochs) {
+  // One query pinned at two committed epochs must not share a body: the
+  // cached rows are byte-exact for the snapshot they were computed at.
+  EXPECT_NE(ResultCache::MakeKey(0, "SELECT 1", 7),
+            ResultCache::MakeKey(0, "SELECT 1", 8));
+  // The epoch is part of the prefix, not the normalized text: a query
+  // whose literal happens to contain the epoch digits cannot collide.
+  EXPECT_NE(ResultCache::MakeKey(0, "8:SELECT 1", 7),
+            ResultCache::MakeKey(0, "SELECT 1", 8));
 }
 
 TEST(ResultCacheTest, HitMissAndCounters) {

@@ -141,8 +141,8 @@ TEST_F(RetryTest, ExecuteWithRetryRecoversFromDroppedResponse) {
   EXPECT_EQ(FaultInjector::Global().fires("server.session.write"), 1u);
 
   // ...but ExecuteWithRetry reconnects and resends transparently.
-  auto retried = client.ExecuteWithRetry(RequestMode::kSql,
-                                         "SELECT COUNT(*) FROM xml_document");
+  auto retried = client.ExecuteWithRetry(
+      common::QueryRequest::Sql("SELECT COUNT(*) FROM xml_document"));
   ASSERT_TRUE(retried.ok()) << retried.status().ToString();
   ASSERT_TRUE(retried->ok()) << retried->error;
   EXPECT_EQ(retried->rows[0][0].AsInt(), static_cast<int64_t>(kNumEnzymes));
@@ -158,9 +158,8 @@ TEST_F(RetryTest, ExecuteWithRetryRidesOutRepeatedDrops) {
   cli::RetryPolicy policy;
   policy.initial_backoff_ms = 1;
   for (int i = 0; i < 6; ++i) {
-    auto r = client.ExecuteWithRetry(RequestMode::kSql,
-                                     "SELECT COUNT(*) FROM xml_document", {},
-                                     policy);
+    auto r = client.ExecuteWithRetry(
+        common::QueryRequest::Sql("SELECT COUNT(*) FROM xml_document"), policy);
     ASSERT_TRUE(r.ok()) << "iteration " << i << ": " << r.status().ToString();
     ASSERT_TRUE(r->ok());
     EXPECT_EQ(r->rows[0][0].AsInt(), static_cast<int64_t>(kNumEnzymes));
@@ -200,7 +199,9 @@ TEST_F(RetryTest, OverloadedIsRetriedUntilTheQueueDrains) {
   policy.max_attempts = 10;
   policy.initial_backoff_ms = 50;
   policy.deadline_ms = 5000;
-  auto r = client.ExecuteWithRetry(RequestMode::kPing, "", {}, policy);
+  common::QueryRequest ping;
+  ping.mode = common::QueryMode::kPing;
+  auto r = client.ExecuteWithRetry(ping, policy);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_TRUE(r->ok()) << r->error;
   EXPECT_EQ(r->text, "pong");
@@ -220,7 +221,7 @@ TEST_F(RetryTest, PerQueryDeadlineCancelsWithTimeout) {
   QueryOptions opts;
   opts.deadline_ms = 1;
   opts.bypass_cache = true;  // must actually execute, not hit the cache
-  auto bounded = client.Execute(RequestMode::kSql, kSlowSql, opts);
+  auto bounded = client.Execute(common::QueryRequest::Sql(kSlowSql, opts));
   ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
   EXPECT_EQ(bounded->code, StatusCode::kTimeout) << bounded->error;
 }
@@ -237,7 +238,7 @@ TEST_F(RetryTest, ServiceDefaultDeadlineAppliesWhenRequestCarriesNone) {
   QueryOptions opts;
   opts.deadline_ms = 60000;
   opts.bypass_cache = true;
-  auto own = client.Execute(RequestMode::kSql, kSlowSql, opts);
+  auto own = client.Execute(common::QueryRequest::Sql(kSlowSql, opts));
   ASSERT_TRUE(own.ok());
   EXPECT_TRUE(own->ok()) << own->error;
 }
@@ -248,10 +249,10 @@ TEST_F(RetryTest, BypassCacheNeitherProbesNorInstalls) {
   QueryOptions bypass;
   bypass.bypass_cache = true;
 
-  auto first = client.Execute(RequestMode::kXq, kEnzymeIdsXq, bypass);
+  auto first = client.Execute(common::QueryRequest::Xq(kEnzymeIdsXq, bypass));
   ASSERT_TRUE(first.ok() && first->ok());
   EXPECT_FALSE(first->cached());
-  auto second = client.Execute(RequestMode::kXq, kEnzymeIdsXq, bypass);
+  auto second = client.Execute(common::QueryRequest::Xq(kEnzymeIdsXq, bypass));
   ASSERT_TRUE(second.ok() && second->ok());
   EXPECT_FALSE(second->cached()) << "bypass run must not have installed";
 
@@ -264,7 +265,7 @@ TEST_F(RetryTest, BypassCacheNeitherProbesNorInstalls) {
   EXPECT_TRUE(fourth->cached());
 
   // And bypass skips the probe even when an entry exists.
-  auto fifth = client.Execute(RequestMode::kXq, kEnzymeIdsXq, bypass);
+  auto fifth = client.Execute(common::QueryRequest::Xq(kEnzymeIdsXq, bypass));
   ASSERT_TRUE(fifth.ok() && fifth->ok());
   EXPECT_FALSE(fifth->cached());
 }
@@ -277,7 +278,7 @@ TEST_F(RetryTest, TraceRequestSetsFlagAndRecordsJson) {
   QueryOptions traced;
   traced.trace = true;
   traced.bypass_cache = true;
-  auto r = client.Execute(RequestMode::kXq, kEnzymeIdsXq, traced);
+  auto r = client.Execute(common::QueryRequest::Xq(kEnzymeIdsXq, traced));
   ASSERT_TRUE(r.ok() && r->ok());
   EXPECT_NE(r->flags & kFlagTraced, 0) << "traced response must carry flag";
 

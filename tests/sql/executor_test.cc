@@ -475,14 +475,18 @@ TEST_F(ExecutorTest, StatsCommandDumpsAndResetsRegistry) {
 
 TEST_F(ExecutorTest, WalStatusReportsLsnPositions) {
   QueryResult r = Query("WAL STATUS");
-  ASSERT_EQ(r.rows.size(), 6u);
+  ASSERT_EQ(r.rows.size(), 7u);
   bool saw_durable_lsn = false, saw_applied_lsn = false;
+  bool saw_committed_lsn = false;
   for (const Tuple& row : r.rows) {
     const std::string field = row[0].AsText();
-    if (field == "durable_lsn" || field == "applied_lsn") {
+    if (field == "durable_lsn" || field == "applied_lsn" ||
+        field == "committed_lsn") {
       saw_durable_lsn |= field == "durable_lsn";
       saw_applied_lsn |= field == "applied_lsn";
-      // 6 inserts + CREATE TABLE, and in-memory apply == durable.
+      saw_committed_lsn |= field == "committed_lsn";
+      // 6 inserts + CREATE TABLE; at writer quiescence the in-memory
+      // apply, the published commit point and durability all agree.
       EXPECT_EQ(row[1].AsText(), std::to_string(db_->durable_lsn()));
     }
     if (field == "durable") {
@@ -491,6 +495,7 @@ TEST_F(ExecutorTest, WalStatusReportsLsnPositions) {
   }
   EXPECT_TRUE(saw_durable_lsn);
   EXPECT_TRUE(saw_applied_lsn);
+  EXPECT_TRUE(saw_committed_lsn);
   // Another statement advances the reported position.
   Run("INSERT INTO t VALUES (6, 3, 'omega', 6.0)");
   QueryResult after = Query("wal status");  // case-insensitive
