@@ -11,11 +11,14 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/metrics.h"
+#include "exec/worker_pool.h"
 #include "relational/database.h"
 #include "relational/wal.h"
 #include "sql/executor.h"
@@ -237,6 +240,131 @@ void BenchWalChecksum(JsonReport* report, int reps) {
                {"wal_checksum_overhead_pct", insert.overhead_pct}});
 }
 
+// Morsel-driven parallel execution at scale: join-, aggregation- and
+// sort-heavy queries over a 150k-row fact table, three ways per query.
+//
+//   serial_ms    — plans with parallel annotation suppressed.
+//   parallel_ms  — planner-chosen parallel plans on the process pool; the
+//                  pool sizes itself from the host (hw - 1 workers), so on
+//                  a single-core machine admission keeps every operator
+//                  serial and this column tracks serial_ms instead of
+//                  paying fan-out overhead. The >= 3x speedup target is
+//                  only reachable on >= 4 cores.
+//   forced4_ms   — the same parallel plans forced through an explicit
+//                  4-worker pool regardless of host width: a diagnostic
+//                  that the fan-out machinery itself runs under bench
+//                  conditions, not a planner-chosen configuration.
+void BenchParallelExec(JsonReport* report, int reps) {
+  constexpr size_t kFactRows = 150000;
+  constexpr size_t kDimRows = 50000;
+  constexpr int64_t kGroups = 512;
+  auto db = xomatiq::rel::Database::OpenInMemory();
+  xomatiq::benchutil::Check(
+      db->CreateTable("fact", xomatiq::rel::Schema(
+                                  {{"id", xomatiq::rel::ValueType::kInt, true},
+                                   {"k", xomatiq::rel::ValueType::kInt, false},
+                                   {"grp", xomatiq::rel::ValueType::kInt, false},
+                                   {"val", xomatiq::rel::ValueType::kInt,
+                                    false}})),
+      "create fact");
+  xomatiq::benchutil::Check(
+      db->CreateTable("dim", xomatiq::rel::Schema(
+                                 {{"id", xomatiq::rel::ValueType::kInt, true},
+                                  {"val", xomatiq::rel::ValueType::kInt,
+                                   false}})),
+      "create dim");
+  std::mt19937 rng(1234);
+  for (size_t i = 0; i < kFactRows; ++i) {
+    xomatiq::benchutil::Check(
+        db->Insert("fact",
+                   {xomatiq::rel::Value::Int(static_cast<int64_t>(i)),
+                    xomatiq::rel::Value::Int(
+                        static_cast<int64_t>(rng() % kDimRows)),
+                    xomatiq::rel::Value::Int(
+                        static_cast<int64_t>(rng()) % kGroups),
+                    xomatiq::rel::Value::Int(
+                        static_cast<int64_t>(rng() % 1000))})
+            .status(),
+        "insert fact");
+  }
+  for (size_t i = 0; i < kDimRows; ++i) {
+    xomatiq::benchutil::Check(
+        db->Insert("dim", {xomatiq::rel::Value::Int(static_cast<int64_t>(i)),
+                           xomatiq::rel::Value::Int(
+                               static_cast<int64_t>(rng() % 1000))})
+            .status(),
+        "insert dim");
+  }
+
+  struct ParallelWorkload {
+    std::string name;
+    std::string sql;
+  };
+  const ParallelWorkload workloads[] = {
+      {"parallel_join_agg",
+       "SELECT f.grp, COUNT(*), SUM(f.val) FROM fact f, dim d "
+       "WHERE f.k = d.id GROUP BY f.grp"},
+      {"parallel_agg",
+       "SELECT grp, COUNT(*), SUM(val), MIN(val), MAX(val) FROM fact "
+       "GROUP BY grp"},
+      {"parallel_sort", "SELECT k, val, id FROM fact ORDER BY val, k"},
+  };
+
+  PlannerOptions serial_options;
+  serial_options.parallel_scan_threshold = static_cast<size_t>(-1);
+  Planner serial_planner(db.get(), serial_options);
+  Planner par_planner(db.get());  // defaults: degree = hardware width
+  Executor exec(db.get());
+
+  xomatiq::exec::WorkerPool pool4(4);
+  xomatiq::sql::ExecutorOptions forced_options;
+  forced_options.pool = &pool4;
+  Executor forced_exec(db.get(), forced_options);
+  PlannerOptions forced_plan_options;
+  forced_plan_options.parallel_degree = 4;
+  Planner forced_planner(db.get(), forced_plan_options);
+
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("%-18s %12s %12s %12s %9s %9s  (cores=%u)\n", "workload",
+              "serial", "parallel", "forced4", "speedup", "rows", cores);
+  for (const ParallelWorkload& w : workloads) {
+    std::vector<PlanPtr> serial_plans = PlanAll(&serial_planner, {w.sql});
+    std::vector<PlanPtr> par_plans = PlanAll(&par_planner, {w.sql});
+    std::vector<PlanPtr> forced_plans = PlanAll(&forced_planner, {w.sql});
+
+    size_t rows_serial = RunBatched(&exec, serial_plans);
+    size_t rows_par = RunBatched(&exec, par_plans);
+    size_t rows_forced = RunBatched(&forced_exec, forced_plans);
+    if (rows_serial != rows_par || rows_serial != rows_forced) {
+      std::fprintf(stderr, "row count mismatch in %s: %zu/%zu/%zu\n",
+                   w.name.c_str(), rows_serial, rows_par, rows_forced);
+      std::abort();
+    }
+
+    // More reps than the front section: serial and planner-chosen
+    // parallel are expected to track each other closely (identical plans
+    // on a single-core host), so the comparison needs jitter below the
+    // few-percent level.
+    int preps = std::max(reps, 7);
+    double t_serial =
+        BestOfSeconds(preps, [&] { RunBatched(&exec, serial_plans); });
+    double t_par = BestOfSeconds(preps, [&] { RunBatched(&exec, par_plans); });
+    double t_forced =
+        BestOfSeconds(reps, [&] { RunBatched(&forced_exec, forced_plans); });
+    double speedup = t_par > 0 ? t_serial / t_par : 0;
+
+    std::printf("%-18s %11.3fms %11.3fms %11.3fms %8.2fx %9zu\n",
+                w.name.c_str(), t_serial * 1e3, t_par * 1e3, t_forced * 1e3,
+                speedup, rows_serial);
+    report->Add(w.name, {{"rows", static_cast<double>(rows_serial)},
+                         {"serial_ms", t_serial * 1e3},
+                         {"parallel_ms", t_par * 1e3},
+                         {"forced_pool4_ms", t_forced * 1e3},
+                         {"speedup_parallel", speedup},
+                         {"cores", static_cast<double>(cores)}});
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -314,15 +442,23 @@ int main(int argc, char** argv) {
     double t_row = BestOfSeconds(reps, [&] { RunRowAtATime(&exec, plans); });
     double t_batch = BestOfSeconds(reps, [&] { RunBatched(&exec, plans); });
     double t_par = BestOfSeconds(reps, [&] { RunBatched(&exec, par_plans); });
-    // Same plans with per-operator stats collection on: the delta against
-    // t_batch is the observability overhead (budgeted at <= 5%).
-    double t_stats = BestOfSeconds(reps, [&] {
-      for (const PlanPtr& plan : plans) plan->ClearStats();
-      RunBatched(&stats_exec, plans);
-    });
+    // Per-operator stats collection priced with the paired-median harness
+    // (budgeted at <= 5%): the true delta is a clock read and a few
+    // counter bumps per batch, far below run-to-run jitter, so unpaired
+    // best-of runs routinely report double-digit phantom overhead.
+    OverheadResult stats =
+        MeasureOverhead(std::max(reps * 3, 15), [&](bool on) {
+          if (on) {
+            for (const PlanPtr& plan : plans) plan->ClearStats();
+          }
+          auto t0 = std::chrono::steady_clock::now();
+          RunBatched(on ? &stats_exec : &exec, plans);
+          auto t1 = std::chrono::steady_clock::now();
+          return std::chrono::duration<double>(t1 - t0).count();
+        });
+    double t_stats = stats.t_on;
     double speedup = t_batch > 0 ? t_row / t_batch : 0;
-    double stats_overhead_pct =
-        t_batch > 0 ? (t_stats / t_batch - 1.0) * 100.0 : 0;
+    double stats_overhead_pct = stats.overhead_pct;
 
     std::printf("%-18s %11.3fms %11.3fms %11.3fms %8.2fx %9zu\n",
                 w.name.c_str(), t_row * 1e3, t_batch * 1e3, t_par * 1e3,
@@ -346,6 +482,7 @@ int main(int argc, char** argv) {
     }
     report.Add(w.name, std::move(metrics));
   }
+  BenchParallelExec(&report, reps);
   BenchWalChecksum(&report, reps);
   if (!report.Write()) return 1;
   std::printf("wrote BENCH_pipeline.json\n");

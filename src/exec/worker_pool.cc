@@ -1,0 +1,174 @@
+#include "exec/worker_pool.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace xomatiq::exec {
+
+namespace {
+
+common::Counter* PoolTasksCounter() {
+  static common::Counter* c =
+      common::MetricsRegistry::Global().GetCounter("exec.pool.tasks");
+  return c;
+}
+
+common::Counter* InlineSlotsCounter() {
+  static common::Counter* c =
+      common::MetricsRegistry::Global().GetCounter("exec.pool.inline_slots");
+  return c;
+}
+
+common::Counter* GroupsCounter() {
+  static common::Counter* c =
+      common::MetricsRegistry::Global().GetCounter("exec.pool.groups");
+  return c;
+}
+
+// Size Global() uses when ConfigureGlobal was never called: SIZE_MAX
+// sentinel = "derive from hardware_concurrency".
+std::atomic<size_t> g_global_workers{static_cast<size_t>(-1)};
+
+}  // namespace
+
+// One ParallelFor invocation. Slots are claimed from `claimed` (values
+// >= slots are overflow no-ops: more claimants than work); `finished`
+// counts completed fn runs and is the caller's wait condition. The group
+// outlives the call only through worker-held shared_ptrs whose remaining
+// actions touch nothing but `claimed` and the pool queue.
+struct WorkerPool::Group {
+  const std::function<void(size_t)>* fn = nullptr;
+  size_t slots = 0;
+  std::atomic<size_t> claimed{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t finished = 0;  // guarded by mu
+};
+
+WorkerPool::WorkerPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::ConfigureGlobal(size_t workers) {
+  size_t expected = static_cast<size_t>(-1);
+  g_global_workers.compare_exchange_strong(expected, workers);
+}
+
+WorkerPool* WorkerPool::Global() {
+  // Intentionally leaked: the pool must outlive every static whose
+  // destructor might still execute a query, and worker threads must not
+  // race process teardown.
+  static WorkerPool* pool = [] {
+    size_t n = g_global_workers.load();
+    if (n == static_cast<size_t>(-1)) {
+      unsigned hw = std::thread::hardware_concurrency();
+      n = hw >= 2 ? static_cast<size_t>(hw) - 1 : 0;
+    }
+    return new WorkerPool(n);
+  }();
+  return pool;
+}
+
+size_t WorkerPool::AdmitDegree(size_t requested) const {
+  // Fair share of pool threads across concurrent groups (this query's
+  // group is not registered yet, hence +1), plus the caller itself.
+  size_t others = active_groups_.load(std::memory_order_relaxed);
+  size_t share = threads_.empty() ? 0 : threads_.size() / (others + 1);
+  size_t degree = share + 1;
+  if (requested > 0) degree = std::min(degree, requested);
+  return std::max<size_t>(degree, 1);
+}
+
+void WorkerPool::ParallelFor(size_t slots,
+                             const std::function<void(size_t)>& fn) {
+  if (slots == 0) return;
+  if (slots == 1 || threads_.empty()) {
+    // Serial: nothing to hand to the pool (or no pool to hand it to).
+    for (size_t s = 0; s < slots; ++s) fn(s);
+    return;
+  }
+  GroupsCounter()->Inc();
+  auto group = std::make_shared<Group>();
+  group->fn = &fn;
+  group->slots = slots;
+  active_groups_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(group);
+  }
+  work_cv_.notify_all();
+
+  // Caller-runs: claim slots alongside the workers until none remain.
+  for (;;) {
+    size_t s = group->claimed.fetch_add(1, std::memory_order_relaxed);
+    if (s >= slots) break;
+    fn(s);
+    InlineSlotsCounter()->Inc();
+    {
+      std::lock_guard<std::mutex> lock(group->mu);
+      ++group->finished;
+    }
+    group->done_cv.notify_all();
+  }
+  // All slots are claimed; retire the group from the pool queue so idle
+  // workers stop inspecting it.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find(queue_.begin(), queue_.end(), group);
+    if (it != queue_.end()) queue_.erase(it);
+  }
+  // Wait for slots claimed by pool workers to finish executing.
+  {
+    std::unique_lock<std::mutex> lock(group->mu);
+    group->done_cv.wait(lock, [&] { return group->finished == slots; });
+  }
+  active_groups_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Group> group;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      group = queue_.front();
+    }
+    size_t s = group->claimed.fetch_add(1, std::memory_order_relaxed);
+    if (s >= group->slots) {
+      // Overflow claim: the group is fully claimed; drop it from the
+      // queue (if the caller has not already) and look for other work.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty() && queue_.front() == group) queue_.pop_front();
+      continue;
+    }
+    if (s + 1 == group->slots) {
+      // Took the last slot: further claims are pointless, dequeue now so
+      // sibling workers move on to the next group immediately.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty() && queue_.front() == group) queue_.pop_front();
+    }
+    (*group->fn)(s);
+    PoolTasksCounter()->Inc();
+    {
+      std::lock_guard<std::mutex> lock(group->mu);
+      ++group->finished;
+    }
+    group->done_cv.notify_all();
+  }
+}
+
+}  // namespace xomatiq::exec

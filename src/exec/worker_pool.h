@@ -1,0 +1,130 @@
+#ifndef XOMATIQ_EXEC_WORKER_POOL_H_
+#define XOMATIQ_EXEC_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xomatiq::exec {
+
+// Atomic dispenser of contiguous [begin, end) morsels covering [0, total).
+// Workers pull the next unclaimed morsel instead of owning a fixed slice,
+// so a worker stalled on a slow morsel never leaves the rest of the range
+// idle — the stealing is implicit in the shared cursor. Morsel indexes are
+// sequential (morsel i covers [i*span, min((i+1)*span, total))), which is
+// what lets operators reassemble per-morsel outputs in input order.
+class MorselQueue {
+ public:
+  // `span` is clamped to >= 1; zero `total` yields an empty queue.
+  MorselQueue(size_t total, size_t span)
+      : total_(total), span_(span == 0 ? 1 : span) {}
+
+  // Claims the next morsel. Returns false when the range is exhausted.
+  bool Next(size_t* index, size_t* begin, size_t* end) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    size_t b = i * span_;
+    if (b >= total_) return false;
+    *index = i;
+    *begin = b;
+    *end = b + span_ < total_ ? b + span_ : total_;
+    return true;
+  }
+
+  size_t num_morsels() const { return (total_ + span_ - 1) / span_; }
+  size_t span() const { return span_; }
+
+ private:
+  std::atomic<size_t> next_{0};
+  size_t total_;
+  size_t span_;
+};
+
+// Process-wide pool of execution workers shared by every concurrent query.
+//
+// Design (morsel-driven parallelism):
+//   - The pool owns a FIXED number of threads for the whole process; a
+//     query never spawns threads of its own. N sessions x M-way plans
+//     cannot oversubscribe the host: total execution threads = pool size,
+//     plus each query's own driver thread.
+//   - One ParallelFor call is one per-query task group: `slots` logical
+//     workers run `fn(slot)`, where fn typically loops over a shared
+//     MorselQueue. Slots are claimed dynamically from a shared counter.
+//   - Caller-runs admission: the driver thread participates in its own
+//     group, claiming slots alongside pool workers. If every pool worker
+//     is busy with other queries, the group still completes — degraded to
+//     serial on the driver — so ParallelFor can never deadlock and needs
+//     no queue-capacity tuning. A pool of size 0 is valid and makes every
+//     group run serially on its caller.
+//   - Cancellation is cooperative and operator-owned: fn bodies probe
+//     their query's deadline between (and inside) morsels and bail out;
+//     the pool itself never blocks inside fn.
+//
+// Lock order: pool internals (queue mutex, group mutex) are leaf locks —
+// no fn may be invoked while they are held, so callers may hold database
+// latches across ParallelFor (db latch -> pool queues, never the
+// reverse). In practice query execution holds no latch here: reads run
+// latch-free under an MVCC snapshot epoch.
+class WorkerPool {
+ public:
+  // Exactly `workers` threads; 0 is a valid, always-serial pool.
+  explicit WorkerPool(size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // The shared process pool. Sized on first use: ConfigureGlobal() if it
+  // was called, else hardware_concurrency - 1 (driver threads supply the
+  // remaining core), so a single-core host gets an empty pool and every
+  // query stays serial.
+  static WorkerPool* Global();
+
+  // Sets the size Global() will use. Must be called before the first
+  // Global() call (server startup); later calls are ignored.
+  static void ConfigureGlobal(size_t workers);
+
+  size_t size() const { return threads_.size(); }
+
+  // Runs fn(slot) for every slot in [0, slots), returning when all have
+  // finished. The calling thread claims slots too (see caller-runs above),
+  // so this completes even when no pool worker is free. fn must not call
+  // ParallelFor on the same pool (one level of parallelism per group).
+  void ParallelFor(size_t slots, const std::function<void(size_t)>& fn);
+
+  // Worker-slot budget for one query requesting `requested`-way
+  // parallelism (0 = as wide as the pool allows). The pool's threads are
+  // split evenly across currently-active task groups, and the caller's
+  // own thread is always available — so the result is >= 1, and capped at
+  // size() + 1. This is the per-query admission decision: concurrent
+  // sessions each get a fair share instead of all fanning out to the full
+  // pool width.
+  size_t AdmitDegree(size_t requested) const;
+
+  // Introspection (tests, /metrics via the exec.pool.* counters).
+  size_t active_groups() const {
+    return active_groups_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Group;  // one ParallelFor's shared state
+
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Group>> queue_;
+  bool stopping_ = false;
+  std::atomic<size_t> active_groups_{0};
+};
+
+}  // namespace xomatiq::exec
+
+#endif  // XOMATIQ_EXEC_WORKER_POOL_H_

@@ -1,7 +1,8 @@
 // xomatiq_server: the XomatiQ query service over TCP.
 //
-//   xomatiq_server [--port N] [--workers N] [--queue N] [--cache N]
-//                  [--db DIR] [--demo N] [--admin-port N] [--slow-ms MS]
+//   xomatiq_server [--port N] [--workers N] [--exec-workers N] [--queue N]
+//                  [--cache N] [--db DIR] [--demo N] [--admin-port N]
+//                  [--slow-ms MS]
 //                  [--replication-port N | --replica-of HOST:PORT]
 //
 // Serves SQL and XomatiQ queries against one shared warehouse. --db opens
@@ -28,6 +29,7 @@
 
 #include "common/query_log.h"
 #include "datagen/corpus.h"
+#include "exec/worker_pool.h"
 #include "datahounds/warehouse.h"
 #include "relational/database.h"
 #include "replication/repl_server.h"
@@ -98,6 +100,14 @@ int main(int argc, char** argv) {
       options.port = static_cast<uint16_t>(std::atoi(next("--port")));
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       options.workers = static_cast<size_t>(std::atoi(next("--workers")));
+    } else if (std::strcmp(argv[i], "--exec-workers") == 0) {
+      // Width of the process-wide intra-query worker pool (morsel-driven
+      // parallel operators). Distinct from --workers, which sizes the
+      // one-thread-per-query service pool; per-query admission splits the
+      // exec pool fairly among whatever those sessions run concurrently.
+      // Default: hardware concurrency - 1. 0 disables parallel execution.
+      exec::WorkerPool::ConfigureGlobal(
+          static_cast<size_t>(std::atoi(next("--exec-workers"))));
     } else if (std::strcmp(argv[i], "--queue") == 0) {
       options.max_queue = static_cast<size_t>(std::atoi(next("--queue")));
     } else if (std::strcmp(argv[i], "--cache") == 0) {
@@ -118,8 +128,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: xomatiq_server [--port N] [--workers N] "
-                   "[--queue N] [--cache N] [--db DIR] [--demo N] "
-                   "[--admin-port N] [--slow-ms MS] "
+                   "[--exec-workers N] [--queue N] [--cache N] [--db DIR] "
+                   "[--demo N] [--admin-port N] [--slow-ms MS] "
                    "[--replication-port N | --replica-of HOST:PORT]\n");
       return 2;
     }

@@ -2,15 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
-#include <mutex>
 #include <shared_mutex>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "exec/worker_pool.h"
 #include "sql/expr_eval.h"
 #include "sql/planner.h"
 
@@ -81,6 +78,36 @@ Status UpdateAgg(const AggSpec& spec, const Tuple& tuple, AggState* state) {
   if (spec.arg == nullptr) return UpdateAggValue(spec.func, nullptr, state);
   XQ_ASSIGN_OR_RETURN(Value v, Eval(*spec.arg, tuple));
   return UpdateAggValue(spec.func, &v, state);
+}
+
+// Folds a thread-local partial into `dst` (parallel aggregation merge).
+// Counts and sums add, min/max compare, and integer-ness survives only
+// when both sides stayed integral.
+void MergeAggState(AggFunc func, AggState* dst, const AggState& src) {
+  dst->count += src.count;
+  switch (func) {
+    case AggFunc::kCount:
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      dst->isum += src.isum;
+      dst->dsum += src.dsum;
+      dst->all_int = dst->all_int && src.all_int;
+      dst->has = dst->has || src.has;
+      break;
+    case AggFunc::kMin:
+      if (src.has && (!dst->has || Value::Compare(src.min, dst->min) < 0)) {
+        dst->min = src.min;
+      }
+      dst->has = dst->has || src.has;
+      break;
+    case AggFunc::kMax:
+      if (src.has && (!dst->has || Value::Compare(src.max, dst->max) > 0)) {
+        dst->max = src.max;
+      }
+      dst->has = dst->has || src.has;
+      break;
+  }
 }
 
 Value FinalizeAgg(const AggSpec& spec, const AggState& state) {
@@ -348,6 +375,18 @@ Result<std::vector<Tuple>> Executor::ExecuteToVector(const PlanNode& plan) {
   return rows;
 }
 
+exec::WorkerPool* Executor::Pool() const {
+  return options_.pool != nullptr ? options_.pool
+                                  : exec::WorkerPool::Global();
+}
+
+size_t Executor::EffectiveDegree(const PlanNode& plan,
+                                 size_t input_rows) const {
+  if (plan.parallel_degree < 2) return 1;
+  if (input_rows < options_.parallel_row_threshold) return 1;
+  return Pool()->AdmitDegree(static_cast<size_t>(plan.parallel_degree));
+}
+
 bool Executor::DeadlineHit() {
   if (deadline_hit_) return true;
   if (!options_.deadline.set()) return false;
@@ -441,58 +480,14 @@ Status Executor::ExecScanB(const PlanNode& plan, const BatchSink& sink,
 
 namespace {
 
-// Bounded handoff queue between one parallel-scan worker and the merger.
-class BatchQueue {
- public:
-  explicit BatchQueue(size_t max_batches) : max_(max_batches) {}
-
-  // Blocks until there is space. Returns false when the consumer aborted.
-  bool Push(RowBatch&& batch) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    space_.wait(lock, [&] { return queue_.size() < max_ || aborted_; });
-    if (aborted_) return false;
-    queue_.push_back(std::move(batch));
-    data_.notify_one();
-    return true;
-  }
-
-  void MarkDone() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      done_ = true;
-    }
-    data_.notify_all();
-  }
-
-  // Blocks until a batch arrives or the producer finished; false = drained.
-  bool Pop(RowBatch* out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    data_.wait(lock, [&] { return !queue_.empty() || done_; });
-    if (queue_.empty()) return false;
-    *out = std::move(queue_.front());
-    queue_.pop_front();
-    space_.notify_one();
-    return true;
-  }
-
-  void Abort() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      aborted_ = true;
-    }
-    space_.notify_all();
-    data_.notify_all();
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable space_;
-  std::condition_variable data_;
-  std::deque<RowBatch> queue_;
-  size_t max_;
-  bool done_ = false;
-  bool aborted_ = false;
-};
+// Morsel geometry: enough morsels that work stealing can balance skew
+// (several per worker slot), each at least `min_rows` so the per-morsel
+// bookkeeping stays amortized over real work.
+size_t MorselSpan(size_t total, size_t degree, size_t min_rows) {
+  size_t max_morsels = degree * 8;
+  size_t span = (total + max_morsels - 1) / max_morsels;
+  return std::max(span, std::max<size_t>(min_rows, 1));
+}
 
 }  // namespace
 
@@ -501,91 +496,104 @@ Status Executor::ExecParallelScanB(const PlanNode& plan, const BatchSink& sink,
                                    const CompiledExpr* pred) {
   (void)budget;
   XQ_ASSIGN_OR_RETURN(const rel::Table* table, db_->GetTable(plan.table));
-  size_t degree = plan.parallel_degree > 1
-                      ? static_cast<size_t>(plan.parallel_degree)
-                      : 2;
-  size_t slots = table->num_slots();
-  size_t per_worker = (slots + degree - 1) / degree;
-  if (per_worker == 0) per_worker = 1;
-
-  std::vector<std::unique_ptr<BatchQueue>> queues;
-  for (size_t w = 0; w < degree; ++w) {
-    queues.push_back(
-        std::make_unique<BatchQueue>(options_.parallel_queue_batches));
-  }
-  size_t capacity = options_.batch_capacity;
-  // Per-partition output counts for EXPLAIN ANALYZE skew reporting. Each
-  // worker owns exactly one slot (sized up front), so no synchronization
-  // beyond the thread join is needed.
-  std::vector<uint64_t>* partition_rows = nullptr;
-  if (options_.collect_stats) {
-    plan.stats.partition_rows.assign(degree, 0);
-    partition_rows = &plan.stats.partition_rows;
-  }
-  std::vector<Status> worker_status(degree);
-  std::vector<std::thread> workers;
-  workers.reserve(degree);
-  const common::Deadline deadline = options_.deadline;
   const uint64_t epoch = options_.snapshot_epoch;
-  for (size_t w = 0; w < degree; ++w) {
-    workers.emplace_back([table, capacity, per_worker, slots, w, pred,
-                          deadline, epoch, partition_rows,
-                          queue = queues[w].get(),
-                          status = &worker_status[w]] {
-      RowId first = static_cast<RowId>(std::min(w * per_worker, slots));
-      RowId last = static_cast<RowId>(std::min((w + 1) * per_worker, slots));
-      RowBatch batch(capacity);
-      EvalScratch scratch;
-      uint64_t emitted = 0;
-      uint64_t probe = 0;
-      table->ScanPartition(epoch, first, last,
-                           [&](RowId row, const Tuple& tuple) {
-        if (deadline.set() && (++probe & 1023) == 0 && deadline.expired()) {
-          *status = Status::Timeout("query deadline exceeded");
+  const size_t slots = table->num_slots();
+  const size_t degree = EffectiveDegree(plan, slots);
+  if (degree < 2) {
+    // Single-core host, saturated pool, or small table: run the same fused
+    // scan on the calling thread. This is the admission decision that keeps
+    // parallel plans from ever losing to serial — fan-out only happens when
+    // there is both width and work.
+    BatchEmitter em(options_.batch_capacity, sink, -1);
+    EvalScratch scratch;
+    Status status;
+    uint64_t emitted = 0;
+    table->Scan(epoch, [&](RowId row, const Tuple& tuple) {
+      if (DeadlineHit()) return false;
+      if (pred != nullptr) {
+        auto v = pred->EvalRowRef(tuple, &scratch);
+        if (!v.ok()) {
+          status = v.status();
           return false;
         }
-        if (pred != nullptr) {
-          auto v = pred->EvalRowRef(tuple, &scratch);
-          if (!v.ok()) {
-            *status = v.status();
-            return false;
-          }
-          std::optional<bool> t = Truthiness(**v);
-          if (!t.has_value() || !*t) return true;
-        }
-        batch.AppendRef(&tuple, row);
-        ++emitted;
-        if (batch.full()) {
-          if (!queue->Push(std::move(batch))) return false;
-          batch = RowBatch(capacity);
-        }
-        return true;
-      });
-      if (!batch.empty()) queue->Push(std::move(batch));
-      // Record the partition count before MarkDone: the merger only
-      // reads the slot after joining this thread, but finalizing here
-      // keeps the count truthful even when the consumer aborted early.
-      if (partition_rows != nullptr) (*partition_rows)[w] = emitted;
-      queue->MarkDone();
+        std::optional<bool> t = Truthiness(**v);
+        if (!t.has_value() || !*t) return true;
+      }
+      ++emitted;
+      return em.PushRef(&tuple, row);
     });
+    XQ_RETURN_IF_ERROR(status);
+    XQ_RETURN_IF_ERROR(DeadlineStatus());
+    if (options_.collect_stats) {
+      plan.stats.partition_rows.assign(1, emitted);
+    }
+    em.Flush();
+    return Status::OK();
   }
 
-  // Consume partitions in order: contiguous slot ranges concatenated in
-  // worker order yield exactly RowId order.
-  bool stopped = false;
-  for (size_t w = 0; w < degree && !stopped; ++w) {
-    RowBatch batch(capacity);
-    while (queues[w]->Pop(&batch)) {
-      if (!sink(batch)) {
-        stopped = true;
-        break;
-      }
+  // Morsel-parallel: workers steal contiguous slot ranges from a shared
+  // cursor and buffer their output batches per morsel; the driver then
+  // emits morsels in index order, which for contiguous ranges is exactly
+  // RowId order — byte-identical to the serial scan.
+  exec::MorselQueue morsels(slots,
+                            MorselSpan(slots, degree, options_.morsel_rows));
+  std::vector<std::vector<RowBatch>> results(morsels.num_morsels());
+  std::vector<Status> worker_status(degree);
+  std::vector<uint64_t> worker_rows(degree, 0);
+  std::vector<uint64_t> worker_morsels(degree, 0);
+  const size_t capacity = options_.batch_capacity;
+  const common::Deadline deadline = options_.deadline;
+  Pool()->ParallelFor(degree, [&](size_t w) {
+    EvalScratch scratch;
+    uint64_t probe = 0;
+    size_t mi, first, last;
+    while (worker_status[w].ok() && morsels.Next(&mi, &first, &last)) {
+      std::vector<RowBatch> out;
+      RowBatch batch(capacity);
+      table->ScanPartition(
+          epoch, static_cast<RowId>(first), static_cast<RowId>(last),
+          [&](RowId row, const Tuple& tuple) {
+            if (deadline.set() && (++probe & 1023) == 0 &&
+                deadline.expired()) {
+              worker_status[w] = Status::Timeout("query deadline exceeded");
+              return false;
+            }
+            if (pred != nullptr) {
+              auto v = pred->EvalRowRef(tuple, &scratch);
+              if (!v.ok()) {
+                worker_status[w] = v.status();
+                return false;
+              }
+              std::optional<bool> t = Truthiness(**v);
+              if (!t.has_value() || !*t) return true;
+            }
+            batch.AppendRef(&tuple, row);
+            ++worker_rows[w];
+            if (batch.full()) {
+              out.push_back(std::move(batch));
+              batch = RowBatch(capacity);
+            }
+            return true;
+          });
+      if (!batch.empty()) out.push_back(std::move(batch));
+      results[mi] = std::move(out);
+      ++worker_morsels[w];
+    }
+  });
+  for (const Status& s : worker_status) {
+    if (!s.ok()) {
+      if (s.code() == common::StatusCode::kTimeout) deadline_hit_ = true;
+      return s;
     }
   }
-  for (auto& queue : queues) queue->Abort();
-  for (std::thread& t : workers) t.join();
-  for (const Status& s : worker_status) {
-    XQ_RETURN_IF_ERROR(s);
+  if (options_.collect_stats) {
+    plan.stats.partition_rows = worker_rows;
+    for (uint64_t m : worker_morsels) plan.stats.morsels += m;
+  }
+  for (auto& morsel_batches : results) {
+    for (RowBatch& batch : morsel_batches) {
+      if (!sink(batch)) return Status::OK();
+    }
   }
   return Status::OK();
 }
@@ -790,75 +798,244 @@ Status Executor::ExecHashJoinB(const PlanNode& plan, const BatchSink& sink,
   // Build on the right child.
   XQ_ASSIGN_OR_RETURN(std::vector<Tuple> build,
                       ExecuteToVector(*plan.children[1]));
-  EvalScratch scratch;
-  std::unordered_map<CompositeKey, std::vector<size_t>,
-                     rel::CompositeKeyHasher, rel::CompositeKeyEq>
-      ht;
-  ht.reserve(build.size());
   std::vector<int> right_slots = SingleSlots(plan.right_key_progs);
   std::vector<int> left_slots = SingleSlots(plan.left_key_progs);
-  for (size_t i = 0; i < build.size(); ++i) {
-    CompositeKey key;
-    bool has_null = false;
-    for (size_t j = 0; j < plan.right_key_progs.size(); ++j) {
-      XQ_ASSIGN_OR_RETURN(
-          const Value* v,
-          EvalKey(plan.right_key_progs[j], right_slots[j], build[i],
-                  &scratch));
-      if (v->is_null()) {
-        has_null = true;
-        break;
+  using JoinTable =
+      std::unordered_map<CompositeKey, std::vector<size_t>,
+                         rel::CompositeKeyHasher, rel::CompositeKeyEq>;
+  const common::Deadline deadline = options_.deadline;
+  const size_t build_degree = EffectiveDegree(plan, build.size());
+  const size_t parts = build_degree >= 2 ? build_degree : 1;
+  std::vector<JoinTable> ht(parts);
+  rel::CompositeKeyHasher part_hasher;
+  if (parts == 1) {
+    EvalScratch scratch;
+    ht[0].reserve(build.size());
+    for (size_t i = 0; i < build.size(); ++i) {
+      if (DeadlineHit()) return DeadlineStatus();
+      CompositeKey key;
+      bool has_null = false;
+      for (size_t j = 0; j < plan.right_key_progs.size(); ++j) {
+        XQ_ASSIGN_OR_RETURN(
+            const Value* v,
+            EvalKey(plan.right_key_progs[j], right_slots[j], build[i],
+                    &scratch));
+        if (v->is_null()) {
+          has_null = true;
+          break;
+        }
+        key.push_back(*v);
       }
-      key.push_back(*v);
+      if (!has_null) ht[0][std::move(key)].push_back(i);
     }
-    if (!has_null) ht[std::move(key)].push_back(i);
-  }
-  BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
-  Status inner_status;
-  CompositeKey probe;  // reused across rows
-  XQ_RETURN_IF_ERROR(ExecB(
-      *plan.children[0],
-      [&](RowBatch& batch) {
-        for (size_t i = 0; i < batch.size(); ++i) {
-          if (DeadlineHit()) {
-            inner_status = DeadlineStatus();
-            return false;
+  } else {
+    // Parallel build, two phases. Phase 1: evaluate keys and hashes over
+    // morsels of build rows. Phase 2: each worker owns exactly one hash
+    // partition and inserts its rows in build-row order — no shared-bucket
+    // locking, and per-key row lists come out in the same order the serial
+    // build produces.
+    std::vector<CompositeKey> keys(build.size());
+    std::vector<size_t> hashes(build.size());
+    std::vector<uint8_t> null_key(build.size(), 0);
+    exec::MorselQueue mq(build.size(),
+                         MorselSpan(build.size(), parts, options_.morsel_rows));
+    std::vector<Status> build_status(parts);
+    Pool()->ParallelFor(parts, [&](size_t w) {
+      EvalScratch scratch;
+      uint64_t probe_ticks = 0;
+      size_t mi, first, last;
+      while (build_status[w].ok() && mq.Next(&mi, &first, &last)) {
+        for (size_t i = first; i < last; ++i) {
+          if (deadline.set() && (++probe_ticks & 255) == 0 &&
+              deadline.expired()) {
+            build_status[w] = Status::Timeout("query deadline exceeded");
+            break;
           }
-          const Tuple& left = batch.row(i);
-          probe.clear();
+          CompositeKey key;
           bool has_null = false;
-          for (size_t j = 0; j < plan.left_key_progs.size(); ++j) {
-            auto v = EvalKey(plan.left_key_progs[j], left_slots[j], left,
-                             &scratch);
+          for (size_t j = 0; j < plan.right_key_progs.size(); ++j) {
+            auto v = EvalKey(plan.right_key_progs[j], right_slots[j],
+                             build[i], &scratch);
             if (!v.ok()) {
-              inner_status = v.status();
-              return false;
+              build_status[w] = v.status();
+              break;
             }
             if ((*v)->is_null()) {
               has_null = true;  // NULL never joins
               break;
             }
-            probe.push_back(**v);
+            key.push_back(**v);
           }
-          if (has_null) continue;
-          auto it = ht.find(probe);
-          if (it == ht.end()) continue;
-          for (size_t b : it->second) {
-            if (residual != nullptr) {
-              auto pass = PairPasses(*residual, left, build[b], &scratch);
-              if (!pass.ok()) {
-                inner_status = pass.status();
-                return false;
-              }
-              if (!*pass) continue;
-            }
-            if (!em.PushOwned(Concat(left, build[b]))) return false;
+          if (!build_status[w].ok()) break;
+          if (has_null) {
+            null_key[i] = 1;
+            continue;
           }
+          hashes[i] = part_hasher(key);
+          keys[i] = std::move(key);
         }
-        return true;
-      },
-      /*budget=*/-1));
-  XQ_RETURN_IF_ERROR(inner_status);
+      }
+    });
+    for (const Status& s : build_status) {
+      if (!s.ok()) {
+        if (s.code() == common::StatusCode::kTimeout) deadline_hit_ = true;
+        return s;
+      }
+    }
+    Pool()->ParallelFor(parts, [&](size_t p) {
+      JoinTable& part = ht[p];
+      part.reserve(build.size() / parts + 1);
+      for (size_t i = 0; i < build.size(); ++i) {
+        if (null_key[i] != 0) continue;
+        if (hashes[i] % parts == p) part[std::move(keys[i])].push_back(i);
+      }
+    });
+  }
+
+  BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
+  // Per-row probe shared by the streamed, serial-vector, and parallel
+  // paths: evaluates the left key, finds the partition's matches, applies
+  // the residual, and hands each joined row to `out`. Returns false when
+  // `status` was set (error) or `out` declined more rows.
+  auto probe_row = [&](const Tuple& left, EvalScratch* scratch,
+                       CompositeKey* probe, Status* status,
+                       const std::function<bool(Tuple&&)>& out) {
+    probe->clear();
+    for (size_t j = 0; j < plan.left_key_progs.size(); ++j) {
+      auto v = EvalKey(plan.left_key_progs[j], left_slots[j], left, scratch);
+      if (!v.ok()) {
+        *status = v.status();
+        return false;
+      }
+      if ((*v)->is_null()) return true;  // NULL never joins
+      probe->push_back(**v);
+    }
+    const JoinTable& part =
+        parts == 1 ? ht[0] : ht[part_hasher(*probe) % parts];
+    auto it = part.find(*probe);
+    if (it == part.end()) return true;
+    for (size_t b : it->second) {
+      if (residual != nullptr) {
+        auto pass = PairPasses(*residual, left, build[b], scratch);
+        if (!pass.ok()) {
+          *status = pass.status();
+          return false;
+        }
+        if (!*pass) continue;
+      }
+      if (!out(Concat(left, build[b]))) return false;
+    }
+    return true;
+  };
+
+  // Probe goes parallel only when the plan is annotated AND the pool has
+  // spare width right now; otherwise stream the left child so nothing is
+  // materialized that serial execution would not have materialized.
+  const bool pool_wide =
+      plan.parallel_degree >= 2 &&
+      Pool()->AdmitDegree(static_cast<size_t>(plan.parallel_degree)) >= 2;
+  if (!pool_wide) {
+    Status inner_status;
+    EvalScratch scratch;
+    CompositeKey probe;  // reused across rows
+    XQ_RETURN_IF_ERROR(ExecB(
+        *plan.children[0],
+        [&](RowBatch& batch) {
+          for (size_t i = 0; i < batch.size(); ++i) {
+            if (DeadlineHit()) {
+              inner_status = DeadlineStatus();
+              return false;
+            }
+            if (!probe_row(batch.row(i), &scratch, &probe, &inner_status,
+                           [&](Tuple&& t) {
+                             return em.PushOwned(std::move(t));
+                           })) {
+              return false;
+            }
+          }
+          return true;
+        },
+        /*budget=*/-1));
+    XQ_RETURN_IF_ERROR(inner_status);
+    em.Flush();
+    return Status::OK();
+  }
+
+  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> outer,
+                      ExecuteToVector(*plan.children[0]));
+  const size_t probe_degree = EffectiveDegree(plan, outer.size());
+  if (probe_degree < 2) {
+    Status inner_status;
+    EvalScratch scratch;
+    CompositeKey probe;
+    for (const Tuple& left : outer) {
+      if (DeadlineHit()) return DeadlineStatus();
+      if (!probe_row(left, &scratch, &probe, &inner_status, [&](Tuple&& t) {
+            return em.PushOwned(std::move(t));
+          })) {
+        XQ_RETURN_IF_ERROR(inner_status);
+        break;  // emitter declined (downstream stop)
+      }
+    }
+    em.Flush();
+    return Status::OK();
+  }
+
+  // Parallel probe: workers steal morsels of outer rows, buffer their
+  // joined rows per morsel, and the driver emits morsels in index order —
+  // the exact sequence the streamed serial probe produces.
+  exec::MorselQueue mq(outer.size(),
+                       MorselSpan(outer.size(), probe_degree,
+                                  options_.morsel_rows));
+  std::vector<std::vector<Tuple>> results(mq.num_morsels());
+  std::vector<Status> probe_status(probe_degree);
+  std::vector<uint64_t> worker_rows(probe_degree, 0);
+  std::vector<uint64_t> worker_morsels(probe_degree, 0);
+  Pool()->ParallelFor(probe_degree, [&](size_t w) {
+    EvalScratch scratch;
+    CompositeKey probe;
+    uint64_t probe_ticks = 0;
+    size_t mi, first, last;
+    while (probe_status[w].ok() && mq.Next(&mi, &first, &last)) {
+      std::vector<Tuple> out;
+      for (size_t i = first; i < last; ++i) {
+        if (deadline.set() && (++probe_ticks & 255) == 0 &&
+            deadline.expired()) {
+          probe_status[w] = Status::Timeout("query deadline exceeded");
+          break;
+        }
+        if (!probe_row(outer[i], &scratch, &probe, &probe_status[w],
+                       [&](Tuple&& t) {
+                         out.push_back(std::move(t));
+                         return true;
+                       })) {
+          break;
+        }
+      }
+      if (!probe_status[w].ok()) break;
+      worker_rows[w] += out.size();
+      results[mi] = std::move(out);
+      ++worker_morsels[w];
+    }
+  });
+  for (const Status& s : probe_status) {
+    if (!s.ok()) {
+      if (s.code() == common::StatusCode::kTimeout) deadline_hit_ = true;
+      return s;
+    }
+  }
+  if (options_.collect_stats) {
+    plan.stats.partition_rows = worker_rows;
+    for (uint64_t m : worker_morsels) plan.stats.morsels += m;
+  }
+  for (auto& morsel_rows : results) {
+    for (Tuple& t : morsel_rows) {
+      if (!em.PushOwned(std::move(t))) {
+        em.Flush();
+        return Status::OK();
+      }
+    }
+  }
   em.Flush();
   return Status::OK();
 }
@@ -959,33 +1136,126 @@ Status Executor::ExecIndexNLJoinB(const PlanNode& plan,
 Status Executor::ExecSortB(const PlanNode& plan, const BatchSink& sink) {
   XQ_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
                       ExecuteToVector(*plan.children[0]));
-  EvalScratch scratch;
   std::vector<int> key_slots = SingleSlots(plan.sort_key_progs);
-  std::vector<std::pair<CompositeKey, size_t>> keyed;
-  keyed.reserve(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    CompositeKey key;
-    for (size_t j = 0; j < plan.sort_key_progs.size(); ++j) {
-      XQ_ASSIGN_OR_RETURN(
-          const Value* v,
-          EvalKey(plan.sort_key_progs[j], key_slots[j], rows[i], &scratch));
-      key.push_back(*v);
+  const size_t degree = EffectiveDegree(plan, rows.size());
+  if (degree < 2) {
+    EvalScratch scratch;
+    std::vector<std::pair<CompositeKey, size_t>> keyed;
+    keyed.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      CompositeKey key;
+      for (size_t j = 0; j < plan.sort_key_progs.size(); ++j) {
+        XQ_ASSIGN_OR_RETURN(
+            const Value* v,
+            EvalKey(plan.sort_key_progs[j], key_slots[j], rows[i], &scratch));
+        key.push_back(*v);
+      }
+      keyed.emplace_back(std::move(key), i);
     }
-    keyed.emplace_back(std::move(key), i);
-  }
-  std::stable_sort(keyed.begin(), keyed.end(),
-                   [&](const auto& a, const auto& b) {
-                     for (size_t k = 0; k < plan.sort_keys.size(); ++k) {
-                       int c = Value::Compare(a.first[k], b.first[k]);
-                       if (c != 0) {
-                         return plan.sort_keys[k].desc ? c > 0 : c < 0;
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const auto& a, const auto& b) {
+                       for (size_t k = 0; k < plan.sort_keys.size(); ++k) {
+                         int c = Value::Compare(a.first[k], b.first[k]);
+                         if (c != 0) {
+                           return plan.sort_keys[k].desc ? c > 0 : c < 0;
+                         }
                        }
-                     }
-                     return false;
-                   });
+                       return false;
+                     });
+    BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
+    for (const auto& [key, i] : keyed) {
+      if (!em.PushRef(&rows[i], 0)) return Status::OK();
+    }
+    em.Flush();
+    return Status::OK();
+  }
+
+  // Parallel sort: each worker evaluates keys and sorts the morsels it
+  // steals; the driver then k-way-merges the per-morsel runs. Both stages
+  // use one TOTAL order — sort keys, then original input index ascending —
+  // which is exactly the sequence stable_sort yields (equal-key rows in
+  // input order), so the merged output is byte-identical to serial.
+  const size_t n = rows.size();
+  std::vector<CompositeKey> keys(n);
+  exec::MorselQueue mq(n, MorselSpan(n, degree, options_.morsel_rows));
+  std::vector<std::vector<size_t>> runs(mq.num_morsels());
+  std::vector<Status> worker_status(degree);
+  std::vector<uint64_t> worker_rows(degree, 0);
+  std::vector<uint64_t> worker_morsels(degree, 0);
+  const common::Deadline deadline = options_.deadline;
+  auto row_less = [&](size_t a, size_t b) {
+    for (size_t k = 0; k < plan.sort_keys.size(); ++k) {
+      int c = Value::Compare(keys[a][k], keys[b][k]);
+      if (c != 0) return plan.sort_keys[k].desc ? c > 0 : c < 0;
+    }
+    return a < b;
+  };
+  Pool()->ParallelFor(degree, [&](size_t w) {
+    EvalScratch scratch;
+    size_t mi, first, last;
+    while (worker_status[w].ok() && mq.Next(&mi, &first, &last)) {
+      if (deadline.set() && deadline.expired()) {
+        worker_status[w] = Status::Timeout("query deadline exceeded");
+        break;
+      }
+      std::vector<size_t> run;
+      run.reserve(last - first);
+      for (size_t i = first; i < last; ++i) {
+        CompositeKey key;
+        for (size_t j = 0; j < plan.sort_key_progs.size(); ++j) {
+          auto v =
+              EvalKey(plan.sort_key_progs[j], key_slots[j], rows[i], &scratch);
+          if (!v.ok()) {
+            worker_status[w] = v.status();
+            break;
+          }
+          key.push_back(**v);
+        }
+        if (!worker_status[w].ok()) break;
+        keys[i] = std::move(key);
+        run.push_back(i);
+      }
+      if (!worker_status[w].ok()) break;
+      std::sort(run.begin(), run.end(), row_less);
+      runs[mi] = std::move(run);
+      worker_rows[w] += last - first;
+      ++worker_morsels[w];
+    }
+  });
+  for (const Status& s : worker_status) {
+    if (!s.ok()) {
+      if (s.code() == common::StatusCode::kTimeout) deadline_hit_ = true;
+      return s;
+    }
+  }
+  if (options_.collect_stats) {
+    plan.stats.partition_rows = worker_rows;
+    for (uint64_t m : worker_morsels) plan.stats.morsels += m;
+  }
+  // K-way merge of the sorted runs under the same total order.
+  struct Cursor {
+    size_t run;
+    size_t pos;
+  };
+  auto cursor_greater = [&](const Cursor& x, const Cursor& y) {
+    return row_less(runs[y.run][y.pos], runs[x.run][x.pos]);
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(runs.size());
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) heap.push_back({r, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), cursor_greater);
   BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
-  for (const auto& [key, i] : keyed) {
-    if (!em.PushRef(&rows[i], 0)) return Status::OK();
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cursor_greater);
+    Cursor cur = heap.back();
+    heap.pop_back();
+    if (!em.PushRef(&rows[runs[cur.run][cur.pos]], 0)) return Status::OK();
+    if (++cur.pos < runs[cur.run].size()) {
+      heap.push_back(cur);
+      std::push_heap(heap.begin(), heap.end(), cursor_greater);
+    }
   }
   em.Flush();
   return Status::OK();
@@ -1023,78 +1293,165 @@ Status Executor::ExecLimitB(const PlanNode& plan, const BatchSink& sink) {
 }
 
 Status Executor::ExecAggregateB(const PlanNode& plan, const BatchSink& sink) {
-  std::unordered_map<CompositeKey, size_t, rel::CompositeKeyHasher,
-                     rel::CompositeKeyEq>
-      group_index;
-  std::vector<CompositeKey> group_keys;  // insertion order
-  std::vector<std::vector<AggState>> states;
-  EvalScratch scratch;
-  Status inner_status;
+  // Hash-group accumulator: index for lookup plus keys/states in
+  // first-seen order (group output order matches input order).
+  struct GroupAcc {
+    std::unordered_map<CompositeKey, size_t, rel::CompositeKeyHasher,
+                       rel::CompositeKeyEq>
+        index;
+    std::vector<CompositeKey> keys;
+    std::vector<std::vector<AggState>> states;
+  };
   std::vector<int> group_slots = SingleSlots(plan.group_progs);
   std::vector<int> arg_slots;
   arg_slots.reserve(plan.agg_arg_progs.size());
   for (const auto& prog : plan.agg_arg_progs) {
     arg_slots.push_back(prog.has_value() ? prog->single_slot() : -1);
   }
-  XQ_RETURN_IF_ERROR(ExecB(
-      *plan.children[0],
-      [&](RowBatch& batch) {
-        for (size_t r = 0; r < batch.size(); ++r) {
-          const Tuple& tuple = batch.row(r);
-          CompositeKey key;
-          for (size_t j = 0; j < plan.group_progs.size(); ++j) {
-            auto v = EvalKey(plan.group_progs[j], group_slots[j], tuple,
-                             &scratch);
-            if (!v.ok()) {
-              inner_status = v.status();
-              return false;
-            }
-            key.push_back(**v);
-          }
-          size_t slot;
-          auto it = group_index.find(key);
-          if (it == group_index.end()) {
-            slot = group_keys.size();
-            group_index.emplace(key, slot);
-            group_keys.push_back(std::move(key));
-            states.emplace_back(plan.aggs.size());
-          } else {
-            slot = it->second;
-          }
-          for (size_t a = 0; a < plan.aggs.size(); ++a) {
-            Status s;
-            if (!plan.agg_arg_progs[a].has_value()) {
-              s = UpdateAggValue(plan.aggs[a].func, nullptr,
-                                 &states[slot][a]);
-            } else {
-              auto v = EvalKey(*plan.agg_arg_progs[a], arg_slots[a], tuple,
-                               &scratch);
-              if (!v.ok()) {
-                inner_status = v.status();
-                return false;
-              }
-              s = UpdateAggValue(plan.aggs[a].func, *v, &states[slot][a]);
-            }
+  // One row folded into `acc` — the streaming-serial path and each
+  // parallel worker's thread-local partial share this.
+  auto accumulate = [&](const Tuple& tuple, GroupAcc* acc,
+                        EvalScratch* scratch) -> Status {
+    CompositeKey key;
+    for (size_t j = 0; j < plan.group_progs.size(); ++j) {
+      XQ_ASSIGN_OR_RETURN(
+          const Value* v,
+          EvalKey(plan.group_progs[j], group_slots[j], tuple, scratch));
+      key.push_back(*v);
+    }
+    size_t slot;
+    auto it = acc->index.find(key);
+    if (it == acc->index.end()) {
+      slot = acc->keys.size();
+      acc->index.emplace(key, slot);
+      acc->keys.push_back(std::move(key));
+      acc->states.emplace_back(plan.aggs.size());
+    } else {
+      slot = it->second;
+    }
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      if (!plan.agg_arg_progs[a].has_value()) {
+        XQ_RETURN_IF_ERROR(
+            UpdateAggValue(plan.aggs[a].func, nullptr, &acc->states[slot][a]));
+      } else {
+        XQ_ASSIGN_OR_RETURN(
+            const Value* v,
+            EvalKey(*plan.agg_arg_progs[a], arg_slots[a], tuple, scratch));
+        XQ_RETURN_IF_ERROR(
+            UpdateAggValue(plan.aggs[a].func, v, &acc->states[slot][a]));
+      }
+    }
+    return Status::OK();
+  };
+
+  GroupAcc total;
+  const bool pool_wide =
+      plan.parallel_degree >= 2 &&
+      Pool()->AdmitDegree(static_cast<size_t>(plan.parallel_degree)) >= 2;
+  if (!pool_wide) {
+    EvalScratch scratch;
+    Status inner_status;
+    XQ_RETURN_IF_ERROR(ExecB(
+        *plan.children[0],
+        [&](RowBatch& batch) {
+          for (size_t r = 0; r < batch.size(); ++r) {
+            Status s = accumulate(batch.row(r), &total, &scratch);
             if (!s.ok()) {
               inner_status = s;
               return false;
             }
           }
+          return true;
+        },
+        /*budget=*/-1));
+    XQ_RETURN_IF_ERROR(inner_status);
+  } else {
+    XQ_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                        ExecuteToVector(*plan.children[0]));
+    const size_t degree = EffectiveDegree(plan, input.size());
+    if (degree < 2) {
+      EvalScratch scratch;
+      for (const Tuple& tuple : input) {
+        if (DeadlineHit()) return DeadlineStatus();
+        XQ_RETURN_IF_ERROR(accumulate(tuple, &total, &scratch));
+      }
+    } else {
+      // Parallel aggregation: workers fold stolen morsels into per-morsel
+      // partials; the driver merges partials in morsel order. A group's
+      // first appearance in the merge is (earliest morsel, earliest row
+      // within it) = its earliest input row, so group output order is
+      // identical to the serial scan. Integer aggregates merge exactly;
+      // double sums are deterministic for a fixed morsel geometry but may
+      // differ from serial in the last ulp (association order changes).
+      const size_t n = input.size();
+      exec::MorselQueue mq(n, MorselSpan(n, degree, options_.morsel_rows));
+      std::vector<GroupAcc> partials(mq.num_morsels());
+      std::vector<Status> worker_status(degree);
+      std::vector<uint64_t> worker_rows(degree, 0);
+      std::vector<uint64_t> worker_morsels(degree, 0);
+      const common::Deadline deadline = options_.deadline;
+      Pool()->ParallelFor(degree, [&](size_t w) {
+        EvalScratch scratch;
+        uint64_t probe_ticks = 0;
+        size_t mi, first, last;
+        while (worker_status[w].ok() && mq.Next(&mi, &first, &last)) {
+          GroupAcc acc;
+          for (size_t i = first; i < last; ++i) {
+            if (deadline.set() && (++probe_ticks & 255) == 0 &&
+                deadline.expired()) {
+              worker_status[w] = Status::Timeout("query deadline exceeded");
+              break;
+            }
+            Status s = accumulate(input[i], &acc, &scratch);
+            if (!s.ok()) {
+              worker_status[w] = s;
+              break;
+            }
+          }
+          if (!worker_status[w].ok()) break;
+          partials[mi] = std::move(acc);
+          worker_rows[w] += last - first;
+          ++worker_morsels[w];
         }
-        return true;
-      },
-      /*budget=*/-1));
-  XQ_RETURN_IF_ERROR(inner_status);
+      });
+      for (const Status& s : worker_status) {
+        if (!s.ok()) {
+          if (s.code() == common::StatusCode::kTimeout) deadline_hit_ = true;
+          return s;
+        }
+      }
+      if (options_.collect_stats) {
+        plan.stats.partition_rows = worker_rows;
+        for (uint64_t m : worker_morsels) plan.stats.morsels += m;
+      }
+      for (GroupAcc& acc : partials) {
+        for (size_t k = 0; k < acc.keys.size(); ++k) {
+          auto it = total.index.find(acc.keys[k]);
+          if (it == total.index.end()) {
+            size_t slot = total.keys.size();
+            total.index.emplace(acc.keys[k], slot);
+            total.keys.push_back(std::move(acc.keys[k]));
+            total.states.push_back(std::move(acc.states[k]));
+            continue;
+          }
+          for (size_t a = 0; a < plan.aggs.size(); ++a) {
+            MergeAggState(plan.aggs[a].func, &total.states[it->second][a],
+                          acc.states[k][a]);
+          }
+        }
+      }
+    }
+  }
   // Grand aggregate over an empty input still yields one row.
-  if (group_keys.empty() && plan.group_exprs.empty()) {
-    group_keys.emplace_back();
-    states.emplace_back(plan.aggs.size());
+  if (total.keys.empty() && plan.group_exprs.empty()) {
+    total.keys.emplace_back();
+    total.states.emplace_back(plan.aggs.size());
   }
   BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
-  for (size_t g = 0; g < group_keys.size(); ++g) {
-    Tuple out = group_keys[g];
+  for (size_t g = 0; g < total.keys.size(); ++g) {
+    Tuple out = total.keys[g];
     for (size_t a = 0; a < plan.aggs.size(); ++a) {
-      out.push_back(FinalizeAgg(plan.aggs[a], states[g][a]));
+      out.push_back(FinalizeAgg(plan.aggs[a], total.states[g][a]));
     }
     if (!em.PushOwned(std::move(out))) return Status::OK();
   }
@@ -1103,23 +1460,95 @@ Status Executor::ExecAggregateB(const PlanNode& plan, const BatchSink& sink) {
 }
 
 Status Executor::ExecDistinctB(const PlanNode& plan, const BatchSink& sink) {
-  std::unordered_set<CompositeKey, rel::CompositeKeyHasher,
-                     rel::CompositeKeyEq>
-      seen;
-  return ExecB(
-      *plan.children[0],
-      [&](RowBatch& batch) {
-        std::vector<uint32_t> next;
-        next.reserve(batch.size());
-        const std::vector<uint32_t>& sel = batch.sel();
-        for (size_t i = 0; i < sel.size(); ++i) {
-          if (seen.insert(batch.row(i)).second) next.push_back(sel[i]);
+  using SeenSet = std::unordered_set<CompositeKey, rel::CompositeKeyHasher,
+                                     rel::CompositeKeyEq>;
+  const bool pool_wide =
+      plan.parallel_degree >= 2 &&
+      Pool()->AdmitDegree(static_cast<size_t>(plan.parallel_degree)) >= 2;
+  if (!pool_wide) {
+    SeenSet seen;
+    return ExecB(
+        *plan.children[0],
+        [&](RowBatch& batch) {
+          std::vector<uint32_t> next;
+          next.reserve(batch.size());
+          const std::vector<uint32_t>& sel = batch.sel();
+          for (size_t i = 0; i < sel.size(); ++i) {
+            if (seen.insert(batch.row(i)).second) next.push_back(sel[i]);
+          }
+          batch.SetSel(std::move(next));
+          if (batch.empty()) return true;
+          return sink(batch);
+        },
+        /*budget=*/-1);
+  }
+  XQ_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                      ExecuteToVector(*plan.children[0]));
+  const size_t degree = EffectiveDegree(plan, input.size());
+  BatchEmitter em(options_.batch_capacity, sink, /*budget=*/-1);
+  if (degree < 2) {
+    SeenSet seen;
+    for (const Tuple& tuple : input) {
+      if (DeadlineHit()) return DeadlineStatus();
+      if (seen.insert(tuple).second) {
+        if (!em.PushRef(&tuple, 0)) return Status::OK();
+      }
+    }
+    em.Flush();
+    return Status::OK();
+  }
+  // Parallel distinct: each worker dedups its stolen morsels locally
+  // (first-seen row indexes, in row order); the driver re-dedups the
+  // local survivors in morsel order against a global set. A value's first
+  // surviving index is its earliest input row, so output order equals the
+  // streaming-serial path.
+  const size_t n = input.size();
+  exec::MorselQueue mq(n, MorselSpan(n, degree, options_.morsel_rows));
+  std::vector<std::vector<size_t>> locals(mq.num_morsels());
+  std::vector<Status> worker_status(degree);
+  std::vector<uint64_t> worker_rows(degree, 0);
+  std::vector<uint64_t> worker_morsels(degree, 0);
+  const common::Deadline deadline = options_.deadline;
+  Pool()->ParallelFor(degree, [&](size_t w) {
+    uint64_t probe_ticks = 0;
+    size_t mi, first, last;
+    while (worker_status[w].ok() && mq.Next(&mi, &first, &last)) {
+      SeenSet seen;
+      std::vector<size_t> uniq;
+      for (size_t i = first; i < last; ++i) {
+        if (deadline.set() && (++probe_ticks & 255) == 0 &&
+            deadline.expired()) {
+          worker_status[w] = Status::Timeout("query deadline exceeded");
+          break;
         }
-        batch.SetSel(std::move(next));
-        if (batch.empty()) return true;
-        return sink(batch);
-      },
-      /*budget=*/-1);
+        if (seen.insert(input[i]).second) uniq.push_back(i);
+      }
+      if (!worker_status[w].ok()) break;
+      locals[mi] = std::move(uniq);
+      worker_rows[w] += last - first;
+      ++worker_morsels[w];
+    }
+  });
+  for (const Status& s : worker_status) {
+    if (!s.ok()) {
+      if (s.code() == common::StatusCode::kTimeout) deadline_hit_ = true;
+      return s;
+    }
+  }
+  if (options_.collect_stats) {
+    plan.stats.partition_rows = worker_rows;
+    for (uint64_t m : worker_morsels) plan.stats.morsels += m;
+  }
+  SeenSet global;
+  for (const std::vector<size_t>& uniq : locals) {
+    for (size_t i : uniq) {
+      if (global.insert(input[i]).second) {
+        if (!em.PushRef(&input[i], 0)) return Status::OK();
+      }
+    }
+  }
+  em.Flush();
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------

@@ -10,6 +10,10 @@
 #include "relational/row_batch.h"
 #include "sql/plan.h"
 
+namespace xomatiq::exec {
+class WorkerPool;
+}
+
 namespace xomatiq::sql {
 
 struct ExecutorOptions {
@@ -20,8 +24,19 @@ struct ExecutorOptions {
   // stops within ~one batch of work and returns kTimeout. Applies to the
   // batched pipeline only; the row-at-a-time oracle path ignores it.
   common::Deadline deadline;
-  // Bound (in batches) of each parallel-scan worker's output queue.
-  size_t parallel_queue_batches = 4;
+  // Worker pool parallel operators fan out on; null = the process-wide
+  // exec::WorkerPool::Global(). All queries sharing one pool is the
+  // oversubscription guard: total execution threads stay fixed no matter
+  // how many sessions run M-way plans. Tests and benches pass their own
+  // pool (a 0-worker pool forces every operator serial).
+  exec::WorkerPool* pool = nullptr;
+  // Rows per work-stealing morsel inside parallel operators.
+  size_t morsel_rows = 4096;
+  // Runtime admission: a parallel-annotated operator whose actual input
+  // has fewer rows than this runs serially — the planner decides from
+  // estimates, the executor re-checks against real cardinalities so tiny
+  // inputs never pay the fan-out overhead.
+  size_t parallel_row_threshold = 8192;
   // Accumulate per-operator actuals (rows/batches/time, parallel-scan
   // partition counts) into each PlanNode's `stats` while executing —
   // the data EXPLAIN ANALYZE renders. Counting is per batch, not per row,
@@ -128,6 +143,14 @@ class Executor {
   common::Status ExecDistinctRow(const PlanNode& plan, const RowSink& sink);
 
   common::Result<std::vector<rel::Tuple>> CollectRows(const PlanNode& plan);
+
+  // The pool this executor fans out on (options_.pool or the global one).
+  exec::WorkerPool* Pool() const;
+  // Worker-slot count a parallel-annotated operator actually gets: 1 when
+  // the plan carries no degree, the input is below the runtime row
+  // threshold, or the pool has no spare width; otherwise the pool's
+  // admitted share (capped at the plan's degree).
+  size_t EffectiveDegree(const PlanNode& plan, size_t input_rows) const;
 
   // Strided cooperative deadline probe for hot loops: one counter increment
   // per call, one clock read every 1024 calls. Sticky once expired.

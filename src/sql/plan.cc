@@ -59,6 +59,9 @@ std::string StatsSuffix(const PlanNode& node) {
     }
     out += "]";
   }
+  if (st.morsels > 0) {
+    out += " morsels=" + std::to_string(st.morsels);
+  }
   return out + ")";
 }
 
@@ -156,6 +159,13 @@ std::string PlanNode::ToString(int indent, bool analyze) const {
     }
     case PlanKind::kDistinct:
       break;
+  }
+  // Parallel-annotated pipeline breakers advertise their planned degree
+  // (ParallelSeqScan prints it inline above).
+  if (parallel_degree >= 2 && kind != PlanKind::kParallelSeqScan &&
+      (kind == PlanKind::kHashJoin || kind == PlanKind::kSort ||
+       kind == PlanKind::kAggregate || kind == PlanKind::kDistinct)) {
+    out += " workers=" + std::to_string(parallel_degree);
   }
   if (est_rows >= 0) {
     char est[64];

@@ -13,9 +13,9 @@
 namespace xomatiq::sql {
 
 // EXPLAIN ANALYZE actuals for one operator, filled by the Executor when
-// ExecutorOptions.collect_stats is on. Accumulation is single-threaded
-// (the pipeline is driven from one consumer thread) except for
-// partition_rows, where each parallel-scan worker owns exactly one slot.
+// ExecutorOptions.collect_stats is on. Accumulation is single-threaded:
+// parallel operators tally per-worker counts in thread-private slots and
+// publish them here only after the fan-out joins.
 struct OpStats {
   uint64_t rows_out = 0;     // rows this operator emitted downstream
   uint64_t batches = 0;      // RowBatches emitted
@@ -30,8 +30,10 @@ struct OpStats {
   // (filter into scan/join); its own emission counters then stay zero and
   // the fused work is credited to the parent's counters.
   bool fused = false;
-  // kParallelSeqScan: rows emitted per worker partition (skew view).
+  // Parallel operators: rows processed per worker slot (skew view).
   std::vector<uint64_t> partition_rows;
+  // Parallel operators: work-stealing morsels this operator executed.
+  uint64_t morsels = 0;
 
   void Clear() { *this = OpStats{}; }
 };

@@ -80,6 +80,52 @@ Result<PlanPtr> Planner::PlanSelectCostBased(const SelectStmt& stmt) {
   return plan;
 }
 
+namespace {
+
+// Largest base-table input (in heap slots) feeding `node`. Index accesses
+// count as small: they are selective by construction, so an operator above
+// them does not inherit "big input" from the table they probe.
+uint64_t LargestBaseInput(const PlanNode& node, const rel::Database* db) {
+  uint64_t best = 0;
+  if (node.kind == PlanKind::kSeqScan ||
+      node.kind == PlanKind::kParallelSeqScan) {
+    auto table = db->GetTable(node.table);
+    if (table.ok()) best = (*table)->num_slots();
+  }
+  for (const PlanPtr& child : node.children) {
+    best = std::max(best, LargestBaseInput(*child, db));
+  }
+  return best;
+}
+
+// Rule-based per-operator DOP: pipeline breakers fed by a big base input
+// get a parallel degree; small inputs stay serial. The annotation is
+// permission, not obligation — the executor re-checks actual row counts
+// and pool width at run time before fanning out.
+void AnnotateParallelOps(PlanNode* node, const rel::Database* db,
+                         const PlannerOptions& options) {
+  for (const PlanPtr& child : node->children) {
+    AnnotateParallelOps(child.get(), db, options);
+  }
+  switch (node->kind) {
+    case PlanKind::kHashJoin:
+    case PlanKind::kSort:
+    case PlanKind::kAggregate:
+    case PlanKind::kDistinct:
+      break;
+    default:
+      return;
+  }
+  if (LargestBaseInput(*node, db) < options.parallel_scan_threshold) return;
+  int degree = options.parallel_degree;
+  if (degree <= 0) {
+    degree = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (degree >= 2) node->parallel_degree = degree;
+}
+
+}  // namespace
+
 Result<PlanPtr> Planner::PlanSelectRuleBased(const SelectStmt& stmt) {
   // 1. Table list in FROM order.
   std::vector<TableRef> tables = stmt.from;
@@ -672,6 +718,7 @@ Result<PlanPtr> Planner::PlanSelectRuleBased(const SelectStmt& stmt) {
     plan = std::move(limit);
   }
 
+  AnnotateParallelOps(plan.get(), db_, options_);
   XQ_RETURN_IF_ERROR(CompilePlanPrograms(plan.get()));
   return plan;
 }

@@ -1,0 +1,105 @@
+#include "exec/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace xomatiq::exec {
+namespace {
+
+TEST(MorselQueueTest, CoversRangeDisjointly) {
+  MorselQueue q(1000, 64);
+  EXPECT_EQ(q.num_morsels(), (1000u + 63u) / 64u);
+  std::vector<int> hits(1000, 0);
+  size_t mi = 0, first = 0, last = 0;
+  size_t morsels = 0;
+  size_t max_index = 0;
+  while (q.Next(&mi, &first, &last)) {
+    ++morsels;
+    max_index = std::max(max_index, mi);
+    ASSERT_LT(first, last);
+    ASSERT_LE(last, hits.size());
+    for (size_t i = first; i < last; ++i) ++hits[i];
+  }
+  EXPECT_EQ(morsels, q.num_morsels());
+  EXPECT_EQ(max_index, q.num_morsels() - 1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(MorselQueueTest, EmptyInputYieldsNoMorsels) {
+  MorselQueue q(0, 64);
+  EXPECT_EQ(q.num_morsels(), 0u);
+  size_t mi = 0, first = 0, last = 0;
+  EXPECT_FALSE(q.Next(&mi, &first, &last));
+}
+
+TEST(MorselQueueTest, SpanLargerThanTotalIsOneMorsel) {
+  MorselQueue q(10, 4096);
+  EXPECT_EQ(q.num_morsels(), 1u);
+  size_t mi = 0, first = 0, last = 0;
+  ASSERT_TRUE(q.Next(&mi, &first, &last));
+  EXPECT_EQ(mi, 0u);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(last, 10u);
+  EXPECT_FALSE(q.Next(&mi, &first, &last));
+}
+
+TEST(WorkerPoolTest, EverySlotRunsExactlyOnce) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  // Each slot index is claimed by exactly one runner, so plain per-slot
+  // counters are race-free; the final read happens after the barrier.
+  std::vector<int> counts(64, 0);
+  pool.ParallelFor(64, [&](size_t s) { ++counts[s]; });
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(WorkerPoolTest, ZeroWorkerPoolRunsSerially) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::vector<int> counts(8, 0);
+  pool.ParallelFor(8, [&](size_t s) { ++counts[s]; });
+  for (int c : counts) EXPECT_EQ(c, 1);
+  // A pool with no threads never admits a fan-out.
+  EXPECT_EQ(pool.AdmitDegree(4), 1u);
+}
+
+TEST(WorkerPoolTest, SingleSlotAndZeroSlotAreFine) {
+  WorkerPool pool(2);
+  int ran = 0;
+  pool.ParallelFor(1, [&](size_t) { ++ran; });
+  EXPECT_EQ(ran, 1);
+  pool.ParallelFor(0, [&](size_t) { ++ran; });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(WorkerPoolTest, AdmitDegreeCapsAtRequestAndWidth) {
+  WorkerPool pool(7);
+  // Idle pool: full width (workers + the caller) capped by the request.
+  EXPECT_EQ(pool.AdmitDegree(4), 4u);
+  EXPECT_EQ(pool.AdmitDegree(100), 8u);
+  EXPECT_EQ(pool.AdmitDegree(0), 8u);  // 0 = no cap from the caller
+}
+
+TEST(WorkerPoolTest, ConcurrentGroupsAllComplete) {
+  WorkerPool pool(2);
+  constexpr long long kDrivers = 4, kSlots = 32, kReps = 25;
+  std::atomic<long long> total{0};
+  std::vector<std::thread> drivers;
+  for (long long d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&] {
+      for (long long rep = 0; rep < kReps; ++rep) {
+        pool.ParallelFor(static_cast<size_t>(kSlots), [&](size_t s) {
+          total.fetch_add(static_cast<long long>(s) + 1);
+        });
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(total.load(), kDrivers * kReps * (kSlots * (kSlots + 1) / 2));
+}
+
+}  // namespace
+}  // namespace xomatiq::exec

@@ -1,0 +1,104 @@
+// Concurrency hammer for the shared worker pool: 8 reader sessions fire
+// parallel-annotated queries through one SqlEngine and one WorkerPool while
+// a writer runs DML against the same database. Built for the TSan job —
+// any unsynchronized sharing inside the pool, the parallel operators, or
+// the per-query stats publication shows up here as a data race.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/worker_pool.h"
+#include "sql/engine.h"
+
+namespace xomatiq::sql {
+namespace {
+
+TEST(ParallelHammerTest, EightSessionsShareOnePool) {
+  auto db = rel::Database::OpenInMemory();
+  exec::WorkerPool pool(2);
+
+  EngineOptions options;
+  options.planner.parallel_scan_threshold = 1;
+  options.planner.parallel_degree = 4;
+  options.executor.pool = &pool;
+  options.executor.morsel_rows = 32;
+  options.executor.parallel_row_threshold = 8;
+  SqlEngine engine(db.get(), options);
+
+  auto seed = [&](const std::string& sql) {
+    auto r = engine.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+  };
+  seed("CREATE TABLE t (id INT, grp INT, val INT)");
+  for (int base = 0; base < 3000; base += 500) {
+    std::string sql = "INSERT INTO t VALUES ";
+    for (int i = base; i < base + 500; ++i) {
+      if (i != base) sql += ", ";
+      sql += "(" + std::to_string(i) + ", " + std::to_string(i % 23) + ", " +
+             std::to_string((i * 7919) % 1000) + ")";
+    }
+    seed(sql);
+  }
+
+  constexpr int kReaders = 8;
+  constexpr int kIters = 10;
+  const std::string queries[] = {
+      "SELECT grp, COUNT(*), SUM(val) FROM t GROUP BY grp",
+      "SELECT id, val FROM t WHERE val > 500 ORDER BY val, id",
+      "SELECT DISTINCT grp FROM t",
+      "SELECT a.id, b.id FROM t a, t b "
+      "WHERE a.grp = b.grp AND a.val > 970 AND b.val > 970",
+  };
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      for (int it = 0; it < kIters && !failed.load(); ++it) {
+        const std::string& q = queries[(r + it) % 4];
+        auto res = engine.Execute(q);
+        if (!res.ok()) {
+          failed.store(true);
+          ADD_FAILURE() << q << ": " << res.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (int i = 0; i < 60 && !failed.load(); ++i) {
+      auto r = engine.Execute("INSERT INTO t VALUES (" +
+                              std::to_string(10000 + i) + ", " +
+                              std::to_string(i % 23) + ", 500)");
+      if (!r.ok()) {
+        failed.store(true);
+        ADD_FAILURE() << "writer: " << r.status().ToString();
+        return;
+      }
+      if (i % 2 == 0) {
+        auto d = engine.Execute("DELETE FROM t WHERE id = " +
+                                std::to_string(10000 + i));
+        if (!d.ok()) {
+          failed.store(true);
+          ADD_FAILURE() << "delete: " << d.status().ToString();
+          return;
+        }
+      }
+    }
+  });
+
+  for (auto& t : readers) t.join();
+  writer.join();
+  EXPECT_FALSE(failed.load());
+
+  // The pool must be fully drained once every session has returned.
+  EXPECT_EQ(pool.active_groups(), 0u);
+}
+
+}  // namespace
+}  // namespace xomatiq::sql
